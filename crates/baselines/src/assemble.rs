@@ -1,0 +1,170 @@
+//! Training-table assembly for the oracle baselines.
+//!
+//! * **Base**: the base table alone (§2.1).
+//! * **Full**: the base table augmented with every table reachable through
+//!   the *declared* (ground-truth) KFK graph — the table a diligent analyst
+//!   with perfect schema knowledge would build (§2.2), with join
+//!   cardinalities handled by aggregation so the row distribution of the
+//!   base table is preserved.
+//!
+//! The Disc baseline reuses the same assembly over *discovered* joins (see
+//! `discovery`).
+
+use leva_relational::{augment_join, Database, ForeignKey, Result, Table};
+use std::collections::HashMap;
+
+/// Returns the base table as the training table (the Base baseline).
+pub fn assemble_base(db: &Database, base_table: &str) -> Result<Table> {
+    Ok(db.table(base_table)?.clone())
+}
+
+/// Assembles the Full table: BFS over `fks` starting from the base table,
+/// augmenting each newly reachable table onto the accumulated result with a
+/// cardinality-preserving join. Each table is joined at most once.
+pub fn assemble_joined(db: &Database, base_table: &str, fks: &[ForeignKey]) -> Result<Table> {
+    let mut result = db.table(base_table)?.clone();
+    // Where each (table, column) currently lives in `result`.
+    let mut column_map: HashMap<(String, String), String> = HashMap::new();
+    for name in result.column_names() {
+        column_map.insert((base_table.to_owned(), name.to_owned()), name.to_owned());
+    }
+    let mut joined: Vec<String> = vec![base_table.to_owned()];
+
+    loop {
+        let mut progressed = false;
+        for fk in fks {
+            // Direction 1: the referencing side is already joined; bring in
+            // the referenced table.
+            let (new_table, new_key, anchor) = if joined.contains(&fk.from_table)
+                && !joined.contains(&fk.to_table)
+            {
+                let Some(anchor) =
+                    column_map.get(&(fk.from_table.clone(), fk.from_column.clone()))
+                else {
+                    continue;
+                };
+                (fk.to_table.clone(), fk.to_column.clone(), anchor.clone())
+            } else if joined.contains(&fk.to_table) && !joined.contains(&fk.from_table) {
+                // Direction 2: the referenced side is joined; bring in the
+                // referencing table (1:N handled by aggregation).
+                let Some(anchor) = column_map.get(&(fk.to_table.clone(), fk.to_column.clone()))
+                else {
+                    continue;
+                };
+                (fk.from_table.clone(), fk.from_column.clone(), anchor.clone())
+            } else {
+                continue;
+            };
+            let Ok(other) = db.table(&new_table) else { continue };
+            result = augment_join(&result, other, &anchor, &new_key)?;
+            for col in other.column_names() {
+                if col != new_key {
+                    column_map.insert(
+                        (new_table.clone(), col.to_owned()),
+                        format!("{new_table}.{col}"),
+                    );
+                }
+            }
+            joined.push(new_table);
+            progressed = true;
+        }
+        if !progressed {
+            break;
+        }
+    }
+    Ok(result)
+}
+
+/// Assembles the Full table from the database's declared foreign keys.
+pub fn assemble_full(db: &Database, base_table: &str) -> Result<Table> {
+    assemble_joined(db, base_table, db.foreign_keys())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use leva_relational::Value;
+
+    /// loans -> account -> district chain (two hops).
+    fn chain_db() -> Database {
+        let mut db = Database::new();
+        let mut loans = Table::new("loans", vec!["loan_id", "acct", "amount"]);
+        let mut account = Table::new("account", vec!["acct", "dist"]);
+        let mut district = Table::new("district", vec!["dist", "risk"]);
+        for i in 0..6 {
+            loans
+                .push_row(vec![
+                    format!("l{i}").into(),
+                    format!("a{i}").into(),
+                    Value::Float(i as f64),
+                ])
+                .unwrap();
+            account
+                .push_row(vec![format!("a{i}").into(), format!("d{}", i % 2).into()])
+                .unwrap();
+        }
+        for d in 0..2 {
+            district
+                .push_row(vec![format!("d{d}").into(), Value::Float(d as f64 * 10.0)])
+                .unwrap();
+        }
+        db.add_table(loans).unwrap();
+        db.add_table(account).unwrap();
+        db.add_table(district).unwrap();
+        db.add_foreign_key(ForeignKey::new("loans", "acct", "account", "acct"));
+        db.add_foreign_key(ForeignKey::new("account", "dist", "district", "dist"));
+        db
+    }
+
+    #[test]
+    fn base_is_base() {
+        let db = chain_db();
+        let t = assemble_base(&db, "loans").unwrap();
+        assert_eq!(t.column_count(), 3);
+        assert_eq!(t.row_count(), 6);
+    }
+
+    #[test]
+    fn full_follows_two_hops() {
+        let db = chain_db();
+        let t = assemble_full(&db, "loans").unwrap();
+        assert_eq!(t.row_count(), 6);
+        let names = t.column_names();
+        assert!(names.contains(&"account.dist"));
+        assert!(names.contains(&"district.risk"));
+        // Loan 3 -> account a3 -> district d1 -> risk 10.
+        let risk_idx = t.column_index("district.risk").unwrap();
+        assert_eq!(t.value(3, risk_idx).unwrap(), &Value::Float(10.0));
+    }
+
+    #[test]
+    fn reverse_direction_joins_aggregate() {
+        // Orders reference loans (N:1); joining orders onto loans must
+        // aggregate and keep 6 rows.
+        let mut db = chain_db();
+        let mut orders = Table::new("orders", vec!["loan", "qty"]);
+        for i in 0..12 {
+            orders
+                .push_row(vec![format!("l{}", i % 6).into(), Value::Float(i as f64)])
+                .unwrap();
+        }
+        db.add_table(orders).unwrap();
+        db.add_foreign_key(ForeignKey::new("orders", "loan", "loans", "loan_id"));
+        let t = assemble_full(&db, "loans").unwrap();
+        assert_eq!(t.row_count(), 6);
+        assert!(t.column_names().contains(&"orders.qty"));
+        // Loan 0 matched orders 0 and 6 => mean qty 3.0.
+        let qty_idx = t.column_index("orders.qty").unwrap();
+        assert_eq!(t.value(0, qty_idx).unwrap(), &Value::Float(3.0));
+    }
+
+    #[test]
+    fn unreachable_tables_are_skipped() {
+        let mut db = chain_db();
+        let mut island = Table::new("island", vec!["x"]);
+        island.push_row(vec!["v".into()]).unwrap();
+        db.add_table(island).unwrap();
+        let t = assemble_full(&db, "loans").unwrap();
+        assert!(!t.column_names().iter().any(|c| c.starts_with("island.")));
+    }
+}

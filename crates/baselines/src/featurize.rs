@@ -1,0 +1,244 @@
+//! One-hot / standardized featurization of relational tables — the
+//! conventional encoding used by the Base, Full, Full+FE, and Disc
+//! baselines (and contrasted with Leva's embedding featurization).
+
+use leva_linalg::Matrix;
+use leva_relational::{Column, DataType, Table};
+use std::collections::HashMap;
+
+/// Per-column encoding fitted on training data.
+#[derive(Debug, Clone)]
+enum ColumnFeaturizer {
+    /// Standardized numeric column.
+    Numeric { mean: f64, std: f64 },
+    /// One-hot over the most frequent categories (unseen ⇒ all-zero block).
+    Categorical { index: HashMap<String, usize>, width: usize },
+    /// Column skipped (empty or excluded).
+    Skip,
+}
+
+/// Featurizer for a table schema: numeric columns standardize, categorical
+/// columns one-hot encode (capped at `max_categories` most frequent values).
+#[derive(Debug, Clone)]
+pub struct TableFeaturizer {
+    columns: Vec<(String, ColumnFeaturizer)>,
+    width: usize,
+}
+
+impl TableFeaturizer {
+    /// Fits on a training table, excluding the named columns (target, ids).
+    pub fn fit(table: &Table, exclude: &[&str], max_categories: usize) -> TableFeaturizer {
+        let mut columns = Vec::new();
+        let mut width = 0usize;
+        for col in table.columns() {
+            if exclude.contains(&col.name()) {
+                columns.push((col.name().to_owned(), ColumnFeaturizer::Skip));
+                continue;
+            }
+            let f = fit_column(col, max_categories);
+            width += match &f {
+                ColumnFeaturizer::Numeric { .. } => 1,
+                ColumnFeaturizer::Categorical { width, .. } => *width,
+                ColumnFeaturizer::Skip => 0,
+            };
+            columns.push((col.name().to_owned(), f));
+        }
+        TableFeaturizer { columns, width }
+    }
+
+    /// Total feature width.
+    pub fn width(&self) -> usize {
+        self.width
+    }
+
+    /// Transforms a table with the same schema into a feature matrix.
+    /// Columns are matched by name; missing columns contribute zeros.
+    pub fn transform(&self, table: &Table) -> Matrix {
+        let n = table.row_count();
+        let mut out = Matrix::zeros(n, self.width);
+        let mut offset = 0usize;
+        for (name, f) in &self.columns {
+            let col = table.column(name).ok();
+            match f {
+                ColumnFeaturizer::Skip => {}
+                ColumnFeaturizer::Numeric { mean, std } => {
+                    if let Some(col) = col {
+                        for r in 0..n {
+                            if let Some(v) = col.get(r).and_then(|v| v.as_f64()) {
+                                out[(r, offset)] = (v - mean) / std;
+                            }
+                        }
+                    }
+                    offset += 1;
+                }
+                ColumnFeaturizer::Categorical { index, width } => {
+                    if let Some(col) = col {
+                        for r in 0..n {
+                            if let Some(v) = col.get(r) {
+                                if !v.is_null() {
+                                    if let Some(&slot) = index.get(&v.render().to_lowercase()) {
+                                        out[(r, offset + slot)] = 1.0;
+                                    }
+                                }
+                            }
+                        }
+                    }
+                    offset += width;
+                }
+            }
+        }
+        out
+    }
+}
+
+fn fit_column(col: &Column, max_categories: usize) -> ColumnFeaturizer {
+    match col.infer_type() {
+        DataType::Int | DataType::Float | DataType::Timestamp => {
+            let vals: Vec<f64> = col.numeric_values().collect();
+            if vals.is_empty() {
+                return ColumnFeaturizer::Skip;
+            }
+            let mean = vals.iter().sum::<f64>() / vals.len() as f64;
+            let mut std = (vals.iter().map(|v| (v - mean).powi(2)).sum::<f64>()
+                / vals.len() as f64)
+                .sqrt();
+            if std < 1e-12 {
+                std = 1.0;
+            }
+            ColumnFeaturizer::Numeric { mean, std }
+        }
+        DataType::Text | DataType::Bool => {
+            let mut counts: HashMap<String, usize> = HashMap::new();
+            for v in col.values() {
+                if !v.is_null() {
+                    *counts.entry(v.render().to_lowercase()).or_insert(0) += 1;
+                }
+            }
+            if counts.is_empty() {
+                return ColumnFeaturizer::Skip;
+            }
+            let mut ordered: Vec<(String, usize)> = counts.into_iter().collect();
+            ordered.sort_by(|a, b| b.1.cmp(&a.1).then(a.0.cmp(&b.0)));
+            ordered.truncate(max_categories);
+            let index: HashMap<String, usize> = ordered
+                .into_iter()
+                .enumerate()
+                .map(|(i, (v, _))| (v, i))
+                .collect();
+            let width = index.len();
+            ColumnFeaturizer::Categorical { index, width }
+        }
+        DataType::Unknown => ColumnFeaturizer::Skip,
+    }
+}
+
+/// Extracts a target vector from a table column. Classification targets are
+/// mapped through a deterministic label index (sorted distinct rendered
+/// values); regression targets use the numeric value (nulls ⇒ 0.0).
+pub fn target_vector(table: &Table, target: &str, classification: bool) -> (Vec<f64>, usize) {
+    let col = table.column(target).expect("target column exists");
+    if classification {
+        let mut labels: Vec<String> = col
+            .values()
+            .iter()
+            .filter(|v| !v.is_null())
+            .map(|v| v.render())
+            .collect();
+        labels.sort();
+        labels.dedup();
+        let index: HashMap<&String, usize> =
+            labels.iter().enumerate().map(|(i, l)| (l, i)).collect();
+        let y = col
+            .values()
+            .iter()
+            .map(|v| index.get(&v.render()).copied().unwrap_or(0) as f64)
+            .collect();
+        (y, labels.len().max(2))
+    } else {
+        let y = col.values().iter().map(|v| v.as_f64().unwrap_or(0.0)).collect();
+        (y, 1)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use leva_relational::Value;
+
+    fn table() -> Table {
+        let mut t = Table::new("t", vec!["id", "city", "amount", "label"]);
+        for i in 0..10 {
+            t.push_row(vec![
+                format!("id{i}").into(),
+                ["nyc", "sfo", "chi"][i % 3].into(),
+                Value::Float(i as f64 * 10.0),
+                Value::Int((i % 2) as i64),
+            ])
+            .unwrap();
+        }
+        t
+    }
+
+    #[test]
+    fn width_counts_onehot_blocks() {
+        let f = TableFeaturizer::fit(&table(), &["label"], 30);
+        // id: 10 categories, city: 3, amount: 1 numeric.
+        assert_eq!(f.width(), 10 + 3 + 1);
+    }
+
+    #[test]
+    fn category_cap_applies() {
+        let f = TableFeaturizer::fit(&table(), &["label"], 2);
+        assert_eq!(f.width(), 2 + 2 + 1);
+    }
+
+    #[test]
+    fn transform_onehot_and_standardize() {
+        let t = table();
+        let f = TableFeaturizer::fit(&t, &["label", "id"], 30);
+        let x = f.transform(&t);
+        assert_eq!(x.cols(), 4); // 3 cities + amount
+        // Exactly one city bit set per row.
+        for r in 0..10 {
+            let bits: f64 = x.row(r)[..3].iter().sum();
+            assert_eq!(bits, 1.0);
+        }
+        // Standardized numeric column has ~zero mean.
+        let mean: f64 = (0..10).map(|r| x[(r, 3)]).sum::<f64>() / 10.0;
+        assert!(mean.abs() < 1e-9);
+    }
+
+    #[test]
+    fn unseen_categories_are_zero() {
+        let t = table();
+        let f = TableFeaturizer::fit(&t, &["label", "id", "amount"], 30);
+        let mut test = Table::new("t", vec!["id", "city", "amount", "label"]);
+        test.push_row(vec!["idx".into(), "tokyo".into(), Value::Float(0.0), Value::Int(0)])
+            .unwrap();
+        let x = f.transform(&test);
+        assert!(x.row(0).iter().all(|&v| v == 0.0));
+    }
+
+    #[test]
+    fn missing_column_contributes_zeros() {
+        let t = table();
+        let f = TableFeaturizer::fit(&t, &["label"], 30);
+        let mut partial = Table::new("t", vec!["city"]);
+        partial.push_row(vec!["nyc".into()]).unwrap();
+        let x = f.transform(&partial);
+        assert_eq!(x.cols(), f.width());
+        assert_eq!(x.row(0).iter().filter(|&&v| v != 0.0).count(), 1);
+    }
+
+    #[test]
+    fn target_vectors() {
+        let t = table();
+        let (y, k) = target_vector(&t, "label", true);
+        assert_eq!(k, 2);
+        assert_eq!(y[0], 0.0);
+        assert_eq!(y[1], 1.0);
+        let (yr, kr) = target_vector(&t, "amount", false);
+        assert_eq!(kr, 1);
+        assert_eq!(yr[3], 30.0);
+    }
+}

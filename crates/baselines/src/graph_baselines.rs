@@ -1,0 +1,273 @@
+//! Graph-embedding baselines (Table 5):
+//!
+//! * **Node2Vec**: Leva's syntactic graph *without* refinement or weighting
+//!   (θ_range disabled, θ_min = 0, unweighted), embedded with biased
+//!   second-order walks + SGNS.
+//! * **EmbDI-style**: the tripartite cell/row/column graph of Cappuzzo et
+//!   al. (SIGMOD'20), embedded with uniform walks + SGNS.
+
+use crate::util::mean_token_features;
+use leva_embedding::{
+    node2vec_walks, train_sgns, Corpus, EmbeddingStore, Node2VecConfig, SgnsConfig,
+};
+use leva_graph::{build_graph, GraphConfig};
+use leva_linalg::Matrix;
+use leva_relational::{Database, Table};
+use leva_textify::{textify, TextifyConfig, TokenizedDatabase};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+/// A fitted graph baseline (Node2Vec or EmbDI flavour).
+pub struct GraphBaseline {
+    store: EmbeddingStore,
+    tokenized: TokenizedDatabase,
+    base_table: String,
+    base_index: usize,
+}
+
+impl GraphBaseline {
+    /// Node2Vec over the unrefined, unweighted syntactic graph.
+    pub fn node2vec(
+        db: &Database,
+        base_table: &str,
+        target_column: Option<&str>,
+        n2v: &Node2VecConfig,
+        sgns: &SgnsConfig,
+    ) -> GraphBaseline {
+        let (working, base_index) = strip_target(db, base_table, target_column);
+        let tokenized = textify(&working, &TextifyConfig::default());
+        // No refinement: θ_range > 1 disables missing-data removal, θ_min=0
+        // keeps every attribute association, and edges are unweighted.
+        let graph = build_graph(
+            &tokenized,
+            &GraphConfig { theta_range: 2.0, theta_min: 0.0, weighted: false },
+        );
+        let corpus = node2vec_walks(&graph, n2v);
+        let store = train_sgns(&corpus, sgns).into_store(&corpus, sgns.dim);
+        GraphBaseline { store, tokenized, base_table: base_table.to_owned(), base_index }
+    }
+
+    /// EmbDI-style tripartite graph + uniform walks.
+    pub fn embdi(
+        db: &Database,
+        base_table: &str,
+        target_column: Option<&str>,
+        walk_length: usize,
+        walks_per_node: usize,
+        sgns: &SgnsConfig,
+        seed: u64,
+    ) -> GraphBaseline {
+        Self::embdi_with_textify(
+            db,
+            base_table,
+            target_column,
+            walk_length,
+            walks_per_node,
+            sgns,
+            seed,
+            &TextifyConfig::default(),
+        )
+    }
+
+    /// EmbDI with an explicit textification config — the Table 8 "EmbDI-F"
+    /// variant enables multi-word splitting (input transformation), the
+    /// "EmbDI-S" variant does not.
+    #[allow(clippy::too_many_arguments)]
+    pub fn embdi_with_textify(
+        db: &Database,
+        base_table: &str,
+        target_column: Option<&str>,
+        walk_length: usize,
+        walks_per_node: usize,
+        sgns: &SgnsConfig,
+        seed: u64,
+        textify_cfg: &TextifyConfig,
+    ) -> GraphBaseline {
+        let (working, base_index) = strip_target(db, base_table, target_column);
+        let tokenized = textify(&working, textify_cfg);
+        let corpus = embdi_walks(&tokenized, walk_length, walks_per_node, seed);
+        let store = train_sgns(&corpus, sgns).into_store(&corpus, sgns.dim);
+        GraphBaseline { store, tokenized, base_table: base_table.to_owned(), base_index }
+    }
+
+    /// The embedding of row `idx` of `table`, if present.
+    pub fn row_embedding(&self, table: &str, idx: usize) -> Option<&[f64]> {
+        self.store.get(&format!("row::{table}::{idx}"))
+    }
+
+    /// The trained store.
+    pub fn store(&self) -> &EmbeddingStore {
+        &self.store
+    }
+
+    /// Featurizes the training base rows from their row-node embeddings.
+    pub fn featurize_base(&self) -> Matrix {
+        let rows = self.tokenized.tables[self.base_index].rows.len();
+        let dim = self.store.dim();
+        let mut out = Matrix::zeros(rows, dim);
+        for r in 0..rows {
+            let name = format!("row::{}::{}", self.base_table, r);
+            if let Some(emb) = self.store.get(&name) {
+                out.row_mut(r).copy_from_slice(emb);
+            }
+        }
+        out
+    }
+
+    /// Featurizes external rows as mean token embeddings.
+    pub fn featurize_external(&self, table: &Table) -> Matrix {
+        mean_token_features(&self.store, &self.tokenized, &self.base_table, table)
+    }
+}
+
+fn strip_target(db: &Database, base_table: &str, target: Option<&str>) -> (Database, usize) {
+    let mut working = db.clone();
+    if let Some(t) = target {
+        let table = working.table_mut(base_table).expect("base exists");
+        let _ = table.remove_column(t);
+    }
+    let idx = working
+        .tables()
+        .iter()
+        .position(|t| t.name() == base_table)
+        .expect("base exists");
+    (working, idx)
+}
+
+/// Builds EmbDI's tripartite graph — cell-value nodes linked to both their
+/// row (RID) node and their column (CID) node — and walks it uniformly.
+/// Sentences therefore interleave value, row, and column tokens, as in the
+/// reference implementation.
+fn embdi_walks(
+    tokenized: &TokenizedDatabase,
+    walk_length: usize,
+    walks_per_node: usize,
+    seed: u64,
+) -> Corpus {
+    use std::collections::HashMap;
+    // Node ids: rows first, then columns, then values (interned).
+    let mut names: Vec<String> = Vec::new();
+    let mut adj: Vec<Vec<u32>> = Vec::new();
+    let push_node = |names: &mut Vec<String>, adj: &mut Vec<Vec<u32>>, name: String| -> u32 {
+        names.push(name);
+        adj.push(Vec::new());
+        (names.len() - 1) as u32
+    };
+    let mut value_ids: HashMap<String, u32> = HashMap::new();
+    let mut column_ids: HashMap<u32, u32> = HashMap::new(); // attr -> node
+
+    // Row nodes.
+    let mut row_node: HashMap<(usize, usize), u32> = HashMap::new();
+    for (ti, t) in tokenized.tables.iter().enumerate() {
+        for ri in 0..t.rows.len() {
+            let id = push_node(&mut names, &mut adj, format!("row::{}::{ri}", t.name));
+            row_node.insert((ti, ri), id);
+        }
+    }
+    // Column nodes per attribute.
+    for (attr, name) in tokenized.attributes.iter().enumerate() {
+        let id = push_node(&mut names, &mut adj, format!("col::{name}"));
+        column_ids.insert(attr as u32, id);
+    }
+    // Value nodes and edges.
+    for (ti, t) in tokenized.tables.iter().enumerate() {
+        for (ri, row) in t.rows.iter().enumerate() {
+            let rid = row_node[&(ti, ri)];
+            for occ in &row.tokens {
+                let vid = match value_ids.get(occ.token.as_str()) {
+                    Some(&id) => id,
+                    None => {
+                        let id = push_node(&mut names, &mut adj, occ.token.clone());
+                        value_ids.insert(occ.token.clone(), id);
+                        id
+                    }
+                };
+                let cid = column_ids[&occ.attr];
+                adj[vid as usize].push(rid);
+                adj[rid as usize].push(vid);
+                adj[vid as usize].push(cid);
+                adj[cid as usize].push(vid);
+            }
+        }
+    }
+
+    let n = names.len();
+    let mut rng = StdRng::seed_from_u64(seed);
+    let mut sequences = Vec::with_capacity(n * walks_per_node);
+    for _ in 0..walks_per_node {
+        for start in 0..n as u32 {
+            let mut seq = Vec::with_capacity(walk_length);
+            let mut current = start;
+            for _ in 0..walk_length {
+                seq.push(current);
+                let nbrs = &adj[current as usize];
+                if nbrs.is_empty() {
+                    break;
+                }
+                current = nbrs[rng.gen_range(0..nbrs.len())];
+            }
+            if seq.len() >= 2 {
+                sequences.push(seq);
+            }
+        }
+    }
+    Corpus { vocab: names, sequences }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use leva_relational::Value;
+
+    fn db() -> Database {
+        let mut db = Database::new();
+        let mut base = Table::new("base", vec!["id", "grp", "target"]);
+        let mut aux = Table::new("aux", vec!["id", "tag"]);
+        for i in 0..20 {
+            base.push_row(vec![
+                format!("e{i}").into(),
+                ["a", "b"][i % 2].into(),
+                Value::Int((i % 2) as i64),
+            ])
+            .unwrap();
+            aux.push_row(vec![format!("e{i}").into(), format!("t{}", i % 3).into()])
+                .unwrap();
+        }
+        db.add_table(base).unwrap();
+        db.add_table(aux).unwrap();
+        db
+    }
+
+    fn sgns() -> SgnsConfig {
+        SgnsConfig { dim: 8, epochs: 2, ..Default::default() }
+    }
+
+    #[test]
+    fn node2vec_baseline_features() {
+        let n2v = Node2VecConfig { walk_length: 15, walks_per_node: 3, ..Default::default() };
+        let b = GraphBaseline::node2vec(&db(), "base", Some("target"), &n2v, &sgns());
+        let x = b.featurize_base();
+        assert_eq!(x.rows(), 20);
+        assert_eq!(x.cols(), 8);
+        assert!(x.row(0).iter().any(|&v| v != 0.0));
+    }
+
+    #[test]
+    fn embdi_baseline_features() {
+        let b = GraphBaseline::embdi(&db(), "base", Some("target"), 15, 3, &sgns(), 7);
+        let x = b.featurize_base();
+        assert_eq!(x.rows(), 20);
+        assert!(x.row(0).iter().any(|&v| v != 0.0));
+        // Column nodes exist in the EmbDI vocabulary.
+        assert!(b.store().contains("col::base.grp"));
+    }
+
+    #[test]
+    fn external_rows_featurized() {
+        let b = GraphBaseline::embdi(&db(), "base", Some("target"), 10, 2, &sgns(), 3);
+        let mut test = Table::new("test", vec!["id", "grp"]);
+        test.push_row(vec!["e5".into(), "b".into()]).unwrap();
+        let x = b.featurize_external(&test);
+        assert!(x.row(0).iter().any(|&v| v != 0.0));
+    }
+}

@@ -1,0 +1,267 @@
+//! Text-sequence embedding baselines (Table 5):
+//!
+//! * **Word2Vec**: textify each row into a token sentence, train SGNS on
+//!   the sentence corpus, and featurize rows as mean token vectors. No
+//!   graph — the paper's sequential baseline.
+//! * **DeepER-style**: the same token vectors composed *attribute-aware*
+//!   (per-attribute means concatenated, then projected back to `dim` with
+//!   PCA), mimicking DeepER's distributed tuple representations.
+
+use crate::util::{mean_token_features, mean_token_features_train};
+use leva_embedding::{train_sgns, Corpus, EmbeddingStore, SgnsConfig};
+use leva_linalg::{Matrix, Pca};
+use leva_relational::{Database, Table};
+use leva_textify::{textify, TextifyConfig, TokenizedDatabase};
+
+/// How tuple vectors are composed from token vectors.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Composition {
+    /// Plain mean over all row tokens (Word2Vec baseline).
+    Mean,
+    /// Per-attribute means concatenated then PCA-projected to `dim`
+    /// (DeepER-style tuple embeddings).
+    AttributeConcat,
+}
+
+/// A fitted text-sequence embedding baseline.
+pub struct TextEmbedding {
+    store: EmbeddingStore,
+    tokenized: TokenizedDatabase,
+    base_table: String,
+    base_index: usize,
+    composition: Composition,
+    /// PCA fitted on the training composition (AttributeConcat only).
+    projector: Option<Pca>,
+    n_base_columns: usize,
+}
+
+impl TextEmbedding {
+    /// Fits the baseline. `target_column` is stripped from the base table
+    /// before training, as with Leva.
+    pub fn fit(
+        db: &Database,
+        base_table: &str,
+        target_column: Option<&str>,
+        composition: Composition,
+        sgns: &SgnsConfig,
+    ) -> TextEmbedding {
+        let mut working = db.clone();
+        if let Some(t) = target_column {
+            let table = working.table_mut(base_table).expect("base exists");
+            let _ = table.remove_column(t);
+        }
+        let tokenized = textify(&working, &TextifyConfig::default());
+        let base_index = working
+            .tables()
+            .iter()
+            .position(|t| t.name() == base_table)
+            .expect("base exists");
+        // One sentence per row.
+        let sentences: Vec<Vec<&str>> = tokenized
+            .tables
+            .iter()
+            .flat_map(|t| {
+                t.rows
+                    .iter()
+                    .map(|r| r.tokens.iter().map(|o| o.token.as_str()).collect())
+            })
+            .collect();
+        let corpus = Corpus::from_sentences(sentences);
+        let store = train_sgns(&corpus, sgns).into_store(&corpus, sgns.dim);
+        let n_base_columns = working.table(base_table).expect("base").column_count();
+        let mut this = TextEmbedding {
+            store,
+            tokenized,
+            base_table: base_table.to_owned(),
+            base_index,
+            composition,
+            projector: None,
+            n_base_columns,
+        };
+        if composition == Composition::AttributeConcat {
+            let wide = this.attribute_concat(working.table(base_table).expect("base"));
+            let pca = Pca::fit(&wide, sgns.dim.min(wide.cols()));
+            this.projector = Some(pca);
+        }
+        this
+    }
+
+    /// The trained token store.
+    pub fn store(&self) -> &EmbeddingStore {
+        &self.store
+    }
+
+    /// Featurizes the (training) base-table rows.
+    pub fn featurize_base(&self) -> Matrix {
+        match self.composition {
+            Composition::Mean => {
+                mean_token_features_train(&self.store, &self.tokenized, self.base_index)
+            }
+            Composition::AttributeConcat => {
+                // Recompose through the encoders so train and test use the
+                // exact same path.
+                let n = self.tokenized.tables[self.base_index].rows.len();
+                let mut by_attr = Matrix::zeros(n, self.n_base_columns * self.store.dim());
+                self.fill_attribute_concat_train(&mut by_attr);
+                self.projector.as_ref().expect("fitted").transform(&by_attr)
+            }
+        }
+    }
+
+    /// Featurizes external rows (same schema as the base table minus the
+    /// target).
+    pub fn featurize_external(&self, table: &Table) -> Matrix {
+        match self.composition {
+            Composition::Mean => {
+                mean_token_features(&self.store, &self.tokenized, &self.base_table, table)
+            }
+            Composition::AttributeConcat => {
+                let wide = self.attribute_concat(table);
+                self.projector.as_ref().expect("fitted").transform(&wide)
+            }
+        }
+    }
+
+    /// Per-attribute mean token vectors, concatenated in base-column order.
+    fn attribute_concat(&self, table: &Table) -> Matrix {
+        let dim = self.store.dim();
+        let mut out = Matrix::zeros(table.row_count(), self.n_base_columns * dim);
+        // Attribute slot by encoder order: use the encoder attr ids of the
+        // base table, remapped to 0..n_base_columns.
+        let mut base_cols: Vec<(&str, u32)> = self
+            .tokenized
+            .encoders
+            .iter()
+            .filter(|((t, _), _)| t == &self.base_table)
+            .map(|((_, c), e)| (c.as_str(), e.attr))
+            .collect();
+        base_cols.sort_by_key(|&(_, attr)| attr);
+        for r in 0..table.row_count() {
+            for (slot, (col, _)) in base_cols.iter().enumerate().take(self.n_base_columns) {
+                let Ok(c_idx) = table.column_index(col) else { continue };
+                let Some(enc) = self.tokenized.encoder(&self.base_table, col) else { continue };
+                let v = table.value(r, c_idx).expect("in bounds");
+                let mut acc = vec![0.0; dim];
+                let mut count = 0usize;
+                for token in enc.encode(v) {
+                    if let Some(emb) = self.store.get(&token) {
+                        for (a, &e) in acc.iter_mut().zip(emb) {
+                            *a += e;
+                        }
+                        count += 1;
+                    }
+                }
+                if count > 0 {
+                    let out_row = out.row_mut(r);
+                    for (i, a) in acc.into_iter().enumerate() {
+                        out_row[slot * dim + i] = a / count as f64;
+                    }
+                }
+            }
+        }
+        out
+    }
+
+    fn fill_attribute_concat_train(&self, out: &mut Matrix) {
+        let dim = self.store.dim();
+        // Map attr id -> slot for base-table encoders.
+        let mut base_attrs: Vec<u32> = self
+            .tokenized
+            .encoders
+            .iter()
+            .filter(|((t, _), _)| t == &self.base_table)
+            .map(|(_, e)| e.attr)
+            .collect();
+        base_attrs.sort_unstable();
+        let slot_of = |attr: u32| base_attrs.iter().position(|&a| a == attr);
+        for (r, row) in self.tokenized.tables[self.base_index].rows.iter().enumerate() {
+            // Group tokens by attribute.
+            let mut acc = vec![(vec![0.0; dim], 0usize); base_attrs.len()];
+            for occ in &row.tokens {
+                let Some(slot) = slot_of(occ.attr) else { continue };
+                if let Some(emb) = self.store.get(&occ.token) {
+                    for (a, &e) in acc[slot].0.iter_mut().zip(emb) {
+                        *a += e;
+                    }
+                    acc[slot].1 += 1;
+                }
+            }
+            let out_row = out.row_mut(r);
+            for (slot, (vec, count)) in acc.into_iter().enumerate() {
+                if count > 0 {
+                    for (i, v) in vec.into_iter().enumerate() {
+                        out_row[slot * dim + i] = v / count as f64;
+                    }
+                }
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use leva_relational::Value;
+
+    fn db() -> Database {
+        let mut db = Database::new();
+        let mut base = Table::new("base", vec!["id", "grp", "target"]);
+        let mut aux = Table::new("aux", vec!["id", "tag"]);
+        for i in 0..24 {
+            base.push_row(vec![
+                format!("e{i}").into(),
+                ["a", "b"][i % 2].into(),
+                Value::Int((i % 2) as i64),
+            ])
+            .unwrap();
+            aux.push_row(vec![format!("e{i}").into(), format!("t{}", i % 3).into()])
+                .unwrap();
+        }
+        db.add_table(base).unwrap();
+        db.add_table(aux).unwrap();
+        db
+    }
+
+    fn sgns() -> SgnsConfig {
+        SgnsConfig { dim: 8, epochs: 2, ..Default::default() }
+    }
+
+    #[test]
+    fn mean_composition_shapes() {
+        let m = TextEmbedding::fit(&db(), "base", Some("target"), Composition::Mean, &sgns());
+        let x = m.featurize_base();
+        assert_eq!(x.rows(), 24);
+        assert_eq!(x.cols(), 8);
+        assert!(x.row(0).iter().any(|&v| v != 0.0));
+    }
+
+    #[test]
+    fn attribute_concat_projects_to_dim() {
+        let m = TextEmbedding::fit(
+            &db(),
+            "base",
+            Some("target"),
+            Composition::AttributeConcat,
+            &sgns(),
+        );
+        let x = m.featurize_base();
+        assert_eq!(x.rows(), 24);
+        assert_eq!(x.cols(), 8);
+    }
+
+    #[test]
+    fn external_featurization_consistent() {
+        let m = TextEmbedding::fit(&db(), "base", Some("target"), Composition::Mean, &sgns());
+        let mut test = Table::new("test", vec!["id", "grp"]);
+        test.push_row(vec!["e3".into(), "a".into()]).unwrap();
+        let x = m.featurize_external(&test);
+        assert_eq!(x.cols(), 8);
+        assert!(x.row(0).iter().any(|&v| v != 0.0));
+    }
+
+    #[test]
+    fn target_is_not_in_vocabulary() {
+        let m = TextEmbedding::fit(&db(), "base", Some("target"), Composition::Mean, &sgns());
+        assert!(!m.store().contains("target#0"));
+    }
+}

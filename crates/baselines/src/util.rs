@@ -1,0 +1,109 @@
+//! Shared helpers for the embedding baselines.
+
+use leva_embedding::EmbeddingStore;
+use leva_linalg::Matrix;
+use leva_relational::Table;
+use leva_textify::TokenizedDatabase;
+
+/// Featurizes arbitrary rows (typically held-out test rows) as the mean of
+/// their token embeddings, using the *training* encoders of the base table.
+/// Tokens absent from the store contribute nothing.
+pub fn mean_token_features(
+    store: &EmbeddingStore,
+    tokenized: &TokenizedDatabase,
+    base_table: &str,
+    table: &Table,
+) -> Matrix {
+    let dim = store.dim();
+    let mut out = Matrix::zeros(table.row_count(), dim);
+    let encoders: Vec<_> = table
+        .column_names()
+        .iter()
+        .map(|c| tokenized.encoder(base_table, c))
+        .collect();
+    for r in 0..table.row_count() {
+        let mut count = 0usize;
+        {
+            let acc = out.row_mut(r);
+            for (c, enc) in encoders.iter().enumerate() {
+                let Some(enc) = enc else { continue };
+                let v = table.value(r, c).expect("in bounds");
+                for token in enc.encode(v) {
+                    if let Some(emb) = store.get(&token) {
+                        for (a, &e) in acc.iter_mut().zip(emb) {
+                            *a += e;
+                        }
+                        count += 1;
+                    }
+                }
+            }
+        }
+        if count > 0 {
+            for a in out.row_mut(r) {
+                *a /= count as f64;
+            }
+        }
+    }
+    out
+}
+
+/// Featurizes the tokenized base-table rows as mean token embeddings using
+/// the already-emitted token streams (training side).
+pub fn mean_token_features_train(
+    store: &EmbeddingStore,
+    tokenized: &TokenizedDatabase,
+    base_index: usize,
+) -> Matrix {
+    let dim = store.dim();
+    let rows = &tokenized.tables[base_index].rows;
+    let mut out = Matrix::zeros(rows.len(), dim);
+    for (r, row) in rows.iter().enumerate() {
+        let mut count = 0usize;
+        {
+            let acc = out.row_mut(r);
+            for occ in &row.tokens {
+                if let Some(emb) = store.get(&occ.token) {
+                    for (a, &e) in acc.iter_mut().zip(emb) {
+                        *a += e;
+                    }
+                    count += 1;
+                }
+            }
+        }
+        if count > 0 {
+            for a in out.row_mut(r) {
+                *a /= count as f64;
+            }
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use leva_relational::Database;
+    use leva_textify::{textify, TextifyConfig};
+
+    #[test]
+    fn mean_features_average_token_vectors() {
+        let mut db = Database::new();
+        let mut t = Table::new("t", vec!["a", "b"]);
+        for i in 0..6 {
+            t.push_row(vec![["x", "y"][i % 2].into(), "z".into()]).unwrap();
+        }
+        db.add_table(t).unwrap();
+        let tok = textify(&db, &TextifyConfig::default());
+        let mut store = EmbeddingStore::new(2);
+        store.insert("x", vec![2.0, 0.0]);
+        store.insert("y", vec![0.0, 2.0]);
+        store.insert("z", vec![0.0, 0.0]);
+        let x = mean_token_features_train(&store, &tok, 0);
+        // Row 0 tokens: x, z -> mean (1, 0).
+        assert_eq!(x.row(0), &[1.0, 0.0]);
+        assert_eq!(x.row(1), &[0.0, 1.0]);
+        // External path matches.
+        let ext = mean_token_features(&store, &tok, "t", db.table("t").unwrap());
+        assert_eq!(ext.row(0), x.row(0));
+    }
+}

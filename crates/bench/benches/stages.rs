@@ -1,0 +1,93 @@
+//! Criterion microbenchmarks of the Leva pipeline stages: textification,
+//! graph construction, proximity-matrix build, randomized SVD, walk
+//! generation, SGNS training, and deployment featurization.
+
+use criterion::{criterion_group, criterion_main, BatchSize, Criterion};
+use leva::{fit, EmbeddingMethod, Featurization, LevaConfig};
+use leva_datasets::{financial, genes};
+use leva_embedding::{
+    generate_walks, proximity_matrix, train_sgns, MfConfig, SgnsConfig, WalkConfig,
+};
+use leva_graph::{build_graph, GraphConfig};
+use leva_linalg::{randomized_svd, RsvdOptions};
+use leva_textify::{textify, TextifyConfig};
+
+fn bench_textify(c: &mut Criterion) {
+    let ds = genes(0.5, 1);
+    c.bench_function("textify/genes_0.5", |b| {
+        b.iter(|| textify(&ds.db, &TextifyConfig::default()))
+    });
+}
+
+fn bench_graph_construction(c: &mut Criterion) {
+    let ds = genes(0.5, 1);
+    let tok = textify(&ds.db, &TextifyConfig::default());
+    c.bench_function("graph/construct_refine_genes_0.5", |b| {
+        b.iter(|| build_graph(&tok, &GraphConfig::default()))
+    });
+}
+
+fn bench_proximity_and_rsvd(c: &mut Criterion) {
+    let ds = genes(0.5, 1);
+    let tok = textify(&ds.db, &TextifyConfig::default());
+    let graph = build_graph(&tok, &GraphConfig::default());
+    c.bench_function("embedding/proximity_matrix", |b| {
+        b.iter(|| proximity_matrix(&graph, 1e-3))
+    });
+    let m = proximity_matrix(&graph, 1e-3);
+    c.bench_function("embedding/randomized_svd_d32", |b| {
+        b.iter(|| {
+            randomized_svd(
+                &m,
+                RsvdOptions { rank: 32, oversample: 8, power_iters: 1, seed: 1 },
+            )
+        })
+    });
+}
+
+fn bench_walks_and_sgns(c: &mut Criterion) {
+    let ds = genes(0.25, 1);
+    let tok = textify(&ds.db, &TextifyConfig::default());
+    let graph = build_graph(&tok, &GraphConfig::default());
+    let walk_cfg = WalkConfig { walk_length: 40, walks_per_node: 3, ..Default::default() };
+    c.bench_function("embedding/walk_generation", |b| {
+        b.iter(|| generate_walks(&graph, &walk_cfg))
+    });
+    let corpus = generate_walks(&graph, &walk_cfg);
+    let sgns_cfg = SgnsConfig { dim: 32, epochs: 1, ..Default::default() };
+    c.bench_function("embedding/sgns_one_epoch_d32", |b| {
+        b.iter(|| train_sgns(&corpus, &sgns_cfg))
+    });
+}
+
+fn bench_end_to_end_mf(c: &mut Criterion) {
+    let ds = financial(0.2, 1);
+    let mut cfg = LevaConfig::fast().with_dim(32);
+    cfg.method = EmbeddingMethod::MatrixFactorization;
+    cfg.mf = MfConfig { dim: 32, ..MfConfig::default() };
+    c.bench_function("pipeline/end_to_end_mf_financial_0.2", |b| {
+        b.iter(|| fit(&ds.db, "loans", Some("status"), &cfg).expect("fit"))
+    });
+}
+
+fn bench_deployment(c: &mut Criterion) {
+    let ds = genes(0.5, 1);
+    let mut cfg = LevaConfig::fast().with_dim(32);
+    cfg.method = EmbeddingMethod::MatrixFactorization;
+    let model = fit(&ds.db, "genes", Some("localization"), &cfg).expect("fit");
+    c.bench_function("deploy/featurize_base_row_plus_value", |b| {
+        b.iter_batched(
+            || (),
+            |()| model.featurize_base(Featurization::RowPlusValue),
+            BatchSize::SmallInput,
+        )
+    });
+}
+
+criterion_group! {
+    name = stages;
+    config = Criterion::default().sample_size(10);
+    targets = bench_textify, bench_graph_construction, bench_proximity_and_rsvd,
+        bench_walks_and_sgns, bench_end_to_end_mf, bench_deployment
+}
+criterion_main!(stages);

@@ -1,0 +1,113 @@
+//! Figure 3: robustness of the embedding to injected noisy attributes.
+//!
+//! Construct ε_clean from the clean STUDENT database and ε_all from a copy
+//! injected with K white-noise attributes per table, then train a mapper
+//! (2-layer NN and linear regression) from ε_all(t) to ε_clean(t) on 80% of
+//! the shared tokens and report R² on the held-out 20%. High R² even at
+//! high noise means the clean information survives inside the noisy
+//! embedding — the paper's "supervision removes nonpredictive information"
+//! argument.
+//!
+//! Usage: `exp_fig3 [--scale S] [--dim D]`
+
+use leva::{fit, EmbeddingMethod, LevaConfig};
+use leva_bench::report::{f3, print_table};
+use leva_datasets::{student, StudentOptions};
+use leva_linalg::Matrix;
+use leva_ml::{r2_score, LinearRegression, Mlp, MlpConfig, Model};
+
+fn main() {
+    let mut scale = 1.0;
+    let mut dim = 48usize;
+    let argv: Vec<String> = std::env::args().collect();
+    let mut i = 1;
+    while i < argv.len() {
+        match argv[i].as_str() {
+            "--scale" => {
+                scale = argv[i + 1].parse().expect("scale");
+                i += 2;
+            }
+            "--dim" => {
+                dim = argv[i + 1].parse().expect("dim");
+                i += 2;
+            }
+            other => panic!("unknown argument {other}"),
+        }
+    }
+
+    // The base table has 3 non-key attributes; noise percentages follow the
+    // paper's x axis (fraction of attributes that are injected noise).
+    let noise_counts = [0usize, 1, 2, 4, 8, 12];
+    println!("# Figure 3 — % noisy attributes vs mapper R² (higher is better)");
+
+    let mut cfg = LevaConfig::fast().with_dim(dim).with_seed(7);
+    cfg.method = EmbeddingMethod::MatrixFactorization;
+    cfg.textify.bin_count = 10; // the paper's Fig. 3 setup uses bin size 10
+
+    let clean_ds = student(&StudentOptions { scale, noise_attributes: 0, seed: 0x57d });
+    let clean = fit(&clean_ds.db, "expenses", Some("total_expenses"), &cfg).expect("fit clean");
+
+    let header: Vec<String> = ["noise attrs", "% noisy", "R2 (NN)", "R2 (linear)"]
+        .iter()
+        .map(|s| s.to_string())
+        .collect();
+    let mut rows = Vec::new();
+    for &k in &noise_counts {
+        let noisy_ds = student(&StudentOptions { scale, noise_attributes: k, seed: 0x57d });
+        let noisy = fit(&noisy_ds.db, "expenses", Some("total_expenses"), &cfg).expect("fit");
+
+        // Shared tokens: every clean-store token also present in the noisy
+        // store (noise only *adds* tokens).
+        let shared: Vec<&str> = clean
+            .store
+            .sorted_tokens()
+            .into_iter()
+            .filter(|t| noisy.store.contains(t))
+            .collect();
+        let n = shared.len();
+        let split = (n as f64 * 0.8) as usize;
+        let build = |tokens: &[&str], store: &leva::LevaModel| {
+            let mut m = Matrix::zeros(tokens.len(), dim);
+            for (i, t) in tokens.iter().enumerate() {
+                m.row_mut(i).copy_from_slice(store.store.get(t).expect("shared token"));
+            }
+            m
+        };
+        let x_train = build(&shared[..split], &noisy);
+        let x_test = build(&shared[split..], &noisy);
+        let y_train = build(&shared[..split], &clean);
+        let y_test = build(&shared[split..], &clean);
+
+        // Multi-output mapping: train one model per output dimension and
+        // pool the R² over all held-out entries.
+        let r2_of = |mk: &dyn Fn() -> Box<dyn Model>| {
+            let mut all_true = Vec::new();
+            let mut all_pred = Vec::new();
+            for d in 0..dim {
+                let yt: Vec<f64> = (0..split).map(|r| y_train[(r, d)]).collect();
+                let ye: Vec<f64> = (0..y_test.rows()).map(|r| y_test[(r, d)]).collect();
+                let mut model = mk();
+                model.fit(&x_train, &yt);
+                let pred = model.predict(&x_test);
+                all_true.extend(ye);
+                all_pred.extend(pred);
+            }
+            r2_score(&all_true, &all_pred)
+        };
+        let r2_nn = r2_of(&|| {
+            Box::new(Mlp::regressor(MlpConfig { hidden: 64, epochs: 150, ..Default::default() }))
+        });
+        let r2_lin = r2_of(&|| Box::new(LinearRegression::new(1e-4)));
+        let total_attrs = 4 + k; // per-table attribute count of the base
+        let pct_noise = 100.0 * k as f64 / total_attrs as f64;
+        println!(
+            "[fig3] k={k} ({pct_noise:.0}% noisy) shared_tokens={n} R2_nn={r2_nn:.3} R2_lin={r2_lin:.3}"
+        );
+        rows.push(vec![k.to_string(), format!("{pct_noise:.0}"), f3(r2_nn), f3(r2_lin)]);
+    }
+    print_table("Fig 3 — noise robustness of the embedding", &header, &rows);
+    println!(
+        "\nPaper shape: R² stays high as noise grows; the NN mapper degrades \
+         more slowly than the linear mapper."
+    );
+}

@@ -1,0 +1,92 @@
+//! Figure 4: classification accuracy on Genes/Kraken/FTP/Financial for
+//! {Base, Full, Full+FE, Disc, Emb MF, Emb RW} × {RF, LR-EN, NN}, plus the
+//! Max-Reported oracle.
+//!
+//! Usage: `exp_fig4 [--scale S] [--seed N] [--datasets a,b] [--grid]`
+
+use leva_bench::protocol::{eval_model, oracle_metric, prepare, Approach, EvalOptions, ModelKind};
+use leva_bench::report::{pct, print_table};
+use leva_datasets::by_name;
+
+fn main() {
+    let args = parse_args();
+    let datasets = args.datasets.clone();
+    let approaches = [
+        Approach::Base,
+        Approach::Disc,
+        Approach::Full,
+        Approach::FullFe,
+        Approach::EmbMf,
+        Approach::EmbRw,
+    ];
+    let models = [ModelKind::RandomForest, ModelKind::LogisticEn, ModelKind::Mlp];
+
+    println!("# Figure 4 — classification accuracy (higher is better)");
+    println!("# scale={} seed={} grid={}", args.scale, args.opts.seed, args.opts.grid);
+    for model in models {
+        let header: Vec<String> = std::iter::once("dataset".to_owned())
+            .chain(approaches.iter().map(|a| a.label().to_owned()))
+            .chain(std::iter::once("Max".to_owned()))
+            .collect();
+        let mut rows = Vec::new();
+        for name in &datasets {
+            let ds = by_name(name, args.scale, args.opts.seed ^ 0xd5)
+                .unwrap_or_else(|| panic!("unknown dataset {name}"));
+            let mut cells = vec![name.clone()];
+            for &a in &approaches {
+                let prep = prepare(&ds, a, &args.opts);
+                let acc = eval_model(&prep, model, &args.opts);
+                cells.push(pct(acc));
+                eprintln!("[fig4] {name} {} {} -> {:.3}", a.label(), model.label(), acc);
+            }
+            cells.push(pct(oracle_metric(&ds)));
+            rows.push(cells);
+        }
+        print_table(&format!("Fig 4 — model {}", model.label()), &header, &rows);
+    }
+    println!(
+        "\nPaper shape: Base < Disc <= Full <= Full+FE; Emb MF/RW within ~5% of Full+FE, \
+         sometimes above Full; all below Max."
+    );
+}
+
+struct Args {
+    scale: f64,
+    datasets: Vec<String>,
+    opts: EvalOptions,
+}
+
+fn parse_args() -> Args {
+    let mut scale = 0.5;
+    let mut datasets: Vec<String> =
+        ["genes", "kraken", "ftp", "financial"].iter().map(|s| s.to_string()).collect();
+    let mut opts = EvalOptions::default();
+    let argv: Vec<String> = std::env::args().collect();
+    let mut i = 1;
+    while i < argv.len() {
+        match argv[i].as_str() {
+            "--scale" => {
+                scale = argv[i + 1].parse().expect("scale");
+                i += 2;
+            }
+            "--seed" => {
+                opts.seed = argv[i + 1].parse().expect("seed");
+                i += 2;
+            }
+            "--datasets" => {
+                datasets = argv[i + 1].split(',').map(str::to_owned).collect();
+                i += 2;
+            }
+            "--grid" => {
+                opts.grid = true;
+                i += 1;
+            }
+            "--dim" => {
+                opts.dim = argv[i + 1].parse().expect("dim");
+                i += 2;
+            }
+            other => panic!("unknown argument {other}"),
+        }
+    }
+    Args { scale, datasets, opts }
+}

@@ -1,0 +1,93 @@
+//! Figure 7a: scalability — embedding-construction runtime and memory as
+//! the dataset is replicated K times (rows *and* vocabulary grow linearly).
+//! Compares EmbDI, Leva-RW, and Leva-MF, as in the paper.
+//!
+//! Usage: `exp_fig7a [--max-k K] [--rows N]`
+
+use leva::{fit, EmbeddingMethod};
+use leva_bench::protocol::{leva_config, EvalOptions};
+use leva_bench::report::print_table;
+use leva_baselines::GraphBaseline;
+use leva_datasets::{replicate, scalability_base};
+use leva_embedding::SgnsConfig;
+use std::time::Instant;
+
+fn main() {
+    let mut max_k = 8usize;
+    let mut rows = 600usize;
+    let argv: Vec<String> = std::env::args().collect();
+    let mut i = 1;
+    while i < argv.len() {
+        match argv[i].as_str() {
+            "--max-k" => {
+                max_k = argv[i + 1].parse().expect("k");
+                i += 2;
+            }
+            "--rows" => {
+                rows = argv[i + 1].parse().expect("rows");
+                i += 2;
+            }
+            other => panic!("unknown argument {other}"),
+        }
+    }
+    let opts = EvalOptions { dim: 100, ..Default::default() };
+    let base = scalability_base(rows, 0x5ca1e);
+    let ks: Vec<usize> = [1usize, 2, 4, 8, 16, 32]
+        .into_iter()
+        .filter(|&k| k <= max_k)
+        .collect();
+
+    println!("# Figure 7a — scalability vs replication factor K (base {rows} rows)");
+    let header: Vec<String> = [
+        "K", "rows", "EmbDI time", "Leva RW time", "Leva MF time", "MF est MB", "RW est MB",
+    ]
+    .iter()
+    .map(|s| s.to_string())
+    .collect();
+    let mut table_rows = Vec::new();
+    for &k in &ks {
+        let db = replicate(&base, k);
+        let total_rows = db.total_rows();
+
+        // EmbDI: tripartite graph + walks + SGNS.
+        let t0 = Instant::now();
+        let sgns = SgnsConfig { dim: opts.dim, epochs: 2, threads: opts.threads, ..Default::default() };
+        let base_table = db.tables()[0].name().to_owned();
+        let _embdi = GraphBaseline::embdi(&db, &base_table, None, 40, 4, &sgns, 1);
+        let embdi_time = t0.elapsed();
+
+        // Leva RW.
+        let mut cfg = leva_config(&opts, EmbeddingMethod::RandomWalk);
+        cfg.walks.walks_per_node = 4;
+        cfg.walks.walk_length = 40;
+        cfg.sgns.epochs = 2;
+        let t0 = Instant::now();
+        let rw_model = fit(&db, &base_table, None, &cfg).expect("fit rw");
+        let rw_time = t0.elapsed();
+
+        // Leva MF.
+        let cfg = leva_config(&opts, EmbeddingMethod::MatrixFactorization);
+        let t0 = Instant::now();
+        let mf_model = fit(&db, &base_table, None, &cfg).expect("fit mf");
+        let mf_time = t0.elapsed();
+
+        let mb = |b: usize| format!("{:.1}", b as f64 / (1024.0 * 1024.0));
+        eprintln!(
+            "[fig7a] K={k} rows={total_rows} embdi={embdi_time:.2?} rw={rw_time:.2?} mf={mf_time:.2?}"
+        );
+        table_rows.push(vec![
+            k.to_string(),
+            total_rows.to_string(),
+            format!("{embdi_time:.2?}"),
+            format!("{rw_time:.2?}"),
+            format!("{mf_time:.2?}"),
+            mb(mf_model.memory.mf_bytes),
+            mb(rw_model.memory.rw_bytes),
+        ]);
+    }
+    print_table("Fig 7a — scalability", &header, &table_rows);
+    println!(
+        "\nPaper shape: walk-based methods (EmbDI, Leva RW) are roughly an order of \
+         magnitude slower than Leva MF; RW needs ~half the memory of MF."
+    );
+}

@@ -1,0 +1,135 @@
+//! Table 3: the clustering-effect microbenchmark — percentile L1 distances
+//! between node embeddings for rows of the *same entity* vs randomly
+//! selected rows, and the ratio of the two medians.
+//!
+//! Within each group 5 rows are sampled and the median pairwise L1 distance
+//! recorded; the distribution of such medians over many entities is then
+//! summarized at the 50th and 90th percentiles, exactly as in the paper.
+//!
+//! Usage: `exp_table3 [--scale S] [--entities N]`
+
+use leva::{fit, EmbeddingMethod};
+use leva_bench::protocol::{leva_config, EvalOptions};
+use leva_bench::report::{f3, print_table};
+use leva_datasets::by_name;
+use leva_linalg::l1_distance;
+use leva_relational::quantile;
+use rand::rngs::StdRng;
+use rand::seq::SliceRandom;
+use rand::{Rng, SeedableRng};
+
+fn main() {
+    let mut scale = 0.5;
+    let mut n_entities = 500usize;
+    let argv: Vec<String> = std::env::args().collect();
+    let mut i = 1;
+    while i < argv.len() {
+        match argv[i].as_str() {
+            "--scale" => {
+                scale = argv[i + 1].parse().expect("scale");
+                i += 2;
+            }
+            "--entities" => {
+                n_entities = argv[i + 1].parse().expect("entities");
+                i += 2;
+            }
+            other => panic!("unknown argument {other}"),
+        }
+    }
+    let opts = EvalOptions::default();
+
+    println!("# Table 3 — percentile L1 distances: within-entity vs random row groups");
+    let header: Vec<String> = [
+        "dataset", "method", "within p50", "within p90", "random p50", "random p90",
+        "ratio p50",
+    ]
+    .iter()
+    .map(|s| s.to_string())
+    .collect();
+    let mut rows = Vec::new();
+    for dataset in ["genes", "bio", "financial"] {
+        let ds = by_name(dataset, scale, opts.seed ^ 0xd5).expect("dataset");
+        let groups = ds.entity_groups(2);
+        for (label, method) in [
+            ("RW", EmbeddingMethod::RandomWalk),
+            ("MF", EmbeddingMethod::MatrixFactorization),
+        ] {
+            let cfg = leva_config(&opts, method);
+            let model = fit(&ds.db, &ds.base_table, Some(&ds.target_column), &cfg).expect("fit");
+            let emb = |t: usize, r: usize| model.row_embedding(t, r);
+            let mut rng = StdRng::seed_from_u64(opts.seed ^ 0x7ab1e3);
+
+            // Within-entity medians.
+            let mut within = Vec::new();
+            let mut shuffled = groups.clone();
+            shuffled.shuffle(&mut rng);
+            for group in shuffled.iter().take(n_entities) {
+                let mut sample = group.clone();
+                sample.shuffle(&mut rng);
+                sample.truncate(5);
+                if let Some(m) = median_pairwise(&sample, &emb) {
+                    within.push(m);
+                }
+            }
+
+            // Random groups from the full row pool.
+            let pool: Vec<(usize, usize)> = ds
+                .db
+                .tables()
+                .iter()
+                .enumerate()
+                .flat_map(|(t, tab)| (0..tab.row_count()).map(move |r| (t, r)))
+                .collect();
+            let mut random = Vec::new();
+            for _ in 0..within.len().max(1) {
+                let sample: Vec<(usize, usize)> =
+                    (0..5).map(|_| pool[rng.gen_range(0..pool.len())]).collect();
+                if let Some(m) = median_pairwise(&sample, &emb) {
+                    random.push(m);
+                }
+            }
+
+            let q = |v: &[f64], p: f64| quantile(v, p).unwrap_or(0.0);
+            let w50 = q(&within, 0.5);
+            let w90 = q(&within, 0.9);
+            let r50 = q(&random, 0.5);
+            let r90 = q(&random, 0.9);
+            let ratio = if r50 > 0.0 { w50 / r50 } else { 0.0 };
+            eprintln!(
+                "[table3] {dataset} {label}: within p50={w50:.3} p90={w90:.3} random p50={r50:.3} ratio={ratio:.2}"
+            );
+            rows.push(vec![
+                dataset.to_owned(),
+                label.to_owned(),
+                f3(w50),
+                f3(w90),
+                f3(r50),
+                f3(r90),
+                f3(ratio),
+            ]);
+        }
+    }
+    print_table("Table 3 — clustering effect", &header, &rows);
+    println!(
+        "\nPaper shape: within-entity distances are smaller than random distances \
+         (median ratio < 1) for both methods on all datasets."
+    );
+}
+
+/// Median pairwise L1 distance within a sampled group of rows.
+fn median_pairwise<'a, F: Fn(usize, usize) -> Option<&'a [f64]>>(
+    sample: &[(usize, usize)],
+    emb: &F,
+) -> Option<f64> {
+    let vecs: Vec<&[f64]> = sample.iter().filter_map(|&(t, r)| emb(t, r)).collect();
+    if vecs.len() < 2 {
+        return None;
+    }
+    let mut dists = Vec::new();
+    for i in 0..vecs.len() {
+        for j in (i + 1)..vecs.len() {
+            dists.push(l1_distance(vecs[i], vecs[j]));
+        }
+    }
+    quantile(&dists, 0.5)
+}

@@ -1,0 +1,129 @@
+//! Table 6: deployment-strategy ablation — accuracy delta (in points) of
+//! Row+Value featurization over Row-only, with and without model
+//! regularization (min-samples-per-leaf for RF, L1 for LR, dropout for NN).
+//!
+//! Usage: `exp_table6 [--scale S]`
+
+use leva::Featurization;
+use leva_bench::protocol::{prepare, Approach, EvalOptions, Prepared};
+use leva_bench::report::print_table;
+use leva_datasets::by_name;
+use leva_ml::{
+    accuracy, ForestConfig, LogisticRegression, Mlp, MlpConfig, Model, RandomForest,
+    Standardizer, Task, TreeConfig,
+};
+
+fn main() {
+    let mut scale = 0.5;
+    let argv: Vec<String> = std::env::args().collect();
+    let mut i = 1;
+    while i < argv.len() {
+        match argv[i].as_str() {
+            "--scale" => {
+                scale = argv[i + 1].parse().expect("scale");
+                i += 2;
+            }
+            other => panic!("unknown argument {other}"),
+        }
+    }
+
+    println!("# Table 6 — deployment ablation: Row+Value minus Row (accuracy points)");
+    let header: Vec<String> = ["config", "R+V no reg", "R+V with reg"]
+        .iter()
+        .map(|s| s.to_string())
+        .collect();
+    let mut rows = Vec::new();
+    for dataset in ["genes", "ftp"] {
+        let ds = by_name(dataset, scale, 0xe7a1 ^ 0xd5).expect("dataset");
+        let row_opts = EvalOptions {
+            featurization: Featurization::RowOnly,
+            ..Default::default()
+        };
+        let rv_opts = EvalOptions {
+            featurization: Featurization::RowPlusValue,
+            ..Default::default()
+        };
+        let prep_row = prepare(&ds, Approach::EmbMf, &row_opts);
+        let prep_rv = prepare(&ds, Approach::EmbMf, &rv_opts);
+        let n_classes = prep_row.task.n_classes_or(2);
+
+        for (model_label, regularized) in
+            [("RF", false), ("RF", true), ("LR", false), ("LR", true), ("NN", false), ("NN", true)]
+        {
+            // Evaluate Row baseline (unregularized) once per model family.
+            if regularized {
+                continue;
+            }
+            let base_acc = run(&prep_row, model_label, false, n_classes);
+            let no_reg = run(&prep_rv, model_label, false, n_classes);
+            let with_reg = run(&prep_rv, model_label, true, n_classes);
+            eprintln!(
+                "[table6] {dataset} {model_label}: row={base_acc:.3} rv={no_reg:.3} rv_reg={with_reg:.3}"
+            );
+            rows.push(vec![
+                format!("{dataset}, {model_label}"),
+                format!("{:+.2}", (no_reg - base_acc) * 100.0),
+                format!("{:+.2}", (with_reg - base_acc) * 100.0),
+            ]);
+        }
+    }
+    print_table("Table 6 — Row+Value vs Row", &header, &rows);
+    println!(
+        "\nPaper shape: Row+Value with regularization beats Row+Value without it in \
+         every configuration, and beats Row-only in most."
+    );
+}
+
+trait TaskExt {
+    fn n_classes_or(&self, default: usize) -> usize;
+}
+
+impl TaskExt for Task {
+    fn n_classes_or(&self, default: usize) -> usize {
+        match self {
+            Task::Classification { n_classes } => *n_classes,
+            Task::Regression => default,
+        }
+    }
+}
+
+fn run(prep: &Prepared, model: &str, regularized: bool, n_classes: usize) -> f64 {
+    let needs_standardize = model != "RF";
+    let (x_train, x_test) = if needs_standardize {
+        let s = Standardizer::fit(&prep.x_train);
+        (s.transform(&prep.x_train), s.transform(&prep.x_test))
+    } else {
+        (prep.x_train.clone(), prep.x_test.clone())
+    };
+    let mut m: Box<dyn Model> = match model {
+        "RF" => Box::new(RandomForest::classifier(
+            n_classes,
+            ForestConfig {
+                n_trees: 40,
+                tree: TreeConfig {
+                    min_samples_leaf: if regularized { 5 } else { 1 },
+                    ..Default::default()
+                },
+                ..Default::default()
+            },
+        )),
+        "LR" => Box::new(LogisticRegression::new(
+            n_classes,
+            if regularized { 1e-2 } else { 1e-6 },
+            if regularized { 0.7 } else { 0.0 },
+        )),
+        "NN" => Box::new(Mlp::classifier(
+            n_classes,
+            MlpConfig {
+                hidden: 64,
+                epochs: 40,
+                dropout: if regularized { 0.25 } else { 0.0 },
+                weight_decay: if regularized { 1e-4 } else { 0.0 },
+                ..Default::default()
+            },
+        )),
+        _ => unreachable!("unknown model"),
+    };
+    m.fit(&x_train, &prep.y_train);
+    accuracy(&prep.y_test, &m.predict(&x_test))
+}

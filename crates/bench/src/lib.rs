@@ -1,0 +1,17 @@
+//! # leva-bench
+//!
+//! The benchmark harness that regenerates every table and figure of the
+//! Leva paper's evaluation (see DESIGN.md §3 for the experiment index and
+//! EXPERIMENTS.md for recorded paper-vs-measured results). The shared
+//! [`protocol`] module implements the common split/featurize/train/score
+//! pipeline; each `src/bin/exp_*.rs` binary reproduces one table or figure.
+
+#![warn(missing_docs)]
+
+pub mod protocol;
+pub mod report;
+
+pub use protocol::{
+    eval_model, leva_config, oracle_metric, prepare, split_indices, task_of, Approach,
+    EvalOptions, ModelKind, Prepared,
+};

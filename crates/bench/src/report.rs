@@ -1,0 +1,58 @@
+//! Small table-printing helpers shared by the experiment binaries.
+
+/// Prints a markdown-style table: header row plus aligned value rows.
+pub fn print_table(title: &str, header: &[String], rows: &[Vec<String>]) {
+    println!("\n== {title} ==");
+    let mut widths: Vec<usize> = header.iter().map(String::len).collect();
+    for row in rows {
+        for (w, cell) in widths.iter_mut().zip(row) {
+            *w = (*w).max(cell.len());
+        }
+    }
+    let fmt_row = |cells: &[String]| {
+        let padded: Vec<String> = cells
+            .iter()
+            .zip(&widths)
+            .map(|(c, w)| format!("{c:>w$}", w = w))
+            .collect();
+        format!("| {} |", padded.join(" | "))
+    };
+    println!("{}", fmt_row(header));
+    println!(
+        "|{}|",
+        widths.iter().map(|w| "-".repeat(w + 2)).collect::<Vec<_>>().join("|")
+    );
+    for row in rows {
+        println!("{}", fmt_row(row));
+    }
+}
+
+/// Formats a float with 3 decimals.
+pub fn f3(v: f64) -> String {
+    format!("{v:.3}")
+}
+
+/// Formats a percentage with 1 decimal.
+pub fn pct(v: f64) -> String {
+    format!("{:.1}", v * 100.0)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn formatting() {
+        assert_eq!(f3(1.23456), "1.235");
+        assert_eq!(pct(0.756), "75.6");
+    }
+
+    #[test]
+    fn print_table_does_not_panic() {
+        print_table(
+            "t",
+            &["a".into(), "b".into()],
+            &[vec!["1".into(), "2".into()]],
+        );
+    }
+}

@@ -1,0 +1,137 @@
+//! Leva configuration (Table 2 of the paper): every stage's parameters with
+//! the paper's defaults, so `LevaConfig::default()` reproduces the system
+//! as evaluated.
+
+use leva_embedding::{MfConfig, SgnsConfig, WalkConfig};
+use leva_graph::GraphConfig;
+use leva_textify::TextifyConfig;
+
+/// How the base table is featurized from the embedding (§4.4).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Featurization {
+    /// Row-node embeddings only.
+    RowOnly,
+    /// Row-node embeddings concatenated with the mean of the incident
+    /// value-node embeddings (the paper's default, "Row + Value").
+    RowPlusValue,
+}
+
+/// Which embedding method to run.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum EmbeddingMethod {
+    /// Always matrix factorization.
+    MatrixFactorization,
+    /// Always random walks + SGNS.
+    RandomWalk,
+    /// Pick by estimated memory: MF when the estimate fits the budget,
+    /// RW otherwise (§4.2 "Why Two Methods?").
+    Auto {
+        /// Memory budget in bytes for the embedding stage.
+        memory_budget_bytes: usize,
+    },
+}
+
+/// Full pipeline configuration.
+#[derive(Debug, Clone)]
+pub struct LevaConfig {
+    /// Embedding dimensionality (Table 2 default: 100).
+    pub dim: usize,
+    /// Textification parameters (bin size 50, kurtosis histograms).
+    pub textify: TextifyConfig,
+    /// Graph construction/refinement (θ_range 50%, θ_min 5%, weighted).
+    pub graph: GraphConfig,
+    /// Embedding method selection.
+    pub method: EmbeddingMethod,
+    /// Matrix-factorization parameters.
+    pub mf: MfConfig,
+    /// Random-walk generation parameters.
+    pub walks: WalkConfig,
+    /// SGNS training parameters.
+    pub sgns: SgnsConfig,
+    /// Featurization strategy (Table 2 default: Row + Value).
+    pub featurization: Featurization,
+    /// Master seed (propagated to every stochastic stage).
+    pub seed: u64,
+}
+
+impl Default for LevaConfig {
+    fn default() -> Self {
+        let dim = 100;
+        Self {
+            dim,
+            textify: TextifyConfig::default(),
+            graph: GraphConfig::default(),
+            method: EmbeddingMethod::Auto { memory_budget_bytes: 2 * 1024 * 1024 * 1024 },
+            mf: MfConfig { dim, ..MfConfig::default() },
+            walks: WalkConfig::default(),
+            sgns: SgnsConfig { dim, ..SgnsConfig::default() },
+            featurization: Featurization::RowPlusValue,
+            seed: 0x1e7a,
+        }
+    }
+}
+
+impl LevaConfig {
+    /// A configuration sized for fast experimentation: smaller embeddings,
+    /// fewer walks, fewer SGNS epochs. Used by tests and quick examples.
+    pub fn fast() -> Self {
+        let dim = 32;
+        Self {
+            dim,
+            mf: MfConfig { dim, oversample: 6, power_iters: 1, ..MfConfig::default() },
+            walks: WalkConfig { walk_length: 40, walks_per_node: 5, ..WalkConfig::default() },
+            sgns: SgnsConfig { dim, epochs: 3, window: 5, ..SgnsConfig::default() },
+            ..Self::default()
+        }
+        .with_dim(dim)
+    }
+
+    /// Returns a copy with the embedding dimension set everywhere it
+    /// matters (MF rank, SGNS dim).
+    pub fn with_dim(mut self, dim: usize) -> Self {
+        self.dim = dim;
+        self.mf.dim = dim;
+        self.sgns.dim = dim;
+        self
+    }
+
+    /// Returns a copy with the master seed applied to all stages.
+    pub fn with_seed(mut self, seed: u64) -> Self {
+        self.seed = seed;
+        self.mf.seed = seed ^ 0x1111;
+        self.walks.seed = seed ^ 0x2222;
+        self.sgns.seed = seed ^ 0x3333;
+        self
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn defaults_match_table2() {
+        let c = LevaConfig::default();
+        assert_eq!(c.dim, 100);
+        assert_eq!(c.textify.bin_count, 50);
+        assert_eq!(c.graph.theta_range, 0.5);
+        assert_eq!(c.graph.theta_min, 0.05);
+        assert!(c.graph.weighted);
+        assert_eq!(c.featurization, Featurization::RowPlusValue);
+    }
+
+    #[test]
+    fn with_dim_propagates() {
+        let c = LevaConfig::default().with_dim(16);
+        assert_eq!(c.dim, 16);
+        assert_eq!(c.mf.dim, 16);
+        assert_eq!(c.sgns.dim, 16);
+    }
+
+    #[test]
+    fn with_seed_differentiates_stages() {
+        let c = LevaConfig::default().with_seed(42);
+        assert_ne!(c.mf.seed, c.walks.seed);
+        assert_ne!(c.walks.seed, c.sgns.seed);
+    }
+}

@@ -1,0 +1,251 @@
+//! Embedding deployment (§4.4): turning a fitted [`LevaModel`] into feature
+//! matrices for downstream ML.
+//!
+//! The featurization is defined so that in-graph (training) rows and
+//! out-of-sample (test) rows go through *structurally identical* paths —
+//! otherwise a model fitted on training features fails on test features:
+//!
+//! * **Value half** ("Row" in the paper's Table 6 ablation): the mean of
+//!   the embeddings of the row's value nodes. For a training row these are
+//!   its graph neighbours; for a test row they are the value nodes of its
+//!   encoded tokens (numeric cells quantized with the *training*
+//!   histograms, §2.4). The two coincide by construction.
+//! * **Related-row half** (the "+ Value" augmentation): the mean of the
+//!   row-node embeddings reachable through those value nodes — the rows
+//!   the graph considers related entities. Again identical for train
+//!   (2-hop neighbourhood) and test (token → value node → rows).
+//!
+//! Tokens never seen in training contribute nothing (their information is
+//! simply absent, as with unseen one-hot categories); numeric out-of-range
+//! values clamp into boundary bins.
+
+use crate::config::Featurization;
+use crate::pipeline::LevaModel;
+use leva_linalg::Matrix;
+use leva_relational::Table;
+
+impl LevaModel {
+    /// Embedding dimensionality of a single featurized row under `feat`.
+    pub fn feature_dim(&self, feat: Featurization) -> usize {
+        match feat {
+            Featurization::RowOnly => self.store.dim(),
+            Featurization::RowPlusValue => 2 * self.store.dim(),
+        }
+    }
+
+    /// Accumulates the value-half and related-row-half for a set of value
+    /// nodes; `skip_row` excludes the row itself from the related-row mean.
+    ///
+    /// Contributions are weighted by the inverse degree of the value node —
+    /// the same "hub values carry weak inclusion-dependency evidence"
+    /// rationale as the graph's edge weighting (§3.2), applied at
+    /// deployment: a bin token shared by hundreds of rows says little about
+    /// this row; a key shared by two rows says a lot.
+    fn accumulate(&self, value_nodes: &[u32], skip_row: Option<u32>, out_row: &mut [f64], feat: Featurization) {
+        let dim = self.store.dim();
+        let mut v_acc = vec![0.0; dim];
+        let mut v_weight = 0.0f64;
+        let mut x_acc = vec![0.0; dim];
+        let mut x_weight = 0.0f64;
+        for &v in value_nodes {
+            let w = 1.0 / self.graph.degree(v).max(1) as f64;
+            if let Some(emb) = self.store.get(self.graph.name(v)) {
+                for (a, &e) in v_acc.iter_mut().zip(emb) {
+                    *a += w * e;
+                }
+                v_weight += w;
+            }
+            if feat == Featurization::RowPlusValue {
+                // The augmentation half walks one join hop further: the
+                // value nodes of the rows this value connects to — i.e. the
+                // attributes the recovered join would have brought in.
+                for &(r, _) in self.graph.neighbors(v) {
+                    if Some(r) == skip_row {
+                        continue;
+                    }
+                    let wr = w / self.graph.degree(r).max(1) as f64;
+                    for &(v2, _) in self.graph.neighbors(r) {
+                        if v2 == v {
+                            continue;
+                        }
+                        let w2 = wr / self.graph.degree(v2).max(1) as f64;
+                        if let Some(emb) = self.store.get(self.graph.name(v2)) {
+                            for (a, &e) in x_acc.iter_mut().zip(emb) {
+                                *a += w2 * e;
+                            }
+                            x_weight += w2;
+                        }
+                    }
+                }
+            }
+        }
+        if v_weight > 0.0 {
+            for (o, a) in out_row[..dim].iter_mut().zip(&v_acc) {
+                *o = a / v_weight;
+            }
+        }
+        // The augmentation half is *sum*-pooled (weighted), not mean-pooled:
+        // aggregate targets (a total over N joined rows, a count of related
+        // events) need the multiplicity of the join to survive
+        // featurization. The per-value inverse-degree weights already keep
+        // hub contributions bounded.
+        if feat == Featurization::RowPlusValue && x_weight > 0.0 {
+            out_row[dim..].copy_from_slice(&x_acc);
+        }
+    }
+
+    /// Featurizes in-graph base-table rows (by row index) into a matrix.
+    pub fn featurize_base_rows(&self, rows: &[usize], feat: Featurization) -> Matrix {
+        let mut out = Matrix::zeros(rows.len(), self.feature_dim(feat));
+        for (i, &r) in rows.iter().enumerate() {
+            let node = self.graph.row_node(self.base_table_index, r);
+            let value_nodes: Vec<u32> =
+                self.graph.neighbors(node).iter().map(|&(v, _)| v).collect();
+            self.accumulate(&value_nodes, Some(node), out.row_mut(i), feat);
+        }
+        out
+    }
+
+    /// Featurizes all rows of the base table.
+    pub fn featurize_base(&self, feat: Featurization) -> Matrix {
+        let n = self
+            .graph
+            .table_names()
+            .iter()
+            .position(|t| *t == self.base_table)
+            .map(|ti| self.tokenized.tables[ti].rows.len())
+            .unwrap_or(0);
+        let rows: Vec<usize> = (0..n).collect();
+        self.featurize_base_rows(&rows, feat)
+    }
+
+    /// Featurizes *out-of-sample* rows of a table with the base table's
+    /// schema (minus the target column). Unseen values are quantized by the
+    /// training encoders; completely unseen tokens contribute nothing.
+    pub fn featurize_external(&self, table: &Table, feat: Featurization) -> Matrix {
+        let mut out = Matrix::zeros(table.row_count(), self.feature_dim(feat));
+        let encoders: Vec<Option<&leva_textify::ColumnEncoder>> = table
+            .column_names()
+            .iter()
+            .map(|c| self.tokenized.encoder(&self.base_table, c))
+            .collect();
+        for r in 0..table.row_count() {
+            let mut value_nodes = Vec::new();
+            for (c, enc) in encoders.iter().enumerate() {
+                let Some(enc) = enc else { continue };
+                let v = table.value(r, c).expect("in bounds");
+                for token in enc.encode(v) {
+                    if let Some(node) = self.graph.value_node(&token) {
+                        value_nodes.push(node);
+                    }
+                }
+            }
+            value_nodes.sort_unstable();
+            value_nodes.dedup();
+            self.accumulate(&value_nodes, None, out.row_mut(r), feat);
+        }
+        out
+    }
+
+    /// The embedding vector of an arbitrary node by graph name (rows:
+    /// `row::<table>::<idx>`; values: the token).
+    pub fn node_embedding(&self, name: &str) -> Option<&[f64]> {
+        self.store.get(name)
+    }
+
+    /// The embedding of row `row` of table index `table_idx`.
+    pub fn row_embedding(&self, table_idx: usize, row: usize) -> Option<&[f64]> {
+        let table = self.graph.table_names().get(table_idx)?;
+        self.store.get(&format!("row::{table}::{row}"))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::config::LevaConfig;
+    use crate::pipeline::fit;
+    use leva_relational::{Database, Table, Value};
+
+    fn db() -> Database {
+        let mut db = Database::new();
+        let mut base = Table::new("base", vec!["id", "grp", "amount", "target"]);
+        let mut aux = Table::new("aux", vec!["id", "tag"]);
+        for i in 0..40 {
+            base.push_row(vec![
+                format!("e{i}").into(),
+                ["a", "b"][i % 2].into(),
+                Value::Float(i as f64),
+                Value::Int((i % 2) as i64),
+            ])
+            .unwrap();
+            aux.push_row(vec![format!("e{i}").into(), format!("t{}", i % 4).into()])
+                .unwrap();
+        }
+        db.add_table(base).unwrap();
+        db.add_table(aux).unwrap();
+        db
+    }
+
+    #[test]
+    fn base_featurization_shapes() {
+        let model = fit(&db(), "base", Some("target"), &LevaConfig::fast()).unwrap();
+        let row_only = model.featurize_base(Featurization::RowOnly);
+        assert_eq!(row_only.rows(), 40);
+        assert_eq!(row_only.cols(), 32);
+        let rv = model.featurize_base(Featurization::RowPlusValue);
+        assert_eq!(rv.cols(), 64);
+    }
+
+    #[test]
+    fn both_halves_populated() {
+        let model = fit(&db(), "base", Some("target"), &LevaConfig::fast()).unwrap();
+        let rv = model.featurize_base_rows(&[0], Featurization::RowPlusValue);
+        assert!(rv.row(0)[..32].iter().any(|&v| v != 0.0));
+        assert!(rv.row(0)[32..].iter().any(|&v| v != 0.0));
+    }
+
+    #[test]
+    fn train_and_external_paths_agree() {
+        // Featurizing an in-graph row through the external path must land
+        // very close to the training featurization (value half especially).
+        let database = db();
+        let model = fit(&database, "base", Some("target"), &LevaConfig::fast()).unwrap();
+        let train = model.featurize_base_rows(&[7], Featurization::RowOnly);
+        let base = database.table("base").unwrap();
+        let mut one = Table::new("t", base.column_names());
+        one.push_row(base.row(7).unwrap()).unwrap();
+        let one = one.drop_columns(&["target"]).unwrap();
+        let ext = model.featurize_external(&one, Featurization::RowOnly);
+        let cos = leva_linalg::cosine_similarity(train.row(0), ext.row(0));
+        assert!(cos > 0.98, "train/external cosine {cos}");
+    }
+
+    #[test]
+    fn external_rows_use_training_encoders() {
+        let model = fit(&db(), "base", Some("target"), &LevaConfig::fast()).unwrap();
+        let mut test = Table::new("test", vec!["id", "grp", "amount"]);
+        test.push_row(vec!["unseen_id".into(), "a".into(), Value::Float(1e9)]).unwrap();
+        let x = model.featurize_external(&test, Featurization::RowOnly);
+        assert_eq!(x.rows(), 1);
+        assert!(x.row(0).iter().any(|&v| v != 0.0));
+    }
+
+    #[test]
+    fn fully_unseen_row_is_zero_vector() {
+        let model = fit(&db(), "base", Some("target"), &LevaConfig::fast()).unwrap();
+        let mut test = Table::new("test", vec!["grp"]);
+        test.push_row(vec!["never_seen_value_xyz".into()]).unwrap();
+        let x = model.featurize_external(&test, Featurization::RowOnly);
+        assert!(x.row(0).iter().all(|&v| v == 0.0));
+    }
+
+    #[test]
+    fn row_embedding_lookup() {
+        let model = fit(&db(), "base", Some("target"), &LevaConfig::fast()).unwrap();
+        assert!(model.row_embedding(0, 5).is_some());
+        assert!(model.row_embedding(1, 5).is_some());
+        assert!(model.row_embedding(7, 0).is_none());
+        assert!(model.node_embedding("e3").is_some());
+    }
+}

@@ -1,0 +1,109 @@
+//! Fine-tuning (§6.2, Fig. 6a): "using domain knowledge to drop tables from
+//! the database when they do not include relevant information" — here
+//! automated as a greedy backward search over table drops driven by a
+//! caller-supplied validation score.
+
+use leva_relational::Database;
+
+/// Names of tables that are candidates for dropping (everything except the
+/// base table).
+pub fn droppable_tables(db: &Database, base_table: &str) -> Vec<String> {
+    db.tables()
+        .iter()
+        .map(|t| t.name().to_owned())
+        .filter(|n| n != base_table)
+        .collect()
+}
+
+/// Greedy backward table selection: repeatedly drops the single table whose
+/// removal improves `score` (higher is better) the most, until no drop
+/// improves it. Returns the pruned database and the dropped table names.
+///
+/// `score` is typically "validation accuracy of the downstream model using
+/// an embedding rebuilt on the candidate database" — expensive, so the
+/// search is greedy rather than exhaustive, mirroring how an analyst works.
+pub fn finetune_drop_tables<F>(
+    db: &Database,
+    base_table: &str,
+    mut score: F,
+) -> (Database, Vec<String>)
+where
+    F: FnMut(&Database) -> f64,
+{
+    let mut current = db.clone();
+    let mut dropped = Vec::new();
+    let mut best = score(&current);
+    loop {
+        let candidates = droppable_tables(&current, base_table);
+        if candidates.is_empty() {
+            break;
+        }
+        let mut improved: Option<(String, Database, f64)> = None;
+        for name in candidates {
+            let mut trial = current.clone();
+            trial.remove_table(&name).expect("candidate exists");
+            let s = score(&trial);
+            if s > best && improved.as_ref().is_none_or(|(_, _, bs)| s > *bs) {
+                improved = Some((name, trial, s));
+            }
+        }
+        match improved {
+            Some((name, trial, s)) => {
+                dropped.push(name);
+                current = trial;
+                best = s;
+            }
+            None => break,
+        }
+    }
+    (current, dropped)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use leva_relational::Table;
+
+    fn db() -> Database {
+        let mut db = Database::new();
+        for name in ["base", "good", "bad", "neutral"] {
+            let mut t = Table::new(name, vec!["k"]);
+            t.push_row(vec!["v".into()]).unwrap();
+            db.add_table(t).unwrap();
+        }
+        db
+    }
+
+    #[test]
+    fn droppable_excludes_base() {
+        let d = droppable_tables(&db(), "base");
+        assert_eq!(d, vec!["good", "bad", "neutral"]);
+    }
+
+    #[test]
+    fn greedy_drops_harmful_tables_only() {
+        // Score: +1 when "bad" is absent, -1 when "good" is absent.
+        let score = |d: &Database| {
+            let mut s = 0.0;
+            if d.table("bad").is_err() {
+                s += 1.0;
+            }
+            if d.table("good").is_err() {
+                s -= 1.0;
+            }
+            s
+        };
+        let (pruned, dropped) = finetune_drop_tables(&db(), "base", score);
+        assert_eq!(dropped, vec!["bad"]);
+        assert!(pruned.table("good").is_ok());
+        assert!(pruned.table("neutral").is_ok());
+        assert!(pruned.table("bad").is_err());
+    }
+
+    #[test]
+    fn no_improvement_drops_nothing() {
+        let (pruned, dropped) = finetune_drop_tables(&db(), "base", |_| 1.0);
+        assert!(dropped.is_empty());
+        assert_eq!(pruned.table_count(), 4);
+    }
+}

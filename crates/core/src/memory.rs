@@ -1,0 +1,84 @@
+//! Memory estimation for the MF/RW method choice (§4.2): "Leva analyzes the
+//! graph and uses the number of nodes to estimate the memory consumption",
+//! using MF when there is enough memory and falling back to random walks
+//! otherwise.
+
+use leva_embedding::WalkConfig;
+use leva_graph::LevaGraph;
+
+/// Estimated peak bytes of the two embedding paths for a given graph.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct MemoryEstimate {
+    /// Matrix-factorization path: proximity CSR + dense factor workspaces.
+    pub mf_bytes: usize,
+    /// Random-walk path: alias tables (if weighted) + walk corpus + SGNS
+    /// parameter matrices.
+    pub rw_bytes: usize,
+}
+
+/// Estimates both paths' memory footprints.
+pub fn estimate(graph: &LevaGraph, dim: usize, oversample: usize, walks: &WalkConfig) -> MemoryEstimate {
+    let n = graph.n_nodes();
+    let nnz = 2 * graph.n_edges();
+    let l = dim + oversample;
+    // MF: CSR (indptr + indices + data) plus the randomized-SVD workspaces
+    // (Ω, Y, Q, Bᵀ ≈ 4 dense n×l matrices).
+    let csr = n * 8 + nnz * (4 + 8);
+    let dense_work = 4 * n * l * 8;
+    let mf_bytes = csr + dense_work;
+    // RW: adjacency (always resident) + alias tables when weighted + the
+    // emitted corpus (u32 tokens) + SGNS input/output matrices.
+    let adjacency = graph.estimated_adjacency_bytes();
+    let alias = if walks.weighted { nnz * (8 + 4) } else { 0 };
+    let corpus = n * walks.walks_per_node * walks.walk_length * 4;
+    let sgns = 2 * n * dim * 8;
+    let rw_bytes = adjacency + alias + corpus + sgns;
+    MemoryEstimate { mf_bytes, rw_bytes }
+}
+
+/// True when the MF path fits in `budget_bytes` (the Auto policy).
+pub fn mf_fits(estimate: &MemoryEstimate, budget_bytes: usize) -> bool {
+    estimate.mf_bytes <= budget_bytes
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use leva_graph::{build_graph, GraphConfig};
+    use leva_relational::{Database, Table};
+    use leva_textify::{textify, TextifyConfig};
+
+    fn graph(n: usize) -> LevaGraph {
+        let mut db = Database::new();
+        let mut t = Table::new("t", vec!["k", "g"]);
+        for i in 0..n {
+            t.push_row(vec![format!("k{i}").into(), format!("g{}", i % 10).into()])
+                .unwrap();
+        }
+        db.add_table(t).unwrap();
+        build_graph(&textify(&db, &TextifyConfig::default()), &GraphConfig::default())
+    }
+
+    #[test]
+    fn estimates_scale_with_graph() {
+        let small = estimate(&graph(50), 32, 8, &WalkConfig::default());
+        let large = estimate(&graph(500), 32, 8, &WalkConfig::default());
+        assert!(large.mf_bytes > small.mf_bytes);
+        assert!(large.rw_bytes > small.rw_bytes);
+    }
+
+    #[test]
+    fn unweighted_walks_need_less_memory() {
+        let g = graph(200);
+        let weighted = estimate(&g, 32, 8, &WalkConfig { weighted: true, ..Default::default() });
+        let unweighted = estimate(&g, 32, 8, &WalkConfig { weighted: false, ..Default::default() });
+        assert!(unweighted.rw_bytes < weighted.rw_bytes);
+    }
+
+    #[test]
+    fn budget_policy() {
+        let e = MemoryEstimate { mf_bytes: 1000, rw_bytes: 500 };
+        assert!(mf_fits(&e, 1000));
+        assert!(!mf_fits(&e, 999));
+    }
+}

@@ -1,0 +1,237 @@
+//! The end-to-end Leva pipeline (Fig. 2): textify → construct graph →
+//! refine → embed → deploy.
+
+use crate::config::{EmbeddingMethod, LevaConfig};
+use crate::memory::{estimate, mf_fits, MemoryEstimate};
+use crate::timing::StageTimings;
+use leva_embedding::{build_mf_embedding, generate_walks, train_sgns, EmbeddingStore};
+use leva_graph::{build_graph, LevaGraph};
+use leva_relational::{Database, RelationalError};
+use leva_textify::{textify, TokenizedDatabase};
+use std::fmt;
+use std::time::Instant;
+
+/// Errors surfaced by the pipeline.
+#[derive(Debug)]
+pub enum LevaError {
+    /// The named base table does not exist in the database.
+    UnknownBaseTable(String),
+    /// An underlying relational operation failed.
+    Relational(RelationalError),
+}
+
+impl fmt::Display for LevaError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Self::UnknownBaseTable(t) => write!(f, "unknown base table '{t}'"),
+            Self::Relational(e) => write!(f, "relational error: {e}"),
+        }
+    }
+}
+
+impl std::error::Error for LevaError {}
+
+impl From<RelationalError> for LevaError {
+    fn from(e: RelationalError) -> Self {
+        Self::Relational(e)
+    }
+}
+
+/// Which embedding method the pipeline actually ran.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum MethodUsed {
+    /// Matrix factorization (randomized SVD).
+    MatrixFactorization,
+    /// Random walks + SGNS.
+    RandomWalk,
+}
+
+/// A fitted Leva model: the embedding store plus everything deployment
+/// needs (graph, encoders) and everything experiments report (timings,
+/// memory estimates, refinement statistics).
+#[derive(Debug)]
+pub struct LevaModel {
+    /// The configuration used.
+    pub config: LevaConfig,
+    /// Token → vector store covering every graph node.
+    pub store: EmbeddingStore,
+    /// The refined graph (used for Row+Value featurization).
+    pub graph: LevaGraph,
+    /// Textification output (encoders reused at inference time).
+    pub tokenized: TokenizedDatabase,
+    /// Per-stage wall-clock times.
+    pub timings: StageTimings,
+    /// Method actually used.
+    pub method_used: MethodUsed,
+    /// Memory estimates that drove the Auto choice.
+    pub memory: MemoryEstimate,
+    /// Name of the base table.
+    pub base_table: String,
+    /// Index of the base table within the (possibly target-stripped) input.
+    pub base_table_index: usize,
+    /// The target column excluded from embedding construction, if any.
+    pub target_column: Option<String>,
+}
+
+/// Fits Leva on a database.
+///
+/// `target_column`, when given, is removed from the base table before
+/// textification so the embedding never sees the label — the supervision
+/// signal acts only on the *downstream* model, as in the paper.
+pub fn fit(
+    db: &Database,
+    base_table: &str,
+    target_column: Option<&str>,
+    config: &LevaConfig,
+) -> Result<LevaModel, LevaError> {
+    let base_table_index = db
+        .tables()
+        .iter()
+        .position(|t| t.name() == base_table)
+        .ok_or_else(|| LevaError::UnknownBaseTable(base_table.to_owned()))?;
+
+    // Strip the target column (if any) from a working copy.
+    let mut working = db.clone();
+    if let Some(target) = target_column {
+        let t = working.table_mut(base_table)?;
+        t.remove_column(target)?;
+    }
+
+    let mut timings = StageTimings::default();
+
+    let t0 = Instant::now();
+    let tokenized = textify(&working, &config.textify);
+    timings.textify = t0.elapsed();
+
+    let t0 = Instant::now();
+    let graph = build_graph(&tokenized, &config.graph);
+    timings.graph = t0.elapsed();
+
+    let memory = estimate(&graph, config.dim, config.mf.oversample, &config.walks);
+    let method_used = match config.method {
+        EmbeddingMethod::MatrixFactorization => MethodUsed::MatrixFactorization,
+        EmbeddingMethod::RandomWalk => MethodUsed::RandomWalk,
+        EmbeddingMethod::Auto { memory_budget_bytes } => {
+            if mf_fits(&memory, memory_budget_bytes) {
+                MethodUsed::MatrixFactorization
+            } else {
+                MethodUsed::RandomWalk
+            }
+        }
+    };
+
+    let store = match method_used {
+        MethodUsed::MatrixFactorization => {
+            let t0 = Instant::now();
+            let store = build_mf_embedding(&graph, &config.mf);
+            timings.embedding_training = t0.elapsed();
+            store
+        }
+        MethodUsed::RandomWalk => {
+            let t0 = Instant::now();
+            let corpus = generate_walks(&graph, &config.walks);
+            timings.walk_generation = t0.elapsed();
+            let t0 = Instant::now();
+            let model = train_sgns(&corpus, &config.sgns);
+            timings.embedding_training = t0.elapsed();
+            model.into_store(&corpus, config.sgns.dim)
+        }
+    };
+
+    Ok(LevaModel {
+        config: config.clone(),
+        store,
+        graph,
+        tokenized,
+        timings,
+        method_used,
+        memory,
+        base_table: base_table.to_owned(),
+        base_table_index,
+        target_column: target_column.map(str::to_owned),
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::config::LevaConfig;
+    use leva_relational::{Table, Value};
+
+    fn db() -> Database {
+        let mut db = Database::new();
+        let mut base = Table::new("base", vec!["id", "grp", "target"]);
+        let mut aux = Table::new("aux", vec!["id", "feature"]);
+        for i in 0..30 {
+            base.push_row(vec![
+                format!("e{i}").into(),
+                ["a", "b"][i % 2].into(),
+                Value::Int((i % 2) as i64),
+            ])
+            .unwrap();
+            aux.push_row(vec![
+                format!("e{i}").into(),
+                format!("f{}", i % 3).into(),
+            ])
+            .unwrap();
+        }
+        db.add_table(base).unwrap();
+        db.add_table(aux).unwrap();
+        db
+    }
+
+    #[test]
+    fn fit_mf_produces_full_store() {
+        let cfg = LevaConfig::fast();
+        let model = fit(&db(), "base", Some("target"), &cfg).unwrap();
+        assert_eq!(model.store.len(), model.graph.n_nodes());
+        assert!(model.store.contains("row::base::0"));
+        assert_eq!(model.base_table_index, 0);
+    }
+
+    #[test]
+    fn target_tokens_never_enter_graph() {
+        let cfg = LevaConfig::fast();
+        let model = fit(&db(), "base", Some("target"), &cfg).unwrap();
+        // The target is an int column named "target" — its bin tokens
+        // (target#k) must not exist as value nodes.
+        for token in model.store.sorted_tokens() {
+            assert!(!token.starts_with("target#"), "leaked token {token}");
+        }
+        assert!(model.tokenized.encoder("base", "target").is_none());
+    }
+
+    #[test]
+    fn unknown_base_table_errors() {
+        let cfg = LevaConfig::fast();
+        let err = fit(&db(), "nope", None, &cfg).unwrap_err();
+        assert!(matches!(err, LevaError::UnknownBaseTable(_)));
+        assert!(err.to_string().contains("nope"));
+    }
+
+    #[test]
+    fn forced_rw_method() {
+        let mut cfg = LevaConfig::fast();
+        cfg.method = EmbeddingMethod::RandomWalk;
+        let model = fit(&db(), "base", Some("target"), &cfg).unwrap();
+        assert_eq!(model.method_used, MethodUsed::RandomWalk);
+        assert!(model.timings.walk_generation.as_nanos() > 0);
+        assert_eq!(model.store.len(), model.graph.n_nodes());
+    }
+
+    #[test]
+    fn auto_falls_back_to_rw_under_tiny_budget() {
+        let mut cfg = LevaConfig::fast();
+        cfg.method = EmbeddingMethod::Auto { memory_budget_bytes: 1 };
+        let model = fit(&db(), "base", Some("target"), &cfg).unwrap();
+        assert_eq!(model.method_used, MethodUsed::RandomWalk);
+    }
+
+    #[test]
+    fn timings_are_recorded() {
+        let cfg = LevaConfig::fast();
+        let model = fit(&db(), "base", Some("target"), &cfg).unwrap();
+        assert!(model.timings.total().as_nanos() > 0);
+        assert!(model.timings.embedding_training.as_nanos() > 0);
+    }
+}

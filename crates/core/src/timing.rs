@@ -1,0 +1,61 @@
+//! Per-stage wall-clock accounting (the Fig. 6b/6c performance profile).
+
+use std::time::Duration;
+
+/// Wall-clock time spent in each pipeline stage.
+#[derive(Debug, Clone, Default)]
+pub struct StageTimings {
+    /// Input reading + textification.
+    pub textify: Duration,
+    /// Graph construction and refinement.
+    pub graph: Duration,
+    /// Random-walk generation (zero for the MF path).
+    pub walk_generation: Duration,
+    /// Embedding training (SGNS epochs, or the full factorization).
+    pub embedding_training: Duration,
+}
+
+impl StageTimings {
+    /// Total time across stages.
+    pub fn total(&self) -> Duration {
+        self.textify + self.graph + self.walk_generation + self.embedding_training
+    }
+
+    /// Per-stage fractions of the total, in the order
+    /// `[textify, graph, walk_generation, embedding_training]`.
+    pub fn fractions(&self) -> [f64; 4] {
+        let total = self.total().as_secs_f64();
+        if total <= 0.0 {
+            return [0.0; 4];
+        }
+        [
+            self.textify.as_secs_f64() / total,
+            self.graph.as_secs_f64() / total,
+            self.walk_generation.as_secs_f64() / total,
+            self.embedding_training.as_secs_f64() / total,
+        ]
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn fractions_sum_to_one() {
+        let t = StageTimings {
+            textify: Duration::from_millis(10),
+            graph: Duration::from_millis(20),
+            walk_generation: Duration::from_millis(30),
+            embedding_training: Duration::from_millis(40),
+        };
+        let f = t.fractions();
+        assert!((f.iter().sum::<f64>() - 1.0).abs() < 1e-9);
+        assert!((f[3] - 0.4).abs() < 1e-9);
+    }
+
+    #[test]
+    fn zero_total_is_safe() {
+        assert_eq!(StageTimings::default().fractions(), [0.0; 4]);
+    }
+}

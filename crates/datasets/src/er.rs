@@ -1,0 +1,221 @@
+//! Entity-resolution benchmark pairs (Table 8 analogues of
+//! BeerAdvo-RateBeer, Walmart-Amazon, and Amazon-Google): two tables
+//! describing overlapping entity sets with perturbed surface forms, plus
+//! ground-truth matches.
+
+use leva_relational::{Table, Value};
+use rand::rngs::StdRng;
+use rand::seq::SliceRandom;
+use rand::{Rng, SeedableRng};
+
+/// How aggressively the right-hand table's records are perturbed.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ErDifficulty {
+    /// Mild perturbation (BeerAdvo-RateBeer analogue).
+    Easy,
+    /// Moderate perturbation (Walmart-Amazon analogue).
+    Medium,
+    /// Heavy perturbation and extra non-matching records (Amazon-Google
+    /// analogue).
+    Hard,
+}
+
+impl ErDifficulty {
+    fn drop_token_prob(self) -> f64 {
+        match self {
+            Self::Easy => 0.15,
+            Self::Medium => 0.30,
+            Self::Hard => 0.50,
+        }
+    }
+
+    fn perturb_field_prob(self) -> f64 {
+        match self {
+            Self::Easy => 0.25,
+            Self::Medium => 0.50,
+            Self::Hard => 0.75,
+        }
+    }
+
+    fn extra_records_frac(self) -> f64 {
+        match self {
+            Self::Easy => 0.5,
+            Self::Medium => 1.0,
+            Self::Hard => 2.0,
+        }
+    }
+}
+
+/// An entity-resolution task instance.
+#[derive(Debug, Clone)]
+pub struct ErDataset {
+    /// Human-readable name.
+    pub name: String,
+    /// Left-hand records.
+    pub left: Table,
+    /// Right-hand records.
+    pub right: Table,
+    /// Ground-truth matches: `(left_row, right_row)`.
+    pub matches: Vec<(usize, usize)>,
+}
+
+const WORDS: [&str; 24] = [
+    "golden", "dark", "pale", "imperial", "double", "hazy", "classic", "reserve", "old",
+    "crisp", "wild", "smoked", "amber", "noble", "royal", "grand", "stone", "river",
+    "mountain", "valley", "cedar", "iron", "copper", "silver",
+];
+const KINDS: [&str; 8] = ["ale", "lager", "stout", "porter", "ipa", "pilsner", "saison", "bock"];
+
+/// Generates an ER pair with `n_entities` shared entities.
+pub fn er_dataset(name: &str, n_entities: usize, difficulty: ErDifficulty, seed: u64) -> ErDataset {
+    let mut rng = StdRng::seed_from_u64(seed);
+    let columns = vec!["record_id", "name", "brand", "style", "abv"];
+    let mut left = Table::new("left", columns.clone());
+    let mut right = Table::new("right", columns);
+    let mut matches = Vec::with_capacity(n_entities);
+
+    // Canonical entities.
+    struct Entity {
+        tokens: Vec<String>,
+        brand: String,
+        style: String,
+        abv: f64,
+    }
+    let mut entities = Vec::with_capacity(n_entities);
+    for e in 0..n_entities {
+        let n_tokens = rng.gen_range(2..=4);
+        let mut tokens: Vec<String> = (0..n_tokens)
+            .map(|_| WORDS[rng.gen_range(0..WORDS.len())].to_owned())
+            .collect();
+        tokens.push(format!("no{e}")); // keeps names distinct
+        entities.push(Entity {
+            tokens,
+            brand: format!("brand_{}", rng.gen_range(0..n_entities / 4 + 2)),
+            style: KINDS[rng.gen_range(0..KINDS.len())].to_owned(),
+            abv: 4.0 + rng.gen::<f64>() * 8.0,
+        });
+    }
+
+    for (e, ent) in entities.iter().enumerate() {
+        left.push_row(vec![
+            format!("l_{e}").into(),
+            ent.tokens.join(" ").into(),
+            ent.brand.clone().into(),
+            ent.style.clone().into(),
+            Value::float((ent.abv * 10.0).round() / 10.0),
+        ])
+        .expect("arity");
+
+        // Perturbed right-hand version. The synthetic catalog id token
+        // (`noN`) never crosses catalogs — matching must rely on word
+        // overlap and attributes, as in the real benchmark pairs.
+        let mut tokens: Vec<String> = ent
+            .tokens
+            .iter()
+            .filter(|t| !t.starts_with("no"))
+            .cloned()
+            .collect();
+        tokens.retain(|_| rng.gen::<f64>() >= difficulty.drop_token_prob());
+        if tokens.is_empty() {
+            tokens.push(ent.tokens[0].clone());
+        }
+        if rng.gen::<f64>() < difficulty.perturb_field_prob() {
+            tokens.shuffle(&mut rng);
+        }
+        let brand = if rng.gen::<f64>() < difficulty.perturb_field_prob() {
+            ent.brand.to_uppercase()
+        } else {
+            ent.brand.clone()
+        };
+        let style = if rng.gen::<f64>() < difficulty.perturb_field_prob() {
+            format!("{} beer", ent.style)
+        } else {
+            ent.style.clone()
+        };
+        let abv = ent.abv + if rng.gen::<f64>() < difficulty.perturb_field_prob() { 0.1 } else { 0.0 };
+        let right_row = right.row_count();
+        right
+            .push_row(vec![
+                format!("r_{e}").into(),
+                tokens.join(" ").into(),
+                brand.into(),
+                style.into(),
+                Value::float((abv * 10.0).round() / 10.0),
+            ])
+            .expect("arity");
+        matches.push((e, right_row));
+    }
+
+    // Distractor records on the right with no left-hand counterpart.
+    let extras = (n_entities as f64 * difficulty.extra_records_frac()) as usize;
+    for x in 0..extras {
+        let n_tokens = rng.gen_range(2..=4);
+        let tokens: Vec<String> = (0..n_tokens)
+            .map(|_| WORDS[rng.gen_range(0..WORDS.len())].to_owned())
+            .collect();
+        right
+            .push_row(vec![
+                format!("rx_{x}").into(),
+                format!("{} xtr{x}", tokens.join(" ")).into(),
+                format!("brand_x{}", rng.gen_range(0..10)).into(),
+                KINDS[rng.gen_range(0..KINDS.len())].into(),
+                Value::float(4.0 + rng.gen::<f64>() * 8.0),
+            ])
+            .expect("arity");
+    }
+
+    ErDataset { name: name.to_owned(), left, right, matches }
+}
+
+/// The three Table 8 analogues at a given entity count.
+pub fn er_suite(n_entities: usize, seed: u64) -> Vec<ErDataset> {
+    vec![
+        er_dataset("beeradvo_ratebeer", n_entities, ErDifficulty::Easy, seed),
+        er_dataset("walmart_amazon", n_entities, ErDifficulty::Medium, seed ^ 1),
+        er_dataset("amazon_google", n_entities, ErDifficulty::Hard, seed ^ 2),
+    ]
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn matches_are_valid_indices() {
+        let ds = er_dataset("t", 50, ErDifficulty::Medium, 1);
+        assert_eq!(ds.matches.len(), 50);
+        for &(l, r) in &ds.matches {
+            assert!(l < ds.left.row_count());
+            assert!(r < ds.right.row_count());
+        }
+    }
+
+    #[test]
+    fn hard_has_more_distractors() {
+        let easy = er_dataset("e", 50, ErDifficulty::Easy, 2);
+        let hard = er_dataset("h", 50, ErDifficulty::Hard, 2);
+        assert!(hard.right.row_count() > easy.right.row_count());
+    }
+
+    #[test]
+    fn matched_records_share_tokens() {
+        let ds = er_dataset("t", 40, ErDifficulty::Easy, 3);
+        let mut overlaps = 0usize;
+        for &(l, r) in &ds.matches {
+            let ln = ds.left.value(l, 1).unwrap().render();
+            let rn = ds.right.value(r, 1).unwrap().render();
+            let lt: std::collections::HashSet<&str> = ln.split(' ').collect();
+            if rn.split(' ').any(|t| lt.contains(t)) {
+                overlaps += 1;
+            }
+        }
+        assert!(overlaps as f64 / 40.0 > 0.9);
+    }
+
+    #[test]
+    fn suite_has_three_datasets() {
+        let suite = er_suite(30, 5);
+        assert_eq!(suite.len(), 3);
+        assert_eq!(suite[0].name, "beeradvo_ratebeer");
+    }
+}

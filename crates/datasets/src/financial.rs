@@ -1,0 +1,228 @@
+//! Financial-like dataset (PKDD'99 loan-default analogue): 8 tables, binary
+//! classification, no missing data, ~17% string columns (Table 4 row 4).
+//! Default risk is driven by district unemployment, account balance
+//! history, and card type — all outside the base `loans` table.
+
+use crate::spec::{cat, normal, scaled, LabeledDataset, TaskKind};
+use leva_relational::{Database, ForeignKey, Table, Value};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+const N_DISTRICTS: usize = 25;
+
+/// Generates the Financial analogue. `scale` = 1.0 ⇒ 800 loans.
+pub fn financial(scale: f64, seed: u64) -> LabeledDataset {
+    let mut rng = StdRng::seed_from_u64(seed);
+    let n_loans = scaled(800, scale);
+    let n_accounts = n_loans; // one loan per account, as in PKDD'99
+    let n_clients = n_accounts;
+    let label_noise = 0.14; // Max Reported ≈ 86%
+
+    // Districts with a latent risk level.
+    let district_risk: Vec<f64> = (0..N_DISTRICTS).map(|_| rng.gen::<f64>()).collect();
+    let mut district = Table::new(
+        "district",
+        vec!["district_id", "region", "avg_salary", "unemployment"],
+    );
+    for (d, &risk) in district_risk.iter().enumerate() {
+        district
+            .push_row(vec![
+                format!("dist_{d}").into(),
+                cat(&mut rng, "region", 8).into(),
+                Value::float((20_000.0 + 20_000.0 * (1.0 - risk) + normal(&mut rng) * 500.0).round()),
+                Value::float(((3.0 + 10.0 * risk + normal(&mut rng) * 0.2) * 10.0).round() / 10.0),
+            ])
+            .expect("arity");
+    }
+
+    // Accounts, balance history summaries, cards, dispositions, clients.
+    let mut account = Table::new("account", vec!["account_id", "district_id", "frequency"]);
+    let mut trans = Table::new("trans_summary", vec!["account_id", "avg_balance", "n_trans"]);
+    let mut orders = Table::new("orders", vec!["account_id", "order_amount", "k_symbol"]);
+    let mut disp = Table::new("disp", vec!["disp_id", "account_id", "client_id", "disp_type"]);
+    let mut card = Table::new("card", vec!["card_id", "disp_id", "card_type"]);
+    let mut client = Table::new("client", vec!["client_id", "birth_year", "district_id"]);
+
+    let mut acct_district = Vec::with_capacity(n_accounts);
+    let mut acct_balance = Vec::with_capacity(n_accounts);
+    let mut acct_card = Vec::with_capacity(n_accounts);
+    for a in 0..n_accounts {
+        let d = rng.gen_range(0..N_DISTRICTS);
+        acct_district.push(d);
+        let balance = 5_000.0 + rng.gen::<f64>() * 95_000.0;
+        acct_balance.push(balance);
+        account
+            .push_row(vec![
+                format!("acct_{a}").into(),
+                format!("dist_{d}").into(),
+                ["monthly", "weekly", "after_trans"][rng.gen_range(0..3)].into(),
+            ])
+            .expect("arity");
+        trans
+            .push_row(vec![
+                format!("acct_{a}").into(),
+                Value::float(balance.round()),
+                Value::Int(rng.gen_range(10..400)),
+            ])
+            .expect("arity");
+        orders
+            .push_row(vec![
+                format!("acct_{a}").into(),
+                Value::float((rng.gen::<f64>() * 5_000.0).round()),
+                cat(&mut rng, "sym", 6).into(),
+            ])
+            .expect("arity");
+        // Card type correlates with creditworthiness.
+        let card_type_idx = if rng.gen::<f64>() < 0.7 {
+            // Risky accounts (low balance, risky district) get junior cards.
+            let risk = district_risk[d] * 0.6 + (1.0 - balance / 100_000.0) * 0.4;
+            if risk > 0.6 {
+                0
+            } else if risk > 0.35 {
+                1
+            } else {
+                2
+            }
+        } else {
+            rng.gen_range(0..3)
+        };
+        acct_card.push(card_type_idx);
+        disp.push_row(vec![
+            format!("disp_{a}").into(),
+            format!("acct_{a}").into(),
+            format!("client_{a}").into(),
+            ["owner", "disponent"][rng.gen_range(0..2)].into(),
+        ])
+        .expect("arity");
+        card.push_row(vec![
+            format!("card_{a}").into(),
+            format!("disp_{a}").into(),
+            ["junior", "classic", "gold"][card_type_idx].into(),
+        ])
+        .expect("arity");
+    }
+    for c in 0..n_clients {
+        client
+            .push_row(vec![
+                format!("client_{c}").into(),
+                Value::Int(rng.gen_range(1940..2000)),
+                format!("dist_{}", acct_district[c]).into(),
+            ])
+            .expect("arity");
+    }
+
+    // Base table: loans. Default = f(district risk, balance, card type).
+    let mut loans = Table::new(
+        "loans",
+        vec!["loan_id", "account_id", "amount", "duration", "status"],
+    );
+    for l in 0..n_loans {
+        let d = acct_district[l];
+        let amount = 10_000.0 + rng.gen::<f64>() * 90_000.0;
+        let score = 1.4 * district_risk[d]
+            + 0.9 * (1.0 - acct_balance[l] / 100_000.0)
+            + 0.5 * (2 - acct_card[l]) as f64 / 2.0
+            + 0.15 * (amount / 100_000.0); // weak base-table effect
+        let clean = i64::from(score > 1.45);
+        let label =
+            if rng.gen::<f64>() < label_noise { 1 - clean } else { clean };
+        loans
+            .push_row(vec![
+                format!("loan_{l}").into(),
+                format!("acct_{l}").into(),
+                Value::float(amount.round()),
+                Value::Int([12, 24, 36, 48, 60][rng.gen_range(0..5)]),
+                Value::Int(label),
+            ])
+            .expect("arity");
+    }
+
+    let mut db = Database::new();
+    db.add_table(loans).expect("unique");
+    db.add_table(account).expect("unique");
+    db.add_table(district).expect("unique");
+    db.add_table(trans).expect("unique");
+    db.add_table(orders).expect("unique");
+    db.add_table(disp).expect("unique");
+    db.add_table(card).expect("unique");
+    db.add_table(client).expect("unique");
+    for (from, fcol, to, tcol) in [
+        ("loans", "account_id", "account", "account_id"),
+        ("account", "district_id", "district", "district_id"),
+        ("trans_summary", "account_id", "account", "account_id"),
+        ("orders", "account_id", "account", "account_id"),
+        ("disp", "account_id", "account", "account_id"),
+        ("disp", "client_id", "client", "client_id"),
+        ("card", "disp_id", "disp", "disp_id"),
+        ("client", "district_id", "district", "district_id"),
+    ] {
+        db.add_foreign_key(ForeignKey::new(from, fcol, to, tcol));
+    }
+
+    LabeledDataset {
+        name: "financial".into(),
+        db,
+        base_table: "loans".into(),
+        target_column: "status".into(),
+        task: TaskKind::Classification { n_classes: 2 },
+        label_noise,
+        entity_key_columns: vec![
+            ("loans".into(), "account_id".into()),
+            ("account".into(), "account_id".into()),
+            ("trans_summary".into(), "account_id".into()),
+            ("orders".into(), "account_id".into()),
+            ("disp".into(), "account_id".into()),
+        ],
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn shape() {
+        let ds = financial(1.0, 1);
+        assert_eq!(ds.db.table_count(), 8);
+        assert_eq!(ds.base().row_count(), 800);
+        assert_eq!(ds.db.foreign_keys().len(), 8);
+    }
+
+    #[test]
+    fn district_and_balance_predict_default() {
+        let ds = financial(1.0, 2);
+        let loans = ds.base();
+        let trans = ds.db.table("trans_summary").unwrap();
+        // Oracle: low balance => default.
+        let mut correct = 0usize;
+        for r in 0..loans.row_count() {
+            let bal = trans.value(r, 1).unwrap().as_f64().unwrap();
+            let pred = i64::from(bal < 45_000.0);
+            if pred == loans.value(r, 4).unwrap().as_i64().unwrap() {
+                correct += 1;
+            }
+        }
+        let acc = correct as f64 / loans.row_count() as f64;
+        assert!(acc > 0.6, "balance oracle accuracy {acc}");
+    }
+
+    #[test]
+    fn both_classes_present() {
+        let ds = financial(1.0, 3);
+        let col = ds.base().column("status").unwrap();
+        let ones = col.values().iter().filter(|v| v.as_i64() == Some(1)).count();
+        let frac = ones as f64 / col.len() as f64;
+        assert!(frac > 0.15 && frac < 0.85, "default rate {frac}");
+    }
+
+    #[test]
+    fn string_ids_link_tables() {
+        let ds = financial(0.3, 4);
+        let loans = ds.base();
+        let account = ds.db.table("account").unwrap();
+        assert_eq!(
+            loans.value(0, 1).unwrap().render(),
+            account.value(0, 0).unwrap().render()
+        );
+    }
+}

@@ -1,0 +1,157 @@
+//! Kraken-like dataset (supercomputer telemetry analogue): many tables, all
+//! numeric, no missing data (Table 4 row 2). Each auxiliary table holds one
+//! per-machine sensor/usage statistic; the machine state is a function of a
+//! few of them. Integer machine ids are unique per table, so Leva's key
+//! heuristics encode them directly and joins are recoverable keylessly.
+
+use crate::spec::{normal, scaled, LabeledDataset, TaskKind};
+use leva_relational::{Database, ForeignKey, Table, Value};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+/// Number of auxiliary sensor tables (scaled down from the paper's 32).
+const N_SENSOR_TABLES: usize = 8;
+
+/// Generates the Kraken analogue. `scale` = 1.0 ⇒ 700 machines.
+pub fn kraken(scale: f64, seed: u64) -> LabeledDataset {
+    let mut rng = StdRng::seed_from_u64(seed);
+    let n = scaled(700, scale);
+    let label_noise = 0.10;
+
+    // Latent per-machine health drivers. Half the sensor tables report
+    // *discrete levels* (error counts, throttle states — typical telemetry),
+    // half report continuous readings. The machine state is driven by the
+    // discrete levels of sensors 0 and 1, mirroring how usage statistics
+    // explain machine state in the original Kraken data.
+    let mut sensor_values: Vec<Vec<f64>> = Vec::with_capacity(N_SENSOR_TABLES);
+    for t in 0..N_SENSOR_TABLES {
+        if t < N_SENSOR_TABLES / 2 {
+            // Discrete levels 0..=10, centred on 5.
+            sensor_values.push(
+                (0..n)
+                    .map(|_| (normal(&mut rng) * 2.0 + 5.0).round().clamp(0.0, 10.0))
+                    .collect(),
+            );
+        } else {
+            sensor_values.push((0..n).map(|_| normal(&mut rng)).collect());
+        }
+    }
+    let labels: Vec<i64> = (0..n)
+        .map(|m| {
+            let score = sensor_values[0][m] + sensor_values[1][m];
+            let clean = i64::from(score >= 10.0);
+            if rng.gen::<f64>() < label_noise {
+                1 - clean
+            } else {
+                clean
+            }
+        })
+        .collect();
+
+    // Base table: machine id, two weak numeric attributes, state target.
+    let mut base = Table::new("machines", vec!["machine_id", "rack", "uptime_days", "state"]);
+    for (m, &label) in labels.iter().enumerate() {
+        base.push_row(vec![
+            Value::Int(m as i64),
+            Value::Int(rng.gen_range(0..40)),
+            Value::Int(rng.gen_range(1..1000)),
+            Value::Int(label),
+        ])
+        .expect("arity");
+    }
+
+    let mut db = Database::new();
+    db.add_table(base).expect("unique");
+    for (t, values) in sensor_values.iter().enumerate() {
+        let name = format!("sensor_{t}");
+        let mut table = Table::new(
+            name.clone(),
+            vec!["machine_id".to_owned(), format!("reading_{t}"), format!("peak_{t}")],
+        );
+        let discrete = t < N_SENSOR_TABLES / 2;
+        for (m, &v) in values.iter().enumerate() {
+            let reading = if discrete { Value::Int(v as i64) } else { Value::float((v * 100.0).round() / 100.0) };
+            table
+                .push_row(vec![
+                    Value::Int(m as i64),
+                    reading,
+                    Value::float(((v.abs() + rng.gen::<f64>()) * 100.0).round() / 100.0),
+                ])
+                .expect("arity");
+        }
+        db.add_table(table).expect("unique");
+        db.add_foreign_key(ForeignKey::new(name, "machine_id", "machines", "machine_id"));
+    }
+
+    let mut entity_key_columns = vec![("machines".to_owned(), "machine_id".to_owned())];
+    for t in 0..N_SENSOR_TABLES {
+        entity_key_columns.push((format!("sensor_{t}"), "machine_id".to_owned()));
+    }
+
+    LabeledDataset {
+        name: "kraken".into(),
+        db,
+        base_table: "machines".into(),
+        target_column: "state".into(),
+        task: TaskKind::Classification { n_classes: 2 },
+        label_noise,
+        entity_key_columns,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use leva_relational::DataType;
+
+    #[test]
+    fn shape() {
+        let ds = kraken(1.0, 1);
+        assert_eq!(ds.db.table_count(), 1 + N_SENSOR_TABLES);
+        assert_eq!(ds.base().row_count(), 700);
+        assert_eq!(ds.db.foreign_keys().len(), N_SENSOR_TABLES);
+    }
+
+    #[test]
+    fn no_string_columns() {
+        let ds = kraken(0.5, 2);
+        for t in ds.db.tables() {
+            for dt in t.column_types() {
+                assert!(
+                    matches!(dt, DataType::Int | DataType::Float),
+                    "non-numeric column in {}",
+                    t.name()
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn signal_lives_in_sensor_tables() {
+        let ds = kraken(1.0, 3);
+        let s0 = ds.db.table("sensor_0").unwrap();
+        let base = ds.base();
+        // Thresholding sensor_0 alone should beat chance comfortably.
+        let mut correct = 0usize;
+        for r in 0..base.row_count() {
+            let v = s0.value(r, 1).unwrap().as_f64().unwrap();
+            let pred = i64::from(v >= 5.0);
+            if pred == base.value(r, 3).unwrap().as_i64().unwrap() {
+                correct += 1;
+            }
+        }
+        let acc = correct as f64 / base.row_count() as f64;
+        assert!(acc > 0.65, "sensor_0 oracle accuracy {acc}");
+    }
+
+    #[test]
+    fn machine_ids_unique_per_table() {
+        let ds = kraken(0.5, 4);
+        for t in ds.db.tables() {
+            let col = t.column("machine_id").unwrap();
+            let distinct: std::collections::HashSet<String> =
+                col.values().iter().map(|v| v.render()).collect();
+            assert_eq!(distinct.len(), t.row_count());
+        }
+    }
+}

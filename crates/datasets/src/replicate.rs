@@ -1,0 +1,119 @@
+//! The scalability generator (§6.4 / Fig. 7a): a base synthetic database
+//! with 3 tables, 2000 rows, and 5 columns (~4000 unique tokens), replicated
+//! `K` times with version-suffixed tokens so both row count and vocabulary
+//! grow linearly in `K`.
+
+use leva_relational::{Database, Table, Value};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+/// Builds the 3-table base database. `rows_per_table` defaults to the
+/// paper's 2000/3 split when `None`.
+pub fn scalability_base(rows_total: usize, seed: u64) -> Database {
+    let mut rng = StdRng::seed_from_u64(seed);
+    let rows_per_table = (rows_total / 3).max(4);
+    let mut db = Database::new();
+    for t in 0..3 {
+        let mut table = Table::new(
+            format!("t{t}"),
+            vec!["entity", "attr_a", "attr_b", "attr_c", "metric"],
+        );
+        for r in 0..rows_per_table {
+            // `entity` links the three tables; categorical attributes are
+            // drawn from shared pools so value nodes form.
+            table
+                .push_row(vec![
+                    format!("ent_{}", r % (rows_per_table / 2).max(1)).into(),
+                    format!("a_{}", rng.gen_range(0..200)).into(),
+                    format!("b_{}", rng.gen_range(0..200)).into(),
+                    format!("c_{}", rng.gen_range(0..100)).into(),
+                    Value::float((rng.gen::<f64>() * 1000.0).round()),
+                ])
+                .expect("arity");
+        }
+        db.add_table(table).expect("unique");
+    }
+    db
+}
+
+/// Replicates a database `k` times: copy `i` suffixes every textual token
+/// with `~v{i}` so the number of rows *and* distinct tokens grow linearly,
+/// exactly as in the paper's experiment design.
+pub fn replicate(base: &Database, k: usize) -> Database {
+    assert!(k >= 1, "replication factor must be >= 1");
+    let mut db = Database::new();
+    for table in base.tables() {
+        let mut out = Table::new(table.name().to_owned(), table.column_names());
+        for version in 0..k {
+            for r in 0..table.row_count() {
+                let row: Vec<Value> = table
+                    .row(r)
+                    .expect("in bounds")
+                    .into_iter()
+                    .map(|v| match v {
+                        Value::Text(s) if version > 0 => {
+                            Value::Text(format!("{s}~v{version}"))
+                        }
+                        other => other,
+                    })
+                    .collect();
+                out.push_row(row).expect("arity");
+            }
+        }
+        db.add_table(out).expect("unique");
+    }
+    db
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::collections::HashSet;
+
+    #[test]
+    fn base_shape() {
+        let db = scalability_base(2000, 1);
+        assert_eq!(db.table_count(), 3);
+        assert_eq!(db.total_rows(), 1998);
+        assert_eq!(db.tables()[0].column_count(), 5);
+    }
+
+    #[test]
+    fn replication_grows_rows_linearly() {
+        let base = scalability_base(300, 2);
+        let r3 = replicate(&base, 3);
+        assert_eq!(r3.total_rows(), base.total_rows() * 3);
+    }
+
+    #[test]
+    fn replication_grows_vocabulary_linearly() {
+        let base = scalability_base(300, 3);
+        let distinct = |db: &Database| {
+            let mut set: HashSet<String> = HashSet::new();
+            for t in db.tables() {
+                for c in t.columns() {
+                    for v in c.values() {
+                        if let Value::Text(s) = v {
+                            set.insert(s.clone());
+                        }
+                    }
+                }
+            }
+            set.len()
+        };
+        let d1 = distinct(&base);
+        let d3 = distinct(&replicate(&base, 3));
+        assert_eq!(d3, d1 * 3);
+    }
+
+    #[test]
+    fn k1_is_identity() {
+        let base = scalability_base(150, 4);
+        let r1 = replicate(&base, 1);
+        assert_eq!(r1.total_rows(), base.total_rows());
+        assert_eq!(
+            base.tables()[0].value(0, 0).unwrap(),
+            r1.tables()[0].value(0, 0).unwrap()
+        );
+    }
+}

@@ -1,0 +1,149 @@
+//! Restbase-like dataset (restaurant-review analogue): 3 tables, regression,
+//! no missing data, ~67% string columns (Table 4 row 5). The review score is
+//! driven by restaurant quality (cuisine, price band) and location, both
+//! outside the base table.
+
+use crate::spec::{cat, normal, scaled, LabeledDataset, TaskKind};
+use leva_relational::{Database, ForeignKey, Table, Value};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+const N_RESTAURANTS_PER_100_REVIEWS: usize = 18;
+const N_CITIES: usize = 15;
+const N_CUISINES: usize = 12;
+
+/// Generates the Restbase analogue. `scale` = 1.0 ⇒ 800 reviews.
+pub fn restbase(scale: f64, seed: u64) -> LabeledDataset {
+    let mut rng = StdRng::seed_from_u64(seed);
+    let n_reviews = scaled(800, scale);
+    let n_restaurants = (n_reviews * N_RESTAURANTS_PER_100_REVIEWS / 100).max(5);
+
+    // Latent quality per cuisine and per city.
+    let cuisine_quality: Vec<f64> = (0..N_CUISINES).map(|_| rng.gen::<f64>() * 4.0).collect();
+    let city_bonus: Vec<f64> = (0..N_CITIES).map(|_| rng.gen::<f64>() * 2.0).collect();
+
+    let mut locations = Table::new("locations", vec!["city_id", "city_name", "region"]);
+    for c in 0..N_CITIES {
+        locations
+            .push_row(vec![
+                format!("city_{c}").into(),
+                cat(&mut rng, "name", 50).into(),
+                cat(&mut rng, "region", 5).into(),
+            ])
+            .expect("arity");
+    }
+
+    let mut restaurants = Table::new(
+        "restaurants",
+        vec!["restaurant_id", "cuisine", "price_band", "city_id"],
+    );
+    let mut rest_quality = Vec::with_capacity(n_restaurants);
+    for r in 0..n_restaurants {
+        let cuisine = rng.gen_range(0..N_CUISINES);
+        let price = rng.gen_range(0..4);
+        let city = rng.gen_range(0..N_CITIES);
+        let quality =
+            cuisine_quality[cuisine] + 0.5 * price as f64 + city_bonus[city];
+        rest_quality.push(quality);
+        restaurants
+            .push_row(vec![
+                format!("rest_{r}").into(),
+                format!("cuisine_{cuisine}").into(),
+                ["$", "$$", "$$$", "$$$$"][price].into(),
+                format!("city_{city}").into(),
+            ])
+            .expect("arity");
+    }
+
+    // Base table: reviews. Rating = restaurant quality + reviewer noise.
+    let mut reviews =
+        Table::new("reviews", vec!["review_id", "restaurant_id", "reviewer", "rating"]);
+    for v in 0..n_reviews {
+        let r = rng.gen_range(0..n_restaurants);
+        let rating = (rest_quality[r] + normal(&mut rng) * 0.5).clamp(0.0, 10.0);
+        reviews
+            .push_row(vec![
+                format!("rev_{v}").into(),
+                format!("rest_{r}").into(),
+                cat(&mut rng, "user", 300).into(),
+                Value::float((rating * 10.0).round() / 10.0),
+            ])
+            .expect("arity");
+    }
+
+    let mut db = Database::new();
+    db.add_table(reviews).expect("unique");
+    db.add_table(restaurants).expect("unique");
+    db.add_table(locations).expect("unique");
+    db.add_foreign_key(ForeignKey::new("reviews", "restaurant_id", "restaurants", "restaurant_id"));
+    db.add_foreign_key(ForeignKey::new("restaurants", "city_id", "locations", "city_id"));
+
+    LabeledDataset {
+        name: "restbase".into(),
+        db,
+        base_table: "reviews".into(),
+        target_column: "rating".into(),
+        task: TaskKind::Regression,
+        label_noise: 0.0,
+        entity_key_columns: vec![
+            ("reviews".into(), "restaurant_id".into()),
+            ("restaurants".into(), "restaurant_id".into()),
+        ],
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn shape() {
+        let ds = restbase(1.0, 1);
+        assert_eq!(ds.db.table_count(), 3);
+        assert_eq!(ds.base().row_count(), 800);
+        assert_eq!(ds.task, TaskKind::Regression);
+    }
+
+    #[test]
+    fn ratings_bounded() {
+        let ds = restbase(0.5, 2);
+        for v in ds.base().column("rating").unwrap().values() {
+            let r = v.as_f64().unwrap();
+            assert!((0.0..=10.0).contains(&r));
+        }
+    }
+
+    #[test]
+    fn restaurant_mean_explains_ratings() {
+        let ds = restbase(1.0, 3);
+        let reviews = ds.base();
+        // Group ratings by restaurant: within-restaurant variance must be
+        // far below total variance (the signal is restaurant-level).
+        let mut by_rest: std::collections::HashMap<String, Vec<f64>> = Default::default();
+        for r in 0..reviews.row_count() {
+            by_rest
+                .entry(reviews.value(r, 1).unwrap().render())
+                .or_default()
+                .push(reviews.value(r, 3).unwrap().as_f64().unwrap());
+        }
+        let all: Vec<f64> = by_rest.values().flatten().copied().collect();
+        let total_mean = all.iter().sum::<f64>() / all.len() as f64;
+        let total_var =
+            all.iter().map(|v| (v - total_mean).powi(2)).sum::<f64>() / all.len() as f64;
+        let mut within = 0.0;
+        for group in by_rest.values() {
+            let m = group.iter().sum::<f64>() / group.len() as f64;
+            within += group.iter().map(|v| (v - m).powi(2)).sum::<f64>();
+        }
+        within /= all.len() as f64;
+        assert!(within < total_var * 0.5, "within {within} vs total {total_var}");
+    }
+
+    #[test]
+    fn deterministic() {
+        assert_eq!(
+            restbase(0.3, 7).base().value(2, 3).unwrap().render(),
+            restbase(0.3, 7).base().value(2, 3).unwrap().render()
+        );
+    }
+}

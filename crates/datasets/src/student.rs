@@ -1,0 +1,166 @@
+//! The STUDENT synthetic dataset (Table 1 of the paper): three tables where
+//! the base-table target (`total_expenses`) is fully explained by order
+//! information reachable only through two KFK hops, while the base table's
+//! own attributes (`gender`, `school_name`) are uncorrelated with it.
+
+use crate::spec::{cat, inject_noise_attributes, scaled, LabeledDataset, TaskKind};
+use leva_relational::{Database, ForeignKey, Table, Value};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+/// Options for the STUDENT generator.
+#[derive(Debug, Clone, Copy)]
+pub struct StudentOptions {
+    /// Row-count scale (1.0 ⇒ 300 students).
+    pub scale: f64,
+    /// Number of white-noise attributes injected into *all three* tables
+    /// (the Fig. 3 robustness knob). 0 = clean dataset.
+    pub noise_attributes: usize,
+    /// RNG seed.
+    pub seed: u64,
+}
+
+impl Default for StudentOptions {
+    fn default() -> Self {
+        Self { scale: 1.0, noise_attributes: 0, seed: 0x57d }
+    }
+}
+
+/// Generates the STUDENT dataset.
+pub fn student(opts: &StudentOptions) -> LabeledDataset {
+    let mut rng = StdRng::seed_from_u64(opts.seed);
+    let n_students = scaled(300, opts.scale);
+    let n_items = 40;
+
+    // Price Info: item -> price.
+    let mut price_info = Table::new("price_info", vec!["item", "prices"]);
+    let mut prices = Vec::with_capacity(n_items);
+    for i in 0..n_items {
+        let price = 5.0 + rng.gen::<f64>() * 95.0;
+        prices.push(price);
+        price_info
+            .push_row(vec![format!("item_{i}").into(), Value::float((price * 100.0).round() / 100.0)])
+            .expect("arity");
+    }
+
+    // Order Info: student -> items ordered (1..6 orders each).
+    let mut order_info = Table::new("order_info", vec!["name", "item"]);
+    let mut totals = vec![0.0f64; n_students];
+    for s in 0..n_students {
+        let n_orders = rng.gen_range(1..=6);
+        for _ in 0..n_orders {
+            let item = rng.gen_range(0..n_items);
+            totals[s] += prices[item];
+            order_info
+                .push_row(vec![format!("student_{s}").into(), format!("item_{item}").into()])
+                .expect("arity");
+        }
+    }
+
+    // Expenses (base): target = sum of ordered prices; gender/school are
+    // uncorrelated noise features.
+    let mut expenses =
+        Table::new("expenses", vec!["name", "gender", "school_name", "total_expenses"]);
+    for (s, total) in totals.iter().enumerate() {
+        expenses
+            .push_row(vec![
+                format!("student_{s}").into(),
+                ["M", "F"][rng.gen_range(0..2)].into(),
+                cat(&mut rng, "school", 12).into(),
+                Value::float((total * 100.0).round() / 100.0),
+            ])
+            .expect("arity");
+    }
+
+    if opts.noise_attributes > 0 {
+        inject_noise_attributes(&mut expenses, opts.noise_attributes, opts.seed ^ 1);
+        inject_noise_attributes(&mut order_info, opts.noise_attributes, opts.seed ^ 2);
+        inject_noise_attributes(&mut price_info, opts.noise_attributes, opts.seed ^ 3);
+    }
+
+    let mut db = Database::new();
+    db.add_table(expenses).expect("unique name");
+    db.add_table(order_info).expect("unique name");
+    db.add_table(price_info).expect("unique name");
+    db.add_foreign_key(ForeignKey::new("order_info", "name", "expenses", "name"));
+    db.add_foreign_key(ForeignKey::new("order_info", "item", "price_info", "item"));
+
+    LabeledDataset {
+        name: "student".into(),
+        db,
+        base_table: "expenses".into(),
+        target_column: "total_expenses".into(),
+        task: TaskKind::Regression,
+        label_noise: 0.0,
+        entity_key_columns: vec![
+            ("expenses".into(), "name".into()),
+            ("order_info".into(), "name".into()),
+        ],
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn shape_matches_schema() {
+        let ds = student(&StudentOptions::default());
+        assert_eq!(ds.db.table_count(), 3);
+        let base = ds.base();
+        assert_eq!(base.column_count(), 4);
+        assert_eq!(base.row_count(), 300);
+        assert_eq!(ds.db.foreign_keys().len(), 2);
+    }
+
+    #[test]
+    fn target_is_sum_of_ordered_prices() {
+        let ds = student(&StudentOptions { scale: 0.2, ..Default::default() });
+        let base = ds.base();
+        let orders = ds.db.table("order_info").unwrap();
+        let prices = ds.db.table("price_info").unwrap();
+        // Rebuild the oracle target for student_0 and compare.
+        let mut price_of = std::collections::HashMap::new();
+        for r in 0..prices.row_count() {
+            price_of.insert(
+                prices.value(r, 0).unwrap().render(),
+                prices.value(r, 1).unwrap().as_f64().unwrap(),
+            );
+        }
+        let mut expected = 0.0;
+        for r in 0..orders.row_count() {
+            if orders.value(r, 0).unwrap().render() == "student_0" {
+                expected += price_of[&orders.value(r, 1).unwrap().render()];
+            }
+        }
+        let actual = base.value(0, 3).unwrap().as_f64().unwrap();
+        assert!((actual - expected).abs() < 1.0, "{actual} vs {expected}");
+    }
+
+    #[test]
+    fn noise_attributes_injected_everywhere() {
+        let ds = student(&StudentOptions { noise_attributes: 3, ..Default::default() });
+        for t in ds.db.tables() {
+            assert!(t.column("noise_2").is_ok(), "table {} missing noise", t.name());
+        }
+    }
+
+    #[test]
+    fn deterministic() {
+        let a = student(&StudentOptions::default());
+        let b = student(&StudentOptions::default());
+        assert_eq!(
+            a.base().value(5, 3).unwrap().render(),
+            b.base().value(5, 3).unwrap().render()
+        );
+    }
+
+    #[test]
+    fn entity_groups_span_tables() {
+        let ds = student(&StudentOptions { scale: 0.2, ..Default::default() });
+        let groups = ds.entity_groups(2);
+        assert!(!groups.is_empty());
+        // Each group has one expenses row plus >= 1 order rows.
+        assert!(groups.iter().all(|g| g.len() >= 2));
+    }
+}

@@ -1,0 +1,83 @@
+//! Corpora: integer-id sequences plus a vocabulary, the common input format
+//! of the SGNS trainer. Random walks over the graph produce one corpus
+//! flavour; direct row textification (the Word2Vec baseline) produces the
+//! other.
+
+/// A training corpus of id sequences over a string vocabulary.
+#[derive(Debug, Clone)]
+pub struct Corpus {
+    /// Vocabulary: token string per id.
+    pub vocab: Vec<String>,
+    /// Sentences of vocabulary ids.
+    pub sequences: Vec<Vec<u32>>,
+}
+
+impl Corpus {
+    /// Vocabulary size.
+    pub fn vocab_size(&self) -> usize {
+        self.vocab.len()
+    }
+
+    /// Total number of token positions.
+    pub fn total_tokens(&self) -> usize {
+        self.sequences.iter().map(Vec::len).sum()
+    }
+
+    /// Occurrence count per vocabulary id.
+    pub fn frequencies(&self) -> Vec<u64> {
+        let mut freq = vec![0u64; self.vocab.len()];
+        for seq in &self.sequences {
+            for &t in seq {
+                freq[t as usize] += 1;
+            }
+        }
+        freq
+    }
+
+    /// Builds a corpus from string sentences, interning the vocabulary in
+    /// first-seen order.
+    pub fn from_sentences<S: AsRef<str>, I: IntoIterator<Item = Vec<S>>>(
+        sentences: I,
+    ) -> Corpus {
+        let mut vocab: Vec<String> = Vec::new();
+        let mut index: std::collections::HashMap<String, u32> = std::collections::HashMap::new();
+        let mut sequences = Vec::new();
+        for sent in sentences {
+            let mut seq = Vec::with_capacity(sent.len());
+            for tok in sent {
+                let tok = tok.as_ref();
+                let id = *index.entry(tok.to_owned()).or_insert_with(|| {
+                    vocab.push(tok.to_owned());
+                    (vocab.len() - 1) as u32
+                });
+                seq.push(id);
+            }
+            sequences.push(seq);
+        }
+        Corpus { vocab, sequences }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn interning_is_stable() {
+        let c = Corpus::from_sentences(vec![
+            vec!["a", "b", "a"],
+            vec!["b", "c"],
+        ]);
+        assert_eq!(c.vocab, vec!["a", "b", "c"]);
+        assert_eq!(c.sequences, vec![vec![0, 1, 0], vec![1, 2]]);
+        assert_eq!(c.total_tokens(), 5);
+        assert_eq!(c.frequencies(), vec![2, 2, 1]);
+    }
+
+    #[test]
+    fn empty_corpus() {
+        let c = Corpus::from_sentences(Vec::<Vec<&str>>::new());
+        assert_eq!(c.vocab_size(), 0);
+        assert_eq!(c.total_tokens(), 0);
+    }
+}

@@ -1,0 +1,160 @@
+//! Node2Vec-style second-order biased random walks (Grover & Leskovec 2016).
+//!
+//! Used as the Table 5 baseline: a graph embedding over the *unrefined*
+//! syntactic graph, without Leva's voting/weighting. The return parameter
+//! `p` and in-out parameter `q` bias the walk toward BFS- or DFS-like
+//! exploration.
+
+use crate::corpus::Corpus;
+use leva_graph::LevaGraph;
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+/// Node2Vec walk parameters.
+#[derive(Debug, Clone, Copy)]
+pub struct Node2VecConfig {
+    /// Return parameter: larger `p` discourages revisiting the previous node.
+    pub p: f64,
+    /// In-out parameter: larger `q` keeps walks local (BFS-like).
+    pub q: f64,
+    /// Steps per walk.
+    pub walk_length: usize,
+    /// Walks started from each node.
+    pub walks_per_node: usize,
+    /// RNG seed.
+    pub seed: u64,
+}
+
+impl Default for Node2VecConfig {
+    fn default() -> Self {
+        Self { p: 1.0, q: 0.5, walk_length: 80, walks_per_node: 10, seed: 0x20de }
+    }
+}
+
+/// Generates a second-order biased walk corpus. Edge weights are ignored
+/// (Node2Vec on the unrefined graph is unweighted in the paper's setup);
+/// only the p/q bias shapes transitions.
+pub fn node2vec_walks(graph: &LevaGraph, cfg: &Node2VecConfig) -> Corpus {
+    let n = graph.n_nodes();
+    let mut rng = StdRng::seed_from_u64(cfg.seed);
+    let mut sequences = Vec::with_capacity(n * cfg.walks_per_node);
+    for _ in 0..cfg.walks_per_node {
+        for start in 0..n as u32 {
+            let seq = biased_walk(graph, start, cfg, &mut rng);
+            if seq.len() >= 2 {
+                sequences.push(seq);
+            }
+        }
+    }
+    let vocab = (0..n as u32).map(|u| graph.name(u).to_owned()).collect();
+    Corpus { vocab, sequences }
+}
+
+fn biased_walk(graph: &LevaGraph, start: u32, cfg: &Node2VecConfig, rng: &mut StdRng) -> Vec<u32> {
+    let mut seq = Vec::with_capacity(cfg.walk_length);
+    seq.push(start);
+    let first_nbrs = graph.neighbors(start);
+    if first_nbrs.is_empty() {
+        return seq;
+    }
+    let mut prev = start;
+    let mut current = first_nbrs[rng.gen_range(0..first_nbrs.len())].0;
+    seq.push(current);
+    while seq.len() < cfg.walk_length {
+        let nbrs = graph.neighbors(current);
+        if nbrs.is_empty() {
+            break;
+        }
+        // Rejection sampling of the p/q bias (memory-light alternative to
+        // per-edge alias tables; cf. the node2vec reference implementation).
+        let max_bias = (1.0f64).max(1.0 / cfg.p).max(1.0 / cfg.q);
+        let next = loop {
+            let cand = nbrs[rng.gen_range(0..nbrs.len())].0;
+            let bias = if cand == prev {
+                1.0 / cfg.p
+            } else if graph.neighbors(prev).iter().any(|&(v, _)| v == cand) {
+                1.0
+            } else {
+                1.0 / cfg.q
+            };
+            if rng.gen::<f64>() < bias / max_bias {
+                break cand;
+            }
+        };
+        seq.push(next);
+        prev = current;
+        current = next;
+    }
+    seq
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use leva_graph::{build_graph, GraphConfig};
+    use leva_relational::{Database, Table};
+    use leva_textify::{textify, TextifyConfig};
+
+    fn graph() -> LevaGraph {
+        let mut db = Database::new();
+        let mut t = Table::new("t", vec!["name", "grp"]);
+        for i in 0..12 {
+            t.push_row(vec![format!("n{i}").into(), ["a", "b", "c"][i % 3].into()])
+                .unwrap();
+        }
+        db.add_table(t).unwrap();
+        build_graph(&textify(&db, &TextifyConfig::default()), &GraphConfig::default())
+    }
+
+    #[test]
+    fn walks_follow_edges() {
+        let g = graph();
+        let c = node2vec_walks(
+            &g,
+            &Node2VecConfig { walk_length: 12, walks_per_node: 2, ..Default::default() },
+        );
+        for seq in &c.sequences {
+            for w in seq.windows(2) {
+                assert!(g.neighbors(w[0]).iter().any(|&(v, _)| v == w[1]));
+            }
+        }
+    }
+
+    #[test]
+    fn high_p_discourages_backtracking() {
+        let g = graph();
+        let count_backtracks = |p: f64| {
+            let c = node2vec_walks(
+                &g,
+                &Node2VecConfig {
+                    p,
+                    q: 1.0,
+                    walk_length: 30,
+                    walks_per_node: 20,
+                    seed: 3,
+                },
+            );
+            let mut backtracks = 0usize;
+            let mut steps = 0usize;
+            for seq in &c.sequences {
+                for w in seq.windows(3) {
+                    steps += 1;
+                    if w[0] == w[2] {
+                        backtracks += 1;
+                    }
+                }
+            }
+            backtracks as f64 / steps.max(1) as f64
+        };
+        let low_p = count_backtracks(0.1); // returning favoured
+        let high_p = count_backtracks(10.0); // returning discouraged
+        assert!(high_p < low_p, "high-p backtrack rate {high_p} vs low-p {low_p}");
+    }
+
+    #[test]
+    fn deterministic() {
+        let g = graph();
+        let cfg = Node2VecConfig { walk_length: 10, walks_per_node: 2, ..Default::default() };
+        assert_eq!(node2vec_walks(&g, &cfg).sequences, node2vec_walks(&g, &cfg).sequences);
+    }
+}

@@ -1,0 +1,185 @@
+//! Compact binary (de)serialization of walk corpora.
+//!
+//! Walk corpora are the largest transient artifact of the RW path (§4.3
+//! discusses their memory cost); persisting them lets the expensive walk
+//! generation be decoupled from (re)training — e.g. to retrain SGNS at a
+//! different dimension without re-walking the graph.
+//!
+//! Format (little-endian):
+//! `magic "LEVW" | u32 version | u32 vocab_len | vocab entries
+//! (u32 byte-len + utf8) | u32 seq_count | sequences (u32 len + u32 ids)`.
+
+use crate::corpus::Corpus;
+use bytes::{Buf, BufMut, Bytes, BytesMut};
+
+const MAGIC: &[u8; 4] = b"LEVW";
+const VERSION: u32 = 1;
+
+/// Errors produced while decoding a corpus buffer.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum CorpusDecodeError {
+    /// The buffer does not start with the corpus magic bytes.
+    BadMagic,
+    /// The format version is unsupported.
+    BadVersion(u32),
+    /// The buffer ended before the declared content.
+    Truncated,
+    /// A vocabulary entry is not valid UTF-8.
+    BadUtf8,
+    /// A sequence references a vocabulary id that does not exist.
+    IdOutOfRange(u32),
+}
+
+impl std::fmt::Display for CorpusDecodeError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            Self::BadMagic => write!(f, "not a corpus buffer (bad magic)"),
+            Self::BadVersion(v) => write!(f, "unsupported corpus version {v}"),
+            Self::Truncated => write!(f, "corpus buffer truncated"),
+            Self::BadUtf8 => write!(f, "vocabulary entry is not UTF-8"),
+            Self::IdOutOfRange(id) => write!(f, "sequence id {id} out of vocabulary range"),
+        }
+    }
+}
+
+impl std::error::Error for CorpusDecodeError {}
+
+/// Encodes a corpus into a compact byte buffer.
+pub fn encode_corpus(corpus: &Corpus) -> Bytes {
+    let est = 16
+        + corpus.vocab.iter().map(|v| v.len() + 4).sum::<usize>()
+        + corpus.sequences.iter().map(|s| s.len() * 4 + 4).sum::<usize>();
+    let mut buf = BytesMut::with_capacity(est);
+    buf.put_slice(MAGIC);
+    buf.put_u32_le(VERSION);
+    buf.put_u32_le(corpus.vocab.len() as u32);
+    for token in &corpus.vocab {
+        buf.put_u32_le(token.len() as u32);
+        buf.put_slice(token.as_bytes());
+    }
+    buf.put_u32_le(corpus.sequences.len() as u32);
+    for seq in &corpus.sequences {
+        buf.put_u32_le(seq.len() as u32);
+        for &id in seq {
+            buf.put_u32_le(id);
+        }
+    }
+    buf.freeze()
+}
+
+/// Decodes a corpus from a byte buffer produced by [`encode_corpus`].
+pub fn decode_corpus(mut buf: &[u8]) -> Result<Corpus, CorpusDecodeError> {
+    if buf.remaining() < 8 || &buf[..4] != MAGIC {
+        return Err(CorpusDecodeError::BadMagic);
+    }
+    buf.advance(4);
+    let version = buf.get_u32_le();
+    if version != VERSION {
+        return Err(CorpusDecodeError::BadVersion(version));
+    }
+    let take_u32 = |buf: &mut &[u8]| -> Result<u32, CorpusDecodeError> {
+        if buf.remaining() < 4 {
+            return Err(CorpusDecodeError::Truncated);
+        }
+        Ok(buf.get_u32_le())
+    };
+    let vocab_len = take_u32(&mut buf)? as usize;
+    let mut vocab = Vec::with_capacity(vocab_len);
+    for _ in 0..vocab_len {
+        let len = take_u32(&mut buf)? as usize;
+        if buf.remaining() < len {
+            return Err(CorpusDecodeError::Truncated);
+        }
+        let s = std::str::from_utf8(&buf[..len]).map_err(|_| CorpusDecodeError::BadUtf8)?;
+        vocab.push(s.to_owned());
+        buf.advance(len);
+    }
+    let seq_count = take_u32(&mut buf)? as usize;
+    let mut sequences = Vec::with_capacity(seq_count);
+    for _ in 0..seq_count {
+        let len = take_u32(&mut buf)? as usize;
+        if buf.remaining() < len * 4 {
+            return Err(CorpusDecodeError::Truncated);
+        }
+        let mut seq = Vec::with_capacity(len);
+        for _ in 0..len {
+            let id = buf.get_u32_le();
+            if id as usize >= vocab_len {
+                return Err(CorpusDecodeError::IdOutOfRange(id));
+            }
+            seq.push(id);
+        }
+        sequences.push(seq);
+    }
+    Ok(Corpus { vocab, sequences })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn corpus() -> Corpus {
+        Corpus::from_sentences(vec![
+            vec!["alpha", "beta", "alpha"],
+            vec!["gamma"],
+            vec!["beta", "gamma", "alpha", "beta"],
+        ])
+    }
+
+    #[test]
+    fn roundtrip() {
+        let c = corpus();
+        let bytes = encode_corpus(&c);
+        let back = decode_corpus(&bytes).unwrap();
+        assert_eq!(back.vocab, c.vocab);
+        assert_eq!(back.sequences, c.sequences);
+    }
+
+    #[test]
+    fn empty_corpus_roundtrip() {
+        let c = Corpus { vocab: Vec::new(), sequences: Vec::new() };
+        let back = decode_corpus(&encode_corpus(&c)).unwrap();
+        assert_eq!(back.vocab_size(), 0);
+        assert_eq!(back.sequences.len(), 0);
+    }
+
+    #[test]
+    fn bad_magic_rejected() {
+        assert_eq!(decode_corpus(b"NOPE....").unwrap_err(), CorpusDecodeError::BadMagic);
+        assert_eq!(decode_corpus(b"LE").unwrap_err(), CorpusDecodeError::BadMagic);
+    }
+
+    #[test]
+    fn truncation_detected() {
+        let bytes = encode_corpus(&corpus());
+        for cut in [6, 10, 15, bytes.len() - 1] {
+            let err = decode_corpus(&bytes[..cut]).unwrap_err();
+            assert!(
+                matches!(err, CorpusDecodeError::Truncated | CorpusDecodeError::BadMagic),
+                "cut at {cut} gave {err:?}"
+            );
+        }
+    }
+
+    #[test]
+    fn version_checked() {
+        let mut bytes = encode_corpus(&corpus()).to_vec();
+        bytes[4] = 99;
+        assert_eq!(decode_corpus(&bytes).unwrap_err(), CorpusDecodeError::BadVersion(99));
+    }
+
+    #[test]
+    fn out_of_range_ids_rejected() {
+        let mut c = corpus();
+        c.sequences[0][0] = 1000; // invalid id
+        let bytes = encode_corpus(&c);
+        assert_eq!(decode_corpus(&bytes).unwrap_err(), CorpusDecodeError::IdOutOfRange(1000));
+    }
+
+    #[test]
+    fn unicode_vocab_survives() {
+        let c = Corpus::from_sentences(vec![vec!["héllo", "wörld", "日本"]]);
+        let back = decode_corpus(&encode_corpus(&c)).unwrap();
+        assert_eq!(back.vocab, vec!["héllo", "wörld", "日本"]);
+    }
+}

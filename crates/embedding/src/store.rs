@@ -1,0 +1,194 @@
+//! The embedding store: token → vector, the artifact Leva ships to the
+//! deployment stage. "Embedding outputs are stored as key-value pairs,
+//! where keys are string tokens ... and values are floating-point embedding
+//! vectors" (§6.5.2).
+
+use leva_linalg::{Matrix, Pca};
+use serde::{Deserialize, Serialize};
+use std::collections::HashMap;
+
+/// A token → vector map with a fixed dimensionality.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct EmbeddingStore {
+    dim: usize,
+    vectors: HashMap<String, Vec<f64>>,
+}
+
+impl EmbeddingStore {
+    /// Creates an empty store of dimension `dim`.
+    pub fn new(dim: usize) -> Self {
+        Self { dim, vectors: HashMap::new() }
+    }
+
+    /// Embedding dimensionality.
+    pub fn dim(&self) -> usize {
+        self.dim
+    }
+
+    /// Number of stored tokens.
+    pub fn len(&self) -> usize {
+        self.vectors.len()
+    }
+
+    /// True when no tokens are stored.
+    pub fn is_empty(&self) -> bool {
+        self.vectors.is_empty()
+    }
+
+    /// Inserts a vector. Panics if the dimension mismatches.
+    pub fn insert(&mut self, token: impl Into<String>, vector: Vec<f64>) {
+        assert_eq!(vector.len(), self.dim, "embedding dimension mismatch");
+        self.vectors.insert(token.into(), vector);
+    }
+
+    /// Vector for a token.
+    pub fn get(&self, token: &str) -> Option<&[f64]> {
+        self.vectors.get(token).map(Vec::as_slice)
+    }
+
+    /// True when the token is present.
+    pub fn contains(&self, token: &str) -> bool {
+        self.vectors.contains_key(token)
+    }
+
+    /// Iterates `(token, vector)` in unspecified order.
+    pub fn iter(&self) -> impl Iterator<Item = (&str, &[f64])> {
+        self.vectors.iter().map(|(k, v)| (k.as_str(), v.as_slice()))
+    }
+
+    /// Tokens sorted lexicographically (deterministic order for exports).
+    pub fn sorted_tokens(&self) -> Vec<&str> {
+        let mut t: Vec<&str> = self.vectors.keys().map(String::as_str).collect();
+        t.sort_unstable();
+        t
+    }
+
+    /// Estimated heap bytes of the stored vectors.
+    pub fn estimated_bytes(&self) -> usize {
+        self.vectors
+            .iter()
+            .map(|(k, v)| k.len() + v.len() * std::mem::size_of::<f64>() + 48)
+            .sum()
+    }
+
+    /// Projects every vector to `k` dimensions with PCA fitted on the store
+    /// itself (Table 7: compress without retraining). Returns a new store.
+    pub fn pca_project(&self, k: usize) -> EmbeddingStore {
+        if self.is_empty() {
+            return EmbeddingStore::new(k.min(self.dim));
+        }
+        let tokens = self.sorted_tokens();
+        let mut data = Matrix::zeros(tokens.len(), self.dim);
+        for (i, t) in tokens.iter().enumerate() {
+            data.row_mut(i).copy_from_slice(self.get(t).expect("token present"));
+        }
+        let pca = Pca::fit(&data, k);
+        let projected = pca.transform(&data);
+        let mut out = EmbeddingStore::new(projected.cols());
+        for (i, t) in tokens.iter().enumerate() {
+            out.insert(*t, projected.row(i).to_vec());
+        }
+        out
+    }
+
+    /// Serializes to a JSON string (deterministic key order is not
+    /// guaranteed; intended for artifact export, not diffing).
+    pub fn to_json(&self) -> String {
+        serde_json::to_string(self).expect("embedding store serializes")
+    }
+
+    /// Deserializes from JSON.
+    pub fn from_json(s: &str) -> Result<EmbeddingStore, serde_json::Error> {
+        serde_json::from_str(s)
+    }
+
+    /// Writes the store to a JSON file.
+    pub fn save(&self, path: impl AsRef<std::path::Path>) -> std::io::Result<()> {
+        std::fs::write(path, self.to_json())
+    }
+
+    /// Loads a store from a JSON file.
+    pub fn load(path: impl AsRef<std::path::Path>) -> std::io::Result<EmbeddingStore> {
+        let data = std::fs::read_to_string(path)?;
+        Self::from_json(&data).map_err(std::io::Error::other)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn store() -> EmbeddingStore {
+        let mut s = EmbeddingStore::new(3);
+        s.insert("a", vec![1.0, 0.0, 0.0]);
+        s.insert("b", vec![0.0, 1.0, 0.0]);
+        s.insert("c", vec![0.0, 0.0, 1.0]);
+        s
+    }
+
+    #[test]
+    fn insert_and_get() {
+        let s = store();
+        assert_eq!(s.len(), 3);
+        assert_eq!(s.get("a"), Some([1.0, 0.0, 0.0].as_slice()));
+        assert_eq!(s.get("z"), None);
+        assert!(s.contains("b"));
+    }
+
+    #[test]
+    #[should_panic(expected = "dimension mismatch")]
+    fn wrong_dim_panics() {
+        let mut s = EmbeddingStore::new(3);
+        s.insert("a", vec![1.0]);
+    }
+
+    #[test]
+    fn sorted_tokens_deterministic() {
+        let s = store();
+        assert_eq!(s.sorted_tokens(), vec!["a", "b", "c"]);
+    }
+
+    #[test]
+    fn pca_projection_reduces_dim() {
+        let s = store();
+        let p = s.pca_project(2);
+        assert_eq!(p.dim(), 2);
+        assert_eq!(p.len(), 3);
+        assert_eq!(p.get("a").unwrap().len(), 2);
+    }
+
+    #[test]
+    fn json_roundtrip() {
+        let s = store();
+        let j = s.to_json();
+        let back = EmbeddingStore::from_json(&j).unwrap();
+        assert_eq!(back.len(), 3);
+        assert_eq!(back.get("b"), s.get("b"));
+        assert_eq!(back.dim(), 3);
+    }
+
+    #[test]
+    fn file_roundtrip() {
+        let s = store();
+        let dir = std::env::temp_dir().join("leva_store_test");
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("emb.json");
+        s.save(&path).unwrap();
+        let back = EmbeddingStore::load(&path).unwrap();
+        assert_eq!(back.len(), s.len());
+        assert_eq!(back.get("c"), s.get("c"));
+        std::fs::remove_file(&path).ok();
+    }
+
+    #[test]
+    fn load_missing_file_errors() {
+        assert!(EmbeddingStore::load("/definitely/not/a/file.json").is_err());
+    }
+
+    #[test]
+    fn empty_store_pca_is_safe() {
+        let s = EmbeddingStore::new(5);
+        let p = s.pca_project(2);
+        assert!(p.is_empty());
+    }
+}

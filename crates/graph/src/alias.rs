@@ -1,0 +1,142 @@
+//! Walker's alias method for O(1) sampling from a discrete distribution.
+//!
+//! Weighted random walks draw a neighbour per step; with alias tables the
+//! draw is constant-time after `O(n)` preprocessing per node. The paper
+//! (§4.3) points out the memory cost of these tables is why unweighted
+//! graphs scale further — we reproduce that trade-off faithfully.
+
+use rand::Rng;
+
+/// A preprocessed alias table over `n` outcomes.
+#[derive(Debug, Clone)]
+pub struct AliasTable {
+    prob: Vec<f64>,
+    alias: Vec<u32>,
+}
+
+impl AliasTable {
+    /// Builds an alias table from (possibly unnormalized) non-negative
+    /// weights. Returns `None` for empty or all-zero inputs.
+    pub fn new(weights: &[f64]) -> Option<AliasTable> {
+        let n = weights.len();
+        if n == 0 {
+            return None;
+        }
+        let total: f64 = weights.iter().sum();
+        if total <= 0.0 || !total.is_finite() {
+            return None;
+        }
+        let scale = n as f64 / total;
+        let mut prob: Vec<f64> = weights.iter().map(|w| w * scale).collect();
+        let mut alias = vec![0u32; n];
+        let mut small: Vec<u32> = Vec::new();
+        let mut large: Vec<u32> = Vec::new();
+        for (i, &p) in prob.iter().enumerate() {
+            if p < 1.0 {
+                small.push(i as u32);
+            } else {
+                large.push(i as u32);
+            }
+        }
+        while let (Some(s), Some(l)) = (small.pop(), large.pop()) {
+            alias[s as usize] = l;
+            prob[l as usize] = (prob[l as usize] + prob[s as usize]) - 1.0;
+            if prob[l as usize] < 1.0 {
+                small.push(l);
+            } else {
+                large.push(l);
+            }
+        }
+        // Remaining buckets are numerically 1.
+        for i in small.into_iter().chain(large) {
+            prob[i as usize] = 1.0;
+        }
+        Some(AliasTable { prob, alias })
+    }
+
+    /// Number of outcomes.
+    pub fn len(&self) -> usize {
+        self.prob.len()
+    }
+
+    /// True when the table has no outcomes.
+    pub fn is_empty(&self) -> bool {
+        self.prob.is_empty()
+    }
+
+    /// Samples an outcome index in O(1).
+    pub fn sample<R: Rng + ?Sized>(&self, rng: &mut R) -> usize {
+        let i = rng.gen_range(0..self.prob.len());
+        if rng.gen::<f64>() < self.prob[i] {
+            i
+        } else {
+            self.alias[i] as usize
+        }
+    }
+
+    /// Estimated heap bytes (for the memory-estimation module).
+    pub fn estimated_bytes(&self) -> usize {
+        self.prob.len() * std::mem::size_of::<f64>()
+            + self.alias.len() * std::mem::size_of::<u32>()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn empirical_distribution_matches_weights() {
+        let weights = [1.0, 3.0, 6.0];
+        let table = AliasTable::new(&weights).unwrap();
+        let mut rng = StdRng::seed_from_u64(42);
+        let mut counts = [0usize; 3];
+        let n = 100_000;
+        for _ in 0..n {
+            counts[table.sample(&mut rng)] += 1;
+        }
+        let freqs: Vec<f64> = counts.iter().map(|&c| c as f64 / n as f64).collect();
+        assert!((freqs[0] - 0.1).abs() < 0.01, "{freqs:?}");
+        assert!((freqs[1] - 0.3).abs() < 0.01, "{freqs:?}");
+        assert!((freqs[2] - 0.6).abs() < 0.01, "{freqs:?}");
+    }
+
+    #[test]
+    fn single_outcome() {
+        let table = AliasTable::new(&[5.0]).unwrap();
+        let mut rng = StdRng::seed_from_u64(1);
+        for _ in 0..10 {
+            assert_eq!(table.sample(&mut rng), 0);
+        }
+    }
+
+    #[test]
+    fn zero_weight_outcomes_never_sampled() {
+        let table = AliasTable::new(&[0.0, 1.0, 0.0]).unwrap();
+        let mut rng = StdRng::seed_from_u64(2);
+        for _ in 0..1000 {
+            assert_eq!(table.sample(&mut rng), 1);
+        }
+    }
+
+    #[test]
+    fn degenerate_inputs_rejected() {
+        assert!(AliasTable::new(&[]).is_none());
+        assert!(AliasTable::new(&[0.0, 0.0]).is_none());
+    }
+
+    #[test]
+    fn uniform_weights() {
+        let table = AliasTable::new(&[1.0; 10]).unwrap();
+        let mut rng = StdRng::seed_from_u64(3);
+        let mut counts = [0usize; 10];
+        for _ in 0..50_000 {
+            counts[table.sample(&mut rng)] += 1;
+        }
+        for &c in &counts {
+            assert!((c as f64 / 50_000.0 - 0.1).abs() < 0.01);
+        }
+    }
+}

@@ -1,0 +1,475 @@
+//! Graph construction and refinement (Algorithm 1 of the paper).
+//!
+//! Row nodes represent tuples; value nodes represent shared tokens. A row
+//! node connects to a value node when the row contains that token under an
+//! attribute that survived the voting refinement. Rows sharing a value are
+//! therefore connected through the common value node — `O(MN)` edges instead
+//! of the `O(MN²)` a pairwise row-similarity graph would need.
+
+use crate::voting::TokenVotes;
+use leva_linalg::CsrMatrix;
+use leva_textify::TokenizedDatabase;
+use std::collections::HashMap;
+
+
+/// Graph-construction parameters (Table 2, "Graph Construction/Refinement").
+#[derive(Debug, Clone, Copy)]
+pub struct GraphConfig {
+    /// Missing-data threshold: tokens voted for by more than this fraction
+    /// of all attributes are removed (default 50%).
+    pub theta_range: f64,
+    /// Evidence threshold: attributes with less than this fraction of a
+    /// token's votes are dropped from it (default 5%).
+    pub theta_min: f64,
+    /// Whether to annotate edges with inverse-degree weights (default true).
+    pub weighted: bool,
+}
+
+impl Default for GraphConfig {
+    fn default() -> Self {
+        Self { theta_range: 0.5, theta_min: 0.05, weighted: true }
+    }
+}
+
+/// What a graph node represents.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum NodeKind {
+    /// A tuple of table `table` (index into [`LevaGraph::table_names`]) at
+    /// row index `row`.
+    Row {
+        /// Table index.
+        table: u32,
+        /// Row index within the table.
+        row: u32,
+    },
+    /// A shared value token.
+    Value,
+}
+
+/// Counters describing what refinement did — surfaced in experiment logs and
+/// asserted on by tests.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct RefineStats {
+    /// Distinct tokens observed before refinement.
+    pub tokens_total: usize,
+    /// Tokens removed as missing-data-like (θ_range).
+    pub tokens_removed_missing: usize,
+    /// (token, attribute) pairs dropped for lack of evidence (θ_min).
+    pub token_attrs_removed: usize,
+    /// Tokens skipped because only one row carries them (no information).
+    pub singleton_tokens_skipped: usize,
+}
+
+/// The bipartite row/value graph Leva embeds.
+#[derive(Debug, Clone)]
+pub struct LevaGraph {
+    kinds: Vec<NodeKind>,
+    names: Vec<String>,
+    adj: Vec<Vec<(u32, f64)>>,
+    n_row_nodes: usize,
+    row_offsets: Vec<usize>,
+    table_names: Vec<String>,
+    stats: RefineStats,
+    value_index: HashMap<String, u32>,
+}
+
+impl LevaGraph {
+    /// Total node count (row + value nodes).
+    pub fn n_nodes(&self) -> usize {
+        self.kinds.len()
+    }
+
+    /// Number of row nodes (they occupy ids `0..n_row_nodes`).
+    pub fn n_row_nodes(&self) -> usize {
+        self.n_row_nodes
+    }
+
+    /// Number of value nodes.
+    pub fn n_value_nodes(&self) -> usize {
+        self.kinds.len() - self.n_row_nodes
+    }
+
+    /// Number of undirected edges.
+    pub fn n_edges(&self) -> usize {
+        self.adj.iter().map(Vec::len).sum::<usize>() / 2
+    }
+
+    /// Node kind.
+    pub fn kind(&self, node: u32) -> NodeKind {
+        self.kinds[node as usize]
+    }
+
+    /// Node name: `row::<table>::<idx>` for rows, the token for values.
+    pub fn name(&self, node: u32) -> &str {
+        &self.names[node as usize]
+    }
+
+    /// Neighbour list with edge weights.
+    pub fn neighbors(&self, node: u32) -> &[(u32, f64)] {
+        &self.adj[node as usize]
+    }
+
+    /// Degree (number of incident edges).
+    pub fn degree(&self, node: u32) -> usize {
+        self.adj[node as usize].len()
+    }
+
+    /// Table names in database order.
+    pub fn table_names(&self) -> &[String] {
+        &self.table_names
+    }
+
+    /// The node id of row `row` of table index `table`.
+    pub fn row_node(&self, table: usize, row: usize) -> u32 {
+        (self.row_offsets[table] + row) as u32
+    }
+
+    /// The node id of the value node for `token`, if it survived refinement.
+    pub fn value_node(&self, token: &str) -> Option<u32> {
+        self.value_index.get(token).copied()
+    }
+
+    /// Refinement statistics.
+    pub fn stats(&self) -> &RefineStats {
+        &self.stats
+    }
+
+    /// Symmetric weighted adjacency as CSR (input of the MF embedding).
+    pub fn to_csr(&self) -> CsrMatrix {
+        let n = self.n_nodes();
+        let mut triplets = Vec::with_capacity(2 * self.n_edges());
+        for (u, nbrs) in self.adj.iter().enumerate() {
+            for &(v, w) in nbrs {
+                triplets.push((u as u32, v, w));
+            }
+        }
+        CsrMatrix::from_triplets(n, n, triplets)
+    }
+
+    /// Estimated heap bytes of the adjacency structure (drives the MF/RW
+    /// memory-based method selection).
+    pub fn estimated_adjacency_bytes(&self) -> usize {
+        self.adj
+            .iter()
+            .map(|nbrs| nbrs.len() * std::mem::size_of::<(u32, f64)>() + std::mem::size_of::<Vec<(u32, f64)>>())
+            .sum()
+    }
+}
+
+/// Builds the refined, weighted graph from a textified database.
+pub fn build_graph(tokenized: &TokenizedDatabase, cfg: &GraphConfig) -> LevaGraph {
+    // 1. Allocate row nodes table by table.
+    let mut kinds = Vec::new();
+    let mut names = Vec::new();
+    let mut row_offsets = Vec::with_capacity(tokenized.tables.len());
+    let mut table_names = Vec::with_capacity(tokenized.tables.len());
+    for (ti, table) in tokenized.tables.iter().enumerate() {
+        row_offsets.push(kinds.len());
+        table_names.push(table.name.clone());
+        for ri in 0..table.rows.len() {
+            kinds.push(NodeKind::Row { table: ti as u32, row: ri as u32 });
+            names.push(format!("row::{}::{}", table.name, ri));
+        }
+    }
+    let n_row_nodes = kinds.len();
+
+    // 2. Tally votes and collect occurrences per token (Alg. 1 lines 4-10).
+    struct TokenEntry {
+        votes: TokenVotes,
+        occurrences: Vec<(u32, u32)>, // (row node, attr)
+    }
+    let mut tokens: HashMap<&str, TokenEntry> = HashMap::new();
+    for (ti, table) in tokenized.tables.iter().enumerate() {
+        for (ri, row) in table.rows.iter().enumerate() {
+            let row_node = (row_offsets[ti] + ri) as u32;
+            for occ in &row.tokens {
+                let e = tokens.entry(occ.token.as_str()).or_insert_with(|| TokenEntry {
+                    votes: TokenVotes::default(),
+                    occurrences: Vec::new(),
+                });
+                e.votes.vote(occ.attr);
+                e.occurrences.push((row_node, occ.attr));
+            }
+        }
+    }
+
+    // 3. Refinement (Alg. 1 lines 11-12) + edge creation.
+    let total_attributes = tokenized.attributes.len();
+    let mut stats = RefineStats { tokens_total: tokens.len(), ..Default::default() };
+    let mut value_index: HashMap<String, u32> = HashMap::new();
+    let mut adj: Vec<Vec<(u32, f64)>> = vec![Vec::new(); n_row_nodes];
+    // Deterministic iteration order: sort tokens.
+    let mut ordered: Vec<(&str, TokenEntry)> = tokens.into_iter().collect();
+    ordered.sort_unstable_by(|a, b| a.0.cmp(b.0));
+    for (token, entry) in ordered {
+        if entry.votes.is_missing_like(cfg.theta_range, total_attributes) {
+            stats.tokens_removed_missing += 1;
+            continue;
+        }
+        let supported = entry.votes.supported_attrs(cfg.theta_min);
+        stats.token_attrs_removed += entry.votes.distinct_attrs() - supported.len();
+        // Collect distinct rows connected through surviving attributes.
+        let mut rows: Vec<u32> = entry
+            .occurrences
+            .iter()
+            .filter(|(_, attr)| supported.binary_search(attr).is_ok())
+            .map(|&(row, _)| row)
+            .collect();
+        rows.sort_unstable();
+        rows.dedup();
+        if rows.len() < 2 {
+            // Value nodes only exist when a value is shared between rows.
+            stats.singleton_tokens_skipped += 1;
+            continue;
+        }
+        let value_node = kinds.len() as u32;
+        kinds.push(NodeKind::Value);
+        names.push(token.to_owned());
+        value_index.insert(token.to_owned(), value_node);
+        adj.push(Vec::with_capacity(rows.len()));
+        for row in rows {
+            adj[row as usize].push((value_node, 1.0));
+            adj[value_node as usize].push((row, 1.0));
+        }
+    }
+
+    // 4. Weighting (Alg. 1 line 13): each row-value edge gets a weight
+    //    inversely proportional to the value node's degree, so hub values
+    //    (weak inclusion-dependency evidence) matter less.
+    if cfg.weighted {
+        for value_node in n_row_nodes..kinds.len() {
+            let deg = adj[value_node].len() as f64;
+            let w = 1.0 / deg;
+            for entry in &mut adj[value_node] {
+                entry.1 = w;
+            }
+        }
+        for row_node in 0..n_row_nodes {
+            // Mirror the weight on the row side; per-node normalization
+            // happens implicitly when transition probabilities are formed.
+            let updates: Vec<(usize, f64)> = adj[row_node]
+                .iter()
+                .map(|&(v, _)| (v as usize, 1.0 / adj[v as usize].len() as f64))
+                .collect();
+            for (i, (_, w)) in adj[row_node].iter_mut().enumerate() {
+                *w = updates[i].1;
+            }
+        }
+    }
+
+    LevaGraph {
+        kinds,
+        names,
+        adj,
+        n_row_nodes,
+        row_offsets,
+        table_names,
+        stats,
+        value_index,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use leva_relational::{Database, Table, Value};
+    use leva_textify::{textify, TextifyConfig};
+
+    fn graph_from(db: &Database, cfg: &GraphConfig) -> LevaGraph {
+        let tok = textify(db, &TextifyConfig::default());
+        build_graph(&tok, cfg)
+    }
+
+    fn two_table_db() -> Database {
+        let mut db = Database::new();
+        let mut a = Table::new("a", vec!["name", "city"]);
+        let mut b = Table::new("b", vec!["name", "amount"]);
+        let cities = ["nyc", "sfo"];
+        for i in 0..10 {
+            a.push_row(vec![format!("user{i}").into(), cities[i % 2].into()]).unwrap();
+            b.push_row(vec![format!("user{i}").into(), Value::Float(i as f64)]).unwrap();
+        }
+        db.add_table(a).unwrap();
+        db.add_table(b).unwrap();
+        db
+    }
+
+    #[test]
+    fn shared_keys_create_value_nodes_bridging_tables() {
+        let db = two_table_db();
+        let g = graph_from(&db, &GraphConfig::default());
+        assert_eq!(g.n_row_nodes(), 20);
+        // Every user token appears in both tables => 10 user value nodes
+        // plus city value nodes.
+        let user_node = g.value_node("user3").expect("user3 value node exists");
+        let nbrs = g.neighbors(user_node);
+        assert_eq!(nbrs.len(), 2);
+        // One neighbour in each table.
+        let tables: Vec<u32> = nbrs
+            .iter()
+            .map(|&(n, _)| match g.kind(n) {
+                NodeKind::Row { table, .. } => table,
+                NodeKind::Value => panic!("value-value edge"),
+            })
+            .collect();
+        assert!(tables.contains(&0) && tables.contains(&1));
+    }
+
+    #[test]
+    fn graph_is_bipartite() {
+        let db = two_table_db();
+        let g = graph_from(&db, &GraphConfig::default());
+        for u in 0..g.n_nodes() as u32 {
+            for &(v, _) in g.neighbors(u) {
+                let uk = matches!(g.kind(u), NodeKind::Row { .. });
+                let vk = matches!(g.kind(v), NodeKind::Row { .. });
+                assert_ne!(uk, vk, "edge {u}-{v} joins same-kind nodes");
+            }
+        }
+    }
+
+    #[test]
+    fn adjacency_is_symmetric() {
+        let db = two_table_db();
+        let g = graph_from(&db, &GraphConfig::default());
+        for u in 0..g.n_nodes() as u32 {
+            for &(v, w) in g.neighbors(u) {
+                let back = g
+                    .neighbors(v)
+                    .iter()
+                    .find(|&&(x, _)| x == u)
+                    .expect("symmetric edge");
+                assert!((back.1 - w).abs() < 1e-12);
+            }
+        }
+    }
+
+    #[test]
+    fn missing_sentinels_removed_by_theta_range() {
+        let mut db = Database::new();
+        // "?" appears under most attributes; real values are narrow.
+        let mut t = Table::new("t", vec!["a", "b", "c"]);
+        for i in 0..12 {
+            let v = |s: &str| Value::Text(s.to_owned());
+            match i % 3 {
+                0 => t.push_row(vec![v("?"), v("x"), v("p")]).unwrap(),
+                1 => t.push_row(vec![v("q"), v("?"), v("p")]).unwrap(),
+                _ => t.push_row(vec![v("q"), v("x"), v("?")]).unwrap(),
+            }
+        }
+        db.add_table(t).unwrap();
+        let g = graph_from(&db, &GraphConfig::default());
+        assert!(g.value_node("?").is_none(), "sentinel should be voted out");
+        assert!(g.value_node("q").is_some());
+        assert!(g.stats().tokens_removed_missing >= 1);
+    }
+
+    #[test]
+    fn weak_attribute_edges_pruned_by_theta_min() {
+        // "washington" appears 40 times under `name` and once under `state`:
+        // the state occurrence is below θ_min = 5% of 41 votes.
+        let mut db = Database::new();
+        // Extra columns keep the database's attribute count high enough
+        // that a 2-attribute token is not mistaken for missing data.
+        let mut t = Table::new("people", vec!["name", "state", "c1", "c2", "c3"]);
+        let filler = |s: &str| Value::Text(s.to_owned());
+        for _ in 0..40 {
+            t.push_row(vec![
+                "washington".into(),
+                "il".into(),
+                filler("f1"),
+                filler("f2"),
+                filler("f3"),
+            ])
+            .unwrap();
+        }
+        t.push_row(vec![
+            "lincoln".into(),
+            "washington".into(),
+            filler("f1"),
+            filler("f2"),
+            filler("f3"),
+        ])
+        .unwrap();
+        // Give `state` another row so `washington@state` is a real loss.
+        t.push_row(vec![
+            "adams".into(),
+            "washington".into(),
+            filler("f1"),
+            filler("f2"),
+            filler("f3"),
+        ])
+        .unwrap();
+        db.add_table(t).unwrap();
+        let g = graph_from(&db, &GraphConfig::default());
+        let vn = g.value_node("washington").expect("kept under name");
+        // 42 votes total: 40 under name (95%), 2 under state (4.7% < 5%).
+        // Only the name rows connect.
+        assert_eq!(g.degree(vn), 40);
+        assert!(g.stats().token_attrs_removed >= 1);
+    }
+
+    #[test]
+    fn singleton_tokens_skipped() {
+        let mut db = Database::new();
+        let mut t = Table::new("t", vec!["name", "color"]);
+        t.push_row(vec!["unique_person".into(), "red".into()]).unwrap();
+        t.push_row(vec!["another_person".into(), "red".into()]).unwrap();
+        db.add_table(t).unwrap();
+        let g = graph_from(&db, &GraphConfig::default());
+        // "red" shared by both rows => value node; names are singletons.
+        assert!(g.value_node("red").is_some());
+        assert!(g.value_node("unique_person").is_none());
+        assert!(g.stats().singleton_tokens_skipped >= 2);
+    }
+
+    #[test]
+    fn weighted_edges_inverse_to_value_degree() {
+        let db = two_table_db();
+        let g = graph_from(&db, &GraphConfig::default());
+        let user = g.value_node("user3").unwrap(); // degree 2
+        assert!((g.neighbors(user)[0].1 - 0.5).abs() < 1e-12);
+        let city = g.value_node("nyc").unwrap(); // degree 5 (rows 0,2,4,6,8)
+        assert!((g.neighbors(city)[0].1 - 0.2).abs() < 1e-12);
+        // Row-side weights mirror the value-side weights.
+        let row0 = g.row_node(0, 0);
+        for &(v, w) in g.neighbors(row0) {
+            assert!((w - 1.0 / g.degree(v) as f64).abs() < 1e-12);
+        }
+    }
+
+    #[test]
+    fn unweighted_config_keeps_unit_weights() {
+        let db = two_table_db();
+        let g = graph_from(&db, &GraphConfig { weighted: false, ..Default::default() });
+        for u in 0..g.n_nodes() as u32 {
+            for &(_, w) in g.neighbors(u) {
+                assert_eq!(w, 1.0);
+            }
+        }
+    }
+
+    #[test]
+    fn csr_roundtrip_preserves_edges() {
+        let db = two_table_db();
+        let g = graph_from(&db, &GraphConfig::default());
+        let csr = g.to_csr();
+        assert_eq!(csr.n_rows(), g.n_nodes());
+        assert_eq!(csr.nnz(), 2 * g.n_edges());
+    }
+
+    #[test]
+    fn edge_count_is_linear_not_quadratic() {
+        // 30 rows sharing one city in one column: value-node design gives
+        // 30 edges, not C(30,2)=435.
+        let mut db = Database::new();
+        let mut t = Table::new("t", vec!["id", "city"]);
+        for i in 0..30 {
+            t.push_row(vec![format!("id{i}").into(), "nyc".into()]).unwrap();
+        }
+        db.add_table(t).unwrap();
+        let g = graph_from(&db, &GraphConfig::default());
+        assert_eq!(g.n_edges(), 30);
+        assert_eq!(g.n_value_nodes(), 1);
+    }
+}

@@ -1,0 +1,20 @@
+//! # leva-graph
+//!
+//! The *graph construction and refinement* stages of Leva (§3 of the paper):
+//! the bipartite row-node/value-node graph (Algorithm 1), the attribute
+//! voting mechanism that removes missing-data tokens (θ_range) and
+//! low-evidence attribute associations (θ_min), inverse-degree edge
+//! weighting, a CSR export for the matrix-factorization embedding path, and
+//! Walker alias tables for O(1) weighted random-walk sampling.
+
+#![warn(missing_docs)]
+// Index loops are the clearest idiom in the numeric kernels below.
+#![allow(clippy::needless_range_loop)]
+
+mod alias;
+mod builder;
+mod voting;
+
+pub use alias::AliasTable;
+pub use builder::{build_graph, GraphConfig, LevaGraph, NodeKind, RefineStats};
+pub use voting::TokenVotes;

@@ -1,0 +1,136 @@
+//! The attribute-voting mechanism (§3.2).
+//!
+//! Every time a row has token `v` under attribute `a`, it casts one vote for
+//! "`v` belongs to `a`". The resulting per-token vote distributions drive
+//! two refinements:
+//!
+//! * **Missing values** spread across many attributes: tokens voted for by
+//!   more than `θ_range` of *all* database attributes are deleted.
+//! * **Accidental syntactic collisions** (the paper's "Washington" example)
+//!   give a token a long tail of rarely-witnessed attributes: attributes
+//!   holding less than `θ_min` of a token's votes are dropped from that
+//!   token.
+
+use std::collections::HashMap;
+
+/// Vote tally for a single token: attribute id → vote count.
+#[derive(Debug, Clone, Default)]
+pub struct TokenVotes {
+    votes: HashMap<u32, u32>,
+    total: u32,
+}
+
+impl TokenVotes {
+    /// Records one vote for the token belonging to `attr`.
+    pub fn vote(&mut self, attr: u32) {
+        *self.votes.entry(attr).or_insert(0) += 1;
+        self.total += 1;
+    }
+
+    /// Total votes received.
+    pub fn total(&self) -> u32 {
+        self.total
+    }
+
+    /// Number of distinct attributes that voted.
+    pub fn distinct_attrs(&self) -> usize {
+        self.votes.len()
+    }
+
+    /// Votes for a specific attribute.
+    pub fn for_attr(&self, attr: u32) -> u32 {
+        self.votes.get(&attr).copied().unwrap_or(0)
+    }
+
+    /// Iterates `(attr, votes)`.
+    pub fn iter(&self) -> impl Iterator<Item = (u32, u32)> + '_ {
+        self.votes.iter().map(|(&a, &v)| (a, v))
+    }
+
+    /// True when the token should be treated as missing data: it appears
+    /// under more than `theta_range` (fraction) of all attributes.
+    pub fn is_missing_like(&self, theta_range: f64, total_attributes: usize) -> bool {
+        if total_attributes == 0 {
+            return false;
+        }
+        (self.distinct_attrs() as f64) > theta_range * total_attributes as f64
+    }
+
+    /// The set of attributes with enough evidence: at least `theta_min`
+    /// (fraction) of this token's votes.
+    pub fn supported_attrs(&self, theta_min: f64) -> Vec<u32> {
+        if self.total == 0 {
+            return Vec::new();
+        }
+        let threshold = theta_min * f64::from(self.total);
+        let mut attrs: Vec<u32> = self
+            .votes
+            .iter()
+            .filter(|(_, &v)| f64::from(v) >= threshold && v > 0)
+            .map(|(&a, _)| a)
+            .collect();
+        attrs.sort_unstable();
+        attrs
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn votes_accumulate() {
+        let mut v = TokenVotes::default();
+        v.vote(0);
+        v.vote(0);
+        v.vote(3);
+        assert_eq!(v.total(), 3);
+        assert_eq!(v.distinct_attrs(), 2);
+        assert_eq!(v.for_attr(0), 2);
+        assert_eq!(v.for_attr(7), 0);
+    }
+
+    #[test]
+    fn missing_detection_uses_attr_spread() {
+        let mut v = TokenVotes::default();
+        for a in 0..6 {
+            v.vote(a);
+        }
+        // 6 of 10 attributes = 60% > 50% => missing-like.
+        assert!(v.is_missing_like(0.5, 10));
+        // 6 of 20 attributes = 30% <= 50% => not missing.
+        assert!(!v.is_missing_like(0.5, 20));
+    }
+
+    #[test]
+    fn exactly_at_threshold_is_kept() {
+        let mut v = TokenVotes::default();
+        for a in 0..5 {
+            v.vote(a);
+        }
+        // Exactly 50% of 10 attributes: paper says "more than", so kept.
+        assert!(!v.is_missing_like(0.5, 10));
+    }
+
+    #[test]
+    fn weak_attributes_filtered() {
+        let mut v = TokenVotes::default();
+        for _ in 0..97 {
+            v.vote(1);
+        }
+        v.vote(2);
+        v.vote(2);
+        v.vote(3);
+        // attr 1: 97%, attr 2: 2%, attr 3: 1% — θ_min = 5% keeps only attr 1.
+        assert_eq!(v.supported_attrs(0.05), vec![1]);
+        // θ_min = 1% keeps all.
+        assert_eq!(v.supported_attrs(0.01), vec![1, 2, 3]);
+    }
+
+    #[test]
+    fn empty_votes_support_nothing() {
+        let v = TokenVotes::default();
+        assert!(v.supported_attrs(0.05).is_empty());
+        assert!(!v.is_missing_like(0.5, 10));
+    }
+}

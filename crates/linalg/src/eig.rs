@@ -1,0 +1,160 @@
+//! Symmetric eigendecomposition via the cyclic Jacobi rotation method.
+//!
+//! The randomized SVD reduces the factorization of a huge sparse matrix to
+//! the eigendecomposition of a small `k × k` symmetric Gram matrix (k ≈
+//! embedding dimension + oversampling), which Jacobi handles robustly.
+
+use crate::dense::Matrix;
+
+/// Result of a symmetric eigendecomposition `A = V diag(λ) Vᵀ`.
+#[derive(Debug, Clone)]
+pub struct SymEig {
+    /// Eigenvalues sorted in descending order.
+    pub values: Vec<f64>,
+    /// Eigenvectors as columns, in the same order as `values`.
+    pub vectors: Matrix,
+}
+
+/// Computes the eigendecomposition of a symmetric matrix using cyclic Jacobi
+/// sweeps. Panics if the matrix is not square.
+pub fn sym_eig(a: &Matrix) -> SymEig {
+    let n = a.rows();
+    assert_eq!(n, a.cols(), "sym_eig requires a square matrix");
+    let mut m = a.clone();
+    let mut v = Matrix::identity(n);
+    let max_sweeps = 100;
+    for _ in 0..max_sweeps {
+        let off: f64 = off_diag_norm(&m);
+        if off < 1e-12 * (1.0 + m.frobenius_norm()) {
+            break;
+        }
+        for p in 0..n {
+            for q in (p + 1)..n {
+                let apq = m[(p, q)];
+                if apq.abs() < 1e-300 {
+                    continue;
+                }
+                let app = m[(p, p)];
+                let aqq = m[(q, q)];
+                let theta = (aqq - app) / (2.0 * apq);
+                let t = if theta >= 0.0 {
+                    1.0 / (theta + (1.0 + theta * theta).sqrt())
+                } else {
+                    -1.0 / (-theta + (1.0 + theta * theta).sqrt())
+                };
+                let c = 1.0 / (1.0 + t * t).sqrt();
+                let s = t * c;
+                // Apply the rotation on rows/columns p and q.
+                for i in 0..n {
+                    let mip = m[(i, p)];
+                    let miq = m[(i, q)];
+                    m[(i, p)] = c * mip - s * miq;
+                    m[(i, q)] = s * mip + c * miq;
+                }
+                for i in 0..n {
+                    let mpi = m[(p, i)];
+                    let mqi = m[(q, i)];
+                    m[(p, i)] = c * mpi - s * mqi;
+                    m[(q, i)] = s * mpi + c * mqi;
+                }
+                for i in 0..n {
+                    let vip = v[(i, p)];
+                    let viq = v[(i, q)];
+                    v[(i, p)] = c * vip - s * viq;
+                    v[(i, q)] = s * vip + c * viq;
+                }
+            }
+        }
+    }
+    // Collect and sort by descending eigenvalue.
+    let mut order: Vec<usize> = (0..n).collect();
+    let diag: Vec<f64> = (0..n).map(|i| m[(i, i)]).collect();
+    order.sort_by(|&i, &j| diag[j].partial_cmp(&diag[i]).expect("finite eigenvalues"));
+    let values: Vec<f64> = order.iter().map(|&i| diag[i]).collect();
+    let mut vectors = Matrix::zeros(n, n);
+    for (new_col, &old_col) in order.iter().enumerate() {
+        for r in 0..n {
+            vectors[(r, new_col)] = v[(r, old_col)];
+        }
+    }
+    SymEig { values, vectors }
+}
+
+fn off_diag_norm(m: &Matrix) -> f64 {
+    let n = m.rows();
+    let mut acc = 0.0;
+    for i in 0..n {
+        for j in 0..n {
+            if i != j {
+                acc += m[(i, j)] * m[(i, j)];
+            }
+        }
+    }
+    acc.sqrt()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn diagonal_matrix() {
+        let a = Matrix::from_rows(&[&[3.0, 0.0], &[0.0, 1.0]]);
+        let e = sym_eig(&a);
+        assert!((e.values[0] - 3.0).abs() < 1e-10);
+        assert!((e.values[1] - 1.0).abs() < 1e-10);
+    }
+
+    #[test]
+    fn known_2x2() {
+        // [[2,1],[1,2]] has eigenvalues 3 and 1.
+        let a = Matrix::from_rows(&[&[2.0, 1.0], &[1.0, 2.0]]);
+        let e = sym_eig(&a);
+        assert!((e.values[0] - 3.0).abs() < 1e-10);
+        assert!((e.values[1] - 1.0).abs() < 1e-10);
+        // Eigenvector for 3 is (1,1)/sqrt(2) up to sign.
+        let v0 = (e.vectors[(0, 0)], e.vectors[(1, 0)]);
+        assert!((v0.0.abs() - (0.5f64).sqrt()).abs() < 1e-8);
+        assert!((v0.0 - v0.1).abs() < 1e-8);
+    }
+
+    #[test]
+    fn reconstruction() {
+        let a = Matrix::from_rows(&[
+            &[4.0, 1.0, 0.5],
+            &[1.0, 3.0, -1.0],
+            &[0.5, -1.0, 2.0],
+        ]);
+        let e = sym_eig(&a);
+        // A = V diag(λ) Vᵀ
+        let mut lam = Matrix::zeros(3, 3);
+        for i in 0..3 {
+            lam[(i, i)] = e.values[i];
+        }
+        let recon = e.vectors.matmul(&lam).matmul(&e.vectors.transpose());
+        assert!(recon.max_abs_diff(&a) < 1e-8);
+    }
+
+    #[test]
+    fn eigenvectors_are_orthonormal() {
+        let a = Matrix::from_rows(&[
+            &[1.0, 2.0, 3.0],
+            &[2.0, 5.0, 4.0],
+            &[3.0, 4.0, 9.0],
+        ]);
+        let e = sym_eig(&a);
+        let vtv = e.vectors.transpose().matmul(&e.vectors);
+        assert!(vtv.max_abs_diff(&Matrix::identity(3)) < 1e-8);
+    }
+
+    #[test]
+    fn eigenvalues_sorted_descending() {
+        let a = Matrix::from_rows(&[
+            &[1.0, 0.0, 0.0],
+            &[0.0, 5.0, 0.0],
+            &[0.0, 0.0, 3.0],
+        ]);
+        let e = sym_eig(&a);
+        assert!(e.values.windows(2).all(|w| w[0] >= w[1]));
+    }
+}

@@ -1,0 +1,143 @@
+//! Thin QR decomposition via Householder reflections.
+//!
+//! Used by the randomized range finder: given a tall sample matrix `Y`
+//! (n × k, k ≪ n), `thin_q(Y)` returns an orthonormal basis `Q` of `Y`'s
+//! column space such that `Y ≈ Q R`.
+
+use crate::dense::Matrix;
+
+/// Computes the thin `Q` factor (n × k) of an n × k matrix with n ≥ k.
+///
+/// Columns of the result are orthonormal. Rank-deficient inputs still return
+/// an orthonormal matrix (deficient directions are filled with arbitrary
+/// orthonormal vectors produced by the reflections).
+pub fn thin_q(a: &Matrix) -> Matrix {
+    let n = a.rows();
+    let k = a.cols();
+    assert!(n >= k, "thin_q requires a tall matrix (n >= k)");
+    let mut r = a.clone();
+    // Store the Householder vectors; v_j has support on rows j..n.
+    let mut vs: Vec<Vec<f64>> = Vec::with_capacity(k);
+    for j in 0..k {
+        // Build the Householder vector for column j below the diagonal.
+        let mut v = vec![0.0; n - j];
+        for i in j..n {
+            v[i - j] = r[(i, j)];
+        }
+        let norm = v.iter().map(|x| x * x).sum::<f64>().sqrt();
+        if norm < 1e-300 {
+            // Zero column: identity reflection.
+            vs.push(vec![0.0; n - j]);
+            continue;
+        }
+        let alpha = if v[0] >= 0.0 { -norm } else { norm };
+        v[0] -= alpha;
+        let vnorm = v.iter().map(|x| x * x).sum::<f64>().sqrt();
+        if vnorm < 1e-300 {
+            vs.push(vec![0.0; n - j]);
+            continue;
+        }
+        for x in &mut v {
+            *x /= vnorm;
+        }
+        // Apply the reflection H = I - 2 v vᵀ to the trailing block of R.
+        for col in j..k {
+            let mut dot = 0.0;
+            for i in j..n {
+                dot += v[i - j] * r[(i, col)];
+            }
+            let dot2 = 2.0 * dot;
+            for i in j..n {
+                r[(i, col)] -= dot2 * v[i - j];
+            }
+        }
+        vs.push(v);
+    }
+    // Q = H_0 H_1 ... H_{k-1} applied to the first k columns of I.
+    let mut q = Matrix::zeros(n, k);
+    for j in 0..k {
+        q[(j, j)] = 1.0;
+    }
+    for (j, v) in vs.iter().enumerate().rev() {
+        if v.iter().all(|&x| x == 0.0) {
+            continue;
+        }
+        for col in 0..k {
+            let mut dot = 0.0;
+            for i in j..n {
+                dot += v[i - j] * q[(i, col)];
+            }
+            let dot2 = 2.0 * dot;
+            for i in j..n {
+                q[(i, col)] -= dot2 * v[i - j];
+            }
+        }
+    }
+    q
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn orthonormality_error(q: &Matrix) -> f64 {
+        let qtq = q.transpose().matmul(q);
+        qtq.max_abs_diff(&Matrix::identity(q.cols()))
+    }
+
+    #[test]
+    fn q_is_orthonormal() {
+        let a = Matrix::from_rows(&[
+            &[1.0, 2.0],
+            &[3.0, 4.0],
+            &[5.0, 6.0],
+            &[7.0, 9.0],
+        ]);
+        let q = thin_q(&a);
+        assert_eq!(q.rows(), 4);
+        assert_eq!(q.cols(), 2);
+        assert!(orthonormality_error(&q) < 1e-10);
+    }
+
+    #[test]
+    fn q_spans_column_space() {
+        let a = Matrix::from_rows(&[
+            &[1.0, 0.0],
+            &[0.0, 1.0],
+            &[1.0, 1.0],
+        ]);
+        let q = thin_q(&a);
+        // Projecting A onto span(Q) must reproduce A: Q Qᵀ A = A.
+        let proj = q.matmul(&q.transpose().matmul(&a));
+        assert!(proj.max_abs_diff(&a) < 1e-10);
+    }
+
+    #[test]
+    fn handles_rank_deficiency() {
+        // Second column is a multiple of the first.
+        let a = Matrix::from_rows(&[
+            &[1.0, 2.0],
+            &[2.0, 4.0],
+            &[3.0, 6.0],
+        ]);
+        let q = thin_q(&a);
+        assert!(orthonormality_error(&q) < 1e-10);
+    }
+
+    #[test]
+    fn handles_zero_matrix() {
+        let a = Matrix::zeros(5, 2);
+        let q = thin_q(&a);
+        assert_eq!(q.rows(), 5);
+        assert_eq!(q.cols(), 2);
+        // Identity reflections leave the seeded identity columns in place.
+        assert!(orthonormality_error(&q) < 1e-10);
+    }
+
+    #[test]
+    fn square_orthonormal_input_is_preserved_up_to_sign() {
+        let a = Matrix::identity(3);
+        let q = thin_q(&a);
+        assert!(orthonormality_error(&q) < 1e-12);
+    }
+}

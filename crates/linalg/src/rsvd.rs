@@ -1,0 +1,193 @@
+//! Randomized truncated SVD (Halko, Martinsson, Tropp 2010).
+//!
+//! Approximates `A ≈ U Σ Vᵀ` for a large sparse `A` in `O(d²N)` time by
+//! restricting `A` to a random low-dimensional subspace (range finding with
+//! optional power iterations), then solving an exact small eigenproblem.
+//! This is the workhorse of Leva's matrix-factorization embedding method.
+
+use crate::dense::Matrix;
+use crate::eig::sym_eig;
+use crate::qr::thin_q;
+use crate::sparse::CsrMatrix;
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+/// A truncated SVD `A ≈ U diag(S) Vᵀ`.
+#[derive(Debug, Clone)]
+pub struct Svd {
+    /// Left singular vectors, `n_rows × k`.
+    pub u: Matrix,
+    /// Singular values, descending, length `k`.
+    pub s: Vec<f64>,
+    /// Right singular vectors, `n_cols × k`.
+    pub v: Matrix,
+}
+
+/// Options for [`randomized_svd`].
+#[derive(Debug, Clone, Copy)]
+pub struct RsvdOptions {
+    /// Target rank `k`.
+    pub rank: usize,
+    /// Extra sampled directions beyond `k` (improves accuracy; Halko
+    /// recommends 5-10).
+    pub oversample: usize,
+    /// Number of power iterations (sharpens the spectrum; 1-2 suffice for
+    /// graph proximity matrices).
+    pub power_iters: usize,
+    /// RNG seed for the Gaussian test matrix.
+    pub seed: u64,
+}
+
+impl Default for RsvdOptions {
+    fn default() -> Self {
+        Self { rank: 100, oversample: 8, power_iters: 2, seed: 0x5eed }
+    }
+}
+
+/// Computes the randomized truncated SVD of a sparse matrix.
+pub fn randomized_svd(a: &CsrMatrix, opts: RsvdOptions) -> Svd {
+    let n = a.n_rows();
+    let m = a.n_cols();
+    let k = opts.rank.min(n).min(m).max(1);
+    let l = (k + opts.oversample).min(n).min(m);
+    let mut rng = StdRng::seed_from_u64(opts.seed);
+
+    // Stage A: range finding. Y = A * Ω with Ω Gaussian (m × l).
+    let mut omega = Matrix::zeros(m, l);
+    for v in omega.data_mut() {
+        *v = gaussian(&mut rng);
+    }
+    let mut y = a.spmm_dense(&omega);
+    // Power iterations with re-orthonormalization for numerical stability.
+    for _ in 0..opts.power_iters {
+        let q = thin_q(&y);
+        let z = a.tr_spmm_dense(&q);
+        let qz = thin_q(&z);
+        y = a.spmm_dense(&qz);
+    }
+    let q = thin_q(&y); // n × l, orthonormal columns
+
+    // Stage B: Bᵀ = Aᵀ Q (m × l); B = Qᵀ A is l × m but never materialized.
+    let bt = a.tr_spmm_dense(&q);
+    // Gram = B Bᵀ = BᵀᵀBᵀ... concretely: Gram[i,j] = Σ_c Bᵀ[c,i]·Bᵀ[c,j].
+    let gram = bt.transpose().matmul(&bt); // l × l symmetric
+    let eig = sym_eig(&gram);
+
+    // Singular values and the small factors.
+    let mut s = Vec::with_capacity(k);
+    for i in 0..k {
+        s.push(eig.values[i].max(0.0).sqrt());
+    }
+    let w = eig.vectors.take_columns(k); // l × k
+    // U = Q W   (n × k)
+    let u = q.matmul(&w);
+    // V = Bᵀ W Σ⁻¹  (m × k); zero singular values yield zero columns.
+    let btw = bt.matmul(&w);
+    let mut v = Matrix::zeros(m, k);
+    for r in 0..m {
+        for c in 0..k {
+            v[(r, c)] = if s[c] > 1e-12 { btw[(r, c)] / s[c] } else { 0.0 };
+        }
+    }
+    Svd { u, s, v }
+}
+
+/// Standard normal sample via Box-Muller (avoids depending on rand_distr).
+pub(crate) fn gaussian(rng: &mut StdRng) -> f64 {
+    let u1: f64 = rng.gen_range(f64::EPSILON..1.0);
+    let u2: f64 = rng.gen::<f64>();
+    (-2.0 * u1.ln()).sqrt() * (2.0 * std::f64::consts::PI * u2).cos()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn low_rank_matrix(n: usize, m: usize, rank: usize, seed: u64) -> CsrMatrix {
+        // Dense product of two random thin factors, stored sparsely.
+        let mut rng = StdRng::seed_from_u64(seed);
+        let mut a = Matrix::zeros(n, rank);
+        let mut b = Matrix::zeros(rank, m);
+        for v in a.data_mut() {
+            *v = gaussian(&mut rng);
+        }
+        for v in b.data_mut() {
+            *v = gaussian(&mut rng);
+        }
+        let prod = a.matmul(&b);
+        let mut triplets = Vec::new();
+        for i in 0..n {
+            for j in 0..m {
+                triplets.push((i as u32, j as u32, prod[(i, j)]));
+            }
+        }
+        CsrMatrix::from_triplets(n, m, triplets)
+    }
+
+    #[test]
+    fn recovers_exact_low_rank() {
+        let a = low_rank_matrix(40, 30, 5, 7);
+        let svd = randomized_svd(
+            &a,
+            RsvdOptions { rank: 5, oversample: 6, power_iters: 2, seed: 1 },
+        );
+        // Reconstruct and compare.
+        let mut us = svd.u.clone();
+        for r in 0..us.rows() {
+            for c in 0..us.cols() {
+                us[(r, c)] *= svd.s[c];
+            }
+        }
+        let recon = us.matmul(&svd.v.transpose());
+        let dense = a.to_dense();
+        let err = recon.max_abs_diff(&dense);
+        let scale = dense.frobenius_norm() / (40.0f64 * 30.0).sqrt();
+        assert!(err < 1e-6 * (1.0 + scale) * 100.0, "err = {err}");
+    }
+
+    #[test]
+    fn singular_values_descending_nonnegative() {
+        let a = low_rank_matrix(25, 25, 10, 3);
+        let svd = randomized_svd(
+            &a,
+            RsvdOptions { rank: 8, oversample: 5, power_iters: 1, seed: 2 },
+        );
+        assert_eq!(svd.s.len(), 8);
+        assert!(svd.s.windows(2).all(|w| w[0] >= w[1] - 1e-9));
+        assert!(svd.s.iter().all(|&x| x >= 0.0));
+    }
+
+    #[test]
+    fn factors_are_orthonormal() {
+        let a = low_rank_matrix(30, 20, 6, 11);
+        let svd = randomized_svd(
+            &a,
+            RsvdOptions { rank: 6, oversample: 6, power_iters: 2, seed: 5 },
+        );
+        let utu = svd.u.transpose().matmul(&svd.u);
+        assert!(utu.max_abs_diff(&Matrix::identity(6)) < 1e-6);
+        let vtv = svd.v.transpose().matmul(&svd.v);
+        assert!(vtv.max_abs_diff(&Matrix::identity(6)) < 1e-6);
+    }
+
+    #[test]
+    fn rank_clamped_to_dimensions() {
+        let a = low_rank_matrix(5, 4, 2, 13);
+        let svd = randomized_svd(
+            &a,
+            RsvdOptions { rank: 50, oversample: 10, power_iters: 1, seed: 1 },
+        );
+        assert_eq!(svd.s.len(), 4);
+        assert_eq!(svd.u.cols(), 4);
+    }
+
+    #[test]
+    fn deterministic_for_fixed_seed() {
+        let a = low_rank_matrix(20, 20, 4, 9);
+        let o = RsvdOptions { rank: 4, oversample: 4, power_iters: 1, seed: 77 };
+        let s1 = randomized_svd(&a, o);
+        let s2 = randomized_svd(&a, o);
+        assert_eq!(s1.s, s2.s);
+        assert!(s1.u.max_abs_diff(&s2.u) == 0.0);
+    }
+}

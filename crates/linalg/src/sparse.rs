@@ -1,0 +1,291 @@
+//! Compressed sparse row (CSR) matrices.
+//!
+//! The refined Leva graph is stored as a CSR adjacency/proximity matrix; the
+//! matrix-factorization embedding method multiplies it against thin dense
+//! matrices (randomized range finding), so `spmm_dense` is the hot path.
+
+use crate::dense::Matrix;
+
+/// A CSR sparse matrix of `f64`.
+#[derive(Debug, Clone, PartialEq)]
+pub struct CsrMatrix {
+    n_rows: usize,
+    n_cols: usize,
+    indptr: Vec<usize>,
+    indices: Vec<u32>,
+    data: Vec<f64>,
+}
+
+impl CsrMatrix {
+    /// Builds from COO triplets `(row, col, value)`. Duplicate entries are
+    /// summed. Entries are sorted per row by column index.
+    pub fn from_triplets(
+        n_rows: usize,
+        n_cols: usize,
+        mut triplets: Vec<(u32, u32, f64)>,
+    ) -> Self {
+        triplets.sort_unstable_by_key(|&(r, c, _)| (r, c));
+        let mut indptr = vec![0usize; n_rows + 1];
+        let mut indices = Vec::with_capacity(triplets.len());
+        let mut data: Vec<f64> = Vec::with_capacity(triplets.len());
+        for (r, c, v) in triplets {
+            debug_assert!((r as usize) < n_rows && (c as usize) < n_cols);
+            // Merge duplicates (same row & col as the previous entry).
+            if indptr[r as usize + 1] > indptr[r as usize]
+                && indices.last() == Some(&c)
+                && indptr[r as usize + 1] == indices.len()
+            {
+                *data.last_mut().expect("non-empty") += v;
+                continue;
+            }
+            // Rows arrive sorted, so all indptr slots between the previous
+            // row and this one are finalized.
+            indices.push(c);
+            data.push(v);
+            indptr[r as usize + 1] = indices.len();
+        }
+        // Make indptr cumulative for empty rows.
+        for i in 1..=n_rows {
+            if indptr[i] < indptr[i - 1] {
+                indptr[i] = indptr[i - 1];
+            }
+        }
+        Self { n_rows, n_cols, indptr, indices, data }
+    }
+
+    /// Number of rows.
+    pub fn n_rows(&self) -> usize {
+        self.n_rows
+    }
+
+    /// Number of columns.
+    pub fn n_cols(&self) -> usize {
+        self.n_cols
+    }
+
+    /// Number of stored entries.
+    pub fn nnz(&self) -> usize {
+        self.data.len()
+    }
+
+    /// The stored entries of row `i` as `(col, value)` pairs.
+    pub fn row(&self, i: usize) -> impl Iterator<Item = (usize, f64)> + '_ {
+        let range = self.indptr[i]..self.indptr[i + 1];
+        self.indices[range.clone()]
+            .iter()
+            .map(|&c| c as usize)
+            .zip(self.data[range].iter().copied())
+    }
+
+    /// Sum of the stored values of row `i`.
+    pub fn row_sum(&self, i: usize) -> f64 {
+        self.data[self.indptr[i]..self.indptr[i + 1]].iter().sum()
+    }
+
+    /// Sum of all stored values.
+    pub fn total_sum(&self) -> f64 {
+        self.data.iter().sum()
+    }
+
+    /// Per-column sums (the "context" marginals of the proximity matrix).
+    pub fn column_sums(&self) -> Vec<f64> {
+        let mut sums = vec![0.0; self.n_cols];
+        for (idx, &c) in self.indices.iter().enumerate() {
+            sums[c as usize] += self.data[idx];
+        }
+        sums
+    }
+
+    /// Applies `f` to every stored value.
+    pub fn map_values(&mut self, mut f: impl FnMut(usize, usize, f64) -> f64) {
+        for r in 0..self.n_rows {
+            for idx in self.indptr[r]..self.indptr[r + 1] {
+                self.data[idx] = f(r, self.indices[idx] as usize, self.data[idx]);
+            }
+        }
+    }
+
+    /// Drops stored entries for which `keep` returns false.
+    pub fn retain(&mut self, mut keep: impl FnMut(usize, usize, f64) -> bool) {
+        let mut new_indptr = vec![0usize; self.n_rows + 1];
+        let mut new_indices = Vec::with_capacity(self.indices.len());
+        let mut new_data = Vec::with_capacity(self.data.len());
+        for r in 0..self.n_rows {
+            for idx in self.indptr[r]..self.indptr[r + 1] {
+                let c = self.indices[idx] as usize;
+                let v = self.data[idx];
+                if keep(r, c, v) {
+                    new_indices.push(c as u32);
+                    new_data.push(v);
+                }
+            }
+            new_indptr[r + 1] = new_indices.len();
+        }
+        self.indptr = new_indptr;
+        self.indices = new_indices;
+        self.data = new_data;
+    }
+
+    /// Sparse matrix × dense vector.
+    pub fn spmv(&self, x: &[f64]) -> Vec<f64> {
+        assert_eq!(x.len(), self.n_cols, "spmv dimension mismatch");
+        let mut out = vec![0.0; self.n_rows];
+        for r in 0..self.n_rows {
+            let mut acc = 0.0;
+            for idx in self.indptr[r]..self.indptr[r + 1] {
+                acc += self.data[idx] * x[self.indices[idx] as usize];
+            }
+            out[r] = acc;
+        }
+        out
+    }
+
+    /// Sparse matrix × dense matrix (`self * b`).
+    pub fn spmm_dense(&self, b: &Matrix) -> Matrix {
+        assert_eq!(b.rows(), self.n_cols, "spmm dimension mismatch");
+        let k = b.cols();
+        let mut out = Matrix::zeros(self.n_rows, k);
+        for r in 0..self.n_rows {
+            let out_row = out.row_mut(r);
+            for idx in self.indptr[r]..self.indptr[r + 1] {
+                let v = self.data[idx];
+                let b_row = b.row(self.indices[idx] as usize);
+                for (o, &bv) in out_row.iter_mut().zip(b_row) {
+                    *o += v * bv;
+                }
+            }
+        }
+        out
+    }
+
+    /// `selfᵀ * b` without materializing the transpose.
+    pub fn tr_spmm_dense(&self, b: &Matrix) -> Matrix {
+        assert_eq!(b.rows(), self.n_rows, "tr_spmm dimension mismatch");
+        let k = b.cols();
+        let mut out = Matrix::zeros(self.n_cols, k);
+        for r in 0..self.n_rows {
+            let b_row = b.row(r);
+            for idx in self.indptr[r]..self.indptr[r + 1] {
+                let v = self.data[idx];
+                let out_row = out.row_mut(self.indices[idx] as usize);
+                for (o, &bv) in out_row.iter_mut().zip(b_row) {
+                    *o += v * bv;
+                }
+            }
+        }
+        out
+    }
+
+    /// Materializes the transpose.
+    pub fn transpose(&self) -> CsrMatrix {
+        let mut triplets = Vec::with_capacity(self.nnz());
+        for r in 0..self.n_rows {
+            for idx in self.indptr[r]..self.indptr[r + 1] {
+                triplets.push((self.indices[idx], r as u32, self.data[idx]));
+            }
+        }
+        CsrMatrix::from_triplets(self.n_cols, self.n_rows, triplets)
+    }
+
+    /// Materializes as a dense matrix (test helper; avoid for large inputs).
+    pub fn to_dense(&self) -> Matrix {
+        let mut m = Matrix::zeros(self.n_rows, self.n_cols);
+        for r in 0..self.n_rows {
+            for (c, v) in self.row(r) {
+                m[(r, c)] += v;
+            }
+        }
+        m
+    }
+
+    /// Estimated heap footprint in bytes (used by the MF/RW memory chooser).
+    pub fn estimated_bytes(&self) -> usize {
+        self.indptr.len() * std::mem::size_of::<usize>()
+            + self.indices.len() * std::mem::size_of::<u32>()
+            + self.data.len() * std::mem::size_of::<f64>()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample() -> CsrMatrix {
+        // [[1, 0, 2],
+        //  [0, 0, 0],
+        //  [3, 4, 0]]
+        CsrMatrix::from_triplets(
+            3,
+            3,
+            vec![(0, 0, 1.0), (0, 2, 2.0), (2, 0, 3.0), (2, 1, 4.0)],
+        )
+    }
+
+    #[test]
+    fn construction_and_access() {
+        let m = sample();
+        assert_eq!(m.nnz(), 4);
+        assert_eq!(m.row(0).collect::<Vec<_>>(), vec![(0, 1.0), (2, 2.0)]);
+        assert_eq!(m.row(1).count(), 0);
+        assert_eq!(m.row_sum(2), 7.0);
+        assert_eq!(m.total_sum(), 10.0);
+        assert_eq!(m.column_sums(), vec![4.0, 4.0, 2.0]);
+    }
+
+    #[test]
+    fn duplicates_are_summed() {
+        let m = CsrMatrix::from_triplets(1, 2, vec![(0, 1, 1.0), (0, 1, 2.5)]);
+        assert_eq!(m.nnz(), 1);
+        assert_eq!(m.row(0).collect::<Vec<_>>(), vec![(1, 3.5)]);
+    }
+
+    #[test]
+    fn spmv_matches_dense() {
+        let m = sample();
+        let x = vec![1.0, 2.0, 3.0];
+        assert_eq!(m.spmv(&x), m.to_dense().matvec(&x));
+    }
+
+    #[test]
+    fn spmm_matches_dense() {
+        let m = sample();
+        let b = Matrix::from_rows(&[&[1.0, 0.5], &[2.0, -1.0], &[0.0, 1.0]]);
+        let got = m.spmm_dense(&b);
+        let want = m.to_dense().matmul(&b);
+        assert!(got.max_abs_diff(&want) < 1e-12);
+    }
+
+    #[test]
+    fn tr_spmm_matches_transpose() {
+        let m = sample();
+        let b = Matrix::from_rows(&[&[1.0], &[2.0], &[3.0]]);
+        let got = m.tr_spmm_dense(&b);
+        let want = m.transpose().to_dense().matmul(&b);
+        assert!(got.max_abs_diff(&want) < 1e-12);
+    }
+
+    #[test]
+    fn transpose_roundtrip() {
+        let m = sample();
+        let tt = m.transpose().transpose();
+        assert!(m.to_dense().max_abs_diff(&tt.to_dense()) < 1e-12);
+    }
+
+    #[test]
+    fn retain_and_map() {
+        let mut m = sample();
+        m.map_values(|_, _, v| v * 2.0);
+        assert_eq!(m.total_sum(), 20.0);
+        m.retain(|_, _, v| v > 4.0);
+        assert_eq!(m.nnz(), 2); // 6 and 8 survive
+        assert_eq!(m.row_sum(2), 14.0);
+    }
+
+    #[test]
+    fn empty_rows_have_valid_indptr() {
+        let m = CsrMatrix::from_triplets(4, 4, vec![(3, 0, 1.0)]);
+        assert_eq!(m.row(0).count(), 0);
+        assert_eq!(m.row(2).count(), 0);
+        assert_eq!(m.row(3).collect::<Vec<_>>(), vec![(0, 1.0)]);
+    }
+}

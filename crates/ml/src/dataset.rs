@@ -1,0 +1,182 @@
+//! Datasets: a feature matrix, a target vector, and the task kind.
+
+use leva_linalg::Matrix;
+
+/// The learning task.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Task {
+    /// Classification over `n_classes` labels encoded as `0.0..n_classes`.
+    Classification {
+        /// Number of classes.
+        n_classes: usize,
+    },
+    /// Real-valued regression.
+    Regression,
+}
+
+/// A supervised dataset.
+#[derive(Debug, Clone)]
+pub struct Dataset {
+    /// Feature matrix, `n × d`.
+    pub x: Matrix,
+    /// Targets, length `n`. Class labels for classification.
+    pub y: Vec<f64>,
+    /// Task kind.
+    pub task: Task,
+}
+
+impl Dataset {
+    /// Builds a dataset, validating shapes and (for classification) labels.
+    pub fn new(x: Matrix, y: Vec<f64>, task: Task) -> Dataset {
+        assert_eq!(x.rows(), y.len(), "feature/target length mismatch");
+        if let Task::Classification { n_classes } = task {
+            for &label in &y {
+                let l = label as usize;
+                assert!(
+                    label.fract() == 0.0 && l < n_classes,
+                    "label {label} out of range for {n_classes} classes"
+                );
+            }
+        }
+        Dataset { x, y, task }
+    }
+
+    /// Number of samples.
+    pub fn len(&self) -> usize {
+        self.y.len()
+    }
+
+    /// True when the dataset holds no samples.
+    pub fn is_empty(&self) -> bool {
+        self.y.is_empty()
+    }
+
+    /// Feature dimensionality.
+    pub fn n_features(&self) -> usize {
+        self.x.cols()
+    }
+
+    /// Selects the rows at `indices` into a new dataset.
+    pub fn select(&self, indices: &[usize]) -> Dataset {
+        let mut x = Matrix::zeros(indices.len(), self.x.cols());
+        let mut y = Vec::with_capacity(indices.len());
+        for (out_r, &r) in indices.iter().enumerate() {
+            x.row_mut(out_r).copy_from_slice(self.x.row(r));
+            y.push(self.y[r]);
+        }
+        Dataset { x, y, task: self.task }
+    }
+
+    /// Number of classes for classification tasks (1 for regression).
+    pub fn n_classes(&self) -> usize {
+        match self.task {
+            Task::Classification { n_classes } => n_classes,
+            Task::Regression => 1,
+        }
+    }
+}
+
+/// Standardizes features to zero mean / unit variance, fitted on one dataset
+/// and applicable to another (train → test).
+#[derive(Debug, Clone)]
+pub struct Standardizer {
+    mean: Vec<f64>,
+    std: Vec<f64>,
+}
+
+impl Standardizer {
+    /// Fits on the rows of `x`.
+    pub fn fit(x: &Matrix) -> Standardizer {
+        let n = x.rows().max(1);
+        let d = x.cols();
+        let mut mean = vec![0.0; d];
+        for r in 0..x.rows() {
+            for (m, &v) in mean.iter_mut().zip(x.row(r)) {
+                *m += v;
+            }
+        }
+        for m in &mut mean {
+            *m /= n as f64;
+        }
+        let mut std = vec![0.0; d];
+        for r in 0..x.rows() {
+            for ((s, &v), &m) in std.iter_mut().zip(x.row(r)).zip(&mean) {
+                *s += (v - m) * (v - m);
+            }
+        }
+        for s in &mut std {
+            *s = (*s / n as f64).sqrt();
+            if *s < 1e-12 {
+                *s = 1.0; // constant features pass through unscaled
+            }
+        }
+        Standardizer { mean, std }
+    }
+
+    /// Applies the transformation.
+    pub fn transform(&self, x: &Matrix) -> Matrix {
+        assert_eq!(x.cols(), self.mean.len());
+        let mut out = x.clone();
+        for r in 0..out.rows() {
+            for ((v, &m), &s) in out.row_mut(r).iter_mut().zip(&self.mean).zip(&self.std) {
+                *v = (*v - m) / s;
+            }
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn data() -> Dataset {
+        let x = Matrix::from_rows(&[&[1.0, 2.0], &[3.0, 4.0], &[5.0, 6.0]]);
+        Dataset::new(x, vec![0.0, 1.0, 0.0], Task::Classification { n_classes: 2 })
+    }
+
+    #[test]
+    fn shapes() {
+        let d = data();
+        assert_eq!(d.len(), 3);
+        assert_eq!(d.n_features(), 2);
+        assert_eq!(d.n_classes(), 2);
+    }
+
+    #[test]
+    fn select_rows() {
+        let d = data().select(&[2, 0]);
+        assert_eq!(d.len(), 2);
+        assert_eq!(d.x.row(0), &[5.0, 6.0]);
+        assert_eq!(d.y, vec![0.0, 0.0]);
+    }
+
+    #[test]
+    #[should_panic(expected = "out of range")]
+    fn invalid_label_panics() {
+        let x = Matrix::from_rows(&[&[1.0]]);
+        Dataset::new(x, vec![5.0], Task::Classification { n_classes: 2 });
+    }
+
+    #[test]
+    fn standardizer_zero_mean_unit_var() {
+        let x = Matrix::from_rows(&[&[1.0, 10.0], &[2.0, 20.0], &[3.0, 30.0]]);
+        let s = Standardizer::fit(&x);
+        let t = s.transform(&x);
+        for c in 0..2 {
+            let col: Vec<f64> = (0..3).map(|r| t[(r, c)]).collect();
+            let mean: f64 = col.iter().sum::<f64>() / 3.0;
+            assert!(mean.abs() < 1e-12);
+            let var: f64 = col.iter().map(|v| v * v).sum::<f64>() / 3.0;
+            assert!((var - 1.0).abs() < 1e-9);
+        }
+    }
+
+    #[test]
+    fn standardizer_constant_feature_safe() {
+        let x = Matrix::from_rows(&[&[5.0], &[5.0]]);
+        let s = Standardizer::fit(&x);
+        let t = s.transform(&x);
+        assert!(t.data().iter().all(|v| v.is_finite()));
+    }
+}

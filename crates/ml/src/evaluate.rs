@@ -1,0 +1,191 @@
+//! Higher-level evaluation utilities: confusion matrices, macro-averaged
+//! F1, and k-fold cross-validation over any [`Model`] builder.
+
+use crate::dataset::{Dataset, Task};
+use crate::metrics::{accuracy, f1_score, mae};
+use crate::model::Model;
+use crate::split::kfold_indices;
+
+/// A confusion matrix for `k` classes: `counts[true][pred]`.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ConfusionMatrix {
+    k: usize,
+    counts: Vec<usize>,
+}
+
+impl ConfusionMatrix {
+    /// Builds the matrix from true/predicted label vectors.
+    pub fn from_predictions(y_true: &[f64], y_pred: &[f64], k: usize) -> ConfusionMatrix {
+        assert_eq!(y_true.len(), y_pred.len());
+        let mut counts = vec![0usize; k * k];
+        for (&t, &p) in y_true.iter().zip(y_pred) {
+            let (t, p) = (t as usize, p as usize);
+            if t < k && p < k {
+                counts[t * k + p] += 1;
+            }
+        }
+        ConfusionMatrix { k, counts }
+    }
+
+    /// Count of rows with true class `t` predicted as `p`.
+    pub fn get(&self, t: usize, p: usize) -> usize {
+        self.counts[t * self.k + p]
+    }
+
+    /// Number of classes.
+    pub fn n_classes(&self) -> usize {
+        self.k
+    }
+
+    /// Total samples.
+    pub fn total(&self) -> usize {
+        self.counts.iter().sum()
+    }
+
+    /// Overall accuracy.
+    pub fn accuracy(&self) -> f64 {
+        let correct: usize = (0..self.k).map(|i| self.get(i, i)).sum();
+        let total = self.total();
+        if total == 0 {
+            0.0
+        } else {
+            correct as f64 / total as f64
+        }
+    }
+
+    /// Per-class F1 (one-vs-rest), index = class.
+    pub fn per_class_f1(&self) -> Vec<f64> {
+        (0..self.k)
+            .map(|c| {
+                let tp = self.get(c, c);
+                let fp: usize = (0..self.k).filter(|&t| t != c).map(|t| self.get(t, c)).sum();
+                let fn_: usize = (0..self.k).filter(|&p| p != c).map(|p| self.get(c, p)).sum();
+                let precision = if tp + fp == 0 { 0.0 } else { tp as f64 / (tp + fp) as f64 };
+                let recall = if tp + fn_ == 0 { 0.0 } else { tp as f64 / (tp + fn_) as f64 };
+                if precision + recall < 1e-300 {
+                    0.0
+                } else {
+                    2.0 * precision * recall / (precision + recall)
+                }
+            })
+            .collect()
+    }
+
+    /// Macro-averaged F1 (unweighted mean over classes).
+    pub fn macro_f1(&self) -> f64 {
+        let f1s = self.per_class_f1();
+        f1s.iter().sum::<f64>() / f1s.len().max(1) as f64
+    }
+}
+
+/// Result of a cross-validation run.
+#[derive(Debug, Clone)]
+pub struct CvResult {
+    /// Metric per fold (accuracy or negative MAE, higher is better).
+    pub fold_scores: Vec<f64>,
+}
+
+impl CvResult {
+    /// Mean fold score.
+    pub fn mean(&self) -> f64 {
+        self.fold_scores.iter().sum::<f64>() / self.fold_scores.len().max(1) as f64
+    }
+
+    /// Population standard deviation of fold scores.
+    pub fn std_dev(&self) -> f64 {
+        let m = self.mean();
+        (self.fold_scores.iter().map(|s| (s - m).powi(2)).sum::<f64>()
+            / self.fold_scores.len().max(1) as f64)
+            .sqrt()
+    }
+}
+
+/// Runs `k`-fold cross-validation with a fresh model per fold. Scores are
+/// accuracy for classification and negative MAE for regression (higher is
+/// better in both cases).
+pub fn cross_validate<F>(data: &Dataset, k: usize, seed: u64, mut make: F) -> CvResult
+where
+    F: FnMut() -> Box<dyn Model>,
+{
+    let folds = kfold_indices(data.len(), k, seed);
+    let mut fold_scores = Vec::with_capacity(folds.len());
+    for (train_idx, val_idx) in folds {
+        let train = data.select(&train_idx);
+        let val = data.select(&val_idx);
+        let mut model = make();
+        model.fit(&train.x, &train.y);
+        let pred = model.predict(&val.x);
+        let score = match data.task {
+            Task::Classification { .. } => accuracy(&val.y, &pred),
+            Task::Regression => -mae(&val.y, &pred),
+        };
+        fold_scores.push(score);
+    }
+    CvResult { fold_scores }
+}
+
+/// Binary-classification convenience: macro over the two one-vs-rest F1s
+/// computed directly from label vectors.
+pub fn binary_macro_f1(y_true: &[f64], y_pred: &[f64]) -> f64 {
+    let pos = f1_score(y_true, y_pred, 1.0).f1;
+    let neg = f1_score(y_true, y_pred, 0.0).f1;
+    (pos + neg) / 2.0
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::linear::LinearRegression;
+    use leva_linalg::Matrix;
+
+    #[test]
+    fn confusion_matrix_counts() {
+        let t = [0.0, 0.0, 1.0, 1.0, 2.0];
+        let p = [0.0, 1.0, 1.0, 1.0, 0.0];
+        let cm = ConfusionMatrix::from_predictions(&t, &p, 3);
+        assert_eq!(cm.get(0, 0), 1);
+        assert_eq!(cm.get(0, 1), 1);
+        assert_eq!(cm.get(1, 1), 2);
+        assert_eq!(cm.get(2, 0), 1);
+        assert_eq!(cm.total(), 5);
+        assert!((cm.accuracy() - 3.0 / 5.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn macro_f1_matches_manual() {
+        let t = [0.0, 0.0, 1.0, 1.0];
+        let p = [0.0, 1.0, 1.0, 1.0];
+        let cm = ConfusionMatrix::from_predictions(&t, &p, 2);
+        let manual = binary_macro_f1(&t, &p);
+        assert!((cm.macro_f1() - manual).abs() < 1e-12);
+    }
+
+    #[test]
+    fn perfect_prediction_f1_one() {
+        let t = [0.0, 1.0, 2.0, 0.0];
+        let cm = ConfusionMatrix::from_predictions(&t, &t, 3);
+        assert_eq!(cm.macro_f1(), 1.0);
+        assert_eq!(cm.accuracy(), 1.0);
+    }
+
+    #[test]
+    fn cross_validation_on_linear_data() {
+        let rows: Vec<Vec<f64>> = (0..60).map(|i| vec![i as f64]).collect();
+        let refs: Vec<&[f64]> = rows.iter().map(Vec::as_slice).collect();
+        let x = Matrix::from_rows(&refs);
+        let y: Vec<f64> = (0..60).map(|i| 3.0 * i as f64 + 1.0).collect();
+        let data = Dataset::new(x, y, Task::Regression);
+        let cv = cross_validate(&data, 5, 7, || Box::new(LinearRegression::new(1e-9)));
+        assert_eq!(cv.fold_scores.len(), 5);
+        // Negative MAE near zero for a perfectly linear relationship.
+        assert!(cv.mean() > -0.1, "mean fold score {}", cv.mean());
+        assert!(cv.std_dev() < 0.2);
+    }
+
+    #[test]
+    fn empty_cv_result_is_safe() {
+        let cv = CvResult { fold_scores: Vec::new() };
+        assert_eq!(cv.mean(), 0.0);
+        assert_eq!(cv.std_dev(), 0.0);
+    }
+}

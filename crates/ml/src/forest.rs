@@ -1,0 +1,214 @@
+//! Random forests: bagged CART trees with per-split feature subsampling.
+
+use crate::model::Model;
+use crate::tree::{DecisionTree, TreeConfig};
+use leva_linalg::Matrix;
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+/// Random-forest hyperparameters.
+#[derive(Debug, Clone, Copy)]
+pub struct ForestConfig {
+    /// Number of trees.
+    pub n_trees: usize,
+    /// Per-tree growth parameters. `max_features = None` defaults to
+    /// √d (classification) / d/3 (regression) at fit time.
+    pub tree: TreeConfig,
+    /// Bootstrap-sample the training rows per tree.
+    pub bootstrap: bool,
+    /// RNG seed.
+    pub seed: u64,
+}
+
+impl Default for ForestConfig {
+    fn default() -> Self {
+        Self { n_trees: 50, tree: TreeConfig::default(), bootstrap: true, seed: 0xf0e }
+    }
+}
+
+/// A random forest for classification or regression.
+#[derive(Debug, Clone)]
+pub struct RandomForest {
+    cfg: ForestConfig,
+    classification: bool,
+    n_classes: usize,
+    trees: Vec<DecisionTree>,
+    importance: Vec<f64>,
+}
+
+impl RandomForest {
+    /// Creates an unfitted classifier forest.
+    pub fn classifier(n_classes: usize, cfg: ForestConfig) -> Self {
+        Self { cfg, classification: true, n_classes, trees: Vec::new(), importance: Vec::new() }
+    }
+
+    /// Creates an unfitted regression forest.
+    pub fn regressor(cfg: ForestConfig) -> Self {
+        Self { cfg, classification: false, n_classes: 0, trees: Vec::new(), importance: Vec::new() }
+    }
+
+    /// Normalized per-feature importance (sums to 1 when any split exists).
+    pub fn feature_importance(&self) -> &[f64] {
+        &self.importance
+    }
+
+    /// Number of fitted trees.
+    pub fn tree_count(&self) -> usize {
+        self.trees.len()
+    }
+}
+
+impl Model for RandomForest {
+    fn fit(&mut self, x: &Matrix, y: &[f64]) {
+        let n = x.rows();
+        let d = x.cols();
+        assert_eq!(n, y.len());
+        assert!(n > 0);
+        let mut rng = StdRng::seed_from_u64(self.cfg.seed);
+        self.trees.clear();
+        self.importance = vec![0.0; d];
+        let max_features = self.cfg.tree.max_features.unwrap_or_else(|| {
+            if self.classification {
+                (d as f64).sqrt().ceil() as usize
+            } else {
+                (d / 3).max(1)
+            }
+        });
+        for t in 0..self.cfg.n_trees {
+            let tree_cfg = TreeConfig {
+                max_features: Some(max_features.clamp(1, d)),
+                seed: self.cfg.seed.wrapping_add(1000 + t as u64),
+                ..self.cfg.tree
+            };
+            let mut tree = if self.classification {
+                DecisionTree::classifier(self.n_classes, tree_cfg)
+            } else {
+                DecisionTree::regressor(tree_cfg)
+            };
+            let indices: Vec<usize> = if self.cfg.bootstrap {
+                (0..n).map(|_| rng.gen_range(0..n)).collect()
+            } else {
+                (0..n).collect()
+            };
+            tree.fit_indices(x, y, &indices);
+            for (acc, &imp) in self.importance.iter_mut().zip(tree.feature_importance()) {
+                *acc += imp;
+            }
+            self.trees.push(tree);
+        }
+        let total: f64 = self.importance.iter().sum();
+        if total > 0.0 {
+            for v in &mut self.importance {
+                *v /= total;
+            }
+        }
+    }
+
+    fn predict(&self, x: &Matrix) -> Vec<f64> {
+        assert!(!self.trees.is_empty(), "predict before fit");
+        let n = x.rows();
+        if self.classification {
+            let mut votes = vec![vec![0usize; self.n_classes]; n];
+            for tree in &self.trees {
+                for (r, vote_row) in votes.iter_mut().enumerate() {
+                    let c = tree.predict_row(x.row(r)) as usize;
+                    vote_row[c] += 1;
+                }
+            }
+            votes
+                .into_iter()
+                .map(|row| {
+                    row.iter()
+                        .enumerate()
+                        .max_by(|a, b| a.1.cmp(b.1).then(b.0.cmp(&a.0)))
+                        .map(|(c, _)| c as f64)
+                        .unwrap_or(0.0)
+                })
+                .collect()
+        } else {
+            let mut acc = vec![0.0; n];
+            for tree in &self.trees {
+                for (r, a) in acc.iter_mut().enumerate() {
+                    *a += tree.predict_row(x.row(r));
+                }
+            }
+            let k = self.trees.len() as f64;
+            acc.into_iter().map(|v| v / k).collect()
+        }
+    }
+
+    fn name(&self) -> &'static str {
+        "random_forest"
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::metrics::{accuracy, r2_score};
+
+    fn xor_data() -> (Matrix, Vec<f64>) {
+        // XOR-ish pattern a single linear model cannot fit.
+        let mut rows = Vec::new();
+        let mut ys = Vec::new();
+        for i in 0..60 {
+            let a = (i % 2) as f64;
+            let b = ((i / 2) % 2) as f64;
+            let jitter = (i % 5) as f64 * 0.02;
+            rows.push(vec![a + jitter, b - jitter]);
+            ys.push(if (a as i64) ^ (b as i64) == 1 { 1.0 } else { 0.0 });
+        }
+        let refs: Vec<&[f64]> = rows.iter().map(Vec::as_slice).collect();
+        (Matrix::from_rows(&refs), ys)
+    }
+
+    #[test]
+    fn learns_xor() {
+        let (x, y) = xor_data();
+        let mut f = RandomForest::classifier(2, ForestConfig { n_trees: 20, ..Default::default() });
+        f.fit(&x, &y);
+        assert!(accuracy(&y, &f.predict(&x)) > 0.95);
+        assert_eq!(f.tree_count(), 20);
+    }
+
+    #[test]
+    fn regression_smoothing() {
+        let rows: Vec<Vec<f64>> = (0..50).map(|i| vec![i as f64 / 5.0]).collect();
+        let refs: Vec<&[f64]> = rows.iter().map(Vec::as_slice).collect();
+        let x = Matrix::from_rows(&refs);
+        let y: Vec<f64> = (0..50).map(|i| (i as f64 / 5.0).sin()).collect();
+        let mut f = RandomForest::regressor(ForestConfig { n_trees: 30, ..Default::default() });
+        f.fit(&x, &y);
+        assert!(r2_score(&y, &f.predict(&x)) > 0.9);
+    }
+
+    #[test]
+    fn importance_normalized_and_informative() {
+        let (x, y) = xor_data();
+        let mut f = RandomForest::classifier(2, ForestConfig::default());
+        f.fit(&x, &y);
+        let imp = f.feature_importance();
+        assert!((imp.iter().sum::<f64>() - 1.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn deterministic() {
+        let (x, y) = xor_data();
+        let mut a = RandomForest::classifier(2, ForestConfig::default());
+        let mut b = RandomForest::classifier(2, ForestConfig::default());
+        a.fit(&x, &y);
+        b.fit(&x, &y);
+        assert_eq!(a.predict(&x), b.predict(&x));
+    }
+
+    #[test]
+    fn no_bootstrap_uses_all_rows() {
+        let (x, y) = xor_data();
+        let mut f = RandomForest::classifier(
+            2,
+            ForestConfig { bootstrap: false, n_trees: 5, ..Default::default() },
+        );
+        f.fit(&x, &y);
+        assert!(accuracy(&y, &f.predict(&x)) > 0.95);
+    }
+}

@@ -1,0 +1,157 @@
+//! Ordinary/ridge linear regression via the normal equations.
+
+use crate::model::{solve_linear_system, Model};
+use leva_linalg::Matrix;
+
+/// Linear regression with an optional L2 (ridge) penalty. A small default
+/// ridge keeps the normal equations well-conditioned on collinear features
+/// (one-hot blocks, embeddings).
+#[derive(Debug, Clone)]
+pub struct LinearRegression {
+    /// L2 penalty strength.
+    pub l2: f64,
+    weights: Vec<f64>,
+    intercept: f64,
+}
+
+impl LinearRegression {
+    /// Creates an unfitted model with ridge strength `l2`.
+    pub fn new(l2: f64) -> Self {
+        Self { l2, weights: Vec::new(), intercept: 0.0 }
+    }
+
+    /// Fitted coefficient vector (empty before `fit`).
+    pub fn weights(&self) -> &[f64] {
+        &self.weights
+    }
+
+    /// Fitted intercept.
+    pub fn intercept(&self) -> f64 {
+        self.intercept
+    }
+}
+
+impl Default for LinearRegression {
+    fn default() -> Self {
+        Self::new(1e-6)
+    }
+}
+
+impl Model for LinearRegression {
+    fn fit(&mut self, x: &Matrix, y: &[f64]) {
+        let n = x.rows();
+        let d = x.cols();
+        assert_eq!(n, y.len());
+        assert!(n > 0, "cannot fit on empty data");
+        // Center the data so the intercept separates out.
+        let mut x_mean = vec![0.0; d];
+        for r in 0..n {
+            for (m, &v) in x_mean.iter_mut().zip(x.row(r)) {
+                *m += v;
+            }
+        }
+        for m in &mut x_mean {
+            *m /= n as f64;
+        }
+        let y_mean = y.iter().sum::<f64>() / n as f64;
+        // Normal equations on centered data: (XᵀX + λI) w = Xᵀ y.
+        let mut xtx = Matrix::zeros(d, d);
+        let mut xty = vec![0.0; d];
+        let mut row = vec![0.0; d];
+        for r in 0..n {
+            for (c, (&v, &m)) in row.iter_mut().zip(x.row(r).iter().zip(&x_mean)) {
+                *c = v - m;
+            }
+            let yc = y[r] - y_mean;
+            for a in 0..d {
+                let ra = row[a];
+                if ra == 0.0 {
+                    continue;
+                }
+                xty[a] += ra * yc;
+                let out = xtx.row_mut(a);
+                for (b, &rb) in row.iter().enumerate() {
+                    out[b] += ra * rb;
+                }
+            }
+        }
+        for i in 0..d {
+            xtx[(i, i)] += self.l2 * n as f64 + 1e-10;
+        }
+        self.weights = solve_linear_system(&xtx, &xty);
+        self.intercept =
+            y_mean - self.weights.iter().zip(&x_mean).map(|(w, m)| w * m).sum::<f64>();
+    }
+
+    fn predict(&self, x: &Matrix) -> Vec<f64> {
+        assert_eq!(x.cols(), self.weights.len(), "predict before fit or dim mismatch");
+        (0..x.rows())
+            .map(|r| {
+                self.intercept
+                    + x.row(r).iter().zip(&self.weights).map(|(v, w)| v * w).sum::<f64>()
+            })
+            .collect()
+    }
+
+    fn name(&self) -> &'static str {
+        "linear_regression"
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::metrics::r2_score;
+
+    #[test]
+    fn fits_exact_linear_relationship() {
+        // y = 2x1 - 3x2 + 5
+        let x = Matrix::from_rows(&[
+            &[1.0, 0.0],
+            &[0.0, 1.0],
+            &[1.0, 1.0],
+            &[2.0, 1.0],
+            &[3.0, -1.0],
+        ]);
+        let y: Vec<f64> = (0..5).map(|r| 2.0 * x[(r, 0)] - 3.0 * x[(r, 1)] + 5.0).collect();
+        let mut m = LinearRegression::new(1e-9);
+        m.fit(&x, &y);
+        assert!((m.weights()[0] - 2.0).abs() < 1e-4);
+        assert!((m.weights()[1] + 3.0).abs() < 1e-4);
+        assert!((m.intercept() - 5.0).abs() < 1e-3);
+        let pred = m.predict(&x);
+        assert!(r2_score(&y, &pred) > 0.999999);
+    }
+
+    #[test]
+    fn ridge_shrinks_weights() {
+        let x = Matrix::from_rows(&[&[1.0], &[2.0], &[3.0], &[4.0]]);
+        let y = vec![1.0, 2.0, 3.0, 4.0];
+        let mut plain = LinearRegression::new(1e-9);
+        plain.fit(&x, &y);
+        let mut heavy = LinearRegression::new(10.0);
+        heavy.fit(&x, &y);
+        assert!(heavy.weights()[0].abs() < plain.weights()[0].abs());
+    }
+
+    #[test]
+    fn collinear_features_are_stable() {
+        // Second feature duplicates the first.
+        let x = Matrix::from_rows(&[&[1.0, 1.0], &[2.0, 2.0], &[3.0, 3.0]]);
+        let y = vec![2.0, 4.0, 6.0];
+        let mut m = LinearRegression::default();
+        m.fit(&x, &y);
+        let pred = m.predict(&x);
+        assert!(r2_score(&y, &pred) > 0.999);
+        assert!(m.weights().iter().all(|w| w.is_finite()));
+    }
+
+    #[test]
+    fn constant_target() {
+        let x = Matrix::from_rows(&[&[1.0], &[5.0]]);
+        let mut m = LinearRegression::default();
+        m.fit(&x, &[7.0, 7.0]);
+        let pred = m.predict(&x);
+        assert!((pred[0] - 7.0).abs() < 1e-6);
+    }
+}

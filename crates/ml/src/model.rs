@@ -1,0 +1,98 @@
+//! The common model interface used by baselines and experiments.
+
+use leva_linalg::Matrix;
+
+/// A supervised model: fit on features/targets, predict targets.
+///
+/// Classification models take labels as `0.0..n_classes` floats and return
+/// predicted labels from `predict`; regression models return real values.
+pub trait Model {
+    /// Fits the model. May be called once per instance.
+    fn fit(&mut self, x: &Matrix, y: &[f64]);
+    /// Predicts targets for the given rows.
+    fn predict(&self, x: &Matrix) -> Vec<f64>;
+    /// A short human-readable name for experiment reports.
+    fn name(&self) -> &'static str;
+}
+
+/// Solves the square linear system `A z = b` by Gaussian elimination with
+/// partial pivoting. Panics on dimension mismatch; near-singular systems are
+/// stabilized by the callers (ridge terms).
+pub fn solve_linear_system(a: &Matrix, b: &[f64]) -> Vec<f64> {
+    let n = a.rows();
+    assert_eq!(n, a.cols(), "solve requires a square matrix");
+    assert_eq!(n, b.len(), "rhs length mismatch");
+    let mut m = a.clone();
+    let mut rhs = b.to_vec();
+    for col in 0..n {
+        // Partial pivot.
+        let mut pivot = col;
+        for r in (col + 1)..n {
+            if m[(r, col)].abs() > m[(pivot, col)].abs() {
+                pivot = r;
+            }
+        }
+        if pivot != col {
+            for c in 0..n {
+                let tmp = m[(col, c)];
+                m[(col, c)] = m[(pivot, c)];
+                m[(pivot, c)] = tmp;
+            }
+            rhs.swap(col, pivot);
+        }
+        let diag = m[(col, col)];
+        if diag.abs() < 1e-12 {
+            continue; // singular direction; leave as zero contribution
+        }
+        for r in (col + 1)..n {
+            let factor = m[(r, col)] / diag;
+            if factor == 0.0 {
+                continue;
+            }
+            for c in col..n {
+                m[(r, c)] -= factor * m[(col, c)];
+            }
+            rhs[r] -= factor * rhs[col];
+        }
+    }
+    // Back substitution.
+    let mut z = vec![0.0; n];
+    for col in (0..n).rev() {
+        let mut acc = rhs[col];
+        for c in (col + 1)..n {
+            acc -= m[(col, c)] * z[c];
+        }
+        let diag = m[(col, col)];
+        z[col] = if diag.abs() < 1e-12 { 0.0 } else { acc / diag };
+    }
+    z
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn solves_simple_system() {
+        // 2x + y = 5 ; x + 3y = 10 => x = 1, y = 3
+        let a = Matrix::from_rows(&[&[2.0, 1.0], &[1.0, 3.0]]);
+        let z = solve_linear_system(&a, &[5.0, 10.0]);
+        assert!((z[0] - 1.0).abs() < 1e-10);
+        assert!((z[1] - 3.0).abs() < 1e-10);
+    }
+
+    #[test]
+    fn pivoting_handles_zero_leading_entry() {
+        let a = Matrix::from_rows(&[&[0.0, 1.0], &[1.0, 0.0]]);
+        let z = solve_linear_system(&a, &[2.0, 3.0]);
+        assert!((z[0] - 3.0).abs() < 1e-12);
+        assert!((z[1] - 2.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn singular_system_returns_finite() {
+        let a = Matrix::from_rows(&[&[1.0, 1.0], &[1.0, 1.0]]);
+        let z = solve_linear_system(&a, &[2.0, 2.0]);
+        assert!(z.iter().all(|v| v.is_finite()));
+    }
+}

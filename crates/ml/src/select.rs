@@ -1,0 +1,210 @@
+//! Feature selection for the *Full Table + Feature Engineering* baseline:
+//! mutual-information ranking, plus the ARDA-style random-injection filter
+//! (Chepurko et al., VLDB'20) that keeps only features whose random-forest
+//! importance beats injected random probes.
+
+use crate::forest::{ForestConfig, RandomForest};
+use crate::model::Model;
+use leva_linalg::Matrix;
+use rand::rngs::StdRng;
+use rand::seq::SliceRandom;
+use rand::SeedableRng;
+
+/// Estimates the mutual information between a (discretized) feature column
+/// and the target. Both sides are quantized into up to `bins` equal-width
+/// bins. Returned in nats.
+pub fn mutual_information(feature: &[f64], target: &[f64], bins: usize) -> f64 {
+    assert_eq!(feature.len(), target.len());
+    let n = feature.len();
+    if n == 0 {
+        return 0.0;
+    }
+    let fx = discretize(feature, bins);
+    let fy = discretize(target, bins);
+    let kx = fx.iter().copied().max().unwrap_or(0) + 1;
+    let ky = fy.iter().copied().max().unwrap_or(0) + 1;
+    let mut joint = vec![0.0f64; kx * ky];
+    let mut px = vec![0.0f64; kx];
+    let mut py = vec![0.0f64; ky];
+    let inv = 1.0 / n as f64;
+    for i in 0..n {
+        joint[fx[i] * ky + fy[i]] += inv;
+        px[fx[i]] += inv;
+        py[fy[i]] += inv;
+    }
+    let mut mi = 0.0;
+    for a in 0..kx {
+        for b in 0..ky {
+            let j = joint[a * ky + b];
+            if j > 1e-12 {
+                mi += j * (j / (px[a] * py[b])).ln();
+            }
+        }
+    }
+    mi.max(0.0)
+}
+
+fn discretize(values: &[f64], bins: usize) -> Vec<usize> {
+    let bins = bins.max(2);
+    let min = values.iter().copied().fold(f64::INFINITY, f64::min);
+    let max = values.iter().copied().fold(f64::NEG_INFINITY, f64::max);
+    if max <= min {
+        return vec![0; values.len()];
+    }
+    let width = (max - min) / bins as f64;
+    values
+        .iter()
+        .map(|&v| (((v - min) / width) as usize).min(bins - 1))
+        .collect()
+}
+
+/// Ranks features by mutual information with the target and returns the
+/// indices of the top `k`.
+pub fn select_k_best_mi(x: &Matrix, y: &[f64], k: usize, bins: usize) -> Vec<usize> {
+    let d = x.cols();
+    let mut scored: Vec<(usize, f64)> = (0..d)
+        .map(|c| {
+            let col: Vec<f64> = (0..x.rows()).map(|r| x[(r, c)]).collect();
+            (c, mutual_information(&col, y, bins))
+        })
+        .collect();
+    scored.sort_by(|a, b| b.1.partial_cmp(&a.1).expect("finite MI").then(a.0.cmp(&b.0)));
+    let mut keep: Vec<usize> = scored.into_iter().take(k.min(d)).map(|(c, _)| c).collect();
+    keep.sort_unstable();
+    keep
+}
+
+/// ARDA-style random-injection selection: append `n_probes` permuted copies
+/// of real columns as noise probes, fit a random forest, and keep only the
+/// real features whose importance exceeds the strongest probe's importance
+/// scaled by `slack` (slack < 1 is more permissive).
+pub fn random_injection_selection(
+    x: &Matrix,
+    y: &[f64],
+    classification: bool,
+    n_classes: usize,
+    n_probes: usize,
+    slack: f64,
+    seed: u64,
+) -> Vec<usize> {
+    let n = x.rows();
+    let d = x.cols();
+    if d == 0 || n == 0 {
+        return Vec::new();
+    }
+    let n_probes = n_probes.max(1);
+    let mut rng = StdRng::seed_from_u64(seed);
+    let mut augmented = Matrix::zeros(n, d + n_probes);
+    for r in 0..n {
+        augmented.row_mut(r)[..d].copy_from_slice(x.row(r));
+    }
+    for p in 0..n_probes {
+        // A probe is a row-permuted real column: same marginal, no signal.
+        let src = p % d;
+        let mut perm: Vec<usize> = (0..n).collect();
+        perm.shuffle(&mut rng);
+        for r in 0..n {
+            augmented[(r, d + p)] = x[(perm[r], src)];
+        }
+    }
+    let mut forest = if classification {
+        RandomForest::classifier(n_classes, ForestConfig { n_trees: 30, seed, ..Default::default() })
+    } else {
+        RandomForest::regressor(ForestConfig { n_trees: 30, seed, ..Default::default() })
+    };
+    forest.fit(&augmented, y);
+    let imp = forest.feature_importance();
+    let probe_max = imp[d..].iter().copied().fold(0.0f64, f64::max);
+    let threshold = probe_max * slack;
+    let keep: Vec<usize> = (0..d).filter(|&c| imp[c] > threshold).collect();
+    if keep.is_empty() {
+        // Never return an empty feature set; fall back to the single best.
+        let best = (0..d)
+            .max_by(|&a, &b| imp[a].partial_cmp(&imp[b]).expect("finite importance"))
+            .unwrap_or(0);
+        vec![best]
+    } else {
+        keep
+    }
+}
+
+/// Projects a matrix onto a subset of columns.
+pub fn project_columns(x: &Matrix, columns: &[usize]) -> Matrix {
+    let mut out = Matrix::zeros(x.rows(), columns.len());
+    for r in 0..x.rows() {
+        for (o, &c) in columns.iter().enumerate() {
+            out[(r, o)] = x[(r, c)];
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn signal_and_noise() -> (Matrix, Vec<f64>) {
+        // col 0: strong signal; col 1: weak signal; col 2: pure structure-
+        // free noise (pseudorandom but uncorrelated).
+        let n = 200;
+        let mut rows = Vec::with_capacity(n);
+        let mut y = Vec::with_capacity(n);
+        for i in 0..n {
+            let t = if i % 2 == 0 { 1.0 } else { 0.0 };
+            let strong = t * 10.0 + (i % 3) as f64 * 0.1;
+            let weak = t + (i % 7) as f64;
+            let noise = ((i * 2654435761) % 97) as f64;
+            rows.push(vec![strong, weak, noise]);
+            y.push(t);
+        }
+        let refs: Vec<&[f64]> = rows.iter().map(Vec::as_slice).collect();
+        (Matrix::from_rows(&refs), y)
+    }
+
+    #[test]
+    fn mi_detects_dependence() {
+        let (x, y) = signal_and_noise();
+        let col = |c: usize| -> Vec<f64> { (0..x.rows()).map(|r| x[(r, c)]).collect() };
+        let mi_strong = mutual_information(&col(0), &y, 10);
+        let mi_noise = mutual_information(&col(2), &y, 10);
+        assert!(mi_strong > mi_noise + 0.1, "{mi_strong} vs {mi_noise}");
+    }
+
+    #[test]
+    fn mi_of_independent_is_near_zero() {
+        let a: Vec<f64> = (0..500).map(|i| ((i * 37) % 100) as f64).collect();
+        let b: Vec<f64> = (0..500).map(|i| ((i * 61 + 7) % 100) as f64).collect();
+        assert!(mutual_information(&a, &b, 5) < 0.15);
+    }
+
+    #[test]
+    fn k_best_keeps_signal() {
+        let (x, y) = signal_and_noise();
+        let keep = select_k_best_mi(&x, &y, 1, 10);
+        assert_eq!(keep, vec![0]);
+    }
+
+    #[test]
+    fn random_injection_drops_noise() {
+        let (x, y) = signal_and_noise();
+        let keep = random_injection_selection(&x, &y, true, 2, 6, 1.0, 5);
+        assert!(keep.contains(&0), "strong feature kept: {keep:?}");
+        assert!(!keep.contains(&2), "noise dropped: {keep:?}");
+    }
+
+    #[test]
+    fn projection_shapes() {
+        let (x, _) = signal_and_noise();
+        let p = project_columns(&x, &[2, 0]);
+        assert_eq!(p.cols(), 2);
+        assert_eq!(p[(0, 0)], x[(0, 2)]);
+        assert_eq!(p[(0, 1)], x[(0, 0)]);
+    }
+
+    #[test]
+    fn constant_feature_mi_zero() {
+        let a = vec![3.0; 100];
+        let y: Vec<f64> = (0..100).map(|i| (i % 2) as f64).collect();
+        assert_eq!(mutual_information(&a, &y, 10), 0.0);
+    }
+}

@@ -1,0 +1,239 @@
+//! Minimal CSV reader/writer (RFC-4180 style quoting) for the relational
+//! substrate. Implemented from scratch to keep the dependency surface small.
+//!
+//! Reading infers per-cell value types: integers, floats, booleans, and text.
+//! Empty fields become [`Value::Null`]; missing-value *sentinels* (`"?"`,
+//! `"N/A"`, ...) are deliberately kept as text so the graph-refinement voting
+//! mechanism can discover them, as in the paper.
+
+use crate::error::{RelationalError, Result};
+use crate::table::Table;
+use crate::value::Value;
+use std::io::{BufRead, Write};
+
+/// Parses CSV from a reader into a [`Table`]. The first record is the header.
+pub fn read_csv<R: BufRead>(name: &str, reader: R) -> Result<Table> {
+    let mut records = parse_records(reader)?;
+    if records.is_empty() {
+        return Ok(Table::new(name, Vec::<String>::new()));
+    }
+    let header = records.remove(0);
+    let mut table = Table::new(name, header.clone());
+    for (i, rec) in records.into_iter().enumerate() {
+        if rec.len() != header.len() {
+            return Err(RelationalError::Csv {
+                line: i + 2,
+                message: format!("expected {} fields, got {}", header.len(), rec.len()),
+            });
+        }
+        table.push_row(rec.into_iter().map(|f| parse_cell(&f)).collect())?;
+    }
+    Ok(table)
+}
+
+/// Parses a CSV string into a table.
+pub fn read_csv_str(name: &str, data: &str) -> Result<Table> {
+    read_csv(name, data.as_bytes())
+}
+
+/// Writes a table as CSV.
+pub fn write_csv<W: Write>(table: &Table, mut out: W) -> std::io::Result<()> {
+    let header: Vec<String> =
+        table.column_names().iter().map(|n| escape_field(n)).collect();
+    writeln!(out, "{}", header.join(","))?;
+    for r in 0..table.row_count() {
+        let fields: Vec<String> = table
+            .columns()
+            .iter()
+            .map(|c| escape_field(&c.get(r).map(Value::render).unwrap_or_default()))
+            .collect();
+        writeln!(out, "{}", fields.join(","))?;
+    }
+    Ok(())
+}
+
+/// Serializes a table to a CSV string.
+pub fn write_csv_string(table: &Table) -> String {
+    let mut buf = Vec::new();
+    write_csv(table, &mut buf).expect("writing to Vec cannot fail");
+    String::from_utf8(buf).expect("CSV output is UTF-8")
+}
+
+fn parse_cell(field: &str) -> Value {
+    let trimmed = field.trim();
+    if trimmed.is_empty() {
+        return Value::Null;
+    }
+    if let Ok(i) = trimmed.parse::<i64>() {
+        return Value::Int(i);
+    }
+    if let Ok(f) = trimmed.parse::<f64>() {
+        return Value::float(f);
+    }
+    match trimmed {
+        "true" | "TRUE" | "True" => return Value::Bool(true),
+        "false" | "FALSE" | "False" => return Value::Bool(false),
+        _ => {}
+    }
+    if let Some(ts) = crate::datetime::parse_datetime(trimmed) {
+        return Value::Timestamp(ts);
+    }
+    Value::Text(field.to_owned())
+}
+
+fn escape_field(field: &str) -> String {
+    if field.contains(',') || field.contains('"') || field.contains('\n') {
+        format!("\"{}\"", field.replace('"', "\"\""))
+    } else {
+        field.to_owned()
+    }
+}
+
+/// Streaming state machine over the raw bytes; handles quoted fields with
+/// embedded commas, quotes, and newlines.
+fn parse_records<R: BufRead>(mut reader: R) -> Result<Vec<Vec<String>>> {
+    let mut data = String::new();
+    reader
+        .read_to_string(&mut data)
+        .map_err(|e| RelationalError::Csv { line: 0, message: e.to_string() })?;
+    let mut records = Vec::new();
+    let mut record: Vec<String> = Vec::new();
+    let mut field = String::new();
+    let mut in_quotes = false;
+    let mut line = 1usize;
+    let mut chars = data.chars().peekable();
+    let mut saw_any = false;
+    while let Some(c) = chars.next() {
+        saw_any = true;
+        if in_quotes {
+            match c {
+                '"' => {
+                    if chars.peek() == Some(&'"') {
+                        chars.next();
+                        field.push('"');
+                    } else {
+                        in_quotes = false;
+                    }
+                }
+                '\n' => {
+                    line += 1;
+                    field.push(c);
+                }
+                _ => field.push(c),
+            }
+        } else {
+            match c {
+                '"' => {
+                    if field.is_empty() {
+                        in_quotes = true;
+                    } else {
+                        return Err(RelationalError::Csv {
+                            line,
+                            message: "quote inside unquoted field".into(),
+                        });
+                    }
+                }
+                ',' => {
+                    record.push(std::mem::take(&mut field));
+                }
+                '\r' => {}
+                '\n' => {
+                    line += 1;
+                    record.push(std::mem::take(&mut field));
+                    // Skip completely blank lines.
+                    if !(record.len() == 1 && record[0].is_empty()) {
+                        records.push(std::mem::take(&mut record));
+                    } else {
+                        record.clear();
+                    }
+                }
+                _ => field.push(c),
+            }
+        }
+    }
+    if in_quotes {
+        return Err(RelationalError::Csv { line, message: "unterminated quoted field".into() });
+    }
+    if saw_any && (!field.is_empty() || !record.is_empty()) {
+        record.push(field);
+        if !(record.len() == 1 && record[0].is_empty()) {
+            records.push(record);
+        }
+    }
+    Ok(records)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn roundtrip_simple() {
+        let csv = "a,b,c\n1,2.5,hello\n,true,\"x,y\"\n";
+        let t = read_csv_str("t", csv).unwrap();
+        assert_eq!(t.row_count(), 2);
+        assert_eq!(t.value(0, 0).unwrap(), &Value::Int(1));
+        assert_eq!(t.value(0, 1).unwrap(), &Value::Float(2.5));
+        assert_eq!(t.value(1, 0).unwrap(), &Value::Null);
+        assert_eq!(t.value(1, 1).unwrap(), &Value::Bool(true));
+        assert_eq!(t.value(1, 2).unwrap(), &Value::Text("x,y".into()));
+        let back = write_csv_string(&t);
+        let t2 = read_csv_str("t", &back).unwrap();
+        assert_eq!(t.row_count(), t2.row_count());
+        assert_eq!(t.value(1, 2).unwrap(), t2.value(1, 2).unwrap());
+    }
+
+    #[test]
+    fn quoted_quote_and_newline() {
+        let csv = "a\n\"he said \"\"hi\"\"\"\n\"line1\nline2\"\n";
+        let t = read_csv_str("t", csv).unwrap();
+        assert_eq!(t.value(0, 0).unwrap(), &Value::Text("he said \"hi\"".into()));
+        assert_eq!(t.value(1, 0).unwrap(), &Value::Text("line1\nline2".into()));
+    }
+
+    #[test]
+    fn ragged_rows_rejected() {
+        let err = read_csv_str("t", "a,b\n1\n").unwrap_err();
+        assert!(matches!(err, RelationalError::Csv { line: 2, .. }));
+    }
+
+    #[test]
+    fn unterminated_quote_rejected() {
+        assert!(read_csv_str("t", "a\n\"oops\n").is_err());
+    }
+
+    #[test]
+    fn sentinels_stay_textual() {
+        let t = read_csv_str("t", "a\n?\nN/A\n").unwrap();
+        assert_eq!(t.value(0, 0).unwrap(), &Value::Text("?".into()));
+        assert_eq!(t.value(1, 0).unwrap(), &Value::Text("N/A".into()));
+    }
+
+    #[test]
+    fn blank_lines_skipped_and_crlf() {
+        let t = read_csv_str("t", "a,b\r\n1,2\r\n\r\n3,4\r\n").unwrap();
+        assert_eq!(t.row_count(), 2);
+    }
+
+    #[test]
+    fn empty_input() {
+        let t = read_csv_str("t", "").unwrap();
+        assert_eq!(t.row_count(), 0);
+        assert_eq!(t.column_count(), 0);
+    }
+
+    #[test]
+    fn iso_dates_become_timestamps() {
+        let t = read_csv_str("t", "when\n2000-01-01\n2000-01-01 00:00:10\nnot a date\n").unwrap();
+        assert_eq!(t.value(0, 0).unwrap(), &Value::Timestamp(946_684_800));
+        assert_eq!(t.value(1, 0).unwrap(), &Value::Timestamp(946_684_810));
+        assert!(matches!(t.value(2, 0).unwrap(), Value::Text(_)));
+    }
+
+    #[test]
+    fn missing_trailing_newline() {
+        let t = read_csv_str("t", "a,b\n1,2").unwrap();
+        assert_eq!(t.row_count(), 1);
+        assert_eq!(t.value(0, 1).unwrap(), &Value::Int(2));
+    }
+}

@@ -1,0 +1,174 @@
+//! A database is a named collection of tables plus (optional) schema
+//! annotations used only by the *oracle* baselines (Full / Full+FE).
+//!
+//! Leva itself never reads the declared keys — its whole point is to operate
+//! keylessly — but the paper's baselines need ground-truth join paths, so the
+//! database can carry them.
+
+use crate::error::{RelationalError, Result};
+use crate::table::Table;
+use serde::{Deserialize, Serialize};
+
+/// A declared key-foreign-key relationship, used by oracle baselines only.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct ForeignKey {
+    /// Referencing table.
+    pub from_table: String,
+    /// Referencing column.
+    pub from_column: String,
+    /// Referenced table.
+    pub to_table: String,
+    /// Referenced column (a key of `to_table`).
+    pub to_column: String,
+}
+
+impl ForeignKey {
+    /// Convenience constructor.
+    pub fn new(
+        from_table: impl Into<String>,
+        from_column: impl Into<String>,
+        to_table: impl Into<String>,
+        to_column: impl Into<String>,
+    ) -> Self {
+        Self {
+            from_table: from_table.into(),
+            from_column: from_column.into(),
+            to_table: to_table.into(),
+            to_column: to_column.into(),
+        }
+    }
+}
+
+/// A collection of named tables.
+#[derive(Debug, Clone, Default, Serialize, Deserialize)]
+pub struct Database {
+    tables: Vec<Table>,
+    foreign_keys: Vec<ForeignKey>,
+}
+
+impl Database {
+    /// Creates an empty database.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Adds a table; names must be unique.
+    pub fn add_table(&mut self, table: Table) -> Result<()> {
+        if self.tables.iter().any(|t| t.name() == table.name()) {
+            return Err(RelationalError::DuplicateTable { table: table.name().to_owned() });
+        }
+        self.tables.push(table);
+        Ok(())
+    }
+
+    /// Declares a ground-truth KFK relationship (oracle metadata).
+    pub fn add_foreign_key(&mut self, fk: ForeignKey) {
+        self.foreign_keys.push(fk);
+    }
+
+    /// All declared foreign keys.
+    pub fn foreign_keys(&self) -> &[ForeignKey] {
+        &self.foreign_keys
+    }
+
+    /// Table by name.
+    pub fn table(&self, name: &str) -> Result<&Table> {
+        self.tables
+            .iter()
+            .find(|t| t.name() == name)
+            .ok_or_else(|| RelationalError::UnknownTable { table: name.to_owned() })
+    }
+
+    /// Mutable table by name.
+    pub fn table_mut(&mut self, name: &str) -> Result<&mut Table> {
+        self.tables
+            .iter_mut()
+            .find(|t| t.name() == name)
+            .ok_or_else(|| RelationalError::UnknownTable { table: name.to_owned() })
+    }
+
+    /// Removes a table (used by fine-tuning table dropping) and any foreign
+    /// keys touching it.
+    pub fn remove_table(&mut self, name: &str) -> Result<Table> {
+        let idx = self
+            .tables
+            .iter()
+            .position(|t| t.name() == name)
+            .ok_or_else(|| RelationalError::UnknownTable { table: name.to_owned() })?;
+        self.foreign_keys
+            .retain(|fk| fk.from_table != name && fk.to_table != name);
+        Ok(self.tables.remove(idx))
+    }
+
+    /// All tables in insertion order.
+    pub fn tables(&self) -> &[Table] {
+        &self.tables
+    }
+
+    /// Number of tables.
+    pub fn table_count(&self) -> usize {
+        self.tables.len()
+    }
+
+    /// Total rows across all tables.
+    pub fn total_rows(&self) -> usize {
+        self.tables.iter().map(Table::row_count).sum()
+    }
+
+    /// Total attributes (columns) across all tables — the `M` in the paper's
+    /// complexity analysis and the denominator of `θ_range`.
+    pub fn total_attributes(&self) -> usize {
+        self.tables.iter().map(Table::column_count).sum()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::value::Value;
+
+    fn db() -> Database {
+        let mut db = Database::new();
+        let mut a = Table::new("a", vec!["id", "x"]);
+        a.push_row(vec![Value::Int(1), Value::Int(10)]).unwrap();
+        let mut b = Table::new("b", vec!["id", "y"]);
+        b.push_row(vec![Value::Int(1), Value::Int(20)]).unwrap();
+        b.push_row(vec![Value::Int(2), Value::Int(30)]).unwrap();
+        db.add_table(a).unwrap();
+        db.add_table(b).unwrap();
+        db.add_foreign_key(ForeignKey::new("b", "id", "a", "id"));
+        db
+    }
+
+    #[test]
+    fn add_and_lookup() {
+        let db = db();
+        assert_eq!(db.table_count(), 2);
+        assert!(db.table("a").is_ok());
+        assert!(db.table("z").is_err());
+    }
+
+    #[test]
+    fn duplicate_rejected() {
+        let mut d = db();
+        let err = d.add_table(Table::new("a", vec!["q"])).unwrap_err();
+        assert!(matches!(err, RelationalError::DuplicateTable { .. }));
+    }
+
+    #[test]
+    fn totals() {
+        let db = db();
+        assert_eq!(db.total_rows(), 3);
+        assert_eq!(db.total_attributes(), 4);
+    }
+
+    #[test]
+    fn remove_table_drops_fks() {
+        let mut d = db();
+        assert_eq!(d.foreign_keys().len(), 1);
+        d.remove_table("a").unwrap();
+        assert_eq!(d.table_count(), 1);
+        assert!(d.foreign_keys().is_empty());
+        assert!(d.remove_table("a").is_err());
+    }
+}

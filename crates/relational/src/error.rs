@@ -1,0 +1,74 @@
+//! Error type shared by the relational substrate.
+
+use std::fmt;
+
+/// Errors produced while building, reading, or transforming relations.
+#[derive(Debug, Clone, PartialEq, Eq)]
+#[allow(missing_docs)] // variant fields are self-describing
+pub enum RelationalError {
+    /// A row was pushed whose arity does not match the table schema.
+    ArityMismatch { table: String, expected: usize, actual: usize },
+    /// A column name was requested that does not exist in the table.
+    UnknownColumn { table: String, column: String },
+    /// A table name was requested that does not exist in the database.
+    UnknownTable { table: String },
+    /// A table with the same name was inserted twice into a database.
+    DuplicateTable { table: String },
+    /// A value of an unexpected type was encountered where another was required.
+    TypeMismatch { context: String },
+    /// Malformed CSV input (unbalanced quotes, inconsistent arity, ...).
+    Csv { line: usize, message: String },
+    /// An index was out of bounds for the relation.
+    OutOfBounds { context: String, index: usize, len: usize },
+}
+
+impl fmt::Display for RelationalError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Self::ArityMismatch { table, expected, actual } => write!(
+                f,
+                "arity mismatch in table '{table}': expected {expected} values, got {actual}"
+            ),
+            Self::UnknownColumn { table, column } => {
+                write!(f, "unknown column '{column}' in table '{table}'")
+            }
+            Self::UnknownTable { table } => write!(f, "unknown table '{table}'"),
+            Self::DuplicateTable { table } => write!(f, "duplicate table '{table}'"),
+            Self::TypeMismatch { context } => write!(f, "type mismatch: {context}"),
+            Self::Csv { line, message } => write!(f, "csv error at line {line}: {message}"),
+            Self::OutOfBounds { context, index, len } => {
+                write!(f, "index {index} out of bounds (len {len}) in {context}")
+            }
+        }
+    }
+}
+
+impl std::error::Error for RelationalError {}
+
+/// Convenience alias used across the substrate.
+pub type Result<T> = std::result::Result<T, RelationalError>;
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_is_informative() {
+        let err = RelationalError::ArityMismatch {
+            table: "t".into(),
+            expected: 3,
+            actual: 2,
+        };
+        let msg = err.to_string();
+        assert!(msg.contains("'t'"));
+        assert!(msg.contains('3'));
+        assert!(msg.contains('2'));
+    }
+
+    #[test]
+    fn errors_are_comparable() {
+        let a = RelationalError::UnknownTable { table: "x".into() };
+        let b = RelationalError::UnknownTable { table: "x".into() };
+        assert_eq!(a, b);
+    }
+}

@@ -1,0 +1,221 @@
+//! Joins.
+//!
+//! Two flavours are provided:
+//!
+//! * [`hash_join`] — a classic row-multiplying hash join.
+//! * [`augment_join`] — the cardinality-preserving left join the paper's
+//!   *Full Table* baseline needs: the base table keeps exactly one output row
+//!   per input row, and 1:N / N:M matches on the other side are aggregated
+//!   (numeric → mean, everything else → mode). This is the "handle different
+//!   join cardinalities" chore §2.2 describes analysts doing by hand.
+
+use crate::column::Column;
+use crate::error::Result;
+use crate::table::Table;
+use crate::value::Value;
+use std::collections::HashMap;
+
+/// Join kind for [`hash_join`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum JoinKind {
+    /// Keep only matching rows.
+    Inner,
+    /// Keep all left rows; unmatched right columns become null.
+    Left,
+}
+
+/// Hash join of `left` and `right` on `left.left_col == right.right_col`
+/// (matching by rendered value; nulls never match). Output columns are the
+/// left columns followed by the right columns prefixed with the right table's
+/// name.
+pub fn hash_join(
+    left: &Table,
+    right: &Table,
+    left_col: &str,
+    right_col: &str,
+    kind: JoinKind,
+) -> Result<Table> {
+    let lidx = left.column_index(left_col)?;
+    let ridx = right.column_index(right_col)?;
+    let mut index: HashMap<String, Vec<usize>> = HashMap::new();
+    for (r, v) in right.columns()[ridx].values().iter().enumerate() {
+        if !v.is_null() {
+            index.entry(v.render()).or_default().push(r);
+        }
+    }
+    let out_name = format!("{}_join_{}", left.name(), right.name());
+    let mut out_cols: Vec<Column> = left
+        .column_names()
+        .iter()
+        .map(|n| Column::new((*n).to_owned()))
+        .collect();
+    for n in right.column_names() {
+        out_cols.push(Column::new(format!("{}.{}", right.name(), n)));
+    }
+    let lw = left.column_count();
+    let mut out = Table::from_columns(out_name, out_cols)?;
+    for lr in 0..left.row_count() {
+        let key = left.value(lr, lidx)?;
+        let matches: &[usize] = if key.is_null() {
+            &[]
+        } else {
+            index.get(&key.render()).map(Vec::as_slice).unwrap_or(&[])
+        };
+        if matches.is_empty() {
+            if kind == JoinKind::Left {
+                let mut row = left.row(lr)?;
+                row.extend(std::iter::repeat_n(Value::Null, right.column_count()));
+                out.push_row(row)?;
+            }
+            continue;
+        }
+        for &rr in matches {
+            let mut row = left.row(lr)?;
+            row.extend(right.row(rr)?);
+            debug_assert_eq!(row.len(), lw + right.column_count());
+            out.push_row(row)?;
+        }
+    }
+    Ok(out)
+}
+
+/// Cardinality-preserving augmentation join: appends the non-key columns of
+/// `other` to `base`, aggregating multiple matches so the output has exactly
+/// `base.row_count()` rows.
+pub fn augment_join(
+    base: &Table,
+    other: &Table,
+    base_col: &str,
+    other_col: &str,
+) -> Result<Table> {
+    let bidx = base.column_index(base_col)?;
+    let oidx = other.column_index(other_col)?;
+    let mut index: HashMap<String, Vec<usize>> = HashMap::new();
+    for (r, v) in other.columns()[oidx].values().iter().enumerate() {
+        if !v.is_null() {
+            index.entry(v.render()).or_default().push(r);
+        }
+    }
+    let mut out = base.clone();
+    out.set_name(format!("{}_aug_{}", base.name(), other.name()));
+    for (ci, ocol) in other.columns().iter().enumerate() {
+        if ci == oidx {
+            continue; // the join key duplicates information already in base
+        }
+        let mut vals = Vec::with_capacity(base.row_count());
+        for br in 0..base.row_count() {
+            let key = base.value(br, bidx)?;
+            let matches: &[usize] = if key.is_null() {
+                &[]
+            } else {
+                index.get(&key.render()).map(Vec::as_slice).unwrap_or(&[])
+            };
+            vals.push(aggregate(ocol, matches));
+        }
+        out.add_column(Column::from_values(
+            format!("{}.{}", other.name(), ocol.name()),
+            vals,
+        ))?;
+    }
+    Ok(out)
+}
+
+/// Aggregates the values of `col` at the given rows: mean for numeric
+/// majorities, mode otherwise, null when no rows match.
+fn aggregate(col: &Column, rows: &[usize]) -> Value {
+    if rows.is_empty() {
+        return Value::Null;
+    }
+    if rows.len() == 1 {
+        return col.get(rows[0]).cloned().unwrap_or(Value::Null);
+    }
+    let vals: Vec<&Value> = rows
+        .iter()
+        .filter_map(|&r| col.get(r))
+        .filter(|v| !v.is_null())
+        .collect();
+    if vals.is_empty() {
+        return Value::Null;
+    }
+    let numeric: Vec<f64> = vals.iter().filter_map(|v| v.as_f64()).collect();
+    if numeric.len() * 2 >= vals.len() {
+        return Value::float(numeric.iter().sum::<f64>() / numeric.len() as f64);
+    }
+    // Mode of rendered values; ties broken by first occurrence for determinism.
+    let mut counts: HashMap<String, (usize, usize)> = HashMap::new();
+    for (i, v) in vals.iter().enumerate() {
+        let e = counts.entry(v.render()).or_insert((0, i));
+        e.0 += 1;
+    }
+    let best = counts
+        .into_iter()
+        .max_by(|a, b| a.1 .0.cmp(&b.1 .0).then(b.1 .1.cmp(&a.1 .1)))
+        .map(|(_, (_, i))| i)
+        .unwrap_or(0);
+    (*vals[best]).clone()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn base() -> Table {
+        let mut t = Table::new("orders", vec!["id", "item"]);
+        t.push_row(vec![Value::Int(1), Value::Text("pen".into())]).unwrap();
+        t.push_row(vec![Value::Int(2), Value::Text("ink".into())]).unwrap();
+        t.push_row(vec![Value::Int(3), Value::Null]).unwrap();
+        t
+    }
+
+    fn prices() -> Table {
+        let mut t = Table::new("prices", vec!["item", "price"]);
+        t.push_row(vec![Value::Text("pen".into()), Value::Float(2.0)]).unwrap();
+        t.push_row(vec![Value::Text("pen".into()), Value::Float(4.0)]).unwrap();
+        t.push_row(vec![Value::Text("ink".into()), Value::Float(10.0)]).unwrap();
+        t
+    }
+
+    #[test]
+    fn inner_join_multiplies_rows() {
+        let j = hash_join(&base(), &prices(), "item", "item", JoinKind::Inner).unwrap();
+        assert_eq!(j.row_count(), 3); // pen x2 + ink x1; null row dropped
+        assert_eq!(j.column_names(), vec!["id", "item", "prices.item", "prices.price"]);
+    }
+
+    #[test]
+    fn left_join_keeps_unmatched() {
+        let j = hash_join(&base(), &prices(), "item", "item", JoinKind::Left).unwrap();
+        assert_eq!(j.row_count(), 4);
+        // The null-key base row survives with null right columns.
+        let last = j.row(3).unwrap();
+        assert_eq!(last[0], Value::Int(3));
+        assert!(last[3].is_null());
+    }
+
+    #[test]
+    fn augment_preserves_cardinality_and_aggregates() {
+        let a = augment_join(&base(), &prices(), "item", "item").unwrap();
+        assert_eq!(a.row_count(), 3);
+        assert_eq!(a.column_names(), vec!["id", "item", "prices.price"]);
+        // pen matched rows 2.0 and 4.0 => mean 3.0
+        assert_eq!(a.value(0, 2).unwrap(), &Value::Float(3.0));
+        assert_eq!(a.value(1, 2).unwrap(), &Value::Float(10.0));
+        assert!(a.value(2, 2).unwrap().is_null());
+    }
+
+    #[test]
+    fn augment_mode_for_text() {
+        let mut t = Table::new("tags", vec!["item", "tag"]);
+        for tag in ["a", "b", "b"] {
+            t.push_row(vec![Value::Text("pen".into()), Value::Text(tag.into())]).unwrap();
+        }
+        let a = augment_join(&base(), &t, "item", "item").unwrap();
+        assert_eq!(a.value(0, 2).unwrap(), &Value::Text("b".into()));
+    }
+
+    #[test]
+    fn join_on_missing_column_errors() {
+        assert!(hash_join(&base(), &prices(), "nope", "item", JoinKind::Inner).is_err());
+        assert!(augment_join(&base(), &prices(), "item", "nope").is_err());
+    }
+}

@@ -1,0 +1,215 @@
+//! Column statistics used by the textifier (§4.1 of the paper):
+//! distinct ratio (key detection), excess kurtosis (histogram-type choice),
+//! quantiles (equi-depth bin boundaries), and missing-value census.
+
+use crate::column::Column;
+use crate::value::Value;
+use std::collections::HashSet;
+
+/// Summary statistics for a column.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ColumnStats {
+    /// Number of rows, including nulls.
+    pub len: usize,
+    /// Number of non-null values.
+    pub non_null: usize,
+    /// Number of distinct non-null rendered values.
+    pub distinct: usize,
+    /// distinct / non_null (0 when the column is all null).
+    pub distinct_ratio: f64,
+    /// Mean of numeric values (None when no numeric values exist).
+    pub mean: Option<f64>,
+    /// Population standard deviation of numeric values.
+    pub std_dev: Option<f64>,
+    /// Excess kurtosis of numeric values (normal distribution => 0).
+    pub excess_kurtosis: Option<f64>,
+    /// Minimum numeric value.
+    pub min: Option<f64>,
+    /// Maximum numeric value.
+    pub max: Option<f64>,
+}
+
+/// Computes [`ColumnStats`] for a column.
+pub fn column_stats(column: &Column) -> ColumnStats {
+    let len = column.len();
+    let mut distinct: HashSet<String> = HashSet::new();
+    let mut non_null = 0usize;
+    for v in column.values() {
+        if !v.is_null() {
+            non_null += 1;
+            distinct.insert(v.render());
+        }
+    }
+    let nums: Vec<f64> = column.numeric_values().collect();
+    let (mean, std_dev, kurt, min, max) = if nums.is_empty() {
+        (None, None, None, None, None)
+    } else {
+        let m = mean(&nums);
+        let sd = std_dev(&nums, m);
+        let k = excess_kurtosis(&nums, m, sd);
+        let mn = nums.iter().copied().fold(f64::INFINITY, f64::min);
+        let mx = nums.iter().copied().fold(f64::NEG_INFINITY, f64::max);
+        (Some(m), Some(sd), k, Some(mn), Some(mx))
+    };
+    ColumnStats {
+        len,
+        non_null,
+        distinct: distinct.len(),
+        distinct_ratio: if non_null == 0 { 0.0 } else { distinct.len() as f64 / non_null as f64 },
+        mean,
+        std_dev,
+        excess_kurtosis: kurt,
+        min,
+        max,
+    }
+}
+
+/// Arithmetic mean.
+pub fn mean(values: &[f64]) -> f64 {
+    if values.is_empty() {
+        return 0.0;
+    }
+    values.iter().sum::<f64>() / values.len() as f64
+}
+
+/// Population standard deviation.
+pub fn std_dev(values: &[f64], mean: f64) -> f64 {
+    if values.is_empty() {
+        return 0.0;
+    }
+    let var = values.iter().map(|v| (v - mean).powi(2)).sum::<f64>() / values.len() as f64;
+    var.sqrt()
+}
+
+/// Excess kurtosis: E[(x-μ)⁴]/σ⁴ − 3. `None` when the distribution is
+/// degenerate (σ ≈ 0) — the textifier treats that as light-tailed.
+pub fn excess_kurtosis(values: &[f64], mean: f64, std_dev: f64) -> Option<f64> {
+    if values.len() < 4 || std_dev < 1e-12 {
+        return None;
+    }
+    let m4 = values.iter().map(|v| (v - mean).powi(4)).sum::<f64>() / values.len() as f64;
+    Some(m4 / std_dev.powi(4) - 3.0)
+}
+
+/// The `q`-quantile (0 ≤ q ≤ 1) of a slice using linear interpolation on a
+/// sorted copy. Used to derive equi-depth histogram boundaries.
+pub fn quantile(values: &[f64], q: f64) -> Option<f64> {
+    if values.is_empty() || !(0.0..=1.0).contains(&q) {
+        return None;
+    }
+    let mut sorted = values.to_vec();
+    sorted.sort_by(|a, b| a.partial_cmp(b).expect("no NaN in column numerics"));
+    Some(quantile_sorted(&sorted, q))
+}
+
+/// Quantile over an already-sorted slice (no allocation).
+pub fn quantile_sorted(sorted: &[f64], q: f64) -> f64 {
+    debug_assert!(!sorted.is_empty());
+    let pos = q * (sorted.len() - 1) as f64;
+    let lo = pos.floor() as usize;
+    let hi = pos.ceil() as usize;
+    if lo == hi {
+        sorted[lo]
+    } else {
+        let frac = pos - lo as f64;
+        sorted[lo] * (1.0 - frac) + sorted[hi] * frac
+    }
+}
+
+/// Fraction of rows whose rendered value appears in a set of common textual
+/// missing-data sentinels. Used only for *reporting* dataset characteristics
+/// (Table 4); the pipeline itself detects sentinels dynamically by voting.
+pub fn sentinel_fraction(column: &Column) -> f64 {
+    const SENTINELS: [&str; 7] = ["?", "null", "na", "n/a", "none", "missing", "-"];
+    if column.is_empty() {
+        return 0.0;
+    }
+    let hits = column
+        .values()
+        .iter()
+        .filter(|v| match v {
+            Value::Null => true,
+            Value::Text(s) => SENTINELS.contains(&s.to_ascii_lowercase().as_str()),
+            _ => false,
+        })
+        .count();
+    hits as f64 / column.len() as f64
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn basic_stats() {
+        let c = Column::from_values(
+            "c",
+            vec![Value::Int(1), Value::Int(2), Value::Int(2), Value::Null],
+        );
+        let s = column_stats(&c);
+        assert_eq!(s.len, 4);
+        assert_eq!(s.non_null, 3);
+        assert_eq!(s.distinct, 2);
+        assert!((s.distinct_ratio - 2.0 / 3.0).abs() < 1e-12);
+        assert_eq!(s.min, Some(1.0));
+        assert_eq!(s.max, Some(2.0));
+    }
+
+    #[test]
+    fn kurtosis_of_uniformish_data_is_negative() {
+        // A uniform distribution has excess kurtosis -1.2.
+        let vals: Vec<f64> = (0..1000).map(|i| i as f64).collect();
+        let m = mean(&vals);
+        let sd = std_dev(&vals, m);
+        let k = excess_kurtosis(&vals, m, sd).unwrap();
+        assert!((k - (-1.2)).abs() < 0.05, "k = {k}");
+    }
+
+    #[test]
+    fn kurtosis_of_heavy_tail_is_positive() {
+        // Mostly zeros with huge outliers => leptokurtic.
+        let mut vals = vec![0.0f64; 100];
+        vals.push(1000.0);
+        vals.push(-1000.0);
+        let m = mean(&vals);
+        let sd = std_dev(&vals, m);
+        assert!(excess_kurtosis(&vals, m, sd).unwrap() > 10.0);
+    }
+
+    #[test]
+    fn kurtosis_degenerate_is_none() {
+        let vals = vec![5.0; 10];
+        assert_eq!(excess_kurtosis(&vals, 5.0, 0.0), None);
+    }
+
+    #[test]
+    fn quantiles_interpolate() {
+        let vals = vec![3.0, 1.0, 2.0, 4.0];
+        assert_eq!(quantile(&vals, 0.0), Some(1.0));
+        assert_eq!(quantile(&vals, 1.0), Some(4.0));
+        assert_eq!(quantile(&vals, 0.5), Some(2.5));
+        assert_eq!(quantile(&vals, 2.0), None);
+        assert_eq!(quantile(&[], 0.5), None);
+    }
+
+    #[test]
+    fn sentinel_census() {
+        let c = Column::from_values(
+            "c",
+            vec![
+                Value::Text("?".into()),
+                Value::Text("ok".into()),
+                Value::Null,
+                Value::Text("N/A".into()),
+            ],
+        );
+        assert!((sentinel_fraction(&c) - 0.75).abs() < 1e-12);
+    }
+
+    #[test]
+    fn distinct_uses_rendered_equality() {
+        // 3.0 (float) and 3 (int) render identically and count once.
+        let c = Column::from_values("c", vec![Value::Float(3.0), Value::Int(3)]);
+        assert_eq!(column_stats(&c).distinct, 1);
+    }
+}

@@ -1,0 +1,295 @@
+//! Tables: named collections of equal-length columns.
+
+use crate::column::{Column, DataType};
+use crate::error::{RelationalError, Result};
+use crate::value::Value;
+use serde::{Deserialize, Serialize};
+
+/// An in-memory columnar table.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Table {
+    name: String,
+    columns: Vec<Column>,
+}
+
+impl Table {
+    /// Creates an empty table with the given column names.
+    pub fn new<S: Into<String>>(name: impl Into<String>, column_names: Vec<S>) -> Self {
+        Self {
+            name: name.into(),
+            columns: column_names.into_iter().map(|n| Column::new(n.into())).collect(),
+        }
+    }
+
+    /// Builds a table directly from columns. All columns must share a length.
+    pub fn from_columns(name: impl Into<String>, columns: Vec<Column>) -> Result<Self> {
+        let name = name.into();
+        if let Some(first) = columns.first() {
+            let len = first.len();
+            for c in &columns {
+                if c.len() != len {
+                    return Err(RelationalError::ArityMismatch {
+                        table: name,
+                        expected: len,
+                        actual: c.len(),
+                    });
+                }
+            }
+        }
+        Ok(Self { name, columns })
+    }
+
+    /// Table name.
+    pub fn name(&self) -> &str {
+        &self.name
+    }
+
+    /// Renames the table.
+    pub fn set_name(&mut self, name: impl Into<String>) {
+        self.name = name.into();
+    }
+
+    /// Number of rows.
+    pub fn row_count(&self) -> usize {
+        self.columns.first().map_or(0, Column::len)
+    }
+
+    /// Number of columns.
+    pub fn column_count(&self) -> usize {
+        self.columns.len()
+    }
+
+    /// Column names in schema order.
+    pub fn column_names(&self) -> Vec<&str> {
+        self.columns.iter().map(Column::name).collect()
+    }
+
+    /// All columns.
+    pub fn columns(&self) -> &[Column] {
+        &self.columns
+    }
+
+    /// Mutable column access (for dataset generators and noise injection).
+    pub fn columns_mut(&mut self) -> &mut Vec<Column> {
+        &mut self.columns
+    }
+
+    /// Column by name.
+    pub fn column(&self, name: &str) -> Result<&Column> {
+        self.columns
+            .iter()
+            .find(|c| c.name() == name)
+            .ok_or_else(|| RelationalError::UnknownColumn {
+                table: self.name.clone(),
+                column: name.to_owned(),
+            })
+    }
+
+    /// Column index by name.
+    pub fn column_index(&self, name: &str) -> Result<usize> {
+        self.columns
+            .iter()
+            .position(|c| c.name() == name)
+            .ok_or_else(|| RelationalError::UnknownColumn {
+                table: self.name.clone(),
+                column: name.to_owned(),
+            })
+    }
+
+    /// Appends a row. The row arity must match the column count.
+    pub fn push_row(&mut self, row: Vec<Value>) -> Result<()> {
+        if row.len() != self.columns.len() {
+            return Err(RelationalError::ArityMismatch {
+                table: self.name.clone(),
+                expected: self.columns.len(),
+                actual: row.len(),
+            });
+        }
+        for (col, v) in self.columns.iter_mut().zip(row) {
+            col.push(v);
+        }
+        Ok(())
+    }
+
+    /// Value at `(row, col_idx)`.
+    pub fn value(&self, row: usize, col_idx: usize) -> Result<&Value> {
+        let col = self.columns.get(col_idx).ok_or(RelationalError::OutOfBounds {
+            context: format!("column of table '{}'", self.name),
+            index: col_idx,
+            len: self.columns.len(),
+        })?;
+        col.get(row).ok_or(RelationalError::OutOfBounds {
+            context: format!("row of table '{}'", self.name),
+            index: row,
+            len: col.len(),
+        })
+    }
+
+    /// Materializes row `row` as a vector of cloned values.
+    pub fn row(&self, row: usize) -> Result<Vec<Value>> {
+        if row >= self.row_count() {
+            return Err(RelationalError::OutOfBounds {
+                context: format!("row of table '{}'", self.name),
+                index: row,
+                len: self.row_count(),
+            });
+        }
+        Ok(self
+            .columns
+            .iter()
+            .map(|c| c.get(row).cloned().unwrap_or(Value::Null))
+            .collect())
+    }
+
+    /// Iterator over row indices paired with per-column value references.
+    pub fn iter_rows(&self) -> impl Iterator<Item = (usize, Vec<&Value>)> + '_ {
+        (0..self.row_count()).map(move |r| {
+            let vals = self
+                .columns
+                .iter()
+                .map(|c| c.get(r).expect("columns share length"))
+                .collect();
+            (r, vals)
+        })
+    }
+
+    /// Adds a column of values. The column must match the current row count
+    /// (or the table must be empty of columns).
+    pub fn add_column(&mut self, column: Column) -> Result<()> {
+        if !self.columns.is_empty() && column.len() != self.row_count() {
+            return Err(RelationalError::ArityMismatch {
+                table: self.name.clone(),
+                expected: self.row_count(),
+                actual: column.len(),
+            });
+        }
+        self.columns.push(column);
+        Ok(())
+    }
+
+    /// Removes a column by name and returns it.
+    pub fn remove_column(&mut self, name: &str) -> Result<Column> {
+        let idx = self.column_index(name)?;
+        Ok(self.columns.remove(idx))
+    }
+
+    /// Returns a copy of the table without the named columns.
+    pub fn drop_columns(&self, names: &[&str]) -> Result<Table> {
+        for n in names {
+            // Validate up-front so errors mention the offending column.
+            self.column_index(n)?;
+        }
+        let cols = self
+            .columns
+            .iter()
+            .filter(|c| !names.contains(&c.name()))
+            .cloned()
+            .collect();
+        Table::from_columns(self.name.clone(), cols)
+    }
+
+    /// Returns a copy keeping only the first `n` rows (used to scale
+    /// experiments down).
+    pub fn head(&self, n: usize) -> Table {
+        let cols = self
+            .columns
+            .iter()
+            .map(|c| {
+                Column::from_values(c.name().to_owned(), c.values()[..n.min(c.len())].to_vec())
+            })
+            .collect();
+        Table { name: self.name.clone(), columns: cols }
+    }
+
+    /// Inferred data type per column, in schema order.
+    pub fn column_types(&self) -> Vec<DataType> {
+        self.columns.iter().map(Column::infer_type).collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample() -> Table {
+        let mut t = Table::new("expenses", vec!["name", "gender", "total"]);
+        t.push_row(vec!["alice".into(), "F".into(), Value::Float(10.0)]).unwrap();
+        t.push_row(vec!["bob".into(), "M".into(), Value::Float(20.0)]).unwrap();
+        t
+    }
+
+    #[test]
+    fn push_and_read_rows() {
+        let t = sample();
+        assert_eq!(t.row_count(), 2);
+        assert_eq!(t.column_count(), 3);
+        assert_eq!(t.value(1, 0).unwrap(), &Value::Text("bob".into()));
+        assert_eq!(t.row(0).unwrap()[2], Value::Float(10.0));
+    }
+
+    #[test]
+    fn arity_mismatch_rejected() {
+        let mut t = sample();
+        let err = t.push_row(vec!["x".into()]).unwrap_err();
+        assert!(matches!(err, RelationalError::ArityMismatch { expected: 3, actual: 1, .. }));
+    }
+
+    #[test]
+    fn unknown_column_rejected() {
+        let t = sample();
+        assert!(t.column("missing").is_err());
+        assert!(t.column("gender").is_ok());
+    }
+
+    #[test]
+    fn out_of_bounds_row() {
+        let t = sample();
+        assert!(t.row(5).is_err());
+        assert!(t.value(0, 9).is_err());
+    }
+
+    #[test]
+    fn drop_columns_keeps_order() {
+        let t = sample().drop_columns(&["gender"]).unwrap();
+        assert_eq!(t.column_names(), vec!["name", "total"]);
+        assert_eq!(t.row_count(), 2);
+    }
+
+    #[test]
+    fn drop_unknown_column_errors() {
+        assert!(sample().drop_columns(&["nope"]).is_err());
+    }
+
+    #[test]
+    fn add_column_validates_length() {
+        let mut t = sample();
+        let bad = Column::from_values("extra", vec![Value::Int(1)]);
+        assert!(t.add_column(bad).is_err());
+        let good = Column::from_values("extra", vec![Value::Int(1), Value::Int(2)]);
+        assert!(t.add_column(good).is_ok());
+        assert_eq!(t.column_count(), 4);
+    }
+
+    #[test]
+    fn head_truncates() {
+        let t = sample().head(1);
+        assert_eq!(t.row_count(), 1);
+        let t2 = sample().head(100);
+        assert_eq!(t2.row_count(), 2);
+    }
+
+    #[test]
+    fn from_columns_checks_lengths() {
+        let a = Column::from_values("a", vec![Value::Int(1)]);
+        let b = Column::from_values("b", vec![Value::Int(1), Value::Int(2)]);
+        assert!(Table::from_columns("t", vec![a, b]).is_err());
+    }
+
+    #[test]
+    fn iter_rows_visits_all() {
+        let t = sample();
+        let rows: Vec<_> = t.iter_rows().collect();
+        assert_eq!(rows.len(), 2);
+        assert_eq!(rows[0].1.len(), 3);
+    }
+}

@@ -1,0 +1,208 @@
+//! Cell values.
+//!
+//! Leva treats relational data as *dirty by default*: missing values may be
+//! encoded as real nulls, or as sentinel strings such as `"?"`/`"N/A"` that
+//! only the downstream voting mechanism (see `leva-graph`) can identify.
+//! `Value` therefore keeps sentinel strings as ordinary text and reserves
+//! [`Value::Null`] for values that are *known* missing at ingestion time.
+
+use serde::{Deserialize, Serialize};
+use std::fmt;
+
+/// A single relational cell value.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub enum Value {
+    /// Known-missing value.
+    Null,
+    /// 64-bit signed integer.
+    Int(i64),
+    /// 64-bit float. NaN is normalized to [`Value::Null`] by [`Value::float`].
+    Float(f64),
+    /// Arbitrary text (may be a dirty missing-value sentinel).
+    Text(String),
+    /// Boolean flag.
+    Bool(bool),
+    /// Seconds since the Unix epoch. Kept distinct from `Int` so the
+    /// textifier can apply datetime-specific quantization.
+    Timestamp(i64),
+}
+
+impl Value {
+    /// Builds a float value, mapping NaN to `Null` so that downstream
+    /// statistics never observe NaN.
+    pub fn float(v: f64) -> Self {
+        if v.is_nan() {
+            Value::Null
+        } else {
+            Value::Float(v)
+        }
+    }
+
+    /// Builds a text value, trimming surrounding whitespace. Empty strings
+    /// become `Null`.
+    pub fn text(v: impl Into<String>) -> Self {
+        let s: String = v.into();
+        let trimmed = s.trim();
+        if trimmed.is_empty() {
+            Value::Null
+        } else if trimmed.len() == s.len() {
+            Value::Text(s)
+        } else {
+            Value::Text(trimmed.to_owned())
+        }
+    }
+
+    /// True when the value is a real (ingestion-time) null.
+    pub fn is_null(&self) -> bool {
+        matches!(self, Value::Null)
+    }
+
+    /// Numeric view: ints, floats, bools, and timestamps coerce to `f64`;
+    /// numeric-looking text parses; everything else is `None`.
+    pub fn as_f64(&self) -> Option<f64> {
+        match self {
+            Value::Int(v) => Some(*v as f64),
+            Value::Float(v) => Some(*v),
+            Value::Bool(b) => Some(if *b { 1.0 } else { 0.0 }),
+            Value::Timestamp(v) => Some(*v as f64),
+            Value::Text(s) => s.trim().parse::<f64>().ok().filter(|v| !v.is_nan()),
+            Value::Null => None,
+        }
+    }
+
+    /// Integer view without loss; text that parses as i64 is accepted.
+    pub fn as_i64(&self) -> Option<i64> {
+        match self {
+            Value::Int(v) => Some(*v),
+            Value::Timestamp(v) => Some(*v),
+            Value::Bool(b) => Some(i64::from(*b)),
+            Value::Float(v) if v.fract() == 0.0 && v.abs() < 2f64.powi(53) => Some(*v as i64),
+            Value::Text(s) => s.trim().parse::<i64>().ok(),
+            _ => None,
+        }
+    }
+
+    /// Text view (borrowed); only `Text` values qualify.
+    pub fn as_text(&self) -> Option<&str> {
+        match self {
+            Value::Text(s) => Some(s),
+            _ => None,
+        }
+    }
+
+    /// Canonical string rendering used by the textifier for direct encoding.
+    /// Floats are rendered with up to 12 significant digits so equal floats
+    /// always produce equal tokens.
+    pub fn render(&self) -> String {
+        match self {
+            Value::Null => String::new(),
+            Value::Int(v) => v.to_string(),
+            Value::Float(v) => format_float(*v),
+            Value::Text(s) => s.clone(),
+            Value::Bool(b) => b.to_string(),
+            Value::Timestamp(v) => v.to_string(),
+        }
+    }
+}
+
+/// Renders a float deterministically: integral floats drop the fraction so
+/// `3.0` and `3` textify identically.
+fn format_float(v: f64) -> String {
+    if v.fract() == 0.0 && v.abs() < 1e15 {
+        format!("{}", v as i64)
+    } else {
+        let mut s = format!("{v:.12}");
+        while s.ends_with('0') {
+            s.pop();
+        }
+        if s.ends_with('.') {
+            s.pop();
+        }
+        s
+    }
+}
+
+impl fmt::Display for Value {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Value::Null => write!(f, "NULL"),
+            other => write!(f, "{}", other.render()),
+        }
+    }
+}
+
+impl From<i64> for Value {
+    fn from(v: i64) -> Self {
+        Value::Int(v)
+    }
+}
+
+impl From<f64> for Value {
+    fn from(v: f64) -> Self {
+        Value::float(v)
+    }
+}
+
+impl From<&str> for Value {
+    fn from(v: &str) -> Self {
+        Value::text(v)
+    }
+}
+
+impl From<String> for Value {
+    fn from(v: String) -> Self {
+        Value::text(v)
+    }
+}
+
+impl From<bool> for Value {
+    fn from(v: bool) -> Self {
+        Value::Bool(v)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn nan_becomes_null() {
+        assert!(Value::float(f64::NAN).is_null());
+        assert!(!Value::float(1.5).is_null());
+    }
+
+    #[test]
+    fn empty_text_becomes_null() {
+        assert!(Value::text("   ").is_null());
+        assert_eq!(Value::text(" a "), Value::Text("a".into()));
+    }
+
+    #[test]
+    fn numeric_coercion() {
+        assert_eq!(Value::Int(3).as_f64(), Some(3.0));
+        assert_eq!(Value::Text("2.5".into()).as_f64(), Some(2.5));
+        assert_eq!(Value::Text("abc".into()).as_f64(), None);
+        assert_eq!(Value::Bool(true).as_f64(), Some(1.0));
+        assert_eq!(Value::Null.as_f64(), None);
+    }
+
+    #[test]
+    fn integer_coercion_is_lossless() {
+        assert_eq!(Value::Float(3.0).as_i64(), Some(3));
+        assert_eq!(Value::Float(3.5).as_i64(), None);
+        assert_eq!(Value::Text("42".into()).as_i64(), Some(42));
+    }
+
+    #[test]
+    fn float_render_is_canonical() {
+        assert_eq!(Value::Float(3.0).render(), "3");
+        assert_eq!(Value::Int(3).render(), "3");
+        assert_eq!(Value::Float(2.5).render(), "2.5");
+    }
+
+    #[test]
+    fn display_marks_null() {
+        assert_eq!(Value::Null.to_string(), "NULL");
+        assert_eq!(Value::Int(7).to_string(), "7");
+    }
+}

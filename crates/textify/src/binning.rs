@@ -1,0 +1,231 @@
+//! Histogram binning for numerical and datetime data (§4.1).
+//!
+//! Leva quantizes numeric data into a fixed number of bins so that (a) the
+//! token vocabulary stays small, (b) numerical proximity survives
+//! textification (nearby values share a bin token), and (c) unseen values at
+//! inference time can still be quantized. The histogram type is chosen by
+//! the column's excess kurtosis: heavy-tailed distributions get equi-depth
+//! bins (so outliers do not consume the whole range), light-tailed
+//! distributions get equi-width bins.
+
+use leva_relational::quantile_sorted;
+
+/// Which histogram construction was used.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum HistogramKind {
+    /// Uniformly spaced boundaries between min and max.
+    EquiWidth,
+    /// Boundaries at value quantiles (equal mass per bin).
+    EquiDepth,
+}
+
+/// How the histogram kind is selected.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum HistogramChoice {
+    /// Select by excess kurtosis (> 0 ⇒ heavy tail ⇒ equi-depth). The
+    /// paper's default ("Histogram Type: Kurtosis", Table 2).
+    #[default]
+    Kurtosis,
+    /// Always equi-width.
+    ForceEquiWidth,
+    /// Always equi-depth.
+    ForceEquiDepth,
+}
+
+/// A fitted histogram: `boundaries` are the interior cut points, so a
+/// histogram with `b` bins stores `b - 1` boundaries. Values are clamped
+/// into `[0, b-1]`, which is how unseen out-of-range data is quantized at
+/// inference time.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Histogram {
+    kind: HistogramKind,
+    boundaries: Vec<f64>,
+}
+
+impl Histogram {
+    /// Fits a histogram over `values` with `bins` bins, choosing the kind
+    /// per `choice` using the supplied excess kurtosis (None ⇒ light tail).
+    pub fn fit(
+        values: &[f64],
+        bins: usize,
+        choice: HistogramChoice,
+        excess_kurtosis: Option<f64>,
+    ) -> Histogram {
+        let bins = bins.max(1);
+        let kind = match choice {
+            HistogramChoice::ForceEquiWidth => HistogramKind::EquiWidth,
+            HistogramChoice::ForceEquiDepth => HistogramKind::EquiDepth,
+            HistogramChoice::Kurtosis => {
+                // A normal distribution has excess kurtosis 0; heavier
+                // tails than normal ⇒ equi-depth to keep outliers informative.
+                if excess_kurtosis.unwrap_or(0.0) > 0.0 {
+                    HistogramKind::EquiDepth
+                } else {
+                    HistogramKind::EquiWidth
+                }
+            }
+        };
+        match kind {
+            HistogramKind::EquiWidth => Self::equi_width(values, bins),
+            HistogramKind::EquiDepth => Self::equi_depth(values, bins),
+        }
+    }
+
+    /// Equi-width histogram between the min and max of `values`.
+    pub fn equi_width(values: &[f64], bins: usize) -> Histogram {
+        let bins = bins.max(1);
+        let (min, max) = min_max(values);
+        let mut boundaries = Vec::with_capacity(bins.saturating_sub(1));
+        if max > min {
+            let width = (max - min) / bins as f64;
+            for i in 1..bins {
+                boundaries.push(min + width * i as f64);
+            }
+        }
+        Histogram { kind: HistogramKind::EquiWidth, boundaries }
+    }
+
+    /// Equi-depth histogram (quantile boundaries).
+    pub fn equi_depth(values: &[f64], bins: usize) -> Histogram {
+        let bins = bins.max(1);
+        let mut sorted = values.to_vec();
+        sorted.retain(|v| v.is_finite());
+        sorted.sort_by(|a, b| a.partial_cmp(b).expect("finite values"));
+        let mut boundaries = Vec::with_capacity(bins.saturating_sub(1));
+        if !sorted.is_empty() && sorted.first() != sorted.last() {
+            for i in 1..bins {
+                let q = i as f64 / bins as f64;
+                let b = quantile_sorted(&sorted, q);
+                // Keep boundaries strictly increasing; duplicate quantiles
+                // (heavy point masses) collapse into a single boundary.
+                if boundaries.last().is_none_or(|&last| b > last) {
+                    boundaries.push(b);
+                }
+            }
+        }
+        Histogram { kind: HistogramKind::EquiDepth, boundaries }
+    }
+
+    /// The histogram kind actually used.
+    pub fn kind(&self) -> HistogramKind {
+        self.kind
+    }
+
+    /// Number of bins.
+    pub fn bins(&self) -> usize {
+        self.boundaries.len() + 1
+    }
+
+    /// Maps a value to its bin id in `[0, bins)`. Out-of-range values clamp
+    /// to the first/last bin.
+    pub fn bin(&self, v: f64) -> usize {
+        // Boundaries are sorted; binary search for the first boundary > v.
+        self.boundaries.partition_point(|&b| b <= v)
+    }
+}
+
+fn min_max(values: &[f64]) -> (f64, f64) {
+    let mut min = f64::INFINITY;
+    let mut max = f64::NEG_INFINITY;
+    for &v in values {
+        if v.is_finite() {
+            min = min.min(v);
+            max = max.max(v);
+        }
+    }
+    if min > max {
+        (0.0, 0.0)
+    } else {
+        (min, max)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn equi_width_uniform_assignment() {
+        let vals: Vec<f64> = (0..100).map(f64::from).collect();
+        let h = Histogram::equi_width(&vals, 10);
+        assert_eq!(h.bins(), 10);
+        assert_eq!(h.bin(0.0), 0);
+        assert_eq!(h.bin(5.0), 0);
+        assert_eq!(h.bin(55.0), 5);
+        assert_eq!(h.bin(99.0), 9);
+    }
+
+    #[test]
+    fn out_of_range_clamps() {
+        let vals: Vec<f64> = (0..100).map(f64::from).collect();
+        let h = Histogram::equi_width(&vals, 10);
+        assert_eq!(h.bin(-1e9), 0);
+        assert_eq!(h.bin(1e9), 9);
+    }
+
+    #[test]
+    fn equi_depth_balances_mass() {
+        // Heavily skewed data: equi-depth puts roughly equal counts per bin.
+        let mut vals: Vec<f64> = (0..900).map(|i| f64::from(i) / 100.0).collect();
+        vals.extend((0..100).map(|i| 1000.0 + f64::from(i)));
+        let h = Histogram::equi_depth(&vals, 10);
+        let mut counts = vec![0usize; h.bins()];
+        for &v in &vals {
+            counts[h.bin(v)] += 1;
+        }
+        let max = *counts.iter().max().unwrap();
+        let min = *counts.iter().min().unwrap();
+        assert!(max <= min * 2, "counts = {counts:?}");
+    }
+
+    #[test]
+    fn kurtosis_choice_selects_kind() {
+        let light: Vec<f64> = (0..100).map(f64::from).collect();
+        let h = Histogram::fit(&light, 10, HistogramChoice::Kurtosis, Some(-1.2));
+        assert_eq!(h.kind(), HistogramKind::EquiWidth);
+        let h = Histogram::fit(&light, 10, HistogramChoice::Kurtosis, Some(5.0));
+        assert_eq!(h.kind(), HistogramKind::EquiDepth);
+        let h = Histogram::fit(&light, 10, HistogramChoice::ForceEquiDepth, Some(-1.2));
+        assert_eq!(h.kind(), HistogramKind::EquiDepth);
+    }
+
+    #[test]
+    fn constant_column_single_bin() {
+        let vals = vec![5.0; 50];
+        let h = Histogram::fit(&vals, 10, HistogramChoice::Kurtosis, None);
+        assert_eq!(h.bins(), 1);
+        assert_eq!(h.bin(5.0), 0);
+        assert_eq!(h.bin(100.0), 0);
+    }
+
+    #[test]
+    fn empty_values_are_safe() {
+        let h = Histogram::equi_width(&[], 10);
+        assert_eq!(h.bins(), 1);
+        assert_eq!(h.bin(3.0), 0);
+    }
+
+    #[test]
+    fn duplicate_quantiles_collapse() {
+        // 95% of values identical: most quantile boundaries coincide.
+        let mut vals = vec![1.0; 95];
+        vals.extend([2.0, 3.0, 4.0, 5.0, 6.0]);
+        let h = Histogram::equi_depth(&vals, 10);
+        assert!(h.bins() <= 10);
+        assert!(h.bins() >= 2);
+        // Monotone: larger values never land in smaller bins.
+        assert!(h.bin(1.0) <= h.bin(6.0));
+    }
+
+    #[test]
+    fn bin_is_monotone_in_value() {
+        let vals: Vec<f64> = (0..1000).map(|i| (f64::from(i)).sqrt()).collect();
+        let h = Histogram::equi_depth(&vals, 16);
+        let mut last = 0;
+        for i in 0..100 {
+            let b = h.bin(f64::from(i) / 3.0);
+            assert!(b >= last);
+            last = b;
+        }
+    }
+}

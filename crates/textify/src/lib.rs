@@ -1,0 +1,28 @@
+//! # leva-textify
+//!
+//! The *input and textification* stage of Leva (§4.1 of the paper). Converts
+//! heterogeneous relational data into normalized string tokens:
+//!
+//! * column classification (key / numeric / datetime / string / string-list)
+//!   with keyless key detection (distinct ratio ≈ 1 ∧ not float);
+//! * kurtosis-driven histogram binning for numeric and datetime columns
+//!   (heavy-tailed ⇒ equi-depth, else equi-width), with histograms shared
+//!   per column name so same-named columns across tables stay joinable;
+//! * dynamic missing-data handling: nulls and textual sentinels flow through
+//!   as tokens and are removed later by the voting refinement;
+//! * per-column encoders retained for quantizing unseen inference-time data.
+
+#![warn(missing_docs)]
+
+mod binning;
+mod strings;
+mod tokenizer;
+mod types;
+
+pub use binning::{Histogram, HistogramChoice, HistogramKind};
+pub use strings::{looks_like_list_column, try_split_list};
+pub use tokenizer::{
+    normalize_token, textify, ColumnEncoder, TextifyConfig, TokenOccurrence, TokenizedDatabase,
+    TokenizedRow, TokenizedTable,
+};
+pub use types::{classify_column, ClassifyConfig, ColumnClass};

@@ -1,0 +1,93 @@
+//! String handling (§4.1): a string cell is either an atomic token or a
+//! formatted list ("a, b, c") whose elements should each become tokens.
+
+use leva_relational::{Column, Value};
+
+/// Delimiters the internal parser recognizes, in priority order.
+const DELIMITERS: [char; 3] = [',', ';', '|'];
+
+/// Splits a string cell into list elements when it looks like a formatted
+/// list; returns `None` for atomic strings.
+pub fn try_split_list(s: &str) -> Option<Vec<String>> {
+    for d in DELIMITERS {
+        if s.contains(d) {
+            let parts: Vec<String> = s
+                .split(d)
+                .map(str::trim)
+                .filter(|p| !p.is_empty())
+                .map(str::to_owned)
+                .collect();
+            if parts.len() >= 2 {
+                return Some(parts);
+            }
+            return None;
+        }
+    }
+    None
+}
+
+/// Decides whether a whole column should be treated as a list column: a
+/// majority of its non-null string values must parse as lists with the same
+/// leading delimiter.
+pub fn looks_like_list_column(column: &Column) -> bool {
+    let mut listy = 0usize;
+    let mut total = 0usize;
+    for v in column.values() {
+        if let Value::Text(s) = v {
+            total += 1;
+            if try_split_list(s).is_some() {
+                listy += 1;
+            }
+        }
+    }
+    total > 0 && listy * 2 > total
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn splits_comma_lists() {
+        assert_eq!(
+            try_split_list("a, b, c"),
+            Some(vec!["a".into(), "b".into(), "c".into()])
+        );
+        assert_eq!(try_split_list("x;y"), Some(vec!["x".into(), "y".into()]));
+        assert_eq!(try_split_list("p|q|r").map(|v| v.len()), Some(3));
+    }
+
+    #[test]
+    fn atomic_strings_do_not_split() {
+        assert_eq!(try_split_list("hello world"), None);
+        assert_eq!(try_split_list("singleton"), None);
+        // Trailing delimiter with one real element is atomic.
+        assert_eq!(try_split_list("a,"), None);
+        assert_eq!(try_split_list(""), None);
+    }
+
+    #[test]
+    fn whitespace_elements_dropped() {
+        assert_eq!(try_split_list("a, , b"), Some(vec!["a".into(), "b".into()]));
+    }
+
+    #[test]
+    fn column_majority_vote() {
+        let listy = Column::from_values(
+            "tags",
+            vec!["a,b".into(), "c,d".into(), "plain".into()],
+        );
+        assert!(looks_like_list_column(&listy));
+        let atomic = Column::from_values(
+            "name",
+            vec!["alice".into(), "bob".into(), "c,d".into()],
+        );
+        assert!(!looks_like_list_column(&atomic));
+    }
+
+    #[test]
+    fn non_string_column_is_not_listy() {
+        let col = Column::from_values("n", vec![Value::Int(1), Value::Int(2)]);
+        assert!(!looks_like_list_column(&col));
+    }
+}

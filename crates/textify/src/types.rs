@@ -1,0 +1,156 @@
+//! Column classification (§4.1): each column is assigned a textification
+//! strategy before tokens are emitted.
+
+use crate::strings::looks_like_list_column;
+use leva_relational::{Column, ColumnStats, DataType};
+
+/// The textification strategy chosen for a column.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ColumnClass {
+    /// Key-like column: near-unique, non-float. Values encode directly so
+    /// exact KFK matches across tables share value nodes.
+    Key,
+    /// Numeric column: values are histogram-binned and emitted as
+    /// `column#bin` tokens.
+    Numeric,
+    /// Datetime column: timestamps binned like numerics.
+    Datetime,
+    /// Atomic string column: raw value tokens.
+    StringAtomic,
+    /// Delimited string-list column: one token per element.
+    StringList,
+    /// Column with no usable values; emits nothing.
+    Empty,
+}
+
+/// Thresholds governing classification.
+#[derive(Debug, Clone, Copy)]
+pub struct ClassifyConfig {
+    /// Distinct-ratio threshold above which a non-float column counts as a
+    /// key. The paper asks for a ratio "close to one" to stay robust to
+    /// duplicates and data errors.
+    pub key_distinct_ratio: f64,
+}
+
+impl Default for ClassifyConfig {
+    fn default() -> Self {
+        Self { key_distinct_ratio: 0.95 }
+    }
+}
+
+/// Classifies a column given its inferred [`DataType`] and statistics.
+pub fn classify_column(
+    column: &Column,
+    dtype: DataType,
+    stats: &ColumnStats,
+    cfg: &ClassifyConfig,
+) -> ColumnClass {
+    if stats.non_null == 0 {
+        return ColumnClass::Empty;
+    }
+    // List-ness beats key-ness: a column of formatted lists is usually
+    // near-unique as raw strings, but its *elements* are the tokens we want.
+    if matches!(dtype, DataType::Text | DataType::Unknown) && looks_like_list_column(column) {
+        return ColumnClass::StringList;
+    }
+    // Key heuristics (§4.1): distinct ratio close to 1 and not floating point.
+    if stats.distinct_ratio >= cfg.key_distinct_ratio && dtype != DataType::Float {
+        return ColumnClass::Key;
+    }
+    match dtype {
+        DataType::Int | DataType::Float => ColumnClass::Numeric,
+        DataType::Timestamp => ColumnClass::Datetime,
+        DataType::Bool => ColumnClass::StringAtomic,
+        DataType::Text | DataType::Unknown => {
+            if looks_like_list_column(column) {
+                ColumnClass::StringList
+            } else {
+                ColumnClass::StringAtomic
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use leva_relational::{column_stats, Column};
+
+    fn classify(col: Column) -> ColumnClass {
+        let stats = column_stats(&col);
+        let dtype = col.infer_type();
+        classify_column(&col, dtype, &stats, &ClassifyConfig::default())
+    }
+
+    #[test]
+    fn unique_int_column_is_key() {
+        let col = Column::from_values("id", (0..100).map(|i| (i as i64).into()).collect());
+        assert_eq!(classify(col), ColumnClass::Key);
+    }
+
+    #[test]
+    fn unique_float_column_is_not_key() {
+        let col = Column::from_values(
+            "score",
+            (0..100).map(|i| (i as f64 + 0.5).into()).collect(),
+        );
+        assert_eq!(classify(col), ColumnClass::Numeric);
+    }
+
+    #[test]
+    fn repeated_int_column_is_numeric() {
+        let col = Column::from_values(
+            "age",
+            (0..100).map(|i| ((i % 10) as i64).into()).collect(),
+        );
+        assert_eq!(classify(col), ColumnClass::Numeric);
+    }
+
+    #[test]
+    fn unique_strings_are_keys() {
+        let col = Column::from_values(
+            "name",
+            (0..50).map(|i| format!("user_{i}").into()).collect(),
+        );
+        assert_eq!(classify(col), ColumnClass::Key);
+    }
+
+    #[test]
+    fn repeated_strings_are_atomic() {
+        let col = Column::from_values(
+            "city",
+            (0..50).map(|i| ["nyc", "sfo", "chi"][i % 3].into()).collect(),
+        );
+        assert_eq!(classify(col), ColumnClass::StringAtomic);
+    }
+
+    #[test]
+    fn near_unique_tolerates_duplicates() {
+        // 96 distinct out of 100 (4 dupes) is still a key at the 0.95
+        // threshold — robustness to data errors.
+        let mut v: Vec<_> = (0..96).map(|i| format!("k{i}").into()).collect();
+        for _ in 0..4 {
+            v.push("k0".to_string().into());
+        }
+        let col = Column::from_values("id", v);
+        assert_eq!(classify(col), ColumnClass::Key);
+    }
+
+    #[test]
+    fn list_column_detected() {
+        let col = Column::from_values(
+            "tags",
+            (0..30)
+                .map(|i| format!("tag{},tag{},tag{}", i % 3, i % 5, i % 7).into())
+                .collect(),
+        );
+        assert_eq!(classify(col), ColumnClass::StringList);
+    }
+
+    #[test]
+    fn empty_column() {
+        use leva_relational::Value;
+        let col = Column::from_values("x", vec![Value::Null, Value::Null]);
+        assert_eq!(classify(col), ColumnClass::Empty);
+    }
+}

@@ -1,0 +1,41 @@
+//! Entity resolution with Leva embeddings (§6.7 of the paper): match
+//! records describing the same products across two differently-formatted
+//! catalogs, using only the relational embedding and cosine matching.
+//!
+//! Run with: `cargo run --release --example entity_resolution`
+
+use leva::{resolve_entities, ErOptions, LevaConfig};
+use leva_datasets::{er_dataset, ErDifficulty};
+
+fn main() {
+    println!("Entity resolution with relational embeddings\n");
+    for (label, difficulty) in [
+        ("mild perturbation  (BeerAdvo-RateBeer-like)", ErDifficulty::Easy),
+        ("medium perturbation (Walmart-Amazon-like)  ", ErDifficulty::Medium),
+        ("heavy perturbation (Amazon-Google-like)    ", ErDifficulty::Hard),
+    ] {
+        let ds = er_dataset("demo", 100, difficulty, 0xbeef);
+        let cfg = LevaConfig::fast().with_dim(32).with_seed(1);
+        let result = resolve_entities(
+            &ds.left,
+            &ds.right,
+            &ds.matches,
+            &cfg,
+            &ErOptions::default(),
+        )
+        .expect("er runs");
+        println!(
+            "{label}: P={:.2} R={:.2} F1={:.2} ({} predicted over {} left x {} right records)",
+            result.precision,
+            result.recall,
+            result.f1,
+            result.predicted,
+            ds.left.row_count(),
+            ds.right.row_count()
+        );
+    }
+    println!(
+        "\nLeva was designed for ML augmentation, not ER — yet the same embedding \
+         matches perturbed records across catalogs (the paper's Table 8 point)."
+    );
+}

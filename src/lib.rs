@@ -1,0 +1,4 @@
+//! Umbrella package for the Leva reproduction workspace: hosts the runnable
+//! examples (`examples/`) and cross-crate integration tests (`tests/`).
+//! The actual library lives in the `leva` crate and its substrates; see
+//! README.md for the map.

@@ -1,0 +1,171 @@
+//! The paper's key mechanisms, each asserted as a cross-crate test.
+
+use leva::{fit, EmbeddingMethod, LevaConfig};
+use leva_datasets::{financial, genes, replicate, scalability_base};
+use leva_graph::{build_graph, GraphConfig};
+use leva_linalg::l1_distance;
+use leva_relational::{Database, Table, Value};
+use leva_textify::{textify, TextifyConfig};
+
+fn quick(method: EmbeddingMethod) -> LevaConfig {
+    let mut cfg = LevaConfig::fast().with_dim(24).with_seed(5);
+    cfg.method = method;
+    cfg.textify.bin_count = 15;
+    cfg
+}
+
+/// §3.1: value nodes keep the edge count linear, not quadratic, in the
+/// number of rows sharing values.
+#[test]
+fn value_nodes_keep_edges_linear() {
+    let counts: Vec<(usize, usize)> = [50usize, 100, 200]
+        .iter()
+        .map(|&n| {
+            let mut db = Database::new();
+            let mut t = Table::new("t", vec!["id", "grp"]);
+            for i in 0..n {
+                t.push_row(vec![format!("id{i}").into(), format!("g{}", i % 5).into()])
+                    .unwrap();
+            }
+            db.add_table(t).unwrap();
+            let g = build_graph(&textify(&db, &TextifyConfig::default()), &GraphConfig::default());
+            (n, g.n_edges())
+        })
+        .collect();
+    // Doubling rows should roughly double edges (within 2.5x, not 4x).
+    for w in counts.windows(2) {
+        let growth = w[1].1 as f64 / w[0].1 as f64;
+        assert!(growth < 2.5, "edge growth {growth} not linear: {counts:?}");
+    }
+}
+
+/// §3.2: a pervasive missing-value sentinel is voted out of the graph.
+#[test]
+fn pervasive_sentinels_are_voted_out() {
+    let mut db = Database::new();
+    let cols = vec!["a", "b", "c", "d", "e"];
+    let mut t = Table::new("t", cols.clone());
+    for i in 0..60 {
+        // Every column holds "?" for one fifth of the rows.
+        let row: Vec<Value> = (0..5)
+            .map(|c| {
+                if (i + c) % 5 == 0 {
+                    Value::Text("?".into())
+                } else {
+                    Value::Text(format!("v{}_{}", c, i % 4))
+                }
+            })
+            .collect();
+        t.push_row(row).unwrap();
+    }
+    db.add_table(t).unwrap();
+    let g = build_graph(&textify(&db, &TextifyConfig::default()), &GraphConfig::default());
+    assert!(g.value_node("?").is_none(), "sentinel must be removed by θ_range");
+    assert!(g.stats().tokens_removed_missing >= 1);
+}
+
+/// §5.1 / Table 3: same-entity rows embed closer than random rows.
+#[test]
+fn within_entity_rows_embed_closer_than_random() {
+    let ds = genes(0.25, 3);
+    let model = fit(
+        &ds.db,
+        &ds.base_table,
+        Some(&ds.target_column),
+        &quick(EmbeddingMethod::MatrixFactorization),
+    )
+    .unwrap();
+    let groups = ds.entity_groups(2);
+    assert!(groups.len() > 20);
+    let mut within = Vec::new();
+    for g in groups.iter().take(100) {
+        if let (Some(a), Some(b)) = (
+            model.row_embedding(g[0].0, g[0].1),
+            model.row_embedding(g[1].0, g[1].1),
+        ) {
+            within.push(l1_distance(a, b));
+        }
+    }
+    // Random pairs across the whole database.
+    let mut random = Vec::new();
+    let tables = ds.db.tables();
+    for i in 0..within.len() {
+        let t1 = i % tables.len();
+        let t2 = (i + 1) % tables.len();
+        let r1 = (i * 7) % tables[t1].row_count();
+        let r2 = (i * 13 + 5) % tables[t2].row_count();
+        if let (Some(a), Some(b)) = (model.row_embedding(t1, r1), model.row_embedding(t2, r2)) {
+            random.push(l1_distance(a, b));
+        }
+    }
+    let med = |v: &mut Vec<f64>| {
+        v.sort_by(|a, b| a.partial_cmp(b).unwrap());
+        v[v.len() / 2]
+    };
+    let mw = med(&mut within);
+    let mr = med(&mut random);
+    assert!(mw < mr, "within-entity median {mw:.2} should be below random {mr:.2}");
+}
+
+/// §6.4: replication grows the graph linearly (rows and vocabulary).
+#[test]
+fn replication_scales_graph_linearly() {
+    let base = scalability_base(240, 3);
+    let g1 = build_graph(
+        &textify(&replicate(&base, 1), &TextifyConfig::default()),
+        &GraphConfig::default(),
+    );
+    let g3 = build_graph(
+        &textify(&replicate(&base, 3), &TextifyConfig::default()),
+        &GraphConfig::default(),
+    );
+    assert_eq!(g3.n_row_nodes(), 3 * g1.n_row_nodes());
+    let node_growth = g3.n_nodes() as f64 / g1.n_nodes() as f64;
+    assert!(node_growth > 2.5 && node_growth < 3.5, "node growth {node_growth}");
+}
+
+/// §4.2: the memory-driven auto choice really differs between the methods,
+/// and MF is dramatically faster than RW at equal dimension.
+#[test]
+fn mf_is_faster_than_rw() {
+    let ds = financial(0.15, 2);
+    let t0 = std::time::Instant::now();
+    let _ = fit(
+        &ds.db,
+        &ds.base_table,
+        Some(&ds.target_column),
+        &quick(EmbeddingMethod::MatrixFactorization),
+    )
+    .unwrap();
+    let mf = t0.elapsed();
+    let t0 = std::time::Instant::now();
+    let _ = fit(
+        &ds.db,
+        &ds.base_table,
+        Some(&ds.target_column),
+        &quick(EmbeddingMethod::RandomWalk),
+    )
+    .unwrap();
+    let rw = t0.elapsed();
+    assert!(rw > mf, "RW ({rw:?}) should be slower than MF ({mf:?})");
+}
+
+/// §2.4: unseen numeric values at inference time are quantized into the
+/// training histograms instead of being dropped.
+#[test]
+fn unseen_numeric_values_quantize() {
+    let ds = genes(0.25, 4);
+    let model = fit(
+        &ds.db,
+        &ds.base_table,
+        Some(&ds.target_column),
+        &quick(EmbeddingMethod::MatrixFactorization),
+    )
+    .unwrap();
+    // The interactions table's "strength" column is numeric; feed an
+    // out-of-range value through its encoder.
+    let enc = model.tokenized.encoder("interactions", "strength").expect("encoder");
+    let tokens = enc.encode(&Value::Float(1e12));
+    assert_eq!(tokens.len(), 1);
+    assert!(tokens[0].starts_with("strength#"), "got {tokens:?}");
+}

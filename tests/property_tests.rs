@@ -1,0 +1,133 @@
+//! Cross-crate property-based tests: invariants of the pipeline under
+//! randomly generated relational inputs.
+
+use leva_graph::{build_graph, GraphConfig, NodeKind};
+use leva_linalg::CsrMatrix;
+use leva_relational::{csv, Database, Table, Value};
+use leva_textify::{textify, Histogram, TextifyConfig};
+use proptest::prelude::*;
+
+/// Strategy: a random small table with mixed column types and occasional
+/// nulls / sentinel strings.
+fn arb_table() -> impl Strategy<Value = Table> {
+    let cell = prop_oneof![
+        3 => (-1000i64..1000).prop_map(Value::Int),
+        3 => (-1000.0f64..1000.0).prop_map(Value::float),
+        3 => "[a-z]{1,6}".prop_map(Value::text),
+        1 => Just(Value::Null),
+        1 => Just(Value::Text("?".into())),
+    ];
+    (2usize..5, 1usize..30).prop_flat_map(move |(cols, rows)| {
+        proptest::collection::vec(
+            proptest::collection::vec(cell.clone(), cols),
+            rows,
+        )
+        .prop_map(move |data| {
+            let names: Vec<String> = (0..cols).map(|c| format!("c{c}")).collect();
+            let mut t = Table::new("t", names);
+            for row in data {
+                t.push_row(row).expect("arity matches");
+            }
+            t
+        })
+    })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    /// CSV write → read roundtrips the rendered values of any table.
+    #[test]
+    fn csv_roundtrip(table in arb_table()) {
+        let s = csv::write_csv_string(&table);
+        let back = csv::read_csv_str("t", &s).expect("roundtrip parses");
+        prop_assert_eq!(back.row_count(), table.row_count());
+        prop_assert_eq!(back.column_count(), table.column_count());
+        for r in 0..table.row_count() {
+            for c in 0..table.column_count() {
+                let orig = table.value(r, c).unwrap();
+                let got = back.value(r, c).unwrap();
+                // Rendered equality: "3.0" may come back as Int(3), nulls
+                // stay null.
+                prop_assert_eq!(orig.render(), got.render());
+            }
+        }
+    }
+
+    /// The refined graph is always bipartite with a symmetric adjacency,
+    /// and value nodes always connect at least two rows.
+    #[test]
+    fn graph_invariants(table in arb_table()) {
+        let mut db = Database::new();
+        db.add_table(table).unwrap();
+        let tok = textify(&db, &TextifyConfig::default());
+        let g = build_graph(&tok, &GraphConfig::default());
+        for u in 0..g.n_nodes() as u32 {
+            let u_is_row = matches!(g.kind(u), NodeKind::Row { .. });
+            if !u_is_row {
+                prop_assert!(g.degree(u) >= 2, "value node with degree < 2");
+            }
+            for &(v, w) in g.neighbors(u) {
+                prop_assert!(w > 0.0 && w.is_finite());
+                let v_is_row = matches!(g.kind(v), NodeKind::Row { .. });
+                prop_assert_ne!(u_is_row, v_is_row, "graph must be bipartite");
+                prop_assert!(
+                    g.neighbors(v).iter().any(|&(x, _)| x == u),
+                    "adjacency must be symmetric"
+                );
+            }
+        }
+    }
+
+    /// Histogram binning is monotone and total over the reals.
+    #[test]
+    fn histogram_monotone(
+        mut values in proptest::collection::vec(-1e6f64..1e6, 2..200),
+        bins in 1usize..64,
+        probes in proptest::collection::vec(-2e6f64..2e6, 10),
+    ) {
+        let h = Histogram::equi_depth(&values, bins);
+        values.sort_by(|a, b| a.partial_cmp(b).unwrap());
+        let mut sorted_probes = probes;
+        sorted_probes.sort_by(|a, b| a.partial_cmp(b).unwrap());
+        let mut last = 0usize;
+        for &p in &sorted_probes {
+            let b = h.bin(p);
+            prop_assert!(b < h.bins());
+            prop_assert!(b >= last);
+            last = b;
+        }
+    }
+
+    /// CSR sparse mat-vec always matches the dense computation.
+    #[test]
+    fn csr_matches_dense(
+        triplets in proptest::collection::vec((0u32..12, 0u32..12, -10.0f64..10.0), 0..60),
+        x in proptest::collection::vec(-5.0f64..5.0, 12),
+    ) {
+        let m = CsrMatrix::from_triplets(12, 12, triplets);
+        let sparse = m.spmv(&x);
+        let dense = m.to_dense().matvec(&x);
+        for (a, b) in sparse.iter().zip(&dense) {
+            prop_assert!((a - b).abs() < 1e-9);
+        }
+    }
+
+    /// Textification never emits empty tokens, and every emitted token's
+    /// attribute id is valid.
+    #[test]
+    fn textify_tokens_well_formed(table in arb_table()) {
+        let mut db = Database::new();
+        db.add_table(table).unwrap();
+        let tok = textify(&db, &TextifyConfig::default());
+        for t in &tok.tables {
+            for row in &t.rows {
+                for occ in &row.tokens {
+                    prop_assert!(!occ.token.is_empty());
+                    prop_assert!((occ.attr as usize) < tok.attributes.len());
+                    prop_assert_eq!(occ.token.trim(), occ.token.as_str());
+                }
+            }
+        }
+    }
+}
