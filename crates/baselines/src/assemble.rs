@@ -38,8 +38,7 @@ pub fn assemble_joined(db: &Database, base_table: &str, fks: &[ForeignKey]) -> R
             let (new_table, new_key, anchor) = if joined.contains(&fk.from_table)
                 && !joined.contains(&fk.to_table)
             {
-                let Some(anchor) =
-                    column_map.get(&(fk.from_table.clone(), fk.from_column.clone()))
+                let Some(anchor) = column_map.get(&(fk.from_table.clone(), fk.from_column.clone()))
                 else {
                     continue;
                 };
@@ -51,11 +50,17 @@ pub fn assemble_joined(db: &Database, base_table: &str, fks: &[ForeignKey]) -> R
                 else {
                     continue;
                 };
-                (fk.from_table.clone(), fk.from_column.clone(), anchor.clone())
+                (
+                    fk.from_table.clone(),
+                    fk.from_column.clone(),
+                    anchor.clone(),
+                )
             } else {
                 continue;
             };
-            let Ok(other) = db.table(&new_table) else { continue };
+            let Ok(other) = db.table(&new_table) else {
+                continue;
+            };
             result = augment_join(&result, other, &anchor, &new_key)?;
             for col in other.column_names() {
                 if col != new_key {

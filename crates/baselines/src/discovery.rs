@@ -8,7 +8,6 @@
 use leva_relational::{Column, Database, ForeignKey};
 use std::collections::HashSet;
 
-
 /// Number of hash functions per signature.
 const SIGNATURE_SIZE: usize = 128;
 
@@ -50,7 +49,10 @@ impl ColumnSignature {
                 }
             }
         }
-        ColumnSignature { mins, distinct: distinct.len() }
+        ColumnSignature {
+            mins,
+            distinct: distinct.len(),
+        }
     }
 
     /// Estimated Jaccard similarity with another signature.
@@ -198,7 +200,9 @@ mod tests {
         db.add_table(aux).unwrap();
         let joins = discover_joins(&db, 0.8);
         // The true id<->id join is discovered...
-        assert!(joins.iter().any(|j| j.fk.from_column == "id" && j.fk.to_column == "id"));
+        assert!(joins
+            .iter()
+            .any(|j| j.fk.from_column == "id" && j.fk.to_column == "id"));
         // ...and so is the spurious status<->flag overlap (both {on, off}).
         assert!(joins
             .iter()

@@ -12,7 +12,10 @@ enum ColumnFeaturizer {
     /// Standardized numeric column.
     Numeric { mean: f64, std: f64 },
     /// One-hot over the most frequent categories (unseen ⇒ all-zero block).
-    Categorical { index: HashMap<String, usize>, width: usize },
+    Categorical {
+        index: HashMap<String, usize>,
+        width: usize,
+    },
     /// Column skipped (empty or excluded).
     Skip,
 }
@@ -99,9 +102,8 @@ fn fit_column(col: &Column, max_categories: usize) -> ColumnFeaturizer {
                 return ColumnFeaturizer::Skip;
             }
             let mean = vals.iter().sum::<f64>() / vals.len() as f64;
-            let mut std = (vals.iter().map(|v| (v - mean).powi(2)).sum::<f64>()
-                / vals.len() as f64)
-                .sqrt();
+            let mut std =
+                (vals.iter().map(|v| (v - mean).powi(2)).sum::<f64>() / vals.len() as f64).sqrt();
             if std < 1e-12 {
                 std = 1.0;
             }
@@ -155,7 +157,11 @@ pub fn target_vector(table: &Table, target: &str, classification: bool) -> (Vec<
             .collect();
         (y, labels.len().max(2))
     } else {
-        let y = col.values().iter().map(|v| v.as_f64().unwrap_or(0.0)).collect();
+        let y = col
+            .values()
+            .iter()
+            .map(|v| v.as_f64().unwrap_or(0.0))
+            .collect();
         (y, 1)
     }
 }
@@ -198,7 +204,7 @@ mod tests {
         let f = TableFeaturizer::fit(&t, &["label", "id"], 30);
         let x = f.transform(&t);
         assert_eq!(x.cols(), 4); // 3 cities + amount
-        // Exactly one city bit set per row.
+                                 // Exactly one city bit set per row.
         for r in 0..10 {
             let bits: f64 = x.row(r)[..3].iter().sum();
             assert_eq!(bits, 1.0);
@@ -213,8 +219,13 @@ mod tests {
         let t = table();
         let f = TableFeaturizer::fit(&t, &["label", "id", "amount"], 30);
         let mut test = Table::new("t", vec!["id", "city", "amount", "label"]);
-        test.push_row(vec!["idx".into(), "tokyo".into(), Value::Float(0.0), Value::Int(0)])
-            .unwrap();
+        test.push_row(vec![
+            "idx".into(),
+            "tokyo".into(),
+            Value::Float(0.0),
+            Value::Int(0),
+        ])
+        .unwrap();
         let x = f.transform(&test);
         assert!(x.row(0).iter().all(|&v| v == 0.0));
     }

@@ -40,11 +40,20 @@ impl GraphBaseline {
         // keeps every attribute association, and edges are unweighted.
         let graph = build_graph(
             &tokenized,
-            &GraphConfig { theta_range: 2.0, theta_min: 0.0, weighted: false },
+            &GraphConfig {
+                theta_range: 2.0,
+                theta_min: 0.0,
+                weighted: false,
+            },
         );
         let corpus = node2vec_walks(&graph, n2v);
         let store = train_sgns(&corpus, sgns).into_store(&corpus, sgns.dim);
-        GraphBaseline { store, tokenized, base_table: base_table.to_owned(), base_index }
+        GraphBaseline {
+            store,
+            tokenized,
+            base_table: base_table.to_owned(),
+            base_index,
+        }
     }
 
     /// EmbDI-style tripartite graph + uniform walks.
@@ -87,7 +96,12 @@ impl GraphBaseline {
         let tokenized = textify(&working, textify_cfg);
         let corpus = embdi_walks(&tokenized, walk_length, walks_per_node, seed);
         let store = train_sgns(&corpus, sgns).into_store(&corpus, sgns.dim);
-        GraphBaseline { store, tokenized, base_table: base_table.to_owned(), base_index }
+        GraphBaseline {
+            store,
+            tokenized,
+            base_table: base_table.to_owned(),
+            base_index,
+        }
     }
 
     /// The embedding of row `idx` of `table`, if present.
@@ -211,7 +225,10 @@ fn embdi_walks(
             }
         }
     }
-    Corpus { vocab: names, sequences }
+    Corpus {
+        vocab: names,
+        sequences,
+    }
 }
 
 #[cfg(test)]
@@ -239,12 +256,20 @@ mod tests {
     }
 
     fn sgns() -> SgnsConfig {
-        SgnsConfig { dim: 8, epochs: 2, ..Default::default() }
+        SgnsConfig {
+            dim: 8,
+            epochs: 2,
+            ..Default::default()
+        }
     }
 
     #[test]
     fn node2vec_baseline_features() {
-        let n2v = Node2VecConfig { walk_length: 15, walks_per_node: 3, ..Default::default() };
+        let n2v = Node2VecConfig {
+            walk_length: 15,
+            walks_per_node: 3,
+            ..Default::default()
+        };
         let b = GraphBaseline::node2vec(&db(), "base", Some("target"), &n2v, &sgns());
         let x = b.featurize_base();
         assert_eq!(x.rows(), 20);

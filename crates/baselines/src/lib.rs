@@ -37,8 +37,10 @@ use leva_relational::{Database, ForeignKey, Result, Table};
 /// given containment threshold, then join everything reachable. Spurious
 /// discovered joins are *kept* — that is the point of the baseline.
 pub fn assemble_disc(db: &Database, base_table: &str, threshold: f64) -> Result<Table> {
-    let discovered: Vec<ForeignKey> =
-        discover_joins(db, threshold).into_iter().map(|d| d.fk).collect();
+    let discovered: Vec<ForeignKey> = discover_joins(db, threshold)
+        .into_iter()
+        .map(|d| d.fk)
+        .collect();
     assemble_joined(db, base_table, &discovered)
 }
 
@@ -53,8 +55,10 @@ mod tests {
         let mut base = Table::new("base", vec!["id", "y"]);
         let mut aux = Table::new("aux", vec!["id", "feature"]);
         for i in 0..30 {
-            base.push_row(vec![format!("k{i}").into(), Value::Int(i)]).unwrap();
-            aux.push_row(vec![format!("k{i}").into(), Value::Float(i as f64)]).unwrap();
+            base.push_row(vec![format!("k{i}").into(), Value::Int(i)])
+                .unwrap();
+            aux.push_row(vec![format!("k{i}").into(), Value::Float(i as f64)])
+                .unwrap();
         }
         db.add_table(base).unwrap();
         db.add_table(aux).unwrap();

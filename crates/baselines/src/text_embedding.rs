@@ -138,8 +138,12 @@ impl TextEmbedding {
         base_cols.sort_by_key(|&(_, attr)| attr);
         for r in 0..table.row_count() {
             for (slot, (col, _)) in base_cols.iter().enumerate().take(self.n_base_columns) {
-                let Ok(c_idx) = table.column_index(col) else { continue };
-                let Some(enc) = self.tokenized.encoder(&self.base_table, col) else { continue };
+                let Ok(c_idx) = table.column_index(col) else {
+                    continue;
+                };
+                let Some(enc) = self.tokenized.encoder(&self.base_table, col) else {
+                    continue;
+                };
                 let v = table.value(r, c_idx).expect("in bounds");
                 let mut acc = vec![0.0; dim];
                 let mut count = 0usize;
@@ -174,11 +178,17 @@ impl TextEmbedding {
             .collect();
         base_attrs.sort_unstable();
         let slot_of = |attr: u32| base_attrs.iter().position(|&a| a == attr);
-        for (r, row) in self.tokenized.tables[self.base_index].rows.iter().enumerate() {
+        for (r, row) in self.tokenized.tables[self.base_index]
+            .rows
+            .iter()
+            .enumerate()
+        {
             // Group tokens by attribute.
             let mut acc = vec![(vec![0.0; dim], 0usize); base_attrs.len()];
             for occ in &row.tokens {
-                let Some(slot) = slot_of(occ.attr) else { continue };
+                let Some(slot) = slot_of(occ.attr) else {
+                    continue;
+                };
                 if let Some(emb) = self.store.get(&occ.token) {
                     for (a, &e) in acc[slot].0.iter_mut().zip(emb) {
                         *a += e;
@@ -223,7 +233,11 @@ mod tests {
     }
 
     fn sgns() -> SgnsConfig {
-        SgnsConfig { dim: 8, epochs: 2, ..Default::default() }
+        SgnsConfig {
+            dim: 8,
+            epochs: 2,
+            ..Default::default()
+        }
     }
 
     #[test]

@@ -90,7 +90,8 @@ mod tests {
         let mut db = Database::new();
         let mut t = Table::new("t", vec!["a", "b"]);
         for i in 0..6 {
-            t.push_row(vec![["x", "y"][i % 2].into(), "z".into()]).unwrap();
+            t.push_row(vec![["x", "y"][i % 2].into(), "z".into()])
+                .unwrap();
         }
         db.add_table(t).unwrap();
         let tok = textify(&db, &TextifyConfig::default());

@@ -1,9 +1,11 @@
-//! Criterion microbenchmarks of the Leva pipeline stages: textification,
-//! graph construction, proximity-matrix build, randomized SVD, walk
-//! generation, SGNS training, and deployment featurization.
+//! Microbenchmarks of the Leva pipeline stages: textification, graph
+//! construction, proximity-matrix build, randomized SVD, walk generation,
+//! SGNS training, and deployment featurization.
+//!
+//! Plain `Instant`-based harness (the workspace builds offline, without
+//! criterion): each benchmark reports min/mean over a fixed sample count.
 
-use criterion::{criterion_group, criterion_main, BatchSize, Criterion};
-use leva::{fit, EmbeddingMethod, Featurization, LevaConfig};
+use leva::{EmbeddingMethod, Featurization, Leva, LevaConfig};
 use leva_datasets::{financial, genes};
 use leva_embedding::{
     generate_walks, proximity_matrix, train_sgns, MfConfig, SgnsConfig, WalkConfig,
@@ -11,83 +13,120 @@ use leva_embedding::{
 use leva_graph::{build_graph, GraphConfig};
 use leva_linalg::{randomized_svd, RsvdOptions};
 use leva_textify::{textify, TextifyConfig};
+use std::time::Instant;
 
-fn bench_textify(c: &mut Criterion) {
+const SAMPLES: usize = 10;
+
+fn bench<T>(name: &str, mut f: impl FnMut() -> T) {
+    // One warm-up iteration, then timed samples.
+    std::hint::black_box(f());
+    let mut times = Vec::with_capacity(SAMPLES);
+    for _ in 0..SAMPLES {
+        let start = Instant::now();
+        std::hint::black_box(f());
+        times.push(start.elapsed());
+    }
+    let min = times.iter().min().expect("samples");
+    let mean = times.iter().sum::<std::time::Duration>() / SAMPLES as u32;
+    println!("{name:<44} min {min:>12.3?}   mean {mean:>12.3?}   n={SAMPLES}");
+}
+
+fn bench_textify() {
     let ds = genes(0.5, 1);
-    c.bench_function("textify/genes_0.5", |b| {
-        b.iter(|| textify(&ds.db, &TextifyConfig::default()))
+    bench("textify/genes_0.5", || {
+        textify(&ds.db, &TextifyConfig::default())
     });
 }
 
-fn bench_graph_construction(c: &mut Criterion) {
+fn bench_graph_construction() {
     let ds = genes(0.5, 1);
     let tok = textify(&ds.db, &TextifyConfig::default());
-    c.bench_function("graph/construct_refine_genes_0.5", |b| {
-        b.iter(|| build_graph(&tok, &GraphConfig::default()))
+    bench("graph/construct_refine_genes_0.5", || {
+        build_graph(&tok, &GraphConfig::default())
     });
 }
 
-fn bench_proximity_and_rsvd(c: &mut Criterion) {
+fn bench_proximity_and_rsvd() {
     let ds = genes(0.5, 1);
     let tok = textify(&ds.db, &TextifyConfig::default());
     let graph = build_graph(&tok, &GraphConfig::default());
-    c.bench_function("embedding/proximity_matrix", |b| {
-        b.iter(|| proximity_matrix(&graph, 1e-3))
+    bench("embedding/proximity_matrix", || {
+        proximity_matrix(&graph, 1e-3)
     });
     let m = proximity_matrix(&graph, 1e-3);
-    c.bench_function("embedding/randomized_svd_d32", |b| {
-        b.iter(|| {
-            randomized_svd(
-                &m,
-                RsvdOptions { rank: 32, oversample: 8, power_iters: 1, seed: 1 },
-            )
-        })
-    });
-}
-
-fn bench_walks_and_sgns(c: &mut Criterion) {
-    let ds = genes(0.25, 1);
-    let tok = textify(&ds.db, &TextifyConfig::default());
-    let graph = build_graph(&tok, &GraphConfig::default());
-    let walk_cfg = WalkConfig { walk_length: 40, walks_per_node: 3, ..Default::default() };
-    c.bench_function("embedding/walk_generation", |b| {
-        b.iter(|| generate_walks(&graph, &walk_cfg))
-    });
-    let corpus = generate_walks(&graph, &walk_cfg);
-    let sgns_cfg = SgnsConfig { dim: 32, epochs: 1, ..Default::default() };
-    c.bench_function("embedding/sgns_one_epoch_d32", |b| {
-        b.iter(|| train_sgns(&corpus, &sgns_cfg))
-    });
-}
-
-fn bench_end_to_end_mf(c: &mut Criterion) {
-    let ds = financial(0.2, 1);
-    let mut cfg = LevaConfig::fast().with_dim(32);
-    cfg.method = EmbeddingMethod::MatrixFactorization;
-    cfg.mf = MfConfig { dim: 32, ..MfConfig::default() };
-    c.bench_function("pipeline/end_to_end_mf_financial_0.2", |b| {
-        b.iter(|| fit(&ds.db, "loans", Some("status"), &cfg).expect("fit"))
-    });
-}
-
-fn bench_deployment(c: &mut Criterion) {
-    let ds = genes(0.5, 1);
-    let mut cfg = LevaConfig::fast().with_dim(32);
-    cfg.method = EmbeddingMethod::MatrixFactorization;
-    let model = fit(&ds.db, "genes", Some("localization"), &cfg).expect("fit");
-    c.bench_function("deploy/featurize_base_row_plus_value", |b| {
-        b.iter_batched(
-            || (),
-            |()| model.featurize_base(Featurization::RowPlusValue),
-            BatchSize::SmallInput,
+    bench("embedding/randomized_svd_d32", || {
+        randomized_svd(
+            &m,
+            RsvdOptions {
+                rank: 32,
+                oversample: 8,
+                power_iters: 1,
+                seed: 1,
+                threads: 1,
+            },
         )
     });
 }
 
-criterion_group! {
-    name = stages;
-    config = Criterion::default().sample_size(10);
-    targets = bench_textify, bench_graph_construction, bench_proximity_and_rsvd,
-        bench_walks_and_sgns, bench_end_to_end_mf, bench_deployment
+fn bench_walks_and_sgns() {
+    let ds = genes(0.25, 1);
+    let tok = textify(&ds.db, &TextifyConfig::default());
+    let graph = build_graph(&tok, &GraphConfig::default());
+    let walk_cfg = WalkConfig {
+        walk_length: 40,
+        walks_per_node: 3,
+        ..Default::default()
+    };
+    bench("embedding/walk_generation", || {
+        generate_walks(&graph, &walk_cfg)
+    });
+    let corpus = generate_walks(&graph, &walk_cfg);
+    let sgns_cfg = SgnsConfig {
+        dim: 32,
+        epochs: 1,
+        ..Default::default()
+    };
+    bench("embedding/sgns_one_epoch_d32", || {
+        train_sgns(&corpus, &sgns_cfg)
+    });
 }
-criterion_main!(stages);
+
+fn bench_end_to_end_mf() {
+    let ds = financial(0.2, 1);
+    let mut cfg = LevaConfig::fast().with_dim(32);
+    cfg.method = EmbeddingMethod::MatrixFactorization;
+    cfg.mf = MfConfig {
+        dim: 32,
+        ..MfConfig::default()
+    };
+    bench("pipeline/end_to_end_mf_financial_0.2", || {
+        Leva::with_config(cfg.clone())
+            .base_table("loans")
+            .target("status")
+            .fit(&ds.db)
+            .expect("fit")
+    });
+}
+
+fn bench_deployment() {
+    let ds = genes(0.5, 1);
+    let mut cfg = LevaConfig::fast().with_dim(32);
+    cfg.method = EmbeddingMethod::MatrixFactorization;
+    let model = Leva::with_config(cfg)
+        .base_table("genes")
+        .target("localization")
+        .fit(&ds.db)
+        .expect("fit");
+    bench("deploy/featurize_base_row_plus_value", || {
+        model.featurize_base(Featurization::RowPlusValue)
+    });
+}
+
+fn main() {
+    bench_textify();
+    bench_graph_construction();
+    bench_proximity_and_rsvd();
+    bench_walks_and_sgns();
+    bench_end_to_end_mf();
+    bench_deployment();
+}

@@ -10,7 +10,7 @@
 //!
 //! Usage: `exp_fig3 [--scale S] [--dim D]`
 
-use leva::{fit, EmbeddingMethod, LevaConfig};
+use leva::{EmbeddingMethod, Leva, LevaConfig};
 use leva_bench::report::{f3, print_table};
 use leva_datasets::{student, StudentOptions};
 use leva_linalg::Matrix;
@@ -44,8 +44,16 @@ fn main() {
     cfg.method = EmbeddingMethod::MatrixFactorization;
     cfg.textify.bin_count = 10; // the paper's Fig. 3 setup uses bin size 10
 
-    let clean_ds = student(&StudentOptions { scale, noise_attributes: 0, seed: 0x57d });
-    let clean = fit(&clean_ds.db, "expenses", Some("total_expenses"), &cfg).expect("fit clean");
+    let clean_ds = student(&StudentOptions {
+        scale,
+        noise_attributes: 0,
+        seed: 0x57d,
+    });
+    let clean = Leva::with_config(cfg.clone())
+        .base_table("expenses")
+        .target("total_expenses")
+        .fit(&clean_ds.db)
+        .expect("fit clean");
 
     let header: Vec<String> = ["noise attrs", "% noisy", "R2 (NN)", "R2 (linear)"]
         .iter()
@@ -53,8 +61,16 @@ fn main() {
         .collect();
     let mut rows = Vec::new();
     for &k in &noise_counts {
-        let noisy_ds = student(&StudentOptions { scale, noise_attributes: k, seed: 0x57d });
-        let noisy = fit(&noisy_ds.db, "expenses", Some("total_expenses"), &cfg).expect("fit");
+        let noisy_ds = student(&StudentOptions {
+            scale,
+            noise_attributes: k,
+            seed: 0x57d,
+        });
+        let noisy = Leva::with_config(cfg.clone())
+            .base_table("expenses")
+            .target("total_expenses")
+            .fit(&noisy_ds.db)
+            .expect("fit");
 
         // Shared tokens: every clean-store token also present in the noisy
         // store (noise only *adds* tokens).
@@ -69,7 +85,8 @@ fn main() {
         let build = |tokens: &[&str], store: &leva::LevaModel| {
             let mut m = Matrix::zeros(tokens.len(), dim);
             for (i, t) in tokens.iter().enumerate() {
-                m.row_mut(i).copy_from_slice(store.store.get(t).expect("shared token"));
+                m.row_mut(i)
+                    .copy_from_slice(store.store.get(t).expect("shared token"));
             }
             m
         };
@@ -95,7 +112,11 @@ fn main() {
             r2_score(&all_true, &all_pred)
         };
         let r2_nn = r2_of(&|| {
-            Box::new(Mlp::regressor(MlpConfig { hidden: 64, epochs: 150, ..Default::default() }))
+            Box::new(Mlp::regressor(MlpConfig {
+                hidden: 64,
+                epochs: 150,
+                ..Default::default()
+            }))
         });
         let r2_lin = r2_of(&|| Box::new(LinearRegression::new(1e-4)));
         let total_attrs = 4 + k; // per-table attribute count of the base
@@ -103,7 +124,12 @@ fn main() {
         println!(
             "[fig3] k={k} ({pct_noise:.0}% noisy) shared_tokens={n} R2_nn={r2_nn:.3} R2_lin={r2_lin:.3}"
         );
-        rows.push(vec![k.to_string(), format!("{pct_noise:.0}"), f3(r2_nn), f3(r2_lin)]);
+        rows.push(vec![
+            k.to_string(),
+            format!("{pct_noise:.0}"),
+            f3(r2_nn),
+            f3(r2_lin),
+        ]);
     }
     print_table("Fig 3 — noise robustness of the embedding", &header, &rows);
     println!(

@@ -19,10 +19,17 @@ fn main() {
         Approach::EmbMf,
         Approach::EmbRw,
     ];
-    let models = [ModelKind::RandomForest, ModelKind::LogisticEn, ModelKind::Mlp];
+    let models = [
+        ModelKind::RandomForest,
+        ModelKind::LogisticEn,
+        ModelKind::Mlp,
+    ];
 
     println!("# Figure 4 — classification accuracy (higher is better)");
-    println!("# scale={} seed={} grid={}", args.scale, args.opts.seed, args.opts.grid);
+    println!(
+        "# scale={} seed={} grid={}",
+        args.scale, args.opts.seed, args.opts.grid
+    );
     for model in models {
         let header: Vec<String> = std::iter::once("dataset".to_owned())
             .chain(approaches.iter().map(|a| a.label().to_owned()))
@@ -37,7 +44,12 @@ fn main() {
                 let prep = prepare(&ds, a, &args.opts);
                 let acc = eval_model(&prep, model, &args.opts);
                 cells.push(pct(acc));
-                eprintln!("[fig4] {name} {} {} -> {:.3}", a.label(), model.label(), acc);
+                eprintln!(
+                    "[fig4] {name} {} {} -> {:.3}",
+                    a.label(),
+                    model.label(),
+                    acc
+                );
             }
             cells.push(pct(oracle_metric(&ds)));
             rows.push(cells);
@@ -58,8 +70,10 @@ struct Args {
 
 fn parse_args() -> Args {
     let mut scale = 0.5;
-    let mut datasets: Vec<String> =
-        ["genes", "kraken", "ftp", "financial"].iter().map(|s| s.to_string()).collect();
+    let mut datasets: Vec<String> = ["genes", "kraken", "ftp", "financial"]
+        .iter()
+        .map(|s| s.to_string())
+        .collect();
     let mut opts = EvalOptions::default();
     let argv: Vec<String> = std::env::args().collect();
     let mut i = 1;
@@ -88,5 +102,9 @@ fn parse_args() -> Args {
             other => panic!("unknown argument {other}"),
         }
     }
-    Args { scale, datasets, opts }
+    Args {
+        scale,
+        datasets,
+        opts,
+    }
 }

@@ -55,13 +55,16 @@ fn main() {
             .collect();
         let mut rows = Vec::new();
         // Prepare each approach once; reuse across models.
-        let prepared: Vec<_> =
-            approaches.iter().map(|&a| prepare(&ds, a, &opts)).collect();
+        let prepared: Vec<_> = approaches.iter().map(|&a| prepare(&ds, a, &opts)).collect();
         for model in models {
             let mut cells = vec![model.label().to_owned()];
             for (prep, a) in prepared.iter().zip(&approaches) {
                 let mae = eval_model(prep, model, &opts);
-                eprintln!("[fig5] {dataset} {} {} -> {mae:.3}", a.label(), model.label());
+                eprintln!(
+                    "[fig5] {dataset} {} {} -> {mae:.3}",
+                    a.label(),
+                    model.label()
+                );
                 cells.push(f3(mae));
             }
             cells.push(f3(oracle_metric(&ds)));

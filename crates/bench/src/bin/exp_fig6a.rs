@@ -11,9 +11,7 @@
 //! Usage: `exp_fig6a [--scale S] [--dim D]`
 
 use leva::droppable_tables;
-use leva_bench::protocol::{
-    eval_model, oracle_metric, prepare, Approach, EvalOptions, ModelKind,
-};
+use leva_bench::protocol::{eval_model, oracle_metric, prepare, Approach, EvalOptions, ModelKind};
 use leva_bench::report::{pct, print_table};
 use leva_datasets::{by_name, LabeledDataset};
 use leva_relational::{Table, Value};
@@ -22,7 +20,10 @@ use rand::{Rng, SeedableRng};
 
 fn main() {
     let mut scale = 0.5;
-    let mut opts = EvalOptions { dim: 64, ..Default::default() };
+    let mut opts = EvalOptions {
+        dim: 64,
+        ..Default::default()
+    };
     let argv: Vec<String> = std::env::args().collect();
     let mut i = 1;
     while i < argv.len() {
@@ -41,11 +42,17 @@ fn main() {
 
     println!("# Figure 6a — fine-tuned embeddings vs Max Reported");
     println!("# (databases are polluted with 2 distractor tables; FT = greedy table dropping)");
-    let header: Vec<String> =
-        ["dataset", "Emb MF", "Emb MF FT", "Emb RW", "Emb RW FT", "Max"]
-            .iter()
-            .map(|s| s.to_string())
-            .collect();
+    let header: Vec<String> = [
+        "dataset",
+        "Emb MF",
+        "Emb MF FT",
+        "Emb RW",
+        "Emb RW FT",
+        "Max",
+    ]
+    .iter()
+    .map(|s| s.to_string())
+    .collect();
     let mut rows = Vec::new();
     for name in ["genes", "financial", "ftp"] {
         let clean = by_name(name, scale, opts.seed ^ 0xd5).expect("dataset");
@@ -57,7 +64,10 @@ fn main() {
             let tuned_ds = finetune_dataset(&polluted, approach, &opts);
             let tuned_prep = prepare(&tuned_ds, approach, &opts);
             let tuned = best_model_metric(&tuned_prep, &opts).max(plain);
-            eprintln!("[fig6a] {name} {}: plain={plain:.3} tuned={tuned:.3}", approach.label());
+            eprintln!(
+                "[fig6a] {name} {}: plain={plain:.3} tuned={tuned:.3}",
+                approach.label()
+            );
             cells.push(pct(plain));
             cells.push(pct(tuned));
         }
@@ -79,7 +89,11 @@ fn with_distractors(ds: &LabeledDataset, k: usize, seed: u64) -> LabeledDataset 
     for d in 0..k {
         let mut t = Table::new(
             format!("distractor_{d}"),
-            vec!["ref_key".to_owned(), format!("junk_a_{d}"), format!("junk_b_{d}")],
+            vec![
+                "ref_key".to_owned(),
+                format!("junk_a_{d}"),
+                format!("junk_b_{d}"),
+            ],
         );
         for r in 0..base.row_count() {
             t.push_row(vec![
@@ -95,19 +109,19 @@ fn with_distractors(ds: &LabeledDataset, k: usize, seed: u64) -> LabeledDataset 
 }
 
 fn best_model_metric(prep: &leva_bench::protocol::Prepared, opts: &EvalOptions) -> f64 {
-    [ModelKind::RandomForest, ModelKind::LogisticEn, ModelKind::Mlp]
-        .iter()
-        .map(|&m| eval_model(prep, m, opts))
-        .fold(0.0, f64::max)
+    [
+        ModelKind::RandomForest,
+        ModelKind::LogisticEn,
+        ModelKind::Mlp,
+    ]
+    .iter()
+    .map(|&m| eval_model(prep, m, opts))
+    .fold(0.0, f64::max)
 }
 
 /// Greedy table dropping driven by downstream validation accuracy with a
 /// quick embedding; only drops that improve the score are kept.
-fn finetune_dataset(
-    ds: &LabeledDataset,
-    approach: Approach,
-    opts: &EvalOptions,
-) -> LabeledDataset {
+fn finetune_dataset(ds: &LabeledDataset, approach: Approach, opts: &EvalOptions) -> LabeledDataset {
     let quick = EvalOptions {
         dim: 32,
         sgns_epochs: 2,
@@ -120,7 +134,10 @@ fn finetune_dataset(
         return ds.clone();
     }
     let score = |db: &leva_relational::Database| -> f64 {
-        let trial = LabeledDataset { db: db.clone(), ..ds.clone() };
+        let trial = LabeledDataset {
+            db: db.clone(),
+            ..ds.clone()
+        };
         let prep = prepare(&trial, approach, &quick);
         eval_model(&prep, ModelKind::LogisticEn, &quick)
     };
@@ -128,5 +145,8 @@ fn finetune_dataset(
     if !dropped.is_empty() {
         eprintln!("[fig6a] {}: dropped tables {dropped:?}", ds.name);
     }
-    LabeledDataset { db: pruned, ..ds.clone() }
+    LabeledDataset {
+        db: pruned,
+        ..ds.clone()
+    }
 }

@@ -1,9 +1,11 @@
 //! Figures 6b/6c: performance profile — the fraction of pipeline runtime
-//! spent in each stage, for the RW and MF embedding methods.
+//! spent in each stage, for the RW and MF embedding methods. Stage rows
+//! come straight from the named `StageTimings` records, including the
+//! worker-thread count and the CPU/wall utilization of each stage.
 //!
-//! Usage: `exp_fig6bc [--scale S] [--dataset NAME]`
+//! Usage: `exp_fig6bc [--scale S] [--dataset NAME] [--threads T]`
 
-use leva::{fit, EmbeddingMethod};
+use leva::{EmbeddingMethod, Leva};
 use leva_bench::protocol::{leva_config, EvalOptions};
 use leva_bench::report::print_table;
 use leva_datasets::by_name;
@@ -11,6 +13,7 @@ use leva_datasets::by_name;
 fn main() {
     let mut scale = 0.5;
     let mut dataset = "financial".to_owned();
+    let mut threads = 0usize;
     let argv: Vec<String> = std::env::args().collect();
     let mut i = 1;
     while i < argv.len() {
@@ -23,33 +26,58 @@ fn main() {
                 dataset = argv[i + 1].clone();
                 i += 2;
             }
+            "--threads" => {
+                threads = argv[i + 1].parse().expect("threads");
+                i += 2;
+            }
             other => panic!("unknown argument {other}"),
         }
     }
     let opts = EvalOptions::default();
     let ds = by_name(&dataset, scale, opts.seed ^ 0xd5).expect("dataset");
 
-    println!("# Figures 6b/6c — per-stage runtime profile ({dataset}, scale {scale})");
-    let header: Vec<String> =
-        ["method", "textify %", "graph %", "walk gen %", "training %", "total"]
-            .iter()
-            .map(|s| s.to_string())
-            .collect();
+    println!(
+        "# Figures 6b/6c — per-stage runtime profile ({dataset}, scale {scale}, \
+         threads {})",
+        if threads == 0 {
+            "auto".to_owned()
+        } else {
+            threads.to_string()
+        }
+    );
+    let header: Vec<String> = ["method", "stage", "wall", "share %", "cpu", "threads"]
+        .iter()
+        .map(|s| s.to_string())
+        .collect();
     let mut rows = Vec::new();
     for (label, method) in [
         ("RW", EmbeddingMethod::RandomWalk),
         ("MF", EmbeddingMethod::MatrixFactorization),
     ] {
-        let cfg = leva_config(&opts, method);
-        let model = fit(&ds.db, &ds.base_table, Some(&ds.target_column), &cfg).expect("fit");
-        let f = model.timings.fractions();
+        let cfg = leva_config(&opts, method).with_threads(threads);
+        let model = Leva::with_config(cfg)
+            .base_table(&ds.base_table)
+            .target(&ds.target_column)
+            .fit(&ds.db)
+            .expect("fit");
+        let fractions = model.timings.fractions();
+        for (stage, share) in model.timings.stages().iter().zip(&fractions) {
+            rows.push(vec![
+                label.to_owned(),
+                stage.stage.to_owned(),
+                format!("{:.2?}", stage.wall),
+                format!("{:.1}", share * 100.0),
+                format!("{:.2?}", stage.cpu),
+                stage.threads.to_string(),
+            ]);
+        }
         rows.push(vec![
             label.to_owned(),
-            format!("{:.1}", f[0] * 100.0),
-            format!("{:.1}", f[1] * 100.0),
-            format!("{:.1}", f[2] * 100.0),
-            format!("{:.1}", f[3] * 100.0),
+            "total".to_owned(),
             format!("{:.2?}", model.timings.total()),
+            "100.0".to_owned(),
+            String::new(),
+            String::new(),
         ]);
     }
     print_table("Fig 6b/6c — stage profile", &header, &rows);

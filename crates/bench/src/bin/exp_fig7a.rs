@@ -2,12 +2,16 @@
 //! the dataset is replicated K times (rows *and* vocabulary grow linearly).
 //! Compares EmbDI, Leva-RW, and Leva-MF, as in the paper.
 //!
-//! Usage: `exp_fig7a [--max-k K] [--rows N]`
+//! A second section sweeps the thread count at the largest K, reporting the
+//! walk-generation and MF-training speedups and checking that the embedding
+//! stores are bitwise identical at every thread count.
+//!
+//! Usage: `exp_fig7a [--max-k K] [--rows N] [--threads T] [--no-sweep]`
 
-use leva::{fit, EmbeddingMethod};
+use leva::{EmbeddingMethod, Leva, LevaModel};
+use leva_baselines::GraphBaseline;
 use leva_bench::protocol::{leva_config, EvalOptions};
 use leva_bench::report::print_table;
-use leva_baselines::GraphBaseline;
 use leva_datasets::{replicate, scalability_base};
 use leva_embedding::SgnsConfig;
 use std::time::Instant;
@@ -15,6 +19,8 @@ use std::time::Instant;
 fn main() {
     let mut max_k = 8usize;
     let mut rows = 600usize;
+    let mut threads = 0usize;
+    let mut sweep = true;
     let argv: Vec<String> = std::env::args().collect();
     let mut i = 1;
     while i < argv.len() {
@@ -27,10 +33,21 @@ fn main() {
                 rows = argv[i + 1].parse().expect("rows");
                 i += 2;
             }
+            "--threads" => {
+                threads = argv[i + 1].parse().expect("threads");
+                i += 2;
+            }
+            "--no-sweep" => {
+                sweep = false;
+                i += 1;
+            }
             other => panic!("unknown argument {other}"),
         }
     }
-    let opts = EvalOptions { dim: 100, ..Default::default() };
+    let opts = EvalOptions {
+        dim: 100,
+        ..Default::default()
+    };
     let base = scalability_base(rows, 0x5ca1e);
     let ks: Vec<usize> = [1usize, 2, 4, 8, 16, 32]
         .into_iter()
@@ -39,7 +56,13 @@ fn main() {
 
     println!("# Figure 7a — scalability vs replication factor K (base {rows} rows)");
     let header: Vec<String> = [
-        "K", "rows", "EmbDI time", "Leva RW time", "Leva MF time", "MF est MB", "RW est MB",
+        "K",
+        "rows",
+        "EmbDI time",
+        "Leva RW time",
+        "Leva MF time",
+        "MF est MB",
+        "RW est MB",
     ]
     .iter()
     .map(|s| s.to_string())
@@ -51,24 +74,28 @@ fn main() {
 
         // EmbDI: tripartite graph + walks + SGNS.
         let t0 = Instant::now();
-        let sgns = SgnsConfig { dim: opts.dim, epochs: 2, threads: opts.threads, ..Default::default() };
+        let sgns = SgnsConfig {
+            dim: opts.dim,
+            epochs: 2,
+            threads: opts.threads,
+            ..Default::default()
+        };
         let base_table = db.tables()[0].name().to_owned();
         let _embdi = GraphBaseline::embdi(&db, &base_table, None, 40, 4, &sgns, 1);
         let embdi_time = t0.elapsed();
 
         // Leva RW.
-        let mut cfg = leva_config(&opts, EmbeddingMethod::RandomWalk);
-        cfg.walks.walks_per_node = 4;
-        cfg.walks.walk_length = 40;
-        cfg.sgns.epochs = 2;
         let t0 = Instant::now();
-        let rw_model = fit(&db, &base_table, None, &cfg).expect("fit rw");
+        let rw_model = fit_leva(&db, &base_table, rw_config(&opts, threads));
         let rw_time = t0.elapsed();
 
         // Leva MF.
-        let cfg = leva_config(&opts, EmbeddingMethod::MatrixFactorization);
         let t0 = Instant::now();
-        let mf_model = fit(&db, &base_table, None, &cfg).expect("fit mf");
+        let mf_model = fit_leva(
+            &db,
+            &base_table,
+            leva_config(&opts, EmbeddingMethod::MatrixFactorization).with_threads(threads),
+        );
         let mf_time = t0.elapsed();
 
         let mb = |b: usize| format!("{:.1}", b as f64 / (1024.0 * 1024.0));
@@ -90,4 +117,101 @@ fn main() {
         "\nPaper shape: walk-based methods (EmbDI, Leva RW) are roughly an order of \
          magnitude slower than Leva MF; RW needs ~half the memory of MF."
     );
+
+    if sweep {
+        thread_sweep(&base, *ks.last().unwrap_or(&1), &opts);
+    }
+}
+
+fn rw_config(opts: &EvalOptions, threads: usize) -> leva::LevaConfig {
+    let mut cfg = leva_config(opts, EmbeddingMethod::RandomWalk).with_threads(threads);
+    cfg.walks.walks_per_node = 4;
+    cfg.walks.walk_length = 40;
+    cfg.sgns.epochs = 2;
+    cfg
+}
+
+fn fit_leva(db: &leva_relational::Database, base_table: &str, cfg: leva::LevaConfig) -> LevaModel {
+    Leva::with_config(cfg)
+        .base_table(base_table)
+        .fit(db)
+        .expect("fit")
+}
+
+/// Sweeps thread counts at replication factor `k`, reporting the speedup of
+/// the two stages the deterministic engine parallelizes (walk generation
+/// and MF training) and verifying that embeddings stay bitwise identical.
+fn thread_sweep(base: &leva_relational::Database, k: usize, opts: &EvalOptions) {
+    let db = replicate(base, k);
+    let base_table = db.tables()[0].name().to_owned();
+    println!("\n# Thread scaling at K={k} (bitwise-identical outputs required)");
+    let header: Vec<String> = [
+        "threads",
+        "walk gen",
+        "walk speedup",
+        "MF train",
+        "MF speedup",
+        "identical",
+    ]
+    .iter()
+    .map(|s| s.to_string())
+    .collect();
+    let mut rows = Vec::new();
+    let mut baseline: Option<(f64, f64, u64, u64)> = None;
+    for threads in [1usize, 2, 4] {
+        // SGNS is pinned to one thread so the RW store is reproducible and
+        // walk-generation time is the only moving part of the RW path.
+        let mut rw_cfg = rw_config(opts, threads);
+        rw_cfg.sgns.threads = 1;
+        let rw_model = fit_leva(&db, &base_table, rw_cfg);
+        let walk_secs = rw_model.timings.wall("walk_generation").as_secs_f64();
+        let rw_print = store_fingerprint(&rw_model);
+
+        let mf_model = fit_leva(
+            &db,
+            &base_table,
+            leva_config(opts, EmbeddingMethod::MatrixFactorization).with_threads(threads),
+        );
+        let mf_secs = mf_model.timings.wall("embedding_training").as_secs_f64();
+        let mf_print = store_fingerprint(&mf_model);
+
+        let (walk_base, mf_base, rw_expect, mf_expect) =
+            *baseline.get_or_insert((walk_secs, mf_secs, rw_print, mf_print));
+        let identical = rw_print == rw_expect && mf_print == mf_expect;
+        assert!(
+            identical,
+            "thread count {threads} changed the embedding output"
+        );
+        rows.push(vec![
+            threads.to_string(),
+            format!("{walk_secs:.3}s"),
+            format!("{:.2}x", walk_base / walk_secs.max(1e-9)),
+            format!("{mf_secs:.3}s"),
+            format!("{:.2}x", mf_base / mf_secs.max(1e-9)),
+            "yes".to_owned(),
+        ]);
+    }
+    print_table("Fig 7a — thread scaling", &header, &rows);
+    println!(
+        "\nSpeedups require free cores: on a single-CPU machine every row shows ~1x \
+         while the 'identical' column still proves determinism."
+    );
+}
+
+/// FNV-1a fingerprint over the store's tokens and exact vector bits.
+fn store_fingerprint(model: &LevaModel) -> u64 {
+    let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+    let mut mix = |bytes: &[u8]| {
+        for &b in bytes {
+            h ^= u64::from(b);
+            h = h.wrapping_mul(0x0000_0100_0000_01b3);
+        }
+    };
+    for token in model.store.sorted_tokens() {
+        mix(token.as_bytes());
+        for v in model.store.get(token).expect("listed token exists") {
+            mix(&v.to_bits().to_le_bytes());
+        }
+    }
+    h
 }

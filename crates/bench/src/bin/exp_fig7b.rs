@@ -25,11 +25,18 @@ fn main() {
     let bins = [2usize, 5, 10, 20, 40, 80, 160];
     println!("# Figure 7b — bin count vs downstream quality");
     let header: Vec<String> = std::iter::once("bins".to_owned())
-        .chain(["financial acc (%)", "bio MAE"].iter().map(|s| s.to_string()))
+        .chain(
+            ["financial acc (%)", "bio MAE"]
+                .iter()
+                .map(|s| s.to_string()),
+        )
         .collect();
     let mut rows = Vec::new();
     for &b in &bins {
-        let opts = EvalOptions { bin_count: b, ..Default::default() };
+        let opts = EvalOptions {
+            bin_count: b,
+            ..Default::default()
+        };
         let financial = by_name("financial", scale, opts.seed ^ 0xd5).expect("financial");
         let prep = prepare(&financial, Approach::EmbMf, &opts);
         let acc = eval_model(&prep, ModelKind::Mlp, &opts);

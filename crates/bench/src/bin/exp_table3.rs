@@ -8,7 +8,7 @@
 //!
 //! Usage: `exp_table3 [--scale S] [--entities N]`
 
-use leva::{fit, EmbeddingMethod};
+use leva::{EmbeddingMethod, Leva};
 use leva_bench::protocol::{leva_config, EvalOptions};
 use leva_bench::report::{f3, print_table};
 use leva_datasets::by_name;
@@ -40,7 +40,12 @@ fn main() {
 
     println!("# Table 3 — percentile L1 distances: within-entity vs random row groups");
     let header: Vec<String> = [
-        "dataset", "method", "within p50", "within p90", "random p50", "random p90",
+        "dataset",
+        "method",
+        "within p50",
+        "within p90",
+        "random p50",
+        "random p90",
         "ratio p50",
     ]
     .iter()
@@ -55,7 +60,11 @@ fn main() {
             ("MF", EmbeddingMethod::MatrixFactorization),
         ] {
             let cfg = leva_config(&opts, method);
-            let model = fit(&ds.db, &ds.base_table, Some(&ds.target_column), &cfg).expect("fit");
+            let model = Leva::with_config(cfg)
+                .base_table(&ds.base_table)
+                .target(&ds.target_column)
+                .fit(&ds.db)
+                .expect("fit");
             let emb = |t: usize, r: usize| model.row_embedding(t, r);
             let mut rng = StdRng::seed_from_u64(opts.seed ^ 0x7ab1e3);
 

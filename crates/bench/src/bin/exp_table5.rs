@@ -5,9 +5,7 @@
 //!
 //! Usage: `exp_table5 [--scale S] [--dim D]`
 
-use leva_bench::protocol::{
-    eval_model, oracle_metric, prepare, Approach, EvalOptions, ModelKind,
-};
+use leva_bench::protocol::{eval_model, oracle_metric, prepare, Approach, EvalOptions, ModelKind};
 use leva_bench::report::{pct, print_table};
 use leva_datasets::by_name;
 
@@ -42,8 +40,7 @@ fn main() {
     let header: Vec<String> = std::iter::once("method".to_owned())
         .chain(["genes", "financial", "ftp"].iter().map(|s| s.to_string()))
         .collect();
-    let mut rows: Vec<Vec<String>> =
-        methods.iter().map(|m| vec![m.label().to_owned()]).collect();
+    let mut rows: Vec<Vec<String>> = methods.iter().map(|m| vec![m.label().to_owned()]).collect();
     let mut max_row = vec!["Max Reported".to_owned()];
     for dataset in ["genes", "financial", "ftp"] {
         let ds = by_name(dataset, scale, opts.seed ^ 0xd5).expect("dataset");

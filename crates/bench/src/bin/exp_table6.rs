@@ -9,8 +9,8 @@ use leva_bench::protocol::{prepare, Approach, EvalOptions, Prepared};
 use leva_bench::report::print_table;
 use leva_datasets::by_name;
 use leva_ml::{
-    accuracy, ForestConfig, LogisticRegression, Mlp, MlpConfig, Model, RandomForest,
-    Standardizer, Task, TreeConfig,
+    accuracy, ForestConfig, LogisticRegression, Mlp, MlpConfig, Model, RandomForest, Standardizer,
+    Task, TreeConfig,
 };
 
 fn main() {
@@ -47,9 +47,14 @@ fn main() {
         let prep_rv = prepare(&ds, Approach::EmbMf, &rv_opts);
         let n_classes = prep_row.task.n_classes_or(2);
 
-        for (model_label, regularized) in
-            [("RF", false), ("RF", true), ("LR", false), ("LR", true), ("NN", false), ("NN", true)]
-        {
+        for (model_label, regularized) in [
+            ("RF", false),
+            ("RF", true),
+            ("LR", false),
+            ("LR", true),
+            ("NN", false),
+            ("NN", true),
+        ] {
             // Evaluate Row baseline (unregularized) once per model family.
             if regularized {
                 continue;

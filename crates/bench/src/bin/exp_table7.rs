@@ -4,10 +4,12 @@
 //!
 //! Usage: `exp_table7 [--scale S]`
 
-use leva::{fit, EmbeddingMethod, Featurization, LevaConfig};
-use leva_bench::protocol::{eval_model, leva_config, split_indices, EvalOptions, ModelKind, Prepared};
-use leva_bench::report::print_table;
+use leva::{EmbeddingMethod, Featurization, Leva, LevaConfig};
 use leva_baselines::target_vector;
+use leva_bench::protocol::{
+    eval_model, leva_config, split_indices, EvalOptions, ModelKind, Prepared,
+};
+use leva_bench::report::print_table;
 use leva_datasets::by_name;
 use leva_ml::Task;
 use leva_relational::Table;
@@ -59,7 +61,11 @@ fn main() {
             c.mf.dim = orig;
             c
         };
-        let model = fit(&train_db, &ds.base_table, Some(&ds.target_column), &cfg).expect("fit");
+        let model = Leva::with_config(cfg.clone())
+            .base_table(&ds.base_table)
+            .target(&ds.target_column)
+            .fit(&train_db)
+            .expect("fit");
         let mut cells = vec![orig.to_string()];
         for &reduced in &dims {
             if reduced > orig {

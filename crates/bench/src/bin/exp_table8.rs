@@ -6,8 +6,8 @@
 //! Usage: `exp_table8 [--entities N]`
 
 use leva::{match_embeddings, resolve_entities, score_matches, ErOptions, LevaConfig};
-use leva_bench::report::{f3, print_table};
 use leva_baselines::{Composition, GraphBaseline, TextEmbedding};
+use leva_bench::report::{f3, print_table};
 use leva_datasets::{er_suite, ErDataset};
 use leva_embedding::SgnsConfig;
 use leva_linalg::Matrix;
@@ -28,7 +28,12 @@ fn main() {
         }
     }
     let suite = er_suite(n_entities, 0xe7);
-    let sgns = SgnsConfig { dim: 32, epochs: 4, threads: 4, ..Default::default() };
+    let sgns = SgnsConfig {
+        dim: 32,
+        epochs: 4,
+        threads: 4,
+        ..Default::default()
+    };
     let er_opts = ErOptions::default();
 
     println!("# Table 8 — entity resolution F1");
@@ -49,7 +54,13 @@ fn main() {
             "[table8] {}: embdi_s={embdi_s:.3} embdi_f={embdi_f:.3} deeper={deeper:.3} leva={leva:.3}",
             ds.name
         );
-        rows.push(vec![ds.name.clone(), f3(embdi_s), f3(embdi_f), f3(deeper), f3(leva)]);
+        rows.push(vec![
+            ds.name.clone(),
+            f3(embdi_s),
+            f3(embdi_f),
+            f3(deeper),
+            f3(leva),
+        ]);
     }
     print_table("Table 8 — ER F1", &header, &rows);
     println!(
@@ -71,7 +82,10 @@ fn combined_db(ds: &ErDataset) -> Database {
 
 fn embdi_f1(ds: &ErDataset, sgns: &SgnsConfig, opts: &ErOptions, split_words: bool) -> f64 {
     let db = combined_db(ds);
-    let textify_cfg = TextifyConfig { split_multiword: split_words, ..Default::default() };
+    let textify_cfg = TextifyConfig {
+        split_multiword: split_words,
+        ..Default::default()
+    };
     let gb = GraphBaseline::embdi_with_textify(&db, "er_left", None, 40, 5, sgns, 7, &textify_cfg);
     let gather = |table: &str, n: usize| {
         let mut m = Matrix::zeros(n, sgns.dim);

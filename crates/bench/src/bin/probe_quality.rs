@@ -6,7 +6,11 @@ use leva_datasets::by_name;
 
 fn main() {
     let argv: Vec<String> = std::env::args().collect();
-    let dataset = argv.get(1).map(String::as_str).unwrap_or("financial").to_owned();
+    let dataset = argv
+        .get(1)
+        .map(String::as_str)
+        .unwrap_or("financial")
+        .to_owned();
     let dim: usize = argv.get(2).and_then(|s| s.parse().ok()).unwrap_or(64);
     let epochs: usize = argv.get(3).and_then(|s| s.parse().ok()).unwrap_or(8);
     let walks: usize = argv.get(4).and_then(|s| s.parse().ok()).unwrap_or(10);
@@ -28,7 +32,11 @@ fn main() {
     let t0 = std::time::Instant::now();
     let prep = prepare(&ds, approach, &opts);
     let fit_time = t0.elapsed();
-    for model in [ModelKind::RandomForest, ModelKind::LogisticEn, ModelKind::Mlp] {
+    for model in [
+        ModelKind::RandomForest,
+        ModelKind::LogisticEn,
+        ModelKind::Mlp,
+    ] {
         let acc = eval_model(&prep, model, &opts);
         println!(
             "{dataset} {} dim={dim} ep={epochs} walks={walks}x{len} {} acc={acc:.3} (fit {fit_time:.1?})",

@@ -12,6 +12,6 @@ pub mod protocol;
 pub mod report;
 
 pub use protocol::{
-    eval_model, leva_config, oracle_metric, prepare, split_indices, task_of, Approach,
-    EvalOptions, ModelKind, Prepared,
+    eval_model, leva_config, oracle_metric, prepare, split_indices, task_of, Approach, EvalOptions,
+    ModelKind, Prepared,
 };

@@ -7,18 +7,18 @@
 //! contains *only training rows* (auxiliary tables stay complete, as in the
 //! paper's setup), and test rows flow through the frozen encoders.
 
-use leva::{fit as leva_fit, EmbeddingMethod, Featurization, LevaConfig};
+use leva::{EmbeddingMethod, Featurization, Leva, LevaConfig};
 use leva_baselines::{
-    assemble_base, assemble_disc, assemble_full, assemble_joined, discover_joins,
-    target_vector, Composition, GraphBaseline, TableFeaturizer, TextEmbedding,
+    assemble_base, assemble_disc, assemble_full, assemble_joined, discover_joins, target_vector,
+    Composition, GraphBaseline, TableFeaturizer, TextEmbedding,
 };
 use leva_datasets::{LabeledDataset, TaskKind};
 use leva_embedding::{Node2VecConfig, SgnsConfig};
 use leva_linalg::Matrix;
 use leva_ml::{
-    accuracy, mae, random_injection_selection, project_columns, Dataset, ElasticNet,
-    ForestConfig, LinearRegression, LogisticRegression, Mlp, MlpConfig, Model, RandomForest,
-    Standardizer, Task, TreeConfig,
+    accuracy, mae, project_columns, random_injection_selection, Dataset, ElasticNet, ForestConfig,
+    LinearRegression, LogisticRegression, Mlp, MlpConfig, Model, RandomForest, Standardizer, Task,
+    TreeConfig,
 };
 use leva_relational::{Database, ForeignKey, Table};
 use rand::rngs::StdRng;
@@ -107,7 +107,8 @@ pub struct EvalOptions {
     pub dim: usize,
     /// Leva featurization strategy.
     pub featurization: Featurization,
-    /// SGNS worker threads (Hogwild) for walk-based methods.
+    /// Worker threads: drives the deterministic pipeline stages and SGNS
+    /// Hogwild training (see `LevaConfig::with_threads`).
     pub threads: usize,
     /// Disc containment threshold.
     pub disc_threshold: f64,
@@ -182,7 +183,9 @@ fn db_with_base_rows(ds: &LabeledDataset, rows: &[usize]) -> Database {
     let base = ds.base();
     let mut new_base = Table::new(base.name(), base.column_names());
     for &r in rows {
-        new_base.push_row(base.row(r).expect("in bounds")).expect("arity");
+        new_base
+            .push_row(base.row(r).expect("in bounds"))
+            .expect("arity");
     }
     *db.table_mut(&ds.base_table).expect("base exists") = new_base;
     db
@@ -209,9 +212,11 @@ fn targets(ds: &LabeledDataset, rows: &[usize]) -> Vec<f64> {
 
 /// Leva configuration used by the experiments at a given dimension.
 pub fn leva_config(opts: &EvalOptions, method: EmbeddingMethod) -> LevaConfig {
-    let mut cfg = LevaConfig::fast().with_dim(opts.dim).with_seed(opts.seed);
+    let mut cfg = LevaConfig::fast()
+        .with_dim(opts.dim)
+        .with_seed(opts.seed)
+        .with_threads(opts.threads);
     cfg.method = method;
-    cfg.sgns.threads = opts.threads;
     cfg.sgns.epochs = opts.sgns_epochs;
     cfg.sgns.window = opts.window;
     cfg.walks.walk_length = opts.walk_length;
@@ -308,7 +313,11 @@ pub fn prepare(ds: &LabeledDataset, approach: Approach, opts: &EvalOptions) -> P
                 EmbeddingMethod::RandomWalk
             };
             let cfg = leva_config(opts, method);
-            let model = leva_fit(&train_db, base, Some(target), &cfg).expect("leva fit");
+            let model = Leva::with_config(cfg)
+                .base_table(base)
+                .target(target)
+                .fit(&train_db)
+                .expect("leva fit");
             (
                 model.featurize_base(opts.featurization),
                 model.featurize_external(&test_base_no_target, opts.featurization),
@@ -321,7 +330,10 @@ pub fn prepare(ds: &LabeledDataset, approach: Approach, opts: &EvalOptions) -> P
                 Composition::AttributeConcat
             };
             let te = TextEmbedding::fit(&train_db, base, Some(target), comp, &sgns_config(opts));
-            (te.featurize_base(), te.featurize_external(&test_base_no_target))
+            (
+                te.featurize_base(),
+                te.featurize_external(&test_base_no_target),
+            )
         }
         Approach::Node2Vec => {
             let n2v = Node2VecConfig {
@@ -330,8 +342,12 @@ pub fn prepare(ds: &LabeledDataset, approach: Approach, opts: &EvalOptions) -> P
                 seed: opts.seed ^ 0x42,
                 ..Default::default()
             };
-            let gb = GraphBaseline::node2vec(&train_db, base, Some(target), &n2v, &sgns_config(opts));
-            (gb.featurize_base(), gb.featurize_external(&test_base_no_target))
+            let gb =
+                GraphBaseline::node2vec(&train_db, base, Some(target), &n2v, &sgns_config(opts));
+            (
+                gb.featurize_base(),
+                gb.featurize_external(&test_base_no_target),
+            )
         }
         Approach::EmbDi => {
             let gb = GraphBaseline::embdi(
@@ -343,11 +359,20 @@ pub fn prepare(ds: &LabeledDataset, approach: Approach, opts: &EvalOptions) -> P
                 &sgns_config(opts),
                 opts.seed ^ 0xed,
             );
-            (gb.featurize_base(), gb.featurize_external(&test_base_no_target))
+            (
+                gb.featurize_base(),
+                gb.featurize_external(&test_base_no_target),
+            )
         }
     };
 
-    Prepared { x_train, y_train, x_test, y_test, task }
+    Prepared {
+        x_train,
+        y_train,
+        x_test,
+        y_test,
+        task,
+    }
 }
 
 /// Trains one model kind on prepared data and returns the paper's metric:
@@ -366,8 +391,10 @@ pub fn eval_model(prep: &Prepared, model: ModelKind, opts: &EvalOptions) -> f64 
         (_, m) => m,
     };
     // Linear-family models want standardized features.
-    let needs_standardize =
-        matches!(model, ModelKind::LogisticEn | ModelKind::Mlp | ModelKind::Linear | ModelKind::ElasticNet);
+    let needs_standardize = matches!(
+        model,
+        ModelKind::LogisticEn | ModelKind::Mlp | ModelKind::Linear | ModelKind::ElasticNet
+    );
     let (x_train, x_test) = if needs_standardize {
         let s = Standardizer::fit(&prep.x_train);
         (s.transform(&prep.x_train), s.transform(&prep.x_test))
@@ -382,10 +409,16 @@ pub fn eval_model(prep: &Prepared, model: ModelKind, opts: &EvalOptions) -> f64 
     let make: Box<dyn Fn(usize) -> Box<dyn Model>> = match model {
         ModelKind::RandomForest => Box::new(move |i| {
             let cfgs = [
-                ForestConfig { n_trees: 40, ..Default::default() },
                 ForestConfig {
                     n_trees: 40,
-                    tree: TreeConfig { min_samples_leaf: 4, ..Default::default() },
+                    ..Default::default()
+                },
+                ForestConfig {
+                    n_trees: 40,
+                    tree: TreeConfig {
+                        min_samples_leaf: 4,
+                        ..Default::default()
+                    },
                     ..Default::default()
                 },
             ];
@@ -398,7 +431,11 @@ pub fn eval_model(prep: &Prepared, model: ModelKind, opts: &EvalOptions) -> f64 
         }),
         ModelKind::LogisticEn => Box::new(move |i| {
             let alphas = [1e-4, 1e-2];
-            Box::new(LogisticRegression::new(n_classes.max(2), alphas[i.min(1)], 0.5))
+            Box::new(LogisticRegression::new(
+                n_classes.max(2),
+                alphas[i.min(1)],
+                0.5,
+            ))
         }),
         ModelKind::Mlp => Box::new(move |i| {
             let cfg = MlpConfig {

@@ -20,7 +20,11 @@ pub fn print_table(title: &str, header: &[String], rows: &[Vec<String>]) {
     println!("{}", fmt_row(header));
     println!(
         "|{}|",
-        widths.iter().map(|w| "-".repeat(w + 2)).collect::<Vec<_>>().join("|")
+        widths
+            .iter()
+            .map(|w| "-".repeat(w + 2))
+            .collect::<Vec<_>>()
+            .join("|")
     );
     for row in rows {
         println!("{}", fmt_row(row));

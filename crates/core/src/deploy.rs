@@ -41,7 +41,13 @@ impl LevaModel {
     /// rationale as the graph's edge weighting (§3.2), applied at
     /// deployment: a bin token shared by hundreds of rows says little about
     /// this row; a key shared by two rows says a lot.
-    fn accumulate(&self, value_nodes: &[u32], skip_row: Option<u32>, out_row: &mut [f64], feat: Featurization) {
+    fn accumulate(
+        &self,
+        value_nodes: &[u32],
+        skip_row: Option<u32>,
+        out_row: &mut [f64],
+        feat: Featurization,
+    ) {
         let dim = self.store.dim();
         let mut v_acc = vec![0.0; dim];
         let mut v_weight = 0.0f64;
@@ -164,8 +170,16 @@ impl LevaModel {
 mod tests {
     use super::*;
     use crate::config::LevaConfig;
-    use crate::pipeline::fit;
+    use crate::pipeline::Leva;
     use leva_relational::{Database, Table, Value};
+
+    fn fit_fast(database: &Database) -> LevaModel {
+        Leva::with_config(LevaConfig::fast())
+            .base_table("base")
+            .target("target")
+            .fit(database)
+            .unwrap()
+    }
 
     fn db() -> Database {
         let mut db = Database::new();
@@ -189,7 +203,7 @@ mod tests {
 
     #[test]
     fn base_featurization_shapes() {
-        let model = fit(&db(), "base", Some("target"), &LevaConfig::fast()).unwrap();
+        let model = fit_fast(&db());
         let row_only = model.featurize_base(Featurization::RowOnly);
         assert_eq!(row_only.rows(), 40);
         assert_eq!(row_only.cols(), 32);
@@ -199,7 +213,7 @@ mod tests {
 
     #[test]
     fn both_halves_populated() {
-        let model = fit(&db(), "base", Some("target"), &LevaConfig::fast()).unwrap();
+        let model = fit_fast(&db());
         let rv = model.featurize_base_rows(&[0], Featurization::RowPlusValue);
         assert!(rv.row(0)[..32].iter().any(|&v| v != 0.0));
         assert!(rv.row(0)[32..].iter().any(|&v| v != 0.0));
@@ -210,7 +224,7 @@ mod tests {
         // Featurizing an in-graph row through the external path must land
         // very close to the training featurization (value half especially).
         let database = db();
-        let model = fit(&database, "base", Some("target"), &LevaConfig::fast()).unwrap();
+        let model = fit_fast(&database);
         let train = model.featurize_base_rows(&[7], Featurization::RowOnly);
         let base = database.table("base").unwrap();
         let mut one = Table::new("t", base.column_names());
@@ -223,9 +237,10 @@ mod tests {
 
     #[test]
     fn external_rows_use_training_encoders() {
-        let model = fit(&db(), "base", Some("target"), &LevaConfig::fast()).unwrap();
+        let model = fit_fast(&db());
         let mut test = Table::new("test", vec!["id", "grp", "amount"]);
-        test.push_row(vec!["unseen_id".into(), "a".into(), Value::Float(1e9)]).unwrap();
+        test.push_row(vec!["unseen_id".into(), "a".into(), Value::Float(1e9)])
+            .unwrap();
         let x = model.featurize_external(&test, Featurization::RowOnly);
         assert_eq!(x.rows(), 1);
         assert!(x.row(0).iter().any(|&v| v != 0.0));
@@ -233,7 +248,7 @@ mod tests {
 
     #[test]
     fn fully_unseen_row_is_zero_vector() {
-        let model = fit(&db(), "base", Some("target"), &LevaConfig::fast()).unwrap();
+        let model = fit_fast(&db());
         let mut test = Table::new("test", vec!["grp"]);
         test.push_row(vec!["never_seen_value_xyz".into()]).unwrap();
         let x = model.featurize_external(&test, Featurization::RowOnly);
@@ -242,7 +257,7 @@ mod tests {
 
     #[test]
     fn row_embedding_lookup() {
-        let model = fit(&db(), "base", Some("target"), &LevaConfig::fast()).unwrap();
+        let model = fit_fast(&db());
         assert!(model.row_embedding(0, 5).is_some());
         assert!(model.row_embedding(1, 5).is_some());
         assert!(model.row_embedding(7, 0).is_none());

@@ -8,7 +8,7 @@
 //! baselines (EmbDI, DeepER) can be scored identically.
 
 use crate::config::LevaConfig;
-use crate::pipeline::{fit, LevaError};
+use crate::pipeline::{Leva, LevaError};
 use leva_linalg::{cosine_similarity, Matrix};
 use leva_relational::{Database, Table};
 
@@ -36,7 +36,10 @@ pub struct ErOptions {
 
 impl Default for ErOptions {
     fn default() -> Self {
-        Self { threshold: 0.3, mutual: true }
+        Self {
+            threshold: 0.3,
+            mutual: true,
+        }
     }
 }
 
@@ -90,14 +93,27 @@ pub fn match_embeddings(left: &Matrix, right: &Matrix, opts: &ErOptions) -> Vec<
 pub fn score_matches(predicted: &[(usize, usize)], truth: &[(usize, usize)]) -> ErResult {
     let truth_set: std::collections::HashSet<(usize, usize)> = truth.iter().copied().collect();
     let tp = predicted.iter().filter(|p| truth_set.contains(p)).count();
-    let precision = if predicted.is_empty() { 0.0 } else { tp as f64 / predicted.len() as f64 };
-    let recall = if truth.is_empty() { 0.0 } else { tp as f64 / truth.len() as f64 };
+    let precision = if predicted.is_empty() {
+        0.0
+    } else {
+        tp as f64 / predicted.len() as f64
+    };
+    let recall = if truth.is_empty() {
+        0.0
+    } else {
+        tp as f64 / truth.len() as f64
+    };
     let f1 = if precision + recall > 0.0 {
         2.0 * precision * recall / (precision + recall)
     } else {
         0.0
     };
-    ErResult { precision, recall, f1, predicted: predicted.len() }
+    ErResult {
+        precision,
+        recall,
+        f1,
+        predicted: predicted.len(),
+    }
 }
 
 /// Runs Leva-based entity resolution between `left` and `right` and scores
@@ -121,7 +137,7 @@ pub fn resolve_entities(
     // so multi-word strings additionally emit word tokens.
     let mut cfg = cfg.clone();
     cfg.textify.split_multiword = true;
-    let model = fit(&db, "er_left", None, &cfg)?;
+    let model = Leva::with_config(cfg).base_table("er_left").fit(&db)?;
 
     let gather = |table: usize, n: usize| {
         let dim = model.store.dim();
@@ -172,8 +188,8 @@ mod tests {
     #[test]
     fn resolves_identical_records() {
         let (l, r, truth) = easy_pair();
-        let res = resolve_entities(&l, &r, &truth, &LevaConfig::fast(), &ErOptions::default())
-            .unwrap();
+        let res =
+            resolve_entities(&l, &r, &truth, &LevaConfig::fast(), &ErOptions::default()).unwrap();
         assert!(res.f1 > 0.7, "F1 = {:?}", res);
     }
 
@@ -185,7 +201,10 @@ mod tests {
             &r,
             &truth,
             &LevaConfig::fast(),
-            &ErOptions { threshold: 1.1, mutual: true },
+            &ErOptions {
+                threshold: 1.1,
+                mutual: true,
+            },
         )
         .unwrap();
         assert_eq!(res.predicted, 0);
@@ -203,8 +222,8 @@ mod tests {
             ])
             .unwrap();
         }
-        let res = resolve_entities(&l, &r, &truth, &LevaConfig::fast(), &ErOptions::default())
-            .unwrap();
+        let res =
+            resolve_entities(&l, &r, &truth, &LevaConfig::fast(), &ErOptions::default()).unwrap();
         assert!(res.precision > 0.5, "{res:?}");
     }
 

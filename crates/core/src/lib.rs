@@ -23,7 +23,7 @@
 //!    inference-time values.
 //!
 //! ```
-//! use leva::{fit, Featurization, LevaConfig};
+//! use leva::{Featurization, Leva, LevaConfig};
 //! use leva_relational::{Database, Table, Value};
 //!
 //! let mut db = Database::new();
@@ -40,8 +40,14 @@
 //! db.add_table(base).unwrap();
 //! db.add_table(jobs).unwrap();
 //!
-//! // Build the relational embedding, hiding the prediction target.
-//! let model = fit(&db, "people", Some("income"), &LevaConfig::fast()).unwrap();
+//! // Build the relational embedding, hiding the prediction target. Every
+//! // deterministic stage runs on all available cores by default; results
+//! // are bitwise identical at any thread count.
+//! let model = Leva::with_config(LevaConfig::fast())
+//!     .base_table("people")
+//!     .target("income")
+//!     .fit(&db)
+//!     .unwrap();
 //! let features = model.featurize_base(Featurization::RowPlusValue);
 //! assert_eq!(features.rows(), 20);
 //! ```
@@ -60,5 +66,7 @@ pub use config::{EmbeddingMethod, Featurization, LevaConfig};
 pub use er::{match_embeddings, resolve_entities, score_matches, ErOptions, ErResult};
 pub use finetune::{droppable_tables, finetune_drop_tables};
 pub use memory::{estimate, mf_fits, MemoryEstimate};
-pub use pipeline::{fit, LevaError, LevaModel, MethodUsed};
-pub use timing::StageTimings;
+#[allow(deprecated)]
+pub use pipeline::fit;
+pub use pipeline::{Leva, LevaError, LevaModel, MethodUsed};
+pub use timing::{process_cpu_time, StageTiming, StageTimings};

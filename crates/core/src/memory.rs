@@ -17,7 +17,12 @@ pub struct MemoryEstimate {
 }
 
 /// Estimates both paths' memory footprints.
-pub fn estimate(graph: &LevaGraph, dim: usize, oversample: usize, walks: &WalkConfig) -> MemoryEstimate {
+pub fn estimate(
+    graph: &LevaGraph,
+    dim: usize,
+    oversample: usize,
+    walks: &WalkConfig,
+) -> MemoryEstimate {
     let n = graph.n_nodes();
     let nnz = 2 * graph.n_edges();
     let l = dim + oversample;
@@ -56,7 +61,10 @@ mod tests {
                 .unwrap();
         }
         db.add_table(t).unwrap();
-        build_graph(&textify(&db, &TextifyConfig::default()), &GraphConfig::default())
+        build_graph(
+            &textify(&db, &TextifyConfig::default()),
+            &GraphConfig::default(),
+        )
     }
 
     #[test]
@@ -70,14 +78,33 @@ mod tests {
     #[test]
     fn unweighted_walks_need_less_memory() {
         let g = graph(200);
-        let weighted = estimate(&g, 32, 8, &WalkConfig { weighted: true, ..Default::default() });
-        let unweighted = estimate(&g, 32, 8, &WalkConfig { weighted: false, ..Default::default() });
+        let weighted = estimate(
+            &g,
+            32,
+            8,
+            &WalkConfig {
+                weighted: true,
+                ..Default::default()
+            },
+        );
+        let unweighted = estimate(
+            &g,
+            32,
+            8,
+            &WalkConfig {
+                weighted: false,
+                ..Default::default()
+            },
+        );
         assert!(unweighted.rw_bytes < weighted.rw_bytes);
     }
 
     #[test]
     fn budget_policy() {
-        let e = MemoryEstimate { mf_bytes: 1000, rw_bytes: 500 };
+        let e = MemoryEstimate {
+            mf_bytes: 1000,
+            rw_bytes: 500,
+        };
         assert!(mf_fits(&e, 1000));
         assert!(!mf_fits(&e, 999));
     }

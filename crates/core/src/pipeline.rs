@@ -1,11 +1,25 @@
 //! The end-to-end Leva pipeline (Fig. 2): textify → construct graph →
 //! refine → embed → deploy.
+//!
+//! The entry point is the [`Leva`] builder:
+//!
+//! ```ignore
+//! let model = Leva::with_config(LevaConfig::fast())
+//!     .base_table("orders")
+//!     .target("label")
+//!     .threads(8)
+//!     .fit(&db)?;
+//! ```
+//!
+//! The free function [`fit`] is a deprecated shim over the builder, kept so
+//! pre-builder call sites continue to compile.
 
 use crate::config::{EmbeddingMethod, LevaConfig};
 use crate::memory::{estimate, mf_fits, MemoryEstimate};
-use crate::timing::StageTimings;
+use crate::timing::{process_cpu_time, StageTimings};
 use leva_embedding::{build_mf_embedding, generate_walks, train_sgns, EmbeddingStore};
 use leva_graph::{build_graph, LevaGraph};
+use leva_linalg::resolve_threads;
 use leva_relational::{Database, RelationalError};
 use leva_textify::{textify, TokenizedDatabase};
 use std::fmt;
@@ -16,6 +30,11 @@ use std::time::Instant;
 pub enum LevaError {
     /// The named base table does not exist in the database.
     UnknownBaseTable(String),
+    /// The configuration failed [`LevaConfig::validate`], or the builder
+    /// was missing a required field.
+    InvalidConfig(String),
+    /// The input database has no tables (or no rows at all) to embed.
+    EmptyDatabase,
     /// An underlying relational operation failed.
     Relational(RelationalError),
 }
@@ -24,6 +43,8 @@ impl fmt::Display for LevaError {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         match self {
             Self::UnknownBaseTable(t) => write!(f, "unknown base table '{t}'"),
+            Self::InvalidConfig(msg) => write!(f, "invalid configuration: {msg}"),
+            Self::EmptyDatabase => write!(f, "database has no rows to embed"),
             Self::Relational(e) => write!(f, "relational error: {e}"),
         }
     }
@@ -59,7 +80,7 @@ pub struct LevaModel {
     pub graph: LevaGraph,
     /// Textification output (encoders reused at inference time).
     pub tokenized: TokenizedDatabase,
-    /// Per-stage wall-clock times.
+    /// Per-stage performance records (wall, CPU, threads).
     pub timings: StageTimings,
     /// Method actually used.
     pub method_used: MethodUsed,
@@ -73,12 +94,112 @@ pub struct LevaModel {
     pub target_column: Option<String>,
 }
 
+/// Builder for fitting Leva on a database.
+///
+/// Collects the configuration, the base table, the optional prediction
+/// target, and the thread count, then runs the pipeline with
+/// [`Leva::fit`]. The configuration is validated automatically.
+#[derive(Debug, Clone)]
+pub struct Leva {
+    config: LevaConfig,
+    base_table: Option<String>,
+    target: Option<String>,
+}
+
+impl Default for Leva {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl Leva {
+    /// Starts a builder with [`LevaConfig::default`].
+    pub fn new() -> Self {
+        Self::with_config(LevaConfig::default())
+    }
+
+    /// Starts a builder from an explicit configuration.
+    pub fn with_config(config: LevaConfig) -> Self {
+        Self {
+            config,
+            base_table: None,
+            target: None,
+        }
+    }
+
+    /// Sets the base table whose rows are featurized (required).
+    pub fn base_table(mut self, name: impl Into<String>) -> Self {
+        self.base_table = Some(name.into());
+        self
+    }
+
+    /// Sets the prediction target column, which is stripped from the base
+    /// table before textification so the embedding never sees the label.
+    pub fn target(mut self, column: impl Into<String>) -> Self {
+        self.target = Some(column.into());
+        self
+    }
+
+    /// Sets the worker-thread count for every stage
+    /// (see [`LevaConfig::with_threads`]; `0` = available parallelism).
+    pub fn threads(mut self, threads: usize) -> Self {
+        self.config = self.config.with_threads(threads);
+        self
+    }
+
+    /// Sets the embedding dimension everywhere it matters
+    /// (see [`LevaConfig::with_dim`]).
+    pub fn dim(mut self, dim: usize) -> Self {
+        self.config = self.config.with_dim(dim);
+        self
+    }
+
+    /// Sets the master seed for every stochastic stage
+    /// (see [`LevaConfig::with_seed`]).
+    pub fn seed(mut self, seed: u64) -> Self {
+        self.config = self.config.with_seed(seed);
+        self
+    }
+
+    /// Runs the pipeline: validates the configuration, strips the target,
+    /// then textifies, builds/refines the graph, and trains the embedding.
+    pub fn fit(&self, db: &Database) -> Result<LevaModel, LevaError> {
+        let base_table = self
+            .base_table
+            .as_deref()
+            .ok_or_else(|| LevaError::InvalidConfig("base_table is required".to_owned()))?;
+        self.config.validate().map_err(LevaError::InvalidConfig)?;
+        if db.tables().is_empty() || db.tables().iter().all(|t| t.row_count() == 0) {
+            return Err(LevaError::EmptyDatabase);
+        }
+        run_pipeline(db, base_table, self.target.as_deref(), &self.config)
+    }
+}
+
 /// Fits Leva on a database.
 ///
 /// `target_column`, when given, is removed from the base table before
 /// textification so the embedding never sees the label — the supervision
 /// signal acts only on the *downstream* model, as in the paper.
+#[deprecated(
+    since = "0.2.0",
+    note = "use the builder: `Leva::with_config(cfg).base_table(..).target(..).fit(db)`"
+)]
 pub fn fit(
+    db: &Database,
+    base_table: &str,
+    target_column: Option<&str>,
+    config: &LevaConfig,
+) -> Result<LevaModel, LevaError> {
+    let mut builder = Leva::with_config(config.clone()).base_table(base_table);
+    if let Some(target) = target_column {
+        builder = builder.target(target);
+    }
+    builder.fit(db)
+}
+
+/// The pipeline body shared by the builder and the deprecated shim.
+fn run_pipeline(
     db: &Database,
     base_table: &str,
     target_column: Option<&str>,
@@ -97,21 +218,32 @@ pub fn fit(
         t.remove_column(target)?;
     }
 
+    // Resolve the master thread knob once and propagate it into every
+    // deterministic stage; SGNS keeps its own knob (see `LevaConfig`).
+    let threads = resolve_threads(config.threads);
+    let mut textify_cfg = config.textify.clone();
+    textify_cfg.threads = threads;
+    let mut walks_cfg = config.walks;
+    walks_cfg.threads = threads;
+    let mut mf_cfg = config.mf;
+    mf_cfg.threads = threads;
+
     let mut timings = StageTimings::default();
+    let mut stage_clock = StageClock::start();
 
-    let t0 = Instant::now();
-    let tokenized = textify(&working, &config.textify);
-    timings.textify = t0.elapsed();
+    let tokenized = textify(&working, &textify_cfg);
+    stage_clock.lap(&mut timings, "textify", threads);
 
-    let t0 = Instant::now();
     let graph = build_graph(&tokenized, &config.graph);
-    timings.graph = t0.elapsed();
+    stage_clock.lap(&mut timings, "graph", 1);
 
     let memory = estimate(&graph, config.dim, config.mf.oversample, &config.walks);
     let method_used = match config.method {
         EmbeddingMethod::MatrixFactorization => MethodUsed::MatrixFactorization,
         EmbeddingMethod::RandomWalk => MethodUsed::RandomWalk,
-        EmbeddingMethod::Auto { memory_budget_bytes } => {
+        EmbeddingMethod::Auto {
+            memory_budget_bytes,
+        } => {
             if mf_fits(&memory, memory_budget_bytes) {
                 MethodUsed::MatrixFactorization
             } else {
@@ -120,20 +252,18 @@ pub fn fit(
         }
     };
 
+    let mut stage_clock = StageClock::start();
     let store = match method_used {
         MethodUsed::MatrixFactorization => {
-            let t0 = Instant::now();
-            let store = build_mf_embedding(&graph, &config.mf);
-            timings.embedding_training = t0.elapsed();
+            let store = build_mf_embedding(&graph, &mf_cfg);
+            stage_clock.lap(&mut timings, "embedding_training", threads);
             store
         }
         MethodUsed::RandomWalk => {
-            let t0 = Instant::now();
-            let corpus = generate_walks(&graph, &config.walks);
-            timings.walk_generation = t0.elapsed();
-            let t0 = Instant::now();
+            let corpus = generate_walks(&graph, &walks_cfg);
+            stage_clock.lap(&mut timings, "walk_generation", threads);
             let model = train_sgns(&corpus, &config.sgns);
-            timings.embedding_training = t0.elapsed();
+            stage_clock.lap(&mut timings, "embedding_training", config.sgns.threads);
             model.into_store(&corpus, config.sgns.dim)
         }
     };
@@ -150,6 +280,33 @@ pub fn fit(
         base_table_index,
         target_column: target_column.map(str::to_owned),
     })
+}
+
+/// Wall + CPU stopwatch that restarts on every lap.
+struct StageClock {
+    wall: Instant,
+    cpu: std::time::Duration,
+}
+
+impl StageClock {
+    fn start() -> Self {
+        Self {
+            wall: Instant::now(),
+            cpu: process_cpu_time(),
+        }
+    }
+
+    fn lap(&mut self, timings: &mut StageTimings, stage: &'static str, threads: usize) {
+        let cpu_now = process_cpu_time();
+        timings.push_with(
+            stage,
+            self.wall.elapsed(),
+            cpu_now.saturating_sub(self.cpu),
+            threads,
+        );
+        self.wall = Instant::now();
+        self.cpu = cpu_now;
+    }
 }
 
 #[cfg(test)]
@@ -169,21 +326,25 @@ mod tests {
                 Value::Int((i % 2) as i64),
             ])
             .unwrap();
-            aux.push_row(vec![
-                format!("e{i}").into(),
-                format!("f{}", i % 3).into(),
-            ])
-            .unwrap();
+            aux.push_row(vec![format!("e{i}").into(), format!("f{}", i % 3).into()])
+                .unwrap();
         }
         db.add_table(base).unwrap();
         db.add_table(aux).unwrap();
         db
     }
 
+    fn fit_fast(database: &Database) -> LevaModel {
+        Leva::with_config(LevaConfig::fast())
+            .base_table("base")
+            .target("target")
+            .fit(database)
+            .unwrap()
+    }
+
     #[test]
     fn fit_mf_produces_full_store() {
-        let cfg = LevaConfig::fast();
-        let model = fit(&db(), "base", Some("target"), &cfg).unwrap();
+        let model = fit_fast(&db());
         assert_eq!(model.store.len(), model.graph.n_nodes());
         assert!(model.store.contains("row::base::0"));
         assert_eq!(model.base_table_index, 0);
@@ -191,8 +352,7 @@ mod tests {
 
     #[test]
     fn target_tokens_never_enter_graph() {
-        let cfg = LevaConfig::fast();
-        let model = fit(&db(), "base", Some("target"), &cfg).unwrap();
+        let model = fit_fast(&db());
         // The target is an int column named "target" — its bin tokens
         // (target#k) must not exist as value nodes.
         for token in model.store.sorted_tokens() {
@@ -203,35 +363,110 @@ mod tests {
 
     #[test]
     fn unknown_base_table_errors() {
-        let cfg = LevaConfig::fast();
-        let err = fit(&db(), "nope", None, &cfg).unwrap_err();
+        let err = Leva::with_config(LevaConfig::fast())
+            .base_table("nope")
+            .fit(&db())
+            .unwrap_err();
         assert!(matches!(err, LevaError::UnknownBaseTable(_)));
         assert!(err.to_string().contains("nope"));
+    }
+
+    #[test]
+    fn missing_base_table_is_invalid_config() {
+        let err = Leva::with_config(LevaConfig::fast())
+            .fit(&db())
+            .unwrap_err();
+        assert!(matches!(err, LevaError::InvalidConfig(_)));
+        assert!(err.to_string().contains("base_table"));
+    }
+
+    #[test]
+    fn degenerate_config_is_rejected() {
+        let mut cfg = LevaConfig::fast();
+        cfg.graph.theta_range = 2.0;
+        let err = Leva::with_config(cfg)
+            .base_table("base")
+            .fit(&db())
+            .unwrap_err();
+        assert!(matches!(err, LevaError::InvalidConfig(_)));
+        assert!(err.to_string().contains("theta_range"));
+    }
+
+    #[test]
+    fn empty_database_is_rejected() {
+        let err = Leva::with_config(LevaConfig::fast())
+            .base_table("base")
+            .fit(&Database::new())
+            .unwrap_err();
+        assert!(matches!(err, LevaError::EmptyDatabase));
     }
 
     #[test]
     fn forced_rw_method() {
         let mut cfg = LevaConfig::fast();
         cfg.method = EmbeddingMethod::RandomWalk;
-        let model = fit(&db(), "base", Some("target"), &cfg).unwrap();
+        let model = Leva::with_config(cfg)
+            .base_table("base")
+            .target("target")
+            .fit(&db())
+            .unwrap();
         assert_eq!(model.method_used, MethodUsed::RandomWalk);
-        assert!(model.timings.walk_generation.as_nanos() > 0);
+        assert!(model.timings.wall("walk_generation").as_nanos() > 0);
         assert_eq!(model.store.len(), model.graph.n_nodes());
     }
 
     #[test]
     fn auto_falls_back_to_rw_under_tiny_budget() {
         let mut cfg = LevaConfig::fast();
-        cfg.method = EmbeddingMethod::Auto { memory_budget_bytes: 1 };
-        let model = fit(&db(), "base", Some("target"), &cfg).unwrap();
+        cfg.method = EmbeddingMethod::Auto {
+            memory_budget_bytes: 1,
+        };
+        let model = Leva::with_config(cfg)
+            .base_table("base")
+            .target("target")
+            .fit(&db())
+            .unwrap();
         assert_eq!(model.method_used, MethodUsed::RandomWalk);
     }
 
     #[test]
     fn timings_are_recorded() {
-        let cfg = LevaConfig::fast();
-        let model = fit(&db(), "base", Some("target"), &cfg).unwrap();
+        let model = fit_fast(&db());
         assert!(model.timings.total().as_nanos() > 0);
-        assert!(model.timings.embedding_training.as_nanos() > 0);
+        assert!(model.timings.wall("embedding_training").as_nanos() > 0);
+        let stages: Vec<&str> = model.timings.stages().iter().map(|s| s.stage).collect();
+        assert_eq!(stages, ["textify", "graph", "embedding_training"]);
+    }
+
+    #[test]
+    fn builder_threads_are_bitwise_reproducible() {
+        let database = db();
+        let base = Leva::with_config(LevaConfig::fast())
+            .base_table("base")
+            .target("target");
+        let seq = base.clone().threads(1).fit(&database).unwrap();
+        for threads in [2, 8] {
+            let par = base.clone().threads(threads).fit(&database).unwrap();
+            for token in seq.store.sorted_tokens() {
+                assert_eq!(
+                    seq.store.get(token),
+                    par.store.get(token),
+                    "threads={threads} token={token}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    #[allow(deprecated)]
+    fn deprecated_fit_shim_matches_builder() {
+        let database = db();
+        let cfg = LevaConfig::fast();
+        let via_shim = fit(&database, "base", Some("target"), &cfg).unwrap();
+        let via_builder = fit_fast(&database);
+        assert_eq!(via_shim.store.len(), via_builder.store.len());
+        for token in via_shim.store.sorted_tokens() {
+            assert_eq!(via_shim.store.get(token), via_builder.store.get(token));
+        }
     }
 }

@@ -1,40 +1,122 @@
-//! Per-stage wall-clock accounting (the Fig. 6b/6c performance profile).
+//! Per-stage performance accounting (the Fig. 6b/6c profile and the
+//! Fig. 7a scaling curves).
+//!
+//! Stages are recorded as an *ordered list of named entries* rather than
+//! fixed struct fields, so experiment binaries can add stages without
+//! touching this type. Each entry carries wall-clock time, the process
+//! CPU-time delta over the stage (wall × utilization ≈ cpu, so
+//! `cpu / wall` shows how well a parallel stage scaled), and the worker
+//! thread count the stage ran with.
 
 use std::time::Duration;
 
-/// Wall-clock time spent in each pipeline stage.
+/// One named pipeline stage's performance record.
+#[derive(Debug, Clone)]
+pub struct StageTiming {
+    /// Stage name (e.g. `"textify"`, `"walk_generation"`).
+    pub stage: &'static str,
+    /// Wall-clock time spent in the stage.
+    pub wall: Duration,
+    /// Process CPU time consumed during the stage (zero when unknown).
+    pub cpu: Duration,
+    /// Worker threads the stage ran with.
+    pub threads: usize,
+}
+
+/// Ordered per-stage performance records of one pipeline run.
 #[derive(Debug, Clone, Default)]
 pub struct StageTimings {
-    /// Input reading + textification.
-    pub textify: Duration,
-    /// Graph construction and refinement.
-    pub graph: Duration,
-    /// Random-walk generation (zero for the MF path).
-    pub walk_generation: Duration,
-    /// Embedding training (SGNS epochs, or the full factorization).
-    pub embedding_training: Duration,
+    stages: Vec<StageTiming>,
 }
 
 impl StageTimings {
-    /// Total time across stages.
-    pub fn total(&self) -> Duration {
-        self.textify + self.graph + self.walk_generation + self.embedding_training
+    /// Appends a stage record with unknown CPU time and one thread.
+    pub fn push(&mut self, stage: &'static str, wall: Duration) {
+        self.push_with(stage, wall, Duration::ZERO, 1);
     }
 
-    /// Per-stage fractions of the total, in the order
-    /// `[textify, graph, walk_generation, embedding_training]`.
-    pub fn fractions(&self) -> [f64; 4] {
+    /// Appends a full stage record.
+    pub fn push_with(
+        &mut self,
+        stage: &'static str,
+        wall: Duration,
+        cpu: Duration,
+        threads: usize,
+    ) {
+        self.stages.push(StageTiming {
+            stage,
+            wall,
+            cpu,
+            threads,
+        });
+    }
+
+    /// The recorded stages, in execution order.
+    pub fn stages(&self) -> &[StageTiming] {
+        &self.stages
+    }
+
+    /// Wall-clock time of a named stage (zero if it never ran).
+    pub fn wall(&self, stage: &str) -> Duration {
+        self.stages
+            .iter()
+            .filter(|s| s.stage == stage)
+            .map(|s| s.wall)
+            .sum()
+    }
+
+    /// Total wall-clock time across stages.
+    pub fn total(&self) -> Duration {
+        self.stages.iter().map(|s| s.wall).sum()
+    }
+
+    /// Per-stage fractions of the total wall time, aligned with
+    /// [`StageTimings::stages`] order.
+    pub fn fractions(&self) -> Vec<f64> {
         let total = self.total().as_secs_f64();
         if total <= 0.0 {
-            return [0.0; 4];
+            return vec![0.0; self.stages.len()];
         }
-        [
-            self.textify.as_secs_f64() / total,
-            self.graph.as_secs_f64() / total,
-            self.walk_generation.as_secs_f64() / total,
-            self.embedding_training.as_secs_f64() / total,
-        ]
+        self.stages
+            .iter()
+            .map(|s| s.wall.as_secs_f64() / total)
+            .collect()
     }
+}
+
+/// Total CPU time (user + system) consumed by this process so far. Reads
+/// `/proc/self/stat` on Linux; returns zero where that is unavailable, so
+/// CPU columns degrade gracefully instead of breaking the pipeline.
+pub fn process_cpu_time() -> Duration {
+    #[cfg(target_os = "linux")]
+    {
+        if let Ok(stat) = std::fs::read_to_string("/proc/self/stat") {
+            // Fields 14 (utime) and 15 (stime) in clock ticks, counted from
+            // after the parenthesized comm field (which may contain spaces).
+            if let Some(rest) = stat.rsplit(')').next() {
+                let fields: Vec<&str> = rest.split_whitespace().collect();
+                // rest starts at field 3 ("state"), so utime/stime are at
+                // offsets 11 and 12.
+                if fields.len() > 12 {
+                    let utime: u64 = fields[11].parse().unwrap_or(0);
+                    let stime: u64 = fields[12].parse().unwrap_or(0);
+                    let tick = tick_duration();
+                    return tick * (utime + stime) as u32;
+                }
+            }
+        }
+        Duration::ZERO
+    }
+    #[cfg(not(target_os = "linux"))]
+    {
+        Duration::ZERO
+    }
+}
+
+/// Seconds per clock tick (`_SC_CLK_TCK` is 100 on every mainstream Linux).
+#[cfg(target_os = "linux")]
+fn tick_duration() -> Duration {
+    Duration::from_millis(10)
 }
 
 #[cfg(test)]
@@ -43,19 +125,56 @@ mod tests {
 
     #[test]
     fn fractions_sum_to_one() {
-        let t = StageTimings {
-            textify: Duration::from_millis(10),
-            graph: Duration::from_millis(20),
-            walk_generation: Duration::from_millis(30),
-            embedding_training: Duration::from_millis(40),
-        };
+        let mut t = StageTimings::default();
+        t.push("textify", Duration::from_millis(10));
+        t.push("graph", Duration::from_millis(20));
+        t.push("walk_generation", Duration::from_millis(30));
+        t.push("embedding_training", Duration::from_millis(40));
         let f = t.fractions();
+        assert_eq!(f.len(), 4);
         assert!((f.iter().sum::<f64>() - 1.0).abs() < 1e-9);
         assert!((f[3] - 0.4).abs() < 1e-9);
     }
 
     #[test]
     fn zero_total_is_safe() {
-        assert_eq!(StageTimings::default().fractions(), [0.0; 4]);
+        assert!(StageTimings::default().fractions().is_empty());
+        assert_eq!(StageTimings::default().total(), Duration::ZERO);
+    }
+
+    #[test]
+    fn named_lookup_sums_repeats() {
+        let mut t = StageTimings::default();
+        t.push("embedding_training", Duration::from_millis(5));
+        t.push("embedding_training", Duration::from_millis(7));
+        assert_eq!(t.wall("embedding_training"), Duration::from_millis(12));
+        assert_eq!(t.wall("absent"), Duration::ZERO);
+    }
+
+    #[test]
+    fn push_with_records_threads_and_cpu() {
+        let mut t = StageTimings::default();
+        t.push_with(
+            "textify",
+            Duration::from_millis(3),
+            Duration::from_millis(9),
+            4,
+        );
+        let s = &t.stages()[0];
+        assert_eq!(s.threads, 4);
+        assert_eq!(s.cpu, Duration::from_millis(9));
+    }
+
+    #[test]
+    fn cpu_time_is_monotonic_or_zero() {
+        let a = process_cpu_time();
+        // Burn a little CPU.
+        let mut x = 0u64;
+        for i in 0..2_000_000u64 {
+            x = x.wrapping_add(i * i);
+        }
+        std::hint::black_box(x);
+        let b = process_cpu_time();
+        assert!(b >= a);
     }
 }

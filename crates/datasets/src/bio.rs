@@ -8,8 +8,14 @@ use leva_relational::{Database, ForeignKey, Table, Value};
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
 
-const ELEMENTS: [(&str, f64); 6] =
-    [("c", 1.0), ("h", 0.2), ("o", 2.5), ("n", 3.0), ("s", 4.5), ("cl", 6.0)];
+const ELEMENTS: [(&str, f64); 6] = [
+    ("c", 1.0),
+    ("h", 0.2),
+    ("o", 2.5),
+    ("n", 3.0),
+    ("s", 4.5),
+    ("cl", 6.0),
+];
 const BOND_TYPES: [(&str, f64); 3] = [("single", 0.0), ("double", 1.5), ("aromatic", 3.0)];
 
 /// Generates the Bio analogue. `scale` = 1.0 ⇒ 500 molecules.

@@ -60,11 +60,13 @@ pub struct ErDataset {
 }
 
 const WORDS: [&str; 24] = [
-    "golden", "dark", "pale", "imperial", "double", "hazy", "classic", "reserve", "old",
-    "crisp", "wild", "smoked", "amber", "noble", "royal", "grand", "stone", "river",
-    "mountain", "valley", "cedar", "iron", "copper", "silver",
+    "golden", "dark", "pale", "imperial", "double", "hazy", "classic", "reserve", "old", "crisp",
+    "wild", "smoked", "amber", "noble", "royal", "grand", "stone", "river", "mountain", "valley",
+    "cedar", "iron", "copper", "silver",
 ];
-const KINDS: [&str; 8] = ["ale", "lager", "stout", "porter", "ipa", "pilsner", "saison", "bock"];
+const KINDS: [&str; 8] = [
+    "ale", "lager", "stout", "porter", "ipa", "pilsner", "saison", "bock",
+];
 
 /// Generates an ER pair with `n_entities` shared entities.
 pub fn er_dataset(name: &str, n_entities: usize, difficulty: ErDifficulty, seed: u64) -> ErDataset {
@@ -132,7 +134,12 @@ pub fn er_dataset(name: &str, n_entities: usize, difficulty: ErDifficulty, seed:
         } else {
             ent.style.clone()
         };
-        let abv = ent.abv + if rng.gen::<f64>() < difficulty.perturb_field_prob() { 0.1 } else { 0.0 };
+        let abv = ent.abv
+            + if rng.gen::<f64>() < difficulty.perturb_field_prob() {
+                0.1
+            } else {
+                0.0
+            };
         let right_row = right.row_count();
         right
             .push_row(vec![
@@ -164,7 +171,12 @@ pub fn er_dataset(name: &str, n_entities: usize, difficulty: ErDifficulty, seed:
             .expect("arity");
     }
 
-    ErDataset { name: name.to_owned(), left, right, matches }
+    ErDataset {
+        name: name.to_owned(),
+        left,
+        right,
+        matches,
+    }
 }
 
 /// The three Table 8 analogues at a given entity count.

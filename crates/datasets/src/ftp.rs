@@ -23,7 +23,10 @@ pub fn ftp(scale: f64, seed: u64) -> LabeledDataset {
         .collect();
 
     let mut labels = Vec::with_capacity(n);
-    let mut views = Table::new("views", vec!["session_id", "product", "category", "dwell_ms"]);
+    let mut views = Table::new(
+        "views",
+        vec!["session_id", "product", "category", "dwell_ms"],
+    );
     for s in 0..n {
         let label = rng.gen_range(0..2);
         let n_views = rng.gen_range(2..=8);
@@ -31,8 +34,11 @@ pub fn ftp(scale: f64, seed: u64) -> LabeledDataset {
             // Pick a category consistent with the label most of the time.
             let category = loop {
                 let c = rng.gen_range(0..N_CATEGORIES);
-                let p_match =
-                    if label == 1 { category_affinity[c] } else { 1.0 - category_affinity[c] };
+                let p_match = if label == 1 {
+                    category_affinity[c]
+                } else {
+                    1.0 - category_affinity[c]
+                };
                 if rng.gen::<f64>() < p_match {
                     break c;
                 }
@@ -46,20 +52,23 @@ pub fn ftp(scale: f64, seed: u64) -> LabeledDataset {
                 ])
                 .expect("arity");
         }
-        let noisy = if rng.gen::<f64>() < label_noise { 1 - label } else { label };
+        let noisy = if rng.gen::<f64>() < label_noise {
+            1 - label
+        } else {
+            label
+        };
         labels.push(noisy);
     }
     inject_missing(&mut views, "category", 0.07, seed ^ 0xf1);
 
     // Base table: session metadata only weakly related to gender.
-    let mut base =
-        Table::new("sessions", vec!["session_id", "device", "hour", "gender"]);
+    let mut base = Table::new("sessions", vec!["session_id", "device", "hour", "gender"]);
     for (s, &label) in labels.iter().enumerate() {
         let device = if rng.gen::<f64>() < 0.3 {
             // Mild device/gender correlation: a weak base-table signal.
             ["mobile", "desktop"][label as usize].to_owned()
         } else {
-            ["mobile", "desktop", "tablet", "kiosk"][rng.gen_range(0..4)].to_owned()
+            ["mobile", "desktop", "tablet", "kiosk"][rng.gen_range(0..4usize)].to_owned()
         };
         base.push_row(vec![
             format!("sess_{s}").into(),
@@ -73,7 +82,12 @@ pub fn ftp(scale: f64, seed: u64) -> LabeledDataset {
     let mut db = Database::new();
     db.add_table(base).expect("unique");
     db.add_table(views).expect("unique");
-    db.add_foreign_key(ForeignKey::new("views", "session_id", "sessions", "session_id"));
+    db.add_foreign_key(ForeignKey::new(
+        "views",
+        "session_id",
+        "sessions",
+        "session_id",
+    ));
 
     LabeledDataset {
         name: "ftp".into(),
@@ -153,7 +167,10 @@ mod tests {
             }
         }
         let acc = correct as f64 / base.row_count() as f64;
-        assert!(acc > 0.5 && acc < 0.72, "device accuracy {acc} should be weak");
+        assert!(
+            acc > 0.5 && acc < 0.72,
+            "device accuracy {acc} should be weak"
+        );
     }
 
     #[test]

@@ -55,15 +55,17 @@ pub fn genes(scale: f64, seed: u64) -> LabeledDataset {
         base.push_row(vec![
             format!("gene_{g}").into(),
             chromosome.into(),
-            ["yes", "no", "unknown"][rng.gen_range(0..3)].into(),
+            ["yes", "no", "unknown"][rng.gen_range(0..3usize)].into(),
             Value::Int(label as i64),
         ])
         .expect("arity");
     }
 
     // Annotations: the strong signal (function) lives here.
-    let mut annotations =
-        Table::new("annotations", vec!["gene_id", "function", "motif", "phenotype"]);
+    let mut annotations = Table::new(
+        "annotations",
+        vec!["gene_id", "function", "motif", "phenotype"],
+    );
     for (g, &f) in functions.iter().enumerate() {
         annotations
             .push_row(vec![
@@ -79,8 +81,7 @@ pub fn genes(scale: f64, seed: u64) -> LabeledDataset {
 
     // Interactions: genes of the same localization interact preferentially,
     // giving the graph a second, structural signal path.
-    let mut interactions =
-        Table::new("interactions", vec!["gene_a", "gene_b", "kind", "strength"]);
+    let mut interactions = Table::new("interactions", vec!["gene_a", "gene_b", "kind", "strength"]);
     let by_class: Vec<Vec<usize>> = (0..N_CLASSES)
         .map(|c| (0..n).filter(|&g| clean_labels[g] == c).collect())
         .collect();
@@ -109,16 +110,33 @@ pub fn genes(scale: f64, seed: u64) -> LabeledDataset {
     db.add_table(base).expect("unique");
     db.add_table(annotations).expect("unique");
     db.add_table(interactions).expect("unique");
-    db.add_foreign_key(ForeignKey::new("annotations", "gene_id", "genes", "gene_id"));
-    db.add_foreign_key(ForeignKey::new("interactions", "gene_a", "genes", "gene_id"));
-    db.add_foreign_key(ForeignKey::new("interactions", "gene_b", "genes", "gene_id"));
+    db.add_foreign_key(ForeignKey::new(
+        "annotations",
+        "gene_id",
+        "genes",
+        "gene_id",
+    ));
+    db.add_foreign_key(ForeignKey::new(
+        "interactions",
+        "gene_a",
+        "genes",
+        "gene_id",
+    ));
+    db.add_foreign_key(ForeignKey::new(
+        "interactions",
+        "gene_b",
+        "genes",
+        "gene_id",
+    ));
 
     LabeledDataset {
         name: "genes".into(),
         db,
         base_table: "genes".into(),
         target_column: "localization".into(),
-        task: TaskKind::Classification { n_classes: N_CLASSES },
+        task: TaskKind::Classification {
+            n_classes: N_CLASSES,
+        },
         label_noise,
         entity_key_columns: vec![
             ("genes".into(), "gene_id".into()),

@@ -49,7 +49,10 @@ pub fn kraken(scale: f64, seed: u64) -> LabeledDataset {
         .collect();
 
     // Base table: machine id, two weak numeric attributes, state target.
-    let mut base = Table::new("machines", vec!["machine_id", "rack", "uptime_days", "state"]);
+    let mut base = Table::new(
+        "machines",
+        vec!["machine_id", "rack", "uptime_days", "state"],
+    );
     for (m, &label) in labels.iter().enumerate() {
         base.push_row(vec![
             Value::Int(m as i64),
@@ -66,11 +69,19 @@ pub fn kraken(scale: f64, seed: u64) -> LabeledDataset {
         let name = format!("sensor_{t}");
         let mut table = Table::new(
             name.clone(),
-            vec!["machine_id".to_owned(), format!("reading_{t}"), format!("peak_{t}")],
+            vec![
+                "machine_id".to_owned(),
+                format!("reading_{t}"),
+                format!("peak_{t}"),
+            ],
         );
         let discrete = t < N_SENSOR_TABLES / 2;
         for (m, &v) in values.iter().enumerate() {
-            let reading = if discrete { Value::Int(v as i64) } else { Value::float((v * 100.0).round() / 100.0) };
+            let reading = if discrete {
+                Value::Int(v as i64)
+            } else {
+                Value::float((v * 100.0).round() / 100.0)
+            };
             table
                 .push_row(vec![
                     Value::Int(m as i64),
@@ -80,7 +91,12 @@ pub fn kraken(scale: f64, seed: u64) -> LabeledDataset {
                 .expect("arity");
         }
         db.add_table(table).expect("unique");
-        db.add_foreign_key(ForeignKey::new(name, "machine_id", "machines", "machine_id"));
+        db.add_foreign_key(ForeignKey::new(
+            name,
+            "machine_id",
+            "machines",
+            "machine_id",
+        ));
     }
 
     let mut entity_key_columns = vec![("machines".to_owned(), "machine_id".to_owned())];

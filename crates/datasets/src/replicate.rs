@@ -51,9 +51,7 @@ pub fn replicate(base: &Database, k: usize) -> Database {
                     .expect("in bounds")
                     .into_iter()
                     .map(|v| match v {
-                        Value::Text(s) if version > 0 => {
-                            Value::Text(format!("{s}~v{version}"))
-                        }
+                        Value::Text(s) if version > 0 => Value::Text(format!("{s}~v{version}")),
                         other => other,
                     })
                     .collect();

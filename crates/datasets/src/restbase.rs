@@ -40,10 +40,9 @@ pub fn restbase(scale: f64, seed: u64) -> LabeledDataset {
     let mut rest_quality = Vec::with_capacity(n_restaurants);
     for r in 0..n_restaurants {
         let cuisine = rng.gen_range(0..N_CUISINES);
-        let price = rng.gen_range(0..4);
+        let price = rng.gen_range(0..4usize);
         let city = rng.gen_range(0..N_CITIES);
-        let quality =
-            cuisine_quality[cuisine] + 0.5 * price as f64 + city_bonus[city];
+        let quality = cuisine_quality[cuisine] + 0.5 * price as f64 + city_bonus[city];
         rest_quality.push(quality);
         restaurants
             .push_row(vec![
@@ -56,8 +55,10 @@ pub fn restbase(scale: f64, seed: u64) -> LabeledDataset {
     }
 
     // Base table: reviews. Rating = restaurant quality + reviewer noise.
-    let mut reviews =
-        Table::new("reviews", vec!["review_id", "restaurant_id", "reviewer", "rating"]);
+    let mut reviews = Table::new(
+        "reviews",
+        vec!["review_id", "restaurant_id", "reviewer", "rating"],
+    );
     for v in 0..n_reviews {
         let r = rng.gen_range(0..n_restaurants);
         let rating = (rest_quality[r] + normal(&mut rng) * 0.5).clamp(0.0, 10.0);
@@ -75,8 +76,18 @@ pub fn restbase(scale: f64, seed: u64) -> LabeledDataset {
     db.add_table(reviews).expect("unique");
     db.add_table(restaurants).expect("unique");
     db.add_table(locations).expect("unique");
-    db.add_foreign_key(ForeignKey::new("reviews", "restaurant_id", "restaurants", "restaurant_id"));
-    db.add_foreign_key(ForeignKey::new("restaurants", "city_id", "locations", "city_id"));
+    db.add_foreign_key(ForeignKey::new(
+        "reviews",
+        "restaurant_id",
+        "restaurants",
+        "restaurant_id",
+    ));
+    db.add_foreign_key(ForeignKey::new(
+        "restaurants",
+        "city_id",
+        "locations",
+        "city_id",
+    ));
 
     LabeledDataset {
         name: "restbase".into(),
@@ -136,7 +147,10 @@ mod tests {
             within += group.iter().map(|v| (v - m).powi(2)).sum::<f64>();
         }
         within /= all.len() as f64;
-        assert!(within < total_var * 0.5, "within {within} vs total {total_var}");
+        assert!(
+            within < total_var * 0.5,
+            "within {within} vs total {total_var}"
+        );
     }
 
     #[test]

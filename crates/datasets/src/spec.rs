@@ -65,7 +65,9 @@ impl LabeledDataset {
             else {
                 continue;
             };
-            let Ok(c_idx) = table.column_index(col) else { continue };
+            let Ok(c_idx) = table.column_index(col) else {
+                continue;
+            };
             for r in 0..table.row_count() {
                 let v = table.value(r, c_idx).expect("in bounds");
                 if !v.is_null() {
@@ -76,8 +78,10 @@ impl LabeledDataset {
                 }
             }
         }
-        let mut out: Vec<Vec<(usize, usize)>> =
-            groups.into_values().filter(|g| g.len() >= min_size).collect();
+        let mut out: Vec<Vec<(usize, usize)>> = groups
+            .into_values()
+            .filter(|g| g.len() >= min_size)
+            .collect();
         out.sort(); // deterministic order
         out
     }
@@ -115,7 +119,9 @@ pub fn inject_noise_attributes(table: &mut Table, k: usize, seed: u64) {
     let n = table.row_count();
     let mut rng = StdRng::seed_from_u64(seed);
     for j in 0..k {
-        let vals: Vec<Value> = (0..n).map(|_| Value::float(normal(&mut rng) * 10.0)).collect();
+        let vals: Vec<Value> = (0..n)
+            .map(|_| Value::float(normal(&mut rng) * 10.0))
+            .collect();
         table
             .add_column(Column::from_values(format!("noise_{j}"), vals))
             .expect("noise column matches row count");
@@ -138,8 +144,10 @@ mod tests {
         let mut a = Table::new("a", vec!["key", "v"]);
         let mut b = Table::new("b", vec!["ref", "w"]);
         for i in 0..4 {
-            a.push_row(vec![format!("e{i}").into(), Value::Int(i)]).unwrap();
-            b.push_row(vec![format!("e{}", i % 2).into(), Value::Int(i)]).unwrap();
+            a.push_row(vec![format!("e{i}").into(), Value::Int(i)])
+                .unwrap();
+            b.push_row(vec![format!("e{}", i % 2).into(), Value::Int(i)])
+                .unwrap();
         }
         db.add_table(a).unwrap();
         db.add_table(b).unwrap();

@@ -22,7 +22,11 @@ pub struct StudentOptions {
 
 impl Default for StudentOptions {
     fn default() -> Self {
-        Self { scale: 1.0, noise_attributes: 0, seed: 0x57d }
+        Self {
+            scale: 1.0,
+            noise_attributes: 0,
+            seed: 0x57d,
+        }
     }
 }
 
@@ -39,7 +43,10 @@ pub fn student(opts: &StudentOptions) -> LabeledDataset {
         let price = 5.0 + rng.gen::<f64>() * 95.0;
         prices.push(price);
         price_info
-            .push_row(vec![format!("item_{i}").into(), Value::float((price * 100.0).round() / 100.0)])
+            .push_row(vec![
+                format!("item_{i}").into(),
+                Value::float((price * 100.0).round() / 100.0),
+            ])
             .expect("arity");
     }
 
@@ -52,20 +59,25 @@ pub fn student(opts: &StudentOptions) -> LabeledDataset {
             let item = rng.gen_range(0..n_items);
             totals[s] += prices[item];
             order_info
-                .push_row(vec![format!("student_{s}").into(), format!("item_{item}").into()])
+                .push_row(vec![
+                    format!("student_{s}").into(),
+                    format!("item_{item}").into(),
+                ])
                 .expect("arity");
         }
     }
 
     // Expenses (base): target = sum of ordered prices; gender/school are
     // uncorrelated noise features.
-    let mut expenses =
-        Table::new("expenses", vec!["name", "gender", "school_name", "total_expenses"]);
+    let mut expenses = Table::new(
+        "expenses",
+        vec!["name", "gender", "school_name", "total_expenses"],
+    );
     for (s, total) in totals.iter().enumerate() {
         expenses
             .push_row(vec![
                 format!("student_{s}").into(),
-                ["M", "F"][rng.gen_range(0..2)].into(),
+                ["M", "F"][rng.gen_range(0..2usize)].into(),
                 cat(&mut rng, "school", 12).into(),
                 Value::float((total * 100.0).round() / 100.0),
             ])
@@ -115,7 +127,10 @@ mod tests {
 
     #[test]
     fn target_is_sum_of_ordered_prices() {
-        let ds = student(&StudentOptions { scale: 0.2, ..Default::default() });
+        let ds = student(&StudentOptions {
+            scale: 0.2,
+            ..Default::default()
+        });
         let base = ds.base();
         let orders = ds.db.table("order_info").unwrap();
         let prices = ds.db.table("price_info").unwrap();
@@ -139,9 +154,16 @@ mod tests {
 
     #[test]
     fn noise_attributes_injected_everywhere() {
-        let ds = student(&StudentOptions { noise_attributes: 3, ..Default::default() });
+        let ds = student(&StudentOptions {
+            noise_attributes: 3,
+            ..Default::default()
+        });
         for t in ds.db.tables() {
-            assert!(t.column("noise_2").is_ok(), "table {} missing noise", t.name());
+            assert!(
+                t.column("noise_2").is_ok(),
+                "table {} missing noise",
+                t.name()
+            );
         }
     }
 
@@ -157,7 +179,10 @@ mod tests {
 
     #[test]
     fn entity_groups_span_tables() {
-        let ds = student(&StudentOptions { scale: 0.2, ..Default::default() });
+        let ds = student(&StudentOptions {
+            scale: 0.2,
+            ..Default::default()
+        });
         let groups = ds.entity_groups(2);
         assert!(!groups.is_empty());
         // Each group has one expenses row plus >= 1 order rows.

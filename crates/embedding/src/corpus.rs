@@ -36,9 +36,7 @@ impl Corpus {
 
     /// Builds a corpus from string sentences, interning the vocabulary in
     /// first-seen order.
-    pub fn from_sentences<S: AsRef<str>, I: IntoIterator<Item = Vec<S>>>(
-        sentences: I,
-    ) -> Corpus {
+    pub fn from_sentences<S: AsRef<str>, I: IntoIterator<Item = Vec<S>>>(sentences: I) -> Corpus {
         let mut vocab: Vec<String> = Vec::new();
         let mut index: std::collections::HashMap<String, u32> = std::collections::HashMap::new();
         let mut sequences = Vec::new();
@@ -64,10 +62,7 @@ mod tests {
 
     #[test]
     fn interning_is_stable() {
-        let c = Corpus::from_sentences(vec![
-            vec!["a", "b", "a"],
-            vec!["b", "c"],
-        ]);
+        let c = Corpus::from_sentences(vec![vec!["a", "b", "a"], vec!["b", "c"]]);
         assert_eq!(c.vocab, vec!["a", "b", "c"]);
         assert_eq!(c.sequences, vec![vec![0, 1, 0], vec![1, 2]]);
         assert_eq!(c.total_tokens(), 5);

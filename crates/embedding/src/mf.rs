@@ -9,9 +9,7 @@
 
 use crate::store::EmbeddingStore;
 use leva_graph::LevaGraph;
-use leva_linalg::{
-    randomized_svd, spectral_propagate, CsrMatrix, ProneOptions, RsvdOptions,
-};
+use leva_linalg::{randomized_svd, spectral_propagate, CsrMatrix, ProneOptions, RsvdOptions};
 
 /// Matrix-factorization embedding parameters.
 #[derive(Debug, Clone, Copy)]
@@ -28,6 +26,10 @@ pub struct MfConfig {
     pub spectral_propagation: bool,
     /// RNG seed for the randomized SVD.
     pub seed: u64,
+    /// Worker threads for the factorization and propagation products
+    /// (`0` = available parallelism). The embedding is bitwise identical at
+    /// any thread count.
+    pub threads: usize,
 }
 
 impl Default for MfConfig {
@@ -39,6 +41,7 @@ impl Default for MfConfig {
             power_iters: 2,
             spectral_propagation: true,
             seed: 0xfaceb00c,
+            threads: 1,
         }
     }
 }
@@ -79,6 +82,7 @@ pub fn build_mf_embedding(graph: &LevaGraph, cfg: &MfConfig) -> EmbeddingStore {
             oversample: cfg.oversample,
             power_iters: cfg.power_iters,
             seed: cfg.seed,
+            threads: cfg.threads,
         },
     );
     // ε = U Σ^{1/2}
@@ -91,7 +95,14 @@ pub fn build_mf_embedding(graph: &LevaGraph, cfg: &MfConfig) -> EmbeddingStore {
         }
     }
     if cfg.spectral_propagation {
-        emb = spectral_propagate(&graph.to_csr(), &emb, ProneOptions::default());
+        emb = spectral_propagate(
+            &graph.to_csr(),
+            &emb,
+            ProneOptions {
+                threads: cfg.threads,
+                ..ProneOptions::default()
+            },
+        );
     }
     for node in 0..n as u32 {
         let mut v = emb.row(node as usize).to_vec();
@@ -123,12 +134,17 @@ mod tests {
         for i in 0..20 {
             let city = if i < 10 { "alpha" } else { "beta" };
             let status = if i < 10 { "open" } else { "closed" };
-            a.push_row(vec![format!("user{i}").into(), city.into()]).unwrap();
-            b.push_row(vec![format!("user{i}").into(), status.into()]).unwrap();
+            a.push_row(vec![format!("user{i}").into(), city.into()])
+                .unwrap();
+            b.push_row(vec![format!("user{i}").into(), status.into()])
+                .unwrap();
         }
         db.add_table(a).unwrap();
         db.add_table(b).unwrap();
-        build_graph(&textify(&db, &TextifyConfig::default()), &GraphConfig::default())
+        build_graph(
+            &textify(&db, &TextifyConfig::default()),
+            &GraphConfig::default(),
+        )
     }
 
     #[test]
@@ -148,7 +164,13 @@ mod tests {
     #[test]
     fn embedding_covers_all_nodes() {
         let g = clustered_graph();
-        let store = build_mf_embedding(&g, &MfConfig { dim: 16, ..Default::default() });
+        let store = build_mf_embedding(
+            &g,
+            &MfConfig {
+                dim: 16,
+                ..Default::default()
+            },
+        );
         assert_eq!(store.len(), g.n_nodes());
         assert!(store.contains("row::people::0"));
         assert!(store.contains("user3"));
@@ -161,7 +183,11 @@ mod tests {
         let g = clustered_graph();
         let store = build_mf_embedding(
             &g,
-            &MfConfig { dim: 16, spectral_propagation: true, ..Default::default() },
+            &MfConfig {
+                dim: 16,
+                spectral_propagation: true,
+                ..Default::default()
+            },
         );
         // people row 0 and its account row (same user, joined via "user0").
         let p0 = store.get("row::people::0").unwrap();
@@ -175,16 +201,46 @@ mod tests {
     #[test]
     fn deterministic() {
         let g = clustered_graph();
-        let cfg = MfConfig { dim: 8, ..Default::default() };
+        let cfg = MfConfig {
+            dim: 8,
+            ..Default::default()
+        };
         let s1 = build_mf_embedding(&g, &cfg);
         let s2 = build_mf_embedding(&g, &cfg);
         assert_eq!(s1.get("user3"), s2.get("user3"));
     }
 
     #[test]
+    fn bitwise_identical_across_thread_counts() {
+        let g = clustered_graph();
+        let base = MfConfig {
+            dim: 12,
+            spectral_propagation: true,
+            ..Default::default()
+        };
+        let seq_store = build_mf_embedding(&g, &MfConfig { threads: 1, ..base });
+        for threads in [0, 2, 8] {
+            let par = build_mf_embedding(&g, &MfConfig { threads, ..base });
+            for node in ["row::people::0", "user3", "alpha"] {
+                assert_eq!(
+                    seq_store.get(node),
+                    par.get(node),
+                    "threads={threads} node={node}"
+                );
+            }
+        }
+    }
+
+    #[test]
     fn dim_larger_than_graph_is_padded() {
         let g = clustered_graph();
-        let store = build_mf_embedding(&g, &MfConfig { dim: 500, ..Default::default() });
+        let store = build_mf_embedding(
+            &g,
+            &MfConfig {
+                dim: 500,
+                ..Default::default()
+            },
+        );
         assert_eq!(store.get("user3").unwrap().len(), 500);
     }
 
@@ -193,11 +249,19 @@ mod tests {
         let g = clustered_graph();
         let on = build_mf_embedding(
             &g,
-            &MfConfig { dim: 8, spectral_propagation: true, ..Default::default() },
+            &MfConfig {
+                dim: 8,
+                spectral_propagation: true,
+                ..Default::default()
+            },
         );
         let off = build_mf_embedding(
             &g,
-            &MfConfig { dim: 8, spectral_propagation: false, ..Default::default() },
+            &MfConfig {
+                dim: 8,
+                spectral_propagation: false,
+                ..Default::default()
+            },
         );
         assert_ne!(on.get("user3"), off.get("user3"));
     }

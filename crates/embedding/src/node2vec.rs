@@ -27,7 +27,13 @@ pub struct Node2VecConfig {
 
 impl Default for Node2VecConfig {
     fn default() -> Self {
-        Self { p: 1.0, q: 0.5, walk_length: 80, walks_per_node: 10, seed: 0x20de }
+        Self {
+            p: 1.0,
+            q: 0.5,
+            walk_length: 80,
+            walks_per_node: 10,
+            seed: 0x20de,
+        }
     }
 }
 
@@ -103,7 +109,10 @@ mod tests {
                 .unwrap();
         }
         db.add_table(t).unwrap();
-        build_graph(&textify(&db, &TextifyConfig::default()), &GraphConfig::default())
+        build_graph(
+            &textify(&db, &TextifyConfig::default()),
+            &GraphConfig::default(),
+        )
     }
 
     #[test]
@@ -111,7 +120,11 @@ mod tests {
         let g = graph();
         let c = node2vec_walks(
             &g,
-            &Node2VecConfig { walk_length: 12, walks_per_node: 2, ..Default::default() },
+            &Node2VecConfig {
+                walk_length: 12,
+                walks_per_node: 2,
+                ..Default::default()
+            },
         );
         for seq in &c.sequences {
             for w in seq.windows(2) {
@@ -148,13 +161,23 @@ mod tests {
         };
         let low_p = count_backtracks(0.1); // returning favoured
         let high_p = count_backtracks(10.0); // returning discouraged
-        assert!(high_p < low_p, "high-p backtrack rate {high_p} vs low-p {low_p}");
+        assert!(
+            high_p < low_p,
+            "high-p backtrack rate {high_p} vs low-p {low_p}"
+        );
     }
 
     #[test]
     fn deterministic() {
         let g = graph();
-        let cfg = Node2VecConfig { walk_length: 10, walks_per_node: 2, ..Default::default() };
-        assert_eq!(node2vec_walks(&g, &cfg).sequences, node2vec_walks(&g, &cfg).sequences);
+        let cfg = Node2VecConfig {
+            walk_length: 10,
+            walks_per_node: 2,
+            ..Default::default()
+        };
+        assert_eq!(
+            node2vec_walks(&g, &cfg).sequences,
+            node2vec_walks(&g, &cfg).sequences
+        );
     }
 }

@@ -10,7 +10,6 @@
 //! (u32 byte-len + utf8) | u32 seq_count | sequences (u32 len + u32 ids)`.
 
 use crate::corpus::Corpus;
-use bytes::{Buf, BufMut, Bytes, BytesMut};
 
 const MAGIC: &[u8; 4] = b"LEVW";
 const VERSION: u32 = 1;
@@ -45,65 +44,71 @@ impl std::fmt::Display for CorpusDecodeError {
 impl std::error::Error for CorpusDecodeError {}
 
 /// Encodes a corpus into a compact byte buffer.
-pub fn encode_corpus(corpus: &Corpus) -> Bytes {
+pub fn encode_corpus(corpus: &Corpus) -> Vec<u8> {
     let est = 16
         + corpus.vocab.iter().map(|v| v.len() + 4).sum::<usize>()
-        + corpus.sequences.iter().map(|s| s.len() * 4 + 4).sum::<usize>();
-    let mut buf = BytesMut::with_capacity(est);
-    buf.put_slice(MAGIC);
-    buf.put_u32_le(VERSION);
-    buf.put_u32_le(corpus.vocab.len() as u32);
+        + corpus
+            .sequences
+            .iter()
+            .map(|s| s.len() * 4 + 4)
+            .sum::<usize>();
+    let mut buf = Vec::with_capacity(est);
+    buf.extend_from_slice(MAGIC);
+    buf.extend_from_slice(&VERSION.to_le_bytes());
+    buf.extend_from_slice(&(corpus.vocab.len() as u32).to_le_bytes());
     for token in &corpus.vocab {
-        buf.put_u32_le(token.len() as u32);
-        buf.put_slice(token.as_bytes());
+        buf.extend_from_slice(&(token.len() as u32).to_le_bytes());
+        buf.extend_from_slice(token.as_bytes());
     }
-    buf.put_u32_le(corpus.sequences.len() as u32);
+    buf.extend_from_slice(&(corpus.sequences.len() as u32).to_le_bytes());
     for seq in &corpus.sequences {
-        buf.put_u32_le(seq.len() as u32);
+        buf.extend_from_slice(&(seq.len() as u32).to_le_bytes());
         for &id in seq {
-            buf.put_u32_le(id);
+            buf.extend_from_slice(&id.to_le_bytes());
         }
     }
-    buf.freeze()
+    buf
 }
 
 /// Decodes a corpus from a byte buffer produced by [`encode_corpus`].
 pub fn decode_corpus(mut buf: &[u8]) -> Result<Corpus, CorpusDecodeError> {
-    if buf.remaining() < 8 || &buf[..4] != MAGIC {
+    let take_u32 = |buf: &mut &[u8]| -> Result<u32, CorpusDecodeError> {
+        if buf.len() < 4 {
+            return Err(CorpusDecodeError::Truncated);
+        }
+        let v = u32::from_le_bytes(buf[..4].try_into().expect("4 bytes"));
+        *buf = &buf[4..];
+        Ok(v)
+    };
+    if buf.len() < 8 || &buf[..4] != MAGIC {
         return Err(CorpusDecodeError::BadMagic);
     }
-    buf.advance(4);
-    let version = buf.get_u32_le();
+    buf = &buf[4..];
+    let version = take_u32(&mut buf)?;
     if version != VERSION {
         return Err(CorpusDecodeError::BadVersion(version));
     }
-    let take_u32 = |buf: &mut &[u8]| -> Result<u32, CorpusDecodeError> {
-        if buf.remaining() < 4 {
-            return Err(CorpusDecodeError::Truncated);
-        }
-        Ok(buf.get_u32_le())
-    };
     let vocab_len = take_u32(&mut buf)? as usize;
     let mut vocab = Vec::with_capacity(vocab_len);
     for _ in 0..vocab_len {
         let len = take_u32(&mut buf)? as usize;
-        if buf.remaining() < len {
+        if buf.len() < len {
             return Err(CorpusDecodeError::Truncated);
         }
         let s = std::str::from_utf8(&buf[..len]).map_err(|_| CorpusDecodeError::BadUtf8)?;
         vocab.push(s.to_owned());
-        buf.advance(len);
+        buf = &buf[len..];
     }
     let seq_count = take_u32(&mut buf)? as usize;
     let mut sequences = Vec::with_capacity(seq_count);
     for _ in 0..seq_count {
         let len = take_u32(&mut buf)? as usize;
-        if buf.remaining() < len * 4 {
+        if buf.len() < len * 4 {
             return Err(CorpusDecodeError::Truncated);
         }
         let mut seq = Vec::with_capacity(len);
         for _ in 0..len {
-            let id = buf.get_u32_le();
+            let id = take_u32(&mut buf)?;
             if id as usize >= vocab_len {
                 return Err(CorpusDecodeError::IdOutOfRange(id));
             }
@@ -137,7 +142,10 @@ mod tests {
 
     #[test]
     fn empty_corpus_roundtrip() {
-        let c = Corpus { vocab: Vec::new(), sequences: Vec::new() };
+        let c = Corpus {
+            vocab: Vec::new(),
+            sequences: Vec::new(),
+        };
         let back = decode_corpus(&encode_corpus(&c)).unwrap();
         assert_eq!(back.vocab_size(), 0);
         assert_eq!(back.sequences.len(), 0);
@@ -145,8 +153,14 @@ mod tests {
 
     #[test]
     fn bad_magic_rejected() {
-        assert_eq!(decode_corpus(b"NOPE....").unwrap_err(), CorpusDecodeError::BadMagic);
-        assert_eq!(decode_corpus(b"LE").unwrap_err(), CorpusDecodeError::BadMagic);
+        assert_eq!(
+            decode_corpus(b"NOPE....").unwrap_err(),
+            CorpusDecodeError::BadMagic
+        );
+        assert_eq!(
+            decode_corpus(b"LE").unwrap_err(),
+            CorpusDecodeError::BadMagic
+        );
     }
 
     #[test]
@@ -155,7 +169,10 @@ mod tests {
         for cut in [6, 10, 15, bytes.len() - 1] {
             let err = decode_corpus(&bytes[..cut]).unwrap_err();
             assert!(
-                matches!(err, CorpusDecodeError::Truncated | CorpusDecodeError::BadMagic),
+                matches!(
+                    err,
+                    CorpusDecodeError::Truncated | CorpusDecodeError::BadMagic
+                ),
                 "cut at {cut} gave {err:?}"
             );
         }
@@ -163,9 +180,12 @@ mod tests {
 
     #[test]
     fn version_checked() {
-        let mut bytes = encode_corpus(&corpus()).to_vec();
+        let mut bytes = encode_corpus(&corpus());
         bytes[4] = 99;
-        assert_eq!(decode_corpus(&bytes).unwrap_err(), CorpusDecodeError::BadVersion(99));
+        assert_eq!(
+            decode_corpus(&bytes).unwrap_err(),
+            CorpusDecodeError::BadVersion(99)
+        );
     }
 
     #[test]
@@ -173,7 +193,10 @@ mod tests {
         let mut c = corpus();
         c.sequences[0][0] = 1000; // invalid id
         let bytes = encode_corpus(&c);
-        assert_eq!(decode_corpus(&bytes).unwrap_err(), CorpusDecodeError::IdOutOfRange(1000));
+        assert_eq!(
+            decode_corpus(&bytes).unwrap_err(),
+            CorpusDecodeError::IdOutOfRange(1000)
+        );
     }
 
     #[test]

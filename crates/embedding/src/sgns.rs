@@ -69,9 +69,7 @@ impl SgnsModel {
     /// representation, which matters for Leva's value-mean featurization.
     pub fn into_store(self, corpus: &Corpus, dim: usize) -> EmbeddingStore {
         let mut store = EmbeddingStore::new(dim);
-        for (id, (mut vin, vout)) in
-            self.input.into_iter().zip(self.output).enumerate()
-        {
+        for (id, (mut vin, vout)) in self.input.into_iter().zip(self.output).enumerate() {
             for (a, b) in vin.iter_mut().zip(&vout) {
                 *a = (*a + *b) * 0.5;
             }
@@ -280,7 +278,12 @@ mod tests {
     #[test]
     fn cooccurring_tokens_embed_closer() {
         let corpus = clustered_corpus();
-        let cfg = SgnsConfig { dim: 16, epochs: 8, window: 2, ..Default::default() };
+        let cfg = SgnsConfig {
+            dim: 16,
+            epochs: 8,
+            window: 2,
+            ..Default::default()
+        };
         let model = train_sgns(&corpus, &cfg);
         let a = &model.input[0];
         let b = &model.input[1];
@@ -296,7 +299,11 @@ mod tests {
     #[test]
     fn deterministic_single_thread() {
         let corpus = clustered_corpus();
-        let cfg = SgnsConfig { dim: 8, epochs: 2, ..Default::default() };
+        let cfg = SgnsConfig {
+            dim: 8,
+            epochs: 2,
+            ..Default::default()
+        };
         let m1 = train_sgns(&corpus, &cfg);
         let m2 = train_sgns(&corpus, &cfg);
         assert_eq!(m1.input, m2.input);
@@ -305,7 +312,13 @@ mod tests {
     #[test]
     fn multithreaded_training_still_learns() {
         let corpus = clustered_corpus();
-        let cfg = SgnsConfig { dim: 16, epochs: 8, window: 2, threads: 4, ..Default::default() };
+        let cfg = SgnsConfig {
+            dim: 16,
+            epochs: 8,
+            window: 2,
+            threads: 4,
+            ..Default::default()
+        };
         let model = train_sgns(&corpus, &cfg);
         let sim_ab = cosine_similarity(&model.input[0], &model.input[1]);
         let sim_ax = cosine_similarity(&model.input[0], &model.input[2]);
@@ -315,7 +328,11 @@ mod tests {
     #[test]
     fn into_store_keys_by_vocab() {
         let corpus = clustered_corpus();
-        let cfg = SgnsConfig { dim: 8, epochs: 1, ..Default::default() };
+        let cfg = SgnsConfig {
+            dim: 8,
+            epochs: 1,
+            ..Default::default()
+        };
         let store = train_sgns(&corpus, &cfg).into_store(&corpus, 8);
         assert_eq!(store.len(), 4);
         assert!(store.contains("a"));
@@ -326,14 +343,25 @@ mod tests {
     #[test]
     fn empty_corpus_is_safe() {
         let corpus = Corpus::from_sentences(Vec::<Vec<&str>>::new());
-        let model = train_sgns(&corpus, &SgnsConfig { dim: 4, ..Default::default() });
+        let model = train_sgns(
+            &corpus,
+            &SgnsConfig {
+                dim: 4,
+                ..Default::default()
+            },
+        );
         assert!(model.input.is_empty());
     }
 
     #[test]
     fn vectors_stay_finite() {
         let corpus = clustered_corpus();
-        let cfg = SgnsConfig { dim: 8, epochs: 10, initial_lr: 0.05, ..Default::default() };
+        let cfg = SgnsConfig {
+            dim: 8,
+            epochs: 10,
+            initial_lr: 0.05,
+            ..Default::default()
+        };
         let model = train_sgns(&corpus, &cfg);
         for v in &model.input {
             assert!(v.iter().all(|x| x.is_finite()));

@@ -4,11 +4,10 @@
 //! vectors" (§6.5.2).
 
 use leva_linalg::{Matrix, Pca};
-use serde::{Deserialize, Serialize};
 use std::collections::HashMap;
 
 /// A token → vector map with a fixed dimensionality.
-#[derive(Debug, Clone, Serialize, Deserialize)]
+#[derive(Debug, Clone)]
 pub struct EmbeddingStore {
     dim: usize,
     vectors: HashMap<String, Vec<f64>>,
@@ -17,7 +16,10 @@ pub struct EmbeddingStore {
 impl EmbeddingStore {
     /// Creates an empty store of dimension `dim`.
     pub fn new(dim: usize) -> Self {
-        Self { dim, vectors: HashMap::new() }
+        Self {
+            dim,
+            vectors: HashMap::new(),
+        }
     }
 
     /// Embedding dimensionality.
@@ -80,7 +82,8 @@ impl EmbeddingStore {
         let tokens = self.sorted_tokens();
         let mut data = Matrix::zeros(tokens.len(), self.dim);
         for (i, t) in tokens.iter().enumerate() {
-            data.row_mut(i).copy_from_slice(self.get(t).expect("token present"));
+            data.row_mut(i)
+                .copy_from_slice(self.get(t).expect("token present"));
         }
         let pca = Pca::fit(&data, k);
         let projected = pca.transform(&data);
@@ -91,15 +94,71 @@ impl EmbeddingStore {
         out
     }
 
-    /// Serializes to a JSON string (deterministic key order is not
-    /// guaranteed; intended for artifact export, not diffing).
+    /// Serializes to a JSON string. Tokens are emitted in sorted order, so
+    /// the output is deterministic and diff-friendly.
     pub fn to_json(&self) -> String {
-        serde_json::to_string(self).expect("embedding store serializes")
+        let mut out = String::with_capacity(32 + self.estimated_bytes() / 2);
+        out.push_str("{\"dim\":");
+        out.push_str(&self.dim.to_string());
+        out.push_str(",\"vectors\":{");
+        for (i, token) in self.sorted_tokens().into_iter().enumerate() {
+            if i > 0 {
+                out.push(',');
+            }
+            json::write_string(&mut out, token);
+            out.push_str(":[");
+            let vector = self.get(token).expect("token present");
+            for (j, &v) in vector.iter().enumerate() {
+                if j > 0 {
+                    out.push(',');
+                }
+                json::write_f64(&mut out, v);
+            }
+            out.push(']');
+        }
+        out.push_str("}}");
+        out
     }
 
-    /// Deserializes from JSON.
-    pub fn from_json(s: &str) -> Result<EmbeddingStore, serde_json::Error> {
-        serde_json::from_str(s)
+    /// Deserializes from JSON produced by [`EmbeddingStore::to_json`].
+    pub fn from_json(s: &str) -> Result<EmbeddingStore, StoreJsonError> {
+        let value = json::parse(s)?;
+        let obj = value
+            .as_object()
+            .ok_or(StoreJsonError::Shape("top-level must be an object"))?;
+        let dim = obj
+            .iter()
+            .find(|(k, _)| k == "dim")
+            .and_then(|(_, v)| v.as_f64())
+            .ok_or(StoreJsonError::Shape("missing numeric \"dim\""))?;
+        if dim < 0.0 || dim.fract() != 0.0 {
+            return Err(StoreJsonError::Shape(
+                "\"dim\" must be a non-negative integer",
+            ));
+        }
+        let mut store = EmbeddingStore::new(dim as usize);
+        let vectors = obj
+            .iter()
+            .find(|(k, _)| k == "vectors")
+            .and_then(|(_, v)| v.as_object())
+            .ok_or(StoreJsonError::Shape("missing \"vectors\" object"))?;
+        for (token, vec_value) in vectors {
+            let arr = vec_value
+                .as_array()
+                .ok_or(StoreJsonError::Shape("vector must be an array"))?;
+            let mut vector = Vec::with_capacity(arr.len());
+            for v in arr {
+                vector.push(
+                    v.as_f64_or_null()
+                        .ok_or(StoreJsonError::Shape("vector entries must be numbers"))?,
+                );
+            }
+            if vector.len() != store.dim {
+                return Err(StoreJsonError::Shape("vector length differs from \"dim\""));
+            }
+            store.vectors.insert(token.clone(), vector);
+        }
+        Ok(store)
     }
 
     /// Writes the store to a JSON file.
@@ -111,6 +170,296 @@ impl EmbeddingStore {
     pub fn load(path: impl AsRef<std::path::Path>) -> std::io::Result<EmbeddingStore> {
         let data = std::fs::read_to_string(path)?;
         Self::from_json(&data).map_err(std::io::Error::other)
+    }
+}
+
+/// Errors produced while decoding an embedding-store JSON document.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum StoreJsonError {
+    /// The text is not syntactically valid JSON.
+    Syntax {
+        /// Byte offset of the failure.
+        offset: usize,
+    },
+    /// The JSON parses but does not have the embedding-store shape.
+    Shape(&'static str),
+}
+
+impl std::fmt::Display for StoreJsonError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            Self::Syntax { offset } => write!(f, "invalid JSON at byte {offset}"),
+            Self::Shape(msg) => write!(f, "unexpected embedding-store JSON shape: {msg}"),
+        }
+    }
+}
+
+impl std::error::Error for StoreJsonError {}
+
+/// Minimal hand-rolled JSON reader/writer (the workspace builds offline,
+/// without serde). Only what the store format needs, but the parser
+/// accepts arbitrary well-formed JSON.
+mod json {
+    use super::StoreJsonError;
+
+    // The parser accepts all of JSON even though the store format only
+    // reads numbers, arrays, and objects; the unused payloads stay so
+    // parse errors point at syntax, not at unsupported constructs.
+    #[derive(Debug, Clone)]
+    #[allow(dead_code)]
+    pub enum Value {
+        Null,
+        Bool(bool),
+        Num(f64),
+        Str(String),
+        Arr(Vec<Value>),
+        Obj(Vec<(String, Value)>),
+    }
+
+    impl Value {
+        pub fn as_object(&self) -> Option<&[(String, Value)]> {
+            match self {
+                Value::Obj(fields) => Some(fields),
+                _ => None,
+            }
+        }
+
+        pub fn as_array(&self) -> Option<&[Value]> {
+            match self {
+                Value::Arr(items) => Some(items),
+                _ => None,
+            }
+        }
+
+        pub fn as_f64(&self) -> Option<f64> {
+            match self {
+                Value::Num(x) => Some(*x),
+                _ => None,
+            }
+        }
+
+        /// Numbers pass through; `null` decodes as NaN (the writer encodes
+        /// non-finite components as `null` because JSON has no NaN/Inf).
+        pub fn as_f64_or_null(&self) -> Option<f64> {
+            match self {
+                Value::Num(x) => Some(*x),
+                Value::Null => Some(f64::NAN),
+                _ => None,
+            }
+        }
+    }
+
+    /// Writes `s` as a JSON string literal with escapes.
+    pub fn write_string(out: &mut String, s: &str) {
+        out.push('"');
+        for c in s.chars() {
+            match c {
+                '"' => out.push_str("\\\""),
+                '\\' => out.push_str("\\\\"),
+                '\n' => out.push_str("\\n"),
+                '\r' => out.push_str("\\r"),
+                '\t' => out.push_str("\\t"),
+                c if (c as u32) < 0x20 => {
+                    out.push_str(&format!("\\u{:04x}", c as u32));
+                }
+                c => out.push(c),
+            }
+        }
+        out.push('"');
+    }
+
+    /// Writes an f64 so it parses back bit-exactly; non-finite values
+    /// (unrepresentable in JSON) are written as `null`.
+    pub fn write_f64(out: &mut String, v: f64) {
+        if v.is_finite() {
+            // `{:?}` is Rust's shortest round-trip representation.
+            out.push_str(&format!("{v:?}"));
+        } else {
+            out.push_str("null");
+        }
+    }
+
+    pub fn parse(s: &str) -> Result<Value, StoreJsonError> {
+        let mut p = Parser {
+            bytes: s.as_bytes(),
+            pos: 0,
+        };
+        p.skip_ws();
+        let v = p.value()?;
+        p.skip_ws();
+        if p.pos != p.bytes.len() {
+            return Err(p.err());
+        }
+        Ok(v)
+    }
+
+    struct Parser<'a> {
+        bytes: &'a [u8],
+        pos: usize,
+    }
+
+    impl Parser<'_> {
+        fn err(&self) -> StoreJsonError {
+            StoreJsonError::Syntax { offset: self.pos }
+        }
+
+        fn peek(&self) -> Option<u8> {
+            self.bytes.get(self.pos).copied()
+        }
+
+        fn skip_ws(&mut self) {
+            while matches!(self.peek(), Some(b' ' | b'\t' | b'\n' | b'\r')) {
+                self.pos += 1;
+            }
+        }
+
+        fn expect(&mut self, b: u8) -> Result<(), StoreJsonError> {
+            if self.peek() == Some(b) {
+                self.pos += 1;
+                Ok(())
+            } else {
+                Err(self.err())
+            }
+        }
+
+        fn literal(&mut self, lit: &str) -> Result<(), StoreJsonError> {
+            if self.bytes[self.pos..].starts_with(lit.as_bytes()) {
+                self.pos += lit.len();
+                Ok(())
+            } else {
+                Err(self.err())
+            }
+        }
+
+        fn value(&mut self) -> Result<Value, StoreJsonError> {
+            match self.peek().ok_or_else(|| self.err())? {
+                b'{' => self.object(),
+                b'[' => self.array(),
+                b'"' => Ok(Value::Str(self.string()?)),
+                b't' => self.literal("true").map(|_| Value::Bool(true)),
+                b'f' => self.literal("false").map(|_| Value::Bool(false)),
+                b'n' => self.literal("null").map(|_| Value::Null),
+                _ => self.number(),
+            }
+        }
+
+        fn object(&mut self) -> Result<Value, StoreJsonError> {
+            self.expect(b'{')?;
+            let mut fields = Vec::new();
+            self.skip_ws();
+            if self.peek() == Some(b'}') {
+                self.pos += 1;
+                return Ok(Value::Obj(fields));
+            }
+            loop {
+                self.skip_ws();
+                let key = self.string()?;
+                self.skip_ws();
+                self.expect(b':')?;
+                self.skip_ws();
+                let val = self.value()?;
+                fields.push((key, val));
+                self.skip_ws();
+                match self.peek() {
+                    Some(b',') => self.pos += 1,
+                    Some(b'}') => {
+                        self.pos += 1;
+                        return Ok(Value::Obj(fields));
+                    }
+                    _ => return Err(self.err()),
+                }
+            }
+        }
+
+        fn array(&mut self) -> Result<Value, StoreJsonError> {
+            self.expect(b'[')?;
+            let mut items = Vec::new();
+            self.skip_ws();
+            if self.peek() == Some(b']') {
+                self.pos += 1;
+                return Ok(Value::Arr(items));
+            }
+            loop {
+                self.skip_ws();
+                items.push(self.value()?);
+                self.skip_ws();
+                match self.peek() {
+                    Some(b',') => self.pos += 1,
+                    Some(b']') => {
+                        self.pos += 1;
+                        return Ok(Value::Arr(items));
+                    }
+                    _ => return Err(self.err()),
+                }
+            }
+        }
+
+        fn string(&mut self) -> Result<String, StoreJsonError> {
+            self.expect(b'"')?;
+            let mut out = String::new();
+            loop {
+                match self.peek().ok_or_else(|| self.err())? {
+                    b'"' => {
+                        self.pos += 1;
+                        return Ok(out);
+                    }
+                    b'\\' => {
+                        self.pos += 1;
+                        match self.peek().ok_or_else(|| self.err())? {
+                            b'"' => out.push('"'),
+                            b'\\' => out.push('\\'),
+                            b'/' => out.push('/'),
+                            b'b' => out.push('\u{8}'),
+                            b'f' => out.push('\u{c}'),
+                            b'n' => out.push('\n'),
+                            b'r' => out.push('\r'),
+                            b't' => out.push('\t'),
+                            b'u' => {
+                                let hex = self
+                                    .bytes
+                                    .get(self.pos + 1..self.pos + 5)
+                                    .ok_or_else(|| self.err())?;
+                                let hex = std::str::from_utf8(hex).map_err(|_| self.err())?;
+                                let code = u32::from_str_radix(hex, 16).map_err(|_| self.err())?;
+                                // Surrogate pairs are not emitted by our
+                                // writer; map lone surrogates to U+FFFD.
+                                out.push(char::from_u32(code).unwrap_or('\u{fffd}'));
+                                self.pos += 4;
+                            }
+                            _ => return Err(self.err()),
+                        }
+                        self.pos += 1;
+                    }
+                    _ => {
+                        // Consume one UTF-8 scalar (input is a &str, so
+                        // boundaries are valid).
+                        let start = self.pos;
+                        let rest =
+                            std::str::from_utf8(&self.bytes[start..]).map_err(|_| self.err())?;
+                        let c = rest.chars().next().ok_or_else(|| self.err())?;
+                        out.push(c);
+                        self.pos += c.len_utf8();
+                    }
+                }
+            }
+        }
+
+        fn number(&mut self) -> Result<Value, StoreJsonError> {
+            let start = self.pos;
+            while matches!(
+                self.peek(),
+                Some(b'-' | b'+' | b'.' | b'e' | b'E' | b'0'..=b'9')
+            ) {
+                self.pos += 1;
+            }
+            if start == self.pos {
+                return Err(self.err());
+            }
+            let text = std::str::from_utf8(&self.bytes[start..self.pos]).map_err(|_| self.err())?;
+            text.parse::<f64>()
+                .map(Value::Num)
+                .map_err(|_| StoreJsonError::Syntax { offset: start })
+        }
     }
 }
 

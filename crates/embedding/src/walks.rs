@@ -11,9 +11,28 @@
 //! * **Visit limits** — nodes visited more than a cap (mostly hub value
 //!   nodes) stop being *emitted* into the corpus, which effectively makes
 //!   walks step row→row and boosts row-node representation.
+//!
+//! # Parallelism & determinism
+//!
+//! Walk *trajectories* depend only on the RNG — the visit counters gate
+//! emission, never the transition choice. Generation therefore splits into
+//! two phases per iteration:
+//!
+//! 1. **Trajectories** (parallel): every walk owns an RNG seeded by
+//!    `walk_seed(base_seed, iteration, slot, start_node)`, so its node
+//!    sequence is independent of scheduling. Slots are sharded across
+//!    `threads` workers in contiguous chunks and re-assembled in slot order.
+//! 2. **Emission** (sequential): trajectories are replayed in slot order
+//!    against the shared visit counters, applying the visit limit exactly as
+//!    a single-threaded pass would.
+//!
+//! Restart iterations pick their start nodes from the visit counters *after*
+//! the previous iteration's emission pass, which phase 2 makes deterministic.
+//! The corpus is bitwise identical at any thread count.
 
 use crate::corpus::Corpus;
 use leva_graph::{AliasTable, LevaGraph};
+use leva_linalg::resolve_threads;
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
 
@@ -36,6 +55,10 @@ pub struct WalkConfig {
     pub visit_limit: Option<usize>,
     /// RNG seed.
     pub seed: u64,
+    /// Worker threads for trajectory generation and alias-table builds
+    /// (`0` = available parallelism). The corpus is bitwise identical at
+    /// any thread count.
+    pub threads: usize,
 }
 
 impl Default for WalkConfig {
@@ -48,6 +71,7 @@ impl Default for WalkConfig {
             restart_fraction: 0.4,
             visit_limit: None,
             seed: 0x11aa,
+            threads: 1,
         }
     }
 }
@@ -55,9 +79,8 @@ impl Default for WalkConfig {
 /// Generates the walk corpus for a graph. Sentence tokens are node names.
 pub fn generate_walks(graph: &LevaGraph, cfg: &WalkConfig) -> Corpus {
     let n = graph.n_nodes();
-    let mut rng = StdRng::seed_from_u64(cfg.seed);
     let alias: Option<Vec<Option<AliasTable>>> = if cfg.weighted {
-        Some(build_alias_tables(graph))
+        Some(build_alias_tables_threads(graph, cfg.threads))
     } else {
         None
     };
@@ -71,15 +94,18 @@ pub fn generate_walks(graph: &LevaGraph, cfg: &WalkConfig) -> Corpus {
     };
     let normal_iters = cfg.walks_per_node - restart_iters.min(cfg.walks_per_node);
 
-    for _ in 0..normal_iters {
-        for start in 0..n as u32 {
-            let w = walk(graph, start, cfg, alias.as_deref(), &mut visits, &mut rng);
-            if w.len() >= 2 {
-                sequences.push(w);
-            }
-        }
+    for iter in 0..normal_iters {
+        run_iteration(
+            graph,
+            cfg,
+            alias.as_deref(),
+            iter as u64,
+            |slot| slot as u32,
+            &mut visits,
+            &mut sequences,
+        );
     }
-    for _ in 0..restart_iters {
+    for r in 0..restart_iters {
         // Restart only from the worst-represented half, cycling to keep the
         // walk count per iteration equal to n (the paper replaces the
         // remaining iterations "with the same number of walks").
@@ -87,13 +113,15 @@ pub fn generate_walks(graph: &LevaGraph, cfg: &WalkConfig) -> Corpus {
         if worst.is_empty() {
             break;
         }
-        for i in 0..n {
-            let start = worst[i % worst.len()];
-            let w = walk(graph, start, cfg, alias.as_deref(), &mut visits, &mut rng);
-            if w.len() >= 2 {
-                sequences.push(w);
-            }
-        }
+        run_iteration(
+            graph,
+            cfg,
+            alias.as_deref(),
+            (normal_iters + r) as u64,
+            |slot| worst[slot % worst.len()],
+            &mut visits,
+            &mut sequences,
+        );
     }
 
     // Node names are the vocabulary; ids in the walks are node ids.
@@ -101,15 +129,90 @@ pub fn generate_walks(graph: &LevaGraph, cfg: &WalkConfig) -> Corpus {
     Corpus { vocab, sequences }
 }
 
+/// Runs one walk iteration: parallel trajectory generation over all `n`
+/// start slots, then a sequential emission pass in slot order.
+fn run_iteration(
+    graph: &LevaGraph,
+    cfg: &WalkConfig,
+    alias: Option<&[Option<AliasTable>]>,
+    iteration: u64,
+    start_of: impl Fn(usize) -> u32 + Sync,
+    visits: &mut [u32],
+    sequences: &mut Vec<Vec<u32>>,
+) {
+    let n = graph.n_nodes();
+    let trajectories = par_map_range(n, cfg.threads, |slot| {
+        let start = start_of(slot);
+        let mut rng = StdRng::seed_from_u64(walk_seed(cfg.seed, iteration, slot as u64, start));
+        trajectory(graph, start, cfg, alias, &mut rng)
+    });
+    for traj in &trajectories {
+        let seq = emit(traj, cfg.visit_limit, visits);
+        if seq.len() >= 2 {
+            sequences.push(seq);
+        }
+    }
+}
+
+/// Derives an independent RNG seed for one walk from the base seed, the
+/// iteration number, the start slot, and the start node (SplitMix64-style
+/// avalanche). Decoupling walks from a shared RNG stream is what lets
+/// trajectories run on any thread without changing the corpus.
+fn walk_seed(base: u64, iteration: u64, slot: u64, start: u32) -> u64 {
+    let mut z = base
+        .wrapping_add(iteration.wrapping_mul(0x9E37_79B9_7F4A_7C15))
+        .wrapping_add(slot.wrapping_mul(0xBF58_476D_1CE4_E5B9))
+        .wrapping_add(u64::from(start).wrapping_mul(0x94D0_49BB_1331_11EB));
+    z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+    z ^ (z >> 31)
+}
+
+/// Maps `f` over `0..n`, sharding contiguous index chunks across `threads`
+/// workers (`0` = available parallelism) and concatenating results in index
+/// order. With one effective worker the closure runs inline.
+fn par_map_range<T, F>(n: usize, threads: usize, f: F) -> Vec<T>
+where
+    T: Send,
+    F: Fn(usize) -> T + Sync,
+{
+    let workers = resolve_threads(threads).min(n.max(1));
+    if workers <= 1 {
+        return (0..n).map(f).collect();
+    }
+    let chunk = n.div_ceil(workers);
+    let chunks: Vec<Vec<T>> = crossbeam::scope(|s| {
+        let f = &f;
+        let handles: Vec<_> = (0..workers)
+            .map(|w| {
+                let lo = w * chunk;
+                let hi = ((w + 1) * chunk).min(n);
+                s.spawn(move |_| (lo..hi).map(f).collect::<Vec<T>>())
+            })
+            .collect();
+        handles
+            .into_iter()
+            .map(|h| h.join().expect("walk worker panicked"))
+            .collect()
+    })
+    .expect("walk worker panicked");
+    chunks.into_iter().flatten().collect()
+}
+
 /// Precomputes alias tables per node for weighted transitions. The memory
 /// cost of this step is what makes weighted walks heavier (§4.3).
 pub fn build_alias_tables(graph: &LevaGraph) -> Vec<Option<AliasTable>> {
-    (0..graph.n_nodes() as u32)
-        .map(|u| {
-            let weights: Vec<f64> = graph.neighbors(u).iter().map(|&(_, w)| w).collect();
-            AliasTable::new(&weights)
-        })
-        .collect()
+    build_alias_tables_threads(graph, 1)
+}
+
+/// Like [`build_alias_tables`], sharding nodes across `threads` workers
+/// (`0` = available parallelism). Per-node tables are independent, so the
+/// result is identical at any thread count.
+pub fn build_alias_tables_threads(graph: &LevaGraph, threads: usize) -> Vec<Option<AliasTable>> {
+    par_map_range(graph.n_nodes(), threads, |u| {
+        let weights: Vec<f64> = graph.neighbors(u as u32).iter().map(|&(_, w)| w).collect();
+        AliasTable::new(&weights)
+    })
 }
 
 /// Estimated bytes of the alias tables for a graph — used by the memory
@@ -120,25 +223,19 @@ pub fn estimated_alias_bytes(graph: &LevaGraph) -> usize {
         .sum()
 }
 
-fn walk(
+/// Generates one walk's node sequence. Purely RNG-driven: visit counters
+/// never influence transitions, only emission (see [`emit`]).
+fn trajectory(
     graph: &LevaGraph,
     start: u32,
     cfg: &WalkConfig,
     alias: Option<&[Option<AliasTable>]>,
-    visits: &mut [u32],
     rng: &mut StdRng,
 ) -> Vec<u32> {
     let mut seq = Vec::with_capacity(cfg.walk_length);
     let mut current = start;
     for _ in 0..cfg.walk_length {
-        let emit = match cfg.visit_limit {
-            Some(limit) => (visits[current as usize] as usize) < limit,
-            None => true,
-        };
-        if emit {
-            seq.push(current);
-        }
-        visits[current as usize] += 1;
+        seq.push(current);
         let nbrs = graph.neighbors(current);
         if nbrs.is_empty() {
             break;
@@ -151,6 +248,24 @@ fn walk(
             None => rng.gen_range(0..nbrs.len()),
         };
         current = nbrs[next_idx].0;
+    }
+    seq
+}
+
+/// Replays a trajectory against the shared visit counters, keeping only the
+/// nodes still under the visit limit. Must run in slot order to match the
+/// single-threaded semantics.
+fn emit(trajectory: &[u32], visit_limit: Option<usize>, visits: &mut [u32]) -> Vec<u32> {
+    let mut seq = Vec::with_capacity(trajectory.len());
+    for &node in trajectory {
+        let keep = match visit_limit {
+            Some(limit) => (visits[node as usize] as usize) < limit,
+            None => true,
+        };
+        if keep {
+            seq.push(node);
+        }
+        visits[node as usize] += 1;
     }
     seq
 }
@@ -175,14 +290,20 @@ mod tests {
         let mut a = Table::new("a", vec!["name", "city"]);
         let mut b = Table::new("b", vec!["name", "flag"]);
         for i in 0..20 {
-            a.push_row(vec![format!("user{i}").into(), ["nyc", "sfo"][i % 2].into()])
-                .unwrap();
+            a.push_row(vec![
+                format!("user{i}").into(),
+                ["nyc", "sfo"][i % 2].into(),
+            ])
+            .unwrap();
             b.push_row(vec![format!("user{i}").into(), ["y", "n"][i % 2].into()])
                 .unwrap();
         }
         db.add_table(a).unwrap();
         db.add_table(b).unwrap();
-        build_graph(&textify(&db, &TextifyConfig::default()), &GraphConfig::default())
+        build_graph(
+            &textify(&db, &TextifyConfig::default()),
+            &GraphConfig::default(),
+        )
     }
 
     #[test]
@@ -224,10 +345,60 @@ mod tests {
     #[test]
     fn deterministic_for_seed() {
         let g = sample_graph();
-        let cfg = WalkConfig { walk_length: 15, walks_per_node: 3, ..Default::default() };
+        let cfg = WalkConfig {
+            walk_length: 15,
+            walks_per_node: 3,
+            ..Default::default()
+        };
         let a = generate_walks(&g, &cfg);
         let b = generate_walks(&g, &cfg);
         assert_eq!(a.sequences, b.sequences);
+    }
+
+    #[test]
+    fn bitwise_identical_across_thread_counts() {
+        // Restart balancing + visit limits exercise every sequential
+        // dependency in the generator; the corpus must not change by a
+        // single id at any thread count.
+        let g = sample_graph();
+        let base = WalkConfig {
+            walk_length: 25,
+            walks_per_node: 6,
+            restart_balancing: true,
+            restart_fraction: 0.5,
+            visit_limit: Some(40),
+            seed: 0xd37,
+            ..Default::default()
+        };
+        let seq_corpus = generate_walks(&g, &WalkConfig { threads: 1, ..base });
+        for threads in [0, 2, 3, 8] {
+            let par = generate_walks(&g, &WalkConfig { threads, ..base });
+            assert_eq!(seq_corpus.vocab, par.vocab, "threads={threads}");
+            assert_eq!(seq_corpus.sequences, par.sequences, "threads={threads}");
+        }
+    }
+
+    #[test]
+    fn alias_tables_identical_across_thread_counts() {
+        let g = sample_graph();
+        let seq_tables = build_alias_tables_threads(&g, 1);
+        let par_tables = build_alias_tables_threads(&g, 4);
+        assert_eq!(seq_tables.len(), par_tables.len());
+        // Tables have no Eq; compare via sampling behaviour with one RNG
+        // stream each.
+        let mut r1 = StdRng::seed_from_u64(42);
+        let mut r2 = StdRng::seed_from_u64(42);
+        for (a, b) in seq_tables.iter().zip(&par_tables) {
+            match (a, b) {
+                (Some(ta), Some(tb)) => {
+                    for _ in 0..16 {
+                        assert_eq!(ta.sample(&mut r1), tb.sample(&mut r2));
+                    }
+                }
+                (None, None) => {}
+                _ => panic!("alias table presence mismatch"),
+            }
+        }
     }
 
     #[test]
@@ -240,7 +411,11 @@ mod tests {
             seed: 5,
             ..Default::default()
         };
-        let balanced = WalkConfig { restart_balancing: true, restart_fraction: 0.4, ..base };
+        let balanced = WalkConfig {
+            restart_balancing: true,
+            restart_fraction: 0.4,
+            ..base
+        };
         let c0 = generate_walks(&g, &base);
         let c1 = generate_walks(&g, &balanced);
         let spread = |c: &Corpus| {

@@ -76,8 +76,7 @@ impl AliasTable {
 
     /// Estimated heap bytes (for the memory-estimation module).
     pub fn estimated_bytes(&self) -> usize {
-        self.prob.len() * std::mem::size_of::<f64>()
-            + self.alias.len() * std::mem::size_of::<u32>()
+        self.prob.len() * std::mem::size_of::<f64>() + self.alias.len() * std::mem::size_of::<u32>()
     }
 }
 

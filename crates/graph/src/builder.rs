@@ -11,7 +11,6 @@ use leva_linalg::CsrMatrix;
 use leva_textify::TokenizedDatabase;
 use std::collections::HashMap;
 
-
 /// Graph-construction parameters (Table 2, "Graph Construction/Refinement").
 #[derive(Debug, Clone, Copy)]
 pub struct GraphConfig {
@@ -27,7 +26,11 @@ pub struct GraphConfig {
 
 impl Default for GraphConfig {
     fn default() -> Self {
-        Self { theta_range: 0.5, theta_min: 0.05, weighted: true }
+        Self {
+            theta_range: 0.5,
+            theta_min: 0.05,
+            weighted: true,
+        }
     }
 }
 
@@ -151,7 +154,10 @@ impl LevaGraph {
     pub fn estimated_adjacency_bytes(&self) -> usize {
         self.adj
             .iter()
-            .map(|nbrs| nbrs.len() * std::mem::size_of::<(u32, f64)>() + std::mem::size_of::<Vec<(u32, f64)>>())
+            .map(|nbrs| {
+                nbrs.len() * std::mem::size_of::<(u32, f64)>()
+                    + std::mem::size_of::<Vec<(u32, f64)>>()
+            })
             .sum()
     }
 }
@@ -167,7 +173,10 @@ pub fn build_graph(tokenized: &TokenizedDatabase, cfg: &GraphConfig) -> LevaGrap
         row_offsets.push(kinds.len());
         table_names.push(table.name.clone());
         for ri in 0..table.rows.len() {
-            kinds.push(NodeKind::Row { table: ti as u32, row: ri as u32 });
+            kinds.push(NodeKind::Row {
+                table: ti as u32,
+                row: ri as u32,
+            });
             names.push(format!("row::{}::{}", table.name, ri));
         }
     }
@@ -183,10 +192,12 @@ pub fn build_graph(tokenized: &TokenizedDatabase, cfg: &GraphConfig) -> LevaGrap
         for (ri, row) in table.rows.iter().enumerate() {
             let row_node = (row_offsets[ti] + ri) as u32;
             for occ in &row.tokens {
-                let e = tokens.entry(occ.token.as_str()).or_insert_with(|| TokenEntry {
-                    votes: TokenVotes::default(),
-                    occurrences: Vec::new(),
-                });
+                let e = tokens
+                    .entry(occ.token.as_str())
+                    .or_insert_with(|| TokenEntry {
+                        votes: TokenVotes::default(),
+                        occurrences: Vec::new(),
+                    });
                 e.votes.vote(occ.attr);
                 e.occurrences.push((row_node, occ.attr));
             }
@@ -195,14 +206,20 @@ pub fn build_graph(tokenized: &TokenizedDatabase, cfg: &GraphConfig) -> LevaGrap
 
     // 3. Refinement (Alg. 1 lines 11-12) + edge creation.
     let total_attributes = tokenized.attributes.len();
-    let mut stats = RefineStats { tokens_total: tokens.len(), ..Default::default() };
+    let mut stats = RefineStats {
+        tokens_total: tokens.len(),
+        ..Default::default()
+    };
     let mut value_index: HashMap<String, u32> = HashMap::new();
     let mut adj: Vec<Vec<(u32, f64)>> = vec![Vec::new(); n_row_nodes];
     // Deterministic iteration order: sort tokens.
     let mut ordered: Vec<(&str, TokenEntry)> = tokens.into_iter().collect();
     ordered.sort_unstable_by(|a, b| a.0.cmp(b.0));
     for (token, entry) in ordered {
-        if entry.votes.is_missing_like(cfg.theta_range, total_attributes) {
+        if entry
+            .votes
+            .is_missing_like(cfg.theta_range, total_attributes)
+        {
             stats.tokens_removed_missing += 1;
             continue;
         }
@@ -286,8 +303,10 @@ mod tests {
         let mut b = Table::new("b", vec!["name", "amount"]);
         let cities = ["nyc", "sfo"];
         for i in 0..10 {
-            a.push_row(vec![format!("user{i}").into(), cities[i % 2].into()]).unwrap();
-            b.push_row(vec![format!("user{i}").into(), Value::Float(i as f64)]).unwrap();
+            a.push_row(vec![format!("user{i}").into(), cities[i % 2].into()])
+                .unwrap();
+            b.push_row(vec![format!("user{i}").into(), Value::Float(i as f64)])
+                .unwrap();
         }
         db.add_table(a).unwrap();
         db.add_table(b).unwrap();
@@ -413,8 +432,10 @@ mod tests {
     fn singleton_tokens_skipped() {
         let mut db = Database::new();
         let mut t = Table::new("t", vec!["name", "color"]);
-        t.push_row(vec!["unique_person".into(), "red".into()]).unwrap();
-        t.push_row(vec!["another_person".into(), "red".into()]).unwrap();
+        t.push_row(vec!["unique_person".into(), "red".into()])
+            .unwrap();
+        t.push_row(vec!["another_person".into(), "red".into()])
+            .unwrap();
         db.add_table(t).unwrap();
         let g = graph_from(&db, &GraphConfig::default());
         // "red" shared by both rows => value node; names are singletons.
@@ -441,7 +462,13 @@ mod tests {
     #[test]
     fn unweighted_config_keeps_unit_weights() {
         let db = two_table_db();
-        let g = graph_from(&db, &GraphConfig { weighted: false, ..Default::default() });
+        let g = graph_from(
+            &db,
+            &GraphConfig {
+                weighted: false,
+                ..Default::default()
+            },
+        );
         for u in 0..g.n_nodes() as u32 {
             for &(_, w) in g.neighbors(u) {
                 assert_eq!(w, 1.0);
@@ -465,7 +492,8 @@ mod tests {
         let mut db = Database::new();
         let mut t = Table::new("t", vec!["id", "city"]);
         for i in 0..30 {
-            t.push_row(vec![format!("id{i}").into(), "nyc".into()]).unwrap();
+            t.push_row(vec![format!("id{i}").into(), "nyc".into()])
+                .unwrap();
         }
         db.add_table(t).unwrap();
         let g = graph_from(&db, &GraphConfig::default());

@@ -1,5 +1,6 @@
 //! Dense row-major matrices.
 
+use crate::parallel::for_each_row_band;
 use std::fmt;
 use std::ops::{Index, IndexMut};
 
@@ -14,7 +15,11 @@ pub struct Matrix {
 impl Matrix {
     /// Zero matrix.
     pub fn zeros(rows: usize, cols: usize) -> Self {
-        Self { rows, cols, data: vec![0.0; rows * cols] }
+        Self {
+            rows,
+            cols,
+            data: vec![0.0; rows * cols],
+        }
     }
 
     /// Identity matrix.
@@ -41,7 +46,11 @@ impl Matrix {
             assert_eq!(row.len(), c, "ragged rows");
             data.extend_from_slice(row);
         }
-        Self { rows: r, cols: c, data }
+        Self {
+            rows: r,
+            cols: c,
+            data,
+        }
     }
 
     /// Number of rows.
@@ -87,22 +96,34 @@ impl Matrix {
 
     /// Matrix product `self * other`.
     pub fn matmul(&self, other: &Matrix) -> Matrix {
+        self.matmul_threads(other, 1)
+    }
+
+    /// Matrix product `self * other` with output rows sharded across
+    /// `threads` workers (`0` = available parallelism). Each output row is
+    /// produced by exactly one thread running the sequential kernel, so the
+    /// result is bitwise identical at any thread count.
+    pub fn matmul_threads(&self, other: &Matrix, threads: usize) -> Matrix {
         assert_eq!(self.cols, other.rows, "matmul dimension mismatch");
         let mut out = Matrix::zeros(self.rows, other.cols);
-        // i-k-j loop order keeps the inner loop contiguous in both inputs.
-        for i in 0..self.rows {
-            let a_row = self.row(i);
-            let out_row = out.row_mut(i);
-            for (k, &aik) in a_row.iter().enumerate() {
-                if aik == 0.0 {
-                    continue;
-                }
-                let b_row = other.row(k);
-                for (o, &bkj) in out_row.iter_mut().zip(b_row.iter()) {
-                    *o += aik * bkj;
+        let k = other.cols;
+        for_each_row_band(&mut out.data, k, threads, |rows, band| {
+            for (offset, i) in rows.enumerate() {
+                let a_row = self.row(i);
+                let out_row = &mut band[offset * k..(offset + 1) * k];
+                // i-k-j loop order keeps the inner loop contiguous in both
+                // inputs.
+                for (kk, &aik) in a_row.iter().enumerate() {
+                    if aik == 0.0 {
+                        continue;
+                    }
+                    let b_row = other.row(kk);
+                    for (o, &bkj) in out_row.iter_mut().zip(b_row.iter()) {
+                        *o += aik * bkj;
+                    }
                 }
             }
-        }
+        });
         out
     }
 
@@ -230,6 +251,33 @@ mod tests {
         let a = Matrix::from_rows(&[&[1.0, 2.0, 3.0], &[4.0, 5.0, 6.0]]);
         let b = a.take_columns(2);
         assert_eq!(b, Matrix::from_rows(&[&[1.0, 2.0], &[4.0, 5.0]]));
+    }
+
+    #[test]
+    fn matmul_threads_bitwise_identical() {
+        // Worst case for float reordering: many accumulations per output
+        // cell with mixed magnitudes. Row-band sharding must not change a
+        // single bit.
+        let n = 23;
+        let a = Matrix::from_vec(
+            n,
+            n,
+            (0..n * n)
+                .map(|i| ((i as u64 * 2654435761) % 1000) as f64 / 7.0 - 71.0)
+                .collect(),
+        );
+        let b = Matrix::from_vec(
+            n,
+            n,
+            (0..n * n)
+                .map(|i| ((i as u64 * 40503) % 977) as f64 / 13.0 - 37.0)
+                .collect(),
+        );
+        let seq = a.matmul_threads(&b, 1);
+        for threads in [2, 3, 8, 64] {
+            let par = a.matmul_threads(&b, threads);
+            assert_eq!(seq.data(), par.data(), "threads={threads}");
+        }
     }
 
     #[test]

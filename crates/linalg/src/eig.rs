@@ -120,11 +120,7 @@ mod tests {
 
     #[test]
     fn reconstruction() {
-        let a = Matrix::from_rows(&[
-            &[4.0, 1.0, 0.5],
-            &[1.0, 3.0, -1.0],
-            &[0.5, -1.0, 2.0],
-        ]);
+        let a = Matrix::from_rows(&[&[4.0, 1.0, 0.5], &[1.0, 3.0, -1.0], &[0.5, -1.0, 2.0]]);
         let e = sym_eig(&a);
         // A = V diag(λ) Vᵀ
         let mut lam = Matrix::zeros(3, 3);
@@ -137,11 +133,7 @@ mod tests {
 
     #[test]
     fn eigenvectors_are_orthonormal() {
-        let a = Matrix::from_rows(&[
-            &[1.0, 2.0, 3.0],
-            &[2.0, 5.0, 4.0],
-            &[3.0, 4.0, 9.0],
-        ]);
+        let a = Matrix::from_rows(&[&[1.0, 2.0, 3.0], &[2.0, 5.0, 4.0], &[3.0, 4.0, 9.0]]);
         let e = sym_eig(&a);
         let vtv = e.vectors.transpose().matmul(&e.vectors);
         assert!(vtv.max_abs_diff(&Matrix::identity(3)) < 1e-8);
@@ -149,11 +141,7 @@ mod tests {
 
     #[test]
     fn eigenvalues_sorted_descending() {
-        let a = Matrix::from_rows(&[
-            &[1.0, 0.0, 0.0],
-            &[0.0, 5.0, 0.0],
-            &[0.0, 0.0, 3.0],
-        ]);
+        let a = Matrix::from_rows(&[&[1.0, 0.0, 0.0], &[0.0, 5.0, 0.0], &[0.0, 0.0, 3.0]]);
         let e = sym_eig(&a);
         assert!(e.values.windows(2).all(|w| w[0] >= w[1]));
     }

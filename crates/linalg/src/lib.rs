@@ -14,6 +14,7 @@
 
 mod dense;
 mod eig;
+mod parallel;
 mod pca;
 mod prone;
 mod qr;
@@ -23,6 +24,7 @@ mod vecops;
 
 pub use dense::Matrix;
 pub use eig::{sym_eig, SymEig};
+pub use parallel::resolve_threads;
 pub use pca::Pca;
 pub use prone::{bessel_i, spectral_propagate, ProneOptions};
 pub use qr::thin_q;

@@ -1,0 +1,90 @@
+//! Deterministic row-band parallelism helpers.
+//!
+//! Every parallel kernel in this crate shards work by *output rows*: each
+//! output row is computed by exactly one thread, running the identical
+//! sequential inner loop the single-threaded kernel runs. Because no
+//! floating-point accumulation ever crosses a thread boundary, results are
+//! bitwise identical at any thread count — `threads: 8` produces the same
+//! bytes as `threads: 1`.
+
+/// Resolves a `threads` knob to an actual worker count: `0` means "use all
+/// available parallelism", anything else is taken literally (minimum 1).
+pub fn resolve_threads(threads: usize) -> usize {
+    if threads == 0 {
+        std::thread::available_parallelism()
+            .map(|n| n.get())
+            .unwrap_or(1)
+    } else {
+        threads
+    }
+}
+
+/// Splits `data` (a row-major buffer of `row_width`-wide rows) into
+/// contiguous row bands and runs `f(row_range, band)` for each band on its
+/// own scoped thread. With one effective thread the closure runs inline on
+/// the full range, so the parallel and sequential paths share all code.
+pub(crate) fn for_each_row_band<F>(data: &mut [f64], row_width: usize, threads: usize, f: F)
+where
+    F: Fn(std::ops::Range<usize>, &mut [f64]) + Sync,
+{
+    let n_rows = data.len().checked_div(row_width).unwrap_or(0);
+    let workers = resolve_threads(threads).min(n_rows.max(1));
+    if workers <= 1 {
+        f(0..n_rows, data);
+        return;
+    }
+    let band = n_rows.div_ceil(workers);
+    std::thread::scope(|s| {
+        let mut rest = data;
+        let mut start = 0;
+        while start < n_rows {
+            let end = (start + band).min(n_rows);
+            let (chunk, tail) = rest.split_at_mut((end - start) * row_width);
+            rest = tail;
+            let f = &f;
+            s.spawn(move || f(start..end, chunk));
+            start = end;
+        }
+    });
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn resolve_zero_is_auto() {
+        assert!(resolve_threads(0) >= 1);
+    }
+
+    #[test]
+    fn resolve_explicit_passthrough() {
+        assert_eq!(resolve_threads(1), 1);
+        assert_eq!(resolve_threads(7), 7);
+    }
+
+    #[test]
+    fn bands_cover_all_rows_once() {
+        for threads in [1, 2, 3, 8, 100] {
+            let mut data = vec![0.0; 10 * 3];
+            for_each_row_band(&mut data, 3, threads, |rows, band| {
+                for (offset, r) in rows.enumerate() {
+                    for v in &mut band[offset * 3..(offset + 1) * 3] {
+                        *v += (r + 1) as f64;
+                    }
+                }
+            });
+            let want: Vec<f64> = (0..10)
+                .flat_map(|r| std::iter::repeat_n((r + 1) as f64, 3))
+                .collect();
+            assert_eq!(data, want, "threads={threads}");
+        }
+    }
+
+    #[test]
+    fn empty_buffer_is_fine() {
+        let mut data: Vec<f64> = Vec::new();
+        for_each_row_band(&mut data, 4, 8, |_, _| {});
+        for_each_row_band(&mut data, 0, 8, |_, _| {});
+    }
+}

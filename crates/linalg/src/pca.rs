@@ -5,6 +5,7 @@
 
 use crate::dense::Matrix;
 use crate::eig::sym_eig;
+use crate::parallel::for_each_row_band;
 
 /// A fitted PCA projection.
 #[derive(Debug, Clone)]
@@ -23,6 +24,14 @@ impl Pca {
     /// Works on the d × d covariance matrix, which is exact and cheap for
     /// embedding dimensions (d ≤ a few hundred).
     pub fn fit(data: &Matrix, k: usize) -> Pca {
+        Self::fit_threads(data, k, 1)
+    }
+
+    /// Like [`Pca::fit`], with the covariance build sharded across
+    /// `threads` workers (`0` = available parallelism). Each covariance
+    /// row is accumulated by one thread in the sequential sample order, so
+    /// the fit is bitwise identical at any thread count.
+    pub fn fit_threads(data: &Matrix, k: usize, threads: usize) -> Pca {
         let n = data.rows();
         let d = data.cols();
         let k = k.min(d).max(1);
@@ -36,24 +45,34 @@ impl Pca {
         for m in &mut mean {
             *m /= n as f64;
         }
-        // Covariance = (X - μ)ᵀ (X - μ) / n
-        let mut cov = Matrix::zeros(d, d);
-        let mut centered_row = vec![0.0; d];
+        // Center once so covariance workers can share read-only rows.
+        let mut centered = Matrix::zeros(n, d);
         for i in 0..n {
-            for (c, (&v, &m)) in centered_row.iter_mut().zip(data.row(i).iter().zip(&mean)) {
+            for (c, (&v, &m)) in centered
+                .row_mut(i)
+                .iter_mut()
+                .zip(data.row(i).iter().zip(&mean))
+            {
                 *c = v - m;
             }
-            for a in 0..d {
-                let ca = centered_row[a];
-                if ca == 0.0 {
-                    continue;
-                }
-                let row = cov.row_mut(a);
-                for (b, &cb) in centered_row.iter().enumerate() {
-                    row[b] += ca * cb;
+        }
+        // Covariance = (X - μ)ᵀ (X - μ) / n, one output row band per worker.
+        let mut cov = Matrix::zeros(d, d);
+        for_each_row_band(cov.data_mut(), d, threads, |rows, band| {
+            for i in 0..n {
+                let centered_row = centered.row(i);
+                for (offset, a) in rows.clone().enumerate() {
+                    let ca = centered_row[a];
+                    if ca == 0.0 {
+                        continue;
+                    }
+                    let row = &mut band[offset * d..(offset + 1) * d];
+                    for (b, &cb) in centered_row.iter().enumerate() {
+                        row[b] += ca * cb;
+                    }
                 }
             }
-        }
+        });
         cov.scale(1.0 / n as f64);
         let eig = sym_eig(&cov);
         Pca {
@@ -155,6 +174,31 @@ mod tests {
     }
 
     #[test]
+    fn fit_threads_bitwise_identical() {
+        let data = Matrix::from_vec(
+            17,
+            7,
+            (0..17 * 7)
+                .map(|i| ((i as u64 * 2654435761) % 997) as f64 / 31.0 - 16.0)
+                .collect(),
+        );
+        let seq = Pca::fit_threads(&data, 5, 1);
+        for threads in [2, 3, 8] {
+            let par = Pca::fit_threads(&data, 5, threads);
+            assert_eq!(seq.mean, par.mean, "threads={threads}");
+            assert_eq!(
+                seq.components.data(),
+                par.components.data(),
+                "threads={threads}"
+            );
+            assert_eq!(
+                seq.explained_variance, par.explained_variance,
+                "threads={threads}"
+            );
+        }
+    }
+
+    #[test]
     fn k_is_clamped() {
         let data = Matrix::from_rows(&[&[1.0, 2.0], &[2.0, 1.0]]);
         let pca = Pca::fit(&data, 10);
@@ -162,6 +206,10 @@ mod tests {
     }
 
     fn dist(a: &[f64], b: &[f64]) -> f64 {
-        a.iter().zip(b).map(|(x, y)| (x - y).powi(2)).sum::<f64>().sqrt()
+        a.iter()
+            .zip(b)
+            .map(|(x, y)| (x - y).powi(2))
+            .sum::<f64>()
+            .sqrt()
     }
 }

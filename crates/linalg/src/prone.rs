@@ -20,22 +20,26 @@ pub struct ProneOptions {
     pub mu: f64,
     /// Kernel bandwidth.
     pub theta: f64,
+    /// Worker threads for the propagation products (`0` = available
+    /// parallelism). Results are bitwise identical at any thread count.
+    pub threads: usize,
 }
 
 impl Default for ProneOptions {
     fn default() -> Self {
-        Self { order: 10, mu: 0.2, theta: 0.5 }
+        Self {
+            order: 10,
+            mu: 0.2,
+            theta: 0.5,
+            threads: 1,
+        }
     }
 }
 
 /// Applies spectral propagation to the rows of `embedding` using the graph
 /// `adjacency` (square, typically symmetric). Returns the enhanced embedding
 /// of identical shape.
-pub fn spectral_propagate(
-    adjacency: &CsrMatrix,
-    embedding: &Matrix,
-    opts: ProneOptions,
-) -> Matrix {
+pub fn spectral_propagate(adjacency: &CsrMatrix, embedding: &Matrix, opts: ProneOptions) -> Matrix {
     let n = adjacency.n_rows();
     assert_eq!(adjacency.n_cols(), n, "adjacency must be square");
     assert_eq!(embedding.rows(), n, "embedding/adjacency size mismatch");
@@ -47,7 +51,7 @@ pub fn spectral_propagate(
     // M = L - μI = (I - P) - μI. We only need y ↦ M·y:
     //   M·y = y - P·y - μ·y = (1-μ)·y - P·y
     let apply_m = |x: &Matrix| -> Matrix {
-        let mut px = p.spmm_dense(x);
+        let mut px = p.spmm_dense_threads(x, opts.threads);
         for (o, &v) in px.data_mut().iter_mut().zip(x.data()) {
             *o = (1.0 - opts.mu) * v - *o;
         }
@@ -74,7 +78,7 @@ pub fn spectral_propagate(
     // Final smoothing hop: E' = P (E + conv).
     let mut combined = embedding.clone();
     add_scaled(&mut combined, &conv, 1.0);
-    p.spmm_dense(&combined)
+    p.spmm_dense_threads(&combined, opts.threads)
 }
 
 /// D⁻¹(A + I) as a CSR matrix.
@@ -172,7 +176,16 @@ mod tests {
         // On a path graph, propagation pulls adjacent node embeddings closer.
         let g = path_graph(4);
         let e = Matrix::from_rows(&[&[1.0], &[-1.0], &[1.0], &[-1.0]]);
-        let out = spectral_propagate(&g, &e, ProneOptions { order: 4, mu: 0.2, theta: 0.5 });
+        let out = spectral_propagate(
+            &g,
+            &e,
+            ProneOptions {
+                order: 4,
+                mu: 0.2,
+                theta: 0.5,
+                threads: 1,
+            },
+        );
         let gap_before = (e[(0, 0)] - e[(1, 0)]).abs();
         let gap_after = (out[(0, 0)] - out[(1, 0)]).abs();
         assert!(gap_after < gap_before, "{gap_after} vs {gap_before}");
@@ -182,7 +195,16 @@ mod tests {
     fn low_order_is_identity() {
         let g = path_graph(3);
         let e = Matrix::from_rows(&[&[1.0], &[2.0], &[3.0]]);
-        let out = spectral_propagate(&g, &e, ProneOptions { order: 1, mu: 0.2, theta: 0.5 });
+        let out = spectral_propagate(
+            &g,
+            &e,
+            ProneOptions {
+                order: 1,
+                mu: 0.2,
+                theta: 0.5,
+                threads: 1,
+            },
+        );
         assert_eq!(out, e);
     }
 }

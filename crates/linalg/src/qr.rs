@@ -87,12 +87,7 @@ mod tests {
 
     #[test]
     fn q_is_orthonormal() {
-        let a = Matrix::from_rows(&[
-            &[1.0, 2.0],
-            &[3.0, 4.0],
-            &[5.0, 6.0],
-            &[7.0, 9.0],
-        ]);
+        let a = Matrix::from_rows(&[&[1.0, 2.0], &[3.0, 4.0], &[5.0, 6.0], &[7.0, 9.0]]);
         let q = thin_q(&a);
         assert_eq!(q.rows(), 4);
         assert_eq!(q.cols(), 2);
@@ -101,11 +96,7 @@ mod tests {
 
     #[test]
     fn q_spans_column_space() {
-        let a = Matrix::from_rows(&[
-            &[1.0, 0.0],
-            &[0.0, 1.0],
-            &[1.0, 1.0],
-        ]);
+        let a = Matrix::from_rows(&[&[1.0, 0.0], &[0.0, 1.0], &[1.0, 1.0]]);
         let q = thin_q(&a);
         // Projecting A onto span(Q) must reproduce A: Q Qᵀ A = A.
         let proj = q.matmul(&q.transpose().matmul(&a));
@@ -115,11 +106,7 @@ mod tests {
     #[test]
     fn handles_rank_deficiency() {
         // Second column is a multiple of the first.
-        let a = Matrix::from_rows(&[
-            &[1.0, 2.0],
-            &[2.0, 4.0],
-            &[3.0, 6.0],
-        ]);
+        let a = Matrix::from_rows(&[&[1.0, 2.0], &[2.0, 4.0], &[3.0, 6.0]]);
         let q = thin_q(&a);
         assert!(orthonormality_error(&q) < 1e-10);
     }

@@ -36,11 +36,20 @@ pub struct RsvdOptions {
     pub power_iters: usize,
     /// RNG seed for the Gaussian test matrix.
     pub seed: u64,
+    /// Worker threads for the matrix products (`0` = available
+    /// parallelism). Results are bitwise identical at any thread count.
+    pub threads: usize,
 }
 
 impl Default for RsvdOptions {
     fn default() -> Self {
-        Self { rank: 100, oversample: 8, power_iters: 2, seed: 0x5eed }
+        Self {
+            rank: 100,
+            oversample: 8,
+            power_iters: 2,
+            seed: 0x5eed,
+            threads: 1,
+        }
     }
 }
 
@@ -57,20 +66,21 @@ pub fn randomized_svd(a: &CsrMatrix, opts: RsvdOptions) -> Svd {
     for v in omega.data_mut() {
         *v = gaussian(&mut rng);
     }
-    let mut y = a.spmm_dense(&omega);
+    let threads = opts.threads;
+    let mut y = a.spmm_dense_threads(&omega, threads);
     // Power iterations with re-orthonormalization for numerical stability.
     for _ in 0..opts.power_iters {
         let q = thin_q(&y);
-        let z = a.tr_spmm_dense(&q);
+        let z = a.tr_spmm_dense_threads(&q, threads);
         let qz = thin_q(&z);
-        y = a.spmm_dense(&qz);
+        y = a.spmm_dense_threads(&qz, threads);
     }
     let q = thin_q(&y); // n × l, orthonormal columns
 
     // Stage B: Bᵀ = Aᵀ Q (m × l); B = Qᵀ A is l × m but never materialized.
-    let bt = a.tr_spmm_dense(&q);
+    let bt = a.tr_spmm_dense_threads(&q, threads);
     // Gram = B Bᵀ = BᵀᵀBᵀ... concretely: Gram[i,j] = Σ_c Bᵀ[c,i]·Bᵀ[c,j].
-    let gram = bt.transpose().matmul(&bt); // l × l symmetric
+    let gram = bt.transpose().matmul_threads(&bt, threads); // l × l symmetric
     let eig = sym_eig(&gram);
 
     // Singular values and the small factors.
@@ -79,14 +89,18 @@ pub fn randomized_svd(a: &CsrMatrix, opts: RsvdOptions) -> Svd {
         s.push(eig.values[i].max(0.0).sqrt());
     }
     let w = eig.vectors.take_columns(k); // l × k
-    // U = Q W   (n × k)
-    let u = q.matmul(&w);
+                                         // U = Q W   (n × k)
+    let u = q.matmul_threads(&w, threads);
     // V = Bᵀ W Σ⁻¹  (m × k); zero singular values yield zero columns.
-    let btw = bt.matmul(&w);
+    let btw = bt.matmul_threads(&w, threads);
     let mut v = Matrix::zeros(m, k);
     for r in 0..m {
         for c in 0..k {
-            v[(r, c)] = if s[c] > 1e-12 { btw[(r, c)] / s[c] } else { 0.0 };
+            v[(r, c)] = if s[c] > 1e-12 {
+                btw[(r, c)] / s[c]
+            } else {
+                0.0
+            };
         }
     }
     Svd { u, s, v }
@@ -129,7 +143,13 @@ mod tests {
         let a = low_rank_matrix(40, 30, 5, 7);
         let svd = randomized_svd(
             &a,
-            RsvdOptions { rank: 5, oversample: 6, power_iters: 2, seed: 1 },
+            RsvdOptions {
+                rank: 5,
+                oversample: 6,
+                power_iters: 2,
+                seed: 1,
+                threads: 1,
+            },
         );
         // Reconstruct and compare.
         let mut us = svd.u.clone();
@@ -150,7 +170,13 @@ mod tests {
         let a = low_rank_matrix(25, 25, 10, 3);
         let svd = randomized_svd(
             &a,
-            RsvdOptions { rank: 8, oversample: 5, power_iters: 1, seed: 2 },
+            RsvdOptions {
+                rank: 8,
+                oversample: 5,
+                power_iters: 1,
+                seed: 2,
+                threads: 1,
+            },
         );
         assert_eq!(svd.s.len(), 8);
         assert!(svd.s.windows(2).all(|w| w[0] >= w[1] - 1e-9));
@@ -162,7 +188,13 @@ mod tests {
         let a = low_rank_matrix(30, 20, 6, 11);
         let svd = randomized_svd(
             &a,
-            RsvdOptions { rank: 6, oversample: 6, power_iters: 2, seed: 5 },
+            RsvdOptions {
+                rank: 6,
+                oversample: 6,
+                power_iters: 2,
+                seed: 5,
+                threads: 1,
+            },
         );
         let utu = svd.u.transpose().matmul(&svd.u);
         assert!(utu.max_abs_diff(&Matrix::identity(6)) < 1e-6);
@@ -175,7 +207,13 @@ mod tests {
         let a = low_rank_matrix(5, 4, 2, 13);
         let svd = randomized_svd(
             &a,
-            RsvdOptions { rank: 50, oversample: 10, power_iters: 1, seed: 1 },
+            RsvdOptions {
+                rank: 50,
+                oversample: 10,
+                power_iters: 1,
+                seed: 1,
+                threads: 1,
+            },
         );
         assert_eq!(svd.s.len(), 4);
         assert_eq!(svd.u.cols(), 4);
@@ -184,10 +222,35 @@ mod tests {
     #[test]
     fn deterministic_for_fixed_seed() {
         let a = low_rank_matrix(20, 20, 4, 9);
-        let o = RsvdOptions { rank: 4, oversample: 4, power_iters: 1, seed: 77 };
+        let o = RsvdOptions {
+            rank: 4,
+            oversample: 4,
+            power_iters: 1,
+            seed: 77,
+            threads: 1,
+        };
         let s1 = randomized_svd(&a, o);
         let s2 = randomized_svd(&a, o);
         assert_eq!(s1.s, s2.s);
         assert!(s1.u.max_abs_diff(&s2.u) == 0.0);
+    }
+
+    #[test]
+    fn bitwise_identical_across_thread_counts() {
+        let a = low_rank_matrix(24, 18, 5, 21);
+        let base = RsvdOptions {
+            rank: 5,
+            oversample: 5,
+            power_iters: 2,
+            seed: 33,
+            threads: 1,
+        };
+        let seq = randomized_svd(&a, base);
+        for threads in [2, 4, 8] {
+            let par = randomized_svd(&a, RsvdOptions { threads, ..base });
+            assert_eq!(seq.s, par.s, "threads={threads}");
+            assert_eq!(seq.u.data(), par.u.data(), "threads={threads}");
+            assert_eq!(seq.v.data(), par.v.data(), "threads={threads}");
+        }
     }
 }

@@ -5,6 +5,7 @@
 //! matrices (randomized range finding), so `spmm_dense` is the hot path.
 
 use crate::dense::Matrix;
+use crate::parallel::for_each_row_band;
 
 /// A CSR sparse matrix of `f64`.
 #[derive(Debug, Clone, PartialEq)]
@@ -19,11 +20,7 @@ pub struct CsrMatrix {
 impl CsrMatrix {
     /// Builds from COO triplets `(row, col, value)`. Duplicate entries are
     /// summed. Entries are sorted per row by column index.
-    pub fn from_triplets(
-        n_rows: usize,
-        n_cols: usize,
-        mut triplets: Vec<(u32, u32, f64)>,
-    ) -> Self {
+    pub fn from_triplets(n_rows: usize, n_cols: usize, mut triplets: Vec<(u32, u32, f64)>) -> Self {
         triplets.sort_unstable_by_key(|&(r, c, _)| (r, c));
         let mut indptr = vec![0usize; n_rows + 1];
         let mut indices = Vec::with_capacity(triplets.len());
@@ -50,7 +47,13 @@ impl CsrMatrix {
                 indptr[i] = indptr[i - 1];
             }
         }
-        Self { n_rows, n_cols, indptr, indices, data }
+        Self {
+            n_rows,
+            n_cols,
+            indptr,
+            indices,
+            data,
+        }
     }
 
     /// Number of rows.
@@ -142,37 +145,67 @@ impl CsrMatrix {
 
     /// Sparse matrix × dense matrix (`self * b`).
     pub fn spmm_dense(&self, b: &Matrix) -> Matrix {
+        self.spmm_dense_threads(b, 1)
+    }
+
+    /// Sparse matrix × dense matrix with output rows sharded across
+    /// `threads` workers (`0` = available parallelism). Each output row is
+    /// accumulated by exactly one thread in the sequential entry order, so
+    /// the result is bitwise identical at any thread count.
+    pub fn spmm_dense_threads(&self, b: &Matrix, threads: usize) -> Matrix {
         assert_eq!(b.rows(), self.n_cols, "spmm dimension mismatch");
         let k = b.cols();
         let mut out = Matrix::zeros(self.n_rows, k);
-        for r in 0..self.n_rows {
-            let out_row = out.row_mut(r);
-            for idx in self.indptr[r]..self.indptr[r + 1] {
-                let v = self.data[idx];
-                let b_row = b.row(self.indices[idx] as usize);
-                for (o, &bv) in out_row.iter_mut().zip(b_row) {
-                    *o += v * bv;
+        for_each_row_band(out.data_mut(), k, threads, |rows, band| {
+            for (offset, r) in rows.enumerate() {
+                let out_row = &mut band[offset * k..(offset + 1) * k];
+                for idx in self.indptr[r]..self.indptr[r + 1] {
+                    let v = self.data[idx];
+                    let b_row = b.row(self.indices[idx] as usize);
+                    for (o, &bv) in out_row.iter_mut().zip(b_row) {
+                        *o += v * bv;
+                    }
                 }
             }
-        }
+        });
         out
     }
 
     /// `selfᵀ * b` without materializing the transpose.
     pub fn tr_spmm_dense(&self, b: &Matrix) -> Matrix {
+        self.tr_spmm_dense_threads(b, 1)
+    }
+
+    /// `selfᵀ * b` with *output* rows (columns of `self`) sharded across
+    /// `threads` workers (`0` = available parallelism).
+    ///
+    /// The sequential kernel scatters into output rows while scanning input
+    /// rows in order; to stay bitwise identical, each worker re-scans every
+    /// input row and accumulates only the entries that land in its output
+    /// band — preserving the exact per-output-row accumulation order.
+    /// (Merging per-thread partial sums instead would regroup float
+    /// additions and change low-order bits with the thread count.)
+    pub fn tr_spmm_dense_threads(&self, b: &Matrix, threads: usize) -> Matrix {
         assert_eq!(b.rows(), self.n_rows, "tr_spmm dimension mismatch");
         let k = b.cols();
         let mut out = Matrix::zeros(self.n_cols, k);
-        for r in 0..self.n_rows {
-            let b_row = b.row(r);
-            for idx in self.indptr[r]..self.indptr[r + 1] {
-                let v = self.data[idx];
-                let out_row = out.row_mut(self.indices[idx] as usize);
-                for (o, &bv) in out_row.iter_mut().zip(b_row) {
-                    *o += v * bv;
+        for_each_row_band(out.data_mut(), k, threads, |cols, band| {
+            for r in 0..self.n_rows {
+                let b_row = b.row(r);
+                for idx in self.indptr[r]..self.indptr[r + 1] {
+                    let c = self.indices[idx] as usize;
+                    if !cols.contains(&c) {
+                        continue;
+                    }
+                    let v = self.data[idx];
+                    let offset = c - cols.start;
+                    let out_row = &mut band[offset * k..(offset + 1) * k];
+                    for (o, &bv) in out_row.iter_mut().zip(b_row) {
+                        *o += v * bv;
+                    }
                 }
             }
-        }
+        });
         out
     }
 
@@ -262,6 +295,50 @@ mod tests {
         let got = m.tr_spmm_dense(&b);
         let want = m.transpose().to_dense().matmul(&b);
         assert!(got.max_abs_diff(&want) < 1e-12);
+    }
+
+    #[test]
+    fn spmm_threads_bitwise_identical() {
+        let mut triplets = Vec::new();
+        let mut state = 1u64;
+        for _ in 0..400 {
+            state = state
+                .wrapping_mul(6364136223846793005)
+                .wrapping_add(1442695040888963407);
+            let r = (state >> 33) % 31;
+            let c = (state >> 12) % 29;
+            let v = ((state >> 3) % 1000) as f64 / 7.0 - 71.0;
+            triplets.push((r as u32, c as u32, v));
+        }
+        let m = CsrMatrix::from_triplets(31, 29, triplets);
+        let b = Matrix::from_vec(
+            29,
+            5,
+            (0..29 * 5)
+                .map(|i| ((i as u64 * 2654435761) % 977) as f64 / 13.0 - 37.0)
+                .collect(),
+        );
+        let bt = Matrix::from_vec(
+            31,
+            5,
+            (0..31 * 5)
+                .map(|i| ((i as u64 * 40503) % 911) as f64 / 11.0 - 41.0)
+                .collect(),
+        );
+        let seq = m.spmm_dense_threads(&b, 1);
+        let tr_seq = m.tr_spmm_dense_threads(&bt, 1);
+        for threads in [2, 3, 8, 64] {
+            assert_eq!(
+                seq.data(),
+                m.spmm_dense_threads(&b, threads).data(),
+                "spmm threads={threads}"
+            );
+            assert_eq!(
+                tr_seq.data(),
+                m.tr_spmm_dense_threads(&bt, threads).data(),
+                "tr_spmm threads={threads}"
+            );
+        }
     }
 
     #[test]

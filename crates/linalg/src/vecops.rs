@@ -29,7 +29,11 @@ pub fn l1_distance(a: &[f64], b: &[f64]) -> f64 {
 /// Euclidean distance.
 pub fn l2_distance(a: &[f64], b: &[f64]) -> f64 {
     debug_assert_eq!(a.len(), b.len());
-    a.iter().zip(b).map(|(x, y)| (x - y).powi(2)).sum::<f64>().sqrt()
+    a.iter()
+        .zip(b)
+        .map(|(x, y)| (x - y).powi(2))
+        .sum::<f64>()
+        .sqrt()
 }
 
 /// Cosine similarity; 0 when either vector is zero.

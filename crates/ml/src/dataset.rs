@@ -64,7 +64,11 @@ impl Dataset {
             x.row_mut(out_r).copy_from_slice(self.x.row(r));
             y.push(self.y[r]);
         }
-        Dataset { x, y, task: self.task }
+        Dataset {
+            x,
+            y,
+            task: self.task,
+        }
     }
 
     /// Number of classes for classification tasks (1 for regression).
@@ -132,7 +136,11 @@ mod tests {
 
     fn data() -> Dataset {
         let x = Matrix::from_rows(&[&[1.0, 2.0], &[3.0, 4.0], &[5.0, 6.0]]);
-        Dataset::new(x, vec![0.0, 1.0, 0.0], Task::Classification { n_classes: 2 })
+        Dataset::new(
+            x,
+            vec![0.0, 1.0, 0.0],
+            Task::Classification { n_classes: 2 },
+        )
     }
 
     #[test]

@@ -26,7 +26,14 @@ impl ElasticNet {
     /// Creates an unfitted ElasticNet.
     pub fn new(alpha: f64, l1_ratio: f64) -> Self {
         assert!((0.0..=1.0).contains(&l1_ratio), "l1_ratio must be in [0,1]");
-        Self { alpha, l1_ratio, max_iter: 500, tol: 1e-6, weights: Vec::new(), intercept: 0.0 }
+        Self {
+            alpha,
+            l1_ratio,
+            max_iter: 500,
+            tol: 1e-6,
+            weights: Vec::new(),
+            intercept: 0.0,
+        }
     }
 
     /// Fitted coefficients.
@@ -120,11 +127,19 @@ impl Model for ElasticNet {
     }
 
     fn predict(&self, x: &Matrix) -> Vec<f64> {
-        assert_eq!(x.cols(), self.weights.len(), "predict before fit or dim mismatch");
+        assert_eq!(
+            x.cols(),
+            self.weights.len(),
+            "predict before fit or dim mismatch"
+        );
         (0..x.rows())
             .map(|r| {
                 self.intercept
-                    + x.row(r).iter().zip(&self.weights).map(|(v, w)| v * w).sum::<f64>()
+                    + x.row(r)
+                        .iter()
+                        .zip(&self.weights)
+                        .map(|(v, w)| v * w)
+                        .sum::<f64>()
             })
             .collect()
     }
@@ -148,7 +163,9 @@ mod tests {
             &[2.0, -1.0],
             &[0.5, 2.0],
         ]);
-        let y: Vec<f64> = (0..5).map(|r| 3.0 * x[(r, 0)] - 1.0 * x[(r, 1)] + 2.0).collect();
+        let y: Vec<f64> = (0..5)
+            .map(|r| 3.0 * x[(r, 0)] - 1.0 * x[(r, 1)] + 2.0)
+            .collect();
         let mut m = ElasticNet::new(1e-8, 0.5);
         m.fit(&x, &y);
         assert!((m.weights()[0] - 3.0).abs() < 1e-2);

@@ -58,10 +58,24 @@ impl ConfusionMatrix {
         (0..self.k)
             .map(|c| {
                 let tp = self.get(c, c);
-                let fp: usize = (0..self.k).filter(|&t| t != c).map(|t| self.get(t, c)).sum();
-                let fn_: usize = (0..self.k).filter(|&p| p != c).map(|p| self.get(c, p)).sum();
-                let precision = if tp + fp == 0 { 0.0 } else { tp as f64 / (tp + fp) as f64 };
-                let recall = if tp + fn_ == 0 { 0.0 } else { tp as f64 / (tp + fn_) as f64 };
+                let fp: usize = (0..self.k)
+                    .filter(|&t| t != c)
+                    .map(|t| self.get(t, c))
+                    .sum();
+                let fn_: usize = (0..self.k)
+                    .filter(|&p| p != c)
+                    .map(|p| self.get(c, p))
+                    .sum();
+                let precision = if tp + fp == 0 {
+                    0.0
+                } else {
+                    tp as f64 / (tp + fp) as f64
+                };
+                let recall = if tp + fn_ == 0 {
+                    0.0
+                } else {
+                    tp as f64 / (tp + fn_) as f64
+                };
                 if precision + recall < 1e-300 {
                     0.0
                 } else {
@@ -94,7 +108,11 @@ impl CvResult {
     /// Population standard deviation of fold scores.
     pub fn std_dev(&self) -> f64 {
         let m = self.mean();
-        (self.fold_scores.iter().map(|s| (s - m).powi(2)).sum::<f64>()
+        (self
+            .fold_scores
+            .iter()
+            .map(|s| (s - m).powi(2))
+            .sum::<f64>()
             / self.fold_scores.len().max(1) as f64)
             .sqrt()
     }
@@ -184,7 +202,9 @@ mod tests {
 
     #[test]
     fn empty_cv_result_is_safe() {
-        let cv = CvResult { fold_scores: Vec::new() };
+        let cv = CvResult {
+            fold_scores: Vec::new(),
+        };
         assert_eq!(cv.mean(), 0.0);
         assert_eq!(cv.std_dev(), 0.0);
     }

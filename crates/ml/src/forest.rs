@@ -22,7 +22,12 @@ pub struct ForestConfig {
 
 impl Default for ForestConfig {
     fn default() -> Self {
-        Self { n_trees: 50, tree: TreeConfig::default(), bootstrap: true, seed: 0xf0e }
+        Self {
+            n_trees: 50,
+            tree: TreeConfig::default(),
+            bootstrap: true,
+            seed: 0xf0e,
+        }
     }
 }
 
@@ -39,12 +44,24 @@ pub struct RandomForest {
 impl RandomForest {
     /// Creates an unfitted classifier forest.
     pub fn classifier(n_classes: usize, cfg: ForestConfig) -> Self {
-        Self { cfg, classification: true, n_classes, trees: Vec::new(), importance: Vec::new() }
+        Self {
+            cfg,
+            classification: true,
+            n_classes,
+            trees: Vec::new(),
+            importance: Vec::new(),
+        }
     }
 
     /// Creates an unfitted regression forest.
     pub fn regressor(cfg: ForestConfig) -> Self {
-        Self { cfg, classification: false, n_classes: 0, trees: Vec::new(), importance: Vec::new() }
+        Self {
+            cfg,
+            classification: false,
+            n_classes: 0,
+            trees: Vec::new(),
+            importance: Vec::new(),
+        }
     }
 
     /// Normalized per-feature importance (sums to 1 when any split exists).
@@ -156,7 +173,11 @@ mod tests {
             let b = ((i / 2) % 2) as f64;
             let jitter = (i % 5) as f64 * 0.02;
             rows.push(vec![a + jitter, b - jitter]);
-            ys.push(if (a as i64) ^ (b as i64) == 1 { 1.0 } else { 0.0 });
+            ys.push(if (a as i64) ^ (b as i64) == 1 {
+                1.0
+            } else {
+                0.0
+            });
         }
         let refs: Vec<&[f64]> = rows.iter().map(Vec::as_slice).collect();
         (Matrix::from_rows(&refs), ys)
@@ -165,7 +186,13 @@ mod tests {
     #[test]
     fn learns_xor() {
         let (x, y) = xor_data();
-        let mut f = RandomForest::classifier(2, ForestConfig { n_trees: 20, ..Default::default() });
+        let mut f = RandomForest::classifier(
+            2,
+            ForestConfig {
+                n_trees: 20,
+                ..Default::default()
+            },
+        );
         f.fit(&x, &y);
         assert!(accuracy(&y, &f.predict(&x)) > 0.95);
         assert_eq!(f.tree_count(), 20);
@@ -177,7 +204,10 @@ mod tests {
         let refs: Vec<&[f64]> = rows.iter().map(Vec::as_slice).collect();
         let x = Matrix::from_rows(&refs);
         let y: Vec<f64> = (0..50).map(|i| (i as f64 / 5.0).sin()).collect();
-        let mut f = RandomForest::regressor(ForestConfig { n_trees: 30, ..Default::default() });
+        let mut f = RandomForest::regressor(ForestConfig {
+            n_trees: 30,
+            ..Default::default()
+        });
         f.fit(&x, &y);
         assert!(r2_score(&y, &f.predict(&x)) > 0.9);
     }
@@ -206,7 +236,11 @@ mod tests {
         let (x, y) = xor_data();
         let mut f = RandomForest::classifier(
             2,
-            ForestConfig { bootstrap: false, n_trees: 5, ..Default::default() },
+            ForestConfig {
+                bootstrap: false,
+                n_trees: 5,
+                ..Default::default()
+            },
         );
         f.fit(&x, &y);
         assert!(accuracy(&y, &f.predict(&x)) > 0.95);

@@ -47,10 +47,18 @@ where
     let best_index = scores
         .iter()
         .enumerate()
-        .max_by(|a, b| a.1.partial_cmp(b.1).expect("finite scores").then(b.0.cmp(&a.0)))
+        .max_by(|a, b| {
+            a.1.partial_cmp(b.1)
+                .expect("finite scores")
+                .then(b.0.cmp(&a.0))
+        })
         .map(|(i, _)| i)
         .expect("non-empty candidates");
-    GridSearchResult { best_index, best_score: scores[best_index], scores }
+    GridSearchResult {
+        best_index,
+        best_score: scores[best_index],
+        scores,
+    }
 }
 
 /// Fits the winning candidate on the full training data and evaluates on a
@@ -107,10 +115,9 @@ mod tests {
     fn fit_best_reports_test_metric() {
         let data = linear_data();
         let (train, test) = train_test_split(&data, 0.2, 1);
-        let (metric, idx) =
-            fit_best_and_score(2, &train, &test, 0.25, 3, |i| {
-                Box::new(LinearRegression::new([1e-8, 1000.0][i]))
-            });
+        let (metric, idx) = fit_best_and_score(2, &train, &test, 0.25, 3, |i| {
+            Box::new(LinearRegression::new([1e-8, 1000.0][i]))
+        });
         assert_eq!(idx, 0);
         assert!(metric < 0.1, "MAE should be tiny, got {metric}");
     }

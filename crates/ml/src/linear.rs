@@ -17,7 +17,11 @@ pub struct LinearRegression {
 impl LinearRegression {
     /// Creates an unfitted model with ridge strength `l2`.
     pub fn new(l2: f64) -> Self {
-        Self { l2, weights: Vec::new(), intercept: 0.0 }
+        Self {
+            l2,
+            weights: Vec::new(),
+            intercept: 0.0,
+        }
     }
 
     /// Fitted coefficient vector (empty before `fit`).
@@ -79,16 +83,29 @@ impl Model for LinearRegression {
             xtx[(i, i)] += self.l2 * n as f64 + 1e-10;
         }
         self.weights = solve_linear_system(&xtx, &xty);
-        self.intercept =
-            y_mean - self.weights.iter().zip(&x_mean).map(|(w, m)| w * m).sum::<f64>();
+        self.intercept = y_mean
+            - self
+                .weights
+                .iter()
+                .zip(&x_mean)
+                .map(|(w, m)| w * m)
+                .sum::<f64>();
     }
 
     fn predict(&self, x: &Matrix) -> Vec<f64> {
-        assert_eq!(x.cols(), self.weights.len(), "predict before fit or dim mismatch");
+        assert_eq!(
+            x.cols(),
+            self.weights.len(),
+            "predict before fit or dim mismatch"
+        );
         (0..x.rows())
             .map(|r| {
                 self.intercept
-                    + x.row(r).iter().zip(&self.weights).map(|(v, w)| v * w).sum::<f64>()
+                    + x.row(r)
+                        .iter()
+                        .zip(&self.weights)
+                        .map(|(v, w)| v * w)
+                        .sum::<f64>()
             })
             .collect()
     }
@@ -113,7 +130,9 @@ mod tests {
             &[2.0, 1.0],
             &[3.0, -1.0],
         ]);
-        let y: Vec<f64> = (0..5).map(|r| 2.0 * x[(r, 0)] - 3.0 * x[(r, 1)] + 5.0).collect();
+        let y: Vec<f64> = (0..5)
+            .map(|r| 2.0 * x[(r, 0)] - 3.0 * x[(r, 1)] + 5.0)
+            .collect();
         let mut m = LinearRegression::new(1e-9);
         m.fit(&x, &y);
         assert!((m.weights()[0] - 2.0).abs() < 1e-4);

@@ -21,7 +21,12 @@ pub fn mae(y_true: &[f64], y_pred: &[f64]) -> f64 {
     if y_true.is_empty() {
         return 0.0;
     }
-    y_true.iter().zip(y_pred).map(|(a, b)| (a - b).abs()).sum::<f64>() / y_true.len() as f64
+    y_true
+        .iter()
+        .zip(y_pred)
+        .map(|(a, b)| (a - b).abs())
+        .sum::<f64>()
+        / y_true.len() as f64
 }
 
 /// Mean squared error.
@@ -30,7 +35,12 @@ pub fn mse(y_true: &[f64], y_pred: &[f64]) -> f64 {
     if y_true.is_empty() {
         return 0.0;
     }
-    y_true.iter().zip(y_pred).map(|(a, b)| (a - b).powi(2)).sum::<f64>() / y_true.len() as f64
+    y_true
+        .iter()
+        .zip(y_pred)
+        .map(|(a, b)| (a - b).powi(2))
+        .sum::<f64>()
+        / y_true.len() as f64
 }
 
 /// Coefficient of determination R². 1.0 = perfect, 0.0 = mean predictor,
@@ -42,7 +52,11 @@ pub fn r2_score(y_true: &[f64], y_pred: &[f64]) -> f64 {
     }
     let mean = y_true.iter().sum::<f64>() / y_true.len() as f64;
     let ss_tot: f64 = y_true.iter().map(|v| (v - mean).powi(2)).sum();
-    let ss_res: f64 = y_true.iter().zip(y_pred).map(|(a, b)| (a - b).powi(2)).sum();
+    let ss_res: f64 = y_true
+        .iter()
+        .zip(y_pred)
+        .map(|(a, b)| (a - b).powi(2))
+        .sum();
     if ss_tot < 1e-300 {
         return if ss_res < 1e-300 { 1.0 } else { 0.0 };
     }
@@ -65,14 +79,26 @@ pub fn f1_score(y_true: &[f64], y_pred: &[f64], positive: f64) -> F1 {
             (false, false) => {}
         }
     }
-    let precision = if tp + fp == 0 { 0.0 } else { tp as f64 / (tp + fp) as f64 };
-    let recall = if tp + fn_ == 0 { 0.0 } else { tp as f64 / (tp + fn_) as f64 };
+    let precision = if tp + fp == 0 {
+        0.0
+    } else {
+        tp as f64 / (tp + fp) as f64
+    };
+    let recall = if tp + fn_ == 0 {
+        0.0
+    } else {
+        tp as f64 / (tp + fn_) as f64
+    };
     let f1 = if precision + recall < 1e-300 {
         0.0
     } else {
         2.0 * precision * recall / (precision + recall)
     };
-    F1 { precision, recall, f1 }
+    F1 {
+        precision,
+        recall,
+        f1,
+    }
 }
 
 /// Precision/recall/F1 triple.

@@ -144,7 +144,11 @@ struct Adam {
 
 impl Adam {
     fn new(n: usize) -> Self {
-        Self { m: vec![0.0; n], v: vec![0.0; n], t: 0 }
+        Self {
+            m: vec![0.0; n],
+            v: vec![0.0; n],
+            t: 0,
+        }
     }
 
     fn step(&mut self, params: &mut [f64], grads: &[f64], lr: f64, wd: f64) {
@@ -178,9 +182,13 @@ impl Model for Mlp {
         // He initialization for ReLU.
         let scale1 = (2.0 / d as f64).sqrt();
         let scale2 = (2.0 / h as f64).sqrt();
-        self.w1 = (0..h * d).map(|_| (rng.gen::<f64>() - 0.5) * 2.0 * scale1).collect();
+        self.w1 = (0..h * d)
+            .map(|_| (rng.gen::<f64>() - 0.5) * 2.0 * scale1)
+            .collect();
         self.b1 = vec![0.0; h];
-        self.w2 = (0..k * h).map(|_| (rng.gen::<f64>() - 0.5) * 2.0 * scale2).collect();
+        self.w2 = (0..k * h)
+            .map(|_| (rng.gen::<f64>() - 0.5) * 2.0 * scale2)
+            .collect();
         self.b2 = vec![0.0; k];
 
         let mut adam_w1 = Adam::new(h * d);
@@ -334,7 +342,11 @@ mod tests {
             let b = ((i / 2) % 2) as f64;
             let jitter = (i % 7) as f64 * 0.01;
             rows.push(vec![a + jitter, b - jitter]);
-            ys.push(if (a as i64) ^ (b as i64) == 1 { 1.0 } else { 0.0 });
+            ys.push(if (a as i64) ^ (b as i64) == 1 {
+                1.0
+            } else {
+                0.0
+            });
         }
         let refs: Vec<&[f64]> = rows.iter().map(Vec::as_slice).collect();
         (Matrix::from_rows(&refs), ys)
@@ -343,7 +355,14 @@ mod tests {
     #[test]
     fn learns_xor() {
         let (x, y) = xor_data();
-        let mut m = Mlp::classifier(2, MlpConfig { hidden: 16, epochs: 120, ..Default::default() });
+        let mut m = Mlp::classifier(
+            2,
+            MlpConfig {
+                hidden: 16,
+                epochs: 120,
+                ..Default::default()
+            },
+        );
         m.fit(&x, &y);
         assert!(accuracy(&y, &m.predict(&x)) > 0.95);
     }
@@ -353,8 +372,15 @@ mod tests {
         let rows: Vec<Vec<f64>> = (0..60).map(|i| vec![(i as f64 - 30.0) / 10.0]).collect();
         let refs: Vec<&[f64]> = rows.iter().map(Vec::as_slice).collect();
         let x = Matrix::from_rows(&refs);
-        let y: Vec<f64> = (0..60).map(|i| ((i as f64 - 30.0) / 10.0).powi(2)).collect();
-        let mut m = Mlp::regressor(MlpConfig { hidden: 32, epochs: 300, lr: 5e-3, ..Default::default() });
+        let y: Vec<f64> = (0..60)
+            .map(|i| ((i as f64 - 30.0) / 10.0).powi(2))
+            .collect();
+        let mut m = Mlp::regressor(MlpConfig {
+            hidden: 32,
+            epochs: 300,
+            lr: 5e-3,
+            ..Default::default()
+        });
         m.fit(&x, &y);
         assert!(r2_score(&y, &m.predict(&x)) > 0.9);
     }
@@ -362,7 +388,13 @@ mod tests {
     #[test]
     fn probabilities_normalized() {
         let (x, y) = xor_data();
-        let mut m = Mlp::classifier(2, MlpConfig { epochs: 20, ..Default::default() });
+        let mut m = Mlp::classifier(
+            2,
+            MlpConfig {
+                epochs: 20,
+                ..Default::default()
+            },
+        );
         m.fit(&x, &y);
         let p = m.predict_proba(&x);
         for r in 0..x.rows() {
@@ -375,7 +407,12 @@ mod tests {
         let (x, y) = xor_data();
         let mut m = Mlp::classifier(
             2,
-            MlpConfig { hidden: 24, epochs: 150, dropout: 0.2, ..Default::default() },
+            MlpConfig {
+                hidden: 24,
+                epochs: 150,
+                dropout: 0.2,
+                ..Default::default()
+            },
         );
         m.fit(&x, &y);
         // Dropout nets still learn XOR reasonably.
@@ -385,7 +422,10 @@ mod tests {
     #[test]
     fn deterministic() {
         let (x, y) = xor_data();
-        let cfg = MlpConfig { epochs: 10, ..Default::default() };
+        let cfg = MlpConfig {
+            epochs: 10,
+            ..Default::default()
+        };
         let mut a = Mlp::classifier(2, cfg);
         let mut b = Mlp::classifier(2, cfg);
         a.fit(&x, &y);

@@ -68,7 +68,11 @@ pub fn select_k_best_mi(x: &Matrix, y: &[f64], k: usize, bins: usize) -> Vec<usi
             (c, mutual_information(&col, y, bins))
         })
         .collect();
-    scored.sort_by(|a, b| b.1.partial_cmp(&a.1).expect("finite MI").then(a.0.cmp(&b.0)));
+    scored.sort_by(|a, b| {
+        b.1.partial_cmp(&a.1)
+            .expect("finite MI")
+            .then(a.0.cmp(&b.0))
+    });
     let mut keep: Vec<usize> = scored.into_iter().take(k.min(d)).map(|(c, _)| c).collect();
     keep.sort_unstable();
     keep
@@ -108,9 +112,20 @@ pub fn random_injection_selection(
         }
     }
     let mut forest = if classification {
-        RandomForest::classifier(n_classes, ForestConfig { n_trees: 30, seed, ..Default::default() })
+        RandomForest::classifier(
+            n_classes,
+            ForestConfig {
+                n_trees: 30,
+                seed,
+                ..Default::default()
+            },
+        )
     } else {
-        RandomForest::regressor(ForestConfig { n_trees: 30, seed, ..Default::default() })
+        RandomForest::regressor(ForestConfig {
+            n_trees: 30,
+            seed,
+            ..Default::default()
+        })
     };
     forest.fit(&augmented, y);
     let imp = forest.feature_importance();

@@ -8,7 +8,10 @@ use rand::SeedableRng;
 /// Splits a dataset into (train, test) with `test_fraction` of rows in the
 /// test set, after a seeded shuffle.
 pub fn train_test_split(data: &Dataset, test_fraction: f64, seed: u64) -> (Dataset, Dataset) {
-    assert!((0.0..1.0).contains(&test_fraction), "test fraction must be in [0,1)");
+    assert!(
+        (0.0..1.0).contains(&test_fraction),
+        "test fraction must be in [0,1)"
+    );
     let n = data.len();
     let mut indices: Vec<usize> = (0..n).collect();
     let mut rng = StdRng::seed_from_u64(seed);
@@ -33,7 +36,11 @@ pub fn kfold_indices(n: usize, k: usize, seed: u64) -> Vec<(Vec<usize>, Vec<usiz
             break;
         }
         let val: Vec<usize> = indices[lo..hi].to_vec();
-        let train: Vec<usize> = indices[..lo].iter().chain(&indices[hi..]).copied().collect();
+        let train: Vec<usize> = indices[..lo]
+            .iter()
+            .chain(&indices[hi..])
+            .copied()
+            .collect();
         out.push((train, val));
     }
     out

@@ -36,8 +36,15 @@ impl Default for TreeConfig {
 
 #[derive(Debug, Clone)]
 enum Node {
-    Leaf { value: f64 },
-    Split { feature: usize, threshold: f64, left: usize, right: usize },
+    Leaf {
+        value: f64,
+    },
+    Split {
+        feature: usize,
+        threshold: f64,
+        left: usize,
+        right: usize,
+    },
 }
 
 /// A fitted CART tree.
@@ -53,12 +60,24 @@ pub struct DecisionTree {
 impl DecisionTree {
     /// Creates an unfitted classifier tree.
     pub fn classifier(n_classes: usize, cfg: TreeConfig) -> Self {
-        Self { cfg, classification: true, n_classes, nodes: Vec::new(), importance: Vec::new() }
+        Self {
+            cfg,
+            classification: true,
+            n_classes,
+            nodes: Vec::new(),
+            importance: Vec::new(),
+        }
     }
 
     /// Creates an unfitted regression tree.
     pub fn regressor(cfg: TreeConfig) -> Self {
-        Self { cfg, classification: false, n_classes: 0, nodes: Vec::new(), importance: Vec::new() }
+        Self {
+            cfg,
+            classification: false,
+            n_classes: 0,
+            nodes: Vec::new(),
+            importance: Vec::new(),
+        }
     }
 
     /// Fits on the rows of `x` restricted to `indices` (bootstrap support).
@@ -94,8 +113,17 @@ impl DecisionTree {
         loop {
             match &self.nodes[node] {
                 Node::Leaf { value } => return *value,
-                Node::Split { feature, threshold, left, right } => {
-                    node = if row[*feature] <= *threshold { *left } else { *right };
+                Node::Split {
+                    feature,
+                    threshold,
+                    left,
+                    right,
+                } => {
+                    node = if row[*feature] <= *threshold {
+                        *left
+                    } else {
+                        *right
+                    };
                 }
             }
         }
@@ -121,8 +149,7 @@ impl DecisionTree {
         if stop {
             return self.push_leaf(y, indices);
         }
-        let Some((feature, threshold, gain)) = self.best_split(x, y, indices, impurity, rng)
-        else {
+        let Some((feature, threshold, gain)) = self.best_split(x, y, indices, impurity, rng) else {
             return self.push_leaf(y, indices);
         };
         // Partition in place.
@@ -136,7 +163,12 @@ impl DecisionTree {
         let (left_idx, right_idx) = indices.split_at_mut(mid);
         let left = self.build(x, y, left_idx, depth + 1, rng);
         let right = self.build(x, y, right_idx, depth + 1, rng);
-        self.nodes[node_id] = Node::Split { feature, threshold, left, right };
+        self.nodes[node_id] = Node::Split {
+            feature,
+            threshold,
+            left,
+            right,
+        };
         node_id
     }
 
@@ -197,9 +229,7 @@ impl DecisionTree {
         for &f in &features {
             sorted.clear();
             sorted.extend_from_slice(indices);
-            sorted.sort_by(|&a, &b| {
-                x[(a, f)].partial_cmp(&x[(b, f)]).expect("finite features")
-            });
+            sorted.sort_by(|&a, &b| x[(a, f)].partial_cmp(&x[(b, f)]).expect("finite features"));
             // Sweep split positions maintaining left/right statistics.
             if self.classification {
                 let mut left_counts = vec![0usize; self.n_classes];
@@ -294,7 +324,14 @@ mod tests {
     #[test]
     fn classifies_axis_aligned_split() {
         let x = Matrix::from_rows(&[
-            &[0.0], &[1.0], &[2.0], &[3.0], &[10.0], &[11.0], &[12.0], &[13.0],
+            &[0.0],
+            &[1.0],
+            &[2.0],
+            &[3.0],
+            &[10.0],
+            &[11.0],
+            &[12.0],
+            &[13.0],
         ]);
         let y = vec![0.0, 0.0, 0.0, 0.0, 1.0, 1.0, 1.0, 1.0];
         let mut t = DecisionTree::classifier(2, TreeConfig::default());
@@ -319,7 +356,10 @@ mod tests {
         let y = vec![0.0, 1.0, 0.0, 1.0];
         let mut coarse = DecisionTree::classifier(
             2,
-            TreeConfig { min_samples_leaf: 2, ..Default::default() },
+            TreeConfig {
+                min_samples_leaf: 2,
+                ..Default::default()
+            },
         );
         coarse.fit_all(&x, &y);
         let mut fine = DecisionTree::classifier(2, TreeConfig::default());
@@ -333,7 +373,13 @@ mod tests {
     fn depth_zero_is_single_leaf() {
         let x = Matrix::from_rows(&[&[0.0], &[10.0]]);
         let y = vec![0.0, 1.0];
-        let mut t = DecisionTree::classifier(2, TreeConfig { max_depth: 0, ..Default::default() });
+        let mut t = DecisionTree::classifier(
+            2,
+            TreeConfig {
+                max_depth: 0,
+                ..Default::default()
+            },
+        );
         t.fit_all(&x, &y);
         assert_eq!(t.node_count(), 1);
     }

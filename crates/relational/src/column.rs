@@ -1,14 +1,13 @@
 //! Columns: a named, ordered collection of [`Value`]s with an inferred type.
 
 use crate::value::Value;
-use serde::{Deserialize, Serialize};
 
 /// The logical type of a column, inferred from its contents.
 ///
 /// Inference is majority-driven so that dirty columns (e.g. a numeric column
 /// with a few `"?"` sentinels) still classify as numeric — exactly the
 /// scenario Leva's refinement stage is designed for.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
 pub enum DataType {
     /// Column of integers.
     Int,
@@ -32,7 +31,7 @@ impl DataType {
 }
 
 /// A named column of values.
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct Column {
     name: String,
     values: Vec<Value>,
@@ -41,12 +40,18 @@ pub struct Column {
 impl Column {
     /// Creates an empty column.
     pub fn new(name: impl Into<String>) -> Self {
-        Self { name: name.into(), values: Vec::new() }
+        Self {
+            name: name.into(),
+            values: Vec::new(),
+        }
     }
 
     /// Creates a column from existing values.
     pub fn from_values(name: impl Into<String>, values: Vec<Value>) -> Self {
-        Self { name: name.into(), values }
+        Self {
+            name: name.into(),
+            values,
+        }
     }
 
     /// Column name.
@@ -229,7 +234,11 @@ mod tests {
 
     #[test]
     fn numeric_values_skips_non_numeric() {
-        let c = col(vec![Value::Int(1), Value::Text("x".into()), Value::Float(2.0)]);
+        let c = col(vec![
+            Value::Int(1),
+            Value::Text("x".into()),
+            Value::Float(2.0),
+        ]);
         let v: Vec<f64> = c.numeric_values().collect();
         assert_eq!(v, vec![1.0, 2.0]);
     }

@@ -38,8 +38,11 @@ pub fn read_csv_str(name: &str, data: &str) -> Result<Table> {
 
 /// Writes a table as CSV.
 pub fn write_csv<W: Write>(table: &Table, mut out: W) -> std::io::Result<()> {
-    let header: Vec<String> =
-        table.column_names().iter().map(|n| escape_field(n)).collect();
+    let header: Vec<String> = table
+        .column_names()
+        .iter()
+        .map(|n| escape_field(n))
+        .collect();
     writeln!(out, "{}", header.join(","))?;
     for r in 0..table.row_count() {
         let fields: Vec<String> = table
@@ -95,7 +98,10 @@ fn parse_records<R: BufRead>(mut reader: R) -> Result<Vec<Vec<String>>> {
     let mut data = String::new();
     reader
         .read_to_string(&mut data)
-        .map_err(|e| RelationalError::Csv { line: 0, message: e.to_string() })?;
+        .map_err(|e| RelationalError::Csv {
+            line: 0,
+            message: e.to_string(),
+        })?;
     let mut records = Vec::new();
     let mut record: Vec<String> = Vec::new();
     let mut field = String::new();
@@ -152,7 +158,10 @@ fn parse_records<R: BufRead>(mut reader: R) -> Result<Vec<Vec<String>>> {
         }
     }
     if in_quotes {
-        return Err(RelationalError::Csv { line, message: "unterminated quoted field".into() });
+        return Err(RelationalError::Csv {
+            line,
+            message: "unterminated quoted field".into(),
+        });
     }
     if saw_any && (!field.is_empty() || !record.is_empty()) {
         record.push(field);
@@ -187,7 +196,10 @@ mod tests {
     fn quoted_quote_and_newline() {
         let csv = "a\n\"he said \"\"hi\"\"\"\n\"line1\nline2\"\n";
         let t = read_csv_str("t", csv).unwrap();
-        assert_eq!(t.value(0, 0).unwrap(), &Value::Text("he said \"hi\"".into()));
+        assert_eq!(
+            t.value(0, 0).unwrap(),
+            &Value::Text("he said \"hi\"".into())
+        );
         assert_eq!(t.value(1, 0).unwrap(), &Value::Text("line1\nline2".into()));
     }
 

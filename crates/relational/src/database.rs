@@ -7,10 +7,9 @@
 
 use crate::error::{RelationalError, Result};
 use crate::table::Table;
-use serde::{Deserialize, Serialize};
 
 /// A declared key-foreign-key relationship, used by oracle baselines only.
-#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq, Eq)]
 pub struct ForeignKey {
     /// Referencing table.
     pub from_table: String,
@@ -40,7 +39,7 @@ impl ForeignKey {
 }
 
 /// A collection of named tables.
-#[derive(Debug, Clone, Default, Serialize, Deserialize)]
+#[derive(Debug, Clone, Default)]
 pub struct Database {
     tables: Vec<Table>,
     foreign_keys: Vec<ForeignKey>,
@@ -55,7 +54,9 @@ impl Database {
     /// Adds a table; names must be unique.
     pub fn add_table(&mut self, table: Table) -> Result<()> {
         if self.tables.iter().any(|t| t.name() == table.name()) {
-            return Err(RelationalError::DuplicateTable { table: table.name().to_owned() });
+            return Err(RelationalError::DuplicateTable {
+                table: table.name().to_owned(),
+            });
         }
         self.tables.push(table);
         Ok(())
@@ -76,7 +77,9 @@ impl Database {
         self.tables
             .iter()
             .find(|t| t.name() == name)
-            .ok_or_else(|| RelationalError::UnknownTable { table: name.to_owned() })
+            .ok_or_else(|| RelationalError::UnknownTable {
+                table: name.to_owned(),
+            })
     }
 
     /// Mutable table by name.
@@ -84,7 +87,9 @@ impl Database {
         self.tables
             .iter_mut()
             .find(|t| t.name() == name)
-            .ok_or_else(|| RelationalError::UnknownTable { table: name.to_owned() })
+            .ok_or_else(|| RelationalError::UnknownTable {
+                table: name.to_owned(),
+            })
     }
 
     /// Removes a table (used by fine-tuning table dropping) and any foreign
@@ -94,7 +99,9 @@ impl Database {
             .tables
             .iter()
             .position(|t| t.name() == name)
-            .ok_or_else(|| RelationalError::UnknownTable { table: name.to_owned() })?;
+            .ok_or_else(|| RelationalError::UnknownTable {
+                table: name.to_owned(),
+            })?;
         self.foreign_keys
             .retain(|fk| fk.from_table != name && fk.to_table != name);
         Ok(self.tables.remove(idx))

@@ -30,7 +30,10 @@ pub fn parse_datetime(s: &str) -> Option<i64> {
             Some(v) => v.parse().ok()?,
             None => 0,
         };
-        if it.next().is_some() || !(0..24).contains(&h) || !(0..60).contains(&m) || !(0..60).contains(&sec)
+        if it.next().is_some()
+            || !(0..24).contains(&h)
+            || !(0..60).contains(&m)
+            || !(0..60).contains(&sec)
         {
             return None;
         }
@@ -89,7 +92,10 @@ mod tests {
     fn known_timestamps() {
         // 2000-01-01 = 946684800 (well-known).
         assert_eq!(parse_datetime("2000-01-01"), Some(946_684_800));
-        assert_eq!(parse_datetime("2000-01-01 12:30:45"), Some(946_684_800 + 45045));
+        assert_eq!(
+            parse_datetime("2000-01-01 12:30:45"),
+            Some(946_684_800 + 45045)
+        );
         assert_eq!(parse_datetime("2021-06-15T08:00:00Z"), Some(1_623_744_000));
     }
 
@@ -108,8 +114,18 @@ mod tests {
 
     #[test]
     fn garbage_rejected() {
-        for s in ["", "hello", "2020-13-01", "2020-00-10", "2020-01-32", "2020-1", "12:30:00",
-                  "2020-01-01T25:00:00", "2020-01-01T10:61:00", "2020-01-01-05"] {
+        for s in [
+            "",
+            "hello",
+            "2020-13-01",
+            "2020-00-10",
+            "2020-01-32",
+            "2020-1",
+            "12:30:00",
+            "2020-01-01T25:00:00",
+            "2020-01-01T10:61:00",
+            "2020-01-01-05",
+        ] {
             assert_eq!(parse_datetime(s), None, "{s:?} should not parse");
         }
     }

@@ -7,7 +7,11 @@ use std::fmt;
 #[allow(missing_docs)] // variant fields are self-describing
 pub enum RelationalError {
     /// A row was pushed whose arity does not match the table schema.
-    ArityMismatch { table: String, expected: usize, actual: usize },
+    ArityMismatch {
+        table: String,
+        expected: usize,
+        actual: usize,
+    },
     /// A column name was requested that does not exist in the table.
     UnknownColumn { table: String, column: String },
     /// A table name was requested that does not exist in the database.
@@ -19,13 +23,21 @@ pub enum RelationalError {
     /// Malformed CSV input (unbalanced quotes, inconsistent arity, ...).
     Csv { line: usize, message: String },
     /// An index was out of bounds for the relation.
-    OutOfBounds { context: String, index: usize, len: usize },
+    OutOfBounds {
+        context: String,
+        index: usize,
+        len: usize,
+    },
 }
 
 impl fmt::Display for RelationalError {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         match self {
-            Self::ArityMismatch { table, expected, actual } => write!(
+            Self::ArityMismatch {
+                table,
+                expected,
+                actual,
+            } => write!(
                 f,
                 "arity mismatch in table '{table}': expected {expected} values, got {actual}"
             ),
@@ -36,7 +48,11 @@ impl fmt::Display for RelationalError {
             Self::DuplicateTable { table } => write!(f, "duplicate table '{table}'"),
             Self::TypeMismatch { context } => write!(f, "type mismatch: {context}"),
             Self::Csv { line, message } => write!(f, "csv error at line {line}: {message}"),
-            Self::OutOfBounds { context, index, len } => {
+            Self::OutOfBounds {
+                context,
+                index,
+                len,
+            } => {
                 write!(f, "index {index} out of bounds (len {len}) in {context}")
             }
         }

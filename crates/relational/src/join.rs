@@ -82,12 +82,7 @@ pub fn hash_join(
 /// Cardinality-preserving augmentation join: appends the non-key columns of
 /// `other` to `base`, aggregating multiple matches so the output has exactly
 /// `base.row_count()` rows.
-pub fn augment_join(
-    base: &Table,
-    other: &Table,
-    base_col: &str,
-    other_col: &str,
-) -> Result<Table> {
+pub fn augment_join(base: &Table, other: &Table, base_col: &str, other_col: &str) -> Result<Table> {
     let bidx = base.column_index(base_col)?;
     let oidx = other.column_index(other_col)?;
     let mut index: HashMap<String, Vec<usize>> = HashMap::new();
@@ -161,17 +156,22 @@ mod tests {
 
     fn base() -> Table {
         let mut t = Table::new("orders", vec!["id", "item"]);
-        t.push_row(vec![Value::Int(1), Value::Text("pen".into())]).unwrap();
-        t.push_row(vec![Value::Int(2), Value::Text("ink".into())]).unwrap();
+        t.push_row(vec![Value::Int(1), Value::Text("pen".into())])
+            .unwrap();
+        t.push_row(vec![Value::Int(2), Value::Text("ink".into())])
+            .unwrap();
         t.push_row(vec![Value::Int(3), Value::Null]).unwrap();
         t
     }
 
     fn prices() -> Table {
         let mut t = Table::new("prices", vec!["item", "price"]);
-        t.push_row(vec![Value::Text("pen".into()), Value::Float(2.0)]).unwrap();
-        t.push_row(vec![Value::Text("pen".into()), Value::Float(4.0)]).unwrap();
-        t.push_row(vec![Value::Text("ink".into()), Value::Float(10.0)]).unwrap();
+        t.push_row(vec![Value::Text("pen".into()), Value::Float(2.0)])
+            .unwrap();
+        t.push_row(vec![Value::Text("pen".into()), Value::Float(4.0)])
+            .unwrap();
+        t.push_row(vec![Value::Text("ink".into()), Value::Float(10.0)])
+            .unwrap();
         t
     }
 
@@ -179,7 +179,10 @@ mod tests {
     fn inner_join_multiplies_rows() {
         let j = hash_join(&base(), &prices(), "item", "item", JoinKind::Inner).unwrap();
         assert_eq!(j.row_count(), 3); // pen x2 + ink x1; null row dropped
-        assert_eq!(j.column_names(), vec!["id", "item", "prices.item", "prices.price"]);
+        assert_eq!(
+            j.column_names(),
+            vec!["id", "item", "prices.item", "prices.price"]
+        );
     }
 
     #[test]
@@ -207,7 +210,8 @@ mod tests {
     fn augment_mode_for_text() {
         let mut t = Table::new("tags", vec!["item", "tag"]);
         for tag in ["a", "b", "b"] {
-            t.push_row(vec![Value::Text("pen".into()), Value::Text(tag.into())]).unwrap();
+            t.push_row(vec![Value::Text("pen".into()), Value::Text(tag.into())])
+                .unwrap();
         }
         let a = augment_join(&base(), &t, "item", "item").unwrap();
         assert_eq!(a.value(0, 2).unwrap(), &Value::Text("b".into()));

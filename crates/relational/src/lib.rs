@@ -27,12 +27,12 @@ pub mod csv;
 
 pub use column::{Column, DataType};
 pub use database::{Database, ForeignKey};
+pub use datetime::{looks_like_datetime, parse_datetime};
 pub use error::{RelationalError, Result};
 pub use join::{augment_join, hash_join, JoinKind};
 pub use stats::{
-    column_stats, excess_kurtosis, mean, quantile, quantile_sorted, sentinel_fraction,
-    std_dev, ColumnStats,
+    column_stats, excess_kurtosis, mean, quantile, quantile_sorted, sentinel_fraction, std_dev,
+    ColumnStats,
 };
-pub use datetime::{looks_like_datetime, parse_datetime};
 pub use table::Table;
 pub use value::Value;

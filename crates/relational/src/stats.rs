@@ -55,7 +55,11 @@ pub fn column_stats(column: &Column) -> ColumnStats {
         len,
         non_null,
         distinct: distinct.len(),
-        distinct_ratio: if non_null == 0 { 0.0 } else { distinct.len() as f64 / non_null as f64 },
+        distinct_ratio: if non_null == 0 {
+            0.0
+        } else {
+            distinct.len() as f64 / non_null as f64
+        },
         mean,
         std_dev,
         excess_kurtosis: kurt,

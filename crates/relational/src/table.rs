@@ -3,10 +3,9 @@
 use crate::column::{Column, DataType};
 use crate::error::{RelationalError, Result};
 use crate::value::Value;
-use serde::{Deserialize, Serialize};
 
 /// An in-memory columnar table.
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct Table {
     name: String,
     columns: Vec<Column>,
@@ -17,7 +16,10 @@ impl Table {
     pub fn new<S: Into<String>>(name: impl Into<String>, column_names: Vec<S>) -> Self {
         Self {
             name: name.into(),
-            columns: column_names.into_iter().map(|n| Column::new(n.into())).collect(),
+            columns: column_names
+                .into_iter()
+                .map(|n| Column::new(n.into()))
+                .collect(),
         }
     }
 
@@ -113,11 +115,14 @@ impl Table {
 
     /// Value at `(row, col_idx)`.
     pub fn value(&self, row: usize, col_idx: usize) -> Result<&Value> {
-        let col = self.columns.get(col_idx).ok_or(RelationalError::OutOfBounds {
-            context: format!("column of table '{}'", self.name),
-            index: col_idx,
-            len: self.columns.len(),
-        })?;
+        let col = self
+            .columns
+            .get(col_idx)
+            .ok_or(RelationalError::OutOfBounds {
+                context: format!("column of table '{}'", self.name),
+                index: col_idx,
+                len: self.columns.len(),
+            })?;
         col.get(row).ok_or(RelationalError::OutOfBounds {
             context: format!("row of table '{}'", self.name),
             index: row,
@@ -198,7 +203,10 @@ impl Table {
                 Column::from_values(c.name().to_owned(), c.values()[..n.min(c.len())].to_vec())
             })
             .collect();
-        Table { name: self.name.clone(), columns: cols }
+        Table {
+            name: self.name.clone(),
+            columns: cols,
+        }
     }
 
     /// Inferred data type per column, in schema order.
@@ -213,8 +221,10 @@ mod tests {
 
     fn sample() -> Table {
         let mut t = Table::new("expenses", vec!["name", "gender", "total"]);
-        t.push_row(vec!["alice".into(), "F".into(), Value::Float(10.0)]).unwrap();
-        t.push_row(vec!["bob".into(), "M".into(), Value::Float(20.0)]).unwrap();
+        t.push_row(vec!["alice".into(), "F".into(), Value::Float(10.0)])
+            .unwrap();
+        t.push_row(vec!["bob".into(), "M".into(), Value::Float(20.0)])
+            .unwrap();
         t
     }
 
@@ -231,7 +241,14 @@ mod tests {
     fn arity_mismatch_rejected() {
         let mut t = sample();
         let err = t.push_row(vec!["x".into()]).unwrap_err();
-        assert!(matches!(err, RelationalError::ArityMismatch { expected: 3, actual: 1, .. }));
+        assert!(matches!(
+            err,
+            RelationalError::ArityMismatch {
+                expected: 3,
+                actual: 1,
+                ..
+            }
+        ));
     }
 
     #[test]

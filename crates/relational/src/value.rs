@@ -6,11 +6,10 @@
 //! `Value` therefore keeps sentinel strings as ordinary text and reserves
 //! [`Value::Null`] for values that are *known* missing at ingestion time.
 
-use serde::{Deserialize, Serialize};
 use std::fmt;
 
 /// A single relational cell value.
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
 pub enum Value {
     /// Known-missing value.
     Null,

@@ -82,7 +82,10 @@ impl Histogram {
                 boundaries.push(min + width * i as f64);
             }
         }
-        Histogram { kind: HistogramKind::EquiWidth, boundaries }
+        Histogram {
+            kind: HistogramKind::EquiWidth,
+            boundaries,
+        }
     }
 
     /// Equi-depth histogram (quantile boundaries).
@@ -103,7 +106,10 @@ impl Histogram {
                 }
             }
         }
-        Histogram { kind: HistogramKind::EquiDepth, boundaries }
+        Histogram {
+            kind: HistogramKind::EquiDepth,
+            boundaries,
+        }
     }
 
     /// The histogram kind actually used.

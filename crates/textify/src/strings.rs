@@ -73,15 +73,9 @@ mod tests {
 
     #[test]
     fn column_majority_vote() {
-        let listy = Column::from_values(
-            "tags",
-            vec!["a,b".into(), "c,d".into(), "plain".into()],
-        );
+        let listy = Column::from_values("tags", vec!["a,b".into(), "c,d".into(), "plain".into()]);
         assert!(looks_like_list_column(&listy));
-        let atomic = Column::from_values(
-            "name",
-            vec!["alice".into(), "bob".into(), "c,d".into()],
-        );
+        let atomic = Column::from_values("name", vec!["alice".into(), "bob".into(), "c,d".into()]);
         assert!(!looks_like_list_column(&atomic));
     }
 

@@ -20,7 +20,8 @@
 use crate::binning::{Histogram, HistogramChoice};
 use crate::strings::try_split_list;
 use crate::types::{classify_column, ClassifyConfig, ColumnClass};
-use leva_relational::{column_stats, excess_kurtosis, mean, std_dev, Database, Value};
+use leva_linalg::resolve_threads;
+use leva_relational::{column_stats, excess_kurtosis, mean, std_dev, Database, Table, Value};
 use std::collections::HashMap;
 
 /// Configuration of the textification stage (Table 2, "Textification").
@@ -37,6 +38,10 @@ pub struct TextifyConfig {
     /// (the paper treats strings atomically); Leva's entity-resolution task
     /// (§6.7) enables it so perturbed record names still share tokens.
     pub split_multiword: bool,
+    /// Worker threads for the token-emission pass (`0` = available
+    /// parallelism). Tables are tokenized independently and merged in
+    /// database order, so the output is identical at any thread count.
+    pub threads: usize,
 }
 
 impl Default for TextifyConfig {
@@ -46,6 +51,7 @@ impl Default for TextifyConfig {
             histogram: HistogramChoice::default(),
             classify: ClassifyConfig::default(),
             split_multiword: false,
+            threads: 1,
         }
     }
 }
@@ -108,14 +114,21 @@ impl ColumnEncoder {
             ColumnClass::Empty => Vec::new(),
             ColumnClass::Key => {
                 if self.int_key {
-                    vec![format!("{}={}", self.column_key, normalize_token(&value.render()))]
+                    vec![format!(
+                        "{}={}",
+                        self.column_key,
+                        normalize_token(&value.render())
+                    )]
                 } else {
                     self.with_words(normalize_token(&value.render()))
                 }
             }
             ColumnClass::Numeric | ColumnClass::Datetime => match value.as_f64() {
                 Some(v) => {
-                    let h = self.histogram.as_ref().expect("numeric column has histogram");
+                    let h = self
+                        .histogram
+                        .as_ref()
+                        .expect("numeric column has histogram");
                     vec![format!("{}#{}", self.column_key, h.bin(v))]
                 }
                 // Dirty non-numeric cell in a numeric column: keep it
@@ -197,8 +210,8 @@ pub fn textify(db: &Database, cfg: &TextifyConfig) -> TokenizedDatabase {
             let stats = column_stats(col);
             let dtype = col.infer_type();
             let class = classify_column(col, dtype, &stats, &cfg.classify);
-            let int_key = class == ColumnClass::Key
-                && matches!(dtype, leva_relational::DataType::Int);
+            let int_key =
+                class == ColumnClass::Key && matches!(dtype, leva_relational::DataType::Int);
             let column_key = normalize_token(col.name());
             if matches!(class, ColumnClass::Numeric | ColumnClass::Datetime) {
                 numeric_pool
@@ -240,36 +253,84 @@ pub fn textify(db: &Database, cfg: &TextifyConfig) -> TokenizedDatabase {
         enc.histogram = histograms.get(&enc.column_key).cloned();
     }
 
-    // Pass 2: emit tokens.
-    let mut tables = Vec::with_capacity(db.table_count());
-    for table in db.tables() {
-        let col_encoders: Vec<&ColumnEncoder> = table
-            .columns()
-            .iter()
-            .map(|c| {
-                encoders
-                    .get(&(table.name().to_owned(), c.name().to_owned()))
-                    .expect("all columns have encoders")
+    // Pass 2: emit tokens. Tables are independent once the encoders exist,
+    // so they are sharded across workers and re-assembled in database order.
+    let tables = tokenize_tables(db, &encoders, cfg.threads);
+
+    TokenizedDatabase {
+        tables,
+        attributes,
+        encoders,
+    }
+}
+
+/// Tokenizes every table of the database with the fitted encoders, sharding
+/// tables across `threads` workers (`0` = available parallelism) in
+/// contiguous chunks. The merge preserves database order, so the result is
+/// identical at any thread count.
+fn tokenize_tables(
+    db: &Database,
+    encoders: &HashMap<(String, String), ColumnEncoder>,
+    threads: usize,
+) -> Vec<TokenizedTable> {
+    let tables = db.tables();
+    let n = tables.len();
+    let workers = resolve_threads(threads).min(n.max(1));
+    if workers <= 1 {
+        return tables.iter().map(|t| tokenize_table(t, encoders)).collect();
+    }
+    let chunk = n.div_ceil(workers);
+    let chunks: Vec<Vec<TokenizedTable>> = crossbeam::scope(|s| {
+        let handles: Vec<_> = tables
+            .chunks(chunk)
+            .map(|band| {
+                s.spawn(move |_| band.iter().map(|t| tokenize_table(t, encoders)).collect())
             })
             .collect();
-        let mut rows = Vec::with_capacity(table.row_count());
-        for r in 0..table.row_count() {
-            let mut row = TokenizedRow::default();
-            for (c, enc) in col_encoders.iter().enumerate() {
-                let v = table.value(r, c).expect("in-bounds scan");
-                for token in enc.encode(v) {
-                    if token.is_empty() {
-                        continue;
-                    }
-                    row.tokens.push(TokenOccurrence { token, attr: enc.attr });
-                }
-            }
-            rows.push(row);
-        }
-        tables.push(TokenizedTable { name: table.name().to_owned(), rows });
-    }
+        handles
+            .into_iter()
+            .map(|h| h.join().expect("textify worker panicked"))
+            .collect()
+    })
+    .expect("textify worker panicked");
+    chunks.into_iter().flatten().collect()
+}
 
-    TokenizedDatabase { tables, attributes, encoders }
+/// Emits the token stream of one table (the per-table unit of parallel work).
+fn tokenize_table(
+    table: &Table,
+    encoders: &HashMap<(String, String), ColumnEncoder>,
+) -> TokenizedTable {
+    let col_encoders: Vec<&ColumnEncoder> = table
+        .columns()
+        .iter()
+        .map(|c| {
+            encoders
+                .get(&(table.name().to_owned(), c.name().to_owned()))
+                .expect("all columns have encoders")
+        })
+        .collect();
+    let mut rows = Vec::with_capacity(table.row_count());
+    for r in 0..table.row_count() {
+        let mut row = TokenizedRow::default();
+        for (c, enc) in col_encoders.iter().enumerate() {
+            let v = table.value(r, c).expect("in-bounds scan");
+            for token in enc.encode(v) {
+                if token.is_empty() {
+                    continue;
+                }
+                row.tokens.push(TokenOccurrence {
+                    token,
+                    attr: enc.attr,
+                });
+            }
+        }
+        rows.push(row);
+    }
+    TokenizedTable {
+        name: table.name().to_owned(),
+        rows,
+    }
 }
 
 #[cfg(test)]
@@ -321,7 +382,13 @@ mod tests {
     #[test]
     fn numeric_tokens_are_binned_and_prefixed() {
         let db = student_db();
-        let t = textify(&db, &TextifyConfig { bin_count: 5, ..Default::default() });
+        let t = textify(
+            &db,
+            &TextifyConfig {
+                bin_count: 5,
+                ..Default::default()
+            },
+        );
         let total_tokens: Vec<&str> = t.tables[0]
             .rows
             .iter()
@@ -371,7 +438,13 @@ mod tests {
     #[test]
     fn encoder_quantizes_unseen_values() {
         let db = student_db();
-        let t = textify(&db, &TextifyConfig { bin_count: 5, ..Default::default() });
+        let t = textify(
+            &db,
+            &TextifyConfig {
+                bin_count: 5,
+                ..Default::default()
+            },
+        );
         let enc = t.encoder("expenses", "total").unwrap();
         // An unseen huge value clamps into the last bin.
         let toks = enc.encode(&Value::Float(1e9));
@@ -384,7 +457,8 @@ mod tests {
         let mut db = Database::new();
         let mut t = Table::new("t", vec!["tags"]);
         for i in 0..10 {
-            t.push_row(vec![format!("a{i}, b{i}", i = i % 3).into()]).unwrap();
+            t.push_row(vec![format!("a{i}, b{i}", i = i % 3).into()])
+                .unwrap();
         }
         db.add_table(t).unwrap();
         let tok = textify(&db, &TextifyConfig::default());
@@ -402,7 +476,13 @@ mod tests {
         }
         db.add_table(a).unwrap();
         db.add_table(b).unwrap();
-        let tok = textify(&db, &TextifyConfig { bin_count: 4, ..Default::default() });
+        let tok = textify(
+            &db,
+            &TextifyConfig {
+                bin_count: 4,
+                ..Default::default()
+            },
+        );
         // Identical values in the two tables produce identical tokens.
         assert_eq!(
             tok.tables[0].rows[7].tokens[0].token,
@@ -421,5 +501,35 @@ mod tests {
     #[test]
     fn tokens_are_normalized() {
         assert_eq!(normalize_token("  HeLLo "), "hello");
+    }
+
+    #[test]
+    fn identical_across_thread_counts() {
+        let db = student_db();
+        let seq = textify(
+            &db,
+            &TextifyConfig {
+                threads: 1,
+                ..Default::default()
+            },
+        );
+        for threads in [0, 2, 8] {
+            let par = textify(
+                &db,
+                &TextifyConfig {
+                    threads,
+                    ..Default::default()
+                },
+            );
+            assert_eq!(seq.attributes, par.attributes, "threads={threads}");
+            assert_eq!(seq.tables.len(), par.tables.len(), "threads={threads}");
+            for (a, b) in seq.tables.iter().zip(&par.tables) {
+                assert_eq!(a.name, b.name, "threads={threads}");
+                assert_eq!(a.rows.len(), b.rows.len(), "threads={threads}");
+                for (ra, rb) in a.rows.iter().zip(&b.rows) {
+                    assert_eq!(ra.tokens, rb.tokens, "threads={threads}");
+                }
+            }
+        }
     }
 }

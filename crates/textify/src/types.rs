@@ -34,7 +34,9 @@ pub struct ClassifyConfig {
 
 impl Default for ClassifyConfig {
     fn default() -> Self {
-        Self { key_distinct_ratio: 0.95 }
+        Self {
+            key_distinct_ratio: 0.95,
+        }
     }
 }
 
@@ -90,19 +92,13 @@ mod tests {
 
     #[test]
     fn unique_float_column_is_not_key() {
-        let col = Column::from_values(
-            "score",
-            (0..100).map(|i| (i as f64 + 0.5).into()).collect(),
-        );
+        let col = Column::from_values("score", (0..100).map(|i| (i as f64 + 0.5).into()).collect());
         assert_eq!(classify(col), ColumnClass::Numeric);
     }
 
     #[test]
     fn repeated_int_column_is_numeric() {
-        let col = Column::from_values(
-            "age",
-            (0..100).map(|i| ((i % 10) as i64).into()).collect(),
-        );
+        let col = Column::from_values("age", (0..100).map(|i| ((i % 10) as i64).into()).collect());
         assert_eq!(classify(col), ColumnClass::Numeric);
     }
 
@@ -119,7 +115,9 @@ mod tests {
     fn repeated_strings_are_atomic() {
         let col = Column::from_values(
             "city",
-            (0..50).map(|i| ["nyc", "sfo", "chi"][i % 3].into()).collect(),
+            (0..50)
+                .map(|i| ["nyc", "sfo", "chi"][i % 3].into())
+                .collect(),
         );
         assert_eq!(classify(col), ColumnClass::StringAtomic);
     }

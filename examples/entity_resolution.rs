@@ -10,9 +10,18 @@ use leva_datasets::{er_dataset, ErDifficulty};
 fn main() {
     println!("Entity resolution with relational embeddings\n");
     for (label, difficulty) in [
-        ("mild perturbation  (BeerAdvo-RateBeer-like)", ErDifficulty::Easy),
-        ("medium perturbation (Walmart-Amazon-like)  ", ErDifficulty::Medium),
-        ("heavy perturbation (Amazon-Google-like)    ", ErDifficulty::Hard),
+        (
+            "mild perturbation  (BeerAdvo-RateBeer-like)",
+            ErDifficulty::Easy,
+        ),
+        (
+            "medium perturbation (Walmart-Amazon-like)  ",
+            ErDifficulty::Medium,
+        ),
+        (
+            "heavy perturbation (Amazon-Google-like)    ",
+            ErDifficulty::Hard,
+        ),
     ] {
         let ds = er_dataset("demo", 100, difficulty, 0xbeef);
         let cfg = LevaConfig::fast().with_dim(32).with_seed(1);

@@ -10,7 +10,7 @@
 //!
 //! Run with: `cargo run --release --example loan_default`
 
-use leva::{fit, EmbeddingMethod, Featurization, LevaConfig};
+use leva::{EmbeddingMethod, Featurization, Leva, LevaConfig};
 use leva_baselines::{assemble_base, assemble_full, target_vector, TableFeaturizer};
 use leva_datasets::financial;
 use leva_linalg::Matrix;
@@ -70,7 +70,11 @@ fn main() {
     let mut cfg = LevaConfig::fast().with_dim(64).with_seed(7);
     cfg.method = EmbeddingMethod::MatrixFactorization;
     cfg.textify.bin_count = 20;
-    let model = fit(&train_db, "loans", Some("status"), &cfg).unwrap();
+    let model = Leva::with_config(cfg)
+        .base_table("loans")
+        .target("status")
+        .fit(&train_db)
+        .unwrap();
     let x_train = model.featurize_base(Featurization::RowPlusValue);
     let x_test = model.featurize_external(&test_base, Featurization::RowPlusValue);
     let acc_emb = train_lr(&x_train, &y_train, &x_test, &y_test);
@@ -93,7 +97,13 @@ fn subset(t: &Table, rows: &[usize]) -> Table {
 }
 
 fn train_lr(x_train: &Matrix, y_train: &[f64], x_test: &Matrix, y_test: &[f64]) -> f64 {
-    let mut m = RandomForest::classifier(2, ForestConfig { n_trees: 60, ..Default::default() });
+    let mut m = RandomForest::classifier(
+        2,
+        ForestConfig {
+            n_trees: 60,
+            ..Default::default()
+        },
+    );
     m.fit(x_train, y_train);
     accuracy(y_test, &m.predict(x_test))
 }

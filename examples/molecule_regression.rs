@@ -5,7 +5,7 @@
 //!
 //! Run with: `cargo run --release --example molecule_regression`
 
-use leva::{fit, EmbeddingMethod, Featurization, LevaConfig};
+use leva::{EmbeddingMethod, Featurization, Leva, LevaConfig};
 use leva_baselines::target_vector;
 use leva_datasets::bio;
 use leva_ml::{mae, ElasticNet, Model, Standardizer};
@@ -26,9 +26,8 @@ fn main() {
     let (all_y, _) = target_vector(ds.base(), "activity", false);
     let y_train: Vec<f64> = train_rows.iter().map(|&r| all_y[r]).collect();
     let y_test: Vec<f64> = test_rows.iter().map(|&r| all_y[r]).collect();
-    let target_spread =
-        y_test.iter().cloned().fold(f64::NEG_INFINITY, f64::max)
-            - y_test.iter().cloned().fold(f64::INFINITY, f64::min);
+    let target_spread = y_test.iter().cloned().fold(f64::NEG_INFINITY, f64::max)
+        - y_test.iter().cloned().fold(f64::INFINITY, f64::min);
 
     let mut train_db = ds.db.clone();
     let mut train_base = Table::new("molecules", ds.base().column_names());
@@ -44,7 +43,11 @@ fn main() {
 
     let mut cfg = LevaConfig::fast().with_dim(48).with_seed(5);
     cfg.method = EmbeddingMethod::MatrixFactorization;
-    let model = fit(&train_db, "molecules", Some("activity"), &cfg).unwrap();
+    let model = Leva::with_config(cfg)
+        .base_table("molecules")
+        .target("activity")
+        .fit(&train_db)
+        .unwrap();
     println!(
         "graph: {} nodes ({} value nodes), refinement removed {} missing-like tokens",
         model.graph.n_nodes(),

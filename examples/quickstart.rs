@@ -3,7 +3,7 @@
 //!
 //! Run with: `cargo run --release --example quickstart`
 
-use leva::{fit, Featurization, LevaConfig};
+use leva::{Featurization, Leva, LevaConfig};
 use leva_ml::{accuracy, ForestConfig, Model, RandomForest};
 use leva_relational::{Database, ForeignKey, Table, Value};
 
@@ -26,7 +26,11 @@ fn main() {
                 Value::Int(i64::from(churns)),
             ])
             .unwrap();
-        let topic = if churns { "billing" } else { ["howto", "bug"][i % 2] };
+        let topic = if churns {
+            "billing"
+        } else {
+            ["howto", "bug"][i % 2]
+        };
         for t in 0..2 {
             tickets
                 .push_row(vec![
@@ -39,12 +43,21 @@ fn main() {
     }
     db.add_table(customers).unwrap();
     db.add_table(tickets).unwrap();
-    db.add_foreign_key(ForeignKey::new("tickets", "customer", "customers", "customer"));
+    db.add_foreign_key(ForeignKey::new(
+        "tickets",
+        "customer",
+        "customers",
+        "customer",
+    ));
 
     // 2. Fit Leva. The target column is hidden from the embedding; the
     //    pipeline textifies, builds + refines the graph, and embeds it.
     let config = LevaConfig::fast();
-    let model = fit(&db, "customers", Some("churned"), &config).expect("pipeline runs");
+    let model = Leva::with_config(config)
+        .base_table("customers")
+        .target("churned")
+        .fit(&db)
+        .expect("pipeline runs");
     println!(
         "graph: {} row nodes, {} value nodes, {} edges (method: {:?})",
         model.graph.n_row_nodes(),
@@ -72,9 +85,15 @@ fn main() {
         m
     };
     let mut rf = RandomForest::classifier(2, ForestConfig::default());
-    rf.fit(&select(&train), &train.iter().map(|&i| y[i]).collect::<Vec<_>>());
+    rf.fit(
+        &select(&train),
+        &train.iter().map(|&i| y[i]).collect::<Vec<_>>(),
+    );
     let pred = rf.predict(&select(&test));
     let truth: Vec<f64> = test.iter().map(|&i| y[i]).collect();
-    println!("churn accuracy with embedding features: {:.2}", accuracy(&truth, &pred));
+    println!(
+        "churn accuracy with embedding features: {:.2}",
+        accuracy(&truth, &pred)
+    );
     println!("(the signal lives in the tickets table — no joins were specified)");
 }

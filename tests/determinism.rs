@@ -1,0 +1,202 @@
+//! Determinism suite for the multi-threaded pipeline: the same seed must
+//! produce bitwise-identical walk corpora and MF embeddings at any thread
+//! count, and `threads = 1` with `LevaConfig::fast()` must keep matching
+//! the frozen golden fingerprint below.
+
+use leva::{EmbeddingMethod, Leva, LevaConfig, LevaError};
+use leva_embedding::{build_mf_embedding, generate_walks, MfConfig, WalkConfig};
+use leva_graph::build_graph;
+use leva_relational::{Database, Table, Value};
+use leva_textify::{textify, TextifyConfig};
+
+/// Deterministic synthetic database shared by every test in this suite.
+fn golden_db() -> Database {
+    let mut db = Database::new();
+    let mut base = Table::new("base", vec!["id", "grp", "target"]);
+    let mut aux = Table::new("aux", vec!["id", "feature"]);
+    for i in 0..30 {
+        base.push_row(vec![
+            format!("e{i}").into(),
+            ["a", "b"][i % 2].into(),
+            Value::Int((i % 2) as i64),
+        ])
+        .unwrap();
+        aux.push_row(vec![format!("e{i}").into(), format!("f{}", i % 3).into()])
+            .unwrap();
+    }
+    db.add_table(base).unwrap();
+    db.add_table(aux).unwrap();
+    db
+}
+
+fn golden_graph() -> leva_graph::LevaGraph {
+    let tokenized = textify(&golden_db(), &TextifyConfig::default());
+    build_graph(&tokenized, &leva_graph::GraphConfig::default())
+}
+
+/// FNV-1a over the exact bit patterns of every embedding coordinate, in
+/// sorted-token order — any single-bit difference changes the fingerprint.
+fn store_fingerprint(store: &leva_embedding::EmbeddingStore) -> u64 {
+    let mut h: u64 = 0xcbf29ce484222325;
+    let mut mix = |bytes: &[u8]| {
+        for &b in bytes {
+            h ^= u64::from(b);
+            h = h.wrapping_mul(0x100000001b3);
+        }
+    };
+    for token in store.sorted_tokens() {
+        mix(token.as_bytes());
+        for &v in store.get(token).expect("token present") {
+            mix(&v.to_bits().to_le_bytes());
+        }
+    }
+    h
+}
+
+/// Same seed ⇒ the walk corpus (vocabulary *and* every sequence) is
+/// bitwise identical whether generated with 1, 2, or 8 worker threads.
+#[test]
+fn walk_corpus_bitwise_identical_across_thread_counts() {
+    let graph = golden_graph();
+    let base_cfg = WalkConfig {
+        walk_length: 20,
+        walks_per_node: 4,
+        visit_limit: Some(60),
+        seed: 0xfeed,
+        threads: 1,
+        ..WalkConfig::default()
+    };
+    let reference = generate_walks(&graph, &base_cfg);
+    assert!(reference.total_tokens() > 0);
+    for threads in [2usize, 8] {
+        let corpus = generate_walks(
+            &graph,
+            &WalkConfig {
+                threads,
+                ..base_cfg
+            },
+        );
+        assert_eq!(
+            corpus.vocab, reference.vocab,
+            "vocab diverged at {threads} threads"
+        );
+        assert_eq!(
+            corpus.sequences, reference.sequences,
+            "sequences diverged at {threads} threads"
+        );
+    }
+}
+
+/// Same seed ⇒ MF embeddings (randomized SVD + ProNE propagation) carry the
+/// exact same bits at 1, 2, and 8 threads.
+#[test]
+fn mf_embedding_bitwise_identical_across_thread_counts() {
+    let graph = golden_graph();
+    let base_cfg = MfConfig {
+        dim: 16,
+        seed: 0xabcd,
+        threads: 1,
+        ..MfConfig::default()
+    };
+    let reference = store_fingerprint(&build_mf_embedding(&graph, &base_cfg));
+    for threads in [2usize, 8] {
+        let fp = store_fingerprint(&build_mf_embedding(
+            &graph,
+            &MfConfig {
+                threads,
+                ..base_cfg
+            },
+        ));
+        assert_eq!(fp, reference, "MF embedding diverged at {threads} threads");
+    }
+}
+
+/// End-to-end: the full builder pipeline produces identical embeddings at
+/// any thread count (SGNS pinned to one thread — Hogwild is the single
+/// stage exempt from the bitwise guarantee).
+#[test]
+fn full_pipeline_bitwise_identical_across_thread_counts() {
+    let db = golden_db();
+    let fit_at = |threads: usize| {
+        let mut cfg = LevaConfig::fast().with_threads(threads);
+        cfg.sgns.threads = 1;
+        let model = Leva::with_config(cfg)
+            .base_table("base")
+            .target("target")
+            .fit(&db)
+            .unwrap();
+        store_fingerprint(&model.store)
+    };
+    let reference = fit_at(1);
+    for threads in [2usize, 8] {
+        assert_eq!(
+            fit_at(threads),
+            reference,
+            "pipeline diverged at {threads} threads"
+        );
+    }
+}
+
+/// Frozen golden fingerprint of `LevaConfig::fast()` at `threads = 1` on
+/// the synthetic database above. A change here means the numerics of the
+/// pipeline changed — deliberate algorithm changes must update the
+/// constant; refactors and threading work must not.
+#[test]
+fn golden_output_matches_frozen_fingerprint() {
+    const GOLDEN_FP: u64 = 0x19526c64699acbbb;
+    let model = Leva::with_config(LevaConfig::fast())
+        .base_table("base")
+        .target("target")
+        .threads(1)
+        .fit(&golden_db())
+        .unwrap();
+    assert_eq!(store_fingerprint(&model.store), GOLDEN_FP);
+}
+
+/// Degenerate configurations are rejected with typed errors before any
+/// pipeline work starts.
+#[test]
+fn builder_rejects_degenerate_inputs() {
+    let db = golden_db();
+
+    let mut cfg = LevaConfig::fast();
+    cfg.dim = 0;
+    let err = Leva::with_config(cfg)
+        .base_table("base")
+        .fit(&db)
+        .unwrap_err();
+    assert!(matches!(err, LevaError::InvalidConfig(_)), "got {err:?}");
+
+    let mut cfg = LevaConfig::fast();
+    cfg.graph.theta_range = 1.5;
+    let err = Leva::with_config(cfg)
+        .base_table("base")
+        .fit(&db)
+        .unwrap_err();
+    assert!(matches!(err, LevaError::InvalidConfig(_)), "got {err:?}");
+
+    let err = Leva::with_config(LevaConfig::fast()).fit(&db).unwrap_err();
+    assert!(matches!(err, LevaError::InvalidConfig(_)), "got {err:?}");
+
+    let err = Leva::with_config(LevaConfig::fast())
+        .base_table("base")
+        .fit(&Database::new())
+        .unwrap_err();
+    assert!(matches!(err, LevaError::EmptyDatabase), "got {err:?}");
+}
+
+/// The RW path with multi-threaded Hogwild SGNS still runs and produces a
+/// usable store (no bitwise guarantee — this checks shape, not bits).
+#[test]
+fn hogwild_rw_path_runs_multithreaded() {
+    let mut cfg = LevaConfig::fast();
+    cfg.method = EmbeddingMethod::RandomWalk;
+    let model = Leva::with_config(cfg)
+        .base_table("base")
+        .target("target")
+        .threads(2)
+        .fit(&golden_db())
+        .unwrap();
+    assert!(model.store.sorted_tokens().len() > 30);
+    assert_eq!(model.store.dim(), 32);
+}

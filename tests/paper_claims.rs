@@ -1,6 +1,14 @@
 //! The paper's key mechanisms, each asserted as a cross-crate test.
 
-use leva::{fit, EmbeddingMethod, LevaConfig};
+use leva::{EmbeddingMethod, Leva, LevaConfig};
+
+fn fit_labeled(ds: &leva_datasets::LabeledDataset, cfg: LevaConfig) -> leva::LevaModel {
+    Leva::with_config(cfg)
+        .base_table(&ds.base_table)
+        .target(&ds.target_column)
+        .fit(&ds.db)
+        .unwrap()
+}
 use leva_datasets::{financial, genes, replicate, scalability_base};
 use leva_graph::{build_graph, GraphConfig};
 use leva_linalg::l1_distance;
@@ -28,7 +36,10 @@ fn value_nodes_keep_edges_linear() {
                     .unwrap();
             }
             db.add_table(t).unwrap();
-            let g = build_graph(&textify(&db, &TextifyConfig::default()), &GraphConfig::default());
+            let g = build_graph(
+                &textify(&db, &TextifyConfig::default()),
+                &GraphConfig::default(),
+            );
             (n, g.n_edges())
         })
         .collect();
@@ -59,8 +70,14 @@ fn pervasive_sentinels_are_voted_out() {
         t.push_row(row).unwrap();
     }
     db.add_table(t).unwrap();
-    let g = build_graph(&textify(&db, &TextifyConfig::default()), &GraphConfig::default());
-    assert!(g.value_node("?").is_none(), "sentinel must be removed by θ_range");
+    let g = build_graph(
+        &textify(&db, &TextifyConfig::default()),
+        &GraphConfig::default(),
+    );
+    assert!(
+        g.value_node("?").is_none(),
+        "sentinel must be removed by θ_range"
+    );
     assert!(g.stats().tokens_removed_missing >= 1);
 }
 
@@ -68,13 +85,7 @@ fn pervasive_sentinels_are_voted_out() {
 #[test]
 fn within_entity_rows_embed_closer_than_random() {
     let ds = genes(0.25, 3);
-    let model = fit(
-        &ds.db,
-        &ds.base_table,
-        Some(&ds.target_column),
-        &quick(EmbeddingMethod::MatrixFactorization),
-    )
-    .unwrap();
+    let model = fit_labeled(&ds, quick(EmbeddingMethod::MatrixFactorization));
     let groups = ds.entity_groups(2);
     assert!(groups.len() > 20);
     let mut within = Vec::new();
@@ -104,7 +115,10 @@ fn within_entity_rows_embed_closer_than_random() {
     };
     let mw = med(&mut within);
     let mr = med(&mut random);
-    assert!(mw < mr, "within-entity median {mw:.2} should be below random {mr:.2}");
+    assert!(
+        mw < mr,
+        "within-entity median {mw:.2} should be below random {mr:.2}"
+    );
 }
 
 /// §6.4: replication grows the graph linearly (rows and vocabulary).
@@ -121,7 +135,10 @@ fn replication_scales_graph_linearly() {
     );
     assert_eq!(g3.n_row_nodes(), 3 * g1.n_row_nodes());
     let node_growth = g3.n_nodes() as f64 / g1.n_nodes() as f64;
-    assert!(node_growth > 2.5 && node_growth < 3.5, "node growth {node_growth}");
+    assert!(
+        node_growth > 2.5 && node_growth < 3.5,
+        "node growth {node_growth}"
+    );
 }
 
 /// §4.2: the memory-driven auto choice really differs between the methods,
@@ -130,22 +147,10 @@ fn replication_scales_graph_linearly() {
 fn mf_is_faster_than_rw() {
     let ds = financial(0.15, 2);
     let t0 = std::time::Instant::now();
-    let _ = fit(
-        &ds.db,
-        &ds.base_table,
-        Some(&ds.target_column),
-        &quick(EmbeddingMethod::MatrixFactorization),
-    )
-    .unwrap();
+    let _ = fit_labeled(&ds, quick(EmbeddingMethod::MatrixFactorization));
     let mf = t0.elapsed();
     let t0 = std::time::Instant::now();
-    let _ = fit(
-        &ds.db,
-        &ds.base_table,
-        Some(&ds.target_column),
-        &quick(EmbeddingMethod::RandomWalk),
-    )
-    .unwrap();
+    let _ = fit_labeled(&ds, quick(EmbeddingMethod::RandomWalk));
     let rw = t0.elapsed();
     assert!(rw > mf, "RW ({rw:?}) should be slower than MF ({mf:?})");
 }
@@ -155,16 +160,13 @@ fn mf_is_faster_than_rw() {
 #[test]
 fn unseen_numeric_values_quantize() {
     let ds = genes(0.25, 4);
-    let model = fit(
-        &ds.db,
-        &ds.base_table,
-        Some(&ds.target_column),
-        &quick(EmbeddingMethod::MatrixFactorization),
-    )
-    .unwrap();
+    let model = fit_labeled(&ds, quick(EmbeddingMethod::MatrixFactorization));
     // The interactions table's "strength" column is numeric; feed an
     // out-of-range value through its encoder.
-    let enc = model.tokenized.encoder("interactions", "strength").expect("encoder");
+    let enc = model
+        .tokenized
+        .encoder("interactions", "strength")
+        .expect("encoder");
     let tokens = enc.encode(&Value::Float(1e12));
     assert_eq!(tokens.len(), 1);
     assert!(tokens[0].starts_with("strength#"), "got {tokens:?}");

@@ -1,12 +1,19 @@
 //! End-to-end integration tests spanning the whole workspace: datasets →
 //! textify → graph → embedding → deployment → downstream model.
 
-use leva::{fit, EmbeddingMethod, Featurization, LevaConfig, MethodUsed};
+use leva::{EmbeddingMethod, Featurization, Leva, LevaConfig, MethodUsed};
+use leva_relational::Database;
+
+fn fit_expenses(db: &Database, cfg: &LevaConfig) -> leva::LevaModel {
+    Leva::with_config(cfg.clone())
+        .base_table("expenses")
+        .target("total_expenses")
+        .fit(db)
+        .unwrap()
+}
 use leva_baselines::{assemble_base, target_vector, TableFeaturizer};
 use leva_datasets::{bio, genes, student, LabeledDataset, StudentOptions};
-use leva_ml::{
-    accuracy, mae, ForestConfig, LogisticRegression, Model, RandomForest, Standardizer,
-};
+use leva_ml::{accuracy, mae, ForestConfig, LogisticRegression, Model, RandomForest, Standardizer};
 use leva_relational::Table;
 
 fn quick_cfg(method: EmbeddingMethod) -> LevaConfig {
@@ -50,7 +57,10 @@ fn evaluate(ds: &LabeledDataset, method: Option<EmbeddingMethod>, classification
             (feat.transform(&t), feat.transform(&test_base))
         }
         Some(m) => {
-            let model = fit(&train_db, &ds.base_table, Some(&ds.target_column), &quick_cfg(m))
+            let model = Leva::with_config(quick_cfg(m))
+                .base_table(&ds.base_table)
+                .target(&ds.target_column)
+                .fit(&train_db)
                 .expect("pipeline runs");
             (
                 model.featurize_base(Featurization::RowPlusValue),
@@ -66,7 +76,10 @@ fn evaluate(ds: &LabeledDataset, method: Option<EmbeddingMethod>, classification
     } else {
         // Forests are robust to the wide, heavy-tailed embedding features
         // that overwhelm OLS at small sample sizes.
-        let mut rf = RandomForest::regressor(ForestConfig { n_trees: 40, ..Default::default() });
+        let mut rf = RandomForest::regressor(ForestConfig {
+            n_trees: 40,
+            ..Default::default()
+        });
         rf.fit(&x_train, &y_train);
         mae(&y_test, &rf.predict(&x_test))
     }
@@ -98,21 +111,31 @@ fn rw_embedding_beats_base_table_on_genes_classification() {
 
 #[test]
 fn auto_method_selection_prefers_mf_with_memory() {
-    let ds = student(&StudentOptions { scale: 0.3, ..Default::default() });
-    let mut cfg = quick_cfg(EmbeddingMethod::Auto { memory_budget_bytes: usize::MAX });
-    let model = fit(&ds.db, "expenses", Some("total_expenses"), &cfg).unwrap();
+    let ds = student(&StudentOptions {
+        scale: 0.3,
+        ..Default::default()
+    });
+    let mut cfg = quick_cfg(EmbeddingMethod::Auto {
+        memory_budget_bytes: usize::MAX,
+    });
+    let model = fit_expenses(&ds.db, &cfg);
     assert_eq!(model.method_used, MethodUsed::MatrixFactorization);
-    cfg.method = EmbeddingMethod::Auto { memory_budget_bytes: 16 };
-    let model = fit(&ds.db, "expenses", Some("total_expenses"), &cfg).unwrap();
+    cfg.method = EmbeddingMethod::Auto {
+        memory_budget_bytes: 16,
+    };
+    let model = fit_expenses(&ds.db, &cfg);
     assert_eq!(model.method_used, MethodUsed::RandomWalk);
 }
 
 #[test]
 fn pipeline_is_deterministic_end_to_end() {
-    let ds = student(&StudentOptions { scale: 0.3, ..Default::default() });
+    let ds = student(&StudentOptions {
+        scale: 0.3,
+        ..Default::default()
+    });
     let cfg = quick_cfg(EmbeddingMethod::MatrixFactorization);
-    let a = fit(&ds.db, "expenses", Some("total_expenses"), &cfg).unwrap();
-    let b = fit(&ds.db, "expenses", Some("total_expenses"), &cfg).unwrap();
+    let a = fit_expenses(&ds.db, &cfg);
+    let b = fit_expenses(&ds.db, &cfg);
     let fa = a.featurize_base(Featurization::RowPlusValue);
     let fb = b.featurize_base(Featurization::RowPlusValue);
     assert_eq!(fa.data(), fb.data());
@@ -120,32 +143,39 @@ fn pipeline_is_deterministic_end_to_end() {
 
 #[test]
 fn stage_timings_cover_the_pipeline() {
-    let ds = student(&StudentOptions { scale: 0.3, ..Default::default() });
-    let model = fit(
-        &ds.db,
-        "expenses",
-        Some("total_expenses"),
-        &quick_cfg(EmbeddingMethod::RandomWalk),
-    )
-    .unwrap();
+    let ds = student(&StudentOptions {
+        scale: 0.3,
+        ..Default::default()
+    });
+    let model = fit_expenses(&ds.db, &quick_cfg(EmbeddingMethod::RandomWalk));
     let t = &model.timings;
-    assert!(t.textify.as_nanos() > 0);
-    assert!(t.graph.as_nanos() > 0);
-    assert!(t.walk_generation.as_nanos() > 0);
-    assert!(t.embedding_training.as_nanos() > 0);
+    let stages: Vec<&str> = t.stages().iter().map(|s| s.stage).collect();
+    assert_eq!(
+        stages,
+        ["textify", "graph", "walk_generation", "embedding_training"]
+    );
+    assert!(t.stages().iter().all(|s| s.wall.as_nanos() > 0));
     let f = t.fractions();
     assert!((f.iter().sum::<f64>() - 1.0).abs() < 1e-9);
 }
 
 #[test]
 fn every_graph_node_has_an_embedding() {
-    let ds = student(&StudentOptions { scale: 0.3, ..Default::default() });
-    for method in [EmbeddingMethod::MatrixFactorization, EmbeddingMethod::RandomWalk] {
-        let model =
-            fit(&ds.db, "expenses", Some("total_expenses"), &quick_cfg(method)).unwrap();
+    let ds = student(&StudentOptions {
+        scale: 0.3,
+        ..Default::default()
+    });
+    for method in [
+        EmbeddingMethod::MatrixFactorization,
+        EmbeddingMethod::RandomWalk,
+    ] {
+        let model = fit_expenses(&ds.db, &quick_cfg(method));
         assert_eq!(model.store.len(), model.graph.n_nodes());
         for node in 0..model.graph.n_nodes() as u32 {
-            let emb = model.store.get(model.graph.name(node)).expect("embedding exists");
+            let emb = model
+                .store
+                .get(model.graph.name(node))
+                .expect("embedding exists");
             assert!(emb.iter().all(|v| v.is_finite()));
         }
     }

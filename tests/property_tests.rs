@@ -1,131 +1,158 @@
 //! Cross-crate property-based tests: invariants of the pipeline under
 //! randomly generated relational inputs.
+//!
+//! Uses seeded case generation with plain assertions (the workspace
+//! builds offline, without proptest); every failure reports the case
+//! seed so it can be replayed deterministically.
 
 use leva_graph::{build_graph, GraphConfig, NodeKind};
 use leva_linalg::CsrMatrix;
 use leva_relational::{csv, Database, Table, Value};
 use leva_textify::{textify, Histogram, TextifyConfig};
-use proptest::prelude::*;
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
 
-/// Strategy: a random small table with mixed column types and occasional
-/// nulls / sentinel strings.
-fn arb_table() -> impl Strategy<Value = Table> {
-    let cell = prop_oneof![
-        3 => (-1000i64..1000).prop_map(Value::Int),
-        3 => (-1000.0f64..1000.0).prop_map(Value::float),
-        3 => "[a-z]{1,6}".prop_map(Value::text),
-        1 => Just(Value::Null),
-        1 => Just(Value::Text("?".into())),
-    ];
-    (2usize..5, 1usize..30).prop_flat_map(move |(cols, rows)| {
-        proptest::collection::vec(
-            proptest::collection::vec(cell.clone(), cols),
-            rows,
-        )
-        .prop_map(move |data| {
-            let names: Vec<String> = (0..cols).map(|c| format!("c{c}")).collect();
-            let mut t = Table::new("t", names);
-            for row in data {
-                t.push_row(row).expect("arity matches");
-            }
-            t
-        })
-    })
+const CASES: u64 = 64;
+
+/// A random small table with mixed column types and occasional nulls /
+/// sentinel strings.
+fn arb_table(rng: &mut StdRng) -> Table {
+    let cols = rng.gen_range(2usize..5);
+    let rows = rng.gen_range(1usize..30);
+    let names: Vec<String> = (0..cols).map(|c| format!("c{c}")).collect();
+    let mut t = Table::new("t", names);
+    for _ in 0..rows {
+        let row: Vec<Value> = (0..cols)
+            .map(|_| match rng.gen_range(0u32..11) {
+                0..=2 => Value::Int(rng.gen_range(-1000i64..1000)),
+                3..=5 => Value::float(rng.gen_range(-1000.0f64..1000.0)),
+                6..=8 => {
+                    let len = rng.gen_range(1usize..=6);
+                    let s: String = (0..len)
+                        .map(|_| (b'a' + rng.gen_range(0u8..26)) as char)
+                        .collect();
+                    Value::text(s)
+                }
+                9 => Value::Null,
+                _ => Value::Text("?".into()),
+            })
+            .collect();
+        t.push_row(row).expect("arity matches");
+    }
+    t
 }
 
-proptest! {
-    #![proptest_config(ProptestConfig::with_cases(64))]
-
-    /// CSV write → read roundtrips the rendered values of any table.
-    #[test]
-    fn csv_roundtrip(table in arb_table()) {
+/// CSV write → read roundtrips the rendered values of any table.
+#[test]
+fn csv_roundtrip() {
+    for case in 0..CASES {
+        let mut rng = StdRng::seed_from_u64(0xC5_0000 + case);
+        let table = arb_table(&mut rng);
         let s = csv::write_csv_string(&table);
         let back = csv::read_csv_str("t", &s).expect("roundtrip parses");
-        prop_assert_eq!(back.row_count(), table.row_count());
-        prop_assert_eq!(back.column_count(), table.column_count());
+        assert_eq!(back.row_count(), table.row_count(), "case {case}");
+        assert_eq!(back.column_count(), table.column_count(), "case {case}");
         for r in 0..table.row_count() {
             for c in 0..table.column_count() {
                 let orig = table.value(r, c).unwrap();
                 let got = back.value(r, c).unwrap();
                 // Rendered equality: "3.0" may come back as Int(3), nulls
                 // stay null.
-                prop_assert_eq!(orig.render(), got.render());
+                assert_eq!(orig.render(), got.render(), "case {case} ({r},{c})");
             }
         }
     }
+}
 
-    /// The refined graph is always bipartite with a symmetric adjacency,
-    /// and value nodes always connect at least two rows.
-    #[test]
-    fn graph_invariants(table in arb_table()) {
+/// The refined graph is always bipartite with a symmetric adjacency, and
+/// value nodes always connect at least two rows.
+#[test]
+fn graph_invariants() {
+    for case in 0..CASES {
+        let mut rng = StdRng::seed_from_u64(0x6A_0000 + case);
         let mut db = Database::new();
-        db.add_table(table).unwrap();
+        db.add_table(arb_table(&mut rng)).unwrap();
         let tok = textify(&db, &TextifyConfig::default());
         let g = build_graph(&tok, &GraphConfig::default());
         for u in 0..g.n_nodes() as u32 {
             let u_is_row = matches!(g.kind(u), NodeKind::Row { .. });
             if !u_is_row {
-                prop_assert!(g.degree(u) >= 2, "value node with degree < 2");
+                assert!(g.degree(u) >= 2, "case {case}: value node with degree < 2");
             }
             for &(v, w) in g.neighbors(u) {
-                prop_assert!(w > 0.0 && w.is_finite());
+                assert!(w > 0.0 && w.is_finite(), "case {case}");
                 let v_is_row = matches!(g.kind(v), NodeKind::Row { .. });
-                prop_assert_ne!(u_is_row, v_is_row, "graph must be bipartite");
-                prop_assert!(
+                assert_ne!(u_is_row, v_is_row, "case {case}: graph must be bipartite");
+                assert!(
                     g.neighbors(v).iter().any(|&(x, _)| x == u),
-                    "adjacency must be symmetric"
+                    "case {case}: adjacency must be symmetric"
                 );
             }
         }
     }
+}
 
-    /// Histogram binning is monotone and total over the reals.
-    #[test]
-    fn histogram_monotone(
-        mut values in proptest::collection::vec(-1e6f64..1e6, 2..200),
-        bins in 1usize..64,
-        probes in proptest::collection::vec(-2e6f64..2e6, 10),
-    ) {
+/// Histogram binning is monotone and total over the reals.
+#[test]
+fn histogram_monotone() {
+    for case in 0..CASES {
+        let mut rng = StdRng::seed_from_u64(0x41_0000 + case);
+        let n_values = rng.gen_range(2usize..200);
+        let values: Vec<f64> = (0..n_values).map(|_| rng.gen_range(-1e6f64..1e6)).collect();
+        let bins = rng.gen_range(1usize..64);
         let h = Histogram::equi_depth(&values, bins);
-        values.sort_by(|a, b| a.partial_cmp(b).unwrap());
-        let mut sorted_probes = probes;
-        sorted_probes.sort_by(|a, b| a.partial_cmp(b).unwrap());
+        let mut probes: Vec<f64> = (0..10).map(|_| rng.gen_range(-2e6f64..2e6)).collect();
+        probes.sort_by(|a, b| a.partial_cmp(b).unwrap());
         let mut last = 0usize;
-        for &p in &sorted_probes {
+        for &p in &probes {
             let b = h.bin(p);
-            prop_assert!(b < h.bins());
-            prop_assert!(b >= last);
+            assert!(b < h.bins(), "case {case}");
+            assert!(b >= last, "case {case}: binning must be monotone");
             last = b;
         }
     }
+}
 
-    /// CSR sparse mat-vec always matches the dense computation.
-    #[test]
-    fn csr_matches_dense(
-        triplets in proptest::collection::vec((0u32..12, 0u32..12, -10.0f64..10.0), 0..60),
-        x in proptest::collection::vec(-5.0f64..5.0, 12),
-    ) {
+/// CSR sparse mat-vec always matches the dense computation.
+#[test]
+fn csr_matches_dense() {
+    for case in 0..CASES {
+        let mut rng = StdRng::seed_from_u64(0xC2_0000 + case);
+        let n_triplets = rng.gen_range(0usize..60);
+        let triplets: Vec<(u32, u32, f64)> = (0..n_triplets)
+            .map(|_| {
+                (
+                    rng.gen_range(0u32..12),
+                    rng.gen_range(0u32..12),
+                    rng.gen_range(-10.0f64..10.0),
+                )
+            })
+            .collect();
+        let x: Vec<f64> = (0..12).map(|_| rng.gen_range(-5.0f64..5.0)).collect();
         let m = CsrMatrix::from_triplets(12, 12, triplets);
         let sparse = m.spmv(&x);
         let dense = m.to_dense().matvec(&x);
         for (a, b) in sparse.iter().zip(&dense) {
-            prop_assert!((a - b).abs() < 1e-9);
+            assert!((a - b).abs() < 1e-9, "case {case}");
         }
     }
+}
 
-    /// Textification never emits empty tokens, and every emitted token's
-    /// attribute id is valid.
-    #[test]
-    fn textify_tokens_well_formed(table in arb_table()) {
+/// Textification never emits empty tokens, and every emitted token's
+/// attribute id is valid.
+#[test]
+fn textify_tokens_well_formed() {
+    for case in 0..CASES {
+        let mut rng = StdRng::seed_from_u64(0x7E_0000 + case);
         let mut db = Database::new();
-        db.add_table(table).unwrap();
+        db.add_table(arb_table(&mut rng)).unwrap();
         let tok = textify(&db, &TextifyConfig::default());
         for t in &tok.tables {
             for row in &t.rows {
                 for occ in &row.tokens {
-                    prop_assert!(!occ.token.is_empty());
-                    prop_assert!((occ.attr as usize) < tok.attributes.len());
-                    prop_assert_eq!(occ.token.trim(), occ.token.as_str());
+                    assert!(!occ.token.is_empty(), "case {case}");
+                    assert!((occ.attr as usize) < tok.attributes.len(), "case {case}");
+                    assert_eq!(occ.token.trim(), occ.token.as_str(), "case {case}");
                 }
             }
         }

@@ -1,0 +1,118 @@
+//! Offline drop-in subset of the `crossbeam` scoped-thread API.
+//!
+//! The workspace builds in hermetic environments with no access to
+//! crates.io, so this path crate shadows the crates-io `crossbeam` package
+//! and provides the one API the workspace uses — [`scope`] — implemented
+//! on top of `std::thread::scope` (stable since Rust 1.63).
+
+use std::any::Any;
+
+/// Result alias matching `crossbeam::thread::Result`.
+pub type ThreadResult<T> = Result<T, Box<dyn Any + Send + 'static>>;
+
+/// A scope handle passed to [`scope`]'s closure and to every spawned
+/// thread's closure, mirroring `crossbeam::thread::Scope`.
+pub struct Scope<'scope, 'env: 'scope> {
+    inner: &'scope std::thread::Scope<'scope, 'env>,
+}
+
+impl<'scope, 'env> Scope<'scope, 'env> {
+    /// Spawns a scoped thread. The closure receives a scope handle so it
+    /// can spawn further siblings, exactly like crossbeam's API.
+    pub fn spawn<F, T>(&self, f: F) -> ScopedJoinHandle<'scope, T>
+    where
+        F: FnOnce(&Scope<'scope, 'env>) -> T + Send + 'scope,
+        T: Send + 'scope,
+    {
+        let inner = self.inner;
+        ScopedJoinHandle {
+            handle: inner.spawn(move || f(&Scope { inner })),
+        }
+    }
+}
+
+/// Join handle for a scoped thread, mirroring
+/// `crossbeam::thread::ScopedJoinHandle`.
+pub struct ScopedJoinHandle<'scope, T> {
+    handle: std::thread::ScopedJoinHandle<'scope, T>,
+}
+
+impl<T> ScopedJoinHandle<'_, T> {
+    /// Waits for the thread to finish, returning its result or the
+    /// panic payload.
+    pub fn join(self) -> ThreadResult<T> {
+        self.handle.join()
+    }
+}
+
+/// Creates a scope in which threads borrowing local data can be spawned;
+/// all spawned threads are joined before `scope` returns.
+///
+/// Unlike crossbeam (which collects panics from unjoined children into the
+/// `Err` variant), `std::thread::scope` propagates child panics by
+/// resuming them on the scope thread — so this shim only ever returns
+/// `Ok`. Call sites using `.expect(..)` behave identically.
+pub fn scope<'env, F, R>(f: F) -> ThreadResult<R>
+where
+    F: for<'scope> FnOnce(&Scope<'scope, 'env>) -> R,
+{
+    Ok(std::thread::scope(|s| f(&Scope { inner: s })))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn scope_joins_all_threads() {
+        let data = vec![1u64, 2, 3, 4];
+        let total = std::sync::atomic::AtomicU64::new(0);
+        scope(|s| {
+            for &x in &data {
+                let total = &total;
+                s.spawn(move |_| {
+                    total.fetch_add(x, std::sync::atomic::Ordering::Relaxed);
+                });
+            }
+        })
+        .expect("scope");
+        assert_eq!(total.load(std::sync::atomic::Ordering::Relaxed), 10);
+    }
+
+    #[test]
+    fn spawn_returns_joinable_handle() {
+        let out = scope(|s| {
+            let h = s.spawn(|_| 21 * 2);
+            h.join().expect("child ok")
+        })
+        .expect("scope");
+        assert_eq!(out, 42);
+    }
+
+    #[test]
+    fn nested_spawn_via_scope_arg() {
+        let out = scope(|s| {
+            s.spawn(|s2| s2.spawn(|_| 7).join().expect("inner"))
+                .join()
+                .expect("outer")
+        })
+        .expect("scope");
+        assert_eq!(out, 7);
+    }
+
+    #[test]
+    fn threads_can_borrow_locals_mutably_via_chunks() {
+        let mut data = vec![0u32; 8];
+        scope(|s| {
+            for (i, chunk) in data.chunks_mut(2).enumerate() {
+                s.spawn(move |_| {
+                    for v in chunk {
+                        *v = i as u32;
+                    }
+                });
+            }
+        })
+        .expect("scope");
+        assert_eq!(data, vec![0, 0, 1, 1, 2, 2, 3, 3]);
+    }
+}
