@@ -8,12 +8,13 @@
 
 use crate::util::mean_token_features;
 use leva_embedding::{
-    node2vec_walks, train_sgns, Corpus, EmbeddingStore, Node2VecConfig, SgnsConfig,
+    node2vec_walks, train_sgns, Corpus, EmbeddingStore, Node2VecConfig, SgnsConfig, TokenId,
+    TokenInterner,
 };
 use leva_graph::{build_graph, GraphConfig};
 use leva_linalg::Matrix;
 use leva_relational::{Database, Table};
-use leva_textify::{textify, TextifyConfig, TokenizedDatabase};
+use leva_textify::{row_name, textify, TextifyConfig, TokenizedDatabase};
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
 
@@ -106,7 +107,7 @@ impl GraphBaseline {
 
     /// The embedding of row `idx` of `table`, if present.
     pub fn row_embedding(&self, table: &str, idx: usize) -> Option<&[f64]> {
-        self.store.get(&format!("row::{table}::{idx}"))
+        self.store.get(&row_name(table, idx))
     }
 
     /// The trained store.
@@ -120,8 +121,7 @@ impl GraphBaseline {
         let dim = self.store.dim();
         let mut out = Matrix::zeros(rows, dim);
         for r in 0..rows {
-            let name = format!("row::{}::{}", self.base_table, r);
-            if let Some(emb) = self.store.get(&name) {
+            if let Some(emb) = self.store.get(&row_name(&self.base_table, r)) {
                 out.row_mut(r).copy_from_slice(emb);
             }
         }
@@ -158,45 +158,50 @@ fn embdi_walks(
     walks_per_node: usize,
     seed: u64,
 ) -> Corpus {
-    use std::collections::HashMap;
-    // Node ids: rows first, then columns, then values (interned).
-    let mut names: Vec<String> = Vec::new();
+    // Walk-graph nodes carry interned tokens; the local symbol table adds
+    // `row::`/`col::` names on top of the value tokens resolved from the
+    // tokenized database. Node ids: rows first, then columns, then values.
+    const NO_NODE: u32 = u32::MAX;
+    let mut symbols = TokenInterner::new();
+    let mut vocab: Vec<TokenId> = Vec::new();
     let mut adj: Vec<Vec<u32>> = Vec::new();
-    let push_node = |names: &mut Vec<String>, adj: &mut Vec<Vec<u32>>, name: String| -> u32 {
-        names.push(name);
+    let push_node = |vocab: &mut Vec<TokenId>, adj: &mut Vec<Vec<u32>>, token: TokenId| -> u32 {
+        vocab.push(token);
         adj.push(Vec::new());
-        (names.len() - 1) as u32
+        (vocab.len() - 1) as u32
     };
-    let mut value_ids: HashMap<String, u32> = HashMap::new();
-    let mut column_ids: HashMap<u32, u32> = HashMap::new(); // attr -> node
+    // Walk-node id per tokenized value token / attribute, dense by id.
+    let mut value_ids: Vec<u32> = vec![NO_NODE; tokenized.symbols.len()];
+    let mut column_ids: Vec<u32> = vec![NO_NODE; tokenized.attributes.len()];
 
-    // Row nodes.
-    let mut row_node: HashMap<(usize, usize), u32> = HashMap::new();
-    for (ti, t) in tokenized.tables.iter().enumerate() {
-        for ri in 0..t.rows.len() {
-            let id = push_node(&mut names, &mut adj, format!("row::{}::{ri}", t.name));
-            row_node.insert((ti, ri), id);
-        }
+    // Row nodes, one per tokenized row; table-major so ids are implicit.
+    let mut row_nodes: Vec<Vec<u32>> = Vec::with_capacity(tokenized.tables.len());
+    for t in &tokenized.tables {
+        let ids = (0..t.rows.len())
+            .map(|ri| {
+                let token = symbols.intern(&row_name(&t.name, ri));
+                push_node(&mut vocab, &mut adj, token)
+            })
+            .collect();
+        row_nodes.push(ids);
     }
     // Column nodes per attribute.
     for (attr, name) in tokenized.attributes.iter().enumerate() {
-        let id = push_node(&mut names, &mut adj, format!("col::{name}"));
-        column_ids.insert(attr as u32, id);
+        let token = symbols.intern(&format!("col::{name}"));
+        column_ids[attr] = push_node(&mut vocab, &mut adj, token);
     }
     // Value nodes and edges.
     for (ti, t) in tokenized.tables.iter().enumerate() {
         for (ri, row) in t.rows.iter().enumerate() {
-            let rid = row_node[&(ti, ri)];
+            let rid = row_nodes[ti][ri];
             for occ in &row.tokens {
-                let vid = match value_ids.get(occ.token.as_str()) {
-                    Some(&id) => id,
-                    None => {
-                        let id = push_node(&mut names, &mut adj, occ.token.clone());
-                        value_ids.insert(occ.token.clone(), id);
-                        id
-                    }
-                };
-                let cid = column_ids[&occ.attr];
+                let slot = &mut value_ids[occ.token.index()];
+                if *slot == NO_NODE {
+                    let token = symbols.intern(tokenized.token_str(occ.token));
+                    *slot = push_node(&mut vocab, &mut adj, token);
+                }
+                let vid = *slot;
+                let cid = column_ids[occ.attr as usize];
                 adj[vid as usize].push(rid);
                 adj[rid as usize].push(vid);
                 adj[vid as usize].push(cid);
@@ -205,7 +210,7 @@ fn embdi_walks(
         }
     }
 
-    let n = names.len();
+    let n = vocab.len();
     let mut rng = StdRng::seed_from_u64(seed);
     let mut sequences = Vec::with_capacity(n * walks_per_node);
     for _ in 0..walks_per_node {
@@ -226,7 +231,8 @@ fn embdi_walks(
         }
     }
     Corpus {
-        vocab: names,
+        symbols: std::sync::Arc::new(symbols),
+        vocab,
         sequences,
     }
 }

@@ -56,17 +56,20 @@ impl TextEmbedding {
             .iter()
             .position(|t| t.name() == base_table)
             .expect("base exists");
-        // One sentence per row.
-        let sentences: Vec<Vec<&str>> = tokenized
+        // One sentence per row. Tokens stay interned ids end to end: the
+        // corpus and the trained store share the tokenizer's symbol table,
+        // so no second intern pass happens here.
+        let sentences: Vec<Vec<leva_textify::TokenId>> = tokenized
             .tables
             .iter()
             .flat_map(|t| {
                 t.rows
                     .iter()
-                    .map(|r| r.tokens.iter().map(|o| o.token.as_str()).collect())
+                    .map(|r| r.tokens.iter().map(|o| o.token).collect())
             })
             .collect();
-        let corpus = Corpus::from_sentences(sentences);
+        let corpus =
+            Corpus::from_token_sentences(std::sync::Arc::clone(&tokenized.symbols), sentences);
         let store = train_sgns(&corpus, sgns).into_store(&corpus, sgns.dim);
         let n_base_columns = working.table(base_table).expect("base").column_count();
         let mut this = TextEmbedding {
@@ -189,7 +192,9 @@ impl TextEmbedding {
                 let Some(slot) = slot_of(occ.attr) else {
                     continue;
                 };
-                if let Some(emb) = self.store.get(&occ.token) {
+                // The store shares the tokenizer's symbol table (see `fit`),
+                // so the id indexes the dense vector table directly.
+                if let Some(emb) = self.store.get_id(occ.token) {
                     for (a, &e) in acc[slot].0.iter_mut().zip(emb) {
                         *a += e;
                     }

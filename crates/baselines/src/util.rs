@@ -57,12 +57,21 @@ pub fn mean_token_features_train(
     let dim = store.dim();
     let rows = &tokenized.tables[base_index].rows;
     let mut out = Matrix::zeros(rows.len(), dim);
+    // When the store shares the tokenizer's symbol table, token ids line up
+    // and the lookup is a direct index; otherwise fall back to hashing the
+    // resolved string (e.g. a store populated independently of `tokenized`).
+    let shared = std::sync::Arc::ptr_eq(store.symbols(), &tokenized.symbols);
     for (r, row) in rows.iter().enumerate() {
         let mut count = 0usize;
         {
             let acc = out.row_mut(r);
             for occ in &row.tokens {
-                if let Some(emb) = store.get(&occ.token) {
+                let emb = if shared {
+                    store.get_id(occ.token)
+                } else {
+                    store.get(tokenized.token_str(occ.token))
+                };
+                if let Some(emb) = emb {
                     for (a, &e) in acc.iter_mut().zip(emb) {
                         *a += e;
                     }

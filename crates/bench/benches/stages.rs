@@ -108,6 +108,10 @@ fn bench_end_to_end_mf() {
     });
 }
 
+fn gauge(name: &str, bytes: usize) {
+    println!("{name:<44} {:>12.1} KiB", bytes as f64 / 1024.0);
+}
+
 fn bench_deployment() {
     let ds = genes(0.5, 1);
     let mut cfg = LevaConfig::fast().with_dim(32);
@@ -120,6 +124,16 @@ fn bench_deployment() {
     bench("deploy/featurize_base_row_plus_value", || {
         model.featurize_base(Featurization::RowPlusValue)
     });
+    // Token-memory gauge: the symbol table is interned once at textify and
+    // shared (same `Arc`) by the graph and the store, so token strings are
+    // paid for exactly once across the pipeline.
+    gauge(
+        "memory/symbol_table",
+        model.store.symbols().estimated_bytes(),
+    );
+    gauge("memory/store_vectors", model.store.estimated_bytes());
+    let shared = std::sync::Arc::ptr_eq(model.store.symbols(), &model.tokenized.symbols);
+    println!("{:<44} {shared}", "memory/symbols_shared_with_tokenizer");
 }
 
 fn main() {

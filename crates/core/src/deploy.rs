@@ -55,7 +55,7 @@ impl LevaModel {
         let mut x_weight = 0.0f64;
         for &v in value_nodes {
             let w = 1.0 / self.graph.degree(v).max(1) as f64;
-            if let Some(emb) = self.store.get(self.graph.name(v)) {
+            if let Some(emb) = self.store.get_id(self.graph.token(v)) {
                 for (a, &e) in v_acc.iter_mut().zip(emb) {
                     *a += w * e;
                 }
@@ -75,7 +75,7 @@ impl LevaModel {
                             continue;
                         }
                         let w2 = wr / self.graph.degree(v2).max(1) as f64;
-                        if let Some(emb) = self.store.get(self.graph.name(v2)) {
+                        if let Some(emb) = self.store.get_id(self.graph.token(v2)) {
                             for (a, &e) in x_acc.iter_mut().zip(emb) {
                                 *a += w2 * e;
                             }
@@ -154,15 +154,22 @@ impl LevaModel {
     }
 
     /// The embedding vector of an arbitrary node by graph name (rows:
-    /// `row::<table>::<idx>`; values: the token).
+    /// `row::<table>::<idx>`; values: the token). String boundary: the
+    /// name is hashed once against the shared symbol table.
     pub fn node_embedding(&self, name: &str) -> Option<&[f64]> {
         self.store.get(name)
+    }
+
+    /// Like [`LevaModel::node_embedding`], but a missing token surfaces as
+    /// a typed [`crate::LevaError::UnknownToken`] instead of `None`.
+    pub fn require_node_embedding(&self, name: &str) -> Result<&[f64], crate::LevaError> {
+        Ok(self.store.try_get(name)?)
     }
 
     /// The embedding of row `row` of table index `table_idx`.
     pub fn row_embedding(&self, table_idx: usize, row: usize) -> Option<&[f64]> {
         let table = self.graph.table_names().get(table_idx)?;
-        self.store.get(&format!("row::{table}::{row}"))
+        self.store.get(&leva_textify::row_name(table, row))
     }
 }
 
@@ -262,5 +269,16 @@ mod tests {
         assert!(model.row_embedding(1, 5).is_some());
         assert!(model.row_embedding(7, 0).is_none());
         assert!(model.node_embedding("e3").is_some());
+    }
+
+    #[test]
+    fn missing_token_surfaces_typed_error() {
+        let model = fit_fast(&db());
+        assert!(model.require_node_embedding("e3").is_ok());
+        let err = model
+            .require_node_embedding("definitely_not_a_token")
+            .unwrap_err();
+        assert!(matches!(err, crate::LevaError::UnknownToken(_)));
+        assert!(err.to_string().contains("definitely_not_a_token"));
     }
 }

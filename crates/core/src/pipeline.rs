@@ -35,6 +35,9 @@ pub enum LevaError {
     InvalidConfig(String),
     /// The input database has no tables (or no rows at all) to embed.
     EmptyDatabase,
+    /// A token was requested from the embedding store but is not present
+    /// (e.g. refined away, or never seen at training time).
+    UnknownToken(String),
     /// An underlying relational operation failed.
     Relational(RelationalError),
 }
@@ -45,6 +48,7 @@ impl fmt::Display for LevaError {
             Self::UnknownBaseTable(t) => write!(f, "unknown base table '{t}'"),
             Self::InvalidConfig(msg) => write!(f, "invalid configuration: {msg}"),
             Self::EmptyDatabase => write!(f, "database has no rows to embed"),
+            Self::UnknownToken(t) => write!(f, "token {t:?} is not in the embedding store"),
             Self::Relational(e) => write!(f, "relational error: {e}"),
         }
     }
@@ -55,6 +59,12 @@ impl std::error::Error for LevaError {}
 impl From<RelationalError> for LevaError {
     fn from(e: RelationalError) -> Self {
         Self::Relational(e)
+    }
+}
+
+impl From<leva_embedding::UnknownTokenError> for LevaError {
+    fn from(e: leva_embedding::UnknownTokenError) -> Self {
+        Self::UnknownToken(e.token)
     }
 }
 

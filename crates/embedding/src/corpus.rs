@@ -2,12 +2,21 @@
 //! of the SGNS trainer. Random walks over the graph produce one corpus
 //! flavour; direct row textification (the Word2Vec baseline) produces the
 //! other.
+//!
+//! The vocabulary is a dense remap over interned [`TokenId`]s: `vocab[i]`
+//! is the symbol behind corpus id `i`, and token text lives only in the
+//! shared symbol table. No string is hashed or owned here.
 
-/// A training corpus of id sequences over a string vocabulary.
+use leva_interner::{TokenId, TokenInterner};
+use std::sync::Arc;
+
+/// A training corpus of id sequences over an interned vocabulary.
 #[derive(Debug, Clone)]
 pub struct Corpus {
-    /// Vocabulary: token string per id.
-    pub vocab: Vec<String>,
+    /// Symbol table the vocabulary ids resolve through.
+    pub symbols: Arc<TokenInterner>,
+    /// Vocabulary: interned token per corpus id.
+    pub vocab: Vec<TokenId>,
     /// Sentences of vocabulary ids.
     pub sequences: Vec<Vec<u32>>,
 }
@@ -34,25 +43,74 @@ impl Corpus {
         freq
     }
 
-    /// Builds a corpus from string sentences, interning the vocabulary in
-    /// first-seen order.
-    pub fn from_sentences<S: AsRef<str>, I: IntoIterator<Item = Vec<S>>>(sentences: I) -> Corpus {
-        let mut vocab: Vec<String> = Vec::new();
-        let mut index: std::collections::HashMap<String, u32> = std::collections::HashMap::new();
+    /// The token text behind corpus id `id` (serialization/debug boundary).
+    pub fn token_str(&self, id: u32) -> &str {
+        self.symbols.resolve(self.vocab[id as usize])
+    }
+
+    /// The vocabulary resolved to text, in corpus-id order (boundary helper
+    /// for serialization and tests).
+    pub fn vocab_strings(&self) -> Vec<&str> {
+        self.vocab
+            .iter()
+            .map(|&t| self.symbols.resolve(t))
+            .collect()
+    }
+
+    /// Builds a corpus from already-interned token sentences sharing
+    /// `symbols`. Corpus ids are a dense remap of the `TokenId`s in
+    /// first-seen order — pure array indexing, no hashing.
+    pub fn from_token_sentences<I: IntoIterator<Item = Vec<TokenId>>>(
+        symbols: Arc<TokenInterner>,
+        sentences: I,
+    ) -> Corpus {
+        const UNMAPPED: u32 = u32::MAX;
+        let mut remap: Vec<u32> = vec![UNMAPPED; symbols.len()];
+        let mut vocab: Vec<TokenId> = Vec::new();
         let mut sequences = Vec::new();
         for sent in sentences {
             let mut seq = Vec::with_capacity(sent.len());
             for tok in sent {
-                let tok = tok.as_ref();
-                let id = *index.entry(tok.to_owned()).or_insert_with(|| {
-                    vocab.push(tok.to_owned());
-                    (vocab.len() - 1) as u32
-                });
-                seq.push(id);
+                let slot = &mut remap[tok.index()];
+                if *slot == UNMAPPED {
+                    *slot = vocab.len() as u32;
+                    vocab.push(tok);
+                }
+                seq.push(*slot);
             }
             sequences.push(seq);
         }
-        Corpus { vocab, sequences }
+        Corpus {
+            symbols,
+            vocab,
+            sequences,
+        }
+    }
+
+    /// Builds a corpus from string sentences (deserialization and baseline
+    /// boundary), interning the vocabulary into a fresh symbol table in
+    /// first-seen order. For distinct sentences over distinct tokens the
+    /// corpus id of a token equals its `TokenId` index.
+    pub fn from_sentences<S: AsRef<str>, I: IntoIterator<Item = Vec<S>>>(sentences: I) -> Corpus {
+        let mut symbols = TokenInterner::new();
+        let mut vocab: Vec<TokenId> = Vec::new();
+        let mut sequences = Vec::new();
+        for sent in sentences {
+            let mut seq = Vec::with_capacity(sent.len());
+            for tok in sent {
+                let id = symbols.intern(tok.as_ref());
+                if id.index() == vocab.len() {
+                    vocab.push(id);
+                }
+                seq.push(id.index() as u32);
+            }
+            sequences.push(seq);
+        }
+        Corpus {
+            symbols: Arc::new(symbols),
+            vocab,
+            sequences,
+        }
     }
 }
 
@@ -63,7 +121,7 @@ mod tests {
     #[test]
     fn interning_is_stable() {
         let c = Corpus::from_sentences(vec![vec!["a", "b", "a"], vec!["b", "c"]]);
-        assert_eq!(c.vocab, vec!["a", "b", "c"]);
+        assert_eq!(c.vocab_strings(), vec!["a", "b", "c"]);
         assert_eq!(c.sequences, vec![vec![0, 1, 0], vec![1, 2]]);
         assert_eq!(c.total_tokens(), 5);
         assert_eq!(c.frequencies(), vec![2, 2, 1]);
@@ -74,5 +132,23 @@ mod tests {
         let c = Corpus::from_sentences(Vec::<Vec<&str>>::new());
         assert_eq!(c.vocab_size(), 0);
         assert_eq!(c.total_tokens(), 0);
+    }
+
+    #[test]
+    fn token_sentences_remap_densely() {
+        let mut it = TokenInterner::new();
+        // Intern extra symbols so TokenIds and corpus ids diverge.
+        for t in ["pad0", "pad1", "x", "y", "z"] {
+            it.intern(t);
+        }
+        let x = it.lookup("x").unwrap();
+        let y = it.lookup("y").unwrap();
+        let z = it.lookup("z").unwrap();
+        let c = Corpus::from_token_sentences(Arc::new(it), vec![vec![y, x, y], vec![z, x]]);
+        // First-seen order: y -> 0, x -> 1, z -> 2.
+        assert_eq!(c.vocab, vec![y, x, z]);
+        assert_eq!(c.sequences, vec![vec![0, 1, 0], vec![2, 1]]);
+        assert_eq!(c.vocab_strings(), vec!["y", "x", "z"]);
+        assert_eq!(c.token_str(2), "z");
     }
 }

@@ -30,8 +30,10 @@ pub use mf::{build_mf_embedding, proximity_matrix, MfConfig};
 pub use node2vec::{node2vec_walks, Node2VecConfig};
 pub use serialize::{decode_corpus, encode_corpus, CorpusDecodeError};
 pub use sgns::{train_sgns, SgnsConfig, SgnsModel};
-pub use store::EmbeddingStore;
+pub use store::{EmbeddingStore, UnknownTokenError};
 pub use walks::{build_alias_tables, estimated_alias_bytes, generate_walks, WalkConfig};
+
+pub use leva_interner::{TokenId, TokenInterner};
 
 /// Convenience: full random-walk embedding pipeline (walks → SGNS → store).
 pub fn build_rw_embedding(

@@ -70,7 +70,7 @@ pub fn proximity_matrix(graph: &LevaGraph, tau: f64) -> CsrMatrix {
 /// gets a vector keyed by its graph name.
 pub fn build_mf_embedding(graph: &LevaGraph, cfg: &MfConfig) -> EmbeddingStore {
     let n = graph.n_nodes();
-    let mut store = EmbeddingStore::new(cfg.dim);
+    let mut store = EmbeddingStore::with_symbols(std::sync::Arc::clone(graph.symbols()), cfg.dim);
     if n == 0 {
         return store;
     }
@@ -112,7 +112,7 @@ pub fn build_mf_embedding(graph: &LevaGraph, cfg: &MfConfig) -> EmbeddingStore {
         if v.len() < cfg.dim {
             v.resize(cfg.dim, 0.0);
         }
-        store.insert(graph.name(node).to_owned(), v);
+        store.insert_id(graph.token(node), v);
     }
     store
 }

@@ -52,8 +52,12 @@ pub fn node2vec_walks(graph: &LevaGraph, cfg: &Node2VecConfig) -> Corpus {
             }
         }
     }
-    let vocab = (0..n as u32).map(|u| graph.name(u).to_owned()).collect();
-    Corpus { vocab, sequences }
+    let vocab = (0..n as u32).map(|u| graph.token(u)).collect();
+    Corpus {
+        symbols: std::sync::Arc::clone(graph.symbols()),
+        vocab,
+        sequences,
+    }
 }
 
 fn biased_walk(graph: &LevaGraph, start: u32, cfg: &Node2VecConfig, rng: &mut StdRng) -> Vec<u32> {

@@ -10,6 +10,8 @@
 //! (u32 byte-len + utf8) | u32 seq_count | sequences (u32 len + u32 ids)`.
 
 use crate::corpus::Corpus;
+use leva_interner::TokenInterner;
+use std::sync::Arc;
 
 const MAGIC: &[u8; 4] = b"LEVW";
 const VERSION: u32 = 1;
@@ -43,10 +45,15 @@ impl std::fmt::Display for CorpusDecodeError {
 
 impl std::error::Error for CorpusDecodeError {}
 
-/// Encodes a corpus into a compact byte buffer.
+/// Encodes a corpus into a compact byte buffer. This is a serialization
+/// boundary: vocabulary entries are resolved to text here.
 pub fn encode_corpus(corpus: &Corpus) -> Vec<u8> {
     let est = 16
-        + corpus.vocab.iter().map(|v| v.len() + 4).sum::<usize>()
+        + corpus
+            .vocab
+            .iter()
+            .map(|&v| corpus.symbols.resolve(v).len() + 4)
+            .sum::<usize>()
         + corpus
             .sequences
             .iter()
@@ -56,7 +63,8 @@ pub fn encode_corpus(corpus: &Corpus) -> Vec<u8> {
     buf.extend_from_slice(MAGIC);
     buf.extend_from_slice(&VERSION.to_le_bytes());
     buf.extend_from_slice(&(corpus.vocab.len() as u32).to_le_bytes());
-    for token in &corpus.vocab {
+    for &token in &corpus.vocab {
+        let token = corpus.symbols.resolve(token);
         buf.extend_from_slice(&(token.len() as u32).to_le_bytes());
         buf.extend_from_slice(token.as_bytes());
     }
@@ -89,6 +97,7 @@ pub fn decode_corpus(mut buf: &[u8]) -> Result<Corpus, CorpusDecodeError> {
         return Err(CorpusDecodeError::BadVersion(version));
     }
     let vocab_len = take_u32(&mut buf)? as usize;
+    let mut symbols = TokenInterner::new();
     let mut vocab = Vec::with_capacity(vocab_len);
     for _ in 0..vocab_len {
         let len = take_u32(&mut buf)? as usize;
@@ -96,7 +105,7 @@ pub fn decode_corpus(mut buf: &[u8]) -> Result<Corpus, CorpusDecodeError> {
             return Err(CorpusDecodeError::Truncated);
         }
         let s = std::str::from_utf8(&buf[..len]).map_err(|_| CorpusDecodeError::BadUtf8)?;
-        vocab.push(s.to_owned());
+        vocab.push(symbols.intern(s));
         buf = &buf[len..];
     }
     let seq_count = take_u32(&mut buf)? as usize;
@@ -116,7 +125,11 @@ pub fn decode_corpus(mut buf: &[u8]) -> Result<Corpus, CorpusDecodeError> {
         }
         sequences.push(seq);
     }
-    Ok(Corpus { vocab, sequences })
+    Ok(Corpus {
+        symbols: Arc::new(symbols),
+        vocab,
+        sequences,
+    })
 }
 
 #[cfg(test)]
@@ -136,16 +149,13 @@ mod tests {
         let c = corpus();
         let bytes = encode_corpus(&c);
         let back = decode_corpus(&bytes).unwrap();
-        assert_eq!(back.vocab, c.vocab);
+        assert_eq!(back.vocab_strings(), c.vocab_strings());
         assert_eq!(back.sequences, c.sequences);
     }
 
     #[test]
     fn empty_corpus_roundtrip() {
-        let c = Corpus {
-            vocab: Vec::new(),
-            sequences: Vec::new(),
-        };
+        let c = Corpus::from_sentences(Vec::<Vec<&str>>::new());
         let back = decode_corpus(&encode_corpus(&c)).unwrap();
         assert_eq!(back.vocab_size(), 0);
         assert_eq!(back.sequences.len(), 0);
@@ -203,6 +213,6 @@ mod tests {
     fn unicode_vocab_survives() {
         let c = Corpus::from_sentences(vec![vec!["héllo", "wörld", "日本"]]);
         let back = decode_corpus(&encode_corpus(&c)).unwrap();
-        assert_eq!(back.vocab, vec!["héllo", "wörld", "日本"]);
+        assert_eq!(back.vocab_strings(), vec!["héllo", "wörld", "日本"]);
     }
 }

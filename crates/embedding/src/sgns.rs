@@ -15,6 +15,7 @@ use crate::store::EmbeddingStore;
 use leva_graph::AliasTable;
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
+use std::sync::Arc;
 
 /// SGNS hyperparameters.
 #[derive(Debug, Clone, Copy)]
@@ -68,12 +69,12 @@ impl SgnsModel {
     /// first-order (input·output) similarity then survives in the stored
     /// representation, which matters for Leva's value-mean featurization.
     pub fn into_store(self, corpus: &Corpus, dim: usize) -> EmbeddingStore {
-        let mut store = EmbeddingStore::new(dim);
+        let mut store = EmbeddingStore::with_symbols(Arc::clone(&corpus.symbols), dim);
         for (id, (mut vin, vout)) in self.input.into_iter().zip(self.output).enumerate() {
             for (a, b) in vin.iter_mut().zip(&vout) {
                 *a = (*a + *b) * 0.5;
             }
-            store.insert(corpus.vocab[id].clone(), vin);
+            store.insert_id(corpus.vocab[id], vin);
         }
         store
     }

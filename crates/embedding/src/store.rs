@@ -2,24 +2,70 @@
 //! deployment stage. "Embedding outputs are stored as key-value pairs,
 //! where keys are string tokens ... and values are floating-point embedding
 //! vectors" (§6.5.2).
+//!
+//! Internally the store is dense: vectors live in a `Vec` indexed by the
+//! interned [`TokenId`], and token text stays in the shared symbol table.
+//! The pipeline bulk-builds through [`EmbeddingStore::insert_id`] /
+//! [`EmbeddingStore::get_id`] with zero hashing; string-keyed access
+//! ([`EmbeddingStore::insert`], [`EmbeddingStore::get`]) remains for the
+//! serialization, deployment, and baseline boundaries.
 
+use leva_interner::{TokenId, TokenInterner};
 use leva_linalg::{Matrix, Pca};
-use std::collections::HashMap;
+use std::sync::Arc;
 
-/// A token → vector map with a fixed dimensionality.
+/// A token → vector map with a fixed dimensionality, stored densely over
+/// the interned `TokenId` space.
 #[derive(Debug, Clone)]
 pub struct EmbeddingStore {
     dim: usize,
-    vectors: HashMap<String, Vec<f64>>,
+    symbols: Arc<TokenInterner>,
+    /// Vector per token id; `None` for tokens without an embedding (e.g.
+    /// refined-away tokens or row names in value-only stores).
+    vectors: Vec<Option<Vec<f64>>>,
+    /// Number of `Some` slots.
+    count: usize,
 }
 
+/// A token was requested from a store that does not hold it.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct UnknownTokenError {
+    /// The missing token's text.
+    pub token: String,
+}
+
+impl std::fmt::Display for UnknownTokenError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "token {:?} is not in the embedding store", self.token)
+    }
+}
+
+impl std::error::Error for UnknownTokenError {}
+
 impl EmbeddingStore {
-    /// Creates an empty store of dimension `dim`.
+    /// Creates an empty store of dimension `dim` with its own (empty)
+    /// symbol table.
     pub fn new(dim: usize) -> Self {
+        Self::with_symbols(Arc::new(TokenInterner::new()), dim)
+    }
+
+    /// Creates an empty store of dimension `dim` sharing an existing symbol
+    /// table — the pipeline path, where graph/corpus `TokenId`s index the
+    /// store directly.
+    pub fn with_symbols(symbols: Arc<TokenInterner>, dim: usize) -> Self {
+        let mut vectors = Vec::new();
+        vectors.resize_with(symbols.len(), || None);
         Self {
             dim,
-            vectors: HashMap::new(),
+            symbols,
+            vectors,
+            count: 0,
         }
+    }
+
+    /// The symbol table this store resolves tokens through.
+    pub fn symbols(&self) -> &Arc<TokenInterner> {
+        &self.symbols
     }
 
     /// Embedding dimensionality.
@@ -29,85 +75,142 @@ impl EmbeddingStore {
 
     /// Number of stored tokens.
     pub fn len(&self) -> usize {
-        self.vectors.len()
+        self.count
     }
 
     /// True when no tokens are stored.
     pub fn is_empty(&self) -> bool {
-        self.vectors.is_empty()
+        self.count == 0
     }
 
-    /// Inserts a vector. Panics if the dimension mismatches.
-    pub fn insert(&mut self, token: impl Into<String>, vector: Vec<f64>) {
+    /// Inserts a vector under a token string (boundary path: interns the
+    /// token if needed). Panics if the dimension mismatches.
+    pub fn insert(&mut self, token: impl AsRef<str>, vector: Vec<f64>) {
+        let token = token.as_ref();
+        // Avoid cloning a shared symbol table when the token is known.
+        let id = match self.symbols.lookup(token) {
+            Some(id) => id,
+            None => Arc::make_mut(&mut self.symbols).intern(token),
+        };
+        self.insert_id(id, vector);
+    }
+
+    /// Inserts a vector under an already-interned token — the zero-hash hot
+    /// path. Panics if the dimension mismatches or the id is foreign to
+    /// this store's symbol table.
+    pub fn insert_id(&mut self, id: TokenId, vector: Vec<f64>) {
         assert_eq!(vector.len(), self.dim, "embedding dimension mismatch");
-        self.vectors.insert(token.into(), vector);
+        assert!(
+            id.index() < self.symbols.len(),
+            "token id {id} outside the store's symbol table"
+        );
+        if self.vectors.len() < self.symbols.len() {
+            self.vectors.resize_with(self.symbols.len(), || None);
+        }
+        let slot = &mut self.vectors[id.index()];
+        if slot.is_none() {
+            self.count += 1;
+        }
+        *slot = Some(vector);
     }
 
-    /// Vector for a token.
+    /// Vector for a token string (one hash, then a dense index).
     pub fn get(&self, token: &str) -> Option<&[f64]> {
-        self.vectors.get(token).map(Vec::as_slice)
+        self.get_id(self.symbols.lookup(token)?)
+    }
+
+    /// Vector for an interned token — pure array indexing.
+    pub fn get_id(&self, id: TokenId) -> Option<&[f64]> {
+        self.vectors.get(id.index())?.as_deref()
+    }
+
+    /// Vector for a token, with a typed error instead of `None` when the
+    /// token is missing.
+    pub fn try_get(&self, token: &str) -> Result<&[f64], UnknownTokenError> {
+        self.get(token).ok_or_else(|| UnknownTokenError {
+            token: token.to_owned(),
+        })
     }
 
     /// True when the token is present.
     pub fn contains(&self, token: &str) -> bool {
-        self.vectors.contains_key(token)
+        self.get(token).is_some()
     }
 
-    /// Iterates `(token, vector)` in unspecified order.
+    /// Iterates `(token, vector)` in token-id order.
     pub fn iter(&self) -> impl Iterator<Item = (&str, &[f64])> {
-        self.vectors.iter().map(|(k, v)| (k.as_str(), v.as_slice()))
+        self.vectors.iter().enumerate().filter_map(|(i, v)| {
+            v.as_deref()
+                .map(|vec| (self.symbols.resolve(TokenId::from_index(i)), vec))
+        })
     }
 
     /// Tokens sorted lexicographically (deterministic order for exports).
     pub fn sorted_tokens(&self) -> Vec<&str> {
-        let mut t: Vec<&str> = self.vectors.keys().map(String::as_str).collect();
+        let mut t: Vec<&str> = self.iter().map(|(tok, _)| tok).collect();
         t.sort_unstable();
         t
     }
 
-    /// Estimated heap bytes of the stored vectors.
-    pub fn estimated_bytes(&self) -> usize {
-        self.vectors
+    /// `(token, id, vector)` triples in sorted-token order — the
+    /// deterministic iteration behind exports and PCA.
+    fn sorted_entries(&self) -> Vec<(&str, TokenId, &[f64])> {
+        let mut entries: Vec<(&str, TokenId, &[f64])> = self
+            .vectors
             .iter()
-            .map(|(k, v)| k.len() + v.len() * std::mem::size_of::<f64>() + 48)
-            .sum()
+            .enumerate()
+            .filter_map(|(i, v)| {
+                let id = TokenId::from_index(i);
+                v.as_deref().map(|vec| (self.symbols.resolve(id), id, vec))
+            })
+            .collect();
+        entries.sort_unstable_by(|a, b| a.0.cmp(b.0));
+        entries
+    }
+
+    /// Estimated heap bytes of the dense vector table (slot array plus
+    /// vector payloads). The shared symbol table is accounted separately
+    /// via `symbols().estimated_bytes()`.
+    pub fn estimated_bytes(&self) -> usize {
+        self.vectors.capacity() * std::mem::size_of::<Option<Vec<f64>>>()
+            + self.count * self.dim * std::mem::size_of::<f64>()
     }
 
     /// Projects every vector to `k` dimensions with PCA fitted on the store
-    /// itself (Table 7: compress without retraining). Returns a new store.
+    /// itself (Table 7: compress without retraining). Returns a new store
+    /// sharing this store's symbol table.
     pub fn pca_project(&self, k: usize) -> EmbeddingStore {
         if self.is_empty() {
-            return EmbeddingStore::new(k.min(self.dim));
+            return EmbeddingStore::with_symbols(Arc::clone(&self.symbols), k.min(self.dim));
         }
-        let tokens = self.sorted_tokens();
-        let mut data = Matrix::zeros(tokens.len(), self.dim);
-        for (i, t) in tokens.iter().enumerate() {
-            data.row_mut(i)
-                .copy_from_slice(self.get(t).expect("token present"));
+        let entries = self.sorted_entries();
+        let mut data = Matrix::zeros(entries.len(), self.dim);
+        for (i, (_, _, vec)) in entries.iter().enumerate() {
+            data.row_mut(i).copy_from_slice(vec);
         }
         let pca = Pca::fit(&data, k);
         let projected = pca.transform(&data);
-        let mut out = EmbeddingStore::new(projected.cols());
-        for (i, t) in tokens.iter().enumerate() {
-            out.insert(*t, projected.row(i).to_vec());
+        let mut out = EmbeddingStore::with_symbols(Arc::clone(&self.symbols), projected.cols());
+        for (i, (_, id, _)) in entries.iter().enumerate() {
+            out.insert_id(*id, projected.row(i).to_vec());
         }
         out
     }
 
     /// Serializes to a JSON string. Tokens are emitted in sorted order, so
-    /// the output is deterministic and diff-friendly.
+    /// the output is deterministic and diff-friendly. This is one of the
+    /// few places token text is materialized.
     pub fn to_json(&self) -> String {
         let mut out = String::with_capacity(32 + self.estimated_bytes() / 2);
         out.push_str("{\"dim\":");
         out.push_str(&self.dim.to_string());
         out.push_str(",\"vectors\":{");
-        for (i, token) in self.sorted_tokens().into_iter().enumerate() {
+        for (i, (token, _, vector)) in self.sorted_entries().into_iter().enumerate() {
             if i > 0 {
                 out.push(',');
             }
             json::write_string(&mut out, token);
             out.push_str(":[");
-            let vector = self.get(token).expect("token present");
             for (j, &v) in vector.iter().enumerate() {
                 if j > 0 {
                     out.push(',');
@@ -156,7 +259,7 @@ impl EmbeddingStore {
             if vector.len() != store.dim {
                 return Err(StoreJsonError::Shape("vector length differs from \"dim\""));
             }
-            store.vectors.insert(token.clone(), vector);
+            store.insert(token, vector);
         }
         Ok(store)
     }
@@ -539,5 +642,63 @@ mod tests {
         let s = EmbeddingStore::new(5);
         let p = s.pca_project(2);
         assert!(p.is_empty());
+    }
+
+    #[test]
+    fn try_get_surfaces_typed_error() {
+        let s = store();
+        assert!(s.try_get("a").is_ok());
+        let err = s.try_get("nope").unwrap_err();
+        assert_eq!(err.token, "nope");
+        assert!(err.to_string().contains("nope"));
+    }
+
+    #[test]
+    fn overwriting_a_token_does_not_inflate_len() {
+        let mut s = EmbeddingStore::new(2);
+        s.insert("a", vec![1.0, 2.0]);
+        s.insert("a", vec![3.0, 4.0]);
+        assert_eq!(s.len(), 1);
+        assert_eq!(s.get("a"), Some([3.0, 4.0].as_slice()));
+    }
+
+    /// Dense `insert_id`/`get_id` over a shared symbol table is equivalent
+    /// to the old string-keyed behaviour.
+    #[test]
+    fn dense_index_equivalent_to_string_keyed() {
+        let mut symbols = TokenInterner::new();
+        let tokens = ["row::t::0", "alpha", "beta", "gamma", "row::t::1"];
+        let ids: Vec<TokenId> = tokens.iter().map(|t| symbols.intern(t)).collect();
+        let symbols = Arc::new(symbols);
+
+        let mut dense = EmbeddingStore::with_symbols(Arc::clone(&symbols), 2);
+        let mut stringly = EmbeddingStore::new(2);
+        for (i, (&tok, &id)) in tokens.iter().zip(&ids).enumerate() {
+            let v = vec![i as f64, -(i as f64)];
+            dense.insert_id(id, v.clone());
+            stringly.insert(tok, v);
+        }
+
+        assert_eq!(dense.len(), stringly.len());
+        assert_eq!(dense.sorted_tokens(), stringly.sorted_tokens());
+        for (&tok, &id) in tokens.iter().zip(&ids) {
+            assert_eq!(dense.get(tok), stringly.get(tok));
+            assert_eq!(dense.get_id(id), dense.get(tok));
+        }
+        assert_eq!(dense.to_json(), stringly.to_json());
+    }
+
+    #[test]
+    fn shared_symbols_survive_boundary_inserts() {
+        let mut symbols = TokenInterner::new();
+        symbols.intern("known");
+        let symbols = Arc::new(symbols);
+        let mut s = EmbeddingStore::with_symbols(Arc::clone(&symbols), 1);
+        // Inserting a token absent from the shared table forks the store's
+        // copy (copy-on-write) without touching the original.
+        s.insert("novel", vec![1.0]);
+        assert!(s.contains("novel"));
+        assert_eq!(symbols.lookup("novel"), None);
+        assert_eq!(s.symbols().len(), 2);
     }
 }

@@ -35,6 +35,7 @@ use leva_graph::{AliasTable, LevaGraph};
 use leva_linalg::resolve_threads;
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
+use std::sync::Arc;
 
 /// Random-walk generation parameters.
 #[derive(Debug, Clone, Copy)]
@@ -124,9 +125,15 @@ pub fn generate_walks(graph: &LevaGraph, cfg: &WalkConfig) -> Corpus {
         );
     }
 
-    // Node names are the vocabulary; ids in the walks are node ids.
-    let vocab: Vec<String> = (0..n as u32).map(|u| graph.name(u).to_owned()).collect();
-    Corpus { vocab, sequences }
+    // Node identities are the vocabulary; ids in the walks are node ids.
+    // The graph's interned tokens are reused directly — no string is owned
+    // or copied here.
+    let vocab = (0..n as u32).map(|u| graph.token(u)).collect();
+    Corpus {
+        symbols: Arc::clone(graph.symbols()),
+        vocab,
+        sequences,
+    }
 }
 
 /// Runs one walk iteration: parallel trajectory generation over all `n`

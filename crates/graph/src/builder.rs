@@ -7,9 +7,13 @@
 //! of the `O(MN²)` a pairwise row-similarity graph would need.
 
 use crate::voting::TokenVotes;
+use leva_interner::{TokenId, TokenInterner};
 use leva_linalg::CsrMatrix;
 use leva_textify::TokenizedDatabase;
-use std::collections::HashMap;
+use std::sync::Arc;
+
+/// Sentinel in the dense token→value-node index: "no value node".
+const NO_VALUE_NODE: u32 = u32::MAX;
 
 /// Graph-construction parameters (Table 2, "Graph Construction/Refinement").
 #[derive(Debug, Clone, Copy)]
@@ -67,13 +71,18 @@ pub struct RefineStats {
 #[derive(Debug, Clone)]
 pub struct LevaGraph {
     kinds: Vec<NodeKind>,
-    names: Vec<String>,
+    /// Interned identity of every node (row-name token for rows, value
+    /// token for values) — resolved through `symbols` on demand.
+    node_tokens: Vec<TokenId>,
+    symbols: Arc<TokenInterner>,
     adj: Vec<Vec<(u32, f64)>>,
     n_row_nodes: usize,
     row_offsets: Vec<usize>,
     table_names: Vec<String>,
     stats: RefineStats,
-    value_index: HashMap<String, u32>,
+    /// Dense token→value-node map indexed by `TokenId` (`NO_VALUE_NODE` =
+    /// the token has no surviving value node).
+    value_nodes: Vec<u32>,
 }
 
 impl LevaGraph {
@@ -103,8 +112,21 @@ impl LevaGraph {
     }
 
     /// Node name: `row::<table>::<idx>` for rows, the token for values.
+    /// Resolved through the shared symbol table — prefer [`LevaGraph::token`]
+    /// on hot paths.
     pub fn name(&self, node: u32) -> &str {
-        &self.names[node as usize]
+        self.symbols.resolve(self.node_tokens[node as usize])
+    }
+
+    /// Interned identity of a node.
+    pub fn token(&self, node: u32) -> TokenId {
+        self.node_tokens[node as usize]
+    }
+
+    /// The symbol table shared with the tokenized database (and with every
+    /// downstream corpus/store built from this graph).
+    pub fn symbols(&self) -> &Arc<TokenInterner> {
+        &self.symbols
     }
 
     /// Neighbour list with edge weights.
@@ -128,8 +150,18 @@ impl LevaGraph {
     }
 
     /// The node id of the value node for `token`, if it survived refinement.
+    /// String boundary: hashes once to find the id, then uses the dense map.
     pub fn value_node(&self, token: &str) -> Option<u32> {
-        self.value_index.get(token).copied()
+        self.value_node_id(self.symbols.lookup(token)?)
+    }
+
+    /// The node id of the value node for an interned token — a dense array
+    /// index, no hashing.
+    pub fn value_node_id(&self, token: TokenId) -> Option<u32> {
+        match self.value_nodes.get(token.index()) {
+            Some(&node) if node != NO_VALUE_NODE => Some(node),
+            _ => None,
+        }
     }
 
     /// Refinement statistics.
@@ -162,42 +194,52 @@ impl LevaGraph {
     }
 }
 
-/// Builds the refined, weighted graph from a textified database.
+/// Builds the refined, weighted graph from a textified database. Nodes are
+/// keyed by the tokenized database's interned `TokenId`s; no token string is
+/// constructed or hashed here.
 pub fn build_graph(tokenized: &TokenizedDatabase, cfg: &GraphConfig) -> LevaGraph {
-    // 1. Allocate row nodes table by table.
+    let symbols = Arc::clone(&tokenized.symbols);
+    let n_symbols = symbols.len();
+
+    // 1. Allocate row nodes table by table, keyed by the row-identity
+    //    tokens the textifier already interned.
     let mut kinds = Vec::new();
-    let mut names = Vec::new();
+    let mut node_tokens: Vec<TokenId> = Vec::new();
     let mut row_offsets = Vec::with_capacity(tokenized.tables.len());
     let mut table_names = Vec::with_capacity(tokenized.tables.len());
     for (ti, table) in tokenized.tables.iter().enumerate() {
         row_offsets.push(kinds.len());
         table_names.push(table.name.clone());
-        for ri in 0..table.rows.len() {
+        for (ri, row) in table.rows.iter().enumerate() {
             kinds.push(NodeKind::Row {
                 table: ti as u32,
                 row: ri as u32,
             });
-            names.push(format!("row::{}::{}", table.name, ri));
+            node_tokens.push(row.row_token);
         }
     }
     let n_row_nodes = kinds.len();
 
     // 2. Tally votes and collect occurrences per token (Alg. 1 lines 4-10).
+    //    The dense TokenId space turns the tally into array indexing.
+    #[derive(Default)]
     struct TokenEntry {
         votes: TokenVotes,
         occurrences: Vec<(u32, u32)>, // (row node, attr)
     }
-    let mut tokens: HashMap<&str, TokenEntry> = HashMap::new();
+    let mut tokens: Vec<Option<TokenEntry>> = Vec::new();
+    tokens.resize_with(n_symbols, || None);
+    let mut touched: Vec<TokenId> = Vec::new();
     for (ti, table) in tokenized.tables.iter().enumerate() {
         for (ri, row) in table.rows.iter().enumerate() {
             let row_node = (row_offsets[ti] + ri) as u32;
             for occ in &row.tokens {
-                let e = tokens
-                    .entry(occ.token.as_str())
-                    .or_insert_with(|| TokenEntry {
-                        votes: TokenVotes::default(),
-                        occurrences: Vec::new(),
-                    });
+                let slot = &mut tokens[occ.token.index()];
+                if slot.is_none() {
+                    *slot = Some(TokenEntry::default());
+                    touched.push(occ.token);
+                }
+                let e = slot.as_mut().expect("just filled");
                 e.votes.vote(occ.attr);
                 e.occurrences.push((row_node, occ.attr));
             }
@@ -207,15 +249,17 @@ pub fn build_graph(tokenized: &TokenizedDatabase, cfg: &GraphConfig) -> LevaGrap
     // 3. Refinement (Alg. 1 lines 11-12) + edge creation.
     let total_attributes = tokenized.attributes.len();
     let mut stats = RefineStats {
-        tokens_total: tokens.len(),
+        tokens_total: touched.len(),
         ..Default::default()
     };
-    let mut value_index: HashMap<String, u32> = HashMap::new();
+    let mut value_nodes: Vec<u32> = vec![NO_VALUE_NODE; n_symbols];
     let mut adj: Vec<Vec<(u32, f64)>> = vec![Vec::new(); n_row_nodes];
-    // Deterministic iteration order: sort tokens.
-    let mut ordered: Vec<(&str, TokenEntry)> = tokens.into_iter().collect();
-    ordered.sort_unstable_by(|a, b| a.0.cmp(b.0));
-    for (token, entry) in ordered {
+    // Deterministic iteration order: sort tokens lexicographically by their
+    // text, exactly as the string-keyed builder did — value-node ids (and
+    // with them walk seeds and MF row order) are unchanged by interning.
+    touched.sort_unstable_by(|&a, &b| symbols.resolve(a).cmp(symbols.resolve(b)));
+    for token in touched {
+        let entry = tokens[token.index()].take().expect("tallied above");
         if entry
             .votes
             .is_missing_like(cfg.theta_range, total_attributes)
@@ -241,8 +285,8 @@ pub fn build_graph(tokenized: &TokenizedDatabase, cfg: &GraphConfig) -> LevaGrap
         }
         let value_node = kinds.len() as u32;
         kinds.push(NodeKind::Value);
-        names.push(token.to_owned());
-        value_index.insert(token.to_owned(), value_node);
+        node_tokens.push(token);
+        value_nodes[token.index()] = value_node;
         adj.push(Vec::with_capacity(rows.len()));
         for row in rows {
             adj[row as usize].push((value_node, 1.0));
@@ -276,13 +320,14 @@ pub fn build_graph(tokenized: &TokenizedDatabase, cfg: &GraphConfig) -> LevaGrap
 
     LevaGraph {
         kinds,
-        names,
+        node_tokens,
+        symbols,
         adj,
         n_row_nodes,
         row_offsets,
         table_names,
         stats,
-        value_index,
+        value_nodes,
     }
 }
 

@@ -20,9 +20,11 @@
 use crate::binning::{Histogram, HistogramChoice};
 use crate::strings::try_split_list;
 use crate::types::{classify_column, ClassifyConfig, ColumnClass};
+use leva_interner::{TokenId, TokenInterner};
 use leva_linalg::resolve_threads;
 use leva_relational::{column_stats, excess_kurtosis, mean, std_dev, Database, Table, Value};
 use std::collections::HashMap;
+use std::sync::Arc;
 
 /// Configuration of the textification stage (Table 2, "Textification").
 #[derive(Debug, Clone)]
@@ -56,21 +58,25 @@ impl Default for TextifyConfig {
     }
 }
 
-/// One token occurrence: the token string plus the (global) attribute it
-/// appeared under — the unit of evidence for the voting mechanism.
-#[derive(Debug, Clone, PartialEq, Eq)]
+/// One token occurrence: the interned token id plus the (global) attribute
+/// it appeared under — the unit of evidence for the voting mechanism.
+/// Resolve the text through [`TokenizedDatabase::symbols`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub struct TokenOccurrence {
-    /// Normalized token text.
-    pub token: String,
+    /// Interned token (dense id into the shared symbol table).
+    pub token: TokenId,
     /// Global attribute id (index into [`TokenizedDatabase::attributes`]).
     pub attr: u32,
 }
 
 /// All tokens of one row.
-#[derive(Debug, Clone, Default)]
+#[derive(Debug, Clone)]
 pub struct TokenizedRow {
     /// Token occurrences in column order (list columns emit several per cell).
     pub tokens: Vec<TokenOccurrence>,
+    /// Interned `row::{table}::{index}` identity of this row — the graph
+    /// builder keys the row node by it.
+    pub row_token: TokenId,
 }
 
 /// All rows of one table.
@@ -162,7 +168,8 @@ impl ColumnEncoder {
     }
 }
 
-/// Output of textification: token streams plus the encoder registry.
+/// Output of textification: token streams plus the encoder registry and the
+/// shared symbol table every downstream stage resolves through.
 #[derive(Debug, Clone)]
 pub struct TokenizedDatabase {
     /// One entry per input table, in database order.
@@ -171,6 +178,9 @@ pub struct TokenizedDatabase {
     pub attributes: Vec<String>,
     /// Encoder per `(table, column)`.
     pub encoders: HashMap<(String, String), ColumnEncoder>,
+    /// Shared symbol table: every value token and every row-identity token,
+    /// interned once in database order (see DESIGN.md §6.8).
+    pub symbols: Arc<TokenInterner>,
 }
 
 impl TokenizedDatabase {
@@ -186,12 +196,23 @@ impl TokenizedDatabase {
     pub fn encoder(&self, table: &str, column: &str) -> Option<&ColumnEncoder> {
         self.encoders.get(&(table.to_owned(), column.to_owned()))
     }
+
+    /// Resolves an interned token id back to its text.
+    pub fn token_str(&self, id: TokenId) -> &str {
+        self.symbols.resolve(id)
+    }
 }
 
 /// Normalizes a token: trim + lowercase. Applied to every emitted token so
 /// syntactic matches are case-insensitive.
 pub fn normalize_token(s: &str) -> String {
     s.trim().to_lowercase()
+}
+
+/// Canonical text of the row-identity token for row `row` of `table`.
+/// Centralized so textify, the graph, deployment, and the baselines agree.
+pub fn row_name(table: &str, row: usize) -> String {
+    format!("row::{table}::{row}")
 }
 
 /// Textifies every table of a database (columns are scanned in a streaming
@@ -253,15 +274,49 @@ pub fn textify(db: &Database, cfg: &TextifyConfig) -> TokenizedDatabase {
         enc.histogram = histograms.get(&enc.column_key).cloned();
     }
 
-    // Pass 2: emit tokens. Tables are independent once the encoders exist,
-    // so they are sharded across workers and re-assembled in database order.
-    let tables = tokenize_tables(db, &encoders, cfg.threads);
+    // Pass 2: emit raw token text. Tables are independent once the encoders
+    // exist, so they are sharded across workers and re-assembled in database
+    // order.
+    let raw_tables = tokenize_tables(db, &encoders, cfg.threads);
+
+    // Pass 3: sequential intern merge, in database order. Row `r` of each
+    // table interns its `row::{table}::{r}` identity first, then its value
+    // tokens in column order — a fixed traversal, so id assignment is
+    // deterministic and independent of the worker-thread count above.
+    let mut symbols = TokenInterner::with_capacity(1024, 16 * 1024);
+    let mut tables = Vec::with_capacity(raw_tables.len());
+    for raw in raw_tables {
+        let mut rows = Vec::with_capacity(raw.rows.len());
+        for (ri, raw_row) in raw.rows.into_iter().enumerate() {
+            let row_token = symbols.intern(&row_name(&raw.name, ri));
+            let tokens = raw_row
+                .into_iter()
+                .map(|(text, attr)| TokenOccurrence {
+                    token: symbols.intern(&text),
+                    attr,
+                })
+                .collect();
+            rows.push(TokenizedRow { tokens, row_token });
+        }
+        tables.push(TokenizedTable {
+            name: raw.name,
+            rows,
+        });
+    }
 
     TokenizedDatabase {
         tables,
         attributes,
         encoders,
+        symbols: Arc::new(symbols),
     }
+}
+
+/// Raw (pre-interning) output of the parallel emission pass: token text plus
+/// attribute id per occurrence, rows in table order.
+struct RawTable {
+    name: String,
+    rows: Vec<Vec<(String, u32)>>,
 }
 
 /// Tokenizes every table of the database with the fitted encoders, sharding
@@ -272,7 +327,7 @@ fn tokenize_tables(
     db: &Database,
     encoders: &HashMap<(String, String), ColumnEncoder>,
     threads: usize,
-) -> Vec<TokenizedTable> {
+) -> Vec<RawTable> {
     let tables = db.tables();
     let n = tables.len();
     let workers = resolve_threads(threads).min(n.max(1));
@@ -280,7 +335,7 @@ fn tokenize_tables(
         return tables.iter().map(|t| tokenize_table(t, encoders)).collect();
     }
     let chunk = n.div_ceil(workers);
-    let chunks: Vec<Vec<TokenizedTable>> = crossbeam::scope(|s| {
+    let chunks: Vec<Vec<RawTable>> = crossbeam::scope(|s| {
         let handles: Vec<_> = tables
             .chunks(chunk)
             .map(|band| {
@@ -297,10 +352,7 @@ fn tokenize_tables(
 }
 
 /// Emits the token stream of one table (the per-table unit of parallel work).
-fn tokenize_table(
-    table: &Table,
-    encoders: &HashMap<(String, String), ColumnEncoder>,
-) -> TokenizedTable {
+fn tokenize_table(table: &Table, encoders: &HashMap<(String, String), ColumnEncoder>) -> RawTable {
     let col_encoders: Vec<&ColumnEncoder> = table
         .columns()
         .iter()
@@ -312,22 +364,19 @@ fn tokenize_table(
         .collect();
     let mut rows = Vec::with_capacity(table.row_count());
     for r in 0..table.row_count() {
-        let mut row = TokenizedRow::default();
+        let mut row = Vec::new();
         for (c, enc) in col_encoders.iter().enumerate() {
             let v = table.value(r, c).expect("in-bounds scan");
             for token in enc.encode(v) {
                 if token.is_empty() {
                     continue;
                 }
-                row.tokens.push(TokenOccurrence {
-                    token,
-                    attr: enc.attr,
-                });
+                row.push((token, enc.attr));
             }
         }
         rows.push(row);
     }
-    TokenizedTable {
+    RawTable {
         name: table.name().to_owned(),
         rows,
     }
@@ -368,15 +417,17 @@ mod tests {
     fn key_tokens_match_across_tables() {
         let db = student_db();
         let t = textify(&db, &TextifyConfig::default());
-        // "student_3" must appear in both tables' token streams.
-        let has = |ti: usize, tok: &str| {
+        // "student_3" must appear in both tables' token streams — and since
+        // the symbol table is shared, as the *same* TokenId.
+        let id = t.symbols.lookup("student_3").expect("token interned");
+        let has = |ti: usize| {
             t.tables[ti]
                 .rows
                 .iter()
-                .any(|r| r.tokens.iter().any(|o| o.token == tok))
+                .any(|r| r.tokens.iter().any(|o| o.token == id))
         };
-        assert!(has(0, "student_3"));
-        assert!(has(1, "student_3"));
+        assert!(has(0));
+        assert!(has(1));
     }
 
     #[test]
@@ -393,8 +444,8 @@ mod tests {
             .rows
             .iter()
             .flat_map(|r| r.tokens.iter())
-            .filter(|o| o.token.starts_with("total#"))
-            .map(|o| o.token.as_str())
+            .map(|o| t.token_str(o.token))
+            .filter(|s| s.starts_with("total#"))
             .collect();
         assert_eq!(total_tokens.len(), 20);
         // At most 5 distinct bin tokens.
@@ -414,7 +465,7 @@ mod tests {
             .rows
             .iter()
             .flat_map(|r| r.tokens.iter())
-            .filter(|o| o.token == "null")
+            .filter(|o| tok.token_str(o.token) == "null")
             .map(|o| o.attr)
             .collect();
         // "null" appears under both attributes -> voting can detect it.
@@ -504,6 +555,27 @@ mod tests {
     }
 
     #[test]
+    fn symbol_table_is_dense_and_covers_all_tokens() {
+        let db = student_db();
+        let t = textify(&db, &TextifyConfig::default());
+        let n = t.symbols.len();
+        for (ti, table) in t.tables.iter().enumerate() {
+            for (ri, row) in table.rows.iter().enumerate() {
+                assert!(row.row_token.index() < n);
+                assert_eq!(t.token_str(row.row_token), row_name(&t.tables[ti].name, ri));
+                for o in &row.tokens {
+                    assert!(o.token.index() < n);
+                    assert!(!t.token_str(o.token).is_empty());
+                }
+            }
+        }
+        // Ids are contiguous: every id below len resolves.
+        for i in 0..n {
+            let _ = t.symbols.resolve(leva_interner::TokenId::from_index(i));
+        }
+    }
+
+    #[test]
     fn identical_across_thread_counts() {
         let db = student_db();
         let seq = textify(
@@ -523,10 +595,14 @@ mod tests {
             );
             assert_eq!(seq.attributes, par.attributes, "threads={threads}");
             assert_eq!(seq.tables.len(), par.tables.len(), "threads={threads}");
+            // Interned ids — not just the strings behind them — must match,
+            // i.e. id assignment is independent of the worker count.
+            assert_eq!(seq.symbols.len(), par.symbols.len(), "threads={threads}");
             for (a, b) in seq.tables.iter().zip(&par.tables) {
                 assert_eq!(a.name, b.name, "threads={threads}");
                 assert_eq!(a.rows.len(), b.rows.len(), "threads={threads}");
                 for (ra, rb) in a.rows.iter().zip(&b.rows) {
+                    assert_eq!(ra.row_token, rb.row_token, "threads={threads}");
                     assert_eq!(ra.tokens, rb.tokens, "threads={threads}");
                 }
             }

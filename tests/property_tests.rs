@@ -150,9 +150,10 @@ fn textify_tokens_well_formed() {
         for t in &tok.tables {
             for row in &t.rows {
                 for occ in &row.tokens {
-                    assert!(!occ.token.is_empty(), "case {case}");
+                    let text = tok.token_str(occ.token);
+                    assert!(!text.is_empty(), "case {case}");
                     assert!((occ.attr as usize) < tok.attributes.len(), "case {case}");
-                    assert_eq!(occ.token.trim(), occ.token.as_str(), "case {case}");
+                    assert_eq!(text.trim(), text, "case {case}");
                 }
             }
         }
