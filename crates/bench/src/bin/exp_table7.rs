@@ -117,5 +117,6 @@ fn clone_with_store(
         base_table: model.base_table.clone(),
         base_table_index: model.base_table_index,
         target_column: model.target_column.clone(),
+        ingest: model.ingest.clone(),
     }
 }

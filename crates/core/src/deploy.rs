@@ -139,7 +139,7 @@ impl LevaModel {
             let mut value_nodes = Vec::new();
             for (c, enc) in encoders.iter().enumerate() {
                 let Some(enc) = enc else { continue };
-                let v = table.value(r, c).expect("in bounds");
+                let Ok(v) = table.value(r, c) else { continue };
                 for token in enc.encode(v) {
                     if let Some(node) = self.graph.value_node(&token) {
                         value_nodes.push(node);

@@ -41,7 +41,9 @@ where
         let mut improved: Option<(String, Database, f64)> = None;
         for name in candidates {
             let mut trial = current.clone();
-            trial.remove_table(&name).expect("candidate exists");
+            if trial.remove_table(&name).is_err() {
+                continue;
+            }
             let s = score(&trial);
             if s > best && improved.as_ref().is_none_or(|(_, _, bs)| s > *bs) {
                 improved = Some((name, trial, s));

@@ -65,6 +65,7 @@ mod timing;
 pub use config::{EmbeddingMethod, Featurization, LevaConfig};
 pub use er::{match_embeddings, resolve_entities, score_matches, ErOptions, ErResult};
 pub use finetune::{droppable_tables, finetune_drop_tables};
+pub use leva_relational::{CellIssue, IngestMode, IngestOptions, IngestReport, IssueReason};
 pub use memory::{estimate, mf_fits, MemoryEstimate};
 #[allow(deprecated)]
 pub use pipeline::fit;

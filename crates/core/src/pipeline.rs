@@ -20,7 +20,7 @@ use crate::timing::{process_cpu_time, StageTimings};
 use leva_embedding::{build_mf_embedding, generate_walks, train_sgns, EmbeddingStore};
 use leva_graph::{build_graph, LevaGraph};
 use leva_linalg::resolve_threads;
-use leva_relational::{Database, RelationalError};
+use leva_relational::{csv, Database, IngestOptions, IngestReport, RelationalError};
 use leva_textify::{textify, TokenizedDatabase};
 use std::fmt;
 use std::time::Instant;
@@ -40,6 +40,13 @@ pub enum LevaError {
     UnknownToken(String),
     /// An underlying relational operation failed.
     Relational(RelationalError),
+    /// CSV ingestion of a named source table failed (strict mode).
+    Ingest {
+        /// The table whose CSV could not be ingested.
+        table: String,
+        /// The underlying ingestion error.
+        source: RelationalError,
+    },
 }
 
 impl fmt::Display for LevaError {
@@ -50,6 +57,9 @@ impl fmt::Display for LevaError {
             Self::EmptyDatabase => write!(f, "database has no rows to embed"),
             Self::UnknownToken(t) => write!(f, "token {t:?} is not in the embedding store"),
             Self::Relational(e) => write!(f, "relational error: {e}"),
+            Self::Ingest { table, source } => {
+                write!(f, "failed to ingest table '{table}': {source}")
+            }
         }
     }
 }
@@ -102,6 +112,10 @@ pub struct LevaModel {
     pub base_table_index: usize,
     /// The target column excluded from embedding construction, if any.
     pub target_column: Option<String>,
+    /// Ingestion reports, one per CSV source, when the model was fitted via
+    /// [`Leva::fit_csv`] (empty for pre-built databases). Surfaced next to
+    /// `timings` so operators can audit dirt alongside performance.
+    pub ingest: Vec<IngestReport>,
 }
 
 /// Builder for fitting Leva on a database.
@@ -114,6 +128,7 @@ pub struct Leva {
     config: LevaConfig,
     base_table: Option<String>,
     target: Option<String>,
+    ingest_options: IngestOptions,
 }
 
 impl Default for Leva {
@@ -134,6 +149,7 @@ impl Leva {
             config,
             base_table: None,
             target: None,
+            ingest_options: IngestOptions::strict(),
         }
     }
 
@@ -169,6 +185,42 @@ impl Leva {
     pub fn seed(mut self, seed: u64) -> Self {
         self.config = self.config.with_seed(seed);
         self
+    }
+
+    /// Sets the CSV ingestion contract used by [`Leva::fit_csv`]: strict
+    /// (default) rejects structurally corrupt input with a typed error;
+    /// lenient repairs it and quarantines every repair into the model's
+    /// [`LevaModel::ingest`] reports.
+    pub fn ingest_options(mut self, options: IngestOptions) -> Self {
+        self.ingest_options = options;
+        self
+    }
+
+    /// Parses named CSV sources under the configured [`IngestOptions`],
+    /// assembles them into a database, and fits the pipeline on it. The
+    /// per-table [`IngestReport`]s are attached to the returned model next
+    /// to its stage timings.
+    pub fn fit_csv(&self, sources: &[(&str, &str)]) -> Result<LevaModel, LevaError> {
+        let mut db = Database::new();
+        let mut reports = Vec::with_capacity(sources.len());
+        for (name, data) in sources {
+            let ingested =
+                csv::read_csv_str_with(name, data, &self.ingest_options).map_err(|source| {
+                    LevaError::Ingest {
+                        table: (*name).to_owned(),
+                        source,
+                    }
+                })?;
+            reports.push(ingested.report);
+            db.add_table(ingested.table)
+                .map_err(|source| LevaError::Ingest {
+                    table: (*name).to_owned(),
+                    source,
+                })?;
+        }
+        let mut model = self.fit(&db)?;
+        model.ingest = reports;
+        Ok(model)
     }
 
     /// Runs the pipeline: validates the configuration, strips the target,
@@ -289,6 +341,7 @@ fn run_pipeline(
         base_table: base_table.to_owned(),
         base_table_index,
         target_column: target_column.map(str::to_owned),
+        ingest: Vec::new(),
     })
 }
 
@@ -465,6 +518,37 @@ mod tests {
                 );
             }
         }
+    }
+
+    #[test]
+    fn fit_csv_surfaces_ingest_reports() {
+        let mut base = String::from("id,grp,target\n");
+        let mut aux = String::from("id,feature\n");
+        for i in 0..30 {
+            base.push_str(&format!("e{i},{},{}\n", ["a", "b"][i % 2], i % 2));
+            aux.push_str(&format!("e{i},f{}\n", i % 3));
+        }
+        aux.push_str("e0\n"); // ragged row
+        let strict = Leva::with_config(LevaConfig::fast())
+            .base_table("base")
+            .target("target");
+        let err = strict
+            .fit_csv(&[("base", &base), ("aux", &aux)])
+            .unwrap_err();
+        assert!(
+            matches!(&err, LevaError::Ingest { table, .. } if table == "aux"),
+            "{err}"
+        );
+
+        let model = strict
+            .clone()
+            .ingest_options(IngestOptions::lenient())
+            .fit_csv(&[("base", &base), ("aux", &aux)])
+            .unwrap();
+        assert_eq!(model.ingest.len(), 2);
+        assert!(model.ingest[0].is_clean());
+        assert_eq!(model.ingest[1].rows_ragged, 1);
+        assert_eq!(model.store.len(), model.graph.n_nodes());
     }
 
     #[test]

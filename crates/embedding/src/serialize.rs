@@ -84,7 +84,7 @@ pub fn decode_corpus(mut buf: &[u8]) -> Result<Corpus, CorpusDecodeError> {
         if buf.len() < 4 {
             return Err(CorpusDecodeError::Truncated);
         }
-        let v = u32::from_le_bytes(buf[..4].try_into().expect("4 bytes"));
+        let v = u32::from_le_bytes([buf[0], buf[1], buf[2], buf[3]]);
         *buf = &buf[4..];
         Ok(v)
     };

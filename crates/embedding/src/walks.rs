@@ -188,7 +188,7 @@ where
         return (0..n).map(f).collect();
     }
     let chunk = n.div_ceil(workers);
-    let chunks: Vec<Vec<T>> = crossbeam::scope(|s| {
+    let chunks: Option<Vec<Vec<T>>> = crossbeam::scope(|s| {
         let f = &f;
         let handles: Vec<_> = (0..workers)
             .map(|w| {
@@ -197,13 +197,17 @@ where
                 s.spawn(move |_| (lo..hi).map(f).collect::<Vec<T>>())
             })
             .collect();
-        handles
-            .into_iter()
-            .map(|h| h.join().expect("walk worker panicked"))
-            .collect()
+        handles.into_iter().map(|h| h.join().ok()).collect()
     })
-    .expect("walk worker panicked");
-    chunks.into_iter().flatten().collect()
+    .ok()
+    .flatten();
+    match chunks {
+        Some(chunks) => chunks.into_iter().flatten().collect(),
+        // A worker died (the per-index closures are panic-free; this guards
+        // against spawn failures): redo the map inline so the caller still
+        // gets the full deterministic result.
+        None => (0..n).map(f).collect(),
+    }
 }
 
 /// Precomputes alias tables per node for weighted transitions. The memory

@@ -234,12 +234,16 @@ pub fn build_graph(tokenized: &TokenizedDatabase, cfg: &GraphConfig) -> LevaGrap
         for (ri, row) in table.rows.iter().enumerate() {
             let row_node = (row_offsets[ti] + ri) as u32;
             for occ in &row.tokens {
-                let slot = &mut tokens[occ.token.index()];
+                // A token id outside the symbol table (foreign interner)
+                // carries no resolvable text, so skip it rather than index
+                // out of bounds.
+                let Some(slot) = tokens.get_mut(occ.token.index()) else {
+                    continue;
+                };
                 if slot.is_none() {
-                    *slot = Some(TokenEntry::default());
                     touched.push(occ.token);
                 }
-                let e = slot.as_mut().expect("just filled");
+                let e = slot.get_or_insert_with(TokenEntry::default);
                 e.votes.vote(occ.attr);
                 e.occurrences.push((row_node, occ.attr));
             }
@@ -259,7 +263,9 @@ pub fn build_graph(tokenized: &TokenizedDatabase, cfg: &GraphConfig) -> LevaGrap
     // with them walk seeds and MF row order) are unchanged by interning.
     touched.sort_unstable_by(|&a, &b| symbols.resolve(a).cmp(symbols.resolve(b)));
     for token in touched {
-        let entry = tokens[token.index()].take().expect("tallied above");
+        let Some(entry) = tokens.get_mut(token.index()).and_then(Option::take) else {
+            continue;
+        };
         if entry
             .votes
             .is_missing_like(cfg.theta_range, total_attributes)

@@ -11,7 +11,13 @@ pub fn parse_datetime(s: &str) -> Option<i64> {
         None => (s, None),
     };
     let mut it = date_part.split('-');
-    let year: i64 = it.next()?.parse().ok()?;
+    let year_str = it.next()?;
+    // Require exactly four digits: "1-2-3" is a serial code or version
+    // string, not a date, and must stay textual.
+    if year_str.len() != 4 || !year_str.bytes().all(|b| b.is_ascii_digit()) {
+        return None;
+    }
+    let year: i64 = year_str.parse().ok()?;
     let month: u32 = it.next()?.parse().ok()?;
     let day: u32 = it.next()?.parse().ok()?;
     if it.next().is_some() || !(1..=12).contains(&month) {
@@ -122,6 +128,11 @@ mod tests {
             "2020-01-32",
             "2020-1",
             "12:30:00",
+            "1-2-3",
+            "3-10-5",
+            "12345-01-01",
+            "0-1-1",
+            "-2020-01-01",
             "2020-01-01T25:00:00",
             "2020-01-01T10:61:00",
             "2020-01-01-05",

@@ -20,8 +20,16 @@ pub enum RelationalError {
     DuplicateTable { table: String },
     /// A value of an unexpected type was encountered where another was required.
     TypeMismatch { context: String },
-    /// Malformed CSV input (unbalanced quotes, inconsistent arity, ...).
+    /// Malformed CSV input (I/O failures, invalid UTF-8, ...).
     Csv { line: usize, message: String },
+    /// Strict-mode ingestion rejected a structurally corrupt cell, with the
+    /// full location context (1-based line, 0-based column).
+    BadCell {
+        table: String,
+        line: usize,
+        column: usize,
+        reason: String,
+    },
     /// An index was out of bounds for the relation.
     OutOfBounds {
         context: String,
@@ -48,6 +56,15 @@ impl fmt::Display for RelationalError {
             Self::DuplicateTable { table } => write!(f, "duplicate table '{table}'"),
             Self::TypeMismatch { context } => write!(f, "type mismatch: {context}"),
             Self::Csv { line, message } => write!(f, "csv error at line {line}: {message}"),
+            Self::BadCell {
+                table,
+                line,
+                column,
+                reason,
+            } => write!(
+                f,
+                "bad cell in table '{table}' at line {line}, column {column}: {reason}"
+            ),
             Self::OutOfBounds {
                 context,
                 index,

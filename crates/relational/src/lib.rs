@@ -24,11 +24,14 @@ mod table;
 mod value;
 
 pub mod csv;
+pub mod ingest;
 
 pub use column::{Column, DataType};
+pub use csv::Ingested;
 pub use database::{Database, ForeignKey};
 pub use datetime::{looks_like_datetime, parse_datetime};
 pub use error::{RelationalError, Result};
+pub use ingest::{CellIssue, IngestMode, IngestOptions, IngestReport, IssueReason};
 pub use join::{augment_join, hash_join, JoinKind};
 pub use stats::{
     column_stats, excess_kurtosis, mean, quantile, quantile_sorted, sentinel_fraction, std_dev,

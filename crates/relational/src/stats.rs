@@ -101,8 +101,14 @@ pub fn quantile(values: &[f64], q: f64) -> Option<f64> {
     if values.is_empty() || !(0.0..=1.0).contains(&q) {
         return None;
     }
-    let mut sorted = values.to_vec();
-    sorted.sort_by(|a, b| a.partial_cmp(b).expect("no NaN in column numerics"));
+    // NaN cannot reach here from ingested columns (non-finite values never
+    // enter numeric views), but callers may pass arbitrary slices: drop
+    // non-finite entries instead of panicking mid-sort.
+    let mut sorted: Vec<f64> = values.iter().copied().filter(|v| v.is_finite()).collect();
+    if sorted.is_empty() {
+        return None;
+    }
+    sorted.sort_unstable_by(f64::total_cmp);
     Some(quantile_sorted(&sorted, q))
 }
 
@@ -194,6 +200,33 @@ mod tests {
         assert_eq!(quantile(&vals, 0.5), Some(2.5));
         assert_eq!(quantile(&vals, 2.0), None);
         assert_eq!(quantile(&[], 0.5), None);
+    }
+
+    #[test]
+    fn quantile_survives_non_finite_input() {
+        let vals = vec![f64::NAN, 1.0, f64::INFINITY, 3.0, f64::NEG_INFINITY];
+        assert_eq!(quantile(&vals, 0.5), Some(2.0));
+        assert_eq!(quantile(&[f64::NAN], 0.5), None);
+        assert_eq!(quantile(&[f64::INFINITY, f64::NEG_INFINITY], 0.5), None);
+    }
+
+    #[test]
+    fn column_stats_ignore_non_finite_text() {
+        // Ingestion keeps "inf"/"NaN" as text; the numeric view must skip
+        // them so mean/min/max stay finite.
+        let c = Column::from_values(
+            "c",
+            vec![
+                Value::Text("inf".into()),
+                Value::Text("NaN".into()),
+                Value::Int(2),
+                Value::Int(4),
+            ],
+        );
+        let s = column_stats(&c);
+        assert_eq!(s.mean, Some(3.0));
+        assert_eq!(s.min, Some(2.0));
+        assert_eq!(s.max, Some(4.0));
     }
 
     #[test]

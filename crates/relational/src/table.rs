@@ -148,11 +148,14 @@ impl Table {
 
     /// Iterator over row indices paired with per-column value references.
     pub fn iter_rows(&self) -> impl Iterator<Item = (usize, Vec<&Value>)> + '_ {
+        // Columns always share the table's row count; if one were ever
+        // shorter, degrade the cell to null rather than panicking mid-scan.
+        static NULL_VALUE: Value = Value::Null;
         (0..self.row_count()).map(move |r| {
             let vals = self
                 .columns
                 .iter()
-                .map(|c| c.get(r).expect("columns share length"))
+                .map(|c| c.get(r).unwrap_or(&NULL_VALUE))
                 .collect();
             (r, vals)
         })

@@ -15,7 +15,8 @@ pub enum Value {
     Null,
     /// 64-bit signed integer.
     Int(i64),
-    /// 64-bit float. NaN is normalized to [`Value::Null`] by [`Value::float`].
+    /// 64-bit float. Non-finite values (NaN, ±inf) are normalized to
+    /// [`Value::Null`] by [`Value::float`].
     Float(f64),
     /// Arbitrary text (may be a dirty missing-value sentinel).
     Text(String),
@@ -27,13 +28,14 @@ pub enum Value {
 }
 
 impl Value {
-    /// Builds a float value, mapping NaN to `Null` so that downstream
-    /// statistics never observe NaN.
+    /// Builds a float value, mapping every non-finite input (NaN, `inf`,
+    /// `-inf`) to `Null` so that downstream statistics never observe a
+    /// value they cannot order or average.
     pub fn float(v: f64) -> Self {
-        if v.is_nan() {
-            Value::Null
-        } else {
+        if v.is_finite() {
             Value::Float(v)
+        } else {
+            Value::Null
         }
     }
 
@@ -64,7 +66,7 @@ impl Value {
             Value::Float(v) => Some(*v),
             Value::Bool(b) => Some(if *b { 1.0 } else { 0.0 }),
             Value::Timestamp(v) => Some(*v as f64),
-            Value::Text(s) => s.trim().parse::<f64>().ok().filter(|v| !v.is_nan()),
+            Value::Text(s) => s.trim().parse::<f64>().ok().filter(|v| v.is_finite()),
             Value::Null => None,
         }
     }
@@ -165,9 +167,20 @@ mod tests {
     use super::*;
 
     #[test]
-    fn nan_becomes_null() {
+    fn non_finite_becomes_null() {
         assert!(Value::float(f64::NAN).is_null());
+        assert!(Value::float(f64::INFINITY).is_null());
+        assert!(Value::float(f64::NEG_INFINITY).is_null());
         assert!(!Value::float(1.5).is_null());
+        assert!(!Value::float(f64::MAX).is_null());
+    }
+
+    #[test]
+    fn non_finite_text_has_no_numeric_view() {
+        for s in ["inf", "-inf", "infinity", "NaN", "nan", "1e999"] {
+            assert_eq!(Value::Text(s.into()).as_f64(), None, "{s:?}");
+        }
+        assert_eq!(Value::Text("1e300".into()).as_f64(), Some(1e300));
     }
 
     #[test]

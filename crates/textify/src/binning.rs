@@ -93,7 +93,7 @@ impl Histogram {
         let bins = bins.max(1);
         let mut sorted = values.to_vec();
         sorted.retain(|v| v.is_finite());
-        sorted.sort_by(|a, b| a.partial_cmp(b).expect("finite values"));
+        sorted.sort_unstable_by(f64::total_cmp);
         let mut boundaries = Vec::with_capacity(bins.saturating_sub(1));
         if !sorted.is_empty() && sorted.first() != sorted.last() {
             for i in 1..bins {

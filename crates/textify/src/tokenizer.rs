@@ -129,18 +129,15 @@ impl ColumnEncoder {
                     self.with_words(normalize_token(&value.render()))
                 }
             }
-            ColumnClass::Numeric | ColumnClass::Datetime => match value.as_f64() {
-                Some(v) => {
-                    let h = self
-                        .histogram
-                        .as_ref()
-                        .expect("numeric column has histogram");
-                    vec![format!("{}#{}", self.column_key, h.bin(v))]
+            ColumnClass::Numeric | ColumnClass::Datetime => {
+                match (value.as_f64(), self.histogram.as_ref()) {
+                    (Some(v), Some(h)) => vec![format!("{}#{}", self.column_key, h.bin(v))],
+                    // Dirty non-numeric cell in a numeric column (or a
+                    // numeric column that never yielded a histogram): keep
+                    // the cell verbatim so voting can recognize sentinels.
+                    _ => vec![normalize_token(&value.render())],
                 }
-                // Dirty non-numeric cell in a numeric column: keep it
-                // verbatim so voting can recognize it as a sentinel.
-                None => vec![normalize_token(&value.render())],
-            },
+            }
             ColumnClass::StringAtomic => self.with_words(normalize_token(&value.render())),
             ColumnClass::StringList => {
                 let raw = value.render();
@@ -268,10 +265,9 @@ pub fn textify(db: &Database, cfg: &TextifyConfig) -> TokenizedDatabase {
         );
     }
     for (table, column) in pending_numeric {
-        let enc = encoders
-            .get_mut(&(table, column))
-            .expect("encoder registered in pass 1");
-        enc.histogram = histograms.get(&enc.column_key).cloned();
+        if let Some(enc) = encoders.get_mut(&(table, column)) {
+            enc.histogram = histograms.get(&enc.column_key).cloned();
+        }
     }
 
     // Pass 2: emit raw token text. Tables are independent once the encoders
@@ -335,38 +331,41 @@ fn tokenize_tables(
         return tables.iter().map(|t| tokenize_table(t, encoders)).collect();
     }
     let chunk = n.div_ceil(workers);
-    let chunks: Vec<Vec<RawTable>> = crossbeam::scope(|s| {
+    let chunks: Option<Vec<Vec<RawTable>>> = crossbeam::scope(|s| {
         let handles: Vec<_> = tables
             .chunks(chunk)
             .map(|band| {
                 s.spawn(move |_| band.iter().map(|t| tokenize_table(t, encoders)).collect())
             })
             .collect();
-        handles
-            .into_iter()
-            .map(|h| h.join().expect("textify worker panicked"))
-            .collect()
+        handles.into_iter().map(|h| h.join().ok()).collect()
     })
-    .expect("textify worker panicked");
-    chunks.into_iter().flatten().collect()
+    .ok()
+    .flatten();
+    match chunks {
+        Some(chunks) => chunks.into_iter().flatten().collect(),
+        // A worker died mid-emission (should be unreachable now that
+        // encoding is panic-free); redo the pass sequentially so the caller
+        // still gets a complete, deterministic result.
+        None => tables.iter().map(|t| tokenize_table(t, encoders)).collect(),
+    }
 }
 
 /// Emits the token stream of one table (the per-table unit of parallel work).
 fn tokenize_table(table: &Table, encoders: &HashMap<(String, String), ColumnEncoder>) -> RawTable {
-    let col_encoders: Vec<&ColumnEncoder> = table
+    // Columns without a registered encoder (impossible for databases built
+    // through the public API) contribute no tokens rather than panicking.
+    let col_encoders: Vec<Option<&ColumnEncoder>> = table
         .columns()
         .iter()
-        .map(|c| {
-            encoders
-                .get(&(table.name().to_owned(), c.name().to_owned()))
-                .expect("all columns have encoders")
-        })
+        .map(|c| encoders.get(&(table.name().to_owned(), c.name().to_owned())))
         .collect();
     let mut rows = Vec::with_capacity(table.row_count());
     for r in 0..table.row_count() {
         let mut row = Vec::new();
         for (c, enc) in col_encoders.iter().enumerate() {
-            let v = table.value(r, c).expect("in-bounds scan");
+            let Some(enc) = enc else { continue };
+            let Ok(v) = table.value(r, c) else { continue };
             for token in enc.encode(v) {
                 if token.is_empty() {
                     continue;

@@ -9,6 +9,9 @@ cargo build --release
 echo "==> cargo test -q"
 cargo test -q
 
+echo "==> cargo test -q --test fault_injection (panic-free ingestion gate)"
+cargo test -q --test fault_injection
+
 echo "==> cargo fmt --check"
 cargo fmt --check
 
