@@ -134,6 +134,14 @@ fn bench_deployment() {
     gauge("memory/store_vectors", model.store.estimated_bytes());
     let shared = std::sync::Arc::ptr_eq(model.store.symbols(), &model.tokenized.symbols);
     println!("{:<44} {shared}", "memory/symbols_shared_with_tokenizer");
+    // Artifact gauge: full-model serialization cost and round-trip time,
+    // the save/load path a serving deployment pays instead of re-fitting.
+    let artifact = model.to_bytes();
+    gauge("artifact/model_bytes", artifact.len());
+    bench("artifact/to_bytes", || model.to_bytes());
+    bench("artifact/from_bytes", || {
+        leva::LevaModel::from_bytes(&artifact).expect("artifact decodes")
+    });
 }
 
 fn main() {

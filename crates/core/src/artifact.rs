@@ -1,0 +1,840 @@
+//! Persistent model artifacts (DESIGN.md §6.10): a versioned, checksummed
+//! binary container for the *whole* fitted [`LevaModel`], so the expensive
+//! embedding construction is paid once and serving loads the result.
+//!
+//! Container layout (little-endian throughout):
+//!
+//! ```text
+//! magic "LEVA" | u32 version | u32 chunk_count
+//! then per chunk: [u8; 4] tag | u64 payload_len | u32 crc32 | payload
+//! ```
+//!
+//! Chunks, in writing order (decoding accepts any order but requires each
+//! exactly once):
+//!
+//! | tag    | payload                                                    |
+//! |--------|------------------------------------------------------------|
+//! | `SYMB` | interner symbol table (token text in dense-id order)       |
+//! | `CONF` | the full [`LevaConfig`]                                    |
+//! | `TOKD` | tokenized database: attributes, encoders, row streams      |
+//! | `GRPH` | graph CSR: node tokens, adjacency + weights, row offsets   |
+//! | `STOR` | dense embedding store (f64 bit patterns)                   |
+//! | `META` | base table, method, memory estimate, timings, ingest audit |
+//!
+//! Decoding is strictly bounded: every declared length is validated against
+//! the remaining buffer *before* any allocation, all length arithmetic is
+//! checked, and every failure is a typed [`ArtifactError`] — hostile bytes
+//! can never panic the process or allocate beyond the input size. Payload
+//! corruption that still parses is caught by the per-chunk CRC-32.
+
+use crate::config::{EmbeddingMethod, Featurization, LevaConfig};
+use crate::memory::MemoryEstimate;
+use crate::pipeline::{LevaModel, MethodUsed};
+use crate::timing::StageTimings;
+use leva_embedding::EmbeddingStore;
+use leva_graph::LevaGraph;
+use leva_interner::codec::{crc32, ByteReader, ByteWriter, DecodeError};
+use leva_interner::TokenInterner;
+use leva_relational::{CellIssue, IngestReport, IssueReason};
+use leva_textify::{HistogramChoice, TokenizedDatabase};
+use std::fmt;
+use std::path::Path;
+use std::sync::Arc;
+use std::time::Duration;
+
+const MAGIC: &[u8; 4] = b"LEVA";
+const ARTIFACT_VERSION: u32 = 1;
+
+const TAG_SYMB: [u8; 4] = *b"SYMB";
+const TAG_CONF: [u8; 4] = *b"CONF";
+const TAG_TOKD: [u8; 4] = *b"TOKD";
+const TAG_GRPH: [u8; 4] = *b"GRPH";
+const TAG_STOR: [u8; 4] = *b"STOR";
+const TAG_META: [u8; 4] = *b"META";
+
+/// Errors produced while reading or writing a model artifact.
+#[derive(Debug)]
+pub enum ArtifactError {
+    /// Reading or writing the file failed.
+    Io(std::io::Error),
+    /// The buffer does not start with the artifact magic bytes.
+    BadMagic,
+    /// The artifact was written by an unsupported format version.
+    UnsupportedVersion(u32),
+    /// The buffer ended before the declared content.
+    Truncated,
+    /// A chunk payload's CRC-32 does not match its header.
+    ChecksumMismatch {
+        /// Tag of the corrupt chunk.
+        chunk: String,
+    },
+    /// A chunk appeared twice, or an unknown tag was encountered.
+    BadChunk {
+        /// Tag of the offending chunk.
+        chunk: String,
+    },
+    /// A required chunk is absent.
+    MissingChunk(&'static str),
+    /// Bytes remain after the declared chunks (or within a chunk after its
+    /// declared content).
+    TrailingData,
+    /// A chunk payload failed bounded decoding.
+    Decode {
+        /// Tag of the chunk that failed.
+        chunk: &'static str,
+        /// The underlying decode failure.
+        source: DecodeError,
+    },
+}
+
+impl fmt::Display for ArtifactError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Self::Io(e) => write!(f, "artifact I/O error: {e}"),
+            Self::BadMagic => write!(f, "not a Leva model artifact (bad magic)"),
+            Self::UnsupportedVersion(v) => write!(f, "unsupported artifact version {v}"),
+            Self::Truncated => write!(f, "artifact truncated"),
+            Self::ChecksumMismatch { chunk } => {
+                write!(f, "chunk {chunk:?} failed its CRC-32 check")
+            }
+            Self::BadChunk { chunk } => write!(f, "duplicate or unknown chunk {chunk:?}"),
+            Self::MissingChunk(tag) => write!(f, "required chunk {tag:?} is missing"),
+            Self::TrailingData => write!(f, "artifact has trailing bytes"),
+            Self::Decode { chunk, source } => {
+                write!(f, "chunk {chunk:?} failed to decode: {source}")
+            }
+        }
+    }
+}
+
+impl std::error::Error for ArtifactError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            Self::Io(e) => Some(e),
+            Self::Decode { source, .. } => Some(source),
+            _ => None,
+        }
+    }
+}
+
+impl From<std::io::Error> for ArtifactError {
+    fn from(e: std::io::Error) -> Self {
+        Self::Io(e)
+    }
+}
+
+/// Maps a chunk's [`DecodeError`] into a tagged [`ArtifactError`].
+fn in_chunk(chunk: &'static str) -> impl Fn(DecodeError) -> ArtifactError {
+    move |source| ArtifactError::Decode { chunk, source }
+}
+
+/// A chunk decoder must consume its payload exactly.
+fn finish_chunk(r: &ByteReader<'_>, chunk: &'static str) -> Result<(), ArtifactError> {
+    if r.is_exhausted() {
+        Ok(())
+    } else {
+        Err(ArtifactError::Decode {
+            chunk,
+            source: DecodeError::Invalid("trailing bytes in chunk"),
+        })
+    }
+}
+
+impl LevaModel {
+    /// Serializes the whole fitted model into the chunked artifact format.
+    pub fn to_bytes(&self) -> Vec<u8> {
+        let chunks: [([u8; 4], Vec<u8>); 6] = [
+            (TAG_SYMB, {
+                let mut w = ByteWriter::new();
+                self.graph.symbols().encode_into(&mut w);
+                w.into_bytes()
+            }),
+            (TAG_CONF, {
+                let mut w = ByteWriter::new();
+                encode_config(&self.config, &mut w);
+                w.into_bytes()
+            }),
+            (TAG_TOKD, {
+                let mut w = ByteWriter::new();
+                self.tokenized.encode_into(&mut w);
+                w.into_bytes()
+            }),
+            (TAG_GRPH, {
+                let mut w = ByteWriter::new();
+                self.graph.encode_into(&mut w);
+                w.into_bytes()
+            }),
+            (TAG_STOR, {
+                let mut w = ByteWriter::new();
+                self.store.encode_into(&mut w);
+                w.into_bytes()
+            }),
+            (TAG_META, {
+                let mut w = ByteWriter::new();
+                encode_meta(self, &mut w);
+                w.into_bytes()
+            }),
+        ];
+        let total: usize = 12 + chunks.iter().map(|(_, p)| p.len() + 16).sum::<usize>();
+        let mut out = ByteWriter::with_capacity(total);
+        out.put_raw(MAGIC);
+        out.put_u32(ARTIFACT_VERSION);
+        out.put_u32(chunks.len() as u32);
+        for (tag, payload) in &chunks {
+            out.put_raw(tag);
+            out.put_u64(payload.len() as u64);
+            out.put_u32(crc32(payload));
+            out.put_raw(payload);
+        }
+        out.into_bytes()
+    }
+
+    /// Decodes a model from artifact bytes. Bounded end to end: hostile
+    /// buffers yield a typed error, never a panic or an oversized
+    /// allocation.
+    pub fn from_bytes(bytes: &[u8]) -> Result<LevaModel, ArtifactError> {
+        let mut r = ByteReader::new(bytes);
+        let magic = r.take_raw(4).map_err(|_| ArtifactError::BadMagic)?;
+        if magic != MAGIC {
+            return Err(ArtifactError::BadMagic);
+        }
+        let version = r.take_u32().map_err(|_| ArtifactError::Truncated)?;
+        if version != ARTIFACT_VERSION {
+            return Err(ArtifactError::UnsupportedVersion(version));
+        }
+        let chunk_count = r.take_u32().map_err(|_| ArtifactError::Truncated)?;
+
+        let mut symb: Option<&[u8]> = None;
+        let mut conf: Option<&[u8]> = None;
+        let mut tokd: Option<&[u8]> = None;
+        let mut grph: Option<&[u8]> = None;
+        let mut stor: Option<&[u8]> = None;
+        let mut meta: Option<&[u8]> = None;
+        for _ in 0..chunk_count {
+            let tag: [u8; 4] = r
+                .take_raw(4)
+                .map_err(|_| ArtifactError::Truncated)?
+                .try_into()
+                .expect("4-byte slice");
+            let len = r.take_u64().map_err(|_| ArtifactError::Truncated)?;
+            let len = usize::try_from(len).map_err(|_| ArtifactError::Truncated)?;
+            let crc = r.take_u32().map_err(|_| ArtifactError::Truncated)?;
+            // Declared length validated against the remaining buffer before
+            // the payload is sliced (take_raw never reads past the end).
+            let payload = r.take_raw(len).map_err(|_| ArtifactError::Truncated)?;
+            if crc32(payload) != crc {
+                return Err(ArtifactError::ChecksumMismatch {
+                    chunk: String::from_utf8_lossy(&tag).into_owned(),
+                });
+            }
+            let slot = match tag {
+                TAG_SYMB => &mut symb,
+                TAG_CONF => &mut conf,
+                TAG_TOKD => &mut tokd,
+                TAG_GRPH => &mut grph,
+                TAG_STOR => &mut stor,
+                TAG_META => &mut meta,
+                _ => {
+                    return Err(ArtifactError::BadChunk {
+                        chunk: String::from_utf8_lossy(&tag).into_owned(),
+                    })
+                }
+            };
+            if slot.replace(payload).is_some() {
+                return Err(ArtifactError::BadChunk {
+                    chunk: String::from_utf8_lossy(&tag).into_owned(),
+                });
+            }
+        }
+        if !r.is_exhausted() {
+            return Err(ArtifactError::TrailingData);
+        }
+
+        let mut r = ByteReader::new(symb.ok_or(ArtifactError::MissingChunk("SYMB"))?);
+        let symbols = Arc::new(TokenInterner::decode(&mut r).map_err(in_chunk("SYMB"))?);
+        finish_chunk(&r, "SYMB")?;
+
+        let mut r = ByteReader::new(conf.ok_or(ArtifactError::MissingChunk("CONF"))?);
+        let config = decode_config(&mut r).map_err(in_chunk("CONF"))?;
+        finish_chunk(&r, "CONF")?;
+
+        let mut r = ByteReader::new(tokd.ok_or(ArtifactError::MissingChunk("TOKD"))?);
+        let tokenized =
+            TokenizedDatabase::decode(&mut r, Arc::clone(&symbols)).map_err(in_chunk("TOKD"))?;
+        finish_chunk(&r, "TOKD")?;
+
+        let mut r = ByteReader::new(grph.ok_or(ArtifactError::MissingChunk("GRPH"))?);
+        let graph = LevaGraph::decode(&mut r, Arc::clone(&symbols)).map_err(in_chunk("GRPH"))?;
+        finish_chunk(&r, "GRPH")?;
+
+        let mut r = ByteReader::new(stor.ok_or(ArtifactError::MissingChunk("STOR"))?);
+        let store = EmbeddingStore::decode_with_symbols(&mut r, Arc::clone(&symbols))
+            .map_err(in_chunk("STOR"))?;
+        finish_chunk(&r, "STOR")?;
+
+        let mut r = ByteReader::new(meta.ok_or(ArtifactError::MissingChunk("META"))?);
+        let meta = decode_meta(&mut r).map_err(in_chunk("META"))?;
+        finish_chunk(&r, "META")?;
+
+        if meta.base_table_index >= tokenized.tables.len()
+            || meta.base_table_index >= graph.table_names().len()
+        {
+            return Err(ArtifactError::Decode {
+                chunk: "META",
+                source: DecodeError::Invalid("base table index out of range"),
+            });
+        }
+
+        Ok(LevaModel {
+            config,
+            store,
+            graph,
+            tokenized,
+            timings: meta.timings,
+            method_used: meta.method_used,
+            memory: meta.memory,
+            base_table: meta.base_table,
+            base_table_index: meta.base_table_index,
+            target_column: meta.target_column,
+            ingest: meta.ingest,
+        })
+    }
+
+    /// Writes the model artifact to a file.
+    pub fn save(&self, path: impl AsRef<Path>) -> Result<(), ArtifactError> {
+        Ok(std::fs::write(path, self.to_bytes())?)
+    }
+
+    /// Loads a model artifact from a file.
+    pub fn load(path: impl AsRef<Path>) -> Result<LevaModel, ArtifactError> {
+        Self::from_bytes(&std::fs::read(path)?)
+    }
+}
+
+// --- CONF chunk ---------------------------------------------------------
+
+fn encode_config(c: &LevaConfig, w: &mut ByteWriter) {
+    w.put_u64(c.dim as u64);
+    w.put_u64(c.textify.bin_count as u64);
+    w.put_u8(match c.textify.histogram {
+        HistogramChoice::Kurtosis => 0,
+        HistogramChoice::ForceEquiWidth => 1,
+        HistogramChoice::ForceEquiDepth => 2,
+    });
+    w.put_f64(c.textify.classify.key_distinct_ratio);
+    w.put_u8(u8::from(c.textify.split_multiword));
+    w.put_u64(c.textify.threads as u64);
+    w.put_f64(c.graph.theta_range);
+    w.put_f64(c.graph.theta_min);
+    w.put_u8(u8::from(c.graph.weighted));
+    match c.method {
+        EmbeddingMethod::MatrixFactorization => w.put_u8(0),
+        EmbeddingMethod::RandomWalk => w.put_u8(1),
+        EmbeddingMethod::Auto {
+            memory_budget_bytes,
+        } => {
+            w.put_u8(2);
+            w.put_u64(memory_budget_bytes as u64);
+        }
+    }
+    w.put_u64(c.mf.dim as u64);
+    w.put_f64(c.mf.tau);
+    w.put_u64(c.mf.oversample as u64);
+    w.put_u64(c.mf.power_iters as u64);
+    w.put_u8(u8::from(c.mf.spectral_propagation));
+    w.put_u64(c.mf.seed);
+    w.put_u64(c.mf.threads as u64);
+    w.put_u64(c.walks.walk_length as u64);
+    w.put_u64(c.walks.walks_per_node as u64);
+    w.put_u8(u8::from(c.walks.weighted));
+    w.put_u8(u8::from(c.walks.restart_balancing));
+    w.put_f64(c.walks.restart_fraction);
+    match c.walks.visit_limit {
+        None => w.put_u8(0),
+        Some(limit) => {
+            w.put_u8(1);
+            w.put_u64(limit as u64);
+        }
+    }
+    w.put_u64(c.walks.seed);
+    w.put_u64(c.walks.threads as u64);
+    w.put_u64(c.sgns.dim as u64);
+    w.put_u64(c.sgns.window as u64);
+    w.put_u64(c.sgns.negative as u64);
+    w.put_u64(c.sgns.epochs as u64);
+    w.put_f64(c.sgns.initial_lr);
+    w.put_f64(c.sgns.min_lr);
+    w.put_u64(c.sgns.seed);
+    w.put_u64(c.sgns.threads as u64);
+    w.put_u8(match c.featurization {
+        Featurization::RowOnly => 0,
+        Featurization::RowPlusValue => 1,
+    });
+    w.put_u64(c.seed);
+    w.put_u64(c.threads as u64);
+}
+
+fn decode_config(r: &mut ByteReader<'_>) -> Result<LevaConfig, DecodeError> {
+    // Struct-literal fields evaluate in source order, which keeps these
+    // reads aligned with `encode_config`'s writes.
+    Ok(LevaConfig {
+        dim: r.take_usize()?,
+        textify: leva_textify::TextifyConfig {
+            bin_count: r.take_usize()?,
+            histogram: match r.take_u8()? {
+                0 => HistogramChoice::Kurtosis,
+                1 => HistogramChoice::ForceEquiWidth,
+                2 => HistogramChoice::ForceEquiDepth,
+                _ => return Err(DecodeError::Invalid("unknown histogram choice tag")),
+            },
+            classify: leva_textify::ClassifyConfig {
+                key_distinct_ratio: r.take_f64()?,
+            },
+            split_multiword: r.take_u8()? != 0,
+            threads: r.take_usize()?,
+        },
+        graph: leva_graph::GraphConfig {
+            theta_range: r.take_f64()?,
+            theta_min: r.take_f64()?,
+            weighted: r.take_u8()? != 0,
+        },
+        method: match r.take_u8()? {
+            0 => EmbeddingMethod::MatrixFactorization,
+            1 => EmbeddingMethod::RandomWalk,
+            2 => EmbeddingMethod::Auto {
+                memory_budget_bytes: r.take_usize()?,
+            },
+            _ => return Err(DecodeError::Invalid("unknown embedding method tag")),
+        },
+        mf: leva_embedding::MfConfig {
+            dim: r.take_usize()?,
+            tau: r.take_f64()?,
+            oversample: r.take_usize()?,
+            power_iters: r.take_usize()?,
+            spectral_propagation: r.take_u8()? != 0,
+            seed: r.take_u64()?,
+            threads: r.take_usize()?,
+        },
+        walks: leva_embedding::WalkConfig {
+            walk_length: r.take_usize()?,
+            walks_per_node: r.take_usize()?,
+            weighted: r.take_u8()? != 0,
+            restart_balancing: r.take_u8()? != 0,
+            restart_fraction: r.take_f64()?,
+            visit_limit: match r.take_u8()? {
+                0 => None,
+                1 => Some(r.take_usize()?),
+                _ => return Err(DecodeError::Invalid("unknown visit limit tag")),
+            },
+            seed: r.take_u64()?,
+            threads: r.take_usize()?,
+        },
+        sgns: leva_embedding::SgnsConfig {
+            dim: r.take_usize()?,
+            window: r.take_usize()?,
+            negative: r.take_usize()?,
+            epochs: r.take_usize()?,
+            initial_lr: r.take_f64()?,
+            min_lr: r.take_f64()?,
+            seed: r.take_u64()?,
+            threads: r.take_usize()?,
+        },
+        featurization: match r.take_u8()? {
+            0 => Featurization::RowOnly,
+            1 => Featurization::RowPlusValue,
+            _ => return Err(DecodeError::Invalid("unknown featurization tag")),
+        },
+        seed: r.take_u64()?,
+        threads: r.take_usize()?,
+    })
+}
+
+// --- META chunk ---------------------------------------------------------
+
+struct Meta {
+    base_table: String,
+    base_table_index: usize,
+    target_column: Option<String>,
+    method_used: MethodUsed,
+    memory: MemoryEstimate,
+    timings: StageTimings,
+    ingest: Vec<IngestReport>,
+}
+
+fn put_duration(w: &mut ByteWriter, d: Duration) {
+    w.put_u64(d.as_secs());
+    w.put_u32(d.subsec_nanos());
+}
+
+fn take_duration(r: &mut ByteReader<'_>) -> Result<Duration, DecodeError> {
+    let secs = r.take_u64()?;
+    let nanos = r.take_u32()?;
+    if nanos >= 1_000_000_000 {
+        return Err(DecodeError::Invalid("subsecond nanos out of range"));
+    }
+    Ok(Duration::new(secs, nanos))
+}
+
+fn encode_meta(m: &LevaModel, w: &mut ByteWriter) {
+    w.put_str(&m.base_table);
+    w.put_u64(m.base_table_index as u64);
+    match &m.target_column {
+        None => w.put_u8(0),
+        Some(t) => {
+            w.put_u8(1);
+            w.put_str(t);
+        }
+    }
+    w.put_u8(match m.method_used {
+        MethodUsed::MatrixFactorization => 0,
+        MethodUsed::RandomWalk => 1,
+    });
+    w.put_u64(m.memory.mf_bytes as u64);
+    w.put_u64(m.memory.rw_bytes as u64);
+    let stages = m.timings.stages();
+    w.put_u32(u32::try_from(stages.len()).expect("stage count fits u32"));
+    for s in stages {
+        w.put_str(&s.stage);
+        put_duration(w, s.wall);
+        put_duration(w, s.cpu);
+        w.put_u64(s.threads as u64);
+    }
+    w.put_u32(u32::try_from(m.ingest.len()).expect("report count fits u32"));
+    for rep in &m.ingest {
+        w.put_str(&rep.table);
+        w.put_u64(rep.rows_ingested as u64);
+        w.put_u64(rep.rows_ragged as u64);
+        w.put_u64(rep.cells_non_finite as u64);
+        w.put_u64(rep.cells_non_canonical as u64);
+        w.put_u64(rep.quote_repairs as u64);
+        w.put_u32(u32::try_from(rep.sentinel_census.len()).expect("census fits u32"));
+        for (sentinel, count) in &rep.sentinel_census {
+            w.put_str(sentinel);
+            w.put_u64(*count as u64);
+        }
+        w.put_u32(u32::try_from(rep.issues.len()).expect("issue count fits u32"));
+        for issue in &rep.issues {
+            w.put_u64(issue.line as u64);
+            w.put_u64(issue.column as u64);
+            w.put_str(&issue.value);
+            w.put_u8(issue_reason_tag(issue.reason));
+        }
+        w.put_u64(rep.issues_total as u64);
+    }
+}
+
+fn issue_reason_tag(r: IssueReason) -> u8 {
+    match r {
+        IssueReason::RaggedRowPadded => 0,
+        IssueReason::RaggedRowTruncated => 1,
+        IssueReason::NonFiniteNumeric => 2,
+        IssueReason::NonCanonicalNumeric => 3,
+        IssueReason::BareQuote => 4,
+        IssueReason::UnterminatedQuote => 5,
+        IssueReason::InvalidUtf8 => 6,
+    }
+}
+
+fn issue_reason_from_tag(t: u8) -> Result<IssueReason, DecodeError> {
+    Ok(match t {
+        0 => IssueReason::RaggedRowPadded,
+        1 => IssueReason::RaggedRowTruncated,
+        2 => IssueReason::NonFiniteNumeric,
+        3 => IssueReason::NonCanonicalNumeric,
+        4 => IssueReason::BareQuote,
+        5 => IssueReason::UnterminatedQuote,
+        6 => IssueReason::InvalidUtf8,
+        _ => return Err(DecodeError::Invalid("unknown issue reason tag")),
+    })
+}
+
+fn decode_meta(r: &mut ByteReader<'_>) -> Result<Meta, DecodeError> {
+    let base_table = r.take_str()?.to_owned();
+    let base_table_index = r.take_usize()?;
+    let target_column = match r.take_u8()? {
+        0 => None,
+        1 => Some(r.take_str()?.to_owned()),
+        _ => return Err(DecodeError::Invalid("unknown target column tag")),
+    };
+    let method_used = match r.take_u8()? {
+        0 => MethodUsed::MatrixFactorization,
+        1 => MethodUsed::RandomWalk,
+        _ => return Err(DecodeError::Invalid("unknown method-used tag")),
+    };
+    let memory = MemoryEstimate {
+        mf_bytes: r.take_usize()?,
+        rw_bytes: r.take_usize()?,
+    };
+    let n_stages = r.take_count(4)?;
+    let mut timings = StageTimings::default();
+    for _ in 0..n_stages {
+        let stage = r.take_str()?.to_owned();
+        let wall = take_duration(r)?;
+        let cpu = take_duration(r)?;
+        let threads = r.take_usize()?;
+        timings.push_with(stage, wall, cpu, threads);
+    }
+    let n_reports = r.take_count(4)?;
+    let mut ingest = Vec::with_capacity(n_reports);
+    for _ in 0..n_reports {
+        let mut rep = IngestReport::new(r.take_str()?.to_owned());
+        rep.rows_ingested = r.take_usize()?;
+        rep.rows_ragged = r.take_usize()?;
+        rep.cells_non_finite = r.take_usize()?;
+        rep.cells_non_canonical = r.take_usize()?;
+        rep.quote_repairs = r.take_usize()?;
+        let n_sentinels = r.take_count(8)?;
+        for _ in 0..n_sentinels {
+            let sentinel = r.take_str()?.to_owned();
+            let count = r.take_usize()?;
+            rep.sentinel_census.insert(sentinel, count);
+        }
+        let n_issues = r.take_count(8)?;
+        for _ in 0..n_issues {
+            rep.issues.push(CellIssue {
+                line: r.take_usize()?,
+                column: r.take_usize()?,
+                value: r.take_str()?.to_owned(),
+                reason: issue_reason_from_tag(r.take_u8()?)?,
+            });
+        }
+        rep.issues_total = r.take_usize()?;
+        ingest.push(rep);
+    }
+    Ok(Meta {
+        base_table,
+        base_table_index,
+        target_column,
+        method_used,
+        memory,
+        timings,
+        ingest,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::pipeline::Leva;
+    use leva_relational::{Database, IngestOptions, Table, Value};
+
+    fn db() -> Database {
+        let mut db = Database::new();
+        let mut base = Table::new("base", vec!["id", "grp", "amount", "target"]);
+        let mut aux = Table::new("aux", vec!["id", "tag"]);
+        for i in 0..25 {
+            base.push_row(vec![
+                format!("e{i}").into(),
+                ["a", "b", "c"][i % 3].into(),
+                Value::Float(i as f64),
+                Value::Int((i % 2) as i64),
+            ])
+            .unwrap();
+            aux.push_row(vec![format!("e{i}").into(), format!("t{}", i % 4).into()])
+                .unwrap();
+        }
+        db.add_table(base).unwrap();
+        db.add_table(aux).unwrap();
+        db
+    }
+
+    fn fit() -> LevaModel {
+        Leva::with_config(LevaConfig::fast())
+            .base_table("base")
+            .target("target")
+            .fit(&db())
+            .unwrap()
+    }
+
+    fn assert_bitwise_equal_features(a: &LevaModel, b: &LevaModel) {
+        for feat in [Featurization::RowOnly, Featurization::RowPlusValue] {
+            let (xa, xb) = (a.featurize_base(feat), b.featurize_base(feat));
+            assert_eq!(xa.rows(), xb.rows());
+            assert_eq!(xa.cols(), xb.cols());
+            for row in 0..xa.rows() {
+                for (x, y) in xa.row(row).iter().zip(xb.row(row)) {
+                    assert_eq!(x.to_bits(), y.to_bits(), "featurize_base differs");
+                }
+            }
+        }
+        let mut test = Table::new("test", vec!["id", "grp", "amount"]);
+        test.push_row(vec!["e3".into(), "a".into(), Value::Float(7.0)])
+            .unwrap();
+        test.push_row(vec!["unseen".into(), "c".into(), Value::Float(1e9)])
+            .unwrap();
+        let (xa, xb) = (
+            a.featurize_external(&test, Featurization::RowPlusValue),
+            b.featurize_external(&test, Featurization::RowPlusValue),
+        );
+        for row in 0..xa.rows() {
+            for (x, y) in xa.row(row).iter().zip(xb.row(row)) {
+                assert_eq!(x.to_bits(), y.to_bits(), "featurize_external differs");
+            }
+        }
+    }
+
+    #[test]
+    fn round_trip_is_bitwise_identical() {
+        let model = fit();
+        let bytes = model.to_bytes();
+        let back = LevaModel::from_bytes(&bytes).unwrap();
+        assert_eq!(back.base_table, model.base_table);
+        assert_eq!(back.base_table_index, model.base_table_index);
+        assert_eq!(back.target_column, model.target_column);
+        assert_eq!(back.method_used, model.method_used);
+        assert_eq!(back.memory, model.memory);
+        assert_eq!(back.timings, model.timings);
+        assert_eq!(back.store.len(), model.store.len());
+        assert_eq!(back.graph.n_nodes(), model.graph.n_nodes());
+        assert_bitwise_equal_features(&model, &back);
+        // And re-serializing the loaded model reproduces the exact bytes.
+        assert_eq!(back.to_bytes(), bytes);
+    }
+
+    #[test]
+    fn file_round_trip() {
+        let model = fit();
+        let dir = std::env::temp_dir().join("leva_artifact_test");
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("model.leva");
+        model.save(&path).unwrap();
+        let back = LevaModel::load(&path).unwrap();
+        assert_bitwise_equal_features(&model, &back);
+        std::fs::remove_file(&path).ok();
+    }
+
+    #[test]
+    fn ingest_reports_survive() {
+        let mut base = String::from("id,grp,target\n");
+        for i in 0..30 {
+            base.push_str(&format!("e{i},{},{}\n", ["a", "b"][i % 2], i % 2));
+        }
+        base.push_str("e0\n"); // ragged
+        let model = Leva::with_config(LevaConfig::fast())
+            .base_table("base")
+            .target("target")
+            .ingest_options(IngestOptions::lenient())
+            .fit_csv(&[("base", &base)])
+            .unwrap();
+        let back = LevaModel::from_bytes(&model.to_bytes()).unwrap();
+        assert_eq!(back.ingest.len(), 1);
+        assert_eq!(back.ingest[0].rows_ragged, model.ingest[0].rows_ragged);
+        assert_eq!(back.ingest[0].issues.len(), model.ingest[0].issues.len());
+        assert_eq!(
+            back.ingest[0].sentinel_census,
+            model.ingest[0].sentinel_census
+        );
+    }
+
+    #[test]
+    fn every_truncation_is_a_typed_error() {
+        let model = fit();
+        let bytes = model.to_bytes();
+        // Exhaustive over the header and chunk table, sampled past that.
+        for cut in (0..bytes.len()).step_by(97).chain(0..64) {
+            assert!(
+                LevaModel::from_bytes(&bytes[..cut]).is_err(),
+                "cut at {cut} decoded"
+            );
+        }
+    }
+
+    #[test]
+    fn every_bit_flip_is_detected() {
+        let model = fit();
+        let mut bytes = model.to_bytes();
+        // Flipping any single bit must yield an error: headers are
+        // validated, payload corruption trips the CRC. Sample every 131st
+        // byte to keep runtime sane, plus the whole header region.
+        let positions: Vec<usize> = (0..bytes.len())
+            .step_by(131)
+            .chain(0..32.min(bytes.len()))
+            .collect();
+        for pos in positions {
+            for bit in 0..8 {
+                bytes[pos] ^= 1 << bit;
+                assert!(
+                    LevaModel::from_bytes(&bytes).is_err(),
+                    "flip at byte {pos} bit {bit} went undetected"
+                );
+                bytes[pos] ^= 1 << bit;
+            }
+        }
+    }
+
+    #[test]
+    fn version_bump_is_rejected() {
+        let model = fit();
+        let mut bytes = model.to_bytes();
+        bytes[4] = 99;
+        assert!(matches!(
+            LevaModel::from_bytes(&bytes).unwrap_err(),
+            ArtifactError::UnsupportedVersion(99)
+        ));
+        assert!(matches!(
+            LevaModel::from_bytes(b"NOPE").unwrap_err(),
+            ArtifactError::BadMagic
+        ));
+    }
+
+    #[test]
+    fn inflated_chunk_length_is_bounded() {
+        let model = fit();
+        let mut bytes = model.to_bytes();
+        // First chunk's u64 length field sits at offset 16 (magic 4 +
+        // version 4 + count 4 + tag 4). Declare ~17 exabytes.
+        bytes[16..24].copy_from_slice(&u64::MAX.to_le_bytes());
+        assert!(matches!(
+            LevaModel::from_bytes(&bytes).unwrap_err(),
+            ArtifactError::Truncated
+        ));
+    }
+
+    #[test]
+    fn duplicate_and_trailing_chunks_are_rejected() {
+        let model = fit();
+        let bytes = model.to_bytes();
+        // Append a copy of the first chunk without bumping the count:
+        // trailing data.
+        let mut trailing = bytes.clone();
+        trailing.push(0);
+        assert!(matches!(
+            LevaModel::from_bytes(&trailing).unwrap_err(),
+            ArtifactError::TrailingData
+        ));
+        // Unknown tag.
+        let mut unknown = bytes.clone();
+        unknown[12..16].copy_from_slice(b"WHAT");
+        assert!(matches!(
+            LevaModel::from_bytes(&unknown).unwrap_err(),
+            ArtifactError::BadChunk { .. }
+        ));
+    }
+
+    #[test]
+    fn config_round_trips_every_field() {
+        let mut cfg = LevaConfig::default()
+            .with_dim(17)
+            .with_seed(0xabcdef)
+            .with_threads(3);
+        cfg.method = EmbeddingMethod::Auto {
+            memory_budget_bytes: 123_456,
+        };
+        cfg.textify.split_multiword = true;
+        cfg.textify.histogram = HistogramChoice::ForceEquiDepth;
+        cfg.walks.visit_limit = Some(42);
+        cfg.featurization = Featurization::RowOnly;
+        let mut w = ByteWriter::new();
+        encode_config(&cfg, &mut w);
+        let bytes = w.into_bytes();
+        let mut r = ByteReader::new(&bytes);
+        let back = decode_config(&mut r).unwrap();
+        assert!(r.is_exhausted());
+        let mut w2 = ByteWriter::new();
+        encode_config(&back, &mut w2);
+        assert_eq!(w2.into_bytes(), bytes, "config codec not a fixed point");
+        assert_eq!(back.dim, 17);
+        assert_eq!(back.walks.visit_limit, Some(42));
+        assert_eq!(back.featurization, Featurization::RowOnly);
+    }
+}

@@ -114,12 +114,14 @@ impl LevaModel {
 
     /// Featurizes all rows of the base table.
     pub fn featurize_base(&self, feat: Featurization) -> Matrix {
+        // Use the stored index, exactly as `featurize_base_rows` does — a
+        // by-name lookup that disagreed with it would silently featurize
+        // zero rows.
         let n = self
-            .graph
-            .table_names()
-            .iter()
-            .position(|t| *t == self.base_table)
-            .map(|ti| self.tokenized.tables[ti].rows.len())
+            .tokenized
+            .tables
+            .get(self.base_table_index)
+            .map(|t| t.rows.len())
             .unwrap_or(0);
         let rows: Vec<usize> = (0..n).collect();
         self.featurize_base_rows(&rows, feat)
@@ -216,6 +218,24 @@ mod tests {
         assert_eq!(row_only.cols(), 32);
         let rv = model.featurize_base(Featurization::RowPlusValue);
         assert_eq!(rv.cols(), 64);
+    }
+
+    #[test]
+    fn featurize_base_uses_stored_index_not_name() {
+        // Regression: `featurize_base` used to re-derive the base-table
+        // index by *name* while `featurize_base_rows` used the stored
+        // index; any disagreement silently featurized zero rows.
+        let mut model = fit_fast(&db());
+        model.base_table = "renamed-elsewhere".to_owned();
+        let x = model.featurize_base(Featurization::RowPlusValue);
+        assert_eq!(x.rows(), 40);
+        assert_eq!(x.cols(), model.feature_dim(Featurization::RowPlusValue));
+        // And it matches the row-indexed path exactly.
+        let rows: Vec<usize> = (0..40).collect();
+        let y = model.featurize_base_rows(&rows, Featurization::RowPlusValue);
+        for r in 0..40 {
+            assert_eq!(x.row(r), y.row(r));
+        }
     }
 
     #[test]

@@ -54,6 +54,7 @@
 
 #![warn(missing_docs)]
 
+mod artifact;
 mod config;
 mod deploy;
 mod er;
@@ -62,6 +63,7 @@ mod memory;
 mod pipeline;
 mod timing;
 
+pub use artifact::ArtifactError;
 pub use config::{EmbeddingMethod, Featurization, LevaConfig};
 pub use er::{match_embeddings, resolve_entities, score_matches, ErOptions, ErResult};
 pub use finetune::{droppable_tables, finetune_drop_tables};

@@ -47,6 +47,8 @@ pub enum LevaError {
         /// The underlying ingestion error.
         source: RelationalError,
     },
+    /// Saving or loading a model artifact failed.
+    Artifact(crate::artifact::ArtifactError),
 }
 
 impl fmt::Display for LevaError {
@@ -60,6 +62,7 @@ impl fmt::Display for LevaError {
             Self::Ingest { table, source } => {
                 write!(f, "failed to ingest table '{table}': {source}")
             }
+            Self::Artifact(e) => write!(f, "model artifact error: {e}"),
         }
     }
 }
@@ -75,6 +78,12 @@ impl From<RelationalError> for LevaError {
 impl From<leva_embedding::UnknownTokenError> for LevaError {
     fn from(e: leva_embedding::UnknownTokenError) -> Self {
         Self::UnknownToken(e.token)
+    }
+}
+
+impl From<crate::artifact::ArtifactError> for LevaError {
+    fn from(e: crate::artifact::ArtifactError) -> Self {
+        Self::Artifact(e)
     }
 }
 
@@ -497,7 +506,12 @@ mod tests {
         let model = fit_fast(&db());
         assert!(model.timings.total().as_nanos() > 0);
         assert!(model.timings.wall("embedding_training").as_nanos() > 0);
-        let stages: Vec<&str> = model.timings.stages().iter().map(|s| s.stage).collect();
+        let stages: Vec<&str> = model
+            .timings
+            .stages()
+            .iter()
+            .map(|s| s.stage.as_str())
+            .collect();
         assert_eq!(stages, ["textify", "graph", "embedding_training"]);
     }
 

@@ -11,10 +11,11 @@
 use std::time::Duration;
 
 /// One named pipeline stage's performance record.
-#[derive(Debug, Clone)]
+#[derive(Debug, Clone, PartialEq, Eq)]
 pub struct StageTiming {
-    /// Stage name (e.g. `"textify"`, `"walk_generation"`).
-    pub stage: &'static str,
+    /// Stage name (e.g. `"textify"`, `"walk_generation"`). Owned so records
+    /// survive (de)serialization in the model artifact.
+    pub stage: String,
     /// Wall-clock time spent in the stage.
     pub wall: Duration,
     /// Process CPU time consumed during the stage (zero when unknown).
@@ -24,27 +25,27 @@ pub struct StageTiming {
 }
 
 /// Ordered per-stage performance records of one pipeline run.
-#[derive(Debug, Clone, Default)]
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
 pub struct StageTimings {
     stages: Vec<StageTiming>,
 }
 
 impl StageTimings {
     /// Appends a stage record with unknown CPU time and one thread.
-    pub fn push(&mut self, stage: &'static str, wall: Duration) {
+    pub fn push(&mut self, stage: impl Into<String>, wall: Duration) {
         self.push_with(stage, wall, Duration::ZERO, 1);
     }
 
     /// Appends a full stage record.
     pub fn push_with(
         &mut self,
-        stage: &'static str,
+        stage: impl Into<String>,
         wall: Duration,
         cpu: Duration,
         threads: usize,
     ) {
         self.stages.push(StageTiming {
-            stage,
+            stage: stage.into(),
             wall,
             cpu,
             threads,

@@ -96,7 +96,20 @@ pub fn decode_corpus(mut buf: &[u8]) -> Result<Corpus, CorpusDecodeError> {
     if version != VERSION {
         return Err(CorpusDecodeError::BadVersion(version));
     }
-    let vocab_len = take_u32(&mut buf)? as usize;
+    // Counts come from untrusted headers: validate that `count` entries of
+    // the minimum possible size fit in the remaining bytes *before* any
+    // allocation, so a 16-byte hostile buffer cannot demand gigabytes.
+    let checked_count =
+        |count: usize, min_entry: usize, buf: &[u8]| -> Result<usize, CorpusDecodeError> {
+            let need = count
+                .checked_mul(min_entry)
+                .ok_or(CorpusDecodeError::Truncated)?;
+            if need > buf.len() {
+                return Err(CorpusDecodeError::Truncated);
+            }
+            Ok(count)
+        };
+    let vocab_len = checked_count(take_u32(&mut buf)? as usize, 4, buf)?;
     let mut symbols = TokenInterner::new();
     let mut vocab = Vec::with_capacity(vocab_len);
     for _ in 0..vocab_len {
@@ -108,13 +121,10 @@ pub fn decode_corpus(mut buf: &[u8]) -> Result<Corpus, CorpusDecodeError> {
         vocab.push(symbols.intern(s));
         buf = &buf[len..];
     }
-    let seq_count = take_u32(&mut buf)? as usize;
+    let seq_count = checked_count(take_u32(&mut buf)? as usize, 4, buf)?;
     let mut sequences = Vec::with_capacity(seq_count);
     for _ in 0..seq_count {
-        let len = take_u32(&mut buf)? as usize;
-        if buf.len() < len * 4 {
-            return Err(CorpusDecodeError::Truncated);
-        }
+        let len = checked_count(take_u32(&mut buf)? as usize, 4, buf)?;
         let mut seq = Vec::with_capacity(len);
         for _ in 0..len {
             let id = take_u32(&mut buf)?;
@@ -206,6 +216,36 @@ mod tests {
         assert_eq!(
             decode_corpus(&bytes).unwrap_err(),
             CorpusDecodeError::IdOutOfRange(1000)
+        );
+    }
+
+    #[test]
+    fn inflated_headers_rejected_before_allocation() {
+        // 16-byte buffer declaring a 4-billion-entry vocabulary: must error
+        // without allocating anything close to the declared size.
+        let mut bytes = Vec::new();
+        bytes.extend_from_slice(b"LEVW");
+        bytes.extend_from_slice(&1u32.to_le_bytes());
+        bytes.extend_from_slice(&u32::MAX.to_le_bytes());
+        bytes.extend_from_slice(&0u32.to_le_bytes());
+        assert_eq!(
+            decode_corpus(&bytes).unwrap_err(),
+            CorpusDecodeError::Truncated
+        );
+        // Same for the sequence count and a per-sequence length.
+        let mut bytes = encode_corpus(&Corpus::from_sentences(vec![vec!["a"]]));
+        let seq_count_at = bytes.len() - 12; // u32 seq_count | u32 len | u32 id
+        bytes[seq_count_at..seq_count_at + 4].copy_from_slice(&u32::MAX.to_le_bytes());
+        assert_eq!(
+            decode_corpus(&bytes).unwrap_err(),
+            CorpusDecodeError::Truncated
+        );
+        let mut bytes = encode_corpus(&Corpus::from_sentences(vec![vec!["a"]]));
+        let seq_len_at = bytes.len() - 8;
+        bytes[seq_len_at..seq_len_at + 4].copy_from_slice(&u32::MAX.to_le_bytes());
+        assert_eq!(
+            decode_corpus(&bytes).unwrap_err(),
+            CorpusDecodeError::Truncated
         );
     }
 

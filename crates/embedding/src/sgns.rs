@@ -118,11 +118,17 @@ pub fn train_sgns(corpus: &Corpus, cfg: &SgnsConfig) -> SgnsModel {
         // Hogwild: threads update the shared parameter arrays without locks;
         // occasional lost updates are benign (word2vec does the same).
         let chunks: Vec<&[Vec<u32>]> = chunk_sequences(&corpus.sequences, cfg.threads);
-        let per_thread = corpus.total_tokens() / cfg.threads.max(1);
+        // `chunk_sequences` splits by *sentence* count, so chunks can carry
+        // very different token counts. Each worker's LR schedule must decay
+        // over the positions it will actually process, not an equal-share
+        // estimate — otherwise workers with long sentences clamp to `min_lr`
+        // early while others never finish decaying.
+        let chunk_tokens = chunk_token_counts(&chunks);
         let _ = crossbeam::scope(|s| {
             for (t, chunk) in chunks.into_iter().enumerate() {
                 let shared_ref = &shared;
                 let neg_ref = neg_table.as_ref();
+                let own_tokens = chunk_tokens[t];
                 s.spawn(move |_| {
                     let mut worker = Worker {
                         params: shared_ref,
@@ -130,10 +136,10 @@ pub fn train_sgns(corpus: &Corpus, cfg: &SgnsConfig) -> SgnsModel {
                         neg_table: neg_ref,
                         rng: StdRng::seed_from_u64(cfg.seed.wrapping_add(17 * t as u64 + 1)),
                         processed_base: 0,
-                        total_positions: (per_thread * cfg.epochs).max(1),
+                        total_positions: (own_tokens * cfg.epochs).max(1),
                     };
                     for epoch in 0..cfg.epochs {
-                        worker.processed_base = epoch * per_thread;
+                        worker.processed_base = epoch * own_tokens;
                         worker.run(chunk);
                     }
                 });
@@ -220,7 +226,11 @@ impl Worker<'_> {
             } else {
                 let neg = match self.neg_table {
                     Some(t) => t.sample(&mut self.rng) as u32,
-                    None => return,
+                    // No negative table: skip the negatives but still fall
+                    // through to the flush below — `return` here would
+                    // silently discard the positive pair's accumulated
+                    // input gradient.
+                    None => break,
                 };
                 if neg == context {
                     continue;
@@ -257,6 +267,15 @@ fn chunk_sequences(sequences: &[Vec<u32>], n: usize) -> Vec<&[Vec<u32>]> {
     let n = n.max(1).min(sequences.len().max(1));
     let chunk = sequences.len().div_ceil(n);
     sequences.chunks(chunk.max(1)).collect()
+}
+
+/// Actual token count per chunk — the denominator of each Hogwild worker's
+/// LR schedule.
+fn chunk_token_counts(chunks: &[&[Vec<u32>]]) -> Vec<usize> {
+    chunks
+        .iter()
+        .map(|c| c.iter().map(Vec::len).sum())
+        .collect()
 }
 
 #[cfg(test)]
@@ -354,6 +373,87 @@ mod tests {
             },
         );
         assert!(model.input.is_empty());
+    }
+
+    #[test]
+    fn missing_negative_table_still_applies_positive_update() {
+        // Regression: `train_pair` used to `return` when no alias table was
+        // available, exiting *before* the input-gradient flush — positive
+        // pairs accumulated a gradient and then dropped it on the floor.
+        let cfg = SgnsConfig {
+            dim: 4,
+            negative: 5,
+            window: 1,
+            ..Default::default()
+        };
+        let shared = SharedParams {
+            input: vec![0.1; 2 * 4],
+            // Output must be nonzero: the input gradient is g * w_out, so a
+            // zero context vector would mask the bug.
+            output: vec![0.2; 2 * 4],
+            dim: 4,
+        };
+        let before = shared.input.clone();
+        let mut worker = Worker {
+            params: &shared,
+            cfg: &cfg,
+            neg_table: None,
+            rng: StdRng::seed_from_u64(1),
+            processed_base: 0,
+            total_positions: 10,
+        };
+        worker.run(&[vec![0, 1, 0, 1]]);
+        assert_ne!(
+            shared.input, before,
+            "positive-pair input gradient must land even without negatives"
+        );
+        assert!(shared.input.iter().all(|v| v.is_finite()));
+    }
+
+    #[test]
+    fn hogwild_lr_schedule_uses_actual_chunk_tokens() {
+        // Uneven sentence lengths: chunking by sentence count gives chunk 0
+        // (one 100-token sentence) far more tokens than chunk 1 (one
+        // 4-token sentence). Each worker's schedule must decay over its own
+        // token count so every worker ends exactly at LR fraction 1.0.
+        let sequences = vec![vec![0u32; 100], vec![1u32; 4]];
+        let chunks = chunk_sequences(&sequences, 2);
+        let counts = chunk_token_counts(&chunks);
+        assert_eq!(counts, vec![100, 4]);
+        let total = sequences.iter().map(Vec::len).sum::<usize>();
+        let naive_per_thread = total / 2; // the old, wrong denominator
+        assert_ne!(counts[0], naive_per_thread);
+        let cfg = SgnsConfig {
+            dim: 2,
+            epochs: 3,
+            initial_lr: 0.025,
+            min_lr: 1e-4,
+            ..Default::default()
+        };
+        let shared = SharedParams {
+            input: vec![0.0; 2 * 2],
+            output: vec![0.0; 2 * 2],
+            dim: 2,
+        };
+        for &tokens in &counts {
+            let total_positions = (tokens * cfg.epochs).max(1);
+            let worker = Worker {
+                params: &shared,
+                cfg: &cfg,
+                neg_table: None,
+                rng: StdRng::seed_from_u64(0),
+                processed_base: (cfg.epochs - 1) * tokens,
+                total_positions,
+            };
+            // At its own final position every worker has decayed the full
+            // schedule: fraction 1.0 ⇒ the floor LR, no early clamping and
+            // no unfinished decay.
+            let final_lr = worker.current_lr(worker.processed_base + tokens);
+            assert_eq!(final_lr, cfg.min_lr, "tokens={tokens}");
+            // Halfway through, the decay is still in progress.
+            let mid = worker.current_lr(total_positions / 2);
+            assert!(mid > cfg.min_lr && mid < cfg.initial_lr, "tokens={tokens}");
+        }
     }
 
     #[test]

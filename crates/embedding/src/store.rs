@@ -10,6 +10,7 @@
 //! ([`EmbeddingStore::insert`], [`EmbeddingStore::get`]) remains for the
 //! serialization, deployment, and baseline boundaries.
 
+use leva_interner::codec::{ByteReader, ByteWriter, DecodeError};
 use leva_interner::{TokenId, TokenInterner};
 use leva_linalg::{Matrix, Pca};
 use std::sync::Arc;
@@ -260,6 +261,53 @@ impl EmbeddingStore {
                 return Err(StoreJsonError::Shape("vector length differs from \"dim\""));
             }
             store.insert(token, vector);
+        }
+        Ok(store)
+    }
+
+    /// Serializes the dense vector table as `dim | count | (id, dim × f64
+    /// bits)` entries in id order. The symbol table is stored separately by
+    /// the artifact layer; vectors round-trip bit-exactly.
+    pub fn encode_into(&self, w: &mut ByteWriter) {
+        w.put_u32(u32::try_from(self.dim).expect("dimension fits u32"));
+        w.put_u32(u32::try_from(self.count).expect("vector count fits u32"));
+        for (i, v) in self.vectors.iter().enumerate() {
+            if let Some(vec) = v {
+                w.put_u32(u32::try_from(i).expect("token id fits u32"));
+                for &x in vec {
+                    w.put_f64(x);
+                }
+            }
+        }
+    }
+
+    /// Decodes a store against an existing symbol table, validating the
+    /// declared entry count against the remaining buffer before allocating
+    /// and range-checking every token id.
+    pub fn decode_with_symbols(
+        r: &mut ByteReader<'_>,
+        symbols: Arc<TokenInterner>,
+    ) -> Result<EmbeddingStore, DecodeError> {
+        let dim = r.take_u32()? as usize;
+        let per_entry = dim
+            .checked_mul(8)
+            .and_then(|b| b.checked_add(4))
+            .ok_or(DecodeError::LengthOverflow)?;
+        let count = r.take_count(per_entry)?;
+        let mut store = EmbeddingStore::with_symbols(symbols, dim);
+        for _ in 0..count {
+            let id = r.take_u32()? as usize;
+            if id >= store.vectors.len() {
+                return Err(DecodeError::Invalid("store token outside symbol table"));
+            }
+            let mut vec = Vec::with_capacity(dim);
+            for _ in 0..dim {
+                vec.push(r.take_f64()?);
+            }
+            if store.vectors[id].replace(vec).is_some() {
+                return Err(DecodeError::Invalid("duplicate store entry"));
+            }
+            store.count += 1;
         }
         Ok(store)
     }
@@ -686,6 +734,79 @@ mod tests {
             assert_eq!(dense.get_id(id), dense.get(tok));
         }
         assert_eq!(dense.to_json(), stringly.to_json());
+    }
+
+    #[test]
+    fn binary_codec_round_trips_bit_exactly() {
+        let mut symbols = TokenInterner::new();
+        let ids: Vec<TokenId> = ["a", "b", "skip", "c"]
+            .iter()
+            .map(|t| symbols.intern(t))
+            .collect();
+        let symbols = Arc::new(symbols);
+        let mut s = EmbeddingStore::with_symbols(Arc::clone(&symbols), 2);
+        s.insert_id(ids[0], vec![1.5, -0.0]);
+        s.insert_id(ids[1], vec![f64::NAN, 2.0_f64.powi(-1022)]);
+        s.insert_id(ids[3], vec![f64::INFINITY, -3.25]);
+        let mut w = ByteWriter::new();
+        s.encode_into(&mut w);
+        let bytes = w.into_bytes();
+        let mut r = ByteReader::new(&bytes);
+        let back = EmbeddingStore::decode_with_symbols(&mut r, Arc::clone(&symbols)).unwrap();
+        assert!(r.is_exhausted());
+        assert_eq!(back.len(), s.len());
+        assert_eq!(back.dim(), s.dim());
+        for &id in &ids {
+            match (s.get_id(id), back.get_id(id)) {
+                (None, None) => {}
+                (Some(a), Some(b)) => {
+                    for (x, y) in a.iter().zip(b) {
+                        assert_eq!(x.to_bits(), y.to_bits());
+                    }
+                }
+                other => panic!("presence mismatch: {other:?}"),
+            }
+        }
+    }
+
+    #[test]
+    fn binary_codec_rejects_hostile_buffers() {
+        let mut symbols = TokenInterner::new();
+        let id = symbols.intern("a");
+        let symbols = Arc::new(symbols);
+        let mut s = EmbeddingStore::with_symbols(Arc::clone(&symbols), 4);
+        s.insert_id(id, vec![1.0; 4]);
+        let mut w = ByteWriter::new();
+        s.encode_into(&mut w);
+        let bytes = w.into_bytes();
+        // Every truncation errors.
+        for cut in 0..bytes.len() {
+            let mut r = ByteReader::new(&bytes[..cut]);
+            assert!(EmbeddingStore::decode_with_symbols(&mut r, Arc::clone(&symbols)).is_err());
+        }
+        // Inflated count: claims a million entries in a 12-byte buffer.
+        let mut w = ByteWriter::new();
+        w.put_u32(4);
+        w.put_u32(1_000_000);
+        w.put_u32(0);
+        let b = w.into_bytes();
+        let mut r = ByteReader::new(&b);
+        assert_eq!(
+            EmbeddingStore::decode_with_symbols(&mut r, Arc::clone(&symbols)).unwrap_err(),
+            DecodeError::LengthOverflow
+        );
+        // Id outside the symbol table.
+        let mut w = ByteWriter::new();
+        w.put_u32(1);
+        w.put_u32(1);
+        w.put_u32(77);
+        w.put_f64(0.0);
+        let b = w.into_bytes();
+        let mut r = ByteReader::new(&b);
+        assert!(matches!(
+            EmbeddingStore::decode_with_symbols(&mut r, Arc::clone(&symbols)).unwrap_err(),
+            DecodeError::Invalid(_)
+        ));
     }
 
     #[test]

@@ -13,7 +13,7 @@ use leva_textify::TokenizedDatabase;
 use std::sync::Arc;
 
 /// Sentinel in the dense token→value-node index: "no value node".
-const NO_VALUE_NODE: u32 = u32::MAX;
+pub(crate) const NO_VALUE_NODE: u32 = u32::MAX;
 
 /// Graph-construction parameters (Table 2, "Graph Construction/Refinement").
 #[derive(Debug, Clone, Copy)]
@@ -70,19 +70,19 @@ pub struct RefineStats {
 /// The bipartite row/value graph Leva embeds.
 #[derive(Debug, Clone)]
 pub struct LevaGraph {
-    kinds: Vec<NodeKind>,
+    pub(crate) kinds: Vec<NodeKind>,
     /// Interned identity of every node (row-name token for rows, value
     /// token for values) — resolved through `symbols` on demand.
-    node_tokens: Vec<TokenId>,
-    symbols: Arc<TokenInterner>,
-    adj: Vec<Vec<(u32, f64)>>,
-    n_row_nodes: usize,
-    row_offsets: Vec<usize>,
-    table_names: Vec<String>,
-    stats: RefineStats,
+    pub(crate) node_tokens: Vec<TokenId>,
+    pub(crate) symbols: Arc<TokenInterner>,
+    pub(crate) adj: Vec<Vec<(u32, f64)>>,
+    pub(crate) n_row_nodes: usize,
+    pub(crate) row_offsets: Vec<usize>,
+    pub(crate) table_names: Vec<String>,
+    pub(crate) stats: RefineStats,
     /// Dense token→value-node map indexed by `TokenId` (`NO_VALUE_NODE` =
     /// the token has no surviving value node).
-    value_nodes: Vec<u32>,
+    pub(crate) value_nodes: Vec<u32>,
 }
 
 impl LevaGraph {

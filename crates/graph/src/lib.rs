@@ -13,6 +13,7 @@
 
 mod alias;
 mod builder;
+mod serialize;
 mod voting;
 
 pub use alias::AliasTable;

@@ -1,0 +1,256 @@
+//! Bounded binary (de)serialization of the refined graph.
+//!
+//! The graph is one chunk of the persistent model artifact (DESIGN.md
+//! §6.10): deployment featurization walks `neighbors`/`degree`/`value_node`
+//! at serving time, so the adjacency — CSR-style counts plus `(target,
+//! weight-bits)` pairs — must round-trip bitwise. Derived structures
+//! (`kinds`, the dense token→value-node map) are *reconstructed* from the
+//! primary data rather than stored, which both shrinks the artifact and
+//! removes a class of inconsistent-buffer states.
+//!
+//! Decoding follows the bounded-decode rules: counts are validated against
+//! the remaining buffer before any allocation, node/token references are
+//! range-checked, and all failures are typed [`DecodeError`]s.
+
+use crate::builder::{LevaGraph, NodeKind, RefineStats, NO_VALUE_NODE};
+use leva_interner::codec::{ByteReader, ByteWriter, DecodeError};
+use leva_interner::{TokenId, TokenInterner};
+use std::sync::Arc;
+
+impl LevaGraph {
+    /// Serializes the graph (without its symbol table, which the artifact
+    /// stores once and shares across chunks).
+    pub fn encode_into(&self, w: &mut ByteWriter) {
+        w.put_u32(u32::try_from(self.table_names.len()).expect("table count fits u32"));
+        for name in &self.table_names {
+            w.put_str(name);
+        }
+        for &off in &self.row_offsets {
+            w.put_u64(off as u64);
+        }
+        w.put_u64(self.n_row_nodes as u64);
+        w.put_u32(u32::try_from(self.node_tokens.len()).expect("node count fits u32"));
+        for &t in &self.node_tokens {
+            w.put_u32(t.raw());
+        }
+        for nbrs in &self.adj {
+            w.put_u32(u32::try_from(nbrs.len()).expect("degree fits u32"));
+            for &(v, weight) in nbrs {
+                w.put_u32(v);
+                w.put_f64(weight);
+            }
+        }
+        w.put_u64(self.stats.tokens_total as u64);
+        w.put_u64(self.stats.tokens_removed_missing as u64);
+        w.put_u64(self.stats.token_attrs_removed as u64);
+        w.put_u64(self.stats.singleton_tokens_skipped as u64);
+    }
+
+    /// Decodes a graph produced by [`LevaGraph::encode_into`], resolving
+    /// node identities through `symbols`. Rejects out-of-range token ids,
+    /// dangling adjacency targets, non-monotonic row offsets, and value
+    /// nodes sharing a token.
+    pub fn decode(
+        r: &mut ByteReader<'_>,
+        symbols: Arc<TokenInterner>,
+    ) -> Result<LevaGraph, DecodeError> {
+        let n_tables = r.take_count(4)?;
+        let mut table_names = Vec::with_capacity(n_tables);
+        for _ in 0..n_tables {
+            table_names.push(r.take_str()?.to_owned());
+        }
+        if r.remaining() < n_tables.saturating_mul(8) {
+            return Err(DecodeError::Truncated);
+        }
+        let mut row_offsets = Vec::with_capacity(n_tables);
+        for _ in 0..n_tables {
+            row_offsets.push(r.take_usize()?);
+        }
+        let n_row_nodes = r.take_usize()?;
+        let n_nodes = r.take_count(4)?;
+        if n_row_nodes > n_nodes {
+            return Err(DecodeError::Invalid("row-node count exceeds node count"));
+        }
+        // Row offsets must be monotonically non-decreasing and stay within
+        // the row-node range, or `row_node()` would index out of the graph.
+        let mut prev = 0usize;
+        for &off in &row_offsets {
+            if off < prev || off > n_row_nodes {
+                return Err(DecodeError::Invalid("row offsets not monotonic"));
+            }
+            prev = off;
+        }
+        if n_row_nodes > 0 && row_offsets.first() != Some(&0) {
+            return Err(DecodeError::Invalid("first row offset must be zero"));
+        }
+        let mut node_tokens = Vec::with_capacity(n_nodes);
+        for _ in 0..n_nodes {
+            let raw = r.take_u32()?;
+            if raw as usize >= symbols.len() {
+                return Err(DecodeError::Invalid("node token outside symbol table"));
+            }
+            node_tokens.push(TokenId::from_index(raw as usize));
+        }
+        let mut adj = Vec::with_capacity(n_nodes);
+        for _ in 0..n_nodes {
+            let deg = r.take_count(12)?;
+            let mut nbrs = Vec::with_capacity(deg);
+            for _ in 0..deg {
+                let v = r.take_u32()?;
+                if v as usize >= n_nodes {
+                    return Err(DecodeError::Invalid("adjacency target out of range"));
+                }
+                nbrs.push((v, r.take_f64()?));
+            }
+            adj.push(nbrs);
+        }
+        let stats = RefineStats {
+            tokens_total: r.take_usize()?,
+            tokens_removed_missing: r.take_usize()?,
+            token_attrs_removed: r.take_usize()?,
+            singleton_tokens_skipped: r.take_usize()?,
+        };
+
+        // Reconstruct the derived structures. Kinds: nodes below
+        // `n_row_nodes` are rows of the table whose offset range contains
+        // them; the rest are value nodes.
+        let mut kinds = Vec::with_capacity(n_nodes);
+        let mut table = 0usize;
+        for node in 0..n_row_nodes {
+            while table + 1 < row_offsets.len() && row_offsets[table + 1] <= node {
+                table += 1;
+            }
+            if row_offsets.is_empty() {
+                return Err(DecodeError::Invalid("row nodes without tables"));
+            }
+            kinds.push(NodeKind::Row {
+                table: u32::try_from(table).map_err(|_| DecodeError::LengthOverflow)?,
+                row: u32::try_from(node - row_offsets[table])
+                    .map_err(|_| DecodeError::LengthOverflow)?,
+            });
+        }
+        kinds.resize(n_nodes, NodeKind::Value);
+        let mut value_nodes = vec![NO_VALUE_NODE; symbols.len()];
+        for (node, &token) in node_tokens.iter().enumerate().skip(n_row_nodes) {
+            let slot = &mut value_nodes[token.index()];
+            if *slot != NO_VALUE_NODE {
+                return Err(DecodeError::Invalid("two value nodes share a token"));
+            }
+            *slot = u32::try_from(node).map_err(|_| DecodeError::LengthOverflow)?;
+        }
+
+        Ok(LevaGraph {
+            kinds,
+            node_tokens,
+            symbols,
+            adj,
+            n_row_nodes,
+            row_offsets,
+            table_names,
+            stats,
+            value_nodes,
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::builder::{build_graph, GraphConfig};
+    use leva_relational::{Database, Table, Value};
+    use leva_textify::{textify, TextifyConfig};
+
+    fn graph() -> LevaGraph {
+        let mut db = Database::new();
+        let mut a = Table::new("a", vec!["name", "city"]);
+        let mut b = Table::new("b", vec!["name", "amount"]);
+        for i in 0..12 {
+            a.push_row(vec![format!("u{i}").into(), ["nyc", "sfo"][i % 2].into()])
+                .unwrap();
+            b.push_row(vec![format!("u{i}").into(), Value::Float(i as f64)])
+                .unwrap();
+        }
+        db.add_table(a).unwrap();
+        db.add_table(b).unwrap();
+        build_graph(
+            &textify(&db, &TextifyConfig::default()),
+            &GraphConfig::default(),
+        )
+    }
+
+    fn round_trip(g: &LevaGraph) -> LevaGraph {
+        let mut w = ByteWriter::new();
+        g.encode_into(&mut w);
+        let bytes = w.into_bytes();
+        let mut r = ByteReader::new(&bytes);
+        let back = LevaGraph::decode(&mut r, Arc::clone(g.symbols())).unwrap();
+        assert!(r.is_exhausted());
+        back
+    }
+
+    #[test]
+    fn codec_round_trip_is_bitwise() {
+        let g = graph();
+        let back = round_trip(&g);
+        assert_eq!(back.n_nodes(), g.n_nodes());
+        assert_eq!(back.n_row_nodes(), g.n_row_nodes());
+        assert_eq!(back.table_names(), g.table_names());
+        assert_eq!(back.stats(), g.stats());
+        for node in 0..g.n_nodes() as u32 {
+            assert_eq!(back.kind(node), g.kind(node));
+            assert_eq!(back.token(node), g.token(node));
+            let (a, b) = (g.neighbors(node), back.neighbors(node));
+            assert_eq!(a.len(), b.len());
+            for (&(v1, w1), &(v2, w2)) in a.iter().zip(b) {
+                assert_eq!(v1, v2);
+                assert_eq!(w1.to_bits(), w2.to_bits(), "weight bits differ");
+            }
+        }
+        // Derived maps agree: every surviving value token resolves back.
+        assert_eq!(back.value_node("u3"), g.value_node("u3"));
+        assert_eq!(back.value_node("nyc"), g.value_node("nyc"));
+        assert_eq!(back.value_node("never-seen"), None);
+        assert_eq!(back.row_node(1, 5), g.row_node(1, 5));
+    }
+
+    #[test]
+    fn truncation_never_panics() {
+        let g = graph();
+        let mut w = ByteWriter::new();
+        g.encode_into(&mut w);
+        let bytes = w.into_bytes();
+        for cut in 0..bytes.len() {
+            let mut r = ByteReader::new(&bytes[..cut]);
+            assert!(
+                LevaGraph::decode(&mut r, Arc::clone(g.symbols())).is_err(),
+                "cut at {cut} decoded"
+            );
+        }
+    }
+
+    #[test]
+    fn dangling_references_rejected() {
+        let g = graph();
+        // Token id beyond the symbol table.
+        let mut w = ByteWriter::new();
+        g.encode_into(&mut w);
+        let mut bytes = w.into_bytes();
+        // Locate the first node token: after table names + offsets +
+        // n_row_nodes + node count. Easier: decode against a *smaller*
+        // symbol table so every token is out of range.
+        let tiny = Arc::new(TokenInterner::new());
+        let mut r = ByteReader::new(&bytes);
+        assert!(matches!(
+            LevaGraph::decode(&mut r, tiny).unwrap_err(),
+            DecodeError::Invalid(_) | DecodeError::Truncated | DecodeError::LengthOverflow
+        ));
+        // Flipping bytes anywhere must never panic (errors are fine; some
+        // flips still decode — the artifact layer's CRC catches those).
+        for i in (0..bytes.len()).step_by(7) {
+            bytes[i] ^= 0x5a;
+            let mut r = ByteReader::new(&bytes);
+            let _ = LevaGraph::decode(&mut r, Arc::clone(g.symbols()));
+            bytes[i] ^= 0x5a;
+        }
+    }
+}

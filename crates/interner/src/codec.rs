@@ -1,0 +1,311 @@
+//! Bounded little-endian binary codec shared by every serialization layer.
+//!
+//! Model artifacts are decoded from *untrusted* bytes (a file on disk is no
+//! more trustworthy than a CSV upload), so the reader enforces the same
+//! discipline the ingestion layer does for CSV: every declared length is
+//! validated against the remaining buffer **before** any allocation, all
+//! length arithmetic is checked, and failures surface as a typed
+//! [`DecodeError`] — never a panic, never an allocation larger than the
+//! input itself.
+//!
+//! The writer is the trivial dual: append-only little-endian primitives
+//! with `u32` length prefixes for variable-size payloads.
+
+use std::fmt;
+
+/// Errors produced while decoding an untrusted byte buffer.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum DecodeError {
+    /// The buffer ended before the declared content.
+    Truncated,
+    /// A declared length or count overflows, or exceeds the buffer.
+    LengthOverflow,
+    /// The bytes decoded but violate a structural invariant.
+    Invalid(&'static str),
+}
+
+impl fmt::Display for DecodeError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Self::Truncated => write!(f, "buffer truncated"),
+            Self::LengthOverflow => write!(f, "declared length exceeds the buffer"),
+            Self::Invalid(msg) => write!(f, "invalid payload: {msg}"),
+        }
+    }
+}
+
+impl std::error::Error for DecodeError {}
+
+/// Append-only little-endian byte sink.
+#[derive(Debug, Default)]
+pub struct ByteWriter {
+    buf: Vec<u8>,
+}
+
+impl ByteWriter {
+    /// Empty writer.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Empty writer with a capacity hint.
+    pub fn with_capacity(cap: usize) -> Self {
+        Self {
+            buf: Vec::with_capacity(cap),
+        }
+    }
+
+    /// Finishes and returns the bytes.
+    pub fn into_bytes(self) -> Vec<u8> {
+        self.buf
+    }
+
+    /// Bytes written so far.
+    pub fn len(&self) -> usize {
+        self.buf.len()
+    }
+
+    /// True when nothing has been written.
+    pub fn is_empty(&self) -> bool {
+        self.buf.is_empty()
+    }
+
+    /// Appends a single byte.
+    pub fn put_u8(&mut self, v: u8) {
+        self.buf.push(v);
+    }
+
+    /// Appends a little-endian `u32`.
+    pub fn put_u32(&mut self, v: u32) {
+        self.buf.extend_from_slice(&v.to_le_bytes());
+    }
+
+    /// Appends a little-endian `u64`.
+    pub fn put_u64(&mut self, v: u64) {
+        self.buf.extend_from_slice(&v.to_le_bytes());
+    }
+
+    /// Appends an `f64` as its little-endian bit pattern (bitwise exact,
+    /// NaN payloads included).
+    pub fn put_f64(&mut self, v: f64) {
+        self.buf.extend_from_slice(&v.to_bits().to_le_bytes());
+    }
+
+    /// Appends raw bytes without a length prefix.
+    pub fn put_raw(&mut self, bytes: &[u8]) {
+        self.buf.extend_from_slice(bytes);
+    }
+
+    /// Appends a `u32` length prefix followed by the bytes.
+    pub fn put_bytes(&mut self, bytes: &[u8]) {
+        self.put_u32(u32::try_from(bytes.len()).expect("payload under 4 GiB"));
+        self.put_raw(bytes);
+    }
+
+    /// Appends a length-prefixed UTF-8 string.
+    pub fn put_str(&mut self, s: &str) {
+        self.put_bytes(s.as_bytes());
+    }
+}
+
+/// Bounded little-endian reader over an untrusted byte slice.
+#[derive(Debug, Clone, Copy)]
+pub struct ByteReader<'a> {
+    buf: &'a [u8],
+}
+
+impl<'a> ByteReader<'a> {
+    /// Reader over the whole slice.
+    pub fn new(buf: &'a [u8]) -> Self {
+        Self { buf }
+    }
+
+    /// Bytes not yet consumed.
+    pub fn remaining(&self) -> usize {
+        self.buf.len()
+    }
+
+    /// True when the buffer is fully consumed.
+    pub fn is_exhausted(&self) -> bool {
+        self.buf.is_empty()
+    }
+
+    /// Takes `n` raw bytes.
+    pub fn take_raw(&mut self, n: usize) -> Result<&'a [u8], DecodeError> {
+        if self.buf.len() < n {
+            return Err(DecodeError::Truncated);
+        }
+        let (head, tail) = self.buf.split_at(n);
+        self.buf = tail;
+        Ok(head)
+    }
+
+    /// Takes one byte.
+    pub fn take_u8(&mut self) -> Result<u8, DecodeError> {
+        Ok(self.take_raw(1)?[0])
+    }
+
+    /// Takes a little-endian `u32`.
+    pub fn take_u32(&mut self) -> Result<u32, DecodeError> {
+        let b = self.take_raw(4)?;
+        Ok(u32::from_le_bytes([b[0], b[1], b[2], b[3]]))
+    }
+
+    /// Takes a little-endian `u64`.
+    pub fn take_u64(&mut self) -> Result<u64, DecodeError> {
+        let b = self.take_raw(8)?;
+        Ok(u64::from_le_bytes([
+            b[0], b[1], b[2], b[3], b[4], b[5], b[6], b[7],
+        ]))
+    }
+
+    /// Takes a `u64` that must fit in `usize`.
+    pub fn take_usize(&mut self) -> Result<usize, DecodeError> {
+        usize::try_from(self.take_u64()?).map_err(|_| DecodeError::LengthOverflow)
+    }
+
+    /// Takes an `f64` from its little-endian bit pattern.
+    pub fn take_f64(&mut self) -> Result<f64, DecodeError> {
+        let b = self.take_raw(8)?;
+        Ok(f64::from_bits(u64::from_le_bytes([
+            b[0], b[1], b[2], b[3], b[4], b[5], b[6], b[7],
+        ])))
+    }
+
+    /// Takes a `u32`-length-prefixed byte payload, validating the declared
+    /// length against the remaining buffer before slicing.
+    pub fn take_bytes(&mut self) -> Result<&'a [u8], DecodeError> {
+        let len = self.take_u32()? as usize;
+        if len > self.buf.len() {
+            return Err(DecodeError::LengthOverflow);
+        }
+        self.take_raw(len)
+    }
+
+    /// Takes a length-prefixed UTF-8 string.
+    pub fn take_str(&mut self) -> Result<&'a str, DecodeError> {
+        std::str::from_utf8(self.take_bytes()?).map_err(|_| DecodeError::Invalid("not UTF-8"))
+    }
+
+    /// Reads an element count declared as `u32` and validates that `count`
+    /// elements of at least `min_elem_bytes` each can still fit in the
+    /// remaining buffer — the gate every decoder must pass **before**
+    /// allocating. Returns the count, safe to use with `Vec::with_capacity`.
+    pub fn take_count(&mut self, min_elem_bytes: usize) -> Result<usize, DecodeError> {
+        let count = self.take_u32()? as usize;
+        let need = count
+            .checked_mul(min_elem_bytes.max(1))
+            .ok_or(DecodeError::LengthOverflow)?;
+        if need > self.buf.len() {
+            return Err(DecodeError::LengthOverflow);
+        }
+        Ok(count)
+    }
+}
+
+/// CRC-32 (IEEE 802.3, the zlib/PNG polynomial) over `bytes`.
+///
+/// Table-free bitwise implementation: artifact chunks are hashed once per
+/// save/load, so simplicity beats a lookup table here.
+pub fn crc32(bytes: &[u8]) -> u32 {
+    let mut crc: u32 = 0xffff_ffff;
+    for &b in bytes {
+        crc ^= u32::from(b);
+        for _ in 0..8 {
+            let mask = (crc & 1).wrapping_neg();
+            crc = (crc >> 1) ^ (0xedb8_8320 & mask);
+        }
+    }
+    !crc
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn primitives_round_trip() {
+        let mut w = ByteWriter::new();
+        w.put_u8(7);
+        w.put_u32(0xdead_beef);
+        w.put_u64(u64::MAX - 1);
+        w.put_f64(-0.0);
+        w.put_f64(f64::NAN);
+        w.put_str("héllo");
+        w.put_bytes(b"");
+        let bytes = w.into_bytes();
+        let mut r = ByteReader::new(&bytes);
+        assert_eq!(r.take_u8().unwrap(), 7);
+        assert_eq!(r.take_u32().unwrap(), 0xdead_beef);
+        assert_eq!(r.take_u64().unwrap(), u64::MAX - 1);
+        assert_eq!(r.take_f64().unwrap().to_bits(), (-0.0f64).to_bits());
+        assert!(r.take_f64().unwrap().is_nan());
+        assert_eq!(r.take_str().unwrap(), "héllo");
+        assert_eq!(r.take_bytes().unwrap(), b"");
+        assert!(r.is_exhausted());
+    }
+
+    #[test]
+    fn truncation_is_typed() {
+        let mut r = ByteReader::new(&[1, 2]);
+        assert_eq!(r.take_u32().unwrap_err(), DecodeError::Truncated);
+    }
+
+    #[test]
+    fn inflated_length_rejected_before_allocation() {
+        // Declares a 4 GiB payload in an 8-byte buffer.
+        let mut w = ByteWriter::new();
+        w.put_u32(u32::MAX);
+        w.put_u32(0);
+        let bytes = w.into_bytes();
+        let mut r = ByteReader::new(&bytes);
+        assert_eq!(r.take_bytes().unwrap_err(), DecodeError::LengthOverflow);
+    }
+
+    #[test]
+    fn count_gate_checks_remaining_bytes() {
+        let mut w = ByteWriter::new();
+        w.put_u32(1_000_000); // a million elements...
+        w.put_u32(0); // ...but only 4 bytes follow
+        let bytes = w.into_bytes();
+        let mut r = ByteReader::new(&bytes);
+        assert_eq!(r.take_count(4).unwrap_err(), DecodeError::LengthOverflow);
+        // A truthful count passes.
+        let mut w = ByteWriter::new();
+        w.put_u32(2);
+        w.put_u64(1);
+        w.put_u64(2);
+        let bytes = w.into_bytes();
+        let mut r = ByteReader::new(&bytes);
+        assert_eq!(r.take_count(8).unwrap(), 2);
+    }
+
+    #[test]
+    fn count_gate_survives_multiplication_overflow() {
+        let mut w = ByteWriter::new();
+        w.put_u32(u32::MAX);
+        let bytes = w.into_bytes();
+        let mut r = ByteReader::new(&bytes);
+        assert_eq!(
+            r.take_count(usize::MAX).unwrap_err(),
+            DecodeError::LengthOverflow
+        );
+    }
+
+    #[test]
+    fn bad_utf8_is_typed() {
+        let mut w = ByteWriter::new();
+        w.put_bytes(&[0xff, 0xfe]);
+        let bytes = w.into_bytes();
+        let mut r = ByteReader::new(&bytes);
+        assert!(matches!(r.take_str().unwrap_err(), DecodeError::Invalid(_)));
+    }
+
+    #[test]
+    fn crc32_known_vectors() {
+        // Standard test vector: CRC-32("123456789") = 0xcbf43926.
+        assert_eq!(crc32(b"123456789"), 0xcbf4_3926);
+        assert_eq!(crc32(b""), 0);
+        assert_ne!(crc32(b"abc"), crc32(b"abd"));
+    }
+}

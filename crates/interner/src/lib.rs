@@ -14,6 +14,9 @@
 //! sequential merge pass in database order), which makes ID assignment
 //! deterministic and independent of worker-thread count.
 
+pub mod codec;
+
+use codec::{ByteReader, ByteWriter, DecodeError};
 use std::fmt;
 
 /// Dense identity of an interned token. Copy, 4 bytes, contiguous from 0.
@@ -183,6 +186,34 @@ impl TokenInterner {
         id
     }
 
+    /// Serializes the symbol table: token count, then each token's bytes in
+    /// dense-id order. Decoding with [`TokenInterner::decode`] reproduces
+    /// identical id assignment, so `TokenId`s persisted next to the table
+    /// stay valid.
+    pub fn encode_into(&self, w: &mut ByteWriter) {
+        w.put_u32(u32::try_from(self.spans.len()).expect("vocabulary fits in u32"));
+        for i in 0..self.spans.len() {
+            w.put_str(self.span_str(i));
+        }
+    }
+
+    /// Decodes a symbol table produced by [`TokenInterner::encode_into`]
+    /// from untrusted bytes. Every token must be distinct (dense ids would
+    /// silently shift otherwise) — duplicates are a typed error.
+    pub fn decode(r: &mut ByteReader<'_>) -> Result<TokenInterner, DecodeError> {
+        // Each token costs at least its 4-byte length prefix.
+        let count = r.take_count(4)?;
+        let mut interner = TokenInterner::with_capacity(count, r.remaining().min(1 << 20));
+        for i in 0..count {
+            let token = r.take_str()?;
+            let id = interner.intern(token);
+            if id.index() != i {
+                return Err(DecodeError::Invalid("duplicate token in symbol table"));
+            }
+        }
+        Ok(interner)
+    }
+
     fn rebuild_table(&mut self, new_len: usize) {
         debug_assert!(new_len.is_power_of_two());
         let mut table = vec![EMPTY_SLOT; new_len];
@@ -283,6 +314,55 @@ mod tests {
             assert_eq!(a.intern(t), b.intern(t));
         }
         assert_eq!(a.len(), b.len());
+    }
+
+    #[test]
+    fn codec_round_trip_preserves_ids() {
+        let mut it = TokenInterner::new();
+        for t in ["alpha", "", "row::base::0", "Émile", "日本"] {
+            it.intern(t);
+        }
+        let mut w = ByteWriter::new();
+        it.encode_into(&mut w);
+        let bytes = w.into_bytes();
+        let mut r = ByteReader::new(&bytes);
+        let back = TokenInterner::decode(&mut r).unwrap();
+        assert!(r.is_exhausted());
+        assert_eq!(back.len(), it.len());
+        for (id, s) in it.iter() {
+            assert_eq!(back.resolve(id), s);
+            assert_eq!(back.lookup(s), Some(id));
+        }
+    }
+
+    #[test]
+    fn codec_rejects_duplicates_and_truncation() {
+        let mut w = ByteWriter::new();
+        w.put_u32(2);
+        w.put_str("same");
+        w.put_str("same");
+        let bytes = w.into_bytes();
+        assert_eq!(
+            TokenInterner::decode(&mut ByteReader::new(&bytes)).unwrap_err(),
+            DecodeError::Invalid("duplicate token in symbol table")
+        );
+        for cut in 0..bytes.len() {
+            let err = TokenInterner::decode(&mut ByteReader::new(&bytes[..cut]));
+            if cut < bytes.len() - 4 {
+                assert!(err.is_err(), "cut at {cut} decoded");
+            }
+        }
+    }
+
+    #[test]
+    fn codec_rejects_inflated_count() {
+        let mut w = ByteWriter::new();
+        w.put_u32(u32::MAX); // claims 4 billion tokens in a tiny buffer
+        let bytes = w.into_bytes();
+        assert_eq!(
+            TokenInterner::decode(&mut ByteReader::new(&bytes)).unwrap_err(),
+            DecodeError::LengthOverflow
+        );
     }
 
     #[test]

@@ -112,9 +112,21 @@ impl Histogram {
         }
     }
 
+    /// Reassembles a histogram from its parts (artifact deserialization).
+    /// `boundaries` must be the interior cut points in increasing order, as
+    /// returned by [`Histogram::boundaries`].
+    pub fn from_parts(kind: HistogramKind, boundaries: Vec<f64>) -> Histogram {
+        Histogram { kind, boundaries }
+    }
+
     /// The histogram kind actually used.
     pub fn kind(&self) -> HistogramKind {
         self.kind
+    }
+
+    /// The interior bin boundaries (sorted; `bins() - 1` entries).
+    pub fn boundaries(&self) -> &[f64] {
+        &self.boundaries
     }
 
     /// Number of bins.

@@ -15,6 +15,7 @@
 #![warn(missing_docs)]
 
 mod binning;
+mod serialize;
 mod strings;
 mod tokenizer;
 mod types;

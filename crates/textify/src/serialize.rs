@@ -1,0 +1,309 @@
+//! Bounded binary (de)serialization of the textification output.
+//!
+//! Deployment featurization (and therefore the persistent model artifact,
+//! DESIGN.md §6.10) needs the tokenized database — row token streams keep
+//! serving-time row lookups possible — and the per-column encoders, whose
+//! histograms quantize *unseen* inference-time values with the training bin
+//! boundaries. Boundaries are stored as `f64` bit patterns so `bin()`
+//! returns identical ids before and after a save/load round trip.
+//!
+//! The shared symbol table is **not** stored here; the artifact stores it
+//! once and passes it to [`TokenizedDatabase::decode`], which range-checks
+//! every token id against it.
+
+use crate::binning::{Histogram, HistogramKind};
+use crate::tokenizer::{
+    ColumnEncoder, TokenOccurrence, TokenizedDatabase, TokenizedRow, TokenizedTable,
+};
+use crate::types::ColumnClass;
+use leva_interner::codec::{ByteReader, ByteWriter, DecodeError};
+use leva_interner::{TokenId, TokenInterner};
+use std::collections::HashMap;
+use std::sync::Arc;
+
+fn class_tag(c: ColumnClass) -> u8 {
+    match c {
+        ColumnClass::Key => 0,
+        ColumnClass::Numeric => 1,
+        ColumnClass::Datetime => 2,
+        ColumnClass::StringAtomic => 3,
+        ColumnClass::StringList => 4,
+        ColumnClass::Empty => 5,
+    }
+}
+
+fn class_from_tag(t: u8) -> Result<ColumnClass, DecodeError> {
+    Ok(match t {
+        0 => ColumnClass::Key,
+        1 => ColumnClass::Numeric,
+        2 => ColumnClass::Datetime,
+        3 => ColumnClass::StringAtomic,
+        4 => ColumnClass::StringList,
+        5 => ColumnClass::Empty,
+        _ => return Err(DecodeError::Invalid("unknown column class tag")),
+    })
+}
+
+impl ColumnEncoder {
+    /// Serializes one encoder (without its map key).
+    pub fn encode_into(&self, w: &mut ByteWriter) {
+        w.put_u8(class_tag(self.class));
+        w.put_u32(self.attr);
+        w.put_str(&self.column_key);
+        match &self.histogram {
+            None => w.put_u8(0),
+            Some(h) => {
+                w.put_u8(1);
+                w.put_u8(match h.kind() {
+                    HistogramKind::EquiWidth => 0,
+                    HistogramKind::EquiDepth => 1,
+                });
+                let b = h.boundaries();
+                w.put_u32(u32::try_from(b.len()).expect("boundary count fits u32"));
+                for &x in b {
+                    w.put_f64(x);
+                }
+            }
+        }
+        w.put_u8(u8::from(self.split_multiword));
+        w.put_u8(u8::from(self.int_key));
+    }
+
+    /// Decodes one encoder, validating every tag.
+    pub fn decode(r: &mut ByteReader<'_>) -> Result<ColumnEncoder, DecodeError> {
+        let class = class_from_tag(r.take_u8()?)?;
+        let attr = r.take_u32()?;
+        let column_key = r.take_str()?.to_owned();
+        let histogram = match r.take_u8()? {
+            0 => None,
+            1 => {
+                let kind = match r.take_u8()? {
+                    0 => HistogramKind::EquiWidth,
+                    1 => HistogramKind::EquiDepth,
+                    _ => return Err(DecodeError::Invalid("unknown histogram kind tag")),
+                };
+                let n = r.take_count(8)?;
+                let mut boundaries = Vec::with_capacity(n);
+                for _ in 0..n {
+                    boundaries.push(r.take_f64()?);
+                }
+                Some(Histogram::from_parts(kind, boundaries))
+            }
+            _ => return Err(DecodeError::Invalid("unknown histogram presence tag")),
+        };
+        let split_multiword = r.take_u8()? != 0;
+        let int_key = r.take_u8()? != 0;
+        Ok(ColumnEncoder {
+            class,
+            attr,
+            column_key,
+            histogram,
+            split_multiword,
+            int_key,
+        })
+    }
+}
+
+impl TokenizedDatabase {
+    /// Serializes attributes, encoders, and per-row token streams (the
+    /// symbol table is stored separately by the artifact layer).
+    pub fn encode_into(&self, w: &mut ByteWriter) {
+        w.put_u32(u32::try_from(self.attributes.len()).expect("attribute count fits u32"));
+        for a in &self.attributes {
+            w.put_str(a);
+        }
+        // HashMap iteration order is unstable; sort so identical models
+        // produce identical bytes (the artifact CRC depends on it).
+        let mut keys: Vec<&(String, String)> = self.encoders.keys().collect();
+        keys.sort();
+        w.put_u32(u32::try_from(keys.len()).expect("encoder count fits u32"));
+        for key in keys {
+            w.put_str(&key.0);
+            w.put_str(&key.1);
+            self.encoders[key].encode_into(w);
+        }
+        w.put_u32(u32::try_from(self.tables.len()).expect("table count fits u32"));
+        for table in &self.tables {
+            w.put_str(&table.name);
+            w.put_u32(u32::try_from(table.rows.len()).expect("row count fits u32"));
+            for row in &table.rows {
+                w.put_u32(row.row_token.raw());
+                w.put_u32(u32::try_from(row.tokens.len()).expect("token count fits u32"));
+                for occ in &row.tokens {
+                    w.put_u32(occ.token.raw());
+                    w.put_u32(occ.attr);
+                }
+            }
+        }
+    }
+
+    /// Decodes a tokenized database against an existing symbol table,
+    /// range-checking every token id and attribute reference.
+    pub fn decode(
+        r: &mut ByteReader<'_>,
+        symbols: Arc<TokenInterner>,
+    ) -> Result<TokenizedDatabase, DecodeError> {
+        let n_attrs = r.take_count(4)?;
+        let mut attributes = Vec::with_capacity(n_attrs);
+        for _ in 0..n_attrs {
+            attributes.push(r.take_str()?.to_owned());
+        }
+        let n_encoders = r.take_count(8)?;
+        let mut encoders = HashMap::with_capacity(n_encoders);
+        for _ in 0..n_encoders {
+            let table = r.take_str()?.to_owned();
+            let column = r.take_str()?.to_owned();
+            let enc = ColumnEncoder::decode(r)?;
+            if enc.attr as usize >= attributes.len() {
+                return Err(DecodeError::Invalid("encoder attribute out of range"));
+            }
+            if encoders.insert((table, column), enc).is_some() {
+                return Err(DecodeError::Invalid("duplicate encoder key"));
+            }
+        }
+        let take_token = |r: &mut ByteReader<'_>| -> Result<TokenId, DecodeError> {
+            let raw = r.take_u32()?;
+            if raw as usize >= symbols.len() {
+                return Err(DecodeError::Invalid("token outside symbol table"));
+            }
+            Ok(TokenId::from_index(raw as usize))
+        };
+        let n_tables = r.take_count(4)?;
+        let mut tables = Vec::with_capacity(n_tables);
+        for _ in 0..n_tables {
+            let name = r.take_str()?.to_owned();
+            let n_rows = r.take_count(8)?;
+            let mut rows = Vec::with_capacity(n_rows);
+            for _ in 0..n_rows {
+                let row_token = take_token(r)?;
+                let n_tokens = r.take_count(8)?;
+                let mut tokens = Vec::with_capacity(n_tokens);
+                for _ in 0..n_tokens {
+                    let token = take_token(r)?;
+                    let attr = r.take_u32()?;
+                    if attr as usize >= attributes.len() {
+                        return Err(DecodeError::Invalid("occurrence attribute out of range"));
+                    }
+                    tokens.push(TokenOccurrence { token, attr });
+                }
+                rows.push(TokenizedRow { tokens, row_token });
+            }
+            tables.push(TokenizedTable { name, rows });
+        }
+        Ok(TokenizedDatabase {
+            tables,
+            attributes,
+            encoders,
+            symbols,
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::tokenizer::{textify, TextifyConfig};
+    use leva_relational::{Database, Table, Value};
+
+    fn tokenized() -> TokenizedDatabase {
+        let mut db = Database::new();
+        let mut a = Table::new("people", vec!["name", "age"]);
+        let mut b = Table::new("visits", vec!["name", "site"]);
+        for i in 0..15 {
+            a.push_row(vec![format!("p{i}").into(), Value::Float(20.0 + i as f64)])
+                .unwrap();
+            b.push_row(vec![format!("p{i}").into(), format!("s{}", i % 4).into()])
+                .unwrap();
+        }
+        db.add_table(a).unwrap();
+        db.add_table(b).unwrap();
+        textify(
+            &db,
+            &TextifyConfig {
+                bin_count: 6,
+                ..Default::default()
+            },
+        )
+    }
+
+    #[test]
+    fn round_trip_preserves_streams_and_encoders() {
+        let t = tokenized();
+        let mut w = ByteWriter::new();
+        t.encode_into(&mut w);
+        let bytes = w.into_bytes();
+        let mut r = ByteReader::new(&bytes);
+        let back = TokenizedDatabase::decode(&mut r, Arc::clone(&t.symbols)).unwrap();
+        assert!(r.is_exhausted());
+        assert_eq!(back.attributes, t.attributes);
+        assert_eq!(back.tables.len(), t.tables.len());
+        for (ta, tb) in t.tables.iter().zip(&back.tables) {
+            assert_eq!(ta.name, tb.name);
+            assert_eq!(ta.rows.len(), tb.rows.len());
+            for (ra, rb) in ta.rows.iter().zip(&tb.rows) {
+                assert_eq!(ra.row_token, rb.row_token);
+                assert_eq!(ra.tokens, rb.tokens);
+            }
+        }
+        assert_eq!(back.encoders.len(), t.encoders.len());
+        let (ea, eb) = (
+            t.encoder("people", "age").unwrap(),
+            back.encoder("people", "age").unwrap(),
+        );
+        assert_eq!(ea.class, eb.class);
+        assert_eq!(ea.attr, eb.attr);
+        assert_eq!(ea.column_key, eb.column_key);
+        // Histogram boundaries bit-exact ⇒ identical binning of unseen data.
+        let (ha, hb) = (
+            ea.histogram.as_ref().unwrap(),
+            eb.histogram.as_ref().unwrap(),
+        );
+        assert_eq!(ha.kind(), hb.kind());
+        assert_eq!(ha.boundaries().len(), hb.boundaries().len());
+        for (x, y) in ha.boundaries().iter().zip(hb.boundaries()) {
+            assert_eq!(x.to_bits(), y.to_bits());
+        }
+        for v in [-1e9, 0.0, 23.5, 27.0, 1e9] {
+            assert_eq!(ea.encode(&Value::Float(v)), eb.encode(&Value::Float(v)));
+        }
+    }
+
+    #[test]
+    fn encoding_is_deterministic_despite_hashmap() {
+        let t = tokenized();
+        let mut w1 = ByteWriter::new();
+        t.encode_into(&mut w1);
+        let mut w2 = ByteWriter::new();
+        t.clone().encode_into(&mut w2);
+        assert_eq!(w1.into_bytes(), w2.into_bytes());
+    }
+
+    #[test]
+    fn hostile_buffers_error_without_panic() {
+        let t = tokenized();
+        let mut w = ByteWriter::new();
+        t.encode_into(&mut w);
+        let bytes = w.into_bytes();
+        // Every truncation errors.
+        for cut in 0..bytes.len() {
+            let mut r = ByteReader::new(&bytes[..cut]);
+            assert!(
+                TokenizedDatabase::decode(&mut r, Arc::clone(&t.symbols)).is_err(),
+                "cut at {cut} decoded"
+            );
+        }
+        // Token ids out of range for a smaller symbol table are rejected.
+        let tiny = Arc::new(TokenInterner::new());
+        let mut r = ByteReader::new(&bytes);
+        assert!(TokenizedDatabase::decode(&mut r, tiny).is_err());
+        // A bad class tag is a typed error.
+        let mut w = ByteWriter::new();
+        w.put_u8(99);
+        let b = w.into_bytes();
+        let mut r = ByteReader::new(&b);
+        assert!(matches!(
+            ColumnEncoder::decode(&mut r).unwrap_err(),
+            DecodeError::Invalid(_) | DecodeError::Truncated
+        ));
+    }
+}

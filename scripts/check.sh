@@ -12,6 +12,9 @@ cargo test -q
 echo "==> cargo test -q --test fault_injection (panic-free ingestion gate)"
 cargo test -q --test fault_injection
 
+echo "==> cargo test -q --test artifact_roundtrip (model artifact gate)"
+cargo test -q --test artifact_roundtrip
+
 echo "==> cargo fmt --check"
 cargo fmt --check
 

@@ -316,6 +316,94 @@ fn zero_padded_join_keys_survive_textification() {
     }
 }
 
+/// Hostile *artifact* buffers: the binary model-loading surface gets the
+/// same contract as CSV ingestion — arbitrary bytes produce a typed
+/// `ArtifactError`, never a panic or an unbounded allocation. Three buffer
+/// families: pure random bytes, random bytes behind a valid magic+version
+/// header, and a genuine artifact with a burst of random mutations.
+#[test]
+fn hostile_artifact_buffers_never_panic() {
+    use leva::LevaModel;
+
+    // One real artifact to mutate.
+    let model = Leva::with_config(LevaConfig::fast())
+        .base_table("t")
+        .fit_csv(&[("t", "id,grp,v\na,x,1\nb,y,2\nc,x,3\nd,y,4\ne,x,5\n")])
+        .unwrap();
+    let genuine = model.to_bytes();
+
+    let mut failures = Vec::new();
+    for case in 0..60u64 {
+        let mut rng = StdRng::seed_from_u64(0xAF7E + case);
+        let bytes: Vec<u8> = match case % 3 {
+            0 => (0..rng.gen_range(0usize..512))
+                .map(|_| rng.gen_range(0u32..256) as u8)
+                .collect(),
+            1 => {
+                let mut b = b"LEVA\x01\x00\x00\x00".to_vec();
+                b.extend((0..rng.gen_range(0usize..512)).map(|_| rng.gen_range(0u32..256) as u8));
+                b
+            }
+            _ => {
+                let mut b = genuine.clone();
+                for _ in 0..rng.gen_range(1usize..32) {
+                    let pos = rng.gen_range(0..b.len());
+                    b[pos] = rng.gen_range(0u32..256) as u8;
+                }
+                b
+            }
+        };
+        let outcome = catch_unwind(AssertUnwindSafe(|| LevaModel::from_bytes(&bytes)));
+        match outcome {
+            Err(_) => failures.push(format!("artifact case {case}: panicked")),
+            Ok(Ok(_)) if case % 3 != 2 => {
+                // Random garbage decoding successfully would mean the
+                // format validates nothing.
+                failures.push(format!("artifact case {case}: garbage decoded"));
+            }
+            Ok(_) => {}
+        }
+    }
+    assert!(
+        failures.is_empty(),
+        "artifact fuzzing failures:\n{}",
+        failures.join("\n")
+    );
+}
+
+/// Hostile *corpus* buffers for the walk-corpus codec: inflated headers and
+/// random bytes must produce `CorpusDecodeError`, never a panic or an
+/// allocation proportional to a declared (rather than actual) length.
+#[test]
+fn hostile_corpus_buffers_never_panic() {
+    use leva_embedding::decode_corpus;
+
+    let mut failures = Vec::new();
+    for case in 0..40u64 {
+        let mut rng = StdRng::seed_from_u64(0xC0A9 + case);
+        let mut bytes: Vec<u8> = (0..rng.gen_range(0usize..256))
+            .map(|_| rng.gen_range(0u32..256) as u8)
+            .collect();
+        if case % 2 == 0 && bytes.len() >= 8 {
+            // Plant an absurd count in the header fields.
+            bytes[0..4].copy_from_slice(&u32::MAX.to_le_bytes());
+            bytes[4..8].copy_from_slice(&u32::MAX.to_le_bytes());
+        }
+        if catch_unwind(AssertUnwindSafe(|| {
+            let _ = decode_corpus(&bytes);
+        }))
+        .is_err()
+        {
+            failures.push(format!("corpus case {case}: panicked"));
+        }
+    }
+    assert!(
+        failures.is_empty(),
+        "corpus fuzzing failures:\n{}",
+        failures.join("\n")
+    );
+}
+
 /// An all-sentinel CSV must survive the full pipeline (the voting mechanism
 /// strips the sentinel nodes; the model may legitimately be degenerate).
 #[test]

@@ -149,7 +149,7 @@ fn stage_timings_cover_the_pipeline() {
     });
     let model = fit_expenses(&ds.db, &quick_cfg(EmbeddingMethod::RandomWalk));
     let t = &model.timings;
-    let stages: Vec<&str> = t.stages().iter().map(|s| s.stage).collect();
+    let stages: Vec<&str> = t.stages().iter().map(|s| s.stage.as_str()).collect();
     assert_eq!(
         stages,
         ["textify", "graph", "walk_generation", "embedding_training"]
