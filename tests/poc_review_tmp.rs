@@ -1,0 +1,49 @@
+//! Reviewer PoC: a crafted (CRC-valid) artifact whose TOKD chunk declares
+//! more base-table rows than the GRPH chunk has row nodes loads fine but
+//! panics on first featurize.
+
+use leva::{Featurization, Leva, LevaConfig, LevaModel};
+use leva_relational::{Database, Table, Value};
+
+fn db() -> Database {
+    let mut db = Database::new();
+    let mut base = Table::new("base", vec!["id", "grp", "amount", "target"]);
+    for i in 0..25 {
+        base.push_row(vec![
+            format!("e{i}").into(),
+            ["a", "b", "c"][i % 3].into(),
+            Value::Float(i as f64),
+            Value::Int((i % 2) as i64),
+        ])
+        .unwrap();
+    }
+    db.add_table(base).unwrap();
+    db
+}
+
+#[test]
+fn crafted_artifact_loads_then_panics_on_featurize() {
+    let mut model = Leva::with_config(LevaConfig::fast())
+        .base_table("base")
+        .target("target")
+        .fit(&db())
+        .unwrap();
+    // Simulate a hostile artifact: duplicate the last row in the TOKD
+    // payload (all token ids stay in range, every per-chunk invariant
+    // holds), without touching GRPH.
+    let extra = model.tokenized.tables[model.base_table_index]
+        .rows
+        .last()
+        .unwrap()
+        .clone();
+    for _ in 0..(model.graph.n_nodes() + 10) {
+        model.tokenized.tables[model.base_table_index]
+            .rows
+            .push(extra.clone());
+    }
+    let bytes = model.to_bytes();
+    // Loads successfully — no cross-chunk validation.
+    let loaded = LevaModel::from_bytes(&bytes).expect("crafted artifact decodes");
+    // ...and panics (index out of bounds) here:
+    let _ = loaded.featurize_base(Featurization::RowPlusValue);
+}
