@@ -121,9 +121,40 @@ fn bench_deployment() {
         .target("localization")
         .fit(&ds.db)
         .expect("fit");
+    // Build the featurizer caches once (outside the timed region, as a
+    // serving process would), then time the cached engine against the
+    // reference two-hop walk it replaced.
+    let featurizer = model.featurizer();
+    println!(
+        "{:<44} {:>12.3?}",
+        "deploy/featurizer_cache_build",
+        featurizer.build_time()
+    );
+    gauge(
+        "deploy/featurizer_cache_bytes",
+        featurizer.estimated_bytes(),
+    );
+    let n_rows = model.featurize_base(Featurization::RowOnly).rows();
+    let rows: Vec<usize> = (0..n_rows).collect();
     bench("deploy/featurize_base_row_plus_value", || {
         model.featurize_base(Featurization::RowPlusValue)
     });
+    bench("deploy/featurize_base_walk_reference", || {
+        model.featurize_base_rows_walk(&rows, Featurization::RowPlusValue)
+    });
+    // Serving throughput gauge: rows/sec through the cached single-thread
+    // engine (the number a deployment capacity-plans against).
+    let reps = 5usize;
+    let start = Instant::now();
+    for _ in 0..reps {
+        std::hint::black_box(model.featurize_base(Featurization::RowPlusValue));
+    }
+    let per_row = start.elapsed().as_secs_f64() / (reps * n_rows.max(1)) as f64;
+    println!(
+        "{:<44} {:>12.0} rows/s",
+        "deploy/featurize_throughput",
+        1.0 / per_row.max(f64::MIN_POSITIVE)
+    );
     // Token-memory gauge: the symbol table is interned once at textify and
     // shared (same `Arc`) by the graph and the store, so token strings are
     // paid for exactly once across the pipeline.

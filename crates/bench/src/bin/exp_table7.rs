@@ -75,7 +75,7 @@ fn main() {
             // Project the store once, then featurize with the projected
             // model via a shallow rebuild of the stored vectors.
             let projected = model.store.pca_project(reduced);
-            let mut pmodel = clone_with_store(&model, projected, &cfg);
+            let mut pmodel = model.with_replacement_store(projected);
             let x_train = pmodel.featurize_base(Featurization::RowOnly);
             let x_test = pmodel.featurize_external(&test_tbl, Featurization::RowOnly);
             let prep = Prepared {
@@ -97,26 +97,4 @@ fn main() {
         "\nPaper shape: moderate projections lose little accuracy; mid-size \
          embeddings already match larger ones."
     );
-}
-
-/// Rebuilds a LevaModel with a replacement (projected) store; graph and
-/// encoders are shared structure, so a clone suffices.
-fn clone_with_store(
-    model: &leva::LevaModel,
-    store: leva_embedding::EmbeddingStore,
-    _cfg: &LevaConfig,
-) -> leva::LevaModel {
-    leva::LevaModel {
-        config: model.config.clone(),
-        store,
-        graph: model.graph.clone(),
-        tokenized: model.tokenized.clone(),
-        timings: model.timings.clone(),
-        method_used: model.method_used,
-        memory: model.memory,
-        base_table: model.base_table.clone(),
-        base_table_index: model.base_table_index,
-        target_column: model.target_column.clone(),
-        ingest: model.ingest.clone(),
-    }
 }

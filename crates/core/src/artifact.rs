@@ -85,6 +85,14 @@ pub enum ArtifactError {
         /// The underlying decode failure.
         source: DecodeError,
     },
+    /// Every chunk decoded, but the chunks contradict each other (e.g. the
+    /// tokenized database claims more rows than the graph has row nodes).
+    /// A model assembled from such chunks would misbehave at featurization
+    /// time, so the artifact is rejected at load.
+    Inconsistent {
+        /// What disagreed.
+        reason: &'static str,
+    },
 }
 
 impl fmt::Display for ArtifactError {
@@ -102,6 +110,9 @@ impl fmt::Display for ArtifactError {
             Self::TrailingData => write!(f, "artifact has trailing bytes"),
             Self::Decode { chunk, source } => {
                 write!(f, "chunk {chunk:?} failed to decode: {source}")
+            }
+            Self::Inconsistent { reason } => {
+                write!(f, "artifact chunks are mutually inconsistent: {reason}")
             }
         }
     }
@@ -285,6 +296,8 @@ impl LevaModel {
             });
         }
 
+        check_consistency(&config, &tokenized, &graph, &store, &meta)?;
+
         Ok(LevaModel {
             config,
             store,
@@ -297,6 +310,7 @@ impl LevaModel {
             base_table_index: meta.base_table_index,
             target_column: meta.target_column,
             ingest: meta.ingest,
+            featurizer: std::sync::OnceLock::new(),
         })
     }
 
@@ -309,6 +323,54 @@ impl LevaModel {
     pub fn load(path: impl AsRef<Path>) -> Result<LevaModel, ArtifactError> {
         Self::from_bytes(&std::fs::read(path)?)
     }
+}
+
+/// Cross-chunk consistency: each chunk decodes in isolation against the
+/// shared symbol table, but featurization relies on invariants *between*
+/// chunks — e.g. that the tokenized database and the graph agree on how
+/// many rows each table has. An artifact whose chunks individually decode
+/// but mutually contradict (crafted, or stitched from two models) is
+/// rejected here so no deploy path ever walks off the graph.
+fn check_consistency(
+    config: &LevaConfig,
+    tokenized: &TokenizedDatabase,
+    graph: &LevaGraph,
+    store: &EmbeddingStore,
+    meta: &Meta,
+) -> Result<(), ArtifactError> {
+    let fail = |reason: &'static str| Err(ArtifactError::Inconsistent { reason });
+    if tokenized.tables.len() != graph.table_names().len() {
+        return fail("TOKD and GRPH disagree on the number of tables");
+    }
+    for (t, table) in tokenized.tables.iter().enumerate() {
+        if table.name != graph.table_names()[t] {
+            return fail("TOKD and GRPH disagree on a table name");
+        }
+        if Some(table.rows.len()) != graph.table_row_count(t) {
+            return fail("TOKD row count disagrees with GRPH row-node count");
+        }
+        for (row, tok_row) in table.rows.iter().enumerate() {
+            let node = graph
+                .try_row_node(t, row)
+                .map_err(|_| ArtifactError::Inconsistent {
+                    reason: "GRPH row node missing for a TOKD row",
+                })?;
+            if graph.token(node) != tok_row.row_token {
+                return fail("TOKD row identity token disagrees with GRPH row node");
+            }
+        }
+    }
+    if meta.base_table != graph.table_names()[meta.base_table_index] {
+        return fail("META base table name disagrees with GRPH table names");
+    }
+    let expected_dim = match meta.method_used {
+        MethodUsed::MatrixFactorization => config.mf.dim,
+        MethodUsed::RandomWalk => config.sgns.dim,
+    };
+    if store.dim() != expected_dim {
+        return fail("STOR dimension disagrees with the CONF embedding dimension");
+    }
+    Ok(())
 }
 
 // --- CONF chunk ---------------------------------------------------------

@@ -18,11 +18,21 @@
 //! Tokens never seen in training contribute nothing (their information is
 //! simply absent, as with unseen one-hot categories); numeric out-of-range
 //! values clamp into boundary bins.
+//!
+//! Serving goes through the precomputed [`Featurizer`] engine (DESIGN.md
+//! §6.11): per-value-node aggregates are cached once per model, so each
+//! row costs `O(#tokens · d)` dense adds instead of a two-hop graph walk,
+//! and batches shard rows over deterministic thread bands. The original
+//! walk survives as the `*_walk` reference implementations that the
+//! equivalence tests (and the stages bench) compare against.
 
 use crate::config::Featurization;
-use crate::pipeline::LevaModel;
-use leva_linalg::Matrix;
+use crate::featurizer::Featurizer;
+use crate::pipeline::{LevaError, LevaModel};
+use leva_linalg::{for_each_row_band, Matrix};
 use leva_relational::Table;
+use leva_textify::ColumnEncoder;
+use std::ops::Range;
 
 impl LevaModel {
     /// Embedding dimensionality of a single featurized row under `feat`.
@@ -33,15 +43,28 @@ impl LevaModel {
         }
     }
 
-    /// Accumulates the value-half and related-row-half for a set of value
-    /// nodes; `skip_row` excludes the row itself from the related-row mean.
+    /// The precomputed serving featurizer, built lazily on first use (an
+    /// `O(E·d)` pass, roughly the cost of naively featurizing two rows) and
+    /// cached for the model's lifetime. The caches snapshot the current
+    /// graph + store; mutating those fields afterwards is unsupported.
+    pub fn featurizer(&self) -> &Featurizer {
+        self.featurizer
+            .get_or_init(|| Featurizer::build(&self.graph, &self.store, self.config.threads))
+    }
+
+    /// Reference implementation of the per-row accumulation: the two-hop
+    /// graph walk the [`Featurizer`] caches replace. Kept for equivalence
+    /// tests and the stages bench.
     ///
     /// Contributions are weighted by the inverse degree of the value node —
     /// the same "hub values carry weak inclusion-dependency evidence"
     /// rationale as the graph's edge weighting (§3.2), applied at
     /// deployment: a bin token shared by hundreds of rows says little about
-    /// this row; a key shared by two rows says a lot.
-    fn accumulate(
+    /// this row; a key shared by two rows says a lot. The augmentation half
+    /// is *sum*-pooled (weighted), not mean-pooled: aggregate targets (a
+    /// total over N joined rows, a count of related events) need the
+    /// multiplicity of the join to survive featurization.
+    fn accumulate_walk(
         &self,
         value_nodes: &[u32],
         skip_row: Option<u32>,
@@ -90,26 +113,55 @@ impl LevaModel {
                 *o = a / v_weight;
             }
         }
-        // The augmentation half is *sum*-pooled (weighted), not mean-pooled:
-        // aggregate targets (a total over N joined rows, a count of related
-        // events) need the multiplicity of the join to survive
-        // featurization. The per-value inverse-degree weights already keep
-        // hub contributions bounded.
         if feat == Featurization::RowPlusValue && x_weight > 0.0 {
             out_row[dim..].copy_from_slice(&x_acc);
         }
     }
 
     /// Featurizes in-graph base-table rows (by row index) into a matrix.
+    ///
+    /// Rows are sharded over deterministic thread bands
+    /// ([`LevaConfig::threads`](crate::LevaConfig)); results are bitwise
+    /// identical at any thread count. A row index outside the base table
+    /// featurizes to a zero row — use
+    /// [`LevaModel::try_featurize_base_rows`] to surface that as a typed
+    /// error instead.
     pub fn featurize_base_rows(&self, rows: &[usize], feat: Featurization) -> Matrix {
-        let mut out = Matrix::zeros(rows.len(), self.feature_dim(feat));
-        for (i, &r) in rows.iter().enumerate() {
-            let node = self.graph.row_node(self.base_table_index, r);
-            let value_nodes: Vec<u32> =
-                self.graph.neighbors(node).iter().map(|&(v, _)| v).collect();
-            self.accumulate(&value_nodes, Some(node), out.row_mut(i), feat);
-        }
+        let fz = self.featurizer();
+        let width = self.feature_dim(feat);
+        let mut out = Matrix::zeros(rows.len(), width);
+        for_each_row_band(out.data_mut(), width, self.config.threads, |range, band| {
+            for (offset, i) in range.enumerate() {
+                let out_row = &mut band[offset * width..(offset + 1) * width];
+                let Ok(node) = self.graph.try_row_node(self.base_table_index, rows[i]) else {
+                    continue;
+                };
+                let Ok(neighbors) = self.graph.try_neighbors(node) else {
+                    continue;
+                };
+                fz.accumulate(
+                    &self.graph,
+                    neighbors.iter().map(|&(v, _)| v),
+                    Some(node),
+                    out_row,
+                    feat,
+                );
+            }
+        });
         out
+    }
+
+    /// Like [`LevaModel::featurize_base_rows`], but any out-of-range row
+    /// index is a typed [`LevaError::NodeIndex`] instead of a zero row.
+    pub fn try_featurize_base_rows(
+        &self,
+        rows: &[usize],
+        feat: Featurization,
+    ) -> Result<Matrix, LevaError> {
+        for &r in rows {
+            self.graph.try_row_node(self.base_table_index, r)?;
+        }
+        Ok(self.featurize_base_rows(rows, feat))
     }
 
     /// Featurizes all rows of the base table.
@@ -127,31 +179,128 @@ impl LevaModel {
         self.featurize_base_rows(&rows, feat)
     }
 
+    /// Reference (two-hop walk) implementation of
+    /// [`LevaModel::featurize_base_rows`], kept for the cached-vs-naive
+    /// equivalence tests and the stages bench. Not a serving API.
+    #[doc(hidden)]
+    pub fn featurize_base_rows_walk(&self, rows: &[usize], feat: Featurization) -> Matrix {
+        let mut out = Matrix::zeros(rows.len(), self.feature_dim(feat));
+        for (i, &r) in rows.iter().enumerate() {
+            let Ok(node) = self.graph.try_row_node(self.base_table_index, r) else {
+                continue;
+            };
+            let value_nodes: Vec<u32> =
+                self.graph.neighbors(node).iter().map(|&(v, _)| v).collect();
+            self.accumulate_walk(&value_nodes, Some(node), out.row_mut(i), feat);
+        }
+        out
+    }
+
     /// Featurizes *out-of-sample* rows of a table with the base table's
     /// schema (minus the target column). Unseen values are quantized by the
-    /// training encoders; completely unseen tokens contribute nothing.
+    /// training encoders; completely unseen tokens contribute nothing. Rows
+    /// are sharded over deterministic thread bands, bitwise identical at
+    /// any thread count.
     pub fn featurize_external(&self, table: &Table, feat: Featurization) -> Matrix {
+        let encoders = self.external_encoders(table);
+        self.featurize_external_chunk(table, &encoders, 0..table.row_count(), feat)
+    }
+
+    /// Reference (two-hop walk) implementation of
+    /// [`LevaModel::featurize_external`], kept for the cached-vs-naive
+    /// equivalence tests. Not a serving API.
+    #[doc(hidden)]
+    pub fn featurize_external_walk(&self, table: &Table, feat: Featurization) -> Matrix {
+        let encoders = self.external_encoders(table);
         let mut out = Matrix::zeros(table.row_count(), self.feature_dim(feat));
-        let encoders: Vec<Option<&leva_textify::ColumnEncoder>> = table
+        for r in 0..table.row_count() {
+            let value_nodes = self.external_row_value_nodes(table, &encoders, r);
+            self.accumulate_walk(&value_nodes, None, out.row_mut(r), feat);
+        }
+        out
+    }
+
+    /// Streams featurizations of an external table in chunks of
+    /// `chunk_rows` rows — the serving shape when the batch does not fit
+    /// in memory at once. Concatenating the yielded matrices is bitwise
+    /// identical to [`LevaModel::featurize_external`] on the whole table,
+    /// at any thread count.
+    pub fn featurize_batch<'a>(
+        &'a self,
+        table: &'a Table,
+        chunk_rows: usize,
+        feat: Featurization,
+    ) -> FeaturizeBatch<'a> {
+        FeaturizeBatch {
+            model: self,
+            encoders: self.external_encoders(table),
+            table,
+            feat,
+            chunk_rows: chunk_rows.max(1),
+            next_row: 0,
+        }
+    }
+
+    /// Per-column training encoders for an external table's schema,
+    /// resolved once per batch rather than once per row.
+    fn external_encoders(&self, table: &Table) -> Vec<Option<&ColumnEncoder>> {
+        table
             .column_names()
             .iter()
             .map(|c| self.tokenized.encoder(&self.base_table, c))
-            .collect();
-        for r in 0..table.row_count() {
-            let mut value_nodes = Vec::new();
-            for (c, enc) in encoders.iter().enumerate() {
-                let Some(enc) = enc else { continue };
-                let Ok(v) = table.value(r, c) else { continue };
-                for token in enc.encode(v) {
-                    if let Some(node) = self.graph.value_node(&token) {
-                        value_nodes.push(node);
-                    }
+            .collect()
+    }
+
+    /// The sorted, deduplicated value nodes of one external row. Each
+    /// emitted token costs exactly one interner lookup; the node id is then
+    /// a dense array index into the featurizer caches (no re-hashing).
+    fn external_row_value_nodes(
+        &self,
+        table: &Table,
+        encoders: &[Option<&ColumnEncoder>],
+        row: usize,
+    ) -> Vec<u32> {
+        let mut value_nodes = Vec::new();
+        for (c, enc) in encoders.iter().enumerate() {
+            let Some(enc) = enc else { continue };
+            let Ok(v) = table.value(row, c) else { continue };
+            for token in enc.encode(v) {
+                if let Some(node) = self.graph.value_node(&token) {
+                    value_nodes.push(node);
                 }
             }
-            value_nodes.sort_unstable();
-            value_nodes.dedup();
-            self.accumulate(&value_nodes, None, out.row_mut(r), feat);
         }
+        value_nodes.sort_unstable();
+        value_nodes.dedup();
+        value_nodes
+    }
+
+    /// Featurizes one contiguous row range of an external table (shared by
+    /// [`LevaModel::featurize_external`] and [`FeaturizeBatch`]).
+    fn featurize_external_chunk(
+        &self,
+        table: &Table,
+        encoders: &[Option<&ColumnEncoder>],
+        rows: Range<usize>,
+        feat: Featurization,
+    ) -> Matrix {
+        let fz = self.featurizer();
+        let width = self.feature_dim(feat);
+        let mut out = Matrix::zeros(rows.len(), width);
+        let start = rows.start;
+        for_each_row_band(out.data_mut(), width, self.config.threads, |range, band| {
+            for (offset, i) in range.enumerate() {
+                let out_row = &mut band[offset * width..(offset + 1) * width];
+                let value_nodes = self.external_row_value_nodes(table, encoders, start + i);
+                fz.accumulate(
+                    &self.graph,
+                    value_nodes.iter().copied(),
+                    None,
+                    out_row,
+                    feat,
+                );
+            }
+        });
         out
     }
 
@@ -168,19 +317,63 @@ impl LevaModel {
         Ok(self.store.try_get(name)?)
     }
 
-    /// The embedding of row `row` of table index `table_idx`.
+    /// The embedding of row `row` of table index `table_idx` — resolved
+    /// through the graph's row node and its interned identity token, so no
+    /// `row::<table>::<idx>` string is formatted or hashed.
     pub fn row_embedding(&self, table_idx: usize, row: usize) -> Option<&[f64]> {
-        let table = self.graph.table_names().get(table_idx)?;
-        self.store.get(&leva_textify::row_name(table, row))
+        let node = self.graph.try_row_node(table_idx, row).ok()?;
+        self.store.get_id(self.graph.token(node))
     }
 }
+
+/// Streaming external featurization (see [`LevaModel::featurize_batch`]):
+/// an iterator yielding one feature matrix per chunk of rows. Encoders are
+/// resolved once at construction; each chunk runs the same banded parallel
+/// kernel as [`LevaModel::featurize_external`].
+#[derive(Debug)]
+pub struct FeaturizeBatch<'a> {
+    model: &'a LevaModel,
+    table: &'a Table,
+    encoders: Vec<Option<&'a ColumnEncoder>>,
+    feat: Featurization,
+    chunk_rows: usize,
+    next_row: usize,
+}
+
+impl Iterator for FeaturizeBatch<'_> {
+    type Item = Matrix;
+
+    fn next(&mut self) -> Option<Matrix> {
+        let total = self.table.row_count();
+        if self.next_row >= total {
+            return None;
+        }
+        let end = (self.next_row + self.chunk_rows).min(total);
+        let chunk = self.model.featurize_external_chunk(
+            self.table,
+            &self.encoders,
+            self.next_row..end,
+            self.feat,
+        );
+        self.next_row = end;
+        Some(chunk)
+    }
+
+    fn size_hint(&self) -> (usize, Option<usize>) {
+        let remaining = self.table.row_count().saturating_sub(self.next_row);
+        let chunks = remaining.div_ceil(self.chunk_rows);
+        (chunks, Some(chunks))
+    }
+}
+
+impl ExactSizeIterator for FeaturizeBatch<'_> {}
 
 #[cfg(test)]
 mod tests {
     use super::*;
     use crate::config::LevaConfig;
     use crate::pipeline::Leva;
-    use leva_relational::{Database, Table, Value};
+    use leva_relational::{Database, Value};
 
     fn fit_fast(database: &Database) -> LevaModel {
         Leva::with_config(LevaConfig::fast())
@@ -246,6 +439,39 @@ mod tests {
         assert!(rv.row(0)[32..].iter().any(|&v| v != 0.0));
     }
 
+    /// The cached engine agrees with the reference two-hop walk on every
+    /// row and both featurizations (reassociation noise only).
+    #[test]
+    fn cached_engine_matches_walk_reference() {
+        let model = fit_fast(&db());
+        let rows: Vec<usize> = (0..40).collect();
+        for feat in [Featurization::RowOnly, Featurization::RowPlusValue] {
+            let cached = model.featurize_base_rows(&rows, feat);
+            let walk = model.featurize_base_rows_walk(&rows, feat);
+            for r in 0..rows.len() {
+                for (a, b) in cached.row(r).iter().zip(walk.row(r)) {
+                    assert!((a - b).abs() <= 1e-12, "row {r}: {a} vs {b}");
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn out_of_range_rows_zero_fill_or_error() {
+        let model = fit_fast(&db());
+        let x = model.featurize_base_rows(&[0, 400], Featurization::RowPlusValue);
+        assert!(x.row(0).iter().any(|&v| v != 0.0));
+        assert!(x.row(1).iter().all(|&v| v == 0.0));
+        let err = model
+            .try_featurize_base_rows(&[0, 400], Featurization::RowPlusValue)
+            .unwrap_err();
+        assert!(matches!(err, LevaError::NodeIndex(_)), "{err}");
+        let ok = model
+            .try_featurize_base_rows(&[0, 1], Featurization::RowPlusValue)
+            .unwrap();
+        assert_eq!(ok.rows(), 2);
+    }
+
     #[test]
     fn train_and_external_paths_agree() {
         // Featurizing an in-graph row through the external path must land
@@ -282,13 +508,69 @@ mod tests {
         assert!(x.row(0).iter().all(|&v| v == 0.0));
     }
 
+    /// Chunked streaming yields exactly the rows of the one-shot external
+    /// featurization, bit for bit, for every chunk size.
+    #[test]
+    fn featurize_batch_matches_external_bitwise() {
+        let database = db();
+        let model = fit_fast(&database);
+        let ext = database
+            .table("base")
+            .unwrap()
+            .drop_columns(&["target"])
+            .unwrap();
+        let whole = model.featurize_external(&ext, Featurization::RowPlusValue);
+        for chunk_rows in [1usize, 7, 40, 1000] {
+            let mut seen = 0usize;
+            let mut chunks = 0usize;
+            for chunk in model.featurize_batch(&ext, chunk_rows, Featurization::RowPlusValue) {
+                assert_eq!(chunk.cols(), whole.cols());
+                for r in 0..chunk.rows() {
+                    for (a, b) in chunk.row(r).iter().zip(whole.row(seen + r)) {
+                        assert_eq!(a.to_bits(), b.to_bits(), "chunk_rows={chunk_rows}");
+                    }
+                }
+                seen += chunk.rows();
+                chunks += 1;
+            }
+            assert_eq!(seen, whole.rows());
+            assert_eq!(chunks, whole.rows().div_ceil(chunk_rows));
+        }
+        // A zero chunk size is clamped rather than looping forever.
+        assert_eq!(
+            model
+                .featurize_batch(&ext, 0, Featurization::RowOnly)
+                .count(),
+            ext.row_count()
+        );
+    }
+
     #[test]
     fn row_embedding_lookup() {
         let model = fit_fast(&db());
         assert!(model.row_embedding(0, 5).is_some());
         assert!(model.row_embedding(1, 5).is_some());
         assert!(model.row_embedding(7, 0).is_none());
+        assert!(model.row_embedding(0, 4000).is_none());
         assert!(model.node_embedding("e3").is_some());
+    }
+
+    /// The dense row-node lookup returns the same vectors as the old
+    /// string-formatting path (`row::<table>::<idx>` hashed per call).
+    #[test]
+    fn row_embedding_matches_string_path() {
+        let model = fit_fast(&db());
+        for table_idx in 0..model.graph.table_names().len() {
+            let name = model.graph.table_names()[table_idx].clone();
+            for row in 0..40 {
+                let via_string = model.store.get(&leva_textify::row_name(&name, row));
+                assert_eq!(
+                    model.row_embedding(table_idx, row),
+                    via_string,
+                    "table {table_idx} row {row}"
+                );
+            }
+        }
     }
 
     #[test]

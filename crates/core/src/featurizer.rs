@@ -1,0 +1,307 @@
+//! The precomputed serving featurizer (DESIGN.md §6.11).
+//!
+//! Deployment featurization (§4.4) is the serving hot path, but the naive
+//! implementation re-walks a two-hop graph traversal per featurized row:
+//! for every value node `v` of the row it visits every related row `r ∈
+//! N(v)` and every value node `v2 ∈ N(r)` — `O(Σ deg(v)·deg(r))` work per
+//! row, repeated for every row of every batch.
+//!
+//! The [`Featurizer`] precomputes, once per model, dense per-value-node
+//! caches indexed by `node_id - n_row_nodes`:
+//!
+//! * `val_contrib[v] = w_v · emb(v)` and `val_weight[v] = w_v` (zero when
+//!   the token has no embedding), where `w_v = 1/deg(v)` is the same
+//!   inverse-degree weight the naive walk uses — the value half of a row
+//!   becomes a weighted mean of `O(#tokens)` cached vectors.
+//! * `two_hop[v]` / `two_hop_weight[v]`: the *full* related-row sum the
+//!   value node contributes when **no** row is excluded:
+//!
+//!   ```text
+//!   two_hop[v] = w_v · Σ_{r ∈ N(v)} (1/deg(r)) · (rowsum[r] − w_v·emb(v))
+//!   rowsum[r]  = Σ_{v' ∈ N(r)} w_{v'} · emb(v')      (embedded v' only)
+//!   ```
+//!
+//!   The inner `− w_v·emb(v)` term is the naive walk's `v2 ≠ v` exclusion,
+//!   hoisted out of the loop. `rowsum` is a transient build-time buffer.
+//!
+//! Featurizing a row is then `O(#tokens · d)` dense adds. The `skip_row`
+//! self-exclusion (a training row must not see itself among its related
+//! rows) becomes a cheap closed-form subtraction: the row's own
+//! contribution through its value nodes is
+//!
+//! ```text
+//! (1/deg(R)) · (W_V · v_acc − Σ_{v ∈ V} w_v · val_contrib[v])
+//! ```
+//!
+//! where `V` is the row's value-node set, `W_V = Σ w_v`, and `v_acc` is the
+//! (unnormalized) value half — all already available in the same pass.
+//!
+//! The cache build is `O(E·d)` — the cost of featurizing a couple of rows
+//! naively — and both the build and the batch APIs shard rows over
+//! contiguous bands via [`leva_linalg::for_each_row_band`], so results are
+//! bitwise identical at any thread count. Cached and naive paths agree to
+//! ~1e-15 per element (float reassociation only), which tests pin at 1e-12.
+
+use crate::config::Featurization;
+use leva_embedding::EmbeddingStore;
+use leva_graph::LevaGraph;
+use leva_linalg::for_each_row_band;
+use std::time::{Duration, Instant};
+
+/// Dense per-value-node deployment caches for a fitted model, making
+/// per-row featurization `O(#tokens · d)` instead of a two-hop graph walk.
+///
+/// Built once per model (see `LevaModel::featurizer`) against a specific
+/// graph + store pair; the caches mirror that pair and are not invalidated
+/// by later mutation of the model's public fields.
+#[derive(Debug)]
+pub struct Featurizer {
+    dim: usize,
+    /// Value nodes occupy graph ids `n_row_nodes..`; cache slot = id − this.
+    first_value_node: u32,
+    /// `w_v = 1/max(deg(v), 1)` per value node (all value nodes).
+    inv_degree: Vec<f64>,
+    /// `w_v · emb(v)` per value node, zeros when the token has no embedding.
+    val_contrib: Vec<f64>,
+    /// `w_v` when `emb(v)` is present, else 0 (the value-half mass).
+    val_weight: Vec<f64>,
+    /// Full two-hop related-row sum contributed by each value node.
+    two_hop: Vec<f64>,
+    /// Weight mass of `two_hop` (drives the "any related row?" test).
+    two_hop_weight: Vec<f64>,
+    build_time: Duration,
+}
+
+impl Featurizer {
+    /// Precomputes the deployment caches for `graph` + `store` in `O(E·d)`,
+    /// sharding the two dense passes over `threads` row bands (bitwise
+    /// identical at any thread count).
+    pub fn build(graph: &LevaGraph, store: &EmbeddingStore, threads: usize) -> Featurizer {
+        let start = Instant::now();
+        let dim = store.dim();
+        let n_rows = graph.n_row_nodes();
+        let n_values = graph.n_value_nodes();
+        let first_value_node = n_rows as u32;
+        // Borrowed dense view: one lookup per graph node below, no store
+        // indirection inside the banded loops.
+        let view = store.dense_view();
+
+        // Pass 1: per-value-node inverse degrees and weighted embeddings.
+        let mut inv_degree = vec![0.0; n_values];
+        let mut val_weight = vec![0.0; n_values];
+        let mut val_contrib = vec![0.0; n_values * dim];
+        for_each_row_band(&mut val_contrib, dim.max(1), threads, |slots, band| {
+            for (offset, vi) in slots.enumerate() {
+                let node = first_value_node + vi as u32;
+                let w = 1.0 / graph.degree(node).max(1) as f64;
+                if let Some(emb) = view.get(graph.token(node)) {
+                    let out = &mut band[offset * dim..(offset + 1) * dim];
+                    for (slot, &e) in out.iter_mut().zip(emb) {
+                        *slot = w * e;
+                    }
+                }
+            }
+        });
+        for (vi, (w_slot, m_slot)) in inv_degree.iter_mut().zip(&mut val_weight).enumerate() {
+            let node = first_value_node + vi as u32;
+            *w_slot = 1.0 / graph.degree(node).max(1) as f64;
+            if view.get(graph.token(node)).is_some() {
+                *m_slot = *w_slot;
+            }
+        }
+
+        // Pass 2 (transient): per-row sums of the weighted value embeddings.
+        let value_slot = |v: u32| -> Option<usize> {
+            let vi = v.checked_sub(first_value_node)? as usize;
+            (vi < n_values).then_some(vi)
+        };
+        let mut rowsum = vec![0.0; n_rows * dim];
+        for_each_row_band(&mut rowsum, dim.max(1), threads, |rows, band| {
+            for (offset, r) in rows.enumerate() {
+                let out = &mut band[offset * dim..(offset + 1) * dim];
+                for &(v, _) in graph.neighbors(r as u32) {
+                    let Some(vi) = value_slot(v) else { continue };
+                    for (o, &c) in out.iter_mut().zip(&val_contrib[vi * dim..(vi + 1) * dim]) {
+                        *o += c;
+                    }
+                }
+            }
+        });
+        let mut row_weight = vec![0.0; n_rows];
+        for (r, mass) in row_weight.iter_mut().enumerate() {
+            for &(v, _) in graph.neighbors(r as u32) {
+                if let Some(vi) = value_slot(v) {
+                    *mass += val_weight[vi];
+                }
+            }
+        }
+
+        // Pass 3: fold the row sums into per-value-node two-hop caches,
+        // subtracting each value node's own echo (the naive `v2 ≠ v` test).
+        let mut two_hop = vec![0.0; n_values * dim];
+        for_each_row_band(&mut two_hop, dim.max(1), threads, |slots, band| {
+            for (offset, vi) in slots.enumerate() {
+                let node = first_value_node + vi as u32;
+                let w = inv_degree[vi];
+                let out = &mut band[offset * dim..(offset + 1) * dim];
+                let mut inv_row_degrees = 0.0;
+                for &(r, _) in graph.neighbors(node) {
+                    if r >= first_value_node {
+                        continue; // defensive: a non-bipartite edge
+                    }
+                    let wr = 1.0 / graph.degree(r).max(1) as f64;
+                    inv_row_degrees += wr;
+                    let r = r as usize;
+                    for (o, &s) in out.iter_mut().zip(&rowsum[r * dim..(r + 1) * dim]) {
+                        *o += wr * s;
+                    }
+                }
+                let own = &val_contrib[vi * dim..(vi + 1) * dim];
+                for (o, &c) in out.iter_mut().zip(own) {
+                    *o = w * *o - w * inv_row_degrees * c;
+                }
+            }
+        });
+        let mut two_hop_weight = vec![0.0; n_values];
+        for (vi, mass) in two_hop_weight.iter_mut().enumerate() {
+            let node = first_value_node + vi as u32;
+            let w = inv_degree[vi];
+            let mut acc = 0.0;
+            let mut inv_row_degrees = 0.0;
+            for &(r, _) in graph.neighbors(node) {
+                if r >= first_value_node {
+                    continue;
+                }
+                let wr = 1.0 / graph.degree(r).max(1) as f64;
+                inv_row_degrees += wr;
+                acc += wr * row_weight[r as usize];
+            }
+            *mass = w * acc - w * inv_row_degrees * val_weight[vi];
+        }
+
+        Featurizer {
+            dim,
+            first_value_node,
+            inv_degree,
+            val_contrib,
+            val_weight,
+            two_hop,
+            two_hop_weight,
+            build_time: start.elapsed(),
+        }
+    }
+
+    /// Embedding dimensionality of the underlying store.
+    pub fn dim(&self) -> usize {
+        self.dim
+    }
+
+    /// Wall time spent building the caches.
+    pub fn build_time(&self) -> Duration {
+        self.build_time
+    }
+
+    /// Estimated heap bytes of the dense caches.
+    pub fn estimated_bytes(&self) -> usize {
+        (self.inv_degree.len()
+            + self.val_contrib.len()
+            + self.val_weight.len()
+            + self.two_hop.len()
+            + self.two_hop_weight.len())
+            * std::mem::size_of::<f64>()
+    }
+
+    /// Featurizes one row — given as its value-node set `value_nodes` —
+    /// into `out_row` (`dim` wide for [`Featurization::RowOnly`], `2·dim`
+    /// for [`Featurization::RowPlusValue`]; must arrive zeroed).
+    ///
+    /// `skip_row` excludes a training row's own node from its related-row
+    /// half via the cached-subtraction identity (see the module docs);
+    /// external rows pass `None` and get the full cached two-hop sums.
+    /// Value nodes outside the cache (a foreign graph) contribute nothing.
+    pub fn accumulate<I>(
+        &self,
+        graph: &LevaGraph,
+        value_nodes: I,
+        skip_row: Option<u32>,
+        out_row: &mut [f64],
+        feat: Featurization,
+    ) where
+        I: IntoIterator<Item = u32>,
+    {
+        let dim = self.dim;
+        let related = feat == Featurization::RowPlusValue;
+        // Weight of the skipped row's echo in the related-row half.
+        let skip_w = skip_row.map(|r| {
+            let deg = graph.try_neighbors(r).map_or(0, <[_]>::len);
+            1.0 / deg.max(1) as f64
+        });
+        let mut v_weight = 0.0;
+        let mut x_weight = 0.0;
+        let mut value_mass = 0.0; // W_V = Σ w_v over *all* value nodes of the row
+        for v in value_nodes {
+            let Some(vi) = v
+                .checked_sub(self.first_value_node)
+                .map(|i| i as usize)
+                .filter(|&i| i < self.inv_degree.len())
+            else {
+                continue;
+            };
+            let contrib = &self.val_contrib[vi * dim..(vi + 1) * dim];
+            for (o, &c) in out_row[..dim].iter_mut().zip(contrib) {
+                *o += c;
+            }
+            v_weight += self.val_weight[vi];
+            if related {
+                let cached = &self.two_hop[vi * dim..(vi + 1) * dim];
+                let out = &mut out_row[dim..];
+                match skip_w {
+                    // Σ (two_hop[v] + skip_w·w_v·val_contrib[v]): the
+                    // second term restores the part of the row's own echo
+                    // that the per-value caches already subtracted as the
+                    // `v2 = v` exclusion — without it the echo would be
+                    // removed twice once the W_V·v_acc term comes off below.
+                    Some(sw) => {
+                        let w = self.inv_degree[vi];
+                        value_mass += w;
+                        for ((o, &t), &c) in out.iter_mut().zip(cached).zip(contrib) {
+                            *o += t + sw * w * c;
+                        }
+                        x_weight += self.two_hop_weight[vi] + sw * w * self.val_weight[vi];
+                    }
+                    None => {
+                        for (o, &t) in out.iter_mut().zip(cached) {
+                            *o += t;
+                        }
+                        x_weight += self.two_hop_weight[vi];
+                    }
+                }
+            }
+        }
+        if related {
+            if let Some(sw) = skip_w {
+                // Subtract the skipped row's full echo: through each of its
+                // value nodes v it would contribute (w_v/deg(R))·rowsum(R),
+                // and Σ_v w_v·rowsum(R) = W_V·v_acc with v_acc still raw in
+                // the value half.
+                let (value_half, related_half) = out_row.split_at_mut(dim);
+                for (o, &a) in related_half.iter_mut().zip(value_half.iter()) {
+                    *o -= sw * value_mass * a;
+                }
+                x_weight -= sw * value_mass * v_weight;
+            }
+            // Mirror the naive walk: a related-row half with no (or only
+            // cancelled) mass stays the zero vector.
+            if x_weight <= 0.0 {
+                out_row[dim..].fill(0.0);
+            }
+        }
+        if v_weight > 0.0 {
+            for o in &mut out_row[..dim] {
+                *o /= v_weight;
+            }
+        } else {
+            out_row[..dim].fill(0.0);
+        }
+    }
+}

@@ -58,6 +58,7 @@ mod artifact;
 mod config;
 mod deploy;
 mod er;
+mod featurizer;
 mod finetune;
 mod memory;
 mod pipeline;
@@ -65,7 +66,9 @@ mod timing;
 
 pub use artifact::ArtifactError;
 pub use config::{EmbeddingMethod, Featurization, LevaConfig};
+pub use deploy::FeaturizeBatch;
 pub use er::{match_embeddings, resolve_entities, score_matches, ErOptions, ErResult};
+pub use featurizer::Featurizer;
 pub use finetune::{droppable_tables, finetune_drop_tables};
 pub use leva_relational::{CellIssue, IngestMode, IngestOptions, IngestReport, IssueReason};
 pub use memory::{estimate, mf_fits, MemoryEstimate};

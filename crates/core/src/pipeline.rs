@@ -15,14 +15,16 @@
 //! pre-builder call sites continue to compile.
 
 use crate::config::{EmbeddingMethod, LevaConfig};
+use crate::featurizer::Featurizer;
 use crate::memory::{estimate, mf_fits, MemoryEstimate};
 use crate::timing::{process_cpu_time, StageTimings};
 use leva_embedding::{build_mf_embedding, generate_walks, train_sgns, EmbeddingStore};
-use leva_graph::{build_graph, LevaGraph};
+use leva_graph::{build_graph, GraphIndexError, LevaGraph};
 use leva_linalg::resolve_threads;
 use leva_relational::{csv, Database, IngestOptions, IngestReport, RelationalError};
 use leva_textify::{textify, TokenizedDatabase};
 use std::fmt;
+use std::sync::OnceLock;
 use std::time::Instant;
 
 /// Errors surfaced by the pipeline.
@@ -49,6 +51,8 @@ pub enum LevaError {
     },
     /// Saving or loading a model artifact failed.
     Artifact(crate::artifact::ArtifactError),
+    /// A graph lookup (table, row, or node index) was out of range.
+    NodeIndex(GraphIndexError),
 }
 
 impl fmt::Display for LevaError {
@@ -63,6 +67,7 @@ impl fmt::Display for LevaError {
                 write!(f, "failed to ingest table '{table}': {source}")
             }
             Self::Artifact(e) => write!(f, "model artifact error: {e}"),
+            Self::NodeIndex(e) => write!(f, "graph index error: {e}"),
         }
     }
 }
@@ -84,6 +89,12 @@ impl From<leva_embedding::UnknownTokenError> for LevaError {
 impl From<crate::artifact::ArtifactError> for LevaError {
     fn from(e: crate::artifact::ArtifactError) -> Self {
         Self::Artifact(e)
+    }
+}
+
+impl From<GraphIndexError> for LevaError {
+    fn from(e: GraphIndexError) -> Self {
+        Self::NodeIndex(e)
     }
 }
 
@@ -125,6 +136,34 @@ pub struct LevaModel {
     /// [`Leva::fit_csv`] (empty for pre-built databases). Surfaced next to
     /// `timings` so operators can audit dirt alongside performance.
     pub ingest: Vec<IngestReport>,
+    /// Lazily built serving featurizer (see [`LevaModel::featurizer`]).
+    /// Not serialized: artifacts stay byte-identical and the cache is
+    /// rebuilt on first featurization after a load.
+    pub(crate) featurizer: OnceLock<Featurizer>,
+}
+
+impl LevaModel {
+    /// Clones this model with a replacement embedding store (e.g. a
+    /// PCA-projected one for the compression experiments). Graph and
+    /// encoders are shared structure, so a clone suffices; the serving
+    /// featurizer cache is *not* carried over — it aggregates store
+    /// vectors, so the replacement gets a fresh lazily-built one.
+    pub fn with_replacement_store(&self, store: EmbeddingStore) -> LevaModel {
+        LevaModel {
+            config: self.config.clone(),
+            store,
+            graph: self.graph.clone(),
+            tokenized: self.tokenized.clone(),
+            timings: self.timings.clone(),
+            method_used: self.method_used,
+            memory: self.memory,
+            base_table: self.base_table.clone(),
+            base_table_index: self.base_table_index,
+            target_column: self.target_column.clone(),
+            ingest: self.ingest.clone(),
+            featurizer: OnceLock::new(),
+        }
+    }
 }
 
 /// Builder for fitting Leva on a database.
@@ -351,6 +390,7 @@ fn run_pipeline(
         base_table_index,
         target_column: target_column.map(str::to_owned),
         ingest: Vec::new(),
+        featurizer: OnceLock::new(),
     })
 }
 

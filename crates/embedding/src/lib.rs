@@ -30,7 +30,7 @@ pub use mf::{build_mf_embedding, proximity_matrix, MfConfig};
 pub use node2vec::{node2vec_walks, Node2VecConfig};
 pub use serialize::{decode_corpus, encode_corpus, CorpusDecodeError};
 pub use sgns::{train_sgns, SgnsConfig, SgnsModel};
-pub use store::{EmbeddingStore, UnknownTokenError};
+pub use store::{DenseView, EmbeddingStore, UnknownTokenError};
 pub use walks::{build_alias_tables, estimated_alias_bytes, generate_walks, WalkConfig};
 
 pub use leva_interner::{TokenId, TokenInterner};

@@ -43,6 +43,28 @@ impl std::fmt::Display for UnknownTokenError {
 
 impl std::error::Error for UnknownTokenError {}
 
+/// An immutable borrowed view of a store's dense vector table, indexed by
+/// interned [`TokenId`] (see [`EmbeddingStore::dense_view`]). `Copy`, so
+/// hot loops can keep it in a register instead of re-borrowing the store.
+#[derive(Debug, Clone, Copy)]
+pub struct DenseView<'a> {
+    dim: usize,
+    slots: &'a [Option<Vec<f64>>],
+}
+
+impl<'a> DenseView<'a> {
+    /// Vector for an interned token — pure array indexing, no hashing.
+    /// The returned slice borrows the store, not this view value.
+    pub fn get(&self, id: TokenId) -> Option<&'a [f64]> {
+        self.slots.get(id.index())?.as_deref()
+    }
+
+    /// Embedding dimensionality of the viewed store.
+    pub fn dim(&self) -> usize {
+        self.dim
+    }
+}
+
 impl EmbeddingStore {
     /// Creates an empty store of dimension `dim` with its own (empty)
     /// symbol table.
@@ -123,6 +145,18 @@ impl EmbeddingStore {
     /// Vector for an interned token — pure array indexing.
     pub fn get_id(&self, id: TokenId) -> Option<&[f64]> {
         self.vectors.get(id.index())?.as_deref()
+    }
+
+    /// Borrowed dense view over the vector table for bulk token-id lookups
+    /// (the serving featurizer's cache build does one per graph node). The
+    /// view pins the slot array for its lifetime, and its lookups return
+    /// slices borrowing the *store*, so gathered references outlive any
+    /// one `get` call.
+    pub fn dense_view(&self) -> DenseView<'_> {
+        DenseView {
+            dim: self.dim,
+            slots: &self.vectors,
+        }
     }
 
     /// Vector for a token, with a typed error instead of `None` when the
@@ -646,6 +680,22 @@ mod tests {
     fn sorted_tokens_deterministic() {
         let s = store();
         assert_eq!(s.sorted_tokens(), vec!["a", "b", "c"]);
+    }
+
+    #[test]
+    fn dense_view_matches_store_lookups() {
+        let s = store();
+        let view = s.dense_view();
+        assert_eq!(view.dim(), s.dim());
+        for token in ["a", "b", "c"] {
+            let id = s.symbols().lookup(token).unwrap();
+            assert_eq!(view.get(id), s.get_id(id));
+        }
+        // Out-of-range ids are None, never a panic; the view is Copy and
+        // its slices outlive any particular copy.
+        assert_eq!(view.get(TokenId::from_index(999)), None);
+        let grabbed = { view.get(s.symbols().lookup("a").unwrap()).unwrap() };
+        assert_eq!(grabbed, [1.0, 0.0, 0.0].as_slice());
     }
 
     #[test]

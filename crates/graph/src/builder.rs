@@ -53,6 +53,57 @@ pub enum NodeKind {
     Value,
 }
 
+/// A node lookup referenced a table, row, or node id outside the graph.
+///
+/// Surfaced by the checked accessors ([`LevaGraph::try_row_node`],
+/// [`LevaGraph::try_neighbors`]) that the deployment paths use, so indices
+/// influenced by external data (artifacts, caller-supplied row lists) fail
+/// as typed errors instead of panicking.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum GraphIndexError {
+    /// The table index is not a valid table of this graph.
+    TableOutOfRange {
+        /// The requested table index.
+        table: usize,
+        /// Number of tables in the graph.
+        tables: usize,
+    },
+    /// The row index is outside the named table.
+    RowOutOfRange {
+        /// The requested table index.
+        table: usize,
+        /// The requested row index.
+        row: usize,
+        /// Number of rows the table has in the graph.
+        rows: usize,
+    },
+    /// The node id is outside the graph's node range.
+    NodeOutOfRange {
+        /// The requested node id.
+        node: u32,
+        /// Total node count.
+        nodes: usize,
+    },
+}
+
+impl std::fmt::Display for GraphIndexError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            Self::TableOutOfRange { table, tables } => {
+                write!(f, "table index {table} out of range (graph has {tables})")
+            }
+            Self::RowOutOfRange { table, row, rows } => {
+                write!(f, "row {row} out of range for table {table} ({rows} rows)")
+            }
+            Self::NodeOutOfRange { node, nodes } => {
+                write!(f, "node id {node} out of range (graph has {nodes} nodes)")
+            }
+        }
+    }
+}
+
+impl std::error::Error for GraphIndexError {}
+
 /// Counters describing what refinement did — surfaced in experiment logs and
 /// asserted on by tests.
 #[derive(Debug, Clone, Default, PartialEq, Eq)]
@@ -145,8 +196,57 @@ impl LevaGraph {
     }
 
     /// The node id of row `row` of table index `table`.
+    ///
+    /// Panics when `table` or `row` is out of range; indices derived from
+    /// external data should go through [`LevaGraph::try_row_node`].
     pub fn row_node(&self, table: usize, row: usize) -> u32 {
-        (self.row_offsets[table] + row) as u32
+        self.try_row_node(table, row)
+            .unwrap_or_else(|e| panic!("{e}"))
+    }
+
+    /// Checked variant of [`LevaGraph::row_node`]: out-of-range indices come
+    /// back as a typed [`GraphIndexError`] instead of a panic.
+    pub fn try_row_node(&self, table: usize, row: usize) -> Result<u32, GraphIndexError> {
+        let rows = self
+            .table_row_count(table)
+            .ok_or(GraphIndexError::TableOutOfRange {
+                table,
+                tables: self.table_names.len(),
+            })?;
+        if row >= rows {
+            return Err(GraphIndexError::RowOutOfRange { table, row, rows });
+        }
+        Ok((self.row_offsets[table] + row) as u32)
+    }
+
+    /// Checked variant of [`LevaGraph::neighbors`] for node ids influenced
+    /// by external data.
+    pub fn try_neighbors(&self, node: u32) -> Result<&[(u32, f64)], GraphIndexError> {
+        self.adj
+            .get(node as usize)
+            .map(Vec::as_slice)
+            .ok_or(GraphIndexError::NodeOutOfRange {
+                node,
+                nodes: self.kinds.len(),
+            })
+    }
+
+    /// Number of row nodes belonging to table index `table`, or `None` when
+    /// the table index is out of range.
+    pub fn table_row_count(&self, table: usize) -> Option<usize> {
+        let start = *self.row_offsets.get(table)?;
+        let end = self
+            .row_offsets
+            .get(table + 1)
+            .copied()
+            .unwrap_or(self.n_row_nodes);
+        Some(end - start)
+    }
+
+    /// The dense id range of all value nodes (they occupy the ids after the
+    /// row nodes), for cache-building passes that iterate them directly.
+    pub fn value_node_range(&self) -> std::ops::Range<u32> {
+        self.n_row_nodes as u32..self.kinds.len() as u32
     }
 
     /// The node id of the value node for `token`, if it survived refinement.
@@ -550,5 +650,49 @@ mod tests {
         let g = graph_from(&db, &GraphConfig::default());
         assert_eq!(g.n_edges(), 30);
         assert_eq!(g.n_value_nodes(), 1);
+    }
+
+    #[test]
+    fn checked_lookups_return_typed_errors() {
+        let db = two_table_db();
+        let g = graph_from(&db, &GraphConfig::default());
+        // In-range lookups agree with the panicking accessor.
+        assert_eq!(g.try_row_node(0, 0).unwrap(), g.row_node(0, 0));
+        assert_eq!(g.try_row_node(1, 2).unwrap(), g.row_node(1, 2));
+        // Out-of-range table.
+        let err = g.try_row_node(9, 0).unwrap_err();
+        assert!(matches!(
+            err,
+            GraphIndexError::TableOutOfRange { table: 9, .. }
+        ));
+        assert!(err.to_string().contains("table"));
+        // Out-of-range row names the table's true row count.
+        let rows = g.table_row_count(0).unwrap();
+        let err = g.try_row_node(0, rows).unwrap_err();
+        assert!(matches!(
+            err,
+            GraphIndexError::RowOutOfRange { table: 0, .. }
+        ));
+        // Node bounds.
+        assert!(g.try_neighbors(0).is_ok());
+        let beyond = g.n_nodes() as u32;
+        assert!(matches!(
+            g.try_neighbors(beyond).unwrap_err(),
+            GraphIndexError::NodeOutOfRange { .. }
+        ));
+    }
+
+    #[test]
+    fn table_row_counts_partition_row_nodes() {
+        let db = two_table_db();
+        let g = graph_from(&db, &GraphConfig::default());
+        let total: usize = (0..g.table_names().len())
+            .map(|t| g.table_row_count(t).unwrap())
+            .sum();
+        assert_eq!(total, g.n_row_nodes());
+        assert_eq!(g.table_row_count(99), None);
+        let values = g.value_node_range();
+        assert_eq!(values.start as usize, g.n_row_nodes());
+        assert_eq!(values.end as usize, g.n_nodes());
     }
 }

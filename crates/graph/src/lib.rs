@@ -17,5 +17,5 @@ mod serialize;
 mod voting;
 
 pub use alias::AliasTable;
-pub use builder::{build_graph, GraphConfig, LevaGraph, NodeKind, RefineStats};
+pub use builder::{build_graph, GraphConfig, GraphIndexError, LevaGraph, NodeKind, RefineStats};
 pub use voting::TokenVotes;

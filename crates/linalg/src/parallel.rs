@@ -23,7 +23,10 @@ pub fn resolve_threads(threads: usize) -> usize {
 /// contiguous row bands and runs `f(row_range, band)` for each band on its
 /// own scoped thread. With one effective thread the closure runs inline on
 /// the full range, so the parallel and sequential paths share all code.
-pub(crate) fn for_each_row_band<F>(data: &mut [f64], row_width: usize, threads: usize, f: F)
+///
+/// Public so downstream per-row kernels (e.g. the serving featurizer in
+/// `leva-core`) inherit the same bitwise-deterministic sharding policy.
+pub fn for_each_row_band<F>(data: &mut [f64], row_width: usize, threads: usize, f: F)
 where
     F: Fn(std::ops::Range<usize>, &mut [f64]) + Sync,
 {

@@ -119,6 +119,17 @@ impl Histogram {
         Histogram { kind, boundaries }
     }
 
+    /// Like [`Histogram::from_parts`], but rejects boundary lists that the
+    /// builders can never emit: every boundary must be finite and the list
+    /// strictly increasing. `bin()`'s binary search assumes sorted input —
+    /// an unsorted or NaN-bearing list would silently mis-bin values, so
+    /// untrusted sources (artifact decode) must come through here.
+    pub fn try_from_parts(kind: HistogramKind, boundaries: Vec<f64>) -> Option<Histogram> {
+        let ordered =
+            boundaries.windows(2).all(|w| w[0] < w[1]) && boundaries.iter().all(|b| b.is_finite());
+        ordered.then_some(Histogram { kind, boundaries })
+    }
+
     /// The histogram kind actually used.
     pub fn kind(&self) -> HistogramKind {
         self.kind

@@ -87,7 +87,14 @@ impl ColumnEncoder {
                 for _ in 0..n {
                     boundaries.push(r.take_f64()?);
                 }
-                Some(Histogram::from_parts(kind, boundaries))
+                // The builders only emit finite, strictly increasing
+                // boundaries; anything else is a corrupt or hostile
+                // artifact and would silently mis-bin unseen values.
+                Some(
+                    Histogram::try_from_parts(kind, boundaries).ok_or(DecodeError::Invalid(
+                        "histogram boundaries not finite and strictly increasing",
+                    ))?,
+                )
             }
             _ => return Err(DecodeError::Invalid("unknown histogram presence tag")),
         };
@@ -305,5 +312,51 @@ mod tests {
             ColumnEncoder::decode(&mut r).unwrap_err(),
             DecodeError::Invalid(_) | DecodeError::Truncated
         ));
+    }
+
+    /// Regression: decode used to accept any f64 sequence as histogram
+    /// boundaries. `bin()` binary-searches them, so unsorted or NaN
+    /// boundaries silently mis-binned every unseen inference value.
+    #[test]
+    fn hostile_histogram_boundaries_are_rejected() {
+        let encode_with_boundaries = |boundaries: &[f64]| {
+            let enc = ColumnEncoder {
+                class: ColumnClass::Numeric,
+                attr: 0,
+                column_key: "age".to_owned(),
+                histogram: Some(Histogram::from_parts(
+                    HistogramKind::EquiWidth,
+                    boundaries.to_vec(),
+                )),
+                split_multiword: false,
+                int_key: false,
+            };
+            let mut w = ByteWriter::new();
+            enc.encode_into(&mut w);
+            w.into_bytes()
+        };
+        for hostile in [
+            &[2.0, 1.0][..],               // unsorted
+            &[1.0, 1.0][..],               // not *strictly* increasing
+            &[1.0, f64::NAN][..],          // NaN poisons partition_point
+            &[f64::NEG_INFINITY, 1.0][..], // non-finite
+            &[0.0, f64::INFINITY][..],
+        ] {
+            let bytes = encode_with_boundaries(hostile);
+            let mut r = ByteReader::new(&bytes);
+            let err = ColumnEncoder::decode(&mut r).unwrap_err();
+            assert!(
+                matches!(err, DecodeError::Invalid(_)),
+                "boundaries {hostile:?}: {err}"
+            );
+        }
+        // Well-formed boundaries (including the empty single-bin case)
+        // still round-trip.
+        for fine in [&[][..], &[0.5][..], &[-1.0, 0.0, 3.5][..]] {
+            let bytes = encode_with_boundaries(fine);
+            let mut r = ByteReader::new(&bytes);
+            let back = ColumnEncoder::decode(&mut r).unwrap();
+            assert_eq!(back.histogram.unwrap().boundaries(), fine);
+        }
     }
 }

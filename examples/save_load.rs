@@ -78,7 +78,16 @@ fn main() {
         feats.cols()
     );
 
-    // 5. Corruption is detected, never silently served.
+    // 5. A serving loop that can't hold the whole table in memory streams
+    //    it in fixed-size chunks; each chunk is featurized in parallel and
+    //    the concatenation is bitwise identical to the one-shot call.
+    let mut streamed = 0;
+    for chunk in served.featurize_batch(&incoming, 1, Featurization::RowPlusValue) {
+        streamed += chunk.rows();
+    }
+    println!("streamed featurization covered {streamed} rows in chunks of 1");
+
+    // 6. Corruption is detected, never silently served.
     let mut corrupt = std::fs::read(&path).unwrap();
     let mid = corrupt.len() / 2;
     corrupt[mid] ^= 0x40;

@@ -15,6 +15,9 @@ cargo test -q --test fault_injection
 echo "==> cargo test -q --test artifact_roundtrip (model artifact gate)"
 cargo test -q --test artifact_roundtrip
 
+echo "==> cargo test -q --test determinism (threading + featurizer equivalence gate)"
+cargo test -q --test determinism
+
 echo "==> cargo fmt --check"
 cargo fmt --check
 

@@ -194,3 +194,57 @@ fn hostile_headers_are_typed_and_bounded() {
         other => panic!("expected checksum/decode error, got {other}"),
     }
 }
+
+/// Regression for a reviewer PoC: a crafted, CRC-valid artifact whose TOKD
+/// chunk declares more base-table rows than the GRPH chunk has row nodes
+/// used to load fine and then panic (index out of bounds) on the first
+/// `featurize_base`. Cross-chunk validation now rejects it at load with a
+/// typed error, and even a model mutated into that state in memory
+/// featurizes without panicking.
+#[test]
+fn crafted_cross_chunk_mismatch_is_rejected_at_load() {
+    let mut rng = StdRng::seed_from_u64(0xA27F_4000);
+    let mut model = fit(&arb_db(&mut rng), true);
+    // Duplicate the last TOKD row many times: all token ids stay in range,
+    // every per-chunk invariant holds, only the chunks' mutual agreement
+    // breaks.
+    let extra = model.tokenized.tables[model.base_table_index]
+        .rows
+        .last()
+        .expect("base table has rows")
+        .clone();
+    for _ in 0..(model.graph.n_nodes() + 10) {
+        model.tokenized.tables[model.base_table_index]
+            .rows
+            .push(extra.clone());
+    }
+    let bytes = model.to_bytes();
+    let err = LevaModel::from_bytes(&bytes).expect_err("crafted artifact must be rejected");
+    assert!(
+        matches!(err, ArtifactError::Inconsistent { .. }),
+        "expected Inconsistent, got {err}"
+    );
+    // The deploy paths themselves are panic-free even on the mutated
+    // in-memory model (out-of-graph rows featurize to zero vectors).
+    let result = catch_unwind(AssertUnwindSafe(|| {
+        model.featurize_base(Featurization::RowPlusValue)
+    }));
+    assert!(result.is_ok(), "featurize_base panicked on mutated model");
+}
+
+/// A STOR chunk whose dimensionality contradicts CONF (as when chunks are
+/// stitched together from two different models) is rejected at load.
+#[test]
+fn mismatched_store_dim_is_rejected_at_load() {
+    let mut rng = StdRng::seed_from_u64(0xA27F_5000);
+    let model = fit(&arb_db(&mut rng), true);
+    // Shrink the embedding store via PCA projection without updating the
+    // config: STOR now contradicts CONF's embedding dimension.
+    let projected = model.with_replacement_store(model.store.pca_project(model.store.dim() / 2));
+    let err =
+        LevaModel::from_bytes(&projected.to_bytes()).expect_err("dim mismatch must be rejected");
+    assert!(
+        matches!(err, ArtifactError::Inconsistent { .. }),
+        "expected Inconsistent, got {err}"
+    );
+}

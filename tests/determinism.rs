@@ -3,11 +3,13 @@
 //! count, and `threads = 1` with `LevaConfig::fast()` must keep matching
 //! the frozen golden fingerprint below.
 
-use leva::{EmbeddingMethod, Leva, LevaConfig, LevaError};
+use leva::{EmbeddingMethod, Featurization, Leva, LevaConfig, LevaError, LevaModel};
 use leva_embedding::{build_mf_embedding, generate_walks, MfConfig, WalkConfig};
 use leva_graph::build_graph;
 use leva_relational::{Database, Table, Value};
 use leva_textify::{textify, TextifyConfig};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
 
 /// Deterministic synthetic database shared by every test in this suite.
 fn golden_db() -> Database {
@@ -183,6 +185,124 @@ fn builder_rejects_degenerate_inputs() {
         .fit(&Database::new())
         .unwrap_err();
     assert!(matches!(err, LevaError::EmptyDatabase), "got {err:?}");
+}
+
+/// A random database with keyed joins, list-ish categories, and numerics,
+/// for stressing the cached featurizer against the reference walk.
+fn arb_db(rng: &mut StdRng) -> Database {
+    let n = rng.gen_range(15usize..45);
+    let mut db = Database::new();
+    let mut base = Table::new("base", vec!["id", "cat", "num", "target"]);
+    for i in 0..n {
+        base.push_row(vec![
+            format!("e{i}").into(),
+            format!("c{}", rng.gen_range(0u32..5)).into(),
+            Value::float(rng.gen_range(-50.0f64..50.0)),
+            Value::Int(i64::from(rng.gen_bool(0.5))),
+        ])
+        .unwrap();
+    }
+    db.add_table(base).unwrap();
+    let mut aux = Table::new("aux", vec!["id", "tag"]);
+    for i in 0..n {
+        for _ in 0..rng.gen_range(1usize..4) {
+            aux.push_row(vec![
+                format!("e{i}").into(),
+                format!("t{}", rng.gen_range(0u32..6)).into(),
+            ])
+            .unwrap();
+        }
+    }
+    db.add_table(aux).unwrap();
+    db
+}
+
+fn fit_arb(db: &Database, threads: usize) -> LevaModel {
+    Leva::with_config(LevaConfig::fast())
+        .base_table("base")
+        .target("target")
+        .threads(threads)
+        .fit(db)
+        .unwrap()
+}
+
+/// The precomputed serving featurizer agrees with the reference two-hop
+/// walk to ≤1e-12 per element on seeded random databases — both the
+/// in-graph and the external path, both featurizations. (Bitwise equality
+/// is *not* expected: the cache reassociates the same sums.)
+#[test]
+fn cached_featurizer_matches_naive_walk_on_random_dbs() {
+    for case in 0..4u64 {
+        let mut rng = StdRng::seed_from_u64(0xFEA7_0000 + case);
+        let db = arb_db(&mut rng);
+        let model = fit_arb(&db, 1);
+        let n = db.table("base").unwrap().row_count();
+        let rows: Vec<usize> = (0..n).collect();
+        for feat in [Featurization::RowOnly, Featurization::RowPlusValue] {
+            let cached = model.featurize_base_rows(&rows, feat);
+            let walk = model.featurize_base_rows_walk(&rows, feat);
+            for r in 0..n {
+                for (c, (a, b)) in cached.row(r).iter().zip(walk.row(r)).enumerate() {
+                    assert!(
+                        (a - b).abs() <= 1e-12,
+                        "case {case} {feat:?} row {r} col {c}: cached {a} vs walk {b}"
+                    );
+                }
+            }
+        }
+        let ext = db.table("base").unwrap().drop_columns(&["target"]).unwrap();
+        let cached = model.featurize_external(&ext, Featurization::RowPlusValue);
+        let walk = model.featurize_external_walk(&ext, Featurization::RowPlusValue);
+        for r in 0..n {
+            for (a, b) in cached.row(r).iter().zip(walk.row(r)) {
+                assert!(
+                    (a - b).abs() <= 1e-12,
+                    "case {case} external row {r}: cached {a} vs walk {b}"
+                );
+            }
+        }
+    }
+}
+
+/// Batch featurization shards rows over thread bands; the output must be
+/// bitwise identical at 1, 2, and 8 threads, on every serving path
+/// (in-graph batch, external one-shot, external streamed).
+#[test]
+fn featurization_bitwise_identical_across_thread_counts() {
+    let mut rng = StdRng::seed_from_u64(0xFEA7_1000);
+    let db = arb_db(&mut rng);
+    let ext = db.table("base").unwrap().drop_columns(&["target"]).unwrap();
+    let reference = fit_arb(&db, 1);
+    let base_ref = reference.featurize_base(Featurization::RowPlusValue);
+    let ext_ref = reference.featurize_external(&ext, Featurization::RowPlusValue);
+    for threads in [2usize, 8] {
+        let model = fit_arb(&db, threads);
+        let base = model.featurize_base(Featurization::RowPlusValue);
+        for r in 0..base_ref.rows() {
+            for (a, b) in base.row(r).iter().zip(base_ref.row(r)) {
+                assert_eq!(
+                    a.to_bits(),
+                    b.to_bits(),
+                    "featurize_base diverged at {threads} threads, row {r}"
+                );
+            }
+        }
+        let mut seen = 0usize;
+        for chunk in model.featurize_batch(&ext, 5, Featurization::RowPlusValue) {
+            for r in 0..chunk.rows() {
+                for (a, b) in chunk.row(r).iter().zip(ext_ref.row(seen + r)) {
+                    assert_eq!(
+                        a.to_bits(),
+                        b.to_bits(),
+                        "featurize_batch diverged at {threads} threads, row {}",
+                        seen + r
+                    );
+                }
+            }
+            seen += chunk.rows();
+        }
+        assert_eq!(seen, ext_ref.rows());
+    }
 }
 
 /// The RW path with multi-threaded Hogwild SGNS still runs and produces a

@@ -361,6 +361,28 @@ fn hostile_artifact_buffers_never_panic() {
                 // format validates nothing.
                 failures.push(format!("artifact case {case}: garbage decoded"));
             }
+            Ok(Ok(loaded)) => {
+                // Anything that decodes must also *serve* without panicking:
+                // cross-chunk validation plus checked graph lookups mean no
+                // deploy path can index out of bounds, whatever survived the
+                // mutations.
+                let served = catch_unwind(AssertUnwindSafe(|| {
+                    let _ = loaded.featurize_base(Featurization::RowPlusValue);
+                    let _ = loaded.featurize_base_rows(&[0, 1, usize::MAX], Featurization::RowOnly);
+                    let mut ext = leva_relational::Table::new("probe", vec!["id", "grp", "v"]);
+                    let _ = ext.push_row(vec!["a".into(), "x".into(), "1".into()]);
+                    for chunk in loaded.featurize_batch(&ext, 1, Featurization::RowPlusValue) {
+                        let _ = chunk.rows();
+                    }
+                    let _ = loaded.row_embedding(0, 0);
+                    let _ = loaded.row_embedding(usize::MAX, usize::MAX);
+                }));
+                if served.is_err() {
+                    failures.push(format!(
+                        "artifact case {case}: decoded model panicked serving"
+                    ));
+                }
+            }
             Ok(_) => {}
         }
     }
