@@ -1,0 +1,153 @@
+//! Serving-daemon benchmark: fits a model on a synthetic dataset, then
+//! drives the `leva-serve` coalescing engine with concurrent clients and
+//! reports throughput (rows/s), latency percentiles, and the coalesced
+//! batch-size histogram. Writes `results/BENCH_6.json`.
+//!
+//! Usage: `exp_serve [--scale S] [--seed N] [--clients N] [--iters N]
+//!                   [--rows-per-req N] [--max-wait-us N] [--out PATH]`
+
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
+use std::time::Instant;
+
+use leva::{Featurization, FeaturizeRequest, Leva, LevaConfig};
+use leva_datasets::by_name;
+use leva_serve::{Engine, ServeConfig};
+
+fn main() {
+    let mut scale = 0.4;
+    let mut seed = 7u64;
+    let mut clients = 8usize;
+    let mut iters = 200usize;
+    let mut rows_per_req = 16usize;
+    let mut max_wait_us = 2_000u64;
+    let mut out = "results/BENCH_6.json".to_owned();
+    let argv: Vec<String> = std::env::args().collect();
+    let mut i = 1;
+    while i < argv.len() {
+        let val = |i: usize| argv.get(i + 1).expect("flag value").clone();
+        match argv[i].as_str() {
+            "--scale" => scale = val(i).parse().expect("scale"),
+            "--seed" => seed = val(i).parse().expect("seed"),
+            "--clients" => clients = val(i).parse().expect("clients"),
+            "--iters" => iters = val(i).parse().expect("iters"),
+            "--rows-per-req" => rows_per_req = val(i).parse().expect("rows-per-req"),
+            "--max-wait-us" => max_wait_us = val(i).parse().expect("max-wait-us"),
+            "--out" => out = val(i),
+            other => panic!("unknown argument {other}"),
+        }
+        i += 2;
+    }
+
+    let ds = by_name("restbase", scale, seed).expect("dataset");
+    let base_rows = ds.db.table(&ds.base_table).expect("base table").row_count();
+    eprintln!("# fitting on {} ({} base rows)…", ds.base_table, base_rows);
+    let fit_start = Instant::now();
+    let model = Leva::with_config(LevaConfig::fast())
+        .base_table(&ds.base_table)
+        .target(&ds.target_column)
+        .fit(&ds.db)
+        .expect("fit");
+    let fit_s = fit_start.elapsed().as_secs_f64();
+
+    let engine = Engine::new(
+        model,
+        ServeConfig::default()
+            .with_max_wait_us(max_wait_us)
+            .with_max_batch_rows(1024),
+    )
+    .expect("engine");
+
+    eprintln!("# warming…");
+    for _ in 0..8 {
+        engine
+            .submit(FeaturizeRequest::base_rows(
+                (0..rows_per_req.min(base_rows)).collect(),
+                Featurization::RowOnly,
+            ))
+            .expect("warmup");
+    }
+
+    eprintln!("# driving {clients} clients × {iters} requests of {rows_per_req} rows…");
+    let served_rows = Arc::new(AtomicU64::new(0));
+    let bench_start = Instant::now();
+    let mut handles = Vec::new();
+    for c in 0..clients {
+        let engine = Arc::clone(&engine);
+        let served_rows = Arc::clone(&served_rows);
+        handles.push(std::thread::spawn(move || {
+            for it in 0..iters {
+                // Each client walks a different stride through the base
+                // table so merged batches contain disjoint row lists.
+                let start = (c * 131 + it * 17) % base_rows;
+                let rows: Vec<usize> = (0..rows_per_req).map(|k| (start + k) % base_rows).collect();
+                let feat = if it % 4 == 0 {
+                    Featurization::RowPlusValue
+                } else {
+                    Featurization::RowOnly
+                };
+                let resp = engine
+                    .submit(FeaturizeRequest::base_rows(rows, feat))
+                    .expect("featurize");
+                served_rows.fetch_add(resp.matrix.rows() as u64, Ordering::Relaxed);
+            }
+        }));
+    }
+    for h in handles {
+        h.join().unwrap();
+    }
+    let wall_s = bench_start.elapsed().as_secs_f64();
+
+    let m = engine.metrics();
+    let latency = m.latency_snapshot();
+    let batch = m.batch_rows_snapshot();
+    let total_rows = served_rows.load(Ordering::Relaxed);
+    let rows_per_s = total_rows as f64 / wall_s;
+    let requests = (clients * iters) as u64;
+    let batches = m.batches.load(Ordering::Relaxed);
+
+    let mut json = String::with_capacity(512);
+    json.push_str("{\n");
+    json.push_str("  \"bench\": \"serve\",\n");
+    json.push_str(&format!("  \"scale\": {scale},\n"));
+    json.push_str(&format!("  \"clients\": {clients},\n"));
+    json.push_str(&format!("  \"iters_per_client\": {iters},\n"));
+    json.push_str(&format!("  \"rows_per_request\": {rows_per_req},\n"));
+    json.push_str(&format!("  \"max_wait_us\": {max_wait_us},\n"));
+    json.push_str(&format!("  \"fit_s\": {fit_s:.3},\n"));
+    json.push_str(&format!("  \"wall_s\": {wall_s:.3},\n"));
+    json.push_str(&format!("  \"requests\": {requests},\n"));
+    json.push_str(&format!("  \"rows\": {total_rows},\n"));
+    json.push_str(&format!("  \"rows_per_s\": {rows_per_s:.1},\n"));
+    json.push_str(&format!("  \"batches\": {batches},\n"));
+    json.push_str(&format!(
+        "  \"mean_batch_rows\": {:.2},\n",
+        if batches == 0 {
+            0.0
+        } else {
+            total_rows as f64 / batches as f64
+        }
+    ));
+    json.push_str(&format!(
+        "  \"latency_us\": {{\"p50\": {}, \"p95\": {}, \"p99\": {}}},\n",
+        latency.quantile(0.50),
+        latency.quantile(0.95),
+        latency.quantile(0.99)
+    ));
+    json.push_str("  \"batch_rows_histogram\": [");
+    for (i, (lo, count)) in batch.buckets().iter().enumerate() {
+        if i > 0 {
+            json.push_str(", ");
+        }
+        json.push_str(&format!("[{lo}, {count}]"));
+    }
+    json.push_str("]\n}\n");
+
+    if let Some(dir) = std::path::Path::new(&out).parent() {
+        std::fs::create_dir_all(dir).expect("create results dir");
+    }
+    std::fs::write(&out, &json).expect("write results");
+    println!("{json}");
+    eprintln!("# wrote {out}");
+    engine.shutdown();
+}

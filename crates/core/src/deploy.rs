@@ -118,15 +118,34 @@ impl LevaModel {
         }
     }
 
+    /// Number of rows in the base table (the row count of
+    /// [`RowSource::BaseAll`](crate::RowSource)).
+    pub fn base_row_count(&self) -> usize {
+        self.tokenized
+            .tables
+            .get(self.base_table_index)
+            .map(|t| t.rows.len())
+            .unwrap_or(0)
+    }
+
     /// Featurizes in-graph base-table rows (by row index) into a matrix.
     ///
     /// Rows are sharded over deterministic thread bands
     /// ([`LevaConfig::threads`](crate::LevaConfig)); results are bitwise
     /// identical at any thread count. A row index outside the base table
-    /// featurizes to a zero row — use
-    /// [`LevaModel::try_featurize_base_rows`] to surface that as a typed
-    /// error instead.
+    /// featurizes to a zero row — this is the lenient variant of the
+    /// unified [`LevaModel::featurize`] entry point, sharing its kernel;
+    /// use [`LevaModel::try_featurize_base_rows`] (or `featurize` itself)
+    /// to surface bad indices as typed errors instead.
     pub fn featurize_base_rows(&self, rows: &[usize], feat: Featurization) -> Matrix {
+        self.featurize_base_rows_kernel(rows, feat)
+    }
+
+    /// The banded parallel base-row kernel behind both the unified
+    /// [`LevaModel::featurize`] entry point and the lenient
+    /// [`LevaModel::featurize_base_rows`] wrapper. Out-of-range indices
+    /// produce zero rows; strict callers validate beforehand.
+    pub(crate) fn featurize_base_rows_kernel(&self, rows: &[usize], feat: Featurization) -> Matrix {
         let fz = self.featurizer();
         let width = self.feature_dim(feat);
         let mut out = Matrix::zeros(rows.len(), width);
@@ -153,30 +172,25 @@ impl LevaModel {
 
     /// Like [`LevaModel::featurize_base_rows`], but any out-of-range row
     /// index is a typed [`LevaError::NodeIndex`] instead of a zero row.
+    /// Delegates to the unified [`LevaModel::featurize`] entry point.
     pub fn try_featurize_base_rows(
         &self,
         rows: &[usize],
         feat: Featurization,
     ) -> Result<Matrix, LevaError> {
-        for &r in rows {
-            self.graph.try_row_node(self.base_table_index, r)?;
-        }
-        Ok(self.featurize_base_rows(rows, feat))
+        self.featurize(&crate::FeaturizeRequest::base_rows(rows.to_vec(), feat))
     }
 
-    /// Featurizes all rows of the base table.
+    /// Featurizes all rows of the base table. Delegates to the unified
+    /// [`LevaModel::featurize`] entry point with
+    /// [`RowSource::BaseAll`](crate::RowSource), which uses the stored
+    /// base-table index — a by-name lookup that disagreed with it would
+    /// silently featurize zero rows.
     pub fn featurize_base(&self, feat: Featurization) -> Matrix {
-        // Use the stored index, exactly as `featurize_base_rows` does — a
-        // by-name lookup that disagreed with it would silently featurize
-        // zero rows.
-        let n = self
-            .tokenized
-            .tables
-            .get(self.base_table_index)
-            .map(|t| t.rows.len())
-            .unwrap_or(0);
-        let rows: Vec<usize> = (0..n).collect();
-        self.featurize_base_rows(&rows, feat)
+        self.featurize(&crate::FeaturizeRequest::base_all(feat))
+            // BaseAll performs no fallible lookups; keep the wrapper
+            // infallible (and panic-free) like it always was.
+            .unwrap_or_else(|_| Matrix::zeros(0, self.feature_dim(feat)))
     }
 
     /// Reference (two-hop walk) implementation of
@@ -200,8 +214,20 @@ impl LevaModel {
     /// schema (minus the target column). Unseen values are quantized by the
     /// training encoders; completely unseen tokens contribute nothing. Rows
     /// are sharded over deterministic thread bands, bitwise identical at
-    /// any thread count.
+    /// any thread count. Shares its kernel with the unified
+    /// [`LevaModel::featurize`] entry point
+    /// ([`RowSource::External`](crate::RowSource)); the borrowed-table
+    /// signature is kept so callers need not move their table into a
+    /// request.
     pub fn featurize_external(&self, table: &Table, feat: Featurization) -> Matrix {
+        self.featurize_external_kernel(table, feat)
+    }
+
+    /// The whole-table external kernel behind the unified
+    /// [`LevaModel::featurize`] entry point and
+    /// [`LevaModel::featurize_external`]: encoders resolved once, rows
+    /// featurized in one banded chunk.
+    pub(crate) fn featurize_external_kernel(&self, table: &Table, feat: Featurization) -> Matrix {
         let encoders = self.external_encoders(table);
         self.featurize_external_chunk(table, &encoders, 0..table.row_count(), feat)
     }

@@ -62,6 +62,7 @@ mod featurizer;
 mod finetune;
 mod memory;
 mod pipeline;
+mod request;
 mod timing;
 
 pub use artifact::ArtifactError;
@@ -72,7 +73,6 @@ pub use featurizer::Featurizer;
 pub use finetune::{droppable_tables, finetune_drop_tables};
 pub use leva_relational::{CellIssue, IngestMode, IngestOptions, IngestReport, IssueReason};
 pub use memory::{estimate, mf_fits, MemoryEstimate};
-#[allow(deprecated)]
-pub use pipeline::fit;
 pub use pipeline::{Leva, LevaError, LevaModel, MethodUsed};
+pub use request::{FeaturizeRequest, RowSource};
 pub use timing::{process_cpu_time, StageTiming, StageTimings};

@@ -11,8 +11,8 @@
 //!     .fit(&db)?;
 //! ```
 //!
-//! The free function [`fit`] is a deprecated shim over the builder, kept so
-//! pre-builder call sites continue to compile.
+//! (The pre-builder free `fit()` shim, deprecated since the builder landed,
+//! has been removed; the builder is the only entry point.)
 
 use crate::config::{EmbeddingMethod, LevaConfig};
 use crate::featurizer::Featurizer;
@@ -286,29 +286,7 @@ impl Leva {
     }
 }
 
-/// Fits Leva on a database.
-///
-/// `target_column`, when given, is removed from the base table before
-/// textification so the embedding never sees the label — the supervision
-/// signal acts only on the *downstream* model, as in the paper.
-#[deprecated(
-    since = "0.2.0",
-    note = "use the builder: `Leva::with_config(cfg).base_table(..).target(..).fit(db)`"
-)]
-pub fn fit(
-    db: &Database,
-    base_table: &str,
-    target_column: Option<&str>,
-    config: &LevaConfig,
-) -> Result<LevaModel, LevaError> {
-    let mut builder = Leva::with_config(config.clone()).base_table(base_table);
-    if let Some(target) = target_column {
-        builder = builder.target(target);
-    }
-    builder.fit(db)
-}
-
-/// The pipeline body shared by the builder and the deprecated shim.
+/// The pipeline body behind [`Leva::fit`].
 fn run_pipeline(
     db: &Database,
     base_table: &str,
@@ -605,16 +583,22 @@ mod tests {
         assert_eq!(model.store.len(), model.graph.n_nodes());
     }
 
+    /// What the (now removed) `fit()` shim-equivalence test guarded: two
+    /// builder invocations with the same config, base table, and target
+    /// produce identical stores — fitting is a pure function of its
+    /// declared inputs.
     #[test]
-    #[allow(deprecated)]
-    fn deprecated_fit_shim_matches_builder() {
+    fn builder_refit_is_reproducible() {
         let database = db();
-        let cfg = LevaConfig::fast();
-        let via_shim = fit(&database, "base", Some("target"), &cfg).unwrap();
-        let via_builder = fit_fast(&database);
-        assert_eq!(via_shim.store.len(), via_builder.store.len());
-        for token in via_shim.store.sorted_tokens() {
-            assert_eq!(via_shim.store.get(token), via_builder.store.get(token));
+        let first = Leva::with_config(LevaConfig::fast())
+            .base_table("base")
+            .target("target")
+            .fit(&database)
+            .unwrap();
+        let second = fit_fast(&database);
+        assert_eq!(first.store.len(), second.store.len());
+        for token in first.store.sorted_tokens() {
+            assert_eq!(first.store.get(token), second.store.get(token));
         }
     }
 }

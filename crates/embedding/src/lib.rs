@@ -18,6 +18,7 @@
 #![allow(clippy::needless_range_loop)]
 
 mod corpus;
+pub mod json;
 mod mf;
 mod node2vec;
 mod serialize;
@@ -30,7 +31,7 @@ pub use mf::{build_mf_embedding, proximity_matrix, MfConfig};
 pub use node2vec::{node2vec_walks, Node2VecConfig};
 pub use serialize::{decode_corpus, encode_corpus, CorpusDecodeError};
 pub use sgns::{train_sgns, SgnsConfig, SgnsModel};
-pub use store::{DenseView, EmbeddingStore, UnknownTokenError};
+pub use store::{DenseView, EmbeddingStore, StoreFileError, UnknownTokenError};
 pub use walks::{build_alias_tables, estimated_alias_bytes, generate_walks, WalkConfig};
 
 pub use leva_interner::{TokenId, TokenInterner};

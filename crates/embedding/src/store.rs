@@ -10,10 +10,16 @@
 //! ([`EmbeddingStore::insert`], [`EmbeddingStore::get`]) remains for the
 //! serialization, deployment, and baseline boundaries.
 
-use leva_interner::codec::{ByteReader, ByteWriter, DecodeError};
+use crate::json;
+use leva_interner::codec::{crc32, ByteReader, ByteWriter, DecodeError};
 use leva_interner::{TokenId, TokenInterner};
 use leva_linalg::{Matrix, Pca};
 use std::sync::Arc;
+
+/// Magic bytes of the standalone binary store file format.
+const STORE_MAGIC: &[u8; 4] = b"LVST";
+/// Version of the standalone binary store file format.
+const STORE_VERSION: u32 = 1;
 
 /// A token → vector map with a fixed dimensionality, stored densely over
 /// the interned `TokenId` space.
@@ -346,15 +352,121 @@ impl EmbeddingStore {
         Ok(store)
     }
 
-    /// Writes the store to a JSON file.
-    pub fn save(&self, path: impl AsRef<std::path::Path>) -> std::io::Result<()> {
-        std::fs::write(path, self.to_json())
+    /// Serializes the store (symbol table + vectors) into the standalone
+    /// binary file format: `LVST | u32 version | u32 crc32 | payload`, the
+    /// same bounded codec substrate as the model artifact. Vectors
+    /// round-trip bit-exactly, unlike the JSON export (which loses NaN
+    /// payloads and ±inf to `null`).
+    pub fn to_store_bytes(&self) -> Vec<u8> {
+        let mut payload = ByteWriter::new();
+        self.symbols.encode_into(&mut payload);
+        self.encode_into(&mut payload);
+        let payload = payload.into_bytes();
+        let mut w = ByteWriter::with_capacity(payload.len() + 12);
+        w.put_raw(STORE_MAGIC);
+        w.put_u32(STORE_VERSION);
+        w.put_u32(crc32(&payload));
+        w.put_raw(&payload);
+        w.into_bytes()
     }
 
-    /// Loads a store from a JSON file.
-    pub fn load(path: impl AsRef<std::path::Path>) -> std::io::Result<EmbeddingStore> {
-        let data = std::fs::read_to_string(path)?;
-        Self::from_json(&data).map_err(std::io::Error::other)
+    /// Decodes a store written by [`EmbeddingStore::to_store_bytes`].
+    /// Strictly bounded: every declared length is validated against the
+    /// remaining buffer before allocation, and every failure is a typed
+    /// [`StoreFileError`] — including a dedicated message when the bytes
+    /// look like the deprecated JSON store format.
+    pub fn from_store_bytes(bytes: &[u8]) -> Result<EmbeddingStore, StoreFileError> {
+        let mut r = ByteReader::new(bytes);
+        let magic = r.take_raw(4).map_err(StoreFileError::Decode)?;
+        if magic != STORE_MAGIC {
+            return Err(StoreFileError::BadMagic {
+                looks_like_legacy_json: bytes.first() == Some(&b'{'),
+            });
+        }
+        let version = r.take_u32().map_err(StoreFileError::Decode)?;
+        if version != STORE_VERSION {
+            return Err(StoreFileError::UnsupportedVersion(version));
+        }
+        let crc = r.take_u32().map_err(StoreFileError::Decode)?;
+        let payload = r.take_raw(r.remaining()).map_err(StoreFileError::Decode)?;
+        if crc32(payload) != crc {
+            return Err(StoreFileError::ChecksumMismatch);
+        }
+        let mut r = ByteReader::new(payload);
+        let symbols = Arc::new(TokenInterner::decode(&mut r).map_err(StoreFileError::Decode)?);
+        let store =
+            EmbeddingStore::decode_with_symbols(&mut r, symbols).map_err(StoreFileError::Decode)?;
+        if !r.is_exhausted() {
+            return Err(StoreFileError::Decode(DecodeError::Invalid(
+                "trailing bytes after store payload",
+            )));
+        }
+        Ok(store)
+    }
+
+    /// Writes the store to a file in the binary `LVST` format
+    /// (see [`EmbeddingStore::to_store_bytes`]).
+    pub fn save(&self, path: impl AsRef<std::path::Path>) -> Result<(), StoreFileError> {
+        std::fs::write(path, self.to_store_bytes()).map_err(StoreFileError::Io)
+    }
+
+    /// Loads a store saved by [`EmbeddingStore::save`]. Files in the
+    /// deprecated JSON format are rejected with a migration hint — read
+    /// those with [`EmbeddingStore::from_json`] and re-save.
+    pub fn load(path: impl AsRef<std::path::Path>) -> Result<EmbeddingStore, StoreFileError> {
+        Self::from_store_bytes(&std::fs::read(path).map_err(StoreFileError::Io)?)
+    }
+}
+
+/// Errors produced while reading or writing a standalone store file.
+#[derive(Debug)]
+pub enum StoreFileError {
+    /// Reading or writing the file failed.
+    Io(std::io::Error),
+    /// The buffer does not start with the `LVST` magic bytes.
+    BadMagic {
+        /// True when the bytes look like the deprecated JSON store format
+        /// (pre-binary `save`), which must be migrated via
+        /// [`EmbeddingStore::from_json`].
+        looks_like_legacy_json: bool,
+    },
+    /// The file was written by an unsupported format version.
+    UnsupportedVersion(u32),
+    /// The payload does not match its CRC-32 header.
+    ChecksumMismatch,
+    /// The payload failed bounded decoding.
+    Decode(DecodeError),
+}
+
+impl std::fmt::Display for StoreFileError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            Self::Io(e) => write!(f, "store file I/O error: {e}"),
+            Self::BadMagic {
+                looks_like_legacy_json: true,
+            } => write!(
+                f,
+                "not a binary embedding store (bad magic): this looks like the \
+                 deprecated JSON store format — load it with \
+                 EmbeddingStore::from_json and re-save to migrate"
+            ),
+            Self::BadMagic { .. } => {
+                write!(f, "not a binary embedding store (bad magic)")
+            }
+            Self::UnsupportedVersion(v) => write!(f, "unsupported store file version {v}"),
+            Self::ChecksumMismatch => write!(f, "store payload failed its CRC-32 check"),
+            Self::Decode(e) => write!(f, "store payload failed to decode: {e}"),
+        }
+    }
+}
+
+impl std::error::Error for StoreFileError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            Self::Io(e) => Some(e),
+            Self::Decode(e) => Some(e),
+            _ => None,
+        }
     }
 }
 
@@ -381,270 +493,9 @@ impl std::fmt::Display for StoreJsonError {
 
 impl std::error::Error for StoreJsonError {}
 
-/// Minimal hand-rolled JSON reader/writer (the workspace builds offline,
-/// without serde). Only what the store format needs, but the parser
-/// accepts arbitrary well-formed JSON.
-mod json {
-    use super::StoreJsonError;
-
-    // The parser accepts all of JSON even though the store format only
-    // reads numbers, arrays, and objects; the unused payloads stay so
-    // parse errors point at syntax, not at unsupported constructs.
-    #[derive(Debug, Clone)]
-    #[allow(dead_code)]
-    pub enum Value {
-        Null,
-        Bool(bool),
-        Num(f64),
-        Str(String),
-        Arr(Vec<Value>),
-        Obj(Vec<(String, Value)>),
-    }
-
-    impl Value {
-        pub fn as_object(&self) -> Option<&[(String, Value)]> {
-            match self {
-                Value::Obj(fields) => Some(fields),
-                _ => None,
-            }
-        }
-
-        pub fn as_array(&self) -> Option<&[Value]> {
-            match self {
-                Value::Arr(items) => Some(items),
-                _ => None,
-            }
-        }
-
-        pub fn as_f64(&self) -> Option<f64> {
-            match self {
-                Value::Num(x) => Some(*x),
-                _ => None,
-            }
-        }
-
-        /// Numbers pass through; `null` decodes as NaN (the writer encodes
-        /// non-finite components as `null` because JSON has no NaN/Inf).
-        pub fn as_f64_or_null(&self) -> Option<f64> {
-            match self {
-                Value::Num(x) => Some(*x),
-                Value::Null => Some(f64::NAN),
-                _ => None,
-            }
-        }
-    }
-
-    /// Writes `s` as a JSON string literal with escapes.
-    pub fn write_string(out: &mut String, s: &str) {
-        out.push('"');
-        for c in s.chars() {
-            match c {
-                '"' => out.push_str("\\\""),
-                '\\' => out.push_str("\\\\"),
-                '\n' => out.push_str("\\n"),
-                '\r' => out.push_str("\\r"),
-                '\t' => out.push_str("\\t"),
-                c if (c as u32) < 0x20 => {
-                    out.push_str(&format!("\\u{:04x}", c as u32));
-                }
-                c => out.push(c),
-            }
-        }
-        out.push('"');
-    }
-
-    /// Writes an f64 so it parses back bit-exactly; non-finite values
-    /// (unrepresentable in JSON) are written as `null`.
-    pub fn write_f64(out: &mut String, v: f64) {
-        if v.is_finite() {
-            // `{:?}` is Rust's shortest round-trip representation.
-            out.push_str(&format!("{v:?}"));
-        } else {
-            out.push_str("null");
-        }
-    }
-
-    pub fn parse(s: &str) -> Result<Value, StoreJsonError> {
-        let mut p = Parser {
-            bytes: s.as_bytes(),
-            pos: 0,
-        };
-        p.skip_ws();
-        let v = p.value()?;
-        p.skip_ws();
-        if p.pos != p.bytes.len() {
-            return Err(p.err());
-        }
-        Ok(v)
-    }
-
-    struct Parser<'a> {
-        bytes: &'a [u8],
-        pos: usize,
-    }
-
-    impl Parser<'_> {
-        fn err(&self) -> StoreJsonError {
-            StoreJsonError::Syntax { offset: self.pos }
-        }
-
-        fn peek(&self) -> Option<u8> {
-            self.bytes.get(self.pos).copied()
-        }
-
-        fn skip_ws(&mut self) {
-            while matches!(self.peek(), Some(b' ' | b'\t' | b'\n' | b'\r')) {
-                self.pos += 1;
-            }
-        }
-
-        fn expect(&mut self, b: u8) -> Result<(), StoreJsonError> {
-            if self.peek() == Some(b) {
-                self.pos += 1;
-                Ok(())
-            } else {
-                Err(self.err())
-            }
-        }
-
-        fn literal(&mut self, lit: &str) -> Result<(), StoreJsonError> {
-            if self.bytes[self.pos..].starts_with(lit.as_bytes()) {
-                self.pos += lit.len();
-                Ok(())
-            } else {
-                Err(self.err())
-            }
-        }
-
-        fn value(&mut self) -> Result<Value, StoreJsonError> {
-            match self.peek().ok_or_else(|| self.err())? {
-                b'{' => self.object(),
-                b'[' => self.array(),
-                b'"' => Ok(Value::Str(self.string()?)),
-                b't' => self.literal("true").map(|_| Value::Bool(true)),
-                b'f' => self.literal("false").map(|_| Value::Bool(false)),
-                b'n' => self.literal("null").map(|_| Value::Null),
-                _ => self.number(),
-            }
-        }
-
-        fn object(&mut self) -> Result<Value, StoreJsonError> {
-            self.expect(b'{')?;
-            let mut fields = Vec::new();
-            self.skip_ws();
-            if self.peek() == Some(b'}') {
-                self.pos += 1;
-                return Ok(Value::Obj(fields));
-            }
-            loop {
-                self.skip_ws();
-                let key = self.string()?;
-                self.skip_ws();
-                self.expect(b':')?;
-                self.skip_ws();
-                let val = self.value()?;
-                fields.push((key, val));
-                self.skip_ws();
-                match self.peek() {
-                    Some(b',') => self.pos += 1,
-                    Some(b'}') => {
-                        self.pos += 1;
-                        return Ok(Value::Obj(fields));
-                    }
-                    _ => return Err(self.err()),
-                }
-            }
-        }
-
-        fn array(&mut self) -> Result<Value, StoreJsonError> {
-            self.expect(b'[')?;
-            let mut items = Vec::new();
-            self.skip_ws();
-            if self.peek() == Some(b']') {
-                self.pos += 1;
-                return Ok(Value::Arr(items));
-            }
-            loop {
-                self.skip_ws();
-                items.push(self.value()?);
-                self.skip_ws();
-                match self.peek() {
-                    Some(b',') => self.pos += 1,
-                    Some(b']') => {
-                        self.pos += 1;
-                        return Ok(Value::Arr(items));
-                    }
-                    _ => return Err(self.err()),
-                }
-            }
-        }
-
-        fn string(&mut self) -> Result<String, StoreJsonError> {
-            self.expect(b'"')?;
-            let mut out = String::new();
-            loop {
-                match self.peek().ok_or_else(|| self.err())? {
-                    b'"' => {
-                        self.pos += 1;
-                        return Ok(out);
-                    }
-                    b'\\' => {
-                        self.pos += 1;
-                        match self.peek().ok_or_else(|| self.err())? {
-                            b'"' => out.push('"'),
-                            b'\\' => out.push('\\'),
-                            b'/' => out.push('/'),
-                            b'b' => out.push('\u{8}'),
-                            b'f' => out.push('\u{c}'),
-                            b'n' => out.push('\n'),
-                            b'r' => out.push('\r'),
-                            b't' => out.push('\t'),
-                            b'u' => {
-                                let hex = self
-                                    .bytes
-                                    .get(self.pos + 1..self.pos + 5)
-                                    .ok_or_else(|| self.err())?;
-                                let hex = std::str::from_utf8(hex).map_err(|_| self.err())?;
-                                let code = u32::from_str_radix(hex, 16).map_err(|_| self.err())?;
-                                // Surrogate pairs are not emitted by our
-                                // writer; map lone surrogates to U+FFFD.
-                                out.push(char::from_u32(code).unwrap_or('\u{fffd}'));
-                                self.pos += 4;
-                            }
-                            _ => return Err(self.err()),
-                        }
-                        self.pos += 1;
-                    }
-                    _ => {
-                        // Consume one UTF-8 scalar (input is a &str, so
-                        // boundaries are valid).
-                        let start = self.pos;
-                        let rest =
-                            std::str::from_utf8(&self.bytes[start..]).map_err(|_| self.err())?;
-                        let c = rest.chars().next().ok_or_else(|| self.err())?;
-                        out.push(c);
-                        self.pos += c.len_utf8();
-                    }
-                }
-            }
-        }
-
-        fn number(&mut self) -> Result<Value, StoreJsonError> {
-            let start = self.pos;
-            while matches!(
-                self.peek(),
-                Some(b'-' | b'+' | b'.' | b'e' | b'E' | b'0'..=b'9')
-            ) {
-                self.pos += 1;
-            }
-            if start == self.pos {
-                return Err(self.err());
-            }
-            let text = std::str::from_utf8(&self.bytes[start..self.pos]).map_err(|_| self.err())?;
-            text.parse::<f64>()
-                .map(Value::Num)
-                .map_err(|_| StoreJsonError::Syntax { offset: start })
-        }
+impl From<json::ParseError> for StoreJsonError {
+    fn from(e: json::ParseError) -> Self {
+        Self::Syntax { offset: e.offset }
     }
 }
 
@@ -722,7 +573,7 @@ mod tests {
         let s = store();
         let dir = std::env::temp_dir().join("leva_store_test");
         std::fs::create_dir_all(&dir).unwrap();
-        let path = dir.join("emb.json");
+        let path = dir.join("emb.lvst");
         s.save(&path).unwrap();
         let back = EmbeddingStore::load(&path).unwrap();
         assert_eq!(back.len(), s.len());
@@ -732,7 +583,90 @@ mod tests {
 
     #[test]
     fn load_missing_file_errors() {
-        assert!(EmbeddingStore::load("/definitely/not/a/file.json").is_err());
+        let err = EmbeddingStore::load("/definitely/not/a/file.lvst").unwrap_err();
+        assert!(matches!(err, StoreFileError::Io(_)), "{err}");
+    }
+
+    /// The binary store file round-trips bit-exactly (including NaN
+    /// payloads and ±inf, which the JSON export cannot represent).
+    #[test]
+    fn store_file_round_trips_bit_exactly() {
+        let mut s = EmbeddingStore::new(2);
+        s.insert("a", vec![f64::NAN, f64::INFINITY]);
+        s.insert("b", vec![-0.0, 2.0_f64.powi(-1022)]);
+        let bytes = s.to_store_bytes();
+        let back = EmbeddingStore::from_store_bytes(&bytes).unwrap();
+        assert_eq!(back.len(), s.len());
+        assert_eq!(back.dim(), s.dim());
+        for token in ["a", "b"] {
+            for (x, y) in s.get(token).unwrap().iter().zip(back.get(token).unwrap()) {
+                assert_eq!(x.to_bits(), y.to_bits());
+            }
+        }
+        // Fixed point: re-encoding the loaded store reproduces the bytes.
+        assert_eq!(back.to_store_bytes(), bytes);
+    }
+
+    /// A file in the deprecated JSON format is rejected with a migration
+    /// hint, not a generic decode error.
+    #[test]
+    fn legacy_json_store_gets_migration_hint() {
+        let s = store();
+        let err = EmbeddingStore::from_store_bytes(s.to_json().as_bytes()).unwrap_err();
+        assert!(
+            matches!(
+                err,
+                StoreFileError::BadMagic {
+                    looks_like_legacy_json: true
+                }
+            ),
+            "{err}"
+        );
+        assert!(err.to_string().contains("from_json"), "{err}");
+        // Arbitrary non-store bytes get the plain bad-magic error.
+        let err = EmbeddingStore::from_store_bytes(b"ELF\x7f....").unwrap_err();
+        assert!(
+            matches!(
+                err,
+                StoreFileError::BadMagic {
+                    looks_like_legacy_json: false
+                }
+            ),
+            "{err}"
+        );
+    }
+
+    #[test]
+    fn store_file_rejects_corruption() {
+        let s = store();
+        let bytes = s.to_store_bytes();
+        // Every truncation is a typed error.
+        for cut in 0..bytes.len() {
+            assert!(
+                EmbeddingStore::from_store_bytes(&bytes[..cut]).is_err(),
+                "cut at {cut} decoded"
+            );
+        }
+        // Any payload bit flip trips the CRC.
+        let mut flipped = bytes.clone();
+        let last = flipped.len() - 1;
+        flipped[last] ^= 0x40;
+        assert!(matches!(
+            EmbeddingStore::from_store_bytes(&flipped).unwrap_err(),
+            StoreFileError::ChecksumMismatch | StoreFileError::Decode(_)
+        ));
+        // Version bumps are rejected.
+        let mut vbump = bytes.clone();
+        vbump[4] = 9;
+        assert!(matches!(
+            EmbeddingStore::from_store_bytes(&vbump).unwrap_err(),
+            StoreFileError::UnsupportedVersion(9)
+        ));
+        // Trailing bytes after the payload are rejected (CRC covers the
+        // declared payload, so extend-and-refresh is the hostile case).
+        let mut trailing = s.to_store_bytes();
+        trailing.push(0);
+        assert!(EmbeddingStore::from_store_bytes(&trailing).is_err());
     }
 
     #[test]

@@ -1,0 +1,121 @@
+//! Serving-daemon configuration: the coalescing, capacity, and protocol
+//! knobs (DESIGN.md §6.12).
+
+use std::time::Duration;
+
+/// Configuration for the serving daemon and its coalescing engine.
+#[derive(Debug, Clone)]
+pub struct ServeConfig {
+    /// Listen address (`host:port`; port `0` asks the OS for an ephemeral
+    /// port, the shape tests use).
+    pub addr: String,
+    /// Maximum rows accumulated into one coalesced featurize call before
+    /// the batch flushes regardless of the wait budget.
+    pub max_batch_rows: usize,
+    /// How long a batch worker holds the first queued request open for
+    /// more arrivals before flushing (the `max-wait-µs` knob; latency
+    /// ceiling added by coalescing).
+    pub max_wait: Duration,
+    /// Bounded queue capacity in *requests*; arrivals beyond it are
+    /// rejected with an overload error instead of growing memory.
+    pub queue_capacity: usize,
+    /// Number of batch-executor threads draining the queue. Each batch
+    /// runs the model's own banded row parallelism, so one worker already
+    /// uses every core; more workers trade coalescing opportunity for
+    /// pipeline overlap.
+    pub batch_workers: usize,
+    /// Maximum accepted HTTP body / binary frame size in bytes (model
+    /// artifacts arrive through `/admin/swap`, so this bounds swap size
+    /// too).
+    pub max_body_bytes: usize,
+    /// Maximum concurrently served connections; excess connections get an
+    /// immediate 503 and are closed.
+    pub max_connections: usize,
+}
+
+impl Default for ServeConfig {
+    fn default() -> Self {
+        Self {
+            addr: "127.0.0.1:7878".to_owned(),
+            max_batch_rows: 512,
+            max_wait: Duration::from_micros(2_000),
+            queue_capacity: 4_096,
+            batch_workers: 1,
+            max_body_bytes: 256 << 20,
+            max_connections: 256,
+        }
+    }
+}
+
+impl ServeConfig {
+    /// Validates the configuration, mirroring `LevaConfig::validate`.
+    pub fn validate(&self) -> Result<(), String> {
+        if self.max_batch_rows == 0 {
+            return Err("max_batch_rows must be at least 1".to_owned());
+        }
+        if self.queue_capacity == 0 {
+            return Err("queue_capacity must be at least 1".to_owned());
+        }
+        if self.batch_workers == 0 {
+            return Err("batch_workers must be at least 1".to_owned());
+        }
+        if self.max_body_bytes == 0 {
+            return Err("max_body_bytes must be at least 1".to_owned());
+        }
+        if self.max_connections == 0 {
+            return Err("max_connections must be at least 1".to_owned());
+        }
+        Ok(())
+    }
+
+    /// Sets the listen address.
+    pub fn with_addr(mut self, addr: impl Into<String>) -> Self {
+        self.addr = addr.into();
+        self
+    }
+
+    /// Sets the coalescing wait budget in microseconds.
+    pub fn with_max_wait_us(mut self, us: u64) -> Self {
+        self.max_wait = Duration::from_micros(us);
+        self
+    }
+
+    /// Sets the batch flush threshold in rows.
+    pub fn with_max_batch_rows(mut self, rows: usize) -> Self {
+        self.max_batch_rows = rows;
+        self
+    }
+
+    /// Sets the number of batch-executor threads.
+    pub fn with_batch_workers(mut self, workers: usize) -> Self {
+        self.batch_workers = workers;
+        self
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn default_is_valid() {
+        assert!(ServeConfig::default().validate().is_ok());
+    }
+
+    #[test]
+    fn zero_knobs_are_rejected() {
+        assert!(ServeConfig::default()
+            .with_max_batch_rows(0)
+            .validate()
+            .is_err());
+        assert!(ServeConfig::default()
+            .with_batch_workers(0)
+            .validate()
+            .is_err());
+        let c = ServeConfig {
+            queue_capacity: 0,
+            ..ServeConfig::default()
+        };
+        assert!(c.validate().is_err());
+    }
+}

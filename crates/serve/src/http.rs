@@ -1,0 +1,399 @@
+//! The network front end: one `TcpListener` multiplexing HTTP/1.1 and
+//! the binary protocol (sniffed via a 4-byte `peek` for
+//! [`BINARY_MAGIC`](crate::wire::BINARY_MAGIC)), a thread per connection
+//! under a hard cap, and the admin surface (`/metrics`, `/healthz`,
+//! `/admin/swap`, `/admin/shutdown`).
+//!
+//! Hand-rolled on `std::net` — the workspace builds offline with no HTTP
+//! or async dependencies, and the server needs exactly five routes.
+
+use std::collections::HashMap;
+use std::io::{BufRead, BufReader, Read, Write};
+use std::net::{SocketAddr, TcpListener, TcpStream};
+use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
+use std::sync::Arc;
+use std::thread::JoinHandle;
+
+use crate::engine::{Engine, ServeError};
+use crate::wire;
+
+const MAX_HEAD_BYTES: usize = 16 << 10;
+
+/// A running server: the listener thread plus a shared [`Engine`].
+pub struct Server {
+    engine: Arc<Engine>,
+    addr: SocketAddr,
+    stop: Arc<AtomicBool>,
+    acceptor: Option<JoinHandle<()>>,
+}
+
+impl Server {
+    /// Binds the engine's configured address and starts accepting
+    /// connections. Use port `0` to bind an ephemeral port (tests).
+    pub fn start(engine: Arc<Engine>) -> Result<Server, ServeError> {
+        let listener = TcpListener::bind(&engine.config().addr)?;
+        let addr = listener.local_addr()?;
+        let stop = Arc::new(AtomicBool::new(false));
+        let active = Arc::new(AtomicUsize::new(0));
+        let acceptor = {
+            let engine = Arc::clone(&engine);
+            let stop = Arc::clone(&stop);
+            std::thread::spawn(move || {
+                for conn in listener.incoming() {
+                    if stop.load(Ordering::SeqCst) {
+                        break;
+                    }
+                    let Ok(stream) = conn else { continue };
+                    if active.load(Ordering::SeqCst) >= engine.config().max_connections {
+                        let _ = reject_busy(stream);
+                        continue;
+                    }
+                    active.fetch_add(1, Ordering::SeqCst);
+                    let engine = Arc::clone(&engine);
+                    let stop = Arc::clone(&stop);
+                    let active = Arc::clone(&active);
+                    std::thread::spawn(move || {
+                        let _ = serve_connection(stream, &engine, &stop);
+                        active.fetch_sub(1, Ordering::SeqCst);
+                    });
+                }
+            })
+        };
+        Ok(Server {
+            engine,
+            addr,
+            stop,
+            acceptor: Some(acceptor),
+        })
+    }
+
+    /// The bound address (reports the OS-assigned port when bound to 0).
+    pub fn local_addr(&self) -> SocketAddr {
+        self.addr
+    }
+
+    /// The server's engine (for in-process swaps and metrics).
+    pub fn engine(&self) -> &Arc<Engine> {
+        &self.engine
+    }
+
+    /// True once `/admin/shutdown` was hit or [`Server::shutdown`] ran.
+    pub fn is_stopping(&self) -> bool {
+        self.stop.load(Ordering::SeqCst)
+    }
+
+    /// Stops accepting, drains the engine queue, and joins the acceptor.
+    pub fn shutdown(&mut self) {
+        request_stop(&self.stop, self.addr);
+        self.engine.shutdown();
+        if let Some(h) = self.acceptor.take() {
+            let _ = h.join();
+        }
+    }
+}
+
+impl Drop for Server {
+    fn drop(&mut self) {
+        self.shutdown();
+    }
+}
+
+/// Flags the acceptor to stop and wakes it with a throwaway connection
+/// (the `incoming()` iterator only notices the flag on its next accept).
+fn request_stop(stop: &AtomicBool, addr: SocketAddr) {
+    if stop.swap(true, Ordering::SeqCst) {
+        return;
+    }
+    let _ = TcpStream::connect(addr);
+}
+
+fn reject_busy(mut stream: TcpStream) -> std::io::Result<()> {
+    stream.write_all(
+        b"HTTP/1.1 503 Service Unavailable\r\ncontent-length: 0\r\nconnection: close\r\n\r\n",
+    )
+}
+
+/// Handles one connection: sniffs the first four bytes to pick the
+/// protocol, then loops over requests until close/shutdown.
+fn serve_connection(
+    stream: TcpStream,
+    engine: &Arc<Engine>,
+    stop: &Arc<AtomicBool>,
+) -> Result<(), ServeError> {
+    let mut magic = [0u8; 4];
+    let mut seen = 0;
+    // peek returns however many bytes are buffered; wait for all four
+    // before deciding (a client may dribble the magic byte-by-byte).
+    while seen < 4 {
+        seen = stream.peek(&mut magic)?;
+        if seen == 0 {
+            return Ok(()); // closed before sending anything
+        }
+        if seen < 4 {
+            if !magic[..seen]
+                .iter()
+                .zip(wire::BINARY_MAGIC)
+                .all(|(a, b)| *a == b)
+            {
+                break; // already disagrees with the magic → HTTP
+            }
+            // Prefix matches but the client hasn't sent all four bytes;
+            // peek returns immediately, so back off instead of spinning.
+            std::thread::sleep(std::time::Duration::from_millis(1));
+        }
+    }
+    if seen >= 4 && magic == wire::BINARY_MAGIC {
+        serve_binary(stream, engine, stop)
+    } else {
+        serve_http(stream, engine, stop)
+    }
+}
+
+/// The binary session loop: consume the magic, then answer
+/// `u32 len | request` frames with `u32 len | response` frames.
+fn serve_binary(
+    mut stream: TcpStream,
+    engine: &Arc<Engine>,
+    stop: &Arc<AtomicBool>,
+) -> Result<(), ServeError> {
+    let mut magic = [0u8; 4];
+    stream.read_exact(&mut magic)?;
+    loop {
+        if stop.load(Ordering::SeqCst) {
+            return Ok(());
+        }
+        let payload = match wire::read_frame(&mut stream, engine.config().max_body_bytes) {
+            Ok(p) => p,
+            Err(ServeError::Io(e)) if e.kind() == std::io::ErrorKind::UnexpectedEof => {
+                return Ok(()); // clean close between frames
+            }
+            Err(e) => return Err(e),
+        };
+        let result =
+            wire::decode_binary_request(&payload).and_then(|request| engine.submit(request));
+        let frame = wire::encode_binary_response(&result);
+        wire::write_frame(&mut stream, &frame)?;
+    }
+}
+
+struct HttpRequest {
+    method: String,
+    path: String,
+    body: Vec<u8>,
+    keep_alive: bool,
+}
+
+/// The HTTP session loop: parse request, route, respond, honor
+/// keep-alive.
+fn serve_http(
+    stream: TcpStream,
+    engine: &Arc<Engine>,
+    stop: &Arc<AtomicBool>,
+) -> Result<(), ServeError> {
+    let mut writer = stream.try_clone()?;
+    let mut reader = BufReader::new(stream);
+    loop {
+        let request = match read_http_request(&mut reader, engine.config().max_body_bytes) {
+            Ok(Some(r)) => r,
+            Ok(None) => return Ok(()), // clean close between requests
+            Err(e) => {
+                let msg = wire::write_json_error(&e);
+                write_http_response(&mut writer, 400, "application/json", msg.as_bytes(), false)?;
+                return Err(e);
+            }
+        };
+        let keep_alive = request.keep_alive && !stop.load(Ordering::SeqCst);
+        match route(engine, stop, &request) {
+            Route::Done(status, content_type, body) => {
+                write_http_response(&mut writer, status, content_type, &body, keep_alive)?;
+            }
+            Route::Shutdown(body) => {
+                // Respond first so the caller sees the acknowledgement,
+                // then drain: close the engine queue and wake the
+                // acceptor.
+                write_http_response(&mut writer, 200, "application/json", &body, false)?;
+                request_stop(stop, writer.local_addr()?);
+                engine.shutdown();
+                return Ok(());
+            }
+        }
+        if !keep_alive {
+            return Ok(());
+        }
+    }
+}
+
+enum Route {
+    Done(u16, &'static str, Vec<u8>),
+    Shutdown(Vec<u8>),
+}
+
+fn route(engine: &Arc<Engine>, stop: &Arc<AtomicBool>, request: &HttpRequest) -> Route {
+    match (request.method.as_str(), request.path.as_str()) {
+        ("POST", "/featurize") => {
+            let result = std::str::from_utf8(&request.body)
+                .map_err(|_| ServeError::Protocol("request body is not UTF-8".into()))
+                .and_then(wire::parse_json_request)
+                .and_then(|req| engine.submit(req));
+            match result {
+                Ok(resp) => Route::Done(
+                    200,
+                    "application/json",
+                    wire::write_json_response(&resp).into_bytes(),
+                ),
+                Err(e) => Route::Done(
+                    error_status(&e),
+                    "application/json",
+                    wire::write_json_error(&e).into_bytes(),
+                ),
+            }
+        }
+        ("GET", "/metrics") => {
+            Route::Done(200, "application/json", engine.metrics_json().into_bytes())
+        }
+        ("GET", "/healthz") => {
+            let body = if stop.load(Ordering::SeqCst) {
+                &b"{\"status\":\"stopping\"}"[..]
+            } else {
+                &b"{\"status\":\"ok\"}"[..]
+            };
+            Route::Done(200, "application/json", body.to_vec())
+        }
+        ("POST", "/admin/swap") => match swap_body(engine, &request.body) {
+            Ok((version, checksum)) => Route::Done(
+                200,
+                "application/json",
+                format!("{{\"version\":{version},\"checksum\":{checksum}}}").into_bytes(),
+            ),
+            Err(e) => Route::Done(
+                409,
+                "application/json",
+                wire::write_json_error(&e).into_bytes(),
+            ),
+        },
+        ("POST", "/admin/shutdown") => Route::Shutdown(b"{\"status\":\"stopping\"}".to_vec()),
+        _ => Route::Done(
+            404,
+            "application/json",
+            b"{\"error\":\"no such route\"}".to_vec(),
+        ),
+    }
+}
+
+/// `/admin/swap` accepts either raw artifact bytes (octet-stream) or a
+/// JSON `{"path": "..."}` pointing at an artifact file on the server.
+fn swap_body(engine: &Arc<Engine>, body: &[u8]) -> Result<(u64, u32), ServeError> {
+    if body.first() == Some(&b'{') {
+        let text = std::str::from_utf8(body)
+            .map_err(|_| ServeError::Protocol("swap body is not UTF-8".into()))?;
+        let doc = leva_embedding::json::parse(text)
+            .map_err(|e| ServeError::Protocol(format!("invalid swap JSON: {e}")))?;
+        let path = doc
+            .get("path")
+            .and_then(leva_embedding::json::Value::as_str)
+            .ok_or_else(|| ServeError::Protocol("swap JSON needs a \"path\" string".into()))?;
+        engine.swap_from_path(std::path::Path::new(path))
+    } else {
+        engine.swap_from_bytes(body)
+    }
+}
+
+fn error_status(e: &ServeError) -> u16 {
+    match e {
+        ServeError::Overloaded | ServeError::ShuttingDown => 503,
+        ServeError::Protocol(_) | ServeError::Model(_) | ServeError::Artifact(_) => 400,
+        ServeError::Io(_) => 500,
+    }
+}
+
+/// Parses one HTTP/1.1 request. Returns `Ok(None)` on a clean EOF before
+/// the first byte of a request.
+fn read_http_request(
+    reader: &mut BufReader<TcpStream>,
+    max_body_bytes: usize,
+) -> Result<Option<HttpRequest>, ServeError> {
+    let mut line = String::new();
+    match reader.read_line(&mut line) {
+        Ok(0) => return Ok(None),
+        Ok(_) => {}
+        Err(e) if e.kind() == std::io::ErrorKind::UnexpectedEof => return Ok(None),
+        Err(e) => return Err(ServeError::Io(e)),
+    }
+    let mut parts = line.split_whitespace();
+    let method = parts
+        .next()
+        .ok_or_else(|| ServeError::Protocol("empty request line".into()))?
+        .to_owned();
+    let path = parts
+        .next()
+        .ok_or_else(|| ServeError::Protocol("request line has no path".into()))?
+        .to_owned();
+    let version = parts.next().unwrap_or("HTTP/1.1");
+    let mut keep_alive = version != "HTTP/1.0";
+
+    let mut headers = HashMap::new();
+    let mut head_bytes = line.len();
+    loop {
+        let mut header = String::new();
+        reader.read_line(&mut header)?;
+        head_bytes += header.len();
+        if head_bytes > MAX_HEAD_BYTES {
+            return Err(ServeError::Protocol("request head too large".into()));
+        }
+        let header = header.trim_end();
+        if header.is_empty() {
+            break;
+        }
+        if let Some((name, value)) = header.split_once(':') {
+            headers.insert(name.trim().to_ascii_lowercase(), value.trim().to_owned());
+        }
+    }
+    if let Some(conn) = headers.get("connection") {
+        keep_alive = !conn.eq_ignore_ascii_case("close");
+    }
+    let content_length = match headers.get("content-length") {
+        Some(v) => v
+            .parse::<usize>()
+            .map_err(|_| ServeError::Protocol("bad content-length".into()))?,
+        None => 0,
+    };
+    if content_length > max_body_bytes {
+        return Err(ServeError::Protocol(format!(
+            "body of {content_length} bytes exceeds limit {max_body_bytes}"
+        )));
+    }
+    let mut body = vec![0u8; content_length];
+    reader.read_exact(&mut body)?;
+    Ok(Some(HttpRequest {
+        method,
+        path,
+        body,
+        keep_alive,
+    }))
+}
+
+fn write_http_response(
+    writer: &mut TcpStream,
+    status: u16,
+    content_type: &str,
+    body: &[u8],
+    keep_alive: bool,
+) -> Result<(), ServeError> {
+    let reason = match status {
+        200 => "OK",
+        400 => "Bad Request",
+        404 => "Not Found",
+        409 => "Conflict",
+        503 => "Service Unavailable",
+        _ => "Internal Server Error",
+    };
+    let head = format!(
+        "HTTP/1.1 {status} {reason}\r\ncontent-type: {content_type}\r\ncontent-length: {}\r\nconnection: {}\r\n\r\n",
+        body.len(),
+        if keep_alive { "keep-alive" } else { "close" },
+    );
+    writer.write_all(head.as_bytes())?;
+    writer.write_all(body)?;
+    writer.flush()?;
+    Ok(())
+}

@@ -1,0 +1,42 @@
+//! # leva-serve
+//!
+//! A serving daemon for fitted Leva models (DESIGN.md §6.12). The
+//! library pipeline ends at a [`LevaModel`](leva::LevaModel) artifact;
+//! this crate keeps one resident and serves featurization over the
+//! network:
+//!
+//! * **One entry point.** The server speaks exactly the library's
+//!   [`FeaturizeRequest`](leva::FeaturizeRequest) type on the wire — as
+//!   JSON (`POST /featurize`) and as a compact length-prefixed binary
+//!   protocol ([`wire`]), multiplexed on one port by sniffing the
+//!   4-byte [`BINARY_MAGIC`](wire::BINARY_MAGIC).
+//! * **Request coalescing.** Concurrent requests land in a bounded
+//!   queue; batch workers merge compatible requests (same featurization,
+//!   same schema) into single model calls ([`Engine`]), amortizing
+//!   per-call overhead while a `max_wait` knob bounds the added latency.
+//! * **Hot model swap.** `/admin/swap` (or SIGHUP in the binary)
+//!   atomically replaces the model ([`ModelHandle`]); in-flight batches
+//!   finish on the model they pinned, every response is stamped with the
+//!   artifact version + checksum that produced it, and a corrupt
+//!   artifact is rejected while the old model keeps serving.
+//! * **Metrics.** `/metrics` reports latency percentiles, rows/s, the
+//!   coalesced batch-size distribution, queue depth, serving-cache
+//!   bytes, and swap counters ([`Metrics`]).
+//!
+//! Hand-rolled on `std::net` with zero new dependencies — the workspace
+//! builds offline.
+
+#![warn(missing_docs)]
+
+mod config;
+mod engine;
+mod http;
+mod metrics;
+mod model;
+pub mod wire;
+
+pub use config::ServeConfig;
+pub use engine::{Engine, FeatResponse, ServeError};
+pub use http::Server;
+pub use metrics::{LogHistogram, Metrics};
+pub use model::{ModelHandle, ServingModel};

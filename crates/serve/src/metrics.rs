@@ -1,0 +1,200 @@
+//! Serving metrics: lock-free counters plus power-of-two-bucket
+//! histograms for latency and coalesced batch sizes, rendered as the
+//! `/metrics` JSON document.
+
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Mutex;
+use std::time::Instant;
+
+/// Histogram over `u64` samples with power-of-two buckets: bucket `0`
+/// holds the value `0`, bucket `k` (k ≥ 1) holds values in
+/// `[2^(k-1), 2^k)`. Quantiles report the *upper bound* of the bucket the
+/// quantile falls in, which is exact enough for latency percentiles and
+/// keeps recording to two atomic-free loads under a short lock.
+#[derive(Debug, Clone)]
+pub struct LogHistogram {
+    counts: [u64; 64],
+    total: u64,
+}
+
+impl Default for LogHistogram {
+    fn default() -> Self {
+        Self {
+            counts: [0; 64],
+            total: 0,
+        }
+    }
+}
+
+impl LogHistogram {
+    fn bucket(value: u64) -> usize {
+        (64 - value.leading_zeros()) as usize
+    }
+
+    /// Records one sample.
+    pub fn record(&mut self, value: u64) {
+        self.counts[Self::bucket(value).min(63)] += 1;
+        self.total += 1;
+    }
+
+    /// Number of recorded samples.
+    pub fn count(&self) -> u64 {
+        self.total
+    }
+
+    /// Upper bound of the bucket containing quantile `q` in `[0, 1]`, or
+    /// `0` if the histogram is empty.
+    pub fn quantile(&self, q: f64) -> u64 {
+        if self.total == 0 {
+            return 0;
+        }
+        let rank = ((q * self.total as f64).ceil() as u64).clamp(1, self.total);
+        let mut seen = 0u64;
+        for (k, &c) in self.counts.iter().enumerate() {
+            seen += c;
+            if seen >= rank {
+                return if k == 0 { 0 } else { 1u64 << k };
+            }
+        }
+        u64::MAX
+    }
+
+    /// Non-empty buckets as `(lower_bound, count)` pairs.
+    pub fn buckets(&self) -> Vec<(u64, u64)> {
+        self.counts
+            .iter()
+            .enumerate()
+            .filter(|(_, &c)| c > 0)
+            .map(|(k, &c)| (if k <= 1 { k as u64 } else { 1u64 << (k - 1) }, c))
+            .collect()
+    }
+}
+
+/// All counters and histograms the daemon exposes on `/metrics`.
+pub struct Metrics {
+    started: Instant,
+    /// Featurize requests accepted into the queue.
+    pub requests: AtomicU64,
+    /// Total feature rows produced.
+    pub rows: AtomicU64,
+    /// Requests that completed with an error.
+    pub errors: AtomicU64,
+    /// Coalesced featurize calls executed.
+    pub batches: AtomicU64,
+    /// Requests currently waiting in the queue.
+    pub queue_depth: AtomicU64,
+    /// Successful hot swaps.
+    pub swaps: AtomicU64,
+    /// Swap attempts rejected (corrupt or unreadable artifact).
+    pub swaps_rejected: AtomicU64,
+    latency_us: Mutex<LogHistogram>,
+    batch_rows: Mutex<LogHistogram>,
+}
+
+impl Metrics {
+    /// Creates a zeroed metrics block with the uptime clock started now.
+    pub fn new() -> Self {
+        Self {
+            started: Instant::now(),
+            requests: AtomicU64::new(0),
+            rows: AtomicU64::new(0),
+            errors: AtomicU64::new(0),
+            batches: AtomicU64::new(0),
+            queue_depth: AtomicU64::new(0),
+            swaps: AtomicU64::new(0),
+            swaps_rejected: AtomicU64::new(0),
+            latency_us: Mutex::new(LogHistogram::default()),
+            batch_rows: Mutex::new(LogHistogram::default()),
+        }
+    }
+
+    /// Records one end-to-end request latency (clamped to ≥ 1 µs so the
+    /// reported percentiles are never zero).
+    pub fn record_latency_us(&self, us: u64) {
+        self.latency_us
+            .lock()
+            .unwrap_or_else(|e| e.into_inner())
+            .record(us.max(1));
+    }
+
+    /// Records the row count of one coalesced featurize call.
+    pub fn record_batch_rows(&self, rows: u64) {
+        self.batch_rows
+            .lock()
+            .unwrap_or_else(|e| e.into_inner())
+            .record(rows);
+    }
+
+    /// Snapshot of the latency histogram.
+    pub fn latency_snapshot(&self) -> LogHistogram {
+        self.latency_us
+            .lock()
+            .unwrap_or_else(|e| e.into_inner())
+            .clone()
+    }
+
+    /// Snapshot of the batch-size histogram.
+    pub fn batch_rows_snapshot(&self) -> LogHistogram {
+        self.batch_rows
+            .lock()
+            .unwrap_or_else(|e| e.into_inner())
+            .clone()
+    }
+
+    /// Seconds since the metrics block was created.
+    pub fn uptime_s(&self) -> f64 {
+        self.started.elapsed().as_secs_f64()
+    }
+
+    /// Cumulative rows served per second of uptime.
+    pub fn rows_per_s(&self) -> f64 {
+        let up = self.uptime_s();
+        if up <= 0.0 {
+            0.0
+        } else {
+            self.rows.load(Ordering::Relaxed) as f64 / up
+        }
+    }
+}
+
+impl Default for Metrics {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn histogram_buckets_and_quantiles() {
+        let mut h = LogHistogram::default();
+        assert_eq!(h.quantile(0.5), 0);
+        for v in [1u64, 1, 1, 1, 1, 1, 1, 1, 1, 100] {
+            h.record(v);
+        }
+        assert_eq!(h.count(), 10);
+        // Nine samples land in the [1,2) bucket → p50 reports its upper
+        // bound; the single 100 lands in [64,128) → p99 reports 128.
+        assert_eq!(h.quantile(0.5), 2);
+        assert_eq!(h.quantile(0.99), 128);
+        let buckets = h.buckets();
+        assert_eq!(buckets, vec![(1, 9), (64, 1)]);
+    }
+
+    #[test]
+    fn zero_bucket_is_distinct() {
+        let mut h = LogHistogram::default();
+        h.record(0);
+        assert_eq!(h.quantile(1.0), 0);
+        assert_eq!(h.buckets(), vec![(0, 1)]);
+    }
+
+    #[test]
+    fn latency_is_clamped_nonzero() {
+        let m = Metrics::new();
+        m.record_latency_us(0);
+        assert_eq!(m.latency_snapshot().quantile(0.5), 2);
+    }
+}

@@ -1,0 +1,83 @@
+//! Hot-swappable model handle: an epoch-versioned `Arc` behind an
+//! `RwLock`, so batch workers pin one consistent model for the lifetime
+//! of a batch while swaps publish a replacement atomically.
+
+use std::sync::{Arc, RwLock};
+
+use leva::LevaModel;
+use leva_interner::codec::crc32;
+
+/// A fitted model prepared for serving: the model itself plus the
+/// identity (version epoch + artifact checksum) stamped onto every
+/// response produced from it.
+pub struct ServingModel {
+    /// The fitted pipeline artifact.
+    pub model: LevaModel,
+    /// Monotonically increasing swap epoch; the initially loaded model is
+    /// version 1 and every successful swap increments it.
+    pub version: u64,
+    /// CRC-32 of the model's serialized artifact bytes — lets clients
+    /// correlate a response with exactly one artifact even across swaps
+    /// back and forth between the same two files.
+    pub checksum: u32,
+    /// Size of the serialized artifact in bytes (surfaced in `/metrics`).
+    pub artifact_bytes: usize,
+}
+
+impl ServingModel {
+    /// Prepares `model` for serving under the given epoch: serializes it
+    /// once to fingerprint the artifact and warms the featurizer cache so
+    /// the first request does not pay the cache build.
+    pub fn prepare(model: LevaModel, version: u64) -> Self {
+        let bytes = model.to_bytes();
+        let checksum = crc32(&bytes);
+        let artifact_bytes = bytes.len();
+        drop(bytes);
+        // Warm the serving cache before the model becomes visible to
+        // workers; otherwise the first post-swap batch pays the build.
+        let _ = model.featurizer();
+        Self {
+            model,
+            version,
+            checksum,
+            artifact_bytes,
+        }
+    }
+}
+
+/// Shared, swappable pointer to the current [`ServingModel`].
+///
+/// Readers take a brief read lock only to clone the `Arc`; featurization
+/// itself runs outside the lock, so an in-flight batch keeps its pinned
+/// model alive (and consistent) even while a swap publishes a new one.
+pub struct ModelHandle {
+    current: RwLock<Arc<ServingModel>>,
+}
+
+impl ModelHandle {
+    /// Wraps an already-prepared model.
+    pub fn new(initial: ServingModel) -> Self {
+        Self {
+            current: RwLock::new(Arc::new(initial)),
+        }
+    }
+
+    /// Returns the current model, pinned: the caller's `Arc` stays valid
+    /// across any number of concurrent swaps.
+    pub fn current(&self) -> Arc<ServingModel> {
+        self.current
+            .read()
+            .unwrap_or_else(|e| e.into_inner())
+            .clone()
+    }
+
+    /// Atomically replaces the served model, assigning it the next epoch.
+    /// Returns the `(version, checksum)` stamped onto the new model.
+    pub fn swap(&self, model: LevaModel) -> (u64, u32) {
+        let mut slot = self.current.write().unwrap_or_else(|e| e.into_inner());
+        let next = ServingModel::prepare(model, slot.version + 1);
+        let stamp = (next.version, next.checksum);
+        *slot = Arc::new(next);
+        stamp
+    }
+}

@@ -1,0 +1,503 @@
+//! Wire codecs for the two client protocols:
+//!
+//! * **JSON** — `POST /featurize` bodies and responses, built on the
+//!   shared hand-rolled parser in `leva_embedding::json`.
+//! * **Binary** — a compact length-prefixed framing for high-throughput
+//!   clients, built on the bounded `leva_interner::codec` reader/writer.
+//!   A binary session opens with the 4-byte magic [`BINARY_MAGIC`] and
+//!   then exchanges `u32 len | payload` frames in both directions.
+//!
+//! Both protocols encode exactly the library's [`FeaturizeRequest`] type:
+//! the server has no featurization entry point of its own.
+
+use leva::{Featurization, FeaturizeRequest, RowSource};
+use leva_embedding::json;
+use leva_interner::codec::{ByteReader, ByteWriter};
+use leva_linalg::Matrix;
+use leva_relational::{Table, Value};
+
+use crate::engine::{FeatResponse, ServeError};
+
+/// Magic bytes a client sends first to select the binary protocol on the
+/// shared listen port (anything else is treated as HTTP).
+pub const BINARY_MAGIC: [u8; 4] = *b"LVB1";
+
+fn proto<T>(msg: impl Into<String>) -> Result<T, ServeError> {
+    Err(ServeError::Protocol(msg.into()))
+}
+
+// ---------------------------------------------------------------------
+// JSON protocol
+// ---------------------------------------------------------------------
+
+/// Parses a JSON featurize request:
+///
+/// ```json
+/// {"feat": "row" | "row_plus_value",
+///  "source": "base_all"
+///          | {"base_rows": [0, 7, 12]}
+///          | {"external": {"columns": ["a","b"], "rows": [[1,"x"], ...]}}}
+/// ```
+///
+/// External cells map `null`→Null, booleans→Bool, strings→Text, and
+/// numbers→Int when integral, Float otherwise.
+pub fn parse_json_request(body: &str) -> Result<FeaturizeRequest, ServeError> {
+    let doc = match json::parse(body) {
+        Ok(v) => v,
+        Err(e) => return proto(format!("invalid JSON request: {e}")),
+    };
+    let feat = match doc.get("feat").and_then(json::Value::as_str) {
+        Some("row") => Featurization::RowOnly,
+        Some("row_plus_value") => Featurization::RowPlusValue,
+        Some(other) => return proto(format!("unknown feat {other:?}")),
+        None => return proto("missing string field \"feat\""),
+    };
+    let source = doc
+        .get("source")
+        .ok_or_else(|| ServeError::Protocol("missing field \"source\"".into()))?;
+    if source.as_str() == Some("base_all") {
+        return Ok(FeaturizeRequest::base_all(feat));
+    }
+    if let Some(rows) = source.get("base_rows") {
+        let rows = rows
+            .as_array()
+            .ok_or_else(|| ServeError::Protocol("\"base_rows\" must be an array".into()))?;
+        let mut indices = Vec::with_capacity(rows.len());
+        for r in rows {
+            let x = r
+                .as_f64()
+                .filter(|x| x.fract() == 0.0 && *x >= 0.0 && *x <= u32::MAX as f64)
+                .ok_or_else(|| {
+                    ServeError::Protocol("row indices must be non-negative integers".into())
+                })?;
+            indices.push(x as usize);
+        }
+        return Ok(FeaturizeRequest::base_rows(indices, feat));
+    }
+    if let Some(ext) = source.get("external") {
+        let columns = ext
+            .get("columns")
+            .and_then(json::Value::as_array)
+            .ok_or_else(|| ServeError::Protocol("\"external\" needs a \"columns\" array".into()))?;
+        let names: Vec<String> = columns
+            .iter()
+            .map(|c| c.as_str().map(str::to_owned))
+            .collect::<Option<_>>()
+            .ok_or_else(|| ServeError::Protocol("column names must be strings".into()))?;
+        let mut table = Table::new("request", names);
+        let rows = ext
+            .get("rows")
+            .and_then(json::Value::as_array)
+            .ok_or_else(|| ServeError::Protocol("\"external\" needs a \"rows\" array".into()))?;
+        for row in rows {
+            let cells = row
+                .as_array()
+                .ok_or_else(|| ServeError::Protocol("each row must be an array".into()))?;
+            let values = cells.iter().map(json_cell_to_value).collect();
+            if table.push_row(values).is_err() {
+                return proto("row length does not match \"columns\"");
+            }
+        }
+        return Ok(FeaturizeRequest::external(table, feat));
+    }
+    proto("\"source\" must be \"base_all\", {\"base_rows\":[..]}, or {\"external\":{..}}")
+}
+
+fn json_cell_to_value(cell: &json::Value) -> Value {
+    match cell {
+        json::Value::Null => Value::Null,
+        json::Value::Bool(b) => Value::Bool(*b),
+        json::Value::Str(s) => Value::text(s.clone()),
+        json::Value::Num(x) => {
+            if x.fract() == 0.0 && x.abs() < 9.0e15 {
+                Value::Int(*x as i64)
+            } else {
+                Value::float(*x)
+            }
+        }
+        // Nested containers have no relational meaning; treat as missing.
+        json::Value::Arr(_) | json::Value::Obj(_) => Value::Null,
+    }
+}
+
+/// Renders a featurize response as JSON:
+/// `{"version":N,"checksum":N,"rows":N,"cols":N,"data":[[...],...]}`.
+pub fn write_json_response(resp: &FeatResponse) -> String {
+    let m = &resp.matrix;
+    let mut out = String::with_capacity(32 + m.rows() * m.cols() * 12);
+    out.push_str(&format!(
+        "{{\"version\":{},\"checksum\":{},\"rows\":{},\"cols\":{},\"data\":[",
+        resp.version,
+        resp.checksum,
+        m.rows(),
+        m.cols()
+    ));
+    for r in 0..m.rows() {
+        if r > 0 {
+            out.push(',');
+        }
+        out.push('[');
+        for (c, x) in m.row(r).iter().enumerate() {
+            if c > 0 {
+                out.push(',');
+            }
+            json::write_f64(&mut out, *x);
+        }
+        out.push(']');
+    }
+    out.push_str("]}");
+    out
+}
+
+/// Renders an error as the JSON error envelope `{"error":"..."}`.
+pub fn write_json_error(err: &ServeError) -> String {
+    let mut out = String::from("{\"error\":");
+    json::write_string(&mut out, &err.to_string());
+    out.push('}');
+    out
+}
+
+// ---------------------------------------------------------------------
+// Binary protocol
+// ---------------------------------------------------------------------
+
+const SOURCE_BASE_ALL: u8 = 0;
+const SOURCE_BASE_ROWS: u8 = 1;
+const SOURCE_EXTERNAL: u8 = 2;
+
+const CELL_NULL: u8 = 0;
+const CELL_INT: u8 = 1;
+const CELL_FLOAT: u8 = 2;
+const CELL_TEXT: u8 = 3;
+const CELL_BOOL: u8 = 4;
+const CELL_TIMESTAMP: u8 = 5;
+
+const STATUS_OK: u8 = 0;
+const STATUS_ERR: u8 = 1;
+
+/// Encodes a featurize request as one binary frame payload.
+pub fn encode_binary_request(request: &FeaturizeRequest) -> Vec<u8> {
+    let mut w = ByteWriter::new();
+    w.put_u8(match request.feat {
+        Featurization::RowOnly => 0,
+        Featurization::RowPlusValue => 1,
+    });
+    match &request.source {
+        RowSource::BaseAll => w.put_u8(SOURCE_BASE_ALL),
+        RowSource::BaseRows(rows) => {
+            w.put_u8(SOURCE_BASE_ROWS);
+            w.put_u32(rows.len() as u32);
+            for &r in rows {
+                w.put_u64(r as u64);
+            }
+        }
+        RowSource::External(table) => {
+            w.put_u8(SOURCE_EXTERNAL);
+            let cols = table.column_names();
+            w.put_u32(cols.len() as u32);
+            for c in &cols {
+                w.put_str(c);
+            }
+            w.put_u32(table.row_count() as u32);
+            for r in 0..table.row_count() {
+                for c in 0..cols.len() {
+                    match table.value(r, c).expect("in-bounds cell") {
+                        Value::Null => w.put_u8(CELL_NULL),
+                        Value::Int(x) => {
+                            w.put_u8(CELL_INT);
+                            w.put_u64(*x as u64);
+                        }
+                        Value::Float(x) => {
+                            w.put_u8(CELL_FLOAT);
+                            w.put_f64(*x);
+                        }
+                        Value::Text(s) => {
+                            w.put_u8(CELL_TEXT);
+                            w.put_str(s);
+                        }
+                        Value::Bool(b) => {
+                            w.put_u8(CELL_BOOL);
+                            w.put_u8(*b as u8);
+                        }
+                        Value::Timestamp(x) => {
+                            w.put_u8(CELL_TIMESTAMP);
+                            w.put_u64(*x as u64);
+                        }
+                    }
+                }
+            }
+        }
+    }
+    w.into_bytes()
+}
+
+/// Decodes one binary request frame payload (bounded: every length is
+/// checked against the remaining bytes before allocation).
+pub fn decode_binary_request(payload: &[u8]) -> Result<FeaturizeRequest, ServeError> {
+    let mut r = ByteReader::new(payload);
+    let mut take = || -> Result<FeaturizeRequest, leva_interner::codec::DecodeError> {
+        let feat = match r.take_u8()? {
+            0 => Featurization::RowOnly,
+            _ => Featurization::RowPlusValue,
+        };
+        let request = match r.take_u8()? {
+            SOURCE_BASE_ALL => FeaturizeRequest::base_all(feat),
+            SOURCE_BASE_ROWS => {
+                let n = r.take_u32()? as usize;
+                let mut rows = Vec::with_capacity(n.min(r.remaining() / 8 + 1));
+                for _ in 0..n {
+                    rows.push(r.take_u64()? as usize);
+                }
+                FeaturizeRequest::base_rows(rows, feat)
+            }
+            SOURCE_EXTERNAL => {
+                let ncols = r.take_u32()? as usize;
+                let mut names = Vec::with_capacity(ncols.min(r.remaining() / 4 + 1));
+                for _ in 0..ncols {
+                    names.push(r.take_str()?.to_owned());
+                }
+                let mut table = Table::new("request", names);
+                let nrows = r.take_u32()? as usize;
+                for _ in 0..nrows {
+                    let mut row = Vec::with_capacity(ncols);
+                    for _ in 0..ncols {
+                        row.push(match r.take_u8()? {
+                            CELL_NULL => Value::Null,
+                            CELL_INT => Value::Int(r.take_u64()? as i64),
+                            CELL_FLOAT => Value::float(r.take_f64()?),
+                            CELL_TEXT => Value::text(r.take_str()?.to_owned()),
+                            CELL_BOOL => Value::Bool(r.take_u8()? != 0),
+                            CELL_TIMESTAMP => Value::Timestamp(r.take_u64()? as i64),
+                            _ => {
+                                return Err(leva_interner::codec::DecodeError::Invalid(
+                                    "unknown cell tag",
+                                ))
+                            }
+                        });
+                    }
+                    table
+                        .push_row(row)
+                        .expect("row built with ncols cells matches table arity");
+                }
+                FeaturizeRequest::external(table, feat)
+            }
+            _ => {
+                return Err(leva_interner::codec::DecodeError::Invalid(
+                    "unknown source tag",
+                ))
+            }
+        };
+        Ok(request)
+    };
+    let request = take().map_err(|e| ServeError::Protocol(format!("bad binary request: {e}")))?;
+    if !r.is_exhausted() {
+        return proto("trailing bytes after binary request");
+    }
+    Ok(request)
+}
+
+/// Encodes a featurize result as one binary response frame payload.
+pub fn encode_binary_response(result: &Result<FeatResponse, ServeError>) -> Vec<u8> {
+    let mut w = ByteWriter::new();
+    match result {
+        Ok(resp) => {
+            w.put_u8(STATUS_OK);
+            w.put_u64(resp.version);
+            w.put_u32(resp.checksum);
+            w.put_u32(resp.matrix.rows() as u32);
+            w.put_u32(resp.matrix.cols() as u32);
+            for x in resp.matrix.data() {
+                w.put_f64(*x);
+            }
+        }
+        Err(e) => {
+            w.put_u8(STATUS_ERR);
+            w.put_str(&e.to_string());
+        }
+    }
+    w.into_bytes()
+}
+
+/// Decodes a binary response frame payload (client side; used by the
+/// tests and benchmarks).
+pub fn decode_binary_response(payload: &[u8]) -> Result<FeatResponse, ServeError> {
+    let mut r = ByteReader::new(payload);
+    let status = r
+        .take_u8()
+        .map_err(|e| ServeError::Protocol(format!("bad binary response: {e}")))?;
+    if status == STATUS_ERR {
+        let msg = r
+            .take_str()
+            .map_err(|e| ServeError::Protocol(format!("bad binary error frame: {e}")))?;
+        return proto(format!("server error: {msg}"));
+    }
+    let mut take = || -> Result<FeatResponse, leva_interner::codec::DecodeError> {
+        let version = r.take_u64()?;
+        let checksum = r.take_u32()?;
+        let rows = r.take_u32()? as usize;
+        let cols = r.take_u32()? as usize;
+        let mut matrix = Matrix::zeros(rows, cols);
+        for x in matrix.data_mut() {
+            *x = r.take_f64()?;
+        }
+        Ok(FeatResponse {
+            version,
+            checksum,
+            matrix,
+        })
+    };
+    let resp = take().map_err(|e| ServeError::Protocol(format!("bad binary response: {e}")))?;
+    if !r.is_exhausted() {
+        return proto("trailing bytes after binary response");
+    }
+    Ok(resp)
+}
+
+/// Reads one `u32 len | payload` frame from a stream, bounding `len`.
+pub fn read_frame(stream: &mut impl std::io::Read, max_len: usize) -> Result<Vec<u8>, ServeError> {
+    let mut len_buf = [0u8; 4];
+    stream.read_exact(&mut len_buf)?;
+    let len = u32::from_le_bytes(len_buf) as usize;
+    if len > max_len {
+        return proto(format!("frame of {len} bytes exceeds limit {max_len}"));
+    }
+    let mut payload = vec![0u8; len];
+    stream.read_exact(&mut payload)?;
+    Ok(payload)
+}
+
+/// Writes one `u32 len | payload` frame to a stream.
+pub fn write_frame(stream: &mut impl std::io::Write, payload: &[u8]) -> Result<(), ServeError> {
+    stream.write_all(&(payload.len() as u32).to_le_bytes())?;
+    stream.write_all(payload)?;
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn json_request_round_trips_all_sources() {
+        let r = parse_json_request(r#"{"feat":"row","source":"base_all"}"#).unwrap();
+        assert!(matches!(r.source, RowSource::BaseAll));
+        assert_eq!(r.feat, Featurization::RowOnly);
+
+        let r = parse_json_request(r#"{"feat":"row_plus_value","source":{"base_rows":[3,1,4]}}"#)
+            .unwrap();
+        assert!(matches!(&r.source, RowSource::BaseRows(v) if v == &vec![3, 1, 4]));
+
+        let body = r#"{"feat":"row","source":{"external":{
+            "columns":["age","name","ok"],
+            "rows":[[41,"ada",true],[null,"b",false],[2.5,"c",null]]}}}"#;
+        let r = parse_json_request(body).unwrap();
+        let RowSource::External(t) = &r.source else {
+            panic!("expected external source")
+        };
+        assert_eq!(t.row_count(), 3);
+        assert_eq!(t.value(0, 0).unwrap(), &Value::Int(41));
+        assert_eq!(t.value(2, 0).unwrap(), &Value::Float(2.5));
+        assert_eq!(t.value(1, 2).unwrap(), &Value::Bool(false));
+    }
+
+    #[test]
+    fn json_request_rejects_malformed_bodies() {
+        for bad in [
+            "not json",
+            r#"{"source":"base_all"}"#,
+            r#"{"feat":"diag","source":"base_all"}"#,
+            r#"{"feat":"row"}"#,
+            r#"{"feat":"row","source":{"base_rows":[-1]}}"#,
+            r#"{"feat":"row","source":{"base_rows":[1.5]}}"#,
+            r#"{"feat":"row","source":{"external":{"columns":["a"],"rows":[[1,2]]}}}"#,
+        ] {
+            assert!(
+                matches!(parse_json_request(bad), Err(ServeError::Protocol(_))),
+                "accepted: {bad}"
+            );
+        }
+    }
+
+    #[test]
+    fn binary_request_round_trips() {
+        let mut table = Table::new("t", vec!["a", "b"]);
+        table
+            .push_row(vec![Value::Int(-7), Value::text("x")])
+            .unwrap();
+        table
+            .push_row(vec![Value::Null, Value::Timestamp(123)])
+            .unwrap();
+        for request in [
+            FeaturizeRequest::base_all(Featurization::RowOnly),
+            FeaturizeRequest::base_rows(vec![9, 0, 2], Featurization::RowPlusValue),
+            FeaturizeRequest::external(table, Featurization::RowOnly),
+        ] {
+            let bytes = encode_binary_request(&request);
+            let back = decode_binary_request(&bytes).unwrap();
+            assert_eq!(back.feat, request.feat);
+            match (&back.source, &request.source) {
+                (RowSource::BaseAll, RowSource::BaseAll) => {}
+                (RowSource::BaseRows(a), RowSource::BaseRows(b)) => assert_eq!(a, b),
+                (RowSource::External(a), RowSource::External(b)) => {
+                    assert_eq!(a.row_count(), b.row_count());
+                    assert_eq!(a.column_names(), b.column_names());
+                    for r in 0..a.row_count() {
+                        assert_eq!(a.row(r).unwrap(), b.row(r).unwrap());
+                    }
+                }
+                other => panic!("source mismatch: {other:?}"),
+            }
+        }
+    }
+
+    #[test]
+    fn binary_request_rejects_corruption() {
+        let bytes = encode_binary_request(&FeaturizeRequest::base_rows(
+            vec![1, 2, 3],
+            Featurization::RowOnly,
+        ));
+        // Truncations at every prefix length must error, never panic.
+        for cut in 0..bytes.len() {
+            assert!(decode_binary_request(&bytes[..cut]).is_err());
+        }
+        // Trailing garbage is rejected too.
+        let mut padded = bytes.clone();
+        padded.push(0);
+        assert!(decode_binary_request(&padded).is_err());
+    }
+
+    #[test]
+    fn binary_response_round_trips() {
+        let mut matrix = Matrix::zeros(2, 3);
+        matrix.row_mut(0).copy_from_slice(&[1.0, -2.5, f64::NAN]);
+        matrix.row_mut(1).copy_from_slice(&[0.0, 1.0e300, -0.0]);
+        let resp = FeatResponse {
+            version: 7,
+            checksum: 0xDEAD_BEEF,
+            matrix,
+        };
+        let bytes = encode_binary_response(&Ok(resp));
+        let back = decode_binary_response(&bytes).unwrap();
+        assert_eq!(back.version, 7);
+        assert_eq!(back.checksum, 0xDEAD_BEEF);
+        assert!(back.matrix.row(0)[2].is_nan());
+        assert_eq!(back.matrix.row(1)[1], 1.0e300);
+
+        let err_bytes = encode_binary_response(&Err(ServeError::Overloaded));
+        let err = decode_binary_response(&err_bytes).unwrap_err();
+        assert!(err.to_string().contains("overloaded"));
+    }
+
+    #[test]
+    fn frames_round_trip_and_bound_length() {
+        let mut buf = Vec::new();
+        write_frame(&mut buf, b"hello").unwrap();
+        let mut cursor = &buf[..];
+        assert_eq!(read_frame(&mut cursor, 16).unwrap(), b"hello");
+        let mut cursor = &buf[..];
+        assert!(matches!(
+            read_frame(&mut cursor, 4),
+            Err(ServeError::Protocol(_))
+        ));
+    }
+}

@@ -1,0 +1,350 @@
+//! End-to-end server smoke test: ephemeral port, JSON + binary protocol
+//! round-trips, `/metrics` scrape, concurrent clients showing request
+//! coalescing, mid-load hot swap, and clean shutdown.
+
+use std::io::{Read, Write};
+use std::net::{SocketAddr, TcpStream};
+use std::sync::Arc;
+
+use leva::{Featurization, FeaturizeRequest, Leva, LevaConfig, LevaModel};
+use leva_embedding::json;
+use leva_interner::codec::crc32;
+use leva_linalg::Matrix;
+use leva_relational::{Database, Table, Value};
+use leva_serve::{wire, Engine, ServeConfig, Server};
+
+fn db(rows: usize, scale: f64) -> Database {
+    let mut db = Database::new();
+    let mut base = Table::new("base", vec!["id", "grp", "amount", "target"]);
+    let mut aux = Table::new("aux", vec!["id", "tag"]);
+    for i in 0..rows {
+        base.push_row(vec![
+            format!("e{i}").into(),
+            ["a", "b", "c"][i % 3].into(),
+            Value::Float(i as f64 * scale),
+            Value::Int((i % 2) as i64),
+        ])
+        .unwrap();
+        aux.push_row(vec![format!("e{i}").into(), format!("t{}", i % 5).into()])
+            .unwrap();
+    }
+    db.add_table(base).unwrap();
+    db.add_table(aux).unwrap();
+    db
+}
+
+fn fit(database: &Database) -> LevaModel {
+    Leva::with_config(LevaConfig::fast())
+        .base_table("base")
+        .target("target")
+        .fit(database)
+        .unwrap()
+}
+
+/// Minimal HTTP/1.1 client: one request per connection.
+fn http(addr: SocketAddr, method: &str, path: &str, body: &[u8]) -> (u16, Vec<u8>) {
+    let mut s = TcpStream::connect(addr).unwrap();
+    let head = format!(
+        "{method} {path} HTTP/1.1\r\nhost: leva\r\ncontent-length: {}\r\nconnection: close\r\n\r\n",
+        body.len()
+    );
+    s.write_all(head.as_bytes()).unwrap();
+    s.write_all(body).unwrap();
+    let mut raw = Vec::new();
+    s.read_to_end(&mut raw).unwrap();
+    let text_end = raw
+        .windows(4)
+        .position(|w| w == b"\r\n\r\n")
+        .expect("response has a head/body separator");
+    let head = std::str::from_utf8(&raw[..text_end]).unwrap();
+    let status: u16 = head
+        .split_whitespace()
+        .nth(1)
+        .expect("status line")
+        .parse()
+        .unwrap();
+    (status, raw[text_end + 4..].to_vec())
+}
+
+fn json_body(addr: SocketAddr, path: &str, body: &str) -> (u16, json::Value) {
+    let (status, bytes) = http(addr, "POST", path, body.as_bytes());
+    let doc = json::parse(std::str::from_utf8(&bytes).unwrap()).unwrap();
+    (status, doc)
+}
+
+fn get_json(addr: SocketAddr, path: &str) -> (u16, json::Value) {
+    let (status, bytes) = http(addr, "GET", path, b"");
+    let doc = json::parse(std::str::from_utf8(&bytes).unwrap()).unwrap();
+    (status, doc)
+}
+
+/// Asserts a JSON `data` array matches a matrix bitwise.
+fn assert_json_matches(doc: &json::Value, want: &Matrix) {
+    assert_eq!(doc.get("rows").unwrap().as_f64(), Some(want.rows() as f64));
+    assert_eq!(doc.get("cols").unwrap().as_f64(), Some(want.cols() as f64));
+    let data = doc.get("data").unwrap().as_array().unwrap();
+    assert_eq!(data.len(), want.rows());
+    for (r, row) in data.iter().enumerate() {
+        let row = row.as_array().unwrap();
+        assert_eq!(row.len(), want.cols());
+        for (c, cell) in row.iter().enumerate() {
+            let got = cell.as_f64_or_null().unwrap();
+            let exp = want.row(r)[c];
+            assert_eq!(got.to_bits(), exp.to_bits(), "cell ({r},{c})");
+        }
+    }
+}
+
+#[test]
+fn server_smoke() {
+    let model_a = fit(&db(24, 1.0));
+    let model_b = fit(&db(24, 3.5));
+    let bytes_b = model_b.to_bytes();
+    let sum_a = crc32(&model_a.to_bytes());
+    let sum_b = crc32(&bytes_b);
+    assert_ne!(sum_a, sum_b);
+
+    let probe = FeaturizeRequest::base_rows(vec![0, 5, 11], Featurization::RowOnly);
+    let expect_a = model_a.featurize(&probe).unwrap();
+    let expect_b = model_b.featurize(&probe).unwrap();
+
+    let config = ServeConfig::default()
+        .with_addr("127.0.0.1:0")
+        .with_max_wait_us(4_000);
+    let engine = Engine::new(model_a, config).unwrap();
+    let mut server = Server::start(Arc::clone(&engine)).unwrap();
+    let addr = server.local_addr();
+
+    // --- health + 404 ----------------------------------------------
+    let (status, doc) = get_json(addr, "/healthz");
+    assert_eq!(status, 200);
+    assert_eq!(doc.get("status").unwrap().as_str(), Some("ok"));
+    let (status, _) = get_json(addr, "/nope");
+    assert_eq!(status, 404);
+
+    // --- JSON round-trip -------------------------------------------
+    let (status, doc) = json_body(
+        addr,
+        "/featurize",
+        r#"{"feat":"row","source":{"base_rows":[0,5,11]}}"#,
+    );
+    assert_eq!(status, 200);
+    assert_eq!(doc.get("version").unwrap().as_f64(), Some(1.0));
+    assert_eq!(doc.get("checksum").unwrap().as_f64(), Some(sum_a as f64));
+    assert_json_matches(&doc, &expect_a);
+
+    // Malformed bodies are a 400 with an error envelope.
+    let (status, doc) = json_body(addr, "/featurize", r#"{"feat":"nope"}"#);
+    assert_eq!(status, 400);
+    assert!(doc.get("error").is_some());
+
+    // --- binary round-trip -----------------------------------------
+    let mut bin = TcpStream::connect(addr).unwrap();
+    bin.write_all(&wire::BINARY_MAGIC).unwrap();
+    for _ in 0..2 {
+        // Two requests on one session exercises frame reuse.
+        let payload = wire::encode_binary_request(&probe);
+        wire::write_frame(&mut bin, &payload).unwrap();
+        let frame = wire::read_frame(&mut bin, 1 << 24).unwrap();
+        let resp = wire::decode_binary_response(&frame).unwrap();
+        assert_eq!(resp.version, 1);
+        assert_eq!(resp.checksum, sum_a);
+        assert_eq!(resp.matrix.rows(), expect_a.rows());
+        for r in 0..expect_a.rows() {
+            for (x, y) in resp.matrix.row(r).iter().zip(expect_a.row(r)) {
+                assert_eq!(x.to_bits(), y.to_bits());
+            }
+        }
+    }
+    drop(bin);
+
+    // --- concurrent clients: coalescing shows up in the histogram --
+    let mut clients = Vec::new();
+    for t in 0..8 {
+        let body = if t % 2 == 0 {
+            r#"{"feat":"row","source":{"base_rows":[0,5,11]}}"#
+        } else {
+            r#"{"feat":"row","source":{"base_rows":[3,4]}}"#
+        };
+        clients.push(std::thread::spawn(move || {
+            for _ in 0..6 {
+                let (status, doc) = json_body(addr, "/featurize", body);
+                assert_eq!(status, 200);
+                assert!(doc.get("error").is_none());
+                assert_eq!(doc.get("checksum").unwrap().as_f64(), Some(sum_a as f64));
+            }
+        }));
+    }
+    for c in clients {
+        c.join().unwrap();
+    }
+
+    // --- /metrics scrape -------------------------------------------
+    let (status, m) = get_json(addr, "/metrics");
+    assert_eq!(status, 200);
+    let requests = m.get("requests").unwrap().as_f64().unwrap();
+    assert!(requests >= 51.0, "requests={requests}");
+    let batches = m.get("batches").unwrap().as_f64().unwrap();
+    assert!(batches >= 1.0);
+    // Coalescing must have merged at least two requests into one model
+    // call at least once: fewer batches than requests, and a histogram
+    // bucket above the single-request row counts (max single = 3 rows).
+    assert!(
+        batches < requests,
+        "no coalescing happened: batches={batches} requests={requests}"
+    );
+    let hist = m.get("batch_rows").unwrap().as_array().unwrap();
+    let max_bucket = hist
+        .iter()
+        .map(|pair| pair.as_array().unwrap()[0].as_f64().unwrap())
+        .fold(0.0_f64, f64::max);
+    assert!(
+        max_bucket >= 4.0,
+        "batch-size histogram never exceeded one request: {max_bucket}"
+    );
+    assert!(
+        m.get("latency_us")
+            .unwrap()
+            .get("p50")
+            .unwrap()
+            .as_f64()
+            .unwrap()
+            > 0.0
+    );
+    assert!(
+        m.get("latency_us")
+            .unwrap()
+            .get("p99")
+            .unwrap()
+            .as_f64()
+            .unwrap()
+            > 0.0
+    );
+    assert!(m.get("rows_per_s").unwrap().as_f64().unwrap() > 0.0);
+    assert!(m.get("cache_bytes").unwrap().as_f64().unwrap() > 0.0);
+    let model_info = m.get("model").unwrap();
+    assert_eq!(model_info.get("version").unwrap().as_f64(), Some(1.0));
+    assert_eq!(
+        model_info.get("checksum").unwrap().as_f64(),
+        Some(sum_a as f64)
+    );
+
+    // --- hot swap over HTTP ----------------------------------------
+    let (status, doc) = http_swap(addr, &bytes_b);
+    assert_eq!(status, 200);
+    assert_eq!(doc.get("version").unwrap().as_f64(), Some(2.0));
+    assert_eq!(doc.get("checksum").unwrap().as_f64(), Some(sum_b as f64));
+
+    let (status, doc) = json_body(
+        addr,
+        "/featurize",
+        r#"{"feat":"row","source":{"base_rows":[0,5,11]}}"#,
+    );
+    assert_eq!(status, 200);
+    assert_eq!(doc.get("version").unwrap().as_f64(), Some(2.0));
+    assert_eq!(doc.get("checksum").unwrap().as_f64(), Some(sum_b as f64));
+    assert_json_matches(&doc, &expect_b);
+
+    // A corrupt artifact is rejected with 409 and serving continues.
+    let mut corrupt = bytes_b.clone();
+    let mid = corrupt.len() / 2;
+    corrupt[mid] ^= 0xFF;
+    let (status, doc) = http_swap(addr, &corrupt);
+    assert_eq!(status, 409);
+    assert!(doc.get("error").is_some());
+    let (status, doc) = json_body(
+        addr,
+        "/featurize",
+        r#"{"feat":"row","source":{"base_rows":[0,5,11]}}"#,
+    );
+    assert_eq!(status, 200);
+    assert_eq!(doc.get("version").unwrap().as_f64(), Some(2.0));
+    let (_, m) = get_json(addr, "/metrics");
+    assert_eq!(m.get("swaps").unwrap().as_f64(), Some(1.0));
+    assert_eq!(m.get("swaps_rejected").unwrap().as_f64(), Some(1.0));
+
+    // --- clean shutdown --------------------------------------------
+    let (status, doc) = json_body(addr, "/admin/shutdown", "");
+    assert_eq!(status, 200);
+    assert_eq!(doc.get("status").unwrap().as_str(), Some("stopping"));
+    server.shutdown();
+    assert!(server.is_stopping());
+    // Further submits through the engine are refused.
+    assert!(engine
+        .submit(FeaturizeRequest::base_all(Featurization::RowOnly))
+        .is_err());
+}
+
+fn http_swap(addr: SocketAddr, artifact: &[u8]) -> (u16, json::Value) {
+    let (status, bytes) = http(addr, "POST", "/admin/swap", artifact);
+    let doc = json::parse(std::str::from_utf8(&bytes).unwrap()).unwrap();
+    (status, doc)
+}
+
+#[test]
+fn external_tables_round_trip_through_json() {
+    let database = db(24, 1.0);
+    let model = fit(&database);
+    let external = database
+        .table("base")
+        .unwrap()
+        .drop_columns(&["target"])
+        .unwrap();
+    let want = model
+        .featurize(&FeaturizeRequest::external(
+            external.clone(),
+            Featurization::RowOnly,
+        ))
+        .unwrap();
+
+    let engine = Engine::new(model, ServeConfig::default().with_addr("127.0.0.1:0")).unwrap();
+    let mut server = Server::start(Arc::clone(&engine)).unwrap();
+    let addr = server.local_addr();
+
+    // Build the JSON request from the first three external rows.
+    let mut body = String::from(r#"{"feat":"row","source":{"external":{"columns":["#);
+    let cols = external.column_names();
+    for (i, c) in cols.iter().enumerate() {
+        if i > 0 {
+            body.push(',');
+        }
+        json::write_string(&mut body, c);
+    }
+    body.push_str(r#"],"rows":["#);
+    for r in 0..3 {
+        if r > 0 {
+            body.push(',');
+        }
+        body.push('[');
+        for (c, v) in external.row(r).unwrap().iter().enumerate() {
+            if c > 0 {
+                body.push(',');
+            }
+            match v {
+                Value::Null => body.push_str("null"),
+                Value::Int(x) => body.push_str(&x.to_string()),
+                Value::Float(x) => json::write_f64(&mut body, *x),
+                Value::Text(s) => json::write_string(&mut body, s),
+                Value::Bool(b) => body.push_str(if *b { "true" } else { "false" }),
+                Value::Timestamp(x) => body.push_str(&x.to_string()),
+            }
+        }
+        body.push(']');
+    }
+    body.push_str("]}}}");
+
+    let (status, doc) = json_body(addr, "/featurize", &body);
+    assert_eq!(status, 200, "body: {body}");
+    let data = doc.get("data").unwrap().as_array().unwrap();
+    assert_eq!(data.len(), 3);
+    for (r, row) in data.iter().enumerate() {
+        for (c, cell) in row.as_array().unwrap().iter().enumerate() {
+            assert_eq!(
+                cell.as_f64_or_null().unwrap().to_bits(),
+                want.row(r)[c].to_bits(),
+                "cell ({r},{c})"
+            );
+        }
+    }
+    server.shutdown();
+}

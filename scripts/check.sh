@@ -18,6 +18,13 @@ cargo test -q --test artifact_roundtrip
 echo "==> cargo test -q --test determinism (threading + featurizer equivalence gate)"
 cargo test -q --test determinism
 
+echo "==> cargo test -q -p leva-serve (server smoke + hot-swap stress gate)"
+cargo test -q -p leva-serve
+
+echo "==> exp_serve (serving benchmark -> results/BENCH_6.json)"
+cargo build --release -q -p leva-bench --bin exp_serve
+./target/release/exp_serve --scale 0.2 --iters 60 >/dev/null
+
 echo "==> cargo fmt --check"
 cargo fmt --check
 
