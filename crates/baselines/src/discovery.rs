@@ -1,186 +1,41 @@
-//! Join discovery for the Disc baseline (§6.1): a Lazo/Aurum-style
-//! data-discovery pass that proposes joins from *content* — MinHash
-//! signatures estimate Jaccard similarity, coupled with distinct-value
-//! cardinalities to estimate containment (Lazo's trick). Discovered joins
-//! include spurious ones (shared low-cardinality vocabularies), which is
-//! exactly why Disc lands between Base and Full in the paper.
+//! Join discovery for the Disc baseline (§6.1), rebased onto the shared
+//! [`leva_discovery`] crate — the MinHash/Lazo machinery lives there now
+//! (where the real pipeline's discovery stage also uses it); this module
+//! keeps the baseline-shaped API: a flat threshold, no per-column candidate
+//! cap, and [`ForeignKey`]-typed output for the join assembler. Discovered
+//! joins include spurious ones (shared low-cardinality vocabularies), which
+//! is exactly why Disc lands between Base and Full in the paper.
 
-use leva_relational::{Column, Database, ForeignKey};
-use std::collections::HashSet;
-
-/// Number of hash functions per signature.
-const SIGNATURE_SIZE: usize = 128;
-
-/// A MinHash signature over a column's distinct rendered values, plus the
-/// exact distinct count (cheap at ingestion time).
-#[derive(Debug, Clone)]
-pub struct ColumnSignature {
-    mins: Vec<u64>,
-    /// Number of distinct values in the column.
-    pub distinct: usize,
-}
-
-fn hash_value(value: &str, salt: u64) -> u64 {
-    // FNV-1a with a salt mixed in: cheap, deterministic, good enough for
-    // MinHash (no adversarial inputs here).
-    let mut h = 0xcbf29ce484222325u64 ^ salt.wrapping_mul(0x9e3779b97f4a7c15);
-    for b in value.as_bytes() {
-        h ^= u64::from(*b);
-        h = h.wrapping_mul(0x100000001b3);
-    }
-    h
-}
-
-impl ColumnSignature {
-    /// Builds the signature of a column.
-    pub fn build(column: &Column) -> ColumnSignature {
-        let distinct: HashSet<String> = column
-            .values()
-            .iter()
-            .filter(|v| !v.is_null())
-            .map(|v| v.render().to_lowercase())
-            .collect();
-        let mut mins = vec![u64::MAX; SIGNATURE_SIZE];
-        for value in &distinct {
-            for (i, slot) in mins.iter_mut().enumerate() {
-                let h = hash_value(value, i as u64);
-                if h < *slot {
-                    *slot = h;
-                }
-            }
-        }
-        ColumnSignature {
-            mins,
-            distinct: distinct.len(),
-        }
-    }
-
-    /// Estimated Jaccard similarity with another signature.
-    pub fn jaccard(&self, other: &ColumnSignature) -> f64 {
-        if self.distinct == 0 || other.distinct == 0 {
-            return 0.0;
-        }
-        let agree = self
-            .mins
-            .iter()
-            .zip(&other.mins)
-            .filter(|(a, b)| a == b)
-            .count();
-        agree as f64 / SIGNATURE_SIZE as f64
-    }
-
-    /// Lazo-style containment estimate: |A ∩ B| / |A|, derived from the
-    /// Jaccard estimate and the two distinct counts via
-    /// |A ∩ B| = J (|A| + |B|) / (1 + J).
-    pub fn containment_in(&self, other: &ColumnSignature) -> f64 {
-        if self.distinct == 0 {
-            return 0.0;
-        }
-        let j = self.jaccard(other);
-        let inter = j * (self.distinct + other.distinct) as f64 / (1.0 + j);
-        (inter / self.distinct as f64).min(1.0)
-    }
-}
+use leva_discovery::{discover_relationships, DiscoveryConfig};
+use leva_relational::{Database, ForeignKey};
 
 /// A discovered candidate join.
 #[derive(Debug, Clone, PartialEq)]
 pub struct DiscoveredJoin {
-    /// The proposed foreign key (from = containing side).
+    /// The proposed foreign key (from = contained side).
     pub fk: ForeignKey,
     /// Estimated containment of the `from` column in the `to` column.
     pub containment: f64,
 }
 
 /// Scans all cross-table column pairs and proposes joins whose containment
-/// estimate is at least `threshold`. Numeric (binnable) columns are skipped
-/// — content-based discovery systems index string-like columns.
+/// estimate is at least `threshold`, in deterministic strongest-first
+/// order. Numeric (binnable) columns are skipped — content-based discovery
+/// systems index string-like columns.
 pub fn discover_joins(db: &Database, threshold: f64) -> Vec<DiscoveredJoin> {
-    // Signatures for all textual columns.
-    let mut sigs: Vec<(usize, String, String, ColumnSignature)> = Vec::new();
-    for (ti, table) in db.tables().iter().enumerate() {
-        for col in table.columns() {
-            let dtype = col.infer_type();
-            if matches!(
-                dtype,
-                leva_relational::DataType::Text | leva_relational::DataType::Int
-            ) {
-                sigs.push((
-                    ti,
-                    table.name().to_owned(),
-                    col.name().to_owned(),
-                    ColumnSignature::build(col),
-                ));
-            }
-        }
-    }
-    let mut out = Vec::new();
-    for (i, (ti, t_from, c_from, sig_from)) in sigs.iter().enumerate() {
-        for (j, (tj, t_to, c_to, sig_to)) in sigs.iter().enumerate() {
-            if i == j || ti == tj {
-                continue;
-            }
-            // Join proposal: `from` values should be contained in `to`, and
-            // `to` should look key-like (high distinct relative to rows).
-            let containment = sig_from.containment_in(sig_to);
-            if containment >= threshold && sig_to.distinct >= 2 {
-                out.push(DiscoveredJoin {
-                    fk: ForeignKey::new(t_from.clone(), c_from.clone(), t_to.clone(), c_to.clone()),
-                    containment,
-                });
-            }
-        }
-    }
-    // Deterministic order, strongest containment first.
-    out.sort_by(|a, b| {
-        b.containment
-            .partial_cmp(&a.containment)
-            .expect("finite containment")
-            .then_with(|| format!("{:?}", a.fk).cmp(&format!("{:?}", b.fk)))
-    });
-    out
+    discover_relationships(db, &DiscoveryConfig::disc_baseline(threshold))
+        .into_iter()
+        .map(|rel| DiscoveredJoin {
+            fk: ForeignKey::new(rel.from_table, rel.from_column, rel.to_table, rel.to_column),
+            containment: rel.containment,
+        })
+        .collect()
 }
 
 #[cfg(test)]
 mod tests {
     use super::*;
     use leva_relational::{Table, Value};
-
-    fn col(vals: &[&str]) -> Column {
-        Column::from_values("c", vals.iter().map(|&s| s.into()).collect())
-    }
-
-    #[test]
-    fn jaccard_identical_columns() {
-        let a = ColumnSignature::build(&col(&["x", "y", "z"]));
-        let b = ColumnSignature::build(&col(&["x", "y", "z"]));
-        assert!((a.jaccard(&b) - 1.0).abs() < 1e-12);
-        assert!((a.containment_in(&b) - 1.0).abs() < 0.05);
-    }
-
-    #[test]
-    fn jaccard_disjoint_columns() {
-        let a = ColumnSignature::build(&col(&["a1", "a2", "a3"]));
-        let b = ColumnSignature::build(&col(&["b1", "b2", "b3"]));
-        assert!(a.jaccard(&b) < 0.1);
-    }
-
-    #[test]
-    fn containment_estimate_for_subset() {
-        let small: Vec<String> = (0..50).map(|i| format!("v{i}")).collect();
-        let big: Vec<String> = (0..200).map(|i| format!("v{i}")).collect();
-        let a = ColumnSignature::build(&Column::from_values(
-            "a",
-            small.iter().map(|s| s.as_str().into()).collect(),
-        ));
-        let b = ColumnSignature::build(&Column::from_values(
-            "b",
-            big.iter().map(|s| s.as_str().into()).collect(),
-        ));
-        // A ⊂ B: containment of A in B ≈ 1, of B in A ≈ 0.25.
-        assert!(a.containment_in(&b) > 0.8, "{}", a.containment_in(&b));
-        let rev = b.containment_in(&a);
-        assert!(rev > 0.1 && rev < 0.45, "{rev}");
-    }
 
     #[test]
     fn discovers_true_join_and_spurious_overlap() {
@@ -203,10 +58,15 @@ mod tests {
         assert!(joins
             .iter()
             .any(|j| j.fk.from_column == "id" && j.fk.to_column == "id"));
-        // ...and so is the spurious status<->flag overlap (both {on, off}).
+        // ...and so is the spurious status<->flag overlap (both {on, off}) —
+        // the baseline keeps the permissive min-distinct of the original.
         assert!(joins
             .iter()
             .any(|j| j.fk.from_column == "status" && j.fk.to_column == "flag"));
+        // Deterministic strongest-first order.
+        for pair in joins.windows(2) {
+            assert!(pair[0].containment >= pair[1].containment);
+        }
     }
 
     #[test]

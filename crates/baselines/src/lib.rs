@@ -25,9 +25,10 @@ mod text_embedding;
 mod util;
 
 pub use assemble::{assemble_base, assemble_full, assemble_joined};
-pub use discovery::{discover_joins, ColumnSignature, DiscoveredJoin};
+pub use discovery::{discover_joins, DiscoveredJoin};
 pub use featurize::{target_vector, TableFeaturizer};
 pub use graph_baselines::GraphBaseline;
+pub use leva_discovery::ColumnSignature;
 pub use text_embedding::{Composition, TextEmbedding};
 pub use util::{mean_token_features, mean_token_features_train};
 

@@ -1,0 +1,218 @@
+//! Join-discovery benchmark (the schema-free Leva experiment): on each
+//! dataset, strips the declared foreign keys, runs content-based join
+//! discovery, and reports (a) discovery wall/CPU cost, (b) precision and
+//! recall of the discovered joins against the declared KFK ground truth,
+//! (c) how many confidence-weighted edges the discovered relationships
+//! inject into the graph, and (d) downstream accuracy of schema-free Leva
+//! against the Base (no joins) and Full (oracle joins) endpoints. Writes
+//! `results/BENCH_7.json`.
+//!
+//! Usage: `exp_discovery [--scale S] [--seed N] [--threads N] [--out PATH]`
+
+use std::time::Instant;
+
+use leva::{discover_relationships, process_cpu_time, DiscoveryConfig, Leva};
+use leva_bench::{eval_model, leva_config, prepare, Approach, EvalOptions, ModelKind};
+use leva_datasets::{by_name, TaskKind};
+use leva_relational::{Database, ForeignKey};
+
+const DATASETS: &[&str] = &["financial", "genes", "restbase"];
+
+/// Direction-insensitive match between a discovered relationship (as an
+/// endpoint pair) and a declared foreign key.
+fn matches_fk(from: (&str, &str), to: (&str, &str), fk: &ForeignKey) -> bool {
+    let declared_from = (fk.from_table.as_str(), fk.from_column.as_str());
+    let declared_to = (fk.to_table.as_str(), fk.to_column.as_str());
+    (from == declared_from && to == declared_to) || (from == declared_to && to == declared_from)
+}
+
+fn stripped_copy(db: &Database) -> Database {
+    let mut out = db.clone();
+    out.clear_foreign_keys();
+    out
+}
+
+fn main() {
+    let mut scale = 0.25;
+    let mut seed = 7u64;
+    let mut threads = 4usize;
+    let mut out = "results/BENCH_7.json".to_owned();
+    let argv: Vec<String> = std::env::args().collect();
+    let mut i = 1;
+    while i < argv.len() {
+        let val = |i: usize| argv.get(i + 1).expect("flag value").clone();
+        match argv[i].as_str() {
+            "--scale" => scale = val(i).parse().expect("scale"),
+            "--seed" => seed = val(i).parse().expect("seed"),
+            "--threads" => threads = val(i).parse().expect("threads"),
+            "--out" => out = val(i),
+            other => panic!("unknown argument {other}"),
+        }
+        i += 2;
+    }
+
+    let opts = EvalOptions {
+        threads,
+        ..EvalOptions::default()
+    };
+
+    let mut entries = Vec::new();
+    let mut sf_wins = 0usize;
+    for &name in DATASETS {
+        let ds = by_name(name, scale, seed).expect("dataset");
+        let declared = ds.db.foreign_keys().to_vec();
+        let stripped = stripped_copy(&ds.db);
+        eprintln!(
+            "# {name}: {} tables, {} rows, {} declared FKs",
+            ds.db.table_count(),
+            ds.db.total_rows(),
+            declared.len()
+        );
+
+        // (a) Raw discovery cost on the FK-stripped database.
+        let disc_cfg = DiscoveryConfig {
+            enabled: true,
+            threshold: opts.disc_threshold,
+            threads,
+            ..DiscoveryConfig::default()
+        };
+        let cpu_before = process_cpu_time();
+        let wall_start = Instant::now();
+        let discovered = discover_relationships(&stripped, &disc_cfg);
+        let disc_wall_s = wall_start.elapsed().as_secs_f64();
+        let disc_cpu_s = (process_cpu_time() - cpu_before).as_secs_f64();
+
+        // (b) Precision/recall of discovered endpoint pairs vs declared FKs.
+        let hits = discovered
+            .iter()
+            .filter(|rel| {
+                declared.iter().any(|fk| {
+                    matches_fk(
+                        (rel.from_table.as_str(), rel.from_column.as_str()),
+                        (rel.to_table.as_str(), rel.to_column.as_str()),
+                        fk,
+                    )
+                })
+            })
+            .count();
+        let recovered = declared
+            .iter()
+            .filter(|fk| {
+                discovered.iter().any(|rel| {
+                    matches_fk(
+                        (rel.from_table.as_str(), rel.from_column.as_str()),
+                        (rel.to_table.as_str(), rel.to_column.as_str()),
+                        fk,
+                    )
+                })
+            })
+            .count();
+        let precision = if discovered.is_empty() {
+            1.0
+        } else {
+            hits as f64 / discovered.len() as f64
+        };
+        let recall = if declared.is_empty() {
+            1.0
+        } else {
+            recovered as f64 / declared.len() as f64
+        };
+
+        // (c) Injection stats from a schema-free fit (discovery stage timed
+        // inside the pipeline).
+        let mut cfg = leva_config(&opts, leva::EmbeddingMethod::MatrixFactorization);
+        cfg.discovery.enabled = true;
+        cfg.discovery.threshold = opts.disc_threshold;
+        let model = Leva::with_config(cfg)
+            .base_table(&ds.base_table)
+            .target(&ds.target_column)
+            .fit(&stripped)
+            .expect("schema-free fit");
+        let inj = model.discovery_injection;
+        let stage_wall_s = model.timings.wall("discovery").as_secs_f64();
+
+        // (d) Downstream metric: Base vs schema-free Leva vs Full (RF).
+        let metric = |approach| {
+            let prep = prepare(&ds, approach, &opts);
+            eval_model(&prep, ModelKind::RandomForest, &opts)
+        };
+        let base = metric(Approach::Base);
+        let schema_free = metric(Approach::EmbSchemaFree);
+        let full = metric(Approach::Full);
+        // Accuracy for classification (higher better), MAE for regression
+        // (lower better).
+        let higher_better = matches!(ds.task, TaskKind::Classification { .. });
+        let sf_beats_base = if higher_better {
+            schema_free > base
+        } else {
+            schema_free < base
+        };
+        sf_wins += usize::from(sf_beats_base);
+        eprintln!(
+            "# {name}: P={precision:.2} R={recall:.2} edges={} base={base:.4} sf={schema_free:.4} full={full:.4}",
+            inj.edges_added
+        );
+
+        let mut e = String::new();
+        e.push_str(&format!("    {{\n      \"dataset\": \"{name}\",\n"));
+        e.push_str(&format!(
+            "      \"task\": \"{}\",\n",
+            if higher_better {
+                "classification"
+            } else {
+                "regression"
+            }
+        ));
+        e.push_str(&format!("      \"declared_fks\": {},\n", declared.len()));
+        e.push_str(&format!("      \"discovered\": {},\n", discovered.len()));
+        e.push_str(&format!("      \"precision\": {precision:.4},\n"));
+        e.push_str(&format!("      \"recall\": {recall:.4},\n"));
+        e.push_str(&format!("      \"discovery_wall_s\": {disc_wall_s:.4},\n"));
+        e.push_str(&format!("      \"discovery_cpu_s\": {disc_cpu_s:.4},\n"));
+        e.push_str(&format!(
+            "      \"pipeline_stage_wall_s\": {stage_wall_s:.4},\n"
+        ));
+        e.push_str(&format!(
+            "      \"groups_applied\": {},\n",
+            inj.groups_applied
+        ));
+        e.push_str(&format!("      \"edges_added\": {},\n", inj.edges_added));
+        e.push_str(&format!(
+            "      \"value_nodes_added\": {},\n",
+            inj.value_nodes_added
+        ));
+        e.push_str(&format!("      \"metric_base\": {base:.4},\n"));
+        e.push_str(&format!(
+            "      \"metric_schema_free\": {schema_free:.4},\n"
+        ));
+        e.push_str(&format!("      \"metric_full\": {full:.4},\n"));
+        e.push_str(&format!(
+            "      \"schema_free_beats_base\": {sf_beats_base}\n"
+        ));
+        e.push_str("    }");
+        entries.push(e);
+    }
+
+    let mut json = String::with_capacity(2048);
+    json.push_str("{\n");
+    json.push_str("  \"bench\": \"discovery\",\n");
+    json.push_str(&format!("  \"scale\": {scale},\n"));
+    json.push_str(&format!("  \"seed\": {seed},\n"));
+    json.push_str(&format!("  \"threads\": {threads},\n"));
+    json.push_str(&format!("  \"disc_threshold\": {},\n", opts.disc_threshold));
+    json.push_str(&format!("  \"schema_free_wins\": {sf_wins},\n"));
+    json.push_str("  \"datasets\": [\n");
+    json.push_str(&entries.join(",\n"));
+    json.push_str("\n  ]\n}\n");
+
+    if let Some(dir) = std::path::Path::new(&out).parent() {
+        std::fs::create_dir_all(dir).expect("create results dir");
+    }
+    std::fs::write(&out, &json).expect("write results");
+    println!("{json}");
+    eprintln!("# wrote {out}");
+    assert!(
+        sf_wins >= 1,
+        "schema-free Leva should beat Base on at least one dataset"
+    );
+}

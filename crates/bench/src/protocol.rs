@@ -40,6 +40,9 @@ pub enum Approach {
     EmbMf,
     /// Leva embedding, random walks.
     EmbRw,
+    /// Schema-free Leva: declared FKs stripped, content-based join
+    /// discovery enabled, matrix factorization.
+    EmbSchemaFree,
     /// Word2Vec over row sentences (Table 5).
     Word2Vec,
     /// Node2Vec over the unrefined graph (Table 5).
@@ -60,6 +63,7 @@ impl Approach {
             Self::Disc => "Disc",
             Self::EmbMf => "Emb MF",
             Self::EmbRw => "Emb RW",
+            Self::EmbSchemaFree => "Leva SF",
             Self::Word2Vec => "Word2Vec",
             Self::Node2Vec => "Node2Vec",
             Self::EmbDi => "EmbDI",
@@ -306,17 +310,30 @@ pub fn prepare(ds: &LabeledDataset, approach: Approach, opts: &EvalOptions) -> P
             }
             (x_train, x_test)
         }
-        Approach::EmbMf | Approach::EmbRw => {
-            let method = if approach == Approach::EmbMf {
-                EmbeddingMethod::MatrixFactorization
-            } else {
+        Approach::EmbMf | Approach::EmbRw | Approach::EmbSchemaFree => {
+            let method = if approach == Approach::EmbRw {
                 EmbeddingMethod::RandomWalk
+            } else {
+                EmbeddingMethod::MatrixFactorization
             };
-            let cfg = leva_config(opts, method);
+            let mut cfg = leva_config(opts, method);
+            let stripped;
+            let fit_db = if approach == Approach::EmbSchemaFree {
+                // Schema-free mode: Leva sees no declared relationships and
+                // must recover them by content discovery.
+                let mut s = train_db.clone();
+                s.clear_foreign_keys();
+                cfg.discovery.enabled = true;
+                cfg.discovery.threshold = opts.disc_threshold;
+                stripped = s;
+                &stripped
+            } else {
+                &train_db
+            };
             let model = Leva::with_config(cfg)
                 .base_table(base)
                 .target(target)
-                .fit(&train_db)
+                .fit(fit_db)
                 .expect("leva fit");
             (
                 model.featurize_base(opts.featurization),

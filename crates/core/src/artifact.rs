@@ -19,7 +19,12 @@
 //! | `TOKD` | tokenized database: attributes, encoders, row streams      |
 //! | `GRPH` | graph CSR: node tokens, adjacency + weights, row offsets   |
 //! | `STOR` | dense embedding store (f64 bit patterns)                   |
+//! | `DISC` | discovered relationships + injection counters (v2 only)    |
 //! | `META` | base table, method, memory estimate, timings, ingest audit |
+//!
+//! Version history: v1 had no `DISC` chunk and no discovery fields in
+//! `CONF`; v1 artifacts still load, with an empty discovery set and the
+//! default (disabled) discovery configuration. v2 artifacts require `DISC`.
 //!
 //! Decoding is strictly bounded: every declared length is validated against
 //! the remaining buffer *before* any allocation, all length arithmetic is
@@ -31,8 +36,9 @@ use crate::config::{EmbeddingMethod, Featurization, LevaConfig};
 use crate::memory::MemoryEstimate;
 use crate::pipeline::{LevaModel, MethodUsed};
 use crate::timing::StageTimings;
+use leva_discovery::{DiscoveredRelationship, DiscoveryConfig};
 use leva_embedding::EmbeddingStore;
-use leva_graph::LevaGraph;
+use leva_graph::{LevaGraph, RelationshipInjection};
 use leva_interner::codec::{crc32, ByteReader, ByteWriter, DecodeError};
 use leva_interner::TokenInterner;
 use leva_relational::{CellIssue, IngestReport, IssueReason};
@@ -43,13 +49,16 @@ use std::sync::Arc;
 use std::time::Duration;
 
 const MAGIC: &[u8; 4] = b"LEVA";
-const ARTIFACT_VERSION: u32 = 1;
+const ARTIFACT_VERSION: u32 = 2;
+/// Oldest artifact version [`LevaModel::from_bytes`] still accepts.
+const MIN_ARTIFACT_VERSION: u32 = 1;
 
 const TAG_SYMB: [u8; 4] = *b"SYMB";
 const TAG_CONF: [u8; 4] = *b"CONF";
 const TAG_TOKD: [u8; 4] = *b"TOKD";
 const TAG_GRPH: [u8; 4] = *b"GRPH";
 const TAG_STOR: [u8; 4] = *b"STOR";
+const TAG_DISC: [u8; 4] = *b"DISC";
 const TAG_META: [u8; 4] = *b"META";
 
 /// Errors produced while reading or writing a model artifact.
@@ -154,7 +163,14 @@ fn finish_chunk(r: &ByteReader<'_>, chunk: &'static str) -> Result<(), ArtifactE
 impl LevaModel {
     /// Serializes the whole fitted model into the chunked artifact format.
     pub fn to_bytes(&self) -> Vec<u8> {
-        let chunks: [([u8; 4], Vec<u8>); 6] = [
+        self.to_bytes_with_version(ARTIFACT_VERSION)
+    }
+
+    /// Serializes at an explicit format version. Version 1 omits the `DISC`
+    /// chunk and the discovery fields of `CONF` — kept (crate-private) so
+    /// tests can fabricate genuine legacy artifacts.
+    pub(crate) fn to_bytes_with_version(&self, version: u32) -> Vec<u8> {
+        let mut chunks: Vec<([u8; 4], Vec<u8>)> = vec![
             (TAG_SYMB, {
                 let mut w = ByteWriter::new();
                 self.graph.symbols().encode_into(&mut w);
@@ -162,7 +178,7 @@ impl LevaModel {
             }),
             (TAG_CONF, {
                 let mut w = ByteWriter::new();
-                encode_config(&self.config, &mut w);
+                encode_config(&self.config, &mut w, version);
                 w.into_bytes()
             }),
             (TAG_TOKD, {
@@ -180,16 +196,23 @@ impl LevaModel {
                 self.store.encode_into(&mut w);
                 w.into_bytes()
             }),
-            (TAG_META, {
-                let mut w = ByteWriter::new();
-                encode_meta(self, &mut w);
-                w.into_bytes()
-            }),
         ];
+        if version >= 2 {
+            chunks.push((TAG_DISC, {
+                let mut w = ByteWriter::new();
+                encode_disc(self, &mut w);
+                w.into_bytes()
+            }));
+        }
+        chunks.push((TAG_META, {
+            let mut w = ByteWriter::new();
+            encode_meta(self, &mut w);
+            w.into_bytes()
+        }));
         let total: usize = 12 + chunks.iter().map(|(_, p)| p.len() + 16).sum::<usize>();
         let mut out = ByteWriter::with_capacity(total);
         out.put_raw(MAGIC);
-        out.put_u32(ARTIFACT_VERSION);
+        out.put_u32(version);
         out.put_u32(chunks.len() as u32);
         for (tag, payload) in &chunks {
             out.put_raw(tag);
@@ -210,7 +233,7 @@ impl LevaModel {
             return Err(ArtifactError::BadMagic);
         }
         let version = r.take_u32().map_err(|_| ArtifactError::Truncated)?;
-        if version != ARTIFACT_VERSION {
+        if !(MIN_ARTIFACT_VERSION..=ARTIFACT_VERSION).contains(&version) {
             return Err(ArtifactError::UnsupportedVersion(version));
         }
         let chunk_count = r.take_u32().map_err(|_| ArtifactError::Truncated)?;
@@ -220,6 +243,7 @@ impl LevaModel {
         let mut tokd: Option<&[u8]> = None;
         let mut grph: Option<&[u8]> = None;
         let mut stor: Option<&[u8]> = None;
+        let mut disc: Option<&[u8]> = None;
         let mut meta: Option<&[u8]> = None;
         for _ in 0..chunk_count {
             let tag: [u8; 4] = r
@@ -244,6 +268,9 @@ impl LevaModel {
                 TAG_TOKD => &mut tokd,
                 TAG_GRPH => &mut grph,
                 TAG_STOR => &mut stor,
+                // A DISC chunk in a v1 artifact is as malformed as an
+                // unknown tag: v1 writers never produced one.
+                TAG_DISC if version >= 2 => &mut disc,
                 TAG_META => &mut meta,
                 _ => {
                     return Err(ArtifactError::BadChunk {
@@ -266,7 +293,7 @@ impl LevaModel {
         finish_chunk(&r, "SYMB")?;
 
         let mut r = ByteReader::new(conf.ok_or(ArtifactError::MissingChunk("CONF"))?);
-        let config = decode_config(&mut r).map_err(in_chunk("CONF"))?;
+        let config = decode_config(&mut r, version).map_err(in_chunk("CONF"))?;
         finish_chunk(&r, "CONF")?;
 
         let mut r = ByteReader::new(tokd.ok_or(ArtifactError::MissingChunk("TOKD"))?);
@@ -283,6 +310,17 @@ impl LevaModel {
             .map_err(in_chunk("STOR"))?;
         finish_chunk(&r, "STOR")?;
 
+        // DISC is required at v2 and absent at v1 (legacy artifacts load
+        // with an empty discovery set).
+        let (discovered, discovery_injection) = if version >= 2 {
+            let mut r = ByteReader::new(disc.ok_or(ArtifactError::MissingChunk("DISC"))?);
+            let decoded = decode_disc(&mut r).map_err(in_chunk("DISC"))?;
+            finish_chunk(&r, "DISC")?;
+            decoded
+        } else {
+            (Vec::new(), RelationshipInjection::default())
+        };
+
         let mut r = ByteReader::new(meta.ok_or(ArtifactError::MissingChunk("META"))?);
         let meta = decode_meta(&mut r).map_err(in_chunk("META"))?;
         finish_chunk(&r, "META")?;
@@ -296,7 +334,7 @@ impl LevaModel {
             });
         }
 
-        check_consistency(&config, &tokenized, &graph, &store, &meta)?;
+        check_consistency(&config, &tokenized, &graph, &store, &meta, &discovered)?;
 
         Ok(LevaModel {
             config,
@@ -310,6 +348,8 @@ impl LevaModel {
             base_table_index: meta.base_table_index,
             target_column: meta.target_column,
             ingest: meta.ingest,
+            discovered,
+            discovery_injection,
             featurizer: std::sync::OnceLock::new(),
         })
     }
@@ -337,6 +377,7 @@ fn check_consistency(
     graph: &LevaGraph,
     store: &EmbeddingStore,
     meta: &Meta,
+    discovered: &[DiscoveredRelationship],
 ) -> Result<(), ArtifactError> {
     let fail = |reason: &'static str| Err(ArtifactError::Inconsistent { reason });
     if tokenized.tables.len() != graph.table_names().len() {
@@ -370,12 +411,26 @@ fn check_consistency(
     if store.dim() != expected_dim {
         return fail("STOR dimension disagrees with the CONF embedding dimension");
     }
+    // Every discovered relationship must reference tables and columns the
+    // tokenized database actually has — a DISC chunk naming phantom
+    // columns was crafted or stitched from another model.
+    for rel in discovered {
+        if tokenized
+            .encoder(&rel.from_table, &rel.from_column)
+            .is_none()
+        {
+            return fail("DISC references a table/column absent from TOKD (from side)");
+        }
+        if tokenized.encoder(&rel.to_table, &rel.to_column).is_none() {
+            return fail("DISC references a table/column absent from TOKD (to side)");
+        }
+    }
     Ok(())
 }
 
 // --- CONF chunk ---------------------------------------------------------
 
-fn encode_config(c: &LevaConfig, w: &mut ByteWriter) {
+fn encode_config(c: &LevaConfig, w: &mut ByteWriter, version: u32) {
     w.put_u64(c.dim as u64);
     w.put_u64(c.textify.bin_count as u64);
     w.put_u8(match c.textify.histogram {
@@ -434,9 +489,18 @@ fn encode_config(c: &LevaConfig, w: &mut ByteWriter) {
     });
     w.put_u64(c.seed);
     w.put_u64(c.threads as u64);
+    // Discovery fields exist from format version 2.
+    if version >= 2 {
+        w.put_u8(u8::from(c.discovery.enabled));
+        w.put_f64(c.discovery.threshold);
+        w.put_u64(c.discovery.max_candidates_per_column as u64);
+        w.put_u64(c.discovery.min_distinct as u64);
+        w.put_u64(c.discovery.signature_size as u64);
+        w.put_u64(c.discovery.threads as u64);
+    }
 }
 
-fn decode_config(r: &mut ByteReader<'_>) -> Result<LevaConfig, DecodeError> {
+fn decode_config(r: &mut ByteReader<'_>, version: u32) -> Result<LevaConfig, DecodeError> {
     // Struct-literal fields evaluate in source order, which keeps these
     // reads aligned with `encode_config`'s writes.
     Ok(LevaConfig {
@@ -508,7 +572,80 @@ fn decode_config(r: &mut ByteReader<'_>) -> Result<LevaConfig, DecodeError> {
         },
         seed: r.take_u64()?,
         threads: r.take_usize()?,
+        // Written after `threads` (literal order = read order); absent in
+        // v1 artifacts, which predate the discovery stage.
+        discovery: if version >= 2 {
+            DiscoveryConfig {
+                enabled: r.take_u8()? != 0,
+                threshold: {
+                    let t = r.take_f64()?;
+                    if !t.is_finite() || !(0.0..=1.0).contains(&t) {
+                        return Err(DecodeError::Invalid("discovery threshold out of range"));
+                    }
+                    t
+                },
+                max_candidates_per_column: r.take_usize()?,
+                min_distinct: r.take_usize()?,
+                signature_size: r.take_usize()?,
+                threads: r.take_usize()?,
+            }
+        } else {
+            DiscoveryConfig::default()
+        },
     })
+}
+
+// --- DISC chunk ---------------------------------------------------------
+
+fn encode_disc(m: &LevaModel, w: &mut ByteWriter) {
+    w.put_u32(u32::try_from(m.discovered.len()).expect("relationship count fits u32"));
+    for rel in &m.discovered {
+        w.put_str(&rel.from_table);
+        w.put_str(&rel.from_column);
+        w.put_str(&rel.to_table);
+        w.put_str(&rel.to_column);
+        w.put_f64(rel.containment);
+        w.put_f64(rel.jaccard);
+    }
+    w.put_u64(m.discovery_injection.groups_applied as u64);
+    w.put_u64(m.discovery_injection.edges_added as u64);
+    w.put_u64(m.discovery_injection.value_nodes_added as u64);
+}
+
+fn decode_disc(
+    r: &mut ByteReader<'_>,
+) -> Result<(Vec<DiscoveredRelationship>, RelationshipInjection), DecodeError> {
+    // Minimum encoded relationship: four 4-byte string length prefixes plus
+    // two f64 scores.
+    let n_rels = r.take_count(32)?;
+    let mut discovered = Vec::with_capacity(n_rels);
+    for _ in 0..n_rels {
+        let rel = DiscoveredRelationship {
+            from_table: r.take_str()?.to_owned(),
+            from_column: r.take_str()?.to_owned(),
+            to_table: r.take_str()?.to_owned(),
+            to_column: r.take_str()?.to_owned(),
+            containment: r.take_f64()?,
+            jaccard: r.take_f64()?,
+        };
+        // Confidence scores are probabilities by construction; anything
+        // else (NaN, inf, negative) is hostile bytes.
+        if !rel.containment.is_finite() || !(0.0..=1.0).contains(&rel.containment) {
+            return Err(DecodeError::Invalid(
+                "non-finite or out-of-range containment",
+            ));
+        }
+        if !rel.jaccard.is_finite() || !(0.0..=1.0).contains(&rel.jaccard) {
+            return Err(DecodeError::Invalid("non-finite or out-of-range jaccard"));
+        }
+        discovered.push(rel);
+    }
+    let injection = RelationshipInjection {
+        groups_applied: r.take_usize()?,
+        edges_added: r.take_usize()?,
+        value_nodes_added: r.take_usize()?,
+    };
+    Ok((discovered, injection))
 }
 
 // --- META chunk ---------------------------------------------------------
@@ -886,17 +1023,169 @@ mod tests {
         cfg.textify.histogram = HistogramChoice::ForceEquiDepth;
         cfg.walks.visit_limit = Some(42);
         cfg.featurization = Featurization::RowOnly;
+        cfg.discovery.enabled = true;
+        cfg.discovery.threshold = 0.85;
+        cfg.discovery.min_distinct = 11;
         let mut w = ByteWriter::new();
-        encode_config(&cfg, &mut w);
+        encode_config(&cfg, &mut w, ARTIFACT_VERSION);
         let bytes = w.into_bytes();
         let mut r = ByteReader::new(&bytes);
-        let back = decode_config(&mut r).unwrap();
+        let back = decode_config(&mut r, ARTIFACT_VERSION).unwrap();
         assert!(r.is_exhausted());
         let mut w2 = ByteWriter::new();
-        encode_config(&back, &mut w2);
+        encode_config(&back, &mut w2, ARTIFACT_VERSION);
         assert_eq!(w2.into_bytes(), bytes, "config codec not a fixed point");
         assert_eq!(back.dim, 17);
         assert_eq!(back.walks.visit_limit, Some(42));
         assert_eq!(back.featurization, Featurization::RowOnly);
+        assert!(back.discovery.enabled);
+        assert_eq!(back.discovery.threshold, 0.85);
+        assert_eq!(back.discovery.min_distinct, 11);
+    }
+
+    /// A fit with discovery enabled on a DB whose join is only reachable by
+    /// content discovery (differently-named int key columns, no declared
+    /// FKs): the discovered set and injection counters survive the round
+    /// trip and the artifact is a byte-level fixed point.
+    fn fit_with_discovery() -> LevaModel {
+        let mut db = Database::new();
+        let mut base = Table::new("base", vec!["id", "machine_id", "target"]);
+        for i in 0..30i64 {
+            base.push_row(vec![
+                format!("e{i}").into(),
+                Value::Int(100 + i % 12),
+                Value::Int(i % 2),
+            ])
+            .unwrap();
+        }
+        let mut machines = Table::new("machines", vec!["mid", "site"]);
+        for i in 0..12i64 {
+            machines
+                .push_row(vec![
+                    Value::Int(100 + i),
+                    ["north", "south"][(i % 2) as usize].into(),
+                ])
+                .unwrap();
+        }
+        db.add_table(base).unwrap();
+        db.add_table(machines).unwrap();
+        let mut cfg = LevaConfig::fast();
+        cfg.discovery.enabled = true;
+        cfg.discovery.threshold = 0.5;
+        Leva::with_config(cfg)
+            .base_table("base")
+            .target("target")
+            .fit(&db)
+            .unwrap()
+    }
+
+    #[test]
+    fn discovery_round_trips_bitwise() {
+        let model = fit_with_discovery();
+        assert!(
+            !model.discovered.is_empty(),
+            "fixture DB has a shared id column to discover"
+        );
+        assert!(model.discovery_injection.edges_added > 0);
+        let bytes = model.to_bytes();
+        let back = LevaModel::from_bytes(&bytes).unwrap();
+        assert_eq!(back.discovered, model.discovered);
+        assert_eq!(back.discovery_injection, model.discovery_injection);
+        assert_eq!(back.to_bytes(), bytes, "save→load→save not a fixed point");
+    }
+
+    #[test]
+    fn legacy_v1_artifacts_still_load() {
+        let model = fit();
+        let v1 = model.to_bytes_with_version(1);
+        assert_eq!(v1[4], 1, "version byte");
+        let back = LevaModel::from_bytes(&v1).unwrap();
+        assert!(back.discovered.is_empty());
+        assert_eq!(back.discovery_injection, Default::default());
+        assert!(!back.config.discovery.enabled);
+        assert_bitwise_equal_features(&model, &back);
+        // Re-saving a legacy model upgrades it to the current version.
+        let upgraded = back.to_bytes();
+        assert_eq!(upgraded[4], ARTIFACT_VERSION as u8);
+        LevaModel::from_bytes(&upgraded).unwrap();
+    }
+
+    #[test]
+    fn disc_chunk_in_v1_artifact_is_rejected() {
+        let model = fit();
+        let mut bytes = model.to_bytes();
+        // Downgrade the version header but keep the v2 chunk set: the DISC
+        // chunk (and the CONF discovery fields) make it malformed.
+        bytes[4] = 1;
+        assert!(LevaModel::from_bytes(&bytes).is_err());
+    }
+
+    #[test]
+    fn hostile_disc_scores_are_rejected() {
+        let model = fit_with_discovery();
+        let base = model.to_bytes();
+        let (start, len) = find_chunk(&base, TAG_DISC).expect("DISC chunk present");
+        let needle = model.discovered[0].containment.to_le_bytes();
+        let pos = start
+            + base[start..start + len]
+                .windows(8)
+                .position(|w| w == needle)
+                .expect("containment bytes present in DISC payload");
+        for bad in [f64::NAN, f64::INFINITY, -0.25, 1.5] {
+            let mut bytes = base.clone();
+            bytes[pos..pos + 8].copy_from_slice(&bad.to_le_bytes());
+            patch_disc_crc(&mut bytes);
+            let err = LevaModel::from_bytes(&bytes).unwrap_err();
+            assert!(
+                matches!(err, ArtifactError::Decode { chunk: "DISC", .. }),
+                "score {bad} gave {err}"
+            );
+        }
+    }
+
+    #[test]
+    fn disc_phantom_references_are_inconsistent() {
+        let model = fit_with_discovery();
+        let mut bytes = model.to_bytes();
+        // Same-length table-name swap inside the DISC chunk keeps every
+        // length field valid while pointing at a phantom table.
+        let (start, len) = find_chunk(&bytes, TAG_DISC).expect("DISC chunk present");
+        let payload = &mut bytes[start..start + len];
+        let from_table = model.discovered[0].from_table.as_bytes();
+        let pos = payload
+            .windows(from_table.len())
+            .position(|w| w == from_table)
+            .expect("table name in DISC payload");
+        for b in &mut payload[pos..pos + from_table.len()] {
+            *b = b'z';
+        }
+        patch_disc_crc(&mut bytes);
+        assert!(matches!(
+            LevaModel::from_bytes(&bytes).unwrap_err(),
+            ArtifactError::Inconsistent { .. }
+        ));
+    }
+
+    /// Byte offset and length of a chunk's payload within an artifact.
+    fn find_chunk(bytes: &[u8], tag: [u8; 4]) -> Option<(usize, usize)> {
+        let mut off = 12;
+        let count = u32::from_le_bytes(bytes[8..12].try_into().unwrap());
+        for _ in 0..count {
+            let t: [u8; 4] = bytes[off..off + 4].try_into().unwrap();
+            let len = u64::from_le_bytes(bytes[off + 4..off + 12].try_into().unwrap()) as usize;
+            let start = off + 16;
+            if t == tag {
+                return Some((start, len));
+            }
+            off = start + len;
+        }
+        None
+    }
+
+    /// Recomputes the DISC chunk's CRC after a test mutated its payload.
+    fn patch_disc_crc(bytes: &mut [u8]) {
+        let (start, len) = find_chunk(bytes, TAG_DISC).expect("DISC chunk present");
+        let crc = crc32(&bytes[start..start + len]);
+        bytes[start - 4..start].copy_from_slice(&crc.to_le_bytes());
     }
 }

@@ -2,6 +2,7 @@
 //! the paper's defaults, so `LevaConfig::default()` reproduces the system
 //! as evaluated.
 
+use leva_discovery::DiscoveryConfig;
 use leva_embedding::{MfConfig, SgnsConfig, WalkConfig};
 use leva_graph::GraphConfig;
 use leva_textify::TextifyConfig;
@@ -40,6 +41,10 @@ pub struct LevaConfig {
     pub textify: TextifyConfig,
     /// Graph construction/refinement (θ_range 50%, θ_min 5%, weighted).
     pub graph: GraphConfig,
+    /// Content-based join discovery (off by default; when enabled, runs as
+    /// a timed stage before graph construction and threads discovered
+    /// relationships into the graph as confidence-weighted extra edges).
+    pub discovery: DiscoveryConfig,
     /// Embedding method selection.
     pub method: EmbeddingMethod,
     /// Matrix-factorization parameters.
@@ -68,6 +73,7 @@ impl Default for LevaConfig {
             dim,
             textify: TextifyConfig::default(),
             graph: GraphConfig::default(),
+            discovery: DiscoveryConfig::default(),
             method: EmbeddingMethod::Auto {
                 memory_budget_bytes: 2 * 1024 * 1024 * 1024,
             },
@@ -140,6 +146,7 @@ impl LevaConfig {
     /// exact reproducibility of the RW path matters more than speed).
     pub fn with_threads(mut self, threads: usize) -> Self {
         self.threads = threads;
+        self.discovery.threads = threads;
         self.sgns.threads = threads.max(1);
         self
     }
@@ -184,6 +191,9 @@ impl LevaConfig {
         if self.textify.bin_count == 0 {
             return Err("textify.bin_count must be positive".to_owned());
         }
+        self.discovery
+            .validate()
+            .map_err(|e| format!("discovery: {e}"))?;
         Ok(())
     }
 }

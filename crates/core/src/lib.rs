@@ -71,6 +71,8 @@ pub use deploy::FeaturizeBatch;
 pub use er::{match_embeddings, resolve_entities, score_matches, ErOptions, ErResult};
 pub use featurizer::Featurizer;
 pub use finetune::{droppable_tables, finetune_drop_tables};
+pub use leva_discovery::{discover_relationships, DiscoveredRelationship, DiscoveryConfig};
+pub use leva_graph::RelationshipInjection;
 pub use leva_relational::{CellIssue, IngestMode, IngestOptions, IngestReport, IssueReason};
 pub use memory::{estimate, mf_fits, MemoryEstimate};
 pub use pipeline::{Leva, LevaError, LevaModel, MethodUsed};

@@ -18,8 +18,12 @@ use crate::config::{EmbeddingMethod, LevaConfig};
 use crate::featurizer::Featurizer;
 use crate::memory::{estimate, mf_fits, MemoryEstimate};
 use crate::timing::{process_cpu_time, StageTimings};
+use leva_discovery::{discover_relationships, DiscoveredRelationship};
 use leva_embedding::{build_mf_embedding, generate_walks, train_sgns, EmbeddingStore};
-use leva_graph::{build_graph, GraphIndexError, LevaGraph};
+use leva_graph::{
+    build_graph_with_relationships, resolve_relationship_edges, GraphIndexError, LevaGraph,
+    RelationshipHint, RelationshipInjection,
+};
 use leva_linalg::resolve_threads;
 use leva_relational::{csv, Database, IngestOptions, IngestReport, RelationalError};
 use leva_textify::{textify, TokenizedDatabase};
@@ -136,6 +140,13 @@ pub struct LevaModel {
     /// [`Leva::fit_csv`] (empty for pre-built databases). Surfaced next to
     /// `timings` so operators can audit dirt alongside performance.
     pub ingest: Vec<IngestReport>,
+    /// Content-discovered relationships, in confidence order (empty when
+    /// the discovery stage is disabled). Persisted in the artifact's `DISC`
+    /// chunk and surfaced by `/metrics` in serving.
+    pub discovered: Vec<DiscoveredRelationship>,
+    /// What relationship injection (declared FKs + discovered joins) did to
+    /// the graph. All-zero when the discovery stage is disabled.
+    pub discovery_injection: RelationshipInjection,
     /// Lazily built serving featurizer (see [`LevaModel::featurizer`]).
     /// Not serialized: artifacts stay byte-identical and the cache is
     /// rebuilt on first featurization after a load.
@@ -161,6 +172,8 @@ impl LevaModel {
             base_table_index: self.base_table_index,
             target_column: self.target_column.clone(),
             ingest: self.ingest.clone(),
+            discovered: self.discovered.clone(),
+            discovery_injection: self.discovery_injection,
             featurizer: OnceLock::new(),
         }
     }
@@ -319,10 +332,55 @@ fn run_pipeline(
     let mut timings = StageTimings::default();
     let mut stage_clock = StageClock::start();
 
+    // Discovery stage (off by default): content-based join discovery over
+    // the target-stripped working database. Runs before textification so
+    // the discovered relationships (plus the declared FKs, which keep
+    // confidence 1.0) can be threaded into graph construction as
+    // confidence-weighted extra edges. When disabled, the hint list stays
+    // empty and graph construction is bitwise identical to the organic path.
+    let mut discovered: Vec<DiscoveredRelationship> = Vec::new();
+    let mut hints: Vec<RelationshipHint> = Vec::new();
+    if config.discovery.enabled {
+        let mut disc_cfg = config.discovery.clone();
+        disc_cfg.threads = threads;
+        discovered = discover_relationships(&working, &disc_cfg);
+        for fk in working.foreign_keys() {
+            hints.push(RelationshipHint {
+                from_table: fk.from_table.clone(),
+                from_column: fk.from_column.clone(),
+                to_table: fk.to_table.clone(),
+                to_column: fk.to_column.clone(),
+                confidence: 1.0,
+            });
+        }
+        for rel in &discovered {
+            // A discovered relationship that duplicates a declared FK adds
+            // no evidence; the FK's 1.0 confidence wins.
+            let duplicates_fk = hints.iter().any(|h| {
+                h.from_table == rel.from_table
+                    && h.from_column == rel.from_column
+                    && h.to_table == rel.to_table
+                    && h.to_column == rel.to_column
+            });
+            if !duplicates_fk {
+                hints.push(RelationshipHint {
+                    from_table: rel.from_table.clone(),
+                    from_column: rel.from_column.clone(),
+                    to_table: rel.to_table.clone(),
+                    to_column: rel.to_column.clone(),
+                    confidence: rel.containment,
+                });
+            }
+        }
+        stage_clock.lap(&mut timings, "discovery", threads);
+    }
+
     let tokenized = textify(&working, &textify_cfg);
     stage_clock.lap(&mut timings, "textify", threads);
 
-    let graph = build_graph(&tokenized, &config.graph);
+    let groups = resolve_relationship_edges(&working, &tokenized, &hints);
+    let (graph, discovery_injection) =
+        build_graph_with_relationships(&tokenized, &config.graph, &groups);
     stage_clock.lap(&mut timings, "graph", 1);
 
     let memory = estimate(&graph, config.dim, config.mf.oversample, &config.walks);
@@ -368,6 +426,8 @@ fn run_pipeline(
         base_table_index,
         target_column: target_column.map(str::to_owned),
         ingest: Vec::new(),
+        discovered,
+        discovery_injection,
         featurizer: OnceLock::new(),
     })
 }
@@ -531,6 +591,106 @@ mod tests {
             .map(|s| s.stage.as_str())
             .collect();
         assert_eq!(stages, ["textify", "graph", "embedding_training"]);
+    }
+
+    /// base.machine_id (repeating ints) references machines.mid (unique
+    /// ints) under a different name — invisible to organic tokenization,
+    /// found by content discovery.
+    fn discoverable_db() -> Database {
+        let mut db = Database::new();
+        let mut base = Table::new("base", vec!["id", "machine_id", "target"]);
+        for i in 0..30i64 {
+            base.push_row(vec![
+                format!("e{i}").into(),
+                Value::Int(100 + i % 12),
+                Value::Int(i % 2),
+            ])
+            .unwrap();
+        }
+        let mut machines = Table::new("machines", vec!["mid", "site"]);
+        for i in 0..12i64 {
+            machines
+                .push_row(vec![
+                    Value::Int(100 + i),
+                    ["north", "south"][(i % 2) as usize].into(),
+                ])
+                .unwrap();
+        }
+        db.add_table(base).unwrap();
+        db.add_table(machines).unwrap();
+        db
+    }
+
+    #[test]
+    fn discovery_stage_runs_and_is_timed_when_enabled() {
+        let mut cfg = LevaConfig::fast();
+        cfg.discovery.enabled = true;
+        cfg.discovery.threshold = 0.5;
+        let model = Leva::with_config(cfg)
+            .base_table("base")
+            .target("target")
+            .fit(&discoverable_db())
+            .unwrap();
+        let stages: Vec<&str> = model
+            .timings
+            .stages()
+            .iter()
+            .map(|s| s.stage.as_str())
+            .collect();
+        assert_eq!(
+            stages,
+            ["discovery", "textify", "graph", "embedding_training"]
+        );
+        assert!(model
+            .discovered
+            .iter()
+            .any(|r| r.from_column == "machine_id" && r.to_column == "mid"));
+        assert!(model.discovery_injection.edges_added > 0);
+        assert!(model.discovery_injection.value_nodes_added > 0);
+        // The injected bridge is real: a machines-side key token now has a
+        // value node connecting rows of both tables.
+        let vn = model.graph.value_node("mid=100").expect("injected node");
+        assert!(model.graph.degree(vn) >= 2);
+        assert_eq!(model.store.len(), model.graph.n_nodes());
+    }
+
+    #[test]
+    fn disabled_discovery_leaves_model_untouched() {
+        let model = Leva::with_config(LevaConfig::fast())
+            .base_table("base")
+            .target("target")
+            .fit(&discoverable_db())
+            .unwrap();
+        assert!(model.discovered.is_empty());
+        assert_eq!(model.discovery_injection, Default::default());
+        assert!(model
+            .timings
+            .stages()
+            .iter()
+            .all(|s| s.stage != "discovery"));
+        assert!(model.graph.value_node("mid=100").is_none());
+    }
+
+    #[test]
+    fn declared_fks_inject_at_full_confidence_alongside_discovery() {
+        use leva_relational::ForeignKey;
+        let mut db = discoverable_db();
+        db.add_foreign_key(ForeignKey::new("base", "machine_id", "machines", "mid"));
+        let mut cfg = LevaConfig::fast();
+        cfg.discovery.enabled = true;
+        cfg.discovery.threshold = 0.5;
+        let model = Leva::with_config(cfg)
+            .base_table("base")
+            .target("target")
+            .fit(&db)
+            .unwrap();
+        // The declared FK supersedes the duplicate discovered relationship,
+        // so its edges carry full 1.0 confidence: weight == 1/deg exactly.
+        let vn = model.graph.value_node("mid=100").expect("injected node");
+        let deg = model.graph.degree(vn) as f64;
+        for &(_, w) in model.graph.neighbors(vn) {
+            assert_eq!(w.to_bits(), (1.0 / deg).to_bits());
+        }
     }
 
     #[test]

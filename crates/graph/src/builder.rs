@@ -6,6 +6,7 @@
 //! therefore connected through the common value node — `O(MN)` edges instead
 //! of the `O(MN²)` a pairwise row-similarity graph would need.
 
+use crate::relationships::{ExtraEdgeGroup, RelationshipInjection};
 use crate::voting::TokenVotes;
 use leva_interner::{TokenId, TokenInterner};
 use leva_linalg::CsrMatrix;
@@ -298,6 +299,21 @@ impl LevaGraph {
 /// keyed by the tokenized database's interned `TokenId`s; no token string is
 /// constructed or hashed here.
 pub fn build_graph(tokenized: &TokenizedDatabase, cfg: &GraphConfig) -> LevaGraph {
+    build_graph_with_relationships(tokenized, cfg, &[]).0
+}
+
+/// [`build_graph`] plus confidence-weighted relationship edges: each
+/// [`ExtraEdgeGroup`] connects its member rows through the group's value
+/// node with edge confidence in `(0, 1]` (declared FKs 1.0, discovered
+/// joins their containment). Confidences sit in the adjacency slots during
+/// construction and the weighting step divides them by the value node's
+/// degree, so organic edges (confidence 1.0) come out bitwise identical to
+/// [`build_graph`] — an empty `extra` slice IS `build_graph`.
+pub fn build_graph_with_relationships(
+    tokenized: &TokenizedDatabase,
+    cfg: &GraphConfig,
+    extra: &[ExtraEdgeGroup],
+) -> (LevaGraph, RelationshipInjection) {
     let symbols = Arc::clone(&tokenized.symbols);
     let n_symbols = symbols.len();
 
@@ -400,15 +416,75 @@ pub fn build_graph(tokenized: &TokenizedDatabase, cfg: &GraphConfig) -> LevaGrap
         }
     }
 
+    // 3b. Relationship injection: resolved hint groups (declared FKs,
+    //     discovered joins) attach their member rows to the group's value
+    //     node with the hint's confidence in the adjacency slot. Runs
+    //     before weighting so injected edges participate in the degree
+    //     normalization exactly like organic ones.
+    let mut injection = RelationshipInjection::default();
+    for group in extra {
+        if !group.confidence.is_finite() || group.confidence <= 0.0 {
+            continue;
+        }
+        let confidence = group.confidence.min(1.0);
+        // Member (table, row) pairs → row node ids, bounds-checked against
+        // this graph's layout (hints may come from external data).
+        let mut rows: Vec<u32> = group
+            .members
+            .iter()
+            .filter_map(|&(table, row)| {
+                let ti = table as usize;
+                let start = *row_offsets.get(ti)?;
+                let end = row_offsets.get(ti + 1).copied().unwrap_or(n_row_nodes);
+                let node = start + row as usize;
+                (node < end).then_some(node as u32)
+            })
+            .collect();
+        rows.sort_unstable();
+        rows.dedup();
+        if rows.len() < 2 {
+            continue; // same invariant as organic value nodes
+        }
+        if group.token.index() >= value_nodes.len() {
+            continue; // token from a foreign interner — nothing to attach to
+        }
+        let value_node = match value_nodes[group.token.index()] {
+            NO_VALUE_NODE => {
+                let vn = kinds.len() as u32;
+                kinds.push(NodeKind::Value);
+                node_tokens.push(group.token);
+                value_nodes[group.token.index()] = vn;
+                adj.push(Vec::with_capacity(rows.len()));
+                injection.value_nodes_added += 1;
+                vn
+            }
+            vn => vn,
+        };
+        let mut added = 0usize;
+        for row in rows {
+            if adj[value_node as usize].iter().any(|&(r, _)| r == row) {
+                continue; // organic edge already present; keep its confidence
+            }
+            adj[row as usize].push((value_node, confidence));
+            adj[value_node as usize].push((row, confidence));
+            added += 1;
+        }
+        if added > 0 {
+            injection.groups_applied += 1;
+            injection.edges_added += added;
+        }
+    }
+
     // 4. Weighting (Alg. 1 line 13): each row-value edge gets a weight
-    //    inversely proportional to the value node's degree, so hub values
-    //    (weak inclusion-dependency evidence) matter less.
+    //    inversely proportional to the value node's degree, scaled by the
+    //    confidence sitting in the slot (1.0 for organic edges), so hub
+    //    values (weak inclusion-dependency evidence) matter less and
+    //    low-confidence discovered edges matter less still.
     if cfg.weighted {
         for value_node in n_row_nodes..kinds.len() {
             let deg = adj[value_node].len() as f64;
-            let w = 1.0 / deg;
             for entry in &mut adj[value_node] {
-                entry.1 = w;
+                entry.1 /= deg;
             }
         }
         for row_node in 0..n_row_nodes {
@@ -416,7 +492,7 @@ pub fn build_graph(tokenized: &TokenizedDatabase, cfg: &GraphConfig) -> LevaGrap
             // happens implicitly when transition probabilities are formed.
             let updates: Vec<(usize, f64)> = adj[row_node]
                 .iter()
-                .map(|&(v, _)| (v as usize, 1.0 / adj[v as usize].len() as f64))
+                .map(|&(v, conf)| (v as usize, conf / adj[v as usize].len() as f64))
                 .collect();
             for (i, (_, w)) in adj[row_node].iter_mut().enumerate() {
                 *w = updates[i].1;
@@ -424,17 +500,20 @@ pub fn build_graph(tokenized: &TokenizedDatabase, cfg: &GraphConfig) -> LevaGrap
         }
     }
 
-    LevaGraph {
-        kinds,
-        node_tokens,
-        symbols,
-        adj,
-        n_row_nodes,
-        row_offsets,
-        table_names,
-        stats,
-        value_nodes,
-    }
+    (
+        LevaGraph {
+            kinds,
+            node_tokens,
+            symbols,
+            adj,
+            n_row_nodes,
+            row_offsets,
+            table_names,
+            stats,
+            value_nodes,
+        },
+        injection,
+    )
 }
 
 #[cfg(test)]

@@ -13,9 +13,17 @@
 
 mod alias;
 mod builder;
+mod relationships;
 mod serialize;
 mod voting;
 
 pub use alias::AliasTable;
-pub use builder::{build_graph, GraphConfig, GraphIndexError, LevaGraph, NodeKind, RefineStats};
+pub use builder::{
+    build_graph, build_graph_with_relationships, GraphConfig, GraphIndexError, LevaGraph, NodeKind,
+    RefineStats,
+};
+pub use relationships::{
+    resolve_relationship_edges, value_node_tables, ExtraEdgeGroup, RelationshipHint,
+    RelationshipInjection,
+};
 pub use voting::TokenVotes;

@@ -1,0 +1,344 @@
+//! Confidence-weighted relationship edges (the schema-free discovery
+//! stage's hand-off into graph construction).
+//!
+//! Leva's organic graph already bridges tables whose columns emit the same
+//! token — string keys match by raw value, same-named int keys by the
+//! `col=value` convention. What it *cannot* bridge are differently-named
+//! integer key columns (`mid=42` vs `machine_id=42` never collide) and
+//! associations refinement pruned. A [`RelationshipHint`] — a declared FK
+//! or a discovered inclusion `from ⊆ to` — closes that gap: rows of the
+//! two columns that share a cell value are attached to the *to*-side value
+//! node, with the hint's confidence scaling the edge weight (declared FKs
+//! carry 1.0, discovered joins their containment estimate).
+
+use crate::builder::LevaGraph;
+use leva_interner::TokenId;
+use leva_relational::Database;
+use leva_textify::{normalize_token, ColumnClass, TokenizedDatabase};
+use std::collections::HashMap;
+
+/// One cross-table relationship the graph builder should materialize as
+/// extra row↔value edges.
+#[derive(Debug, Clone, PartialEq)]
+pub struct RelationshipHint {
+    /// Table holding the referencing column.
+    pub from_table: String,
+    /// The referencing column.
+    pub from_column: String,
+    /// Table holding the referenced (key-like) column.
+    pub to_table: String,
+    /// The referenced column.
+    pub to_column: String,
+    /// Edge-weight scale in `(0, 1]`: 1.0 for declared FKs, the containment
+    /// estimate for discovered relationships.
+    pub confidence: f64,
+}
+
+/// A resolved group of rows to connect through one value node.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ExtraEdgeGroup {
+    /// The (already interned) token of the value node to connect through —
+    /// the *to*-side column's token for the shared cell value.
+    pub token: TokenId,
+    /// `(table index, row index)` members sharing the value.
+    pub members: Vec<(u32, u32)>,
+    /// Confidence inherited from the hint.
+    pub confidence: f64,
+}
+
+/// Counters describing what relationship injection did to the graph.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct RelationshipInjection {
+    /// Edge groups that contributed at least one new edge.
+    pub groups_applied: usize,
+    /// Undirected row↔value edges added.
+    pub edges_added: usize,
+    /// Value nodes created that refinement had not produced organically.
+    pub value_nodes_added: usize,
+}
+
+/// Resolves relationship hints against the database content: for each hint,
+/// rows of the two columns are grouped by their shared (normalized) cell
+/// value and attached to the *to*-side token for that value. Hints whose
+/// columns are missing, whose confidence is non-positive/non-finite, or
+/// whose *to* column is not value-faithful (numeric bins carry no value
+/// identity) resolve to nothing. Output order is deterministic: hints in
+/// caller order, shared values sorted.
+pub fn resolve_relationship_edges(
+    db: &Database,
+    tokenized: &TokenizedDatabase,
+    hints: &[RelationshipHint],
+) -> Vec<ExtraEdgeGroup> {
+    let table_index: HashMap<&str, usize> = tokenized
+        .tables
+        .iter()
+        .enumerate()
+        .map(|(i, t)| (t.name.as_str(), i))
+        .collect();
+    let mut out = Vec::new();
+    for hint in hints {
+        if !hint.confidence.is_finite() || hint.confidence <= 0.0 {
+            continue;
+        }
+        let confidence = hint.confidence.min(1.0);
+        let (Some(&from_ti), Some(&to_ti)) = (
+            table_index.get(hint.from_table.as_str()),
+            table_index.get(hint.to_table.as_str()),
+        ) else {
+            continue;
+        };
+        let Some(to_enc) = tokenized.encoder(&hint.to_table, &hint.to_column) else {
+            continue;
+        };
+        // The bridge rides on the to-side token, so that token must carry
+        // the cell's identity: keys and atomic strings do, histogram bins
+        // and empty columns do not.
+        if !matches!(
+            to_enc.class,
+            ColumnClass::Key | ColumnClass::StringAtomic | ColumnClass::StringList
+        ) {
+            continue;
+        }
+        let (Ok(from_table), Ok(to_table)) = (db.table(&hint.from_table), db.table(&hint.to_table))
+        else {
+            continue;
+        };
+        let (Ok(from_col), Ok(to_col)) = (
+            from_table.column_index(&hint.from_column),
+            to_table.column_index(&hint.to_column),
+        ) else {
+            continue;
+        };
+
+        // Normalized to-side cell value → (to-token, member rows).
+        let mut groups: HashMap<String, (TokenId, Vec<(u32, u32)>)> = HashMap::new();
+        for row in 0..to_table.row_count() {
+            let Ok(value) = to_table.value(row, to_col) else {
+                continue;
+            };
+            if value.is_null() {
+                continue;
+            }
+            let key = normalize_token(&value.render());
+            if key.is_empty() {
+                continue;
+            }
+            if let Some((_, members)) = groups.get_mut(&key) {
+                members.push((to_ti as u32, row as u32));
+                continue;
+            }
+            let Some(token_text) = to_enc.encode(value).into_iter().find(|t| !t.is_empty()) else {
+                continue;
+            };
+            // The textifier interned every emitted token, so the lookup
+            // only misses for foreign tokenized databases — skip, never
+            // invent ids.
+            let Some(token) = tokenized.symbols.lookup(&token_text) else {
+                continue;
+            };
+            groups.insert(key, (token, vec![(to_ti as u32, row as u32)]));
+        }
+
+        let mut matched: HashMap<&str, bool> = HashMap::new();
+        let mut from_keys: Vec<(String, u32)> = Vec::new();
+        for row in 0..from_table.row_count() {
+            let Ok(value) = from_table.value(row, from_col) else {
+                continue;
+            };
+            if value.is_null() {
+                continue;
+            }
+            let key = normalize_token(&value.render());
+            if groups.contains_key(&key) {
+                from_keys.push((key, row as u32));
+            }
+        }
+        for (key, row) in &from_keys {
+            if let Some((_, members)) = groups.get_mut(key.as_str()) {
+                members.push((from_ti as u32, *row));
+                matched.insert(key, true);
+            }
+        }
+        // Only values actually shared across the two columns become edge
+        // groups: a to-side value with no referencing row adds no
+        // cross-table evidence. Sorted for determinism.
+        type KeyedGroup = (String, (TokenId, Vec<(u32, u32)>));
+        let mut shared: Vec<KeyedGroup> = groups
+            .into_iter()
+            .filter(|(key, _)| matched.contains_key(key.as_str()))
+            .collect();
+        shared.sort_by(|a, b| a.0.cmp(&b.0));
+        for (_, (token, members)) in shared {
+            out.push(ExtraEdgeGroup {
+                token,
+                members,
+                confidence,
+            });
+        }
+    }
+    out
+}
+
+/// Convenience for tests and diagnostics: the number of cross-table edges a
+/// graph has through a given value node.
+pub fn value_node_tables(graph: &LevaGraph, node: u32) -> Vec<u32> {
+    let mut tables: Vec<u32> = graph
+        .neighbors(node)
+        .iter()
+        .filter_map(|&(n, _)| match graph.kind(n) {
+            crate::builder::NodeKind::Row { table, .. } => Some(table),
+            crate::builder::NodeKind::Value => None,
+        })
+        .collect();
+    tables.sort_unstable();
+    tables.dedup();
+    tables
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::builder::{build_graph, build_graph_with_relationships, GraphConfig, NodeKind};
+    use leva_relational::{Table, Value};
+    use leva_textify::{textify, TextifyConfig};
+
+    /// machines.mid (unique int key) referenced by readings.machine_id —
+    /// differently named, so organic tokenization never bridges them:
+    /// machines emits `mid=7`, readings bins the ints numerically.
+    fn int_key_db() -> Database {
+        let mut db = Database::new();
+        let mut machines = Table::new("machines", vec!["mid", "site"]);
+        let sites = ["north", "south"];
+        for i in 0..12i64 {
+            machines
+                .push_row(vec![Value::Int(100 + i), sites[(i % 2) as usize].into()])
+                .unwrap();
+        }
+        let mut readings = Table::new("readings", vec!["rid", "machine_id", "temp"]);
+        for i in 0..36i64 {
+            readings
+                .push_row(vec![
+                    format!("r{i}").into(),
+                    Value::Int(100 + i % 12),
+                    Value::Float(20.0 + (i % 5) as f64),
+                ])
+                .unwrap();
+        }
+        db.add_table(machines).unwrap();
+        db.add_table(readings).unwrap();
+        db
+    }
+
+    fn fk_hint(confidence: f64) -> RelationshipHint {
+        RelationshipHint {
+            from_table: "readings".into(),
+            from_column: "machine_id".into(),
+            to_table: "machines".into(),
+            to_column: "mid".into(),
+            confidence,
+        }
+    }
+
+    #[test]
+    fn int_key_hint_bridges_differently_named_columns() {
+        let db = int_key_db();
+        let tok = textify(&db, &TextifyConfig::default());
+        let cfg = GraphConfig::default();
+        let base = build_graph(&tok, &cfg);
+        // Organically the two tables share no key tokens.
+        let vn = base.value_node("mid=105");
+        assert!(
+            vn.is_none() || value_node_tables(&base, vn.unwrap()) == vec![0],
+            "mid tokens must not bridge tables organically"
+        );
+
+        let groups = resolve_relationship_edges(&db, &tok, &[fk_hint(0.8)]);
+        assert_eq!(groups.len(), 12, "one group per shared mid value");
+        let (g, inj) = build_graph_with_relationships(&tok, &cfg, &groups);
+        assert_eq!(inj.groups_applied, 12);
+        assert!(inj.edges_added >= 12 * 3, "machine row + 3 readings each");
+        let vn = g.value_node("mid=105").expect("mid=105 value node exists");
+        assert_eq!(value_node_tables(&g, vn), vec![0, 1], "bridges both tables");
+        // Injected edges carry confidence-scaled inverse-degree weights.
+        let deg = g.degree(vn) as f64;
+        assert_eq!(deg as usize, 4); // 1 machine row + 3 reading rows
+        for &(n, w) in g.neighbors(vn) {
+            assert!(matches!(g.kind(n), NodeKind::Row { .. }));
+            assert!((w - 0.8 / deg).abs() < 1e-12);
+        }
+    }
+
+    #[test]
+    fn empty_hints_build_is_bitwise_identical() {
+        let db = int_key_db();
+        let tok = textify(&db, &TextifyConfig::default());
+        let cfg = GraphConfig::default();
+        let base = build_graph(&tok, &cfg);
+        let (g, inj) = build_graph_with_relationships(&tok, &cfg, &[]);
+        assert_eq!(inj, RelationshipInjection::default());
+        assert_eq!(g.n_nodes(), base.n_nodes());
+        for u in 0..g.n_nodes() as u32 {
+            let (a, b) = (g.neighbors(u), base.neighbors(u));
+            assert_eq!(a.len(), b.len());
+            for (&(v1, w1), &(v2, w2)) in a.iter().zip(b) {
+                assert_eq!(v1, v2);
+                assert_eq!(w1.to_bits(), w2.to_bits(), "node {u} weight differs");
+            }
+        }
+    }
+
+    #[test]
+    fn hostile_hints_resolve_to_nothing() {
+        let db = int_key_db();
+        let tok = textify(&db, &TextifyConfig::default());
+        let bad = vec![
+            RelationshipHint {
+                confidence: f64::NAN,
+                ..fk_hint(1.0)
+            },
+            RelationshipHint {
+                confidence: -0.5,
+                ..fk_hint(1.0)
+            },
+            RelationshipHint {
+                to_table: "no_such_table".into(),
+                ..fk_hint(1.0)
+            },
+            RelationshipHint {
+                to_column: "no_such_column".into(),
+                ..fk_hint(1.0)
+            },
+            RelationshipHint {
+                // Numeric to-column: bins carry no value identity.
+                to_table: "readings".into(),
+                to_column: "temp".into(),
+                ..fk_hint(1.0)
+            },
+        ];
+        assert!(resolve_relationship_edges(&db, &tok, &bad).is_empty());
+    }
+
+    #[test]
+    fn overconfident_hints_are_clamped_to_one() {
+        let db = int_key_db();
+        let tok = textify(&db, &TextifyConfig::default());
+        let groups = resolve_relationship_edges(&db, &tok, &[fk_hint(3.5)]);
+        assert!(!groups.is_empty());
+        assert!(groups.iter().all(|g| g.confidence == 1.0));
+    }
+
+    #[test]
+    fn out_of_range_group_members_are_skipped() {
+        let db = int_key_db();
+        let tok = textify(&db, &TextifyConfig::default());
+        let cfg = GraphConfig::default();
+        let mut groups = resolve_relationship_edges(&db, &tok, &[fk_hint(0.9)]);
+        // Corrupt one group: bogus table/row indices must be dropped, and a
+        // group left with fewer than two valid rows contributes nothing.
+        groups[0].members = vec![(99, 0), (0, 99_999)];
+        let before = groups.len();
+        let (g, inj) = build_graph_with_relationships(&tok, &cfg, &groups);
+        assert_eq!(inj.groups_applied, before - 1);
+        assert!(g.n_nodes() > 0);
+    }
+}

@@ -72,6 +72,12 @@ impl Database {
         &self.foreign_keys
     }
 
+    /// Drops every declared foreign key — the "schema-free" evaluation
+    /// setting, where only content-based join discovery can relate tables.
+    pub fn clear_foreign_keys(&mut self) {
+        self.foreign_keys.clear();
+    }
+
     /// Table by name.
     pub fn table(&self, name: &str) -> Result<&Table> {
         self.tables

@@ -252,6 +252,19 @@ impl Engine {
             ",\"model\":{{\"version\":{},\"checksum\":{},\"artifact_bytes\":{}}}",
             model.version, model.checksum, model.artifact_bytes
         );
+        let disc = &model.model.config.discovery;
+        let inj = model.model.discovery_injection;
+        let _ = write!(
+            out,
+            ",\"discovery\":{{\"enabled\":{},\"threshold\":{},\"relationships\":{},\
+             \"groups_applied\":{},\"edges_added\":{},\"value_nodes_added\":{}}}",
+            disc.enabled,
+            disc.threshold,
+            model.model.discovered.len(),
+            inj.groups_applied,
+            inj.edges_added,
+            inj.value_nodes_added
+        );
         let _ = write!(out, ",\"swaps\":{}", m.swaps.load(Ordering::Relaxed));
         let _ = write!(
             out,

@@ -228,6 +228,14 @@ fn server_smoke() {
         model_info.get("checksum").unwrap().as_f64(),
         Some(sum_a as f64)
     );
+    // Discovery telemetry: this model was fitted with discovery off, so
+    // the config and injection counters all read zero/false.
+    let disc = m.get("discovery").unwrap();
+    assert_eq!(disc.get("enabled").unwrap().as_bool(), Some(false));
+    assert_eq!(disc.get("relationships").unwrap().as_f64(), Some(0.0));
+    assert_eq!(disc.get("edges_added").unwrap().as_f64(), Some(0.0));
+    assert_eq!(disc.get("value_nodes_added").unwrap().as_f64(), Some(0.0));
+    let disc_before_swap = format!("{disc:?}");
 
     // --- hot swap over HTTP ----------------------------------------
     let (status, doc) = http_swap(addr, &bytes_b);
@@ -262,6 +270,13 @@ fn server_smoke() {
     let (_, m) = get_json(addr, "/metrics");
     assert_eq!(m.get("swaps").unwrap().as_f64(), Some(1.0));
     assert_eq!(m.get("swaps_rejected").unwrap().as_f64(), Some(1.0));
+    // The discovery block is a pure function of the active model's
+    // artifact, so it survives the hot swap bitwise-unchanged (both
+    // fixture models are fitted with discovery off).
+    assert_eq!(
+        format!("{:?}", m.get("discovery").unwrap()),
+        disc_before_swap
+    );
 
     // --- clean shutdown --------------------------------------------
     let (status, doc) = json_body(addr, "/admin/shutdown", "");

@@ -25,6 +25,10 @@ echo "==> exp_serve (serving benchmark -> results/BENCH_6.json)"
 cargo build --release -q -p leva-bench --bin exp_serve
 ./target/release/exp_serve --scale 0.2 --iters 60 >/dev/null
 
+echo "==> exp_discovery (schema-free discovery benchmark -> results/BENCH_7.json)"
+cargo build --release -q -p leva-bench --bin exp_discovery
+./target/release/exp_discovery --scale 0.2 >/dev/null
+
 echo "==> cargo fmt --check"
 cargo fmt --check
 

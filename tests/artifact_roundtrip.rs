@@ -115,6 +115,61 @@ fn random_models_round_trip_bitwise() {
     }
 }
 
+/// Discovery-enabled models (v2 artifacts carrying a `DISC` chunk) are a
+/// serialization fixed point too: the discovered relationships and the
+/// injection counters restore exactly, featurization is bitwise identical,
+/// and re-serializing reproduces the bytes.
+#[test]
+fn discovery_models_round_trip_bitwise() {
+    let mut db = Database::new();
+    let mut base = Table::new("base", vec!["id", "machine_id", "target"]);
+    let mut machines = Table::new("machines", vec!["mid", "site"]);
+    for i in 0..36 {
+        base.push_row(vec![
+            format!("e{i}").into(),
+            Value::Int(100 + (i % 12) as i64),
+            Value::Int((i % 2) as i64),
+        ])
+        .unwrap();
+    }
+    for m in 0..12 {
+        machines
+            .push_row(vec![
+                Value::Int(100 + m as i64),
+                ["north", "south"][m % 2].into(),
+            ])
+            .unwrap();
+    }
+    db.add_table(base).unwrap();
+    db.add_table(machines).unwrap();
+    let mut cfg = LevaConfig::fast();
+    cfg.discovery.enabled = true;
+    let model = Leva::with_config(cfg)
+        .base_table("base")
+        .target("target")
+        .fit(&db)
+        .unwrap();
+    assert!(!model.discovered.is_empty());
+    assert!(model.discovery_injection.edges_added > 0);
+
+    let bytes = model.to_bytes();
+    let back = LevaModel::from_bytes(&bytes).expect("discovery artifact loads");
+    assert_eq!(back.discovered, model.discovered);
+    assert_eq!(back.discovery_injection, model.discovery_injection);
+    assert_eq!(back.config.discovery, model.config.discovery);
+    assert_bitwise(
+        0,
+        &model.featurize_base(Featurization::RowPlusValue),
+        &back.featurize_base(Featurization::RowPlusValue),
+        "featurize_base (discovery)",
+    );
+    assert_eq!(
+        back.to_bytes(),
+        bytes,
+        "discovery artifact is not a serialization fixed point"
+    );
+}
+
 /// Every truncation of a valid artifact is a typed error, not a panic.
 #[test]
 fn truncations_yield_typed_errors() {

@@ -139,6 +139,57 @@ fn full_pipeline_bitwise_identical_across_thread_counts() {
     }
 }
 
+/// Discovery-enabled pipeline: MinHash signatures, relationship
+/// resolution, and confidence-weighted edge injection are all bitwise
+/// deterministic at 1, 2, and 8 worker threads. Uses differently-named
+/// integer key columns so the bridge can only come from discovery.
+#[test]
+fn discovery_enabled_pipeline_bitwise_identical_across_thread_counts() {
+    let mut db = Database::new();
+    let mut base = Table::new("base", vec!["id", "machine_id", "target"]);
+    let mut machines = Table::new("machines", vec!["mid", "site"]);
+    for i in 0..36 {
+        base.push_row(vec![
+            format!("e{i}").into(),
+            Value::Int(100 + (i % 12) as i64),
+            Value::Int((i % 2) as i64),
+        ])
+        .unwrap();
+    }
+    for m in 0..12 {
+        machines
+            .push_row(vec![
+                Value::Int(100 + m as i64),
+                ["north", "south"][m % 2].into(),
+            ])
+            .unwrap();
+    }
+    db.add_table(base).unwrap();
+    db.add_table(machines).unwrap();
+
+    let fit_at = |threads: usize| {
+        let mut cfg = LevaConfig::fast().with_threads(threads);
+        cfg.sgns.threads = 1;
+        cfg.discovery.enabled = true;
+        let model = Leva::with_config(cfg)
+            .base_table("base")
+            .target("target")
+            .fit(&db)
+            .unwrap();
+        assert!(!model.discovered.is_empty(), "discovery found nothing");
+        assert!(model.discovery_injection.edges_added > 0);
+        store_fingerprint(&model.store)
+    };
+    let reference = fit_at(1);
+    for threads in [2usize, 8] {
+        assert_eq!(
+            fit_at(threads),
+            reference,
+            "discovery pipeline diverged at {threads} threads"
+        );
+    }
+}
+
 /// Frozen golden fingerprint of `LevaConfig::fast()` at `threads = 1` on
 /// the synthetic database above. A change here means the numerics of the
 /// pipeline changed — deliberate algorithm changes must update the

@@ -393,6 +393,103 @@ fn hostile_artifact_buffers_never_panic() {
     );
 }
 
+/// Locates a chunk's payload `(start, len)` inside an artifact buffer by
+/// walking the chunk table (magic + version + count header is 12 bytes;
+/// each chunk is tag(4) + len(8) + crc(4) + payload).
+fn find_chunk(bytes: &[u8], tag: &[u8; 4]) -> Option<(usize, usize)> {
+    let mut off = 12usize;
+    while off + 16 <= bytes.len() {
+        let t = &bytes[off..off + 4];
+        let len = u64::from_le_bytes(bytes[off + 4..off + 12].try_into().unwrap()) as usize;
+        let start = off + 16;
+        if t == tag {
+            return Some((start, len));
+        }
+        off = start + len;
+    }
+    None
+}
+
+/// Hostile `DISC` chunks: a discovery-enabled artifact whose DISC payload
+/// is mutated *with the CRC re-patched*, so the corruption reaches the
+/// chunk decoder instead of dying at the checksum. Every case must produce
+/// a typed error or a model that still serves — never a panic.
+#[test]
+fn hostile_disc_chunk_never_panics() {
+    use leva::LevaModel;
+    use leva_interner::codec::crc32;
+    use leva_relational::{Table, Value};
+
+    // Discovery-enabled fixture with differently-named int keys, so the
+    // DISC chunk carries real relationships and injection counters.
+    let mut db = Database::new();
+    let mut base = Table::new("base", vec!["id", "machine_id", "target"]);
+    let mut machines = Table::new("machines", vec!["mid", "site"]);
+    for i in 0..36 {
+        base.push_row(vec![
+            format!("e{i}").into(),
+            Value::Int(100 + (i % 12) as i64),
+            Value::Int((i % 2) as i64),
+        ])
+        .unwrap();
+    }
+    for m in 0..12 {
+        machines
+            .push_row(vec![
+                Value::Int(100 + m as i64),
+                ["north", "south"][m % 2].into(),
+            ])
+            .unwrap();
+    }
+    db.add_table(base).unwrap();
+    db.add_table(machines).unwrap();
+    let mut cfg = LevaConfig::fast();
+    cfg.discovery.enabled = true;
+    let model = Leva::with_config(cfg)
+        .base_table("base")
+        .target("target")
+        .fit(&db)
+        .unwrap();
+    assert!(!model.discovered.is_empty(), "fixture must discover joins");
+    let genuine = model.to_bytes();
+    let (disc_start, disc_len) =
+        find_chunk(&genuine, b"DISC").expect("v2 artifact carries a DISC chunk");
+    assert!(disc_len > 0);
+
+    let mut failures = Vec::new();
+    for case in 0..40u64 {
+        let mut rng = StdRng::seed_from_u64(0xD15C + case);
+        let mut bytes = genuine.clone();
+        for _ in 0..rng.gen_range(1usize..16) {
+            let pos = disc_start + rng.gen_range(0..disc_len);
+            bytes[pos] = rng.gen_range(0u32..256) as u8;
+        }
+        // Re-patch the DISC CRC so the mutation reaches the decoder.
+        let crc = crc32(&bytes[disc_start..disc_start + disc_len]);
+        bytes[disc_start - 4..disc_start].copy_from_slice(&crc.to_le_bytes());
+        match catch_unwind(AssertUnwindSafe(|| LevaModel::from_bytes(&bytes))) {
+            Err(_) => failures.push(format!("DISC case {case}: panicked decoding")),
+            Ok(Ok(loaded)) => {
+                // Whatever survived (mutations can land in string bytes and
+                // stay structurally valid) must still serve.
+                if catch_unwind(AssertUnwindSafe(|| {
+                    let _ = loaded.featurize_base(Featurization::RowPlusValue);
+                }))
+                .is_err()
+                {
+                    failures.push(format!("DISC case {case}: decoded model panicked serving"));
+                }
+            }
+            Ok(Err(_)) => {}
+        }
+    }
+    assert!(
+        failures.is_empty(),
+        "DISC fuzzing failures:\n{}",
+        failures.join("\n")
+    );
+}
+
 /// Hostile *corpus* buffers for the walk-corpus codec: inflated headers and
 /// random bytes must produce `CorpusDecodeError`, never a panic or an
 /// allocation proportional to a declared (rather than actual) length.
