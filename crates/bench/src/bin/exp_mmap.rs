@@ -1,0 +1,272 @@
+//! Out-of-core artifact benchmark (DESIGN.md §6.14): contrasts heap
+//! decode (`LevaModel::load`) with zero-copy mapping
+//! (`LevaModel::load_mmap`) as the embedding store grows, and reports
+//! the precision ladder's size/error trade-off. Writes
+//! `results/BENCH_8.json`.
+//!
+//! One model is fitted once; its store is then rebuilt at increasing
+//! dimensionality with deterministic synthetic vectors, so the `STOR`
+//! chunk sweeps from "comparable to the graph" to "dominates the
+//! artifact" while every other chunk stays byte-identical — exactly the
+//! axis the mapped path claims independence from. Each load probe runs
+//! in a fresh child process (`--probe`) so peak RSS reflects that load
+//! alone, not the fit.
+//!
+//! Asserts on the largest artifact that `load_mmap` is at least 10×
+//! faster than the heap decode.
+//!
+//! Usage: `exp_mmap [--scale S] [--seed N] [--out PATH]`
+
+use std::path::Path;
+use std::time::Instant;
+
+use leva::{
+    Featurization, FeaturizeRequest, Leva, LevaConfig, LevaModel, Precision, QuantizedStore,
+};
+use leva_datasets::by_name;
+use leva_embedding::{json, EmbeddingStore};
+
+/// Store dimensionalities the sweep rebuilds the model at; the largest
+/// makes `STOR` dwarf every other chunk.
+const DIMS: [usize; 3] = [32, 128, 512];
+
+fn main() {
+    let argv: Vec<String> = std::env::args().collect();
+    if argv.get(1).map(String::as_str) == Some("--probe") {
+        probe(&argv[2], &argv[3]);
+    }
+
+    let mut scale = 0.2;
+    let mut seed = 7u64;
+    let mut out = "results/BENCH_8.json".to_owned();
+    let mut i = 1;
+    while i < argv.len() {
+        let val = |i: usize| argv.get(i + 1).expect("flag value").clone();
+        match argv[i].as_str() {
+            "--scale" => scale = val(i).parse().expect("scale"),
+            "--seed" => seed = val(i).parse().expect("seed"),
+            "--out" => out = val(i),
+            other => panic!("unknown argument {other}"),
+        }
+        i += 2;
+    }
+
+    let ds = by_name("restbase", scale, seed).expect("dataset");
+    eprintln!("# fitting on {}…", ds.base_table);
+    let mut model = Leva::with_config(LevaConfig::fast())
+        .base_table(&ds.base_table)
+        .target(&ds.target_column)
+        .fit(&ds.db)
+        .expect("fit");
+
+    let exe = std::env::current_exe().expect("own path");
+    let mut sweeps = Vec::new();
+    for (case, &dim) in DIMS.iter().enumerate() {
+        inflate_store(&mut model, dim, seed);
+        let path = artifact_path(case);
+        model.save(&path).expect("save artifact");
+        let artifact_bytes = std::fs::metadata(&path).expect("stat").len();
+        eprintln!("# dim {dim}: artifact {artifact_bytes} bytes; probing loads…");
+        let heap = probe_in_child(&exe, "heap", &path);
+        let mapped = probe_in_child(&exe, "mmap", &path);
+        let _ = std::fs::remove_file(&path);
+        sweeps.push((dim, artifact_bytes, heap, mapped));
+    }
+
+    // Precision gauges on the last (largest) store.
+    let f64_bytes = model.store.resident_bytes();
+    let mut precisions = Vec::new();
+    for precision in [Precision::F32, Precision::Int8] {
+        let q = QuantizedStore::quantize(&model.store, precision);
+        let max_err = q.max_abs_error(&model.store);
+        precisions.push((precision, q.estimated_bytes(), max_err));
+    }
+
+    let (last_dim, _, last_heap, last_mapped) = &sweeps[sweeps.len() - 1];
+    let speedup = last_heap.load_ms / last_mapped.load_ms;
+    eprintln!(
+        "# largest artifact (dim {last_dim}): heap {:.1} ms vs mmap {:.1} ms ({speedup:.1}×)",
+        last_heap.load_ms, last_mapped.load_ms
+    );
+    assert!(
+        speedup >= 10.0,
+        "load_mmap must be ≥10× faster than heap decode on the largest \
+         artifact: heap {:.2} ms, mmap {:.2} ms ({speedup:.2}×)",
+        last_heap.load_ms,
+        last_mapped.load_ms
+    );
+
+    let mut doc = String::with_capacity(2048);
+    doc.push_str("{\n");
+    doc.push_str("  \"bench\": \"mmap\",\n");
+    doc.push_str(&format!("  \"scale\": {scale},\n"));
+    doc.push_str(&format!("  \"seed\": {seed},\n"));
+    doc.push_str("  \"sweep\": [\n");
+    for (i, (dim, bytes, heap, mapped)) in sweeps.iter().enumerate() {
+        if i > 0 {
+            doc.push_str(",\n");
+        }
+        doc.push_str(&format!(
+            "    {{\"dim\": {dim}, \"artifact_bytes\": {bytes}, \
+             \"heap\": {}, \"mmap\": {}}}",
+            heap.render(),
+            mapped.render()
+        ));
+    }
+    doc.push_str("\n  ],\n");
+    doc.push_str(&format!("  \"largest_speedup\": {speedup:.2},\n"));
+    doc.push_str(&format!(
+        "  \"precision\": {{\"f64_bytes\": {f64_bytes}, \"stores\": [\n"
+    ));
+    for (i, (precision, bytes, max_err)) in precisions.iter().enumerate() {
+        if i > 0 {
+            doc.push_str(",\n");
+        }
+        let name = match precision {
+            Precision::F64 => "f64",
+            Precision::F32 => "f32",
+            Precision::Int8 => "int8",
+        };
+        doc.push_str(&format!(
+            "    {{\"precision\": \"{name}\", \"bytes\": {bytes}, \
+             \"compression\": {:.2}, \"max_abs_error\": {max_err:e}}}",
+            f64_bytes as f64 / (*bytes).max(1) as f64
+        ));
+    }
+    doc.push_str("\n  ]}\n}\n");
+
+    if let Some(dir) = Path::new(&out).parent() {
+        std::fs::create_dir_all(dir).expect("create results dir");
+    }
+    std::fs::write(&out, &doc).expect("write results");
+    println!("{doc}");
+    eprintln!("# wrote {out}");
+}
+
+/// One load measurement reported by a `--probe` child.
+struct Probe {
+    load_ms: f64,
+    first_featurize_ms: f64,
+    /// Peak RSS of the child process after load + one featurize, in KiB.
+    peak_rss_kb: f64,
+    resident_bytes: f64,
+    mapped_bytes: f64,
+}
+
+impl Probe {
+    fn render(&self) -> String {
+        format!(
+            "{{\"load_ms\": {:.3}, \"first_featurize_ms\": {:.3}, \
+             \"peak_rss_kb\": {}, \"store_resident_bytes\": {}, \
+             \"store_mapped_bytes\": {}}}",
+            self.load_ms,
+            self.first_featurize_ms,
+            self.peak_rss_kb,
+            self.resident_bytes,
+            self.mapped_bytes
+        )
+    }
+}
+
+/// Spawns `exe --probe MODE PATH` and parses its JSON report. A child
+/// process per probe keeps peak-RSS attributable: the parent's fit (and
+/// earlier probes) cannot pollute the measurement.
+fn probe_in_child(exe: &Path, mode: &str, path: &Path) -> Probe {
+    let output = std::process::Command::new(exe)
+        .arg("--probe")
+        .arg(mode)
+        .arg(path)
+        .output()
+        .expect("spawn probe child");
+    assert!(
+        output.status.success(),
+        "probe {mode} failed: {}",
+        String::from_utf8_lossy(&output.stderr)
+    );
+    let text = String::from_utf8(output.stdout).expect("probe stdout utf-8");
+    let doc = json::parse(text.trim()).expect("probe JSON");
+    let field = |k: &str| doc.get(k).and_then(json::Value::as_f64).expect("field");
+    Probe {
+        load_ms: field("load_ms"),
+        first_featurize_ms: field("first_featurize_ms"),
+        peak_rss_kb: field("peak_rss_kb"),
+        resident_bytes: field("store_resident_bytes"),
+        mapped_bytes: field("store_mapped_bytes"),
+    }
+}
+
+/// Child-process body: loads the artifact once via the requested path,
+/// runs one single-row featurization (which settles the deferred `STOR`
+/// CRC for mapped models), and prints the measurement JSON.
+fn probe(mode: &str, path: &str) -> ! {
+    let start = Instant::now();
+    let model = match mode {
+        "heap" => LevaModel::load(path).expect("heap load"),
+        "mmap" => LevaModel::load_mmap(path).expect("mmap load"),
+        other => panic!("unknown probe mode {other}"),
+    };
+    let load_ms = start.elapsed().as_secs_f64() * 1e3;
+    let start = Instant::now();
+    model
+        .featurize(&FeaturizeRequest::base_rows(
+            vec![0],
+            Featurization::RowOnly,
+        ))
+        .expect("probe featurize");
+    let first_featurize_ms = start.elapsed().as_secs_f64() * 1e3;
+    println!(
+        "{{\"load_ms\": {load_ms:.3}, \"first_featurize_ms\": {first_featurize_ms:.3}, \
+         \"peak_rss_kb\": {}, \"store_resident_bytes\": {}, \"store_mapped_bytes\": {}}}",
+        vm_kb("VmHWM"),
+        model.store.resident_bytes(),
+        model.store.mapped_bytes()
+    );
+    std::process::exit(0);
+}
+
+/// Reads a `kB` gauge from `/proc/self/status` (0 where unavailable).
+fn vm_kb(key: &str) -> u64 {
+    let Ok(status) = std::fs::read_to_string("/proc/self/status") else {
+        return 0;
+    };
+    status
+        .lines()
+        .find(|l| l.starts_with(key))
+        .and_then(|l| l.split_whitespace().nth(1))
+        .and_then(|v| v.parse().ok())
+        .unwrap_or(0)
+}
+
+/// Replaces the model's embedding store with a deterministic synthetic
+/// store of dimension `dim` covering exactly the same tokens, so the
+/// `STOR` chunk is the only thing that changes between sweep points.
+fn inflate_store(model: &mut LevaModel, dim: usize, seed: u64) {
+    let ids: Vec<_> = model.store.iter_ids().map(|(id, _)| id).collect();
+    let mut store = EmbeddingStore::with_symbols(model.store.symbols().clone(), dim);
+    let mut state = seed ^ 0x9e37_79b9_7f4a_7c15;
+    for id in ids {
+        let mut v = Vec::with_capacity(dim);
+        for _ in 0..dim {
+            // SplitMix64: cheap, deterministic, good enough for payload.
+            state = state.wrapping_add(0x9e37_79b9_7f4a_7c15);
+            let mut z = state;
+            z = (z ^ (z >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
+            z = (z ^ (z >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
+            z ^= z >> 31;
+            v.push((z >> 11) as f64 / (1u64 << 53) as f64 - 0.5);
+        }
+        store.insert_id(id, v);
+    }
+    model.store = store;
+    model.config.dim = dim;
+    // The artifact consistency check compares the store against the
+    // method-specific dimension, so keep every knob in agreement.
+    model.config.mf.dim = dim;
+    model.config.sgns.dim = dim;
+}
+
+fn artifact_path(case: usize) -> std::path::PathBuf {
+    let mut p = std::env::temp_dir();
+    p.push(format!("leva_exp_mmap_{}_{case}.leva", std::process::id()));
+    p
+}

@@ -6,52 +6,68 @@
 //!
 //! ```text
 //! magic "LEVA" | u32 version | u32 chunk_count
-//! then per chunk: [u8; 4] tag | u64 payload_len | u32 crc32 | payload
+//! v1/v2 chunk: [u8; 4] tag | u64 payload_len | u32 crc32 | payload
+//! v3 chunk:    [u8; 4] tag | u64 payload_len | u32 crc32 | u32 pad_len
+//!              | pad_len zero bytes | payload
 //! ```
 //!
-//! Chunks, in writing order (decoding accepts any order but requires each
-//! exactly once):
+//! At v3 `pad_len` is exactly the padding that brings the payload's
+//! *absolute file offset* to a multiple of 8, so the `STOR` dense matrix
+//! and the `GRPH` CSR arrays are naturally aligned when the artifact is
+//! memory-mapped ([`LevaModel::load_mmap`]) — decoders reject any other
+//! pad length or non-zero pad byte. Chunks, in writing order (decoding
+//! accepts any order but requires each exactly once):
 //!
 //! | tag    | payload                                                    |
 //! |--------|------------------------------------------------------------|
 //! | `SYMB` | interner symbol table (token text in dense-id order)       |
 //! | `CONF` | the full [`LevaConfig`]                                    |
 //! | `TOKD` | tokenized database: attributes, encoders, row streams      |
-//! | `GRPH` | graph CSR: node tokens, adjacency + weights, row offsets   |
-//! | `STOR` | dense embedding store (f64 bit patterns)                   |
-//! | `DISC` | discovered relationships + injection counters (v2 only)    |
+//! | `GRPH` | graph adjacency + weights, row offsets (aligned CSR at v3) |
+//! | `STOR` | dense embedding store (f64; aligned dense matrix at v3)    |
+//! | `DISC` | discovered relationships + injection counters (v2+)        |
 //! | `META` | base table, method, memory estimate, timings, ingest audit |
 //!
 //! Version history: v1 had no `DISC` chunk and no discovery fields in
 //! `CONF`; v1 artifacts still load, with an empty discovery set and the
 //! default (disabled) discovery configuration. v2 artifacts require `DISC`.
+//! v3 adds the aligned chunk framing, the aligned `STOR`/`GRPH` payload
+//! layouts, and the `CONF` precision field; v1/v2 artifacts keep decoding
+//! through the original heap codecs.
 //!
 //! Decoding is strictly bounded: every declared length is validated against
 //! the remaining buffer *before* any allocation, all length arithmetic is
 //! checked, and every failure is a typed [`ArtifactError`] — hostile bytes
 //! can never panic the process or allocate beyond the input size. Payload
 //! corruption that still parses is caught by the per-chunk CRC-32.
+//! [`LevaModel::from_bytes`] verifies every CRC eagerly;
+//! [`LevaModel::load_mmap`] defers the (large) `STOR` CRC to first
+//! featurization so load time is O(1) in the embedding size (DESIGN.md
+//! §6.14).
 
 use crate::config::{EmbeddingMethod, Featurization, LevaConfig};
 use crate::memory::MemoryEstimate;
 use crate::pipeline::{LevaModel, MethodUsed};
 use crate::timing::StageTimings;
 use leva_discovery::{DiscoveredRelationship, DiscoveryConfig};
-use leva_embedding::EmbeddingStore;
+use leva_embedding::{EmbeddingStore, Precision};
 use leva_graph::{LevaGraph, RelationshipInjection};
 use leva_interner::codec::{crc32, ByteReader, ByteWriter, DecodeError};
-use leva_interner::TokenInterner;
+use leva_interner::{MmapFile, TokenInterner};
 use leva_relational::{CellIssue, IngestReport, IssueReason};
 use leva_textify::{HistogramChoice, TokenizedDatabase};
 use std::fmt;
+use std::io::Write;
 use std::path::Path;
 use std::sync::Arc;
 use std::time::Duration;
 
 const MAGIC: &[u8; 4] = b"LEVA";
-const ARTIFACT_VERSION: u32 = 2;
+const ARTIFACT_VERSION: u32 = 3;
 /// Oldest artifact version [`LevaModel::from_bytes`] still accepts.
 const MIN_ARTIFACT_VERSION: u32 = 1;
+/// First version with aligned chunk framing and mmap-able payloads.
+const ALIGNED_VERSION: u32 = 3;
 
 const TAG_SYMB: [u8; 4] = *b"SYMB";
 const TAG_CONF: [u8; 4] = *b"CONF";
@@ -80,6 +96,12 @@ pub enum ArtifactError {
     /// A chunk appeared twice, or an unknown tag was encountered.
     BadChunk {
         /// Tag of the offending chunk.
+        chunk: String,
+    },
+    /// A v3 chunk's payload is not 8-byte aligned: the declared pad length
+    /// is not the canonical alignment padding, or a pad byte is non-zero.
+    Misaligned {
+        /// Tag of the misaligned chunk.
         chunk: String,
     },
     /// A required chunk is absent.
@@ -115,6 +137,9 @@ impl fmt::Display for ArtifactError {
                 write!(f, "chunk {chunk:?} failed its CRC-32 check")
             }
             Self::BadChunk { chunk } => write!(f, "duplicate or unknown chunk {chunk:?}"),
+            Self::Misaligned { chunk } => {
+                write!(f, "chunk {chunk:?} payload is not 8-byte aligned")
+            }
             Self::MissingChunk(tag) => write!(f, "required chunk {tag:?} is missing"),
             Self::TrailingData => write!(f, "artifact has trailing bytes"),
             Self::Decode { chunk, source } => {
@@ -162,166 +187,157 @@ fn finish_chunk(r: &ByteReader<'_>, chunk: &'static str) -> Result<(), ArtifactE
 
 impl LevaModel {
     /// Serializes the whole fitted model into the chunked artifact format.
+    ///
+    /// Implemented on top of [`LevaModel::save_to`] (collecting into a
+    /// `Vec`), so the buffered and streaming paths are byte-identical by
+    /// construction.
     pub fn to_bytes(&self) -> Vec<u8> {
         self.to_bytes_with_version(ARTIFACT_VERSION)
     }
 
     /// Serializes at an explicit format version. Version 1 omits the `DISC`
-    /// chunk and the discovery fields of `CONF` — kept (crate-private) so
-    /// tests can fabricate genuine legacy artifacts.
+    /// chunk and the discovery fields of `CONF`; versions below 3 use the
+    /// unaligned chunk framing and heap payload layouts — kept
+    /// (crate-private) so tests can fabricate genuine legacy artifacts.
     pub(crate) fn to_bytes_with_version(&self, version: u32) -> Vec<u8> {
-        let mut chunks: Vec<([u8; 4], Vec<u8>)> = vec![
-            (TAG_SYMB, {
-                let mut w = ByteWriter::new();
-                self.graph.symbols().encode_into(&mut w);
-                w.into_bytes()
-            }),
-            (TAG_CONF, {
-                let mut w = ByteWriter::new();
-                encode_config(&self.config, &mut w, version);
-                w.into_bytes()
-            }),
-            (TAG_TOKD, {
-                let mut w = ByteWriter::new();
-                self.tokenized.encode_into(&mut w);
-                w.into_bytes()
-            }),
-            (TAG_GRPH, {
-                let mut w = ByteWriter::new();
-                self.graph.encode_into(&mut w);
-                w.into_bytes()
-            }),
-            (TAG_STOR, {
-                let mut w = ByteWriter::new();
-                self.store.encode_into(&mut w);
-                w.into_bytes()
-            }),
-        ];
+        let mut out = Vec::new();
+        self.write_artifact(version, &mut out)
+            .expect("writing to a Vec cannot fail");
+        out
+    }
+
+    /// Streams the model artifact into `out` one chunk at a time: each
+    /// chunk payload is encoded into its own buffer, framed, written, and
+    /// dropped before the next is built, so peak memory is the artifact
+    /// header plus the *largest single chunk* rather than the whole
+    /// artifact — [`LevaModel::save`] used to double-buffer the full byte
+    /// image on top of the model itself (2× peak RSS).
+    pub fn save_to(&self, out: impl Write) -> Result<(), ArtifactError> {
+        Ok(self.write_artifact(ARTIFACT_VERSION, out)?)
+    }
+
+    fn write_artifact(&self, version: u32, mut out: impl Write) -> std::io::Result<()> {
+        let mut tags: Vec<[u8; 4]> = vec![TAG_SYMB, TAG_CONF, TAG_TOKD, TAG_GRPH, TAG_STOR];
         if version >= 2 {
-            chunks.push((TAG_DISC, {
-                let mut w = ByteWriter::new();
-                encode_disc(self, &mut w);
-                w.into_bytes()
-            }));
+            tags.push(TAG_DISC);
         }
-        chunks.push((TAG_META, {
+        tags.push(TAG_META);
+
+        out.write_all(MAGIC)?;
+        out.write_all(&version.to_le_bytes())?;
+        out.write_all(&(tags.len() as u32).to_le_bytes())?;
+        let mut offset = 12u64; // bytes written so far = next absolute offset
+
+        let aligned = version >= ALIGNED_VERSION;
+        for tag in tags {
             let mut w = ByteWriter::new();
-            encode_meta(self, &mut w);
-            w.into_bytes()
-        }));
-        let total: usize = 12 + chunks.iter().map(|(_, p)| p.len() + 16).sum::<usize>();
-        let mut out = ByteWriter::with_capacity(total);
-        out.put_raw(MAGIC);
-        out.put_u32(version);
-        out.put_u32(chunks.len() as u32);
-        for (tag, payload) in &chunks {
-            out.put_raw(tag);
-            out.put_u64(payload.len() as u64);
-            out.put_u32(crc32(payload));
-            out.put_raw(payload);
+            match tag {
+                TAG_SYMB => self.graph.symbols().encode_into(&mut w),
+                TAG_CONF => encode_config(&self.config, &mut w, version),
+                TAG_TOKD => self.tokenized.encode_into(&mut w),
+                TAG_GRPH if aligned => self.graph.encode_aligned_into(&mut w),
+                TAG_GRPH => self.graph.encode_into(&mut w),
+                TAG_STOR if aligned => self.store.encode_aligned_into(&mut w),
+                TAG_STOR => self.store.encode_into(&mut w),
+                TAG_DISC => encode_disc(self, &mut w),
+                TAG_META => encode_meta(self, &mut w),
+                _ => unreachable!("unknown chunk tag"),
+            }
+            let payload = w.into_bytes();
+            out.write_all(&tag)?;
+            out.write_all(&(payload.len() as u64).to_le_bytes())?;
+            out.write_all(&crc32(&payload).to_le_bytes())?;
+            offset += 16;
+            if aligned {
+                // One more u32 (pad_len) precedes the pad; align the
+                // *payload's* absolute offset to 8.
+                let pad = (8 - ((offset + 4) % 8)) % 8;
+                out.write_all(&(pad as u32).to_le_bytes())?;
+                out.write_all(&[0u8; 8][..pad as usize])?;
+                offset += 4 + pad;
+            }
+            out.write_all(&payload)?;
+            offset += payload.len() as u64;
         }
-        out.into_bytes()
+        Ok(())
     }
 
     /// Decodes a model from artifact bytes. Bounded end to end: hostile
     /// buffers yield a typed error, never a panic or an oversized
-    /// allocation.
+    /// allocation. Every chunk CRC is verified eagerly.
     pub fn from_bytes(bytes: &[u8]) -> Result<LevaModel, ArtifactError> {
-        let mut r = ByteReader::new(bytes);
-        let magic = r.take_raw(4).map_err(|_| ArtifactError::BadMagic)?;
-        if magic != MAGIC {
-            return Err(ArtifactError::BadMagic);
-        }
-        let version = r.take_u32().map_err(|_| ArtifactError::Truncated)?;
-        if !(MIN_ARTIFACT_VERSION..=ARTIFACT_VERSION).contains(&version) {
-            return Err(ArtifactError::UnsupportedVersion(version));
-        }
-        let chunk_count = r.take_u32().map_err(|_| ArtifactError::Truncated)?;
+        let chunks = walk_chunks(bytes, true)?;
+        Self::decode_from_chunks(&chunks, None)
+    }
 
-        let mut symb: Option<&[u8]> = None;
-        let mut conf: Option<&[u8]> = None;
-        let mut tokd: Option<&[u8]> = None;
-        let mut grph: Option<&[u8]> = None;
-        let mut stor: Option<&[u8]> = None;
-        let mut disc: Option<&[u8]> = None;
-        let mut meta: Option<&[u8]> = None;
-        for _ in 0..chunk_count {
-            let tag: [u8; 4] = r
-                .take_raw(4)
-                .map_err(|_| ArtifactError::Truncated)?
-                .try_into()
-                .expect("4-byte slice");
-            let len = r.take_u64().map_err(|_| ArtifactError::Truncated)?;
-            let len = usize::try_from(len).map_err(|_| ArtifactError::Truncated)?;
-            let crc = r.take_u32().map_err(|_| ArtifactError::Truncated)?;
-            // Declared length validated against the remaining buffer before
-            // the payload is sliced (take_raw never reads past the end).
-            let payload = r.take_raw(len).map_err(|_| ArtifactError::Truncated)?;
-            if crc32(payload) != crc {
-                return Err(ArtifactError::ChecksumMismatch {
-                    chunk: String::from_utf8_lossy(&tag).into_owned(),
-                });
-            }
-            let slot = match tag {
-                TAG_SYMB => &mut symb,
-                TAG_CONF => &mut conf,
-                TAG_TOKD => &mut tokd,
-                TAG_GRPH => &mut grph,
-                TAG_STOR => &mut stor,
-                // A DISC chunk in a v1 artifact is as malformed as an
-                // unknown tag: v1 writers never produced one.
-                TAG_DISC if version >= 2 => &mut disc,
-                TAG_META => &mut meta,
-                _ => {
-                    return Err(ArtifactError::BadChunk {
-                        chunk: String::from_utf8_lossy(&tag).into_owned(),
-                    })
-                }
-            };
-            if slot.replace(payload).is_some() {
-                return Err(ArtifactError::BadChunk {
-                    chunk: String::from_utf8_lossy(&tag).into_owned(),
-                });
-            }
-        }
-        if !r.is_exhausted() {
-            return Err(ArtifactError::TrailingData);
-        }
+    /// Assembles a model from a validated chunk table. When `mapped` is
+    /// given (the [`LevaModel::load_mmap`] path, v3 only) the `STOR` chunk
+    /// is served zero-copy out of the mapping with its CRC deferred to
+    /// first featurization; otherwise it is heap-decoded.
+    fn decode_from_chunks(
+        chunks: &Chunks<'_>,
+        mapped: Option<&Arc<MmapFile>>,
+    ) -> Result<LevaModel, ArtifactError> {
+        let version = chunks.version;
+        let aligned = version >= ALIGNED_VERSION;
 
-        let mut r = ByteReader::new(symb.ok_or(ArtifactError::MissingChunk("SYMB"))?);
+        let mut r = ByteReader::new(chunks.symb.payload);
         let symbols = Arc::new(TokenInterner::decode(&mut r).map_err(in_chunk("SYMB"))?);
         finish_chunk(&r, "SYMB")?;
 
-        let mut r = ByteReader::new(conf.ok_or(ArtifactError::MissingChunk("CONF"))?);
+        let mut r = ByteReader::new(chunks.conf.payload);
         let config = decode_config(&mut r, version).map_err(in_chunk("CONF"))?;
         finish_chunk(&r, "CONF")?;
 
-        let mut r = ByteReader::new(tokd.ok_or(ArtifactError::MissingChunk("TOKD"))?);
+        let mut r = ByteReader::new(chunks.tokd.payload);
         let tokenized =
             TokenizedDatabase::decode(&mut r, Arc::clone(&symbols)).map_err(in_chunk("TOKD"))?;
         finish_chunk(&r, "TOKD")?;
 
-        let mut r = ByteReader::new(grph.ok_or(ArtifactError::MissingChunk("GRPH"))?);
-        let graph = LevaGraph::decode(&mut r, Arc::clone(&symbols)).map_err(in_chunk("GRPH"))?;
+        let mut r = ByteReader::new(chunks.grph.payload);
+        let graph = if aligned {
+            LevaGraph::decode_aligned(&mut r, Arc::clone(&symbols))
+        } else {
+            LevaGraph::decode(&mut r, Arc::clone(&symbols))
+        }
+        .map_err(in_chunk("GRPH"))?;
         finish_chunk(&r, "GRPH")?;
 
-        let mut r = ByteReader::new(stor.ok_or(ArtifactError::MissingChunk("STOR"))?);
-        let store = EmbeddingStore::decode_with_symbols(&mut r, Arc::clone(&symbols))
-            .map_err(in_chunk("STOR"))?;
-        finish_chunk(&r, "STOR")?;
-
-        // DISC is required at v2 and absent at v1 (legacy artifacts load
-        // with an empty discovery set).
-        let (discovered, discovery_injection) = if version >= 2 {
-            let mut r = ByteReader::new(disc.ok_or(ArtifactError::MissingChunk("DISC"))?);
-            let decoded = decode_disc(&mut r).map_err(in_chunk("DISC"))?;
-            finish_chunk(&r, "DISC")?;
-            decoded
-        } else {
-            (Vec::new(), RelationshipInjection::default())
+        let store = match mapped {
+            Some(map) => EmbeddingStore::from_mapped(
+                Arc::clone(&symbols),
+                Arc::clone(map),
+                chunks.stor.offset,
+                chunks.stor.payload.len(),
+                chunks.stor.crc,
+            )
+            .map_err(in_chunk("STOR"))?,
+            None => {
+                let mut r = ByteReader::new(chunks.stor.payload);
+                let store = if aligned {
+                    EmbeddingStore::decode_aligned_with_symbols(&mut r, Arc::clone(&symbols))
+                } else {
+                    EmbeddingStore::decode_with_symbols(&mut r, Arc::clone(&symbols))
+                }
+                .map_err(in_chunk("STOR"))?;
+                finish_chunk(&r, "STOR")?;
+                store
+            }
         };
 
-        let mut r = ByteReader::new(meta.ok_or(ArtifactError::MissingChunk("META"))?);
+        // DISC is required at v2+ and absent at v1 (legacy artifacts load
+        // with an empty discovery set).
+        let (discovered, discovery_injection) = match &chunks.disc {
+            Some(disc) => {
+                let mut r = ByteReader::new(disc.payload);
+                let decoded = decode_disc(&mut r).map_err(in_chunk("DISC"))?;
+                finish_chunk(&r, "DISC")?;
+                decoded
+            }
+            None => (Vec::new(), RelationshipInjection::default()),
+        };
+
+        let mut r = ByteReader::new(chunks.meta.payload);
         let meta = decode_meta(&mut r).map_err(in_chunk("META"))?;
         finish_chunk(&r, "META")?;
 
@@ -354,15 +370,162 @@ impl LevaModel {
         })
     }
 
-    /// Writes the model artifact to a file.
+    /// Writes the model artifact to a file, streaming chunk by chunk (no
+    /// full in-memory byte image; see [`LevaModel::save_to`]).
     pub fn save(&self, path: impl AsRef<Path>) -> Result<(), ArtifactError> {
-        Ok(std::fs::write(path, self.to_bytes())?)
+        let file = std::fs::File::create(path)?;
+        let mut out = std::io::BufWriter::new(file);
+        self.save_to(&mut out)?;
+        Ok(out.into_inner().map_err(|e| e.into_error())?.sync_all()?)
     }
 
-    /// Loads a model artifact from a file.
+    /// Loads a model artifact from a file into heap memory.
     pub fn load(path: impl AsRef<Path>) -> Result<LevaModel, ArtifactError> {
         Self::from_bytes(&std::fs::read(path)?)
     }
+
+    /// Loads a model artifact with the embedding store served zero-copy
+    /// from a private file mapping — O(1) load time in the `STOR` size.
+    ///
+    /// v3 artifacts map the file once; the small chunks (and the graph,
+    /// which is reconstructed into pointer-rich heap structures regardless)
+    /// are decoded and CRC-verified eagerly, while the dense `STOR` matrix
+    /// gets O(rows) geometry validation here and its CRC verified lazily on
+    /// the first featurization (`LevaModel::featurize` surfaces a flipped
+    /// bit as [`ArtifactError::ChecksumMismatch`]; until then reads are
+    /// memory-safe but unverified). v1/v2 artifacts fall back to the heap
+    /// decoding of [`LevaModel::from_bytes`] byte-for-byte.
+    pub fn load_mmap(path: impl AsRef<Path>) -> Result<LevaModel, ArtifactError> {
+        let map = Arc::new(MmapFile::open(path.as_ref())?);
+        let bytes: &[u8] = &map;
+        let chunks = walk_chunks(bytes, false)?;
+        if chunks.version < ALIGNED_VERSION || !map.is_mapped() {
+            // Legacy layouts have no aligned payloads to serve in place
+            // (and a heap fallback read has nothing to map); re-walk with
+            // eager CRCs so STOR corruption is caught now, as `from_bytes`
+            // would.
+            let chunks = walk_chunks(bytes, true)?;
+            return Self::decode_from_chunks(&chunks, None);
+        }
+        Self::decode_from_chunks(&chunks, Some(&map))
+    }
+}
+
+/// One located chunk: its payload slice, absolute offset of that payload
+/// within the artifact, and declared CRC-32.
+struct RawChunk<'a> {
+    payload: &'a [u8],
+    offset: usize,
+    crc: u32,
+}
+
+/// The parsed chunk table of an artifact (header validated, every chunk
+/// located, required chunks present exactly once).
+struct Chunks<'a> {
+    version: u32,
+    symb: RawChunk<'a>,
+    conf: RawChunk<'a>,
+    tokd: RawChunk<'a>,
+    grph: RawChunk<'a>,
+    stor: RawChunk<'a>,
+    disc: Option<RawChunk<'a>>,
+    meta: RawChunk<'a>,
+}
+
+/// Walks the container: validates magic/version, frames every chunk
+/// (including the v3 alignment padding, which must be canonical and
+/// zero-filled), and CRC-checks payloads. With `eager_stor_crc = false`
+/// the (large) `STOR` payload's CRC is *not* hashed here — the caller
+/// defers it to first use ([`LevaModel::load_mmap`]).
+fn walk_chunks(bytes: &[u8], eager_stor_crc: bool) -> Result<Chunks<'_>, ArtifactError> {
+    let mut r = ByteReader::new(bytes);
+    let magic = r.take_raw(4).map_err(|_| ArtifactError::BadMagic)?;
+    if magic != MAGIC {
+        return Err(ArtifactError::BadMagic);
+    }
+    let version = r.take_u32().map_err(|_| ArtifactError::Truncated)?;
+    if !(MIN_ARTIFACT_VERSION..=ARTIFACT_VERSION).contains(&version) {
+        return Err(ArtifactError::UnsupportedVersion(version));
+    }
+    let chunk_count = r.take_u32().map_err(|_| ArtifactError::Truncated)?;
+
+    let mut symb: Option<RawChunk<'_>> = None;
+    let mut conf: Option<RawChunk<'_>> = None;
+    let mut tokd: Option<RawChunk<'_>> = None;
+    let mut grph: Option<RawChunk<'_>> = None;
+    let mut stor: Option<RawChunk<'_>> = None;
+    let mut disc: Option<RawChunk<'_>> = None;
+    let mut meta: Option<RawChunk<'_>> = None;
+    for _ in 0..chunk_count {
+        let tag: [u8; 4] = r
+            .take_raw(4)
+            .map_err(|_| ArtifactError::Truncated)?
+            .try_into()
+            .expect("4-byte slice");
+        let tag_name = || String::from_utf8_lossy(&tag).into_owned();
+        let len = r.take_u64().map_err(|_| ArtifactError::Truncated)?;
+        let len = usize::try_from(len).map_err(|_| ArtifactError::Truncated)?;
+        let crc = r.take_u32().map_err(|_| ArtifactError::Truncated)?;
+        if version >= ALIGNED_VERSION {
+            let pad = r.take_u32().map_err(|_| ArtifactError::Truncated)? as usize;
+            // The pad must be exactly what 8-aligns the payload's absolute
+            // offset, and zero-filled — anything else is corruption (the
+            // header fields outside the payload are not CRC-covered).
+            let expected = (8 - (r.consumed() % 8)) % 8;
+            if pad != expected {
+                return Err(ArtifactError::Misaligned { chunk: tag_name() });
+            }
+            let pad_bytes = r.take_raw(pad).map_err(|_| ArtifactError::Truncated)?;
+            if pad_bytes.iter().any(|&b| b != 0) {
+                return Err(ArtifactError::Misaligned { chunk: tag_name() });
+            }
+        }
+        let offset = r.consumed();
+        // Declared length validated against the remaining buffer before
+        // the payload is sliced (take_raw never reads past the end).
+        let payload = r.take_raw(len).map_err(|_| ArtifactError::Truncated)?;
+        if (eager_stor_crc || tag != TAG_STOR) && crc32(payload) != crc {
+            return Err(ArtifactError::ChecksumMismatch { chunk: tag_name() });
+        }
+        let slot = match tag {
+            TAG_SYMB => &mut symb,
+            TAG_CONF => &mut conf,
+            TAG_TOKD => &mut tokd,
+            TAG_GRPH => &mut grph,
+            TAG_STOR => &mut stor,
+            // A DISC chunk in a v1 artifact is as malformed as an
+            // unknown tag: v1 writers never produced one.
+            TAG_DISC if version >= 2 => &mut disc,
+            TAG_META => &mut meta,
+            _ => return Err(ArtifactError::BadChunk { chunk: tag_name() }),
+        };
+        if slot
+            .replace(RawChunk {
+                payload,
+                offset,
+                crc,
+            })
+            .is_some()
+        {
+            return Err(ArtifactError::BadChunk { chunk: tag_name() });
+        }
+    }
+    if !r.is_exhausted() {
+        return Err(ArtifactError::TrailingData);
+    }
+    if version >= 2 && disc.is_none() {
+        return Err(ArtifactError::MissingChunk("DISC"));
+    }
+    Ok(Chunks {
+        version,
+        symb: symb.ok_or(ArtifactError::MissingChunk("SYMB"))?,
+        conf: conf.ok_or(ArtifactError::MissingChunk("CONF"))?,
+        tokd: tokd.ok_or(ArtifactError::MissingChunk("TOKD"))?,
+        grph: grph.ok_or(ArtifactError::MissingChunk("GRPH"))?,
+        stor: stor.ok_or(ArtifactError::MissingChunk("STOR"))?,
+        disc,
+        meta: meta.ok_or(ArtifactError::MissingChunk("META"))?,
+    })
 }
 
 /// Cross-chunk consistency: each chunk decodes in isolation against the
@@ -498,12 +661,16 @@ fn encode_config(c: &LevaConfig, w: &mut ByteWriter, version: u32) {
         w.put_u64(c.discovery.signature_size as u64);
         w.put_u64(c.discovery.threads as u64);
     }
+    // The storage-precision tag exists from format version 3.
+    if version >= 3 {
+        w.put_u8(c.precision.as_u8());
+    }
 }
 
 fn decode_config(r: &mut ByteReader<'_>, version: u32) -> Result<LevaConfig, DecodeError> {
     // Struct-literal fields evaluate in source order, which keeps these
     // reads aligned with `encode_config`'s writes.
-    Ok(LevaConfig {
+    let mut cfg = LevaConfig {
         dim: r.take_usize()?,
         textify: leva_textify::TextifyConfig {
             bin_count: r.take_usize()?,
@@ -564,6 +731,9 @@ fn decode_config(r: &mut ByteReader<'_>, version: u32) -> Result<LevaConfig, Dec
             min_lr: r.take_f64()?,
             seed: r.take_u64()?,
             threads: r.take_usize()?,
+            // Derived from the pipeline precision (decoded below), not
+            // separately encoded.
+            precision: Precision::F64,
         },
         featurization: match r.take_u8()? {
             0 => Featurization::RowOnly,
@@ -592,7 +762,16 @@ fn decode_config(r: &mut ByteReader<'_>, version: u32) -> Result<LevaConfig, Dec
         } else {
             DiscoveryConfig::default()
         },
-    })
+        // Written after the discovery fields; absent before v3 (all legacy
+        // artifacts were built at full f64 precision).
+        precision: if version >= 3 {
+            Precision::from_u8(r.take_u8()?).ok_or(DecodeError::Invalid("unknown precision tag"))?
+        } else {
+            Precision::F64
+        },
+    };
+    cfg.sgns.precision = cfg.precision;
+    Ok(cfg)
 }
 
 // --- DISC chunk ---------------------------------------------------------
@@ -1111,6 +1290,100 @@ mod tests {
     }
 
     #[test]
+    fn legacy_v2_artifacts_still_load() {
+        let model = fit_with_discovery();
+        let v2 = model.to_bytes_with_version(2);
+        assert_eq!(v2[4], 2, "version byte");
+        let back = LevaModel::from_bytes(&v2).unwrap();
+        assert_eq!(back.discovered, model.discovered);
+        assert_eq!(back.discovery_injection, model.discovery_injection);
+        assert_eq!(back.config.precision, Precision::F64);
+        assert_bitwise_equal_features(&model, &back);
+        // And through the mmap entry point (heap fallback for pre-v3).
+        let dir = std::env::temp_dir().join("leva_artifact_v2_mmap");
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("model.leva");
+        std::fs::write(&path, &v2).unwrap();
+        let mapped = LevaModel::load_mmap(&path).unwrap();
+        assert!(!mapped.store.is_mapped(), "pre-v3 loads land on the heap");
+        assert_bitwise_equal_features(&model, &mapped);
+        std::fs::remove_file(&path).ok();
+    }
+
+    #[test]
+    fn streaming_save_matches_to_bytes() {
+        let model = fit_with_discovery();
+        let buffered = model.to_bytes();
+        let mut streamed = Vec::new();
+        model.save_to(&mut streamed).unwrap();
+        assert_eq!(streamed, buffered, "save_to and to_bytes diverge");
+    }
+
+    #[test]
+    fn v3_payloads_are_8_aligned() {
+        let model = fit();
+        let bytes = model.to_bytes();
+        assert_eq!(bytes[4], ARTIFACT_VERSION as u8);
+        for tag in [TAG_SYMB, TAG_CONF, TAG_TOKD, TAG_GRPH, TAG_STOR, TAG_META] {
+            let (_, start, _) = find_chunk(&bytes, tag).expect("chunk present");
+            assert_eq!(
+                start % 8,
+                0,
+                "{} payload misaligned",
+                String::from_utf8_lossy(&tag)
+            );
+        }
+    }
+
+    #[test]
+    fn tampered_pad_is_misaligned_error() {
+        let model = fit();
+        let base = model.to_bytes();
+        // Find a chunk with a non-empty pad and flip one pad byte.
+        let count = u32::from_le_bytes(base[8..12].try_into().unwrap());
+        let mut off = 12;
+        let mut tampered = None;
+        for _ in 0..count {
+            let len = u64::from_le_bytes(base[off + 4..off + 12].try_into().unwrap()) as usize;
+            let pad = u32::from_le_bytes(base[off + 16..off + 20].try_into().unwrap()) as usize;
+            if pad > 0 && tampered.is_none() {
+                let mut bytes = base.clone();
+                bytes[off + 20] = 0xff; // first pad byte
+                tampered = Some(bytes);
+            }
+            off += 20 + pad + len;
+        }
+        let bytes = tampered.expect("at least one chunk carries padding");
+        assert!(matches!(
+            LevaModel::from_bytes(&bytes).unwrap_err(),
+            ArtifactError::Misaligned { .. }
+        ));
+        // A wrong pad *length* is equally misaligned.
+        let mut bytes = base.clone();
+        let pad = u32::from_le_bytes(bytes[28..32].try_into().unwrap());
+        bytes[28..32].copy_from_slice(&(pad + 1).to_le_bytes());
+        assert!(matches!(
+            LevaModel::from_bytes(&bytes).unwrap_err(),
+            ArtifactError::Misaligned { .. }
+        ));
+    }
+
+    #[test]
+    fn precision_round_trips_in_conf() {
+        for p in [Precision::F32, Precision::Int8] {
+            let cfg = LevaConfig::default().with_precision(p);
+            let mut w = ByteWriter::new();
+            encode_config(&cfg, &mut w, ARTIFACT_VERSION);
+            let bytes = w.into_bytes();
+            let mut r = ByteReader::new(&bytes);
+            let back = decode_config(&mut r, ARTIFACT_VERSION).unwrap();
+            assert!(r.is_exhausted());
+            assert_eq!(back.precision, p);
+            assert_eq!(back.sgns.precision, p, "SGNS precision derives from CONF");
+        }
+    }
+
+    #[test]
     fn disc_chunk_in_v1_artifact_is_rejected() {
         let model = fit();
         let mut bytes = model.to_bytes();
@@ -1124,7 +1397,7 @@ mod tests {
     fn hostile_disc_scores_are_rejected() {
         let model = fit_with_discovery();
         let base = model.to_bytes();
-        let (start, len) = find_chunk(&base, TAG_DISC).expect("DISC chunk present");
+        let (_, start, len) = find_chunk(&base, TAG_DISC).expect("DISC chunk present");
         let needle = model.discovered[0].containment.to_le_bytes();
         let pos = start
             + base[start..start + len]
@@ -1149,7 +1422,7 @@ mod tests {
         let mut bytes = model.to_bytes();
         // Same-length table-name swap inside the DISC chunk keeps every
         // length field valid while pointing at a phantom table.
-        let (start, len) = find_chunk(&bytes, TAG_DISC).expect("DISC chunk present");
+        let (_, start, len) = find_chunk(&bytes, TAG_DISC).expect("DISC chunk present");
         let payload = &mut bytes[start..start + len];
         let from_table = model.discovered[0].from_table.as_bytes();
         let pos = payload
@@ -1166,16 +1439,25 @@ mod tests {
         ));
     }
 
-    /// Byte offset and length of a chunk's payload within an artifact.
-    fn find_chunk(bytes: &[u8], tag: [u8; 4]) -> Option<(usize, usize)> {
-        let mut off = 12;
+    /// Byte offsets of a chunk within an artifact (any version):
+    /// `(crc_field_offset, payload_offset, payload_len)`.
+    fn find_chunk(bytes: &[u8], tag: [u8; 4]) -> Option<(usize, usize, usize)> {
+        let version = u32::from_le_bytes(bytes[4..8].try_into().unwrap());
         let count = u32::from_le_bytes(bytes[8..12].try_into().unwrap());
+        let mut off = 12;
         for _ in 0..count {
             let t: [u8; 4] = bytes[off..off + 4].try_into().unwrap();
             let len = u64::from_le_bytes(bytes[off + 4..off + 12].try_into().unwrap()) as usize;
-            let start = off + 16;
+            let crc_off = off + 12;
+            let start = if version >= ALIGNED_VERSION {
+                let pad =
+                    u32::from_le_bytes(bytes[off + 16..off + 20].try_into().unwrap()) as usize;
+                off + 20 + pad
+            } else {
+                off + 16
+            };
             if t == tag {
-                return Some((start, len));
+                return Some((crc_off, start, len));
             }
             off = start + len;
         }
@@ -1184,8 +1466,8 @@ mod tests {
 
     /// Recomputes the DISC chunk's CRC after a test mutated its payload.
     fn patch_disc_crc(bytes: &mut [u8]) {
-        let (start, len) = find_chunk(bytes, TAG_DISC).expect("DISC chunk present");
+        let (crc_off, start, len) = find_chunk(bytes, TAG_DISC).expect("DISC chunk present");
         let crc = crc32(&bytes[start..start + len]);
-        bytes[start - 4..start].copy_from_slice(&crc.to_le_bytes());
+        bytes[crc_off..crc_off + 4].copy_from_slice(&crc.to_le_bytes());
     }
 }

@@ -48,25 +48,36 @@ impl LevaModel {
     /// cached for the model's lifetime. The caches snapshot the current
     /// graph + store; mutating those fields afterwards is unsupported.
     pub fn featurizer(&self) -> &Featurizer {
-        self.featurizer
-            .get_or_init(|| Featurizer::build(&self.graph, &self.store, self.config.threads))
+        self.featurizer.get_or_init(|| {
+            Featurizer::build_with_precision(
+                &self.graph,
+                &self.store,
+                self.config.threads,
+                self.config.precision,
+            )
+        })
     }
 
     /// Reference implementation of the per-row accumulation: the two-hop
     /// graph walk the [`Featurizer`] caches replace. Kept for equivalence
     /// tests and the stages bench.
     ///
-    /// Contributions are weighted by the inverse degree of the value node —
-    /// the same "hub values carry weak inclusion-dependency evidence"
-    /// rationale as the graph's edge weighting (§3.2), applied at
-    /// deployment: a bin token shared by hundreds of rows says little about
-    /// this row; a key shared by two rows says a lot. The augmentation half
-    /// is *sum*-pooled (weighted), not mean-pooled: aggregate targets (a
-    /// total over N joined rows, a count of related events) need the
-    /// multiplicity of the join to survive featurization.
+    /// Contributions are weighted by the *stored* edge weights — `conf /
+    /// deg(value)`, the same "hub values carry weak inclusion-dependency
+    /// evidence" rationale as the graph's edge weighting (§3.2) with
+    /// discovery confidences riding along: a bin token shared by hundreds
+    /// of rows says little about this row; a key shared by two rows says a
+    /// lot; an edge injected at confidence 0.6 says 0.6 of what an organic
+    /// edge would. Hop 2 recovers the confidence as `w(v,r)·deg(v)` and
+    /// renormalizes by the related row's degree. For a purely organic graph
+    /// every stored weight is bitwise `1/deg(value)` and this reduces to
+    /// the classic inverse-degree walk. The augmentation half is
+    /// *sum*-pooled (weighted), not mean-pooled: aggregate targets (a total
+    /// over N joined rows, a count of related events) need the multiplicity
+    /// of the join to survive featurization.
     fn accumulate_walk(
         &self,
-        value_nodes: &[u32],
+        value_nodes: &[(u32, f64)],
         skip_row: Option<u32>,
         out_row: &mut [f64],
         feat: Featurization,
@@ -76,28 +87,29 @@ impl LevaModel {
         let mut v_weight = 0.0f64;
         let mut x_acc = vec![0.0; dim];
         let mut x_weight = 0.0f64;
-        for &v in value_nodes {
-            let w = 1.0 / self.graph.degree(v).max(1) as f64;
+        for &(v, w1) in value_nodes {
             if let Some(emb) = self.store.get_id(self.graph.token(v)) {
                 for (a, &e) in v_acc.iter_mut().zip(emb) {
-                    *a += w * e;
+                    *a += w1 * e;
                 }
-                v_weight += w;
+                v_weight += w1;
             }
             if feat == Featurization::RowPlusValue {
                 // The augmentation half walks one join hop further: the
                 // value nodes of the rows this value connects to — i.e. the
                 // attributes the recovered join would have brought in.
-                for &(r, _) in self.graph.neighbors(v) {
+                let dv = self.graph.degree(v).max(1) as f64;
+                for &(r, wvr) in self.graph.neighbors(v) {
                     if Some(r) == skip_row {
                         continue;
                     }
-                    let wr = w / self.graph.degree(r).max(1) as f64;
-                    for &(v2, _) in self.graph.neighbors(r) {
+                    // conf(v,r) = wᵥᵣ·deg(v); step weight conf/deg(r).
+                    let wr = w1 * (wvr * dv) / self.graph.degree(r).max(1) as f64;
+                    for &(v2, w2s) in self.graph.neighbors(r) {
                         if v2 == v {
                             continue;
                         }
-                        let w2 = wr / self.graph.degree(v2).max(1) as f64;
+                        let w2 = wr * w2s;
                         if let Some(emb) = self.store.get_id(self.graph.token(v2)) {
                             for (a, &e) in x_acc.iter_mut().zip(emb) {
                                 *a += w2 * e;
@@ -160,7 +172,7 @@ impl LevaModel {
                 };
                 fz.accumulate(
                     &self.graph,
-                    neighbors.iter().map(|&(v, _)| v),
+                    neighbors.iter().copied(),
                     Some(node),
                     out_row,
                     feat,
@@ -203,9 +215,7 @@ impl LevaModel {
             let Ok(node) = self.graph.try_row_node(self.base_table_index, r) else {
                 continue;
             };
-            let value_nodes: Vec<u32> =
-                self.graph.neighbors(node).iter().map(|&(v, _)| v).collect();
-            self.accumulate_walk(&value_nodes, Some(node), out.row_mut(i), feat);
+            self.accumulate_walk(self.graph.neighbors(node), Some(node), out.row_mut(i), feat);
         }
         out
     }
@@ -240,8 +250,8 @@ impl LevaModel {
         let encoders = self.external_encoders(table);
         let mut out = Matrix::zeros(table.row_count(), self.feature_dim(feat));
         for r in 0..table.row_count() {
-            let value_nodes = self.external_row_value_nodes(table, &encoders, r);
-            self.accumulate_walk(&value_nodes, None, out.row_mut(r), feat);
+            let pairs = self.external_row_value_pairs(table, &encoders, r);
+            self.accumulate_walk(&pairs, None, out.row_mut(r), feat);
         }
         out
     }
@@ -301,6 +311,21 @@ impl LevaModel {
         value_nodes
     }
 
+    /// [`LevaModel::external_row_value_nodes`] paired with the hop-1 weight
+    /// an organic unit-confidence edge to that value node would carry
+    /// (`1/deg(v)` — external rows have no stored edge to read).
+    fn external_row_value_pairs(
+        &self,
+        table: &Table,
+        encoders: &[Option<&ColumnEncoder>],
+        row: usize,
+    ) -> Vec<(u32, f64)> {
+        self.external_row_value_nodes(table, encoders, row)
+            .into_iter()
+            .map(|v| (v, 1.0 / self.graph.degree(v).max(1) as f64))
+            .collect()
+    }
+
     /// Featurizes one contiguous row range of an external table (shared by
     /// [`LevaModel::featurize_external`] and [`FeaturizeBatch`]).
     fn featurize_external_chunk(
@@ -317,14 +342,8 @@ impl LevaModel {
         for_each_row_band(out.data_mut(), width, self.config.threads, |range, band| {
             for (offset, i) in range.enumerate() {
                 let out_row = &mut band[offset * width..(offset + 1) * width];
-                let value_nodes = self.external_row_value_nodes(table, encoders, start + i);
-                fz.accumulate(
-                    &self.graph,
-                    value_nodes.iter().copied(),
-                    None,
-                    out_row,
-                    feat,
-                );
+                let pairs = self.external_row_value_pairs(table, encoders, start + i);
+                fz.accumulate(&self.graph, pairs.iter().copied(), None, out_row, feat);
             }
         });
         out

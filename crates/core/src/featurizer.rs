@@ -6,44 +6,63 @@
 //! N(v)` and every value node `v2 ∈ N(r)` — `O(Σ deg(v)·deg(r))` work per
 //! row, repeated for every row of every batch.
 //!
+//! The walk is *edge-weighted*: the graph stores `w(u, v) = conf / deg(v)`
+//! on both directions of every row↔value edge, where `conf` is 1 for
+//! organic edges and the discovery confidence (< 1) for injected ones
+//! (§3.2 + DESIGN.md §6.13). Hop 1 uses the stored weight `w1 = w(R, v)`
+//! directly; hop 2 recovers the confidence as `conf = w(v, r) · deg(v)` and
+//! steps with `w1 · conf / deg(r)`; hop 3 again uses the stored
+//! `w(r, v2)`. For a purely organic graph every stored weight is bitwise
+//! `1/deg(value)` and the weighted walk coincides with the classic
+//! inverse-degree walk.
+//!
 //! The [`Featurizer`] precomputes, once per model, dense per-value-node
 //! caches indexed by `node_id - n_row_nodes`:
 //!
-//! * `val_contrib[v] = w_v · emb(v)` and `val_weight[v] = w_v` (zero when
-//!   the token has no embedding), where `w_v = 1/deg(v)` is the same
-//!   inverse-degree weight the naive walk uses — the value half of a row
-//!   becomes a weighted mean of `O(#tokens)` cached vectors.
+//! * `val_contrib[v] = emb(v)` (zeros when the token has no embedding) and
+//!   `val_weight[v] ∈ {0, 1}` (embedding present?). Hop-1 weights vary per
+//!   *edge* now, so they are applied at accumulation time rather than
+//!   folded into the cache: the value half of a row is
+//!   `Σ w1 · val_contrib[v] / Σ w1 · val_weight[v]`.
 //! * `two_hop[v]` / `two_hop_weight[v]`: the *full* related-row sum the
-//!   value node contributes when **no** row is excluded:
+//!   value node contributes per unit of hop-1 weight when **no** row is
+//!   excluded:
 //!
 //!   ```text
-//!   two_hop[v] = w_v · Σ_{r ∈ N(v)} (1/deg(r)) · (rowsum[r] − w_v·emb(v))
-//!   rowsum[r]  = Σ_{v' ∈ N(r)} w_{v'} · emb(v')      (embedded v' only)
+//!   two_hop[v] = deg(v) · Σ_{(r, wᵥᵣ) ∈ N(v)} (wᵥᵣ/deg(r)) · rowsum[r]
+//!              − deg(v) · (Σ wᵥᵣ²/deg(r)) · val_contrib[v]
+//!   rowsum[r]  = Σ_{(v', w') ∈ N(r)} w' · emb(v')    (embedded v' only)
 //!   ```
 //!
-//!   The inner `− w_v·emb(v)` term is the naive walk's `v2 ≠ v` exclusion,
-//!   hoisted out of the loop. `rowsum` is a transient build-time buffer.
+//!   The second term is the naive walk's `v2 ≠ v` exclusion, hoisted out of
+//!   the loop (the reverse edge stores the same `conf/deg(v)` value, so the
+//!   echo of `v` through `r` carries weight `wᵥᵣ²·deg(v)/deg(r)`). `rowsum`
+//!   is a transient build-time buffer. Accumulation adds `w1 · two_hop[v]`.
 //!
 //! Featurizing a row is then `O(#tokens · d)` dense adds. The `skip_row`
 //! self-exclusion (a training row must not see itself among its related
-//! rows) becomes a cheap closed-form subtraction: the row's own
-//! contribution through its value nodes is
-//!
-//! ```text
-//! (1/deg(R)) · (W_V · v_acc − Σ_{v ∈ V} w_v · val_contrib[v])
-//! ```
-//!
-//! where `V` is the row's value-node set, `W_V = Σ w_v`, and `v_acc` is the
-//! (unnormalized) value half — all already available in the same pass.
+//! rows) stays a closed-form subtraction: through each of its value nodes
+//! `v` the skipped row `R` echoes `(w1²·deg(v)/deg(R)) · (rowsum[R] −
+//! w1·emb(v))`, and `rowsum[R]` is exactly the raw value half `v_acc`
+//! already accumulated in the same pass — so the related half subtracts
+//! `(M₂/deg(R)) · v_acc` with `M₂ = Σ_v w1²·deg(v)`, after restoring each
+//! value node's own `w1³·deg(v)/deg(R) · val_contrib[v]` echo term.
 //!
 //! The cache build is `O(E·d)` — the cost of featurizing a couple of rows
 //! naively — and both the build and the batch APIs shard rows over
 //! contiguous bands via [`leva_linalg::for_each_row_band`], so results are
 //! bitwise identical at any thread count. Cached and naive paths agree to
 //! ~1e-15 per element (float reassociation only), which tests pin at 1e-12.
+//!
+//! **Precision ladder** (DESIGN.md §6.14): at reduced
+//! [`Precision`](leva_embedding::Precision) the build reads embeddings
+//! through a [`QuantizedStore`](leva_embedding::QuantizedStore) snapshot
+//! instead of the f64 store — the caches themselves stay f64, so serving
+//! arithmetic is unchanged and only the embedded coordinates carry the
+//! documented per-element quantization error.
 
 use crate::config::Featurization;
-use leva_embedding::EmbeddingStore;
+use leva_embedding::{EmbeddingStore, Precision, QuantizedStore};
 use leva_graph::LevaGraph;
 use leva_linalg::for_each_row_band;
 use std::time::{Duration, Instant};
@@ -59,13 +78,13 @@ pub struct Featurizer {
     dim: usize,
     /// Value nodes occupy graph ids `n_row_nodes..`; cache slot = id − this.
     first_value_node: u32,
-    /// `w_v = 1/max(deg(v), 1)` per value node (all value nodes).
-    inv_degree: Vec<f64>,
-    /// `w_v · emb(v)` per value node, zeros when the token has no embedding.
+    /// `max(deg(v), 1)` per value node, as f64 (echo-term factor).
+    degree: Vec<f64>,
+    /// `emb(v)` per value node, zeros when the token has no embedding.
     val_contrib: Vec<f64>,
-    /// `w_v` when `emb(v)` is present, else 0 (the value-half mass).
+    /// 1 when `emb(v)` is present, else 0 (the value-half presence mass).
     val_weight: Vec<f64>,
-    /// Full two-hop related-row sum contributed by each value node.
+    /// Per-unit-hop-1-weight two-hop related-row sum of each value node.
     two_hop: Vec<f64>,
     /// Weight mass of `two_hop` (drives the "any related row?" test).
     two_hop_weight: Vec<f64>,
@@ -73,10 +92,23 @@ pub struct Featurizer {
 }
 
 impl Featurizer {
-    /// Precomputes the deployment caches for `graph` + `store` in `O(E·d)`,
-    /// sharding the two dense passes over `threads` row bands (bitwise
-    /// identical at any thread count).
+    /// Precomputes the deployment caches for `graph` + `store` in `O(E·d)`
+    /// at full f64 precision, sharding the dense passes over `threads` row
+    /// bands (bitwise identical at any thread count).
     pub fn build(graph: &LevaGraph, store: &EmbeddingStore, threads: usize) -> Featurizer {
+        Self::build_with_precision(graph, store, threads, Precision::F64)
+    }
+
+    /// Like [`Featurizer::build`], but at reduced `precision` the embedding
+    /// coordinates are read through a [`QuantizedStore`] snapshot (f32 or
+    /// int8), bounding cache memory traffic during the build; the caches
+    /// themselves stay f64.
+    pub fn build_with_precision(
+        graph: &LevaGraph,
+        store: &EmbeddingStore,
+        threads: usize,
+        precision: Precision,
+    ) -> Featurizer {
         let start = Instant::now();
         let dim = store.dim();
         let n_rows = graph.n_row_nodes();
@@ -85,32 +117,42 @@ impl Featurizer {
         // Borrowed dense view: one lookup per graph node below, no store
         // indirection inside the banded loops.
         let view = store.dense_view();
+        let quantized = match precision {
+            Precision::F64 => None,
+            reduced => Some(QuantizedStore::quantize(store, reduced)),
+        };
 
-        // Pass 1: per-value-node inverse degrees and weighted embeddings.
-        let mut inv_degree = vec![0.0; n_values];
+        // Pass 1: per-value-node degrees and raw (or dequantized) embeddings.
+        let mut degree = vec![0.0; n_values];
         let mut val_weight = vec![0.0; n_values];
         let mut val_contrib = vec![0.0; n_values * dim];
         for_each_row_band(&mut val_contrib, dim.max(1), threads, |slots, band| {
             for (offset, vi) in slots.enumerate() {
                 let node = first_value_node + vi as u32;
-                let w = 1.0 / graph.degree(node).max(1) as f64;
-                if let Some(emb) = view.get(graph.token(node)) {
-                    let out = &mut band[offset * dim..(offset + 1) * dim];
-                    for (slot, &e) in out.iter_mut().zip(emb) {
-                        *slot = w * e;
+                let token = graph.token(node);
+                let out = &mut band[offset * dim..(offset + 1) * dim];
+                match &quantized {
+                    Some(q) => {
+                        q.dequantize_into(token, out);
+                    }
+                    None => {
+                        if let Some(emb) = view.get(token) {
+                            out.copy_from_slice(emb);
+                        }
                     }
                 }
             }
         });
-        for (vi, (w_slot, m_slot)) in inv_degree.iter_mut().zip(&mut val_weight).enumerate() {
+        for (vi, (d_slot, m_slot)) in degree.iter_mut().zip(&mut val_weight).enumerate() {
             let node = first_value_node + vi as u32;
-            *w_slot = 1.0 / graph.degree(node).max(1) as f64;
+            *d_slot = graph.degree(node).max(1) as f64;
             if view.get(graph.token(node)).is_some() {
-                *m_slot = *w_slot;
+                *m_slot = 1.0;
             }
         }
 
-        // Pass 2 (transient): per-row sums of the weighted value embeddings.
+        // Pass 2 (transient): per-row weighted sums of the value embeddings,
+        // using the stored (confidence-bearing) edge weights.
         let value_slot = |v: u32| -> Option<usize> {
             let vi = v.checked_sub(first_value_node)? as usize;
             (vi < n_values).then_some(vi)
@@ -119,38 +161,41 @@ impl Featurizer {
         for_each_row_band(&mut rowsum, dim.max(1), threads, |rows, band| {
             for (offset, r) in rows.enumerate() {
                 let out = &mut band[offset * dim..(offset + 1) * dim];
-                for &(v, _) in graph.neighbors(r as u32) {
+                for &(v, w) in graph.neighbors(r as u32) {
                     let Some(vi) = value_slot(v) else { continue };
                     for (o, &c) in out.iter_mut().zip(&val_contrib[vi * dim..(vi + 1) * dim]) {
-                        *o += c;
+                        *o += w * c;
                     }
                 }
             }
         });
         let mut row_weight = vec![0.0; n_rows];
         for (r, mass) in row_weight.iter_mut().enumerate() {
-            for &(v, _) in graph.neighbors(r as u32) {
+            for &(v, w) in graph.neighbors(r as u32) {
                 if let Some(vi) = value_slot(v) {
-                    *mass += val_weight[vi];
+                    *mass += w * val_weight[vi];
                 }
             }
         }
 
         // Pass 3: fold the row sums into per-value-node two-hop caches,
         // subtracting each value node's own echo (the naive `v2 ≠ v` test).
+        // Hop-1 weights are per-edge, so the caches are normalized per unit
+        // of hop-1 weight; accumulation rescales by the actual `w1`.
         let mut two_hop = vec![0.0; n_values * dim];
         for_each_row_band(&mut two_hop, dim.max(1), threads, |slots, band| {
             for (offset, vi) in slots.enumerate() {
                 let node = first_value_node + vi as u32;
-                let w = inv_degree[vi];
+                let dv = degree[vi];
                 let out = &mut band[offset * dim..(offset + 1) * dim];
-                let mut inv_row_degrees = 0.0;
-                for &(r, _) in graph.neighbors(node) {
+                let mut echo_mass = 0.0; // Σ wᵥᵣ²/deg(r)
+                for &(r, wvr) in graph.neighbors(node) {
                     if r >= first_value_node {
                         continue; // defensive: a non-bipartite edge
                     }
-                    let wr = 1.0 / graph.degree(r).max(1) as f64;
-                    inv_row_degrees += wr;
+                    let inv_r = 1.0 / graph.degree(r).max(1) as f64;
+                    echo_mass += wvr * wvr * inv_r;
+                    let wr = wvr * inv_r;
                     let r = r as usize;
                     for (o, &s) in out.iter_mut().zip(&rowsum[r * dim..(r + 1) * dim]) {
                         *o += wr * s;
@@ -158,31 +203,31 @@ impl Featurizer {
                 }
                 let own = &val_contrib[vi * dim..(vi + 1) * dim];
                 for (o, &c) in out.iter_mut().zip(own) {
-                    *o = w * *o - w * inv_row_degrees * c;
+                    *o = dv * *o - dv * echo_mass * c;
                 }
             }
         });
         let mut two_hop_weight = vec![0.0; n_values];
         for (vi, mass) in two_hop_weight.iter_mut().enumerate() {
             let node = first_value_node + vi as u32;
-            let w = inv_degree[vi];
+            let dv = degree[vi];
             let mut acc = 0.0;
-            let mut inv_row_degrees = 0.0;
-            for &(r, _) in graph.neighbors(node) {
+            let mut echo_mass = 0.0;
+            for &(r, wvr) in graph.neighbors(node) {
                 if r >= first_value_node {
                     continue;
                 }
-                let wr = 1.0 / graph.degree(r).max(1) as f64;
-                inv_row_degrees += wr;
-                acc += wr * row_weight[r as usize];
+                let inv_r = 1.0 / graph.degree(r).max(1) as f64;
+                echo_mass += wvr * wvr * inv_r;
+                acc += wvr * inv_r * row_weight[r as usize];
             }
-            *mass = w * acc - w * inv_row_degrees * val_weight[vi];
+            *mass = dv * acc - dv * echo_mass * val_weight[vi];
         }
 
         Featurizer {
             dim,
             first_value_node,
-            inv_degree,
+            degree,
             val_contrib,
             val_weight,
             two_hop,
@@ -203,7 +248,7 @@ impl Featurizer {
 
     /// Estimated heap bytes of the dense caches.
     pub fn estimated_bytes(&self) -> usize {
-        (self.inv_degree.len()
+        (self.degree.len()
             + self.val_contrib.len()
             + self.val_weight.len()
             + self.two_hop.len()
@@ -211,9 +256,14 @@ impl Featurizer {
             * std::mem::size_of::<f64>()
     }
 
-    /// Featurizes one row — given as its value-node set `value_nodes` —
+    /// Featurizes one row — given as `(value_node, hop-1 weight)` pairs —
     /// into `out_row` (`dim` wide for [`Featurization::RowOnly`], `2·dim`
     /// for [`Featurization::RowPlusValue`]; must arrive zeroed).
+    ///
+    /// In-graph rows pass their adjacency pairs verbatim (the stored weight
+    /// *is* the hop-1 weight, carrying the edge's discovery confidence);
+    /// external rows pass `(v, 1/deg(v))` — the stored-weight value an
+    /// organic unit-confidence edge would have.
     ///
     /// `skip_row` excludes a training row's own node from its related-row
     /// half via the cached-subtraction identity (see the module docs);
@@ -227,68 +277,69 @@ impl Featurizer {
         out_row: &mut [f64],
         feat: Featurization,
     ) where
-        I: IntoIterator<Item = u32>,
+        I: IntoIterator<Item = (u32, f64)>,
     {
         let dim = self.dim;
         let related = feat == Featurization::RowPlusValue;
-        // Weight of the skipped row's echo in the related-row half.
+        // Inverse degree of the skipped row (its echo normalizer).
         let skip_w = skip_row.map(|r| {
             let deg = graph.try_neighbors(r).map_or(0, <[_]>::len);
             1.0 / deg.max(1) as f64
         });
         let mut v_weight = 0.0;
         let mut x_weight = 0.0;
-        let mut value_mass = 0.0; // W_V = Σ w_v over *all* value nodes of the row
-        for v in value_nodes {
+        let mut echo_m2 = 0.0; // M₂ = Σ w1²·deg(v) over the row's value nodes
+        for (v, w1) in value_nodes {
             let Some(vi) = v
                 .checked_sub(self.first_value_node)
                 .map(|i| i as usize)
-                .filter(|&i| i < self.inv_degree.len())
+                .filter(|&i| i < self.degree.len())
             else {
                 continue;
             };
             let contrib = &self.val_contrib[vi * dim..(vi + 1) * dim];
             for (o, &c) in out_row[..dim].iter_mut().zip(contrib) {
-                *o += c;
+                *o += w1 * c;
             }
-            v_weight += self.val_weight[vi];
+            v_weight += w1 * self.val_weight[vi];
             if related {
                 let cached = &self.two_hop[vi * dim..(vi + 1) * dim];
                 let out = &mut out_row[dim..];
                 match skip_w {
-                    // Σ (two_hop[v] + skip_w·w_v·val_contrib[v]): the
+                    // Σ (w1·two_hop[v] + sd·w1³·deg(v)·val_contrib[v]): the
                     // second term restores the part of the row's own echo
                     // that the per-value caches already subtracted as the
                     // `v2 = v` exclusion — without it the echo would be
-                    // removed twice once the W_V·v_acc term comes off below.
-                    Some(sw) => {
-                        let w = self.inv_degree[vi];
-                        value_mass += w;
+                    // removed twice once the M₂·v_acc term comes off below.
+                    Some(sd) => {
+                        let dv = self.degree[vi];
+                        echo_m2 += w1 * w1 * dv;
+                        let echo = sd * w1 * w1 * w1 * dv;
                         for ((o, &t), &c) in out.iter_mut().zip(cached).zip(contrib) {
-                            *o += t + sw * w * c;
+                            *o += w1 * t + echo * c;
                         }
-                        x_weight += self.two_hop_weight[vi] + sw * w * self.val_weight[vi];
+                        x_weight += w1 * self.two_hop_weight[vi] + echo * self.val_weight[vi];
                     }
                     None => {
                         for (o, &t) in out.iter_mut().zip(cached) {
-                            *o += t;
+                            *o += w1 * t;
                         }
-                        x_weight += self.two_hop_weight[vi];
+                        x_weight += w1 * self.two_hop_weight[vi];
                     }
                 }
             }
         }
         if related {
-            if let Some(sw) = skip_w {
+            if let Some(sd) = skip_w {
                 // Subtract the skipped row's full echo: through each of its
-                // value nodes v it would contribute (w_v/deg(R))·rowsum(R),
-                // and Σ_v w_v·rowsum(R) = W_V·v_acc with v_acc still raw in
-                // the value half.
+                // value nodes v it would contribute
+                // (w1²·deg(v)/deg(R))·rowsum(R), and rowsum(R) = Σ w1·emb(v)
+                // is exactly v_acc, still raw in the value half.
                 let (value_half, related_half) = out_row.split_at_mut(dim);
                 for (o, &a) in related_half.iter_mut().zip(value_half.iter()) {
-                    *o -= sw * value_mass * a;
+                    *o -= sd * echo_m2 * a;
                 }
-                x_weight -= sw * value_mass * v_weight;
+                x_weight -= sd * echo_m2 * v_weight;
             }
             // Mirror the naive walk: a related-row half with no (or only
             // cancelled) mass stays the zero vector.

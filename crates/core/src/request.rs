@@ -95,7 +95,20 @@ impl LevaModel {
     /// historical `featurize_*` methods. Every [`RowSource::BaseRows`]
     /// index is validated up front — a bad index fails the whole request
     /// with [`LevaError::NodeIndex`] before any row is featurized.
+    ///
+    /// For a model served from a mapping ([`LevaModel::load_mmap`]) this is
+    /// also where the deferred `STOR` CRC is settled: the first call hashes
+    /// the mapped payload once, and a corrupt store fails every request
+    /// with [`ArtifactError::ChecksumMismatch`](crate::ArtifactError)
+    /// instead of silently featurizing from flipped bits.
     pub fn featurize(&self, request: &FeaturizeRequest) -> Result<Matrix, LevaError> {
+        if !self.store.verify_mapped() {
+            return Err(LevaError::Artifact(
+                crate::ArtifactError::ChecksumMismatch {
+                    chunk: "STOR".to_owned(),
+                },
+            ));
+        }
         match &request.source {
             RowSource::BaseAll => {
                 let rows: Vec<usize> = (0..self.base_row_count()).collect();

@@ -11,6 +11,7 @@
 //! fully deterministic and is what the test-suite exercises.
 
 use crate::corpus::Corpus;
+use crate::quant::Precision;
 use crate::store::EmbeddingStore;
 use leva_graph::AliasTable;
 use rand::rngs::StdRng;
@@ -37,6 +38,12 @@ pub struct SgnsConfig {
     pub seed: u64,
     /// Worker threads (1 = deterministic).
     pub threads: usize,
+    /// Parameter-storage precision (DESIGN.md §6.14 precision ladder):
+    /// `F64` is the exact reference; `F32`/`Int8` store the two parameter
+    /// matrices as f32 (halving training memory) while keeping gradient
+    /// arithmetic in f64. Int8 has no training rung of its own — it is a
+    /// serving-side quantization, so training runs at f32.
+    pub precision: Precision,
 }
 
 impl Default for SgnsConfig {
@@ -50,7 +57,41 @@ impl Default for SgnsConfig {
             min_lr: 1e-4,
             seed: 0x5643,
             threads: 1,
+            precision: Precision::F64,
         }
+    }
+}
+
+/// Parameter-storage scalar: f64 (exact) or f32 (compact). Arithmetic is
+/// f64 either way — the ladder trades storage, not math — and the dot
+/// product routes through the precision-matched SIMD-friendly kernel.
+trait ParamScalar: Copy + Default + Send + Sync + 'static {
+    fn from_f64(x: f64) -> Self;
+    fn to_f64(self) -> f64;
+    fn dot(a: &[Self], b: &[Self]) -> f64;
+}
+
+impl ParamScalar for f64 {
+    fn from_f64(x: f64) -> Self {
+        x
+    }
+    fn to_f64(self) -> f64 {
+        self
+    }
+    fn dot(a: &[Self], b: &[Self]) -> f64 {
+        leva_linalg::dot(a, b)
+    }
+}
+
+impl ParamScalar for f32 {
+    fn from_f64(x: f64) -> Self {
+        x as f32
+    }
+    fn to_f64(self) -> f64 {
+        f64::from(self)
+    }
+    fn dot(a: &[Self], b: &[Self]) -> f64 {
+        leva_linalg::dot_f32(a, b)
     }
 }
 
@@ -80,8 +121,17 @@ impl SgnsModel {
     }
 }
 
-/// Trains SGNS over a corpus.
+/// Trains SGNS over a corpus. `cfg.precision` selects f64 or f32 parameter
+/// storage (see [`SgnsConfig::precision`]); results are deterministic for a
+/// fixed precision at `threads: 1`.
 pub fn train_sgns(corpus: &Corpus, cfg: &SgnsConfig) -> SgnsModel {
+    match cfg.precision {
+        Precision::F64 => train_sgns_typed::<f64>(corpus, cfg),
+        Precision::F32 | Precision::Int8 => train_sgns_typed::<f32>(corpus, cfg),
+    }
+}
+
+fn train_sgns_typed<T: ParamScalar>(corpus: &Corpus, cfg: &SgnsConfig) -> SgnsModel {
     let vocab = corpus.vocab_size();
     let dim = cfg.dim;
     let mut rng = StdRng::seed_from_u64(cfg.seed);
@@ -92,11 +142,11 @@ pub fn train_sgns(corpus: &Corpus, cfg: &SgnsConfig) -> SgnsModel {
     let neg_table = AliasTable::new(&weights);
 
     // Init: input uniform in [-0.5/dim, 0.5/dim], output zeros.
-    let mut input = vec![0.0f64; vocab * dim];
+    let mut input = vec![T::default(); vocab * dim];
     for v in &mut input {
-        *v = (rng.gen::<f64>() - 0.5) / dim as f64;
+        *v = T::from_f64((rng.gen::<f64>() - 0.5) / dim as f64);
     }
-    let output = vec![0.0f64; vocab * dim];
+    let output = vec![T::default(); vocab * dim];
 
     let total_positions = (corpus.total_tokens() * cfg.epochs).max(1);
     let shared = SharedParams { input, output, dim };
@@ -151,33 +201,38 @@ pub fn train_sgns(corpus: &Corpus, cfg: &SgnsConfig) -> SgnsModel {
     }
 
     let SharedParams { input, output, dim } = shared;
+    let to_f64_rows = |flat: Vec<T>| -> Vec<Vec<f64>> {
+        flat.chunks(dim)
+            .map(|row| row.iter().map(|v| v.to_f64()).collect())
+            .collect()
+    };
     SgnsModel {
-        input: input.chunks(dim).map(<[f64]>::to_vec).collect(),
-        output: output.chunks(dim).map(<[f64]>::to_vec).collect(),
+        input: to_f64_rows(input),
+        output: to_f64_rows(output),
     }
 }
 
 /// Shared parameter arrays. With `threads > 1` these are mutated through
 /// raw pointers Hogwild-style; the data races are deliberate and benign for
 /// SGD on disjoint-ish rows (see Recht et al., NIPS'11).
-struct SharedParams {
-    input: Vec<f64>,
-    output: Vec<f64>,
+struct SharedParams<T> {
+    input: Vec<T>,
+    output: Vec<T>,
     dim: usize,
 }
 
-unsafe impl Sync for SharedParams {}
+unsafe impl<T: ParamScalar> Sync for SharedParams<T> {}
 
-impl SharedParams {
+impl<T: ParamScalar> SharedParams<T> {
     #[allow(clippy::mut_from_ref)]
-    unsafe fn row_mut(vec: &[f64], id: u32, dim: usize) -> &mut [f64] {
-        let ptr = vec.as_ptr() as *mut f64;
+    unsafe fn row_mut(vec: &[T], id: u32, dim: usize) -> &mut [T] {
+        let ptr = vec.as_ptr() as *mut T;
         std::slice::from_raw_parts_mut(ptr.add(id as usize * dim), dim)
     }
 }
 
-struct Worker<'a> {
-    params: &'a SharedParams,
+struct Worker<'a, T> {
+    params: &'a SharedParams<T>,
     cfg: &'a SgnsConfig,
     neg_table: Option<&'a AliasTable>,
     rng: StdRng,
@@ -185,7 +240,7 @@ struct Worker<'a> {
     total_positions: usize,
 }
 
-impl Worker<'_> {
+impl<T: ParamScalar> Worker<'_, T> {
     fn run(&mut self, sequences: &[Vec<u32>]) {
         let dim = self.params.dim;
         let mut processed = self.processed_base;
@@ -238,16 +293,16 @@ impl Worker<'_> {
                 (neg, 0.0)
             };
             let w_out = unsafe { SharedParams::row_mut(&self.params.output, target, dim) };
-            let dot: f64 = w_in.iter().zip(w_out.iter()).map(|(a, b)| a * b).sum();
+            let dot = T::dot(w_in, w_out);
             let pred = sigmoid(dot);
             let g = (label - pred) * lr;
             for ((ga, &wi), wo) in grad.iter_mut().zip(w_in.iter()).zip(w_out.iter_mut()) {
-                *ga += g * *wo;
-                *wo += g * wi;
+                *ga += g * wo.to_f64();
+                *wo = T::from_f64(wo.to_f64() + g * wi.to_f64());
             }
         }
         for (wi, &ga) in w_in.iter_mut().zip(grad.iter()) {
-            *wi += ga;
+            *wi = T::from_f64(wi.to_f64() + ga);
         }
     }
 }
@@ -387,10 +442,10 @@ mod tests {
             ..Default::default()
         };
         let shared = SharedParams {
-            input: vec![0.1; 2 * 4],
+            input: vec![0.1f64; 2 * 4],
             // Output must be nonzero: the input gradient is g * w_out, so a
             // zero context vector would mask the bug.
-            output: vec![0.2; 2 * 4],
+            output: vec![0.2f64; 2 * 4],
             dim: 4,
         };
         let before = shared.input.clone();
@@ -454,6 +509,40 @@ mod tests {
             let mid = worker.current_lr(total_positions / 2);
             assert!(mid > cfg.min_lr && mid < cfg.initial_lr, "tokens={tokens}");
         }
+    }
+
+    #[test]
+    fn f32_storage_training_learns_and_tracks_f64() {
+        let corpus = clustered_corpus();
+        let base = SgnsConfig {
+            dim: 16,
+            epochs: 8,
+            window: 2,
+            ..Default::default()
+        };
+        let f32_cfg = SgnsConfig {
+            precision: Precision::F32,
+            ..base
+        };
+        let model = train_sgns(&corpus, &f32_cfg);
+        let sim_ab = cosine_similarity(&model.input[0], &model.input[1]);
+        let sim_ax = cosine_similarity(&model.input[0], &model.input[2]);
+        assert!(
+            sim_ab > sim_ax + 0.2,
+            "f32 storage must still learn: {sim_ab} vs {sim_ax}"
+        );
+        // Deterministic at threads: 1 like the f64 path.
+        let again = train_sgns(&corpus, &f32_cfg);
+        assert_eq!(model.input, again.input);
+        // Int8 requests train at the f32 rung (identical parameters).
+        let int8 = train_sgns(
+            &corpus,
+            &SgnsConfig {
+                precision: Precision::Int8,
+                ..base
+            },
+        );
+        assert_eq!(model.input, int8.input);
     }
 
     #[test]

@@ -12,8 +12,9 @@
 
 use crate::json;
 use leva_interner::codec::{crc32, ByteReader, ByteWriter, DecodeError};
-use leva_interner::{TokenId, TokenInterner};
+use leva_interner::{MmapFile, TokenId, TokenInterner};
 use leva_linalg::{Matrix, Pca};
+use std::sync::atomic::{AtomicU8, Ordering};
 use std::sync::Arc;
 
 /// Magic bytes of the standalone binary store file format.
@@ -27,11 +28,85 @@ const STORE_VERSION: u32 = 1;
 pub struct EmbeddingStore {
     dim: usize,
     symbols: Arc<TokenInterner>,
+    backing: EmbeddingBacking,
+}
+
+/// Where a store's coordinate data lives (DESIGN.md §6.14).
+///
+/// `Heap` is the classic decoded representation. `Mapped` serves the dense
+/// f64 matrix straight out of a memory-mapped v3 artifact: nothing is
+/// copied at load, rows are `&[f64]` views into the mapping, and the chunk's
+/// CRC is verified lazily on first featurization touch.
+#[derive(Debug, Clone)]
+pub enum EmbeddingBacking {
     /// Vector per token id; `None` for tokens without an embedding (e.g.
     /// refined-away tokens or row names in value-only stores).
-    vectors: Vec<Option<Vec<f64>>>,
-    /// Number of `Some` slots.
+    Heap {
+        /// The per-token slots.
+        vectors: Vec<Option<Vec<f64>>>,
+        /// Number of `Some` slots.
+        count: usize,
+    },
+    /// Zero-copy rows inside a mapped artifact.
+    Mapped(MappedStore),
+}
+
+/// Lazy-CRC verification state of a mapped chunk.
+const CRC_UNCHECKED: u8 = 0;
+const CRC_OK: u8 = 1;
+const CRC_BAD: u8 = 2;
+
+/// The mapped variant of [`EmbeddingBacking`]: a dense `count × dim` f64
+/// matrix living inside an `Arc<MmapFile>`, addressed by numeric offsets
+/// (never self-referential borrows). Cloning shares the mapping and the
+/// verification state.
+#[derive(Debug, Clone)]
+pub struct MappedStore {
+    map: Arc<MmapFile>,
+    /// Token id → packed row index; `NO_ROW` for tokens without a vector.
+    slots: Vec<u32>,
+    /// Byte offset of the f64 matrix inside the map (8-aligned).
+    data_offset: usize,
+    /// Number of packed rows.
     count: usize,
+    /// Full STOR payload range and declared CRC, for lazy verification.
+    payload_offset: usize,
+    payload_len: usize,
+    crc: u32,
+    /// Tri-state: unchecked → ok | bad. Shared across clones so the chunk
+    /// is hashed at most once per process.
+    verified: Arc<AtomicU8>,
+}
+
+const NO_ROW: u32 = u32::MAX;
+
+impl MappedStore {
+    fn row(&self, dim: usize, slot: u32) -> &[f64] {
+        let start = self.data_offset + slot as usize * dim * 8;
+        debug_assert!(start + dim * 8 <= self.map.len());
+        // SAFETY: construction validated that the matrix region lies inside
+        // the map and that `data_offset` is 8-aligned (so every row is);
+        // any f64 bit pattern is a valid value. Little-endian only — the
+        // constructor falls back to a heap decode on big-endian targets.
+        unsafe { std::slice::from_raw_parts(self.map.as_ptr().add(start) as *const f64, dim) }
+    }
+
+    /// Verifies the payload CRC on first call; later calls are an atomic
+    /// load. `true` means the mapped bytes match the artifact's checksum.
+    fn verify(&self) -> bool {
+        match self.verified.load(Ordering::Acquire) {
+            CRC_OK => true,
+            CRC_BAD => false,
+            _ => {
+                let payload =
+                    &self.map[self.payload_offset..self.payload_offset + self.payload_len];
+                let ok = crc32(payload) == self.crc;
+                let state = if ok { CRC_OK } else { CRC_BAD };
+                self.verified.store(state, Ordering::Release);
+                ok
+            }
+        }
+    }
 }
 
 /// A token was requested from a store that does not hold it.
@@ -52,22 +127,23 @@ impl std::error::Error for UnknownTokenError {}
 /// An immutable borrowed view of a store's dense vector table, indexed by
 /// interned [`TokenId`] (see [`EmbeddingStore::dense_view`]). `Copy`, so
 /// hot loops can keep it in a register instead of re-borrowing the store.
+/// Lookups resolve through whichever [`EmbeddingBacking`] the store has —
+/// heap slots or mapped rows — with identical semantics.
 #[derive(Debug, Clone, Copy)]
 pub struct DenseView<'a> {
-    dim: usize,
-    slots: &'a [Option<Vec<f64>>],
+    store: &'a EmbeddingStore,
 }
 
 impl<'a> DenseView<'a> {
     /// Vector for an interned token — pure array indexing, no hashing.
     /// The returned slice borrows the store, not this view value.
     pub fn get(&self, id: TokenId) -> Option<&'a [f64]> {
-        self.slots.get(id.index())?.as_deref()
+        self.store.get_id(id)
     }
 
     /// Embedding dimensionality of the viewed store.
     pub fn dim(&self) -> usize {
-        self.dim
+        self.store.dim
     }
 }
 
@@ -87,8 +163,67 @@ impl EmbeddingStore {
         Self {
             dim,
             symbols,
-            vectors,
-            count: 0,
+            backing: EmbeddingBacking::Heap { vectors, count: 0 },
+        }
+    }
+
+    /// Which backing this store serves from.
+    pub fn backing(&self) -> &EmbeddingBacking {
+        &self.backing
+    }
+
+    /// True when coordinates are served zero-copy from a mapped artifact.
+    pub fn is_mapped(&self) -> bool {
+        matches!(self.backing, EmbeddingBacking::Mapped(_))
+    }
+
+    /// Bytes of coordinate data resident on the heap (the slot table and,
+    /// for heap stores, every vector).
+    pub fn resident_bytes(&self) -> usize {
+        match &self.backing {
+            EmbeddingBacking::Heap { vectors, count } => {
+                vectors.capacity() * std::mem::size_of::<Option<Vec<f64>>>()
+                    + count * self.dim * std::mem::size_of::<f64>()
+            }
+            EmbeddingBacking::Mapped(m) => m.slots.capacity() * 4,
+        }
+    }
+
+    /// Bytes of coordinate data served from a file mapping (0 for heap
+    /// stores) — the counterpart `/metrics` reports next to
+    /// [`EmbeddingStore::resident_bytes`].
+    pub fn mapped_bytes(&self) -> usize {
+        match &self.backing {
+            EmbeddingBacking::Heap { .. } => 0,
+            EmbeddingBacking::Mapped(m) => m.payload_len,
+        }
+    }
+
+    /// Lazily verifies a mapped store's chunk CRC (first call hashes the
+    /// payload; later calls are an atomic load). Heap stores are always
+    /// `true`. `false` means the mapped bytes do not match the artifact's
+    /// checksum and must not be trusted.
+    pub fn verify_mapped(&self) -> bool {
+        match &self.backing {
+            EmbeddingBacking::Heap { .. } => true,
+            EmbeddingBacking::Mapped(m) => m.verify(),
+        }
+    }
+
+    /// Rebuilds this store on the heap if it is mapped (used before any
+    /// mutation — mapped artifacts are immutable by construction).
+    fn ensure_heap(&mut self) {
+        if let EmbeddingBacking::Mapped(m) = &self.backing {
+            let mut vectors: Vec<Option<Vec<f64>>> = Vec::new();
+            vectors.resize_with(m.slots.len().max(self.symbols.len()), || None);
+            let mut count = 0;
+            for (i, &slot) in m.slots.iter().enumerate() {
+                if slot != NO_ROW {
+                    vectors[i] = Some(m.row(self.dim, slot).to_vec());
+                    count += 1;
+                }
+            }
+            self.backing = EmbeddingBacking::Heap { vectors, count };
         }
     }
 
@@ -104,12 +239,15 @@ impl EmbeddingStore {
 
     /// Number of stored tokens.
     pub fn len(&self) -> usize {
-        self.count
+        match &self.backing {
+            EmbeddingBacking::Heap { count, .. } => *count,
+            EmbeddingBacking::Mapped(m) => m.count,
+        }
     }
 
     /// True when no tokens are stored.
     pub fn is_empty(&self) -> bool {
-        self.count == 0
+        self.len() == 0
     }
 
     /// Inserts a vector under a token string (boundary path: interns the
@@ -133,12 +271,17 @@ impl EmbeddingStore {
             id.index() < self.symbols.len(),
             "token id {id} outside the store's symbol table"
         );
-        if self.vectors.len() < self.symbols.len() {
-            self.vectors.resize_with(self.symbols.len(), || None);
+        self.ensure_heap();
+        let symbol_count = self.symbols.len();
+        let EmbeddingBacking::Heap { vectors, count } = &mut self.backing else {
+            unreachable!("ensure_heap materialized the store");
+        };
+        if vectors.len() < symbol_count {
+            vectors.resize_with(symbol_count, || None);
         }
-        let slot = &mut self.vectors[id.index()];
+        let slot = &mut vectors[id.index()];
         if slot.is_none() {
-            self.count += 1;
+            *count += 1;
         }
         *slot = Some(vector);
     }
@@ -150,7 +293,13 @@ impl EmbeddingStore {
 
     /// Vector for an interned token — pure array indexing.
     pub fn get_id(&self, id: TokenId) -> Option<&[f64]> {
-        self.vectors.get(id.index())?.as_deref()
+        match &self.backing {
+            EmbeddingBacking::Heap { vectors, .. } => vectors.get(id.index())?.as_deref(),
+            EmbeddingBacking::Mapped(m) => {
+                let &slot = m.slots.get(id.index())?;
+                (slot != NO_ROW).then(|| m.row(self.dim, slot))
+            }
+        }
     }
 
     /// Borrowed dense view over the vector table for bulk token-id lookups
@@ -159,10 +308,7 @@ impl EmbeddingStore {
     /// slices borrowing the *store*, so gathered references outlive any
     /// one `get` call.
     pub fn dense_view(&self) -> DenseView<'_> {
-        DenseView {
-            dim: self.dim,
-            slots: &self.vectors,
-        }
+        DenseView { store: self }
     }
 
     /// Vector for a token, with a typed error instead of `None` when the
@@ -180,10 +326,29 @@ impl EmbeddingStore {
 
     /// Iterates `(token, vector)` in token-id order.
     pub fn iter(&self) -> impl Iterator<Item = (&str, &[f64])> {
-        self.vectors.iter().enumerate().filter_map(|(i, v)| {
-            v.as_deref()
-                .map(|vec| (self.symbols.resolve(TokenId::from_index(i)), vec))
-        })
+        self.iter_ids()
+            .map(|(id, vec)| (self.symbols.resolve(id), vec))
+    }
+
+    /// Iterates `(id, vector)` in token-id order — the hashing-free dual of
+    /// [`EmbeddingStore::iter`] used by bulk consumers (quantization, the
+    /// artifact codec).
+    pub fn iter_ids(&self) -> Box<dyn Iterator<Item = (TokenId, &[f64])> + '_> {
+        match &self.backing {
+            EmbeddingBacking::Heap { vectors, .. } => Box::new(
+                vectors
+                    .iter()
+                    .enumerate()
+                    .filter_map(|(i, v)| v.as_deref().map(|vec| (TokenId::from_index(i), vec))),
+            ),
+            EmbeddingBacking::Mapped(m) => Box::new(
+                m.slots
+                    .iter()
+                    .enumerate()
+                    .filter(|&(_, &slot)| slot != NO_ROW)
+                    .map(move |(i, &slot)| (TokenId::from_index(i), m.row(self.dim, slot))),
+            ),
+        }
     }
 
     /// Tokens sorted lexicographically (deterministic order for exports).
@@ -197,24 +362,19 @@ impl EmbeddingStore {
     /// deterministic iteration behind exports and PCA.
     fn sorted_entries(&self) -> Vec<(&str, TokenId, &[f64])> {
         let mut entries: Vec<(&str, TokenId, &[f64])> = self
-            .vectors
-            .iter()
-            .enumerate()
-            .filter_map(|(i, v)| {
-                let id = TokenId::from_index(i);
-                v.as_deref().map(|vec| (self.symbols.resolve(id), id, vec))
-            })
+            .iter_ids()
+            .map(|(id, vec)| (self.symbols.resolve(id), id, vec))
             .collect();
         entries.sort_unstable_by(|a, b| a.0.cmp(b.0));
         entries
     }
 
     /// Estimated heap bytes of the dense vector table (slot array plus
-    /// vector payloads). The shared symbol table is accounted separately
-    /// via `symbols().estimated_bytes()`.
+    /// vector payloads); mapped stores report only their resident slot
+    /// table. The shared symbol table is accounted separately via
+    /// `symbols().estimated_bytes()`.
     pub fn estimated_bytes(&self) -> usize {
-        self.vectors.capacity() * std::mem::size_of::<Option<Vec<f64>>>()
-            + self.count * self.dim * std::mem::size_of::<f64>()
+        self.resident_bytes()
     }
 
     /// Projects every vector to `k` dimensions with PCA fitted on the store
@@ -310,15 +470,147 @@ impl EmbeddingStore {
     /// the artifact layer; vectors round-trip bit-exactly.
     pub fn encode_into(&self, w: &mut ByteWriter) {
         w.put_u32(u32::try_from(self.dim).expect("dimension fits u32"));
-        w.put_u32(u32::try_from(self.count).expect("vector count fits u32"));
-        for (i, v) in self.vectors.iter().enumerate() {
-            if let Some(vec) = v {
-                w.put_u32(u32::try_from(i).expect("token id fits u32"));
-                for &x in vec {
-                    w.put_f64(x);
-                }
-            }
+        w.put_u32(u32::try_from(self.len()).expect("vector count fits u32"));
+        for (id, vec) in self.iter_ids() {
+            w.put_u32(id.raw());
+            w.put_f64_slice(vec);
         }
+    }
+
+    /// Serializes the dense vector table in the v3 *aligned* layout:
+    /// `u32 dim | u32 count | count ascending u32 ids | pad-to-8 |
+    /// count × dim f64 matrix`. Framed at an 8-aligned payload offset, the
+    /// matrix can be served zero-copy out of a file mapping (the header is
+    /// 8 bytes, so the id array starts aligned and the pad realigns the
+    /// matrix). Round-trips bit-exactly with the row-wise v1/v2 layout.
+    pub fn encode_aligned_into(&self, w: &mut ByteWriter) {
+        w.put_u32(u32::try_from(self.dim).expect("dimension fits u32"));
+        w.put_u32(u32::try_from(self.len()).expect("vector count fits u32"));
+        for (id, _) in self.iter_ids() {
+            w.put_u32(id.raw());
+        }
+        w.pad_to(8);
+        for (_, vec) in self.iter_ids() {
+            w.put_f64_slice(vec);
+        }
+    }
+
+    /// Decodes the v3 aligned layout (see
+    /// [`EmbeddingStore::encode_aligned_into`]) into a heap store — the
+    /// compatibility path used by `from_bytes` and by big-endian targets,
+    /// where zero-copy f64 views are unavailable.
+    pub fn decode_aligned_with_symbols(
+        r: &mut ByteReader<'_>,
+        symbols: Arc<TokenInterner>,
+    ) -> Result<EmbeddingStore, DecodeError> {
+        let dim = r.take_u32()? as usize;
+        // Each entry needs 4 id bytes + dim×8 matrix bytes downstream.
+        let per_entry = dim
+            .checked_mul(8)
+            .and_then(|b| b.checked_add(4))
+            .ok_or(DecodeError::LengthOverflow)?;
+        let count = r.take_count(per_entry)?;
+        let mut ids = Vec::with_capacity(count);
+        let mut prev: Option<u32> = None;
+        for _ in 0..count {
+            let id = r.take_u32()?;
+            if (id as usize) >= symbols.len() {
+                return Err(DecodeError::Invalid("store token outside symbol table"));
+            }
+            if prev.is_some_and(|p| p >= id) {
+                return Err(DecodeError::Invalid("store ids not strictly ascending"));
+            }
+            prev = Some(id);
+            ids.push(id);
+        }
+        r.pad_to(8)?;
+        let mut store = EmbeddingStore::with_symbols(symbols, dim);
+        for id in ids {
+            let bytes = r.take_raw(dim * 8)?;
+            let vec: Vec<f64> = bytes
+                .chunks_exact(8)
+                .map(|b| {
+                    f64::from_bits(u64::from_le_bytes([
+                        b[0], b[1], b[2], b[3], b[4], b[5], b[6], b[7],
+                    ]))
+                })
+                .collect();
+            store.insert_id(TokenId::from_index(id as usize), vec);
+        }
+        Ok(store)
+    }
+
+    /// Builds a zero-copy store over a v3 STOR payload inside `map`.
+    ///
+    /// Validates geometry only — offsets, alignment, id ordering and the
+    /// exact payload length — in `O(count)`, independent of `dim`; the
+    /// payload CRC is deferred to [`EmbeddingStore::verify_mapped`] (lazy,
+    /// first featurization touch). On big-endian targets, where the f64
+    /// matrix cannot be viewed in place, the payload is decoded to the heap
+    /// instead (same validation, no zero-copy property).
+    pub fn from_mapped(
+        symbols: Arc<TokenInterner>,
+        map: Arc<MmapFile>,
+        payload_offset: usize,
+        payload_len: usize,
+        crc: u32,
+    ) -> Result<EmbeddingStore, DecodeError> {
+        let end = payload_offset
+            .checked_add(payload_len)
+            .filter(|&e| e <= map.len())
+            .ok_or(DecodeError::LengthOverflow)?;
+        if !payload_offset.is_multiple_of(8) {
+            return Err(DecodeError::Invalid("STOR payload offset not 8-aligned"));
+        }
+        let payload = &map[payload_offset..end];
+        let mut r = ByteReader::new(payload);
+        let dim = r.take_u32()? as usize;
+        let per_entry = dim
+            .checked_mul(8)
+            .and_then(|b| b.checked_add(4))
+            .ok_or(DecodeError::LengthOverflow)?;
+        let count = r.take_count(per_entry)?;
+        let mut slots = vec![NO_ROW; symbols.len()];
+        let mut prev: Option<u32> = None;
+        for row in 0..count {
+            let id = r.take_u32()?;
+            if (id as usize) >= symbols.len() {
+                return Err(DecodeError::Invalid("store token outside symbol table"));
+            }
+            if prev.is_some_and(|p| p >= id) {
+                return Err(DecodeError::Invalid("store ids not strictly ascending"));
+            }
+            prev = Some(id);
+            slots[id as usize] = row as u32;
+        }
+        r.pad_to(8)?;
+        let matrix_bytes = count
+            .checked_mul(dim)
+            .and_then(|n| n.checked_mul(8))
+            .ok_or(DecodeError::LengthOverflow)?;
+        if r.remaining() != matrix_bytes {
+            return Err(DecodeError::Invalid("STOR payload length mismatch"));
+        }
+        if !cfg!(target_endian = "little") {
+            let mut r = ByteReader::new(payload);
+            return Self::decode_aligned_with_symbols(&mut r, symbols);
+        }
+        let data_offset = payload_offset + r.consumed();
+        debug_assert_eq!(data_offset % 8, 0);
+        Ok(EmbeddingStore {
+            dim,
+            symbols,
+            backing: EmbeddingBacking::Mapped(MappedStore {
+                map,
+                slots,
+                data_offset,
+                count,
+                payload_offset,
+                payload_len,
+                crc,
+                verified: Arc::new(AtomicU8::new(CRC_UNCHECKED)),
+            }),
+        })
     }
 
     /// Decodes a store against an existing symbol table, validating the
@@ -337,17 +629,18 @@ impl EmbeddingStore {
         let mut store = EmbeddingStore::with_symbols(symbols, dim);
         for _ in 0..count {
             let id = r.take_u32()? as usize;
-            if id >= store.vectors.len() {
+            if id >= store.symbols.len() {
                 return Err(DecodeError::Invalid("store token outside symbol table"));
             }
             let mut vec = Vec::with_capacity(dim);
             for _ in 0..dim {
                 vec.push(r.take_f64()?);
             }
-            if store.vectors[id].replace(vec).is_some() {
+            let id = TokenId::from_index(id);
+            if store.get_id(id).is_some() {
                 return Err(DecodeError::Invalid("duplicate store entry"));
             }
-            store.count += 1;
+            store.insert_id(id, vec);
         }
         Ok(store)
     }

@@ -46,6 +46,163 @@ impl LevaGraph {
         w.put_u64(self.stats.singleton_tokens_skipped as u64);
     }
 
+    /// Serializes the graph in the v3 *aligned CSR* layout: after the
+    /// variable-length table names, the adjacency is three contiguous
+    /// arrays — `u64` cumulative offsets, `u32` targets, `f64` weights —
+    /// each preceded by `pad_to(8)` so that, framed at an 8-aligned payload
+    /// offset, every array is naturally aligned in a file mapping. Decodes
+    /// with [`LevaGraph::decode_aligned`]; round-trips bitwise with the
+    /// nested v1/v2 layout.
+    pub fn encode_aligned_into(&self, w: &mut ByteWriter) {
+        w.put_u32(u32::try_from(self.table_names.len()).expect("table count fits u32"));
+        for name in &self.table_names {
+            w.put_str(name);
+        }
+        w.put_u64(self.n_row_nodes as u64);
+        w.put_u32(u32::try_from(self.node_tokens.len()).expect("node count fits u32"));
+        for &t in &self.node_tokens {
+            w.put_u32(t.raw());
+        }
+        w.pad_to(8);
+        w.put_u64_slice(
+            &self
+                .row_offsets
+                .iter()
+                .map(|&o| o as u64)
+                .collect::<Vec<_>>(),
+        );
+        let mut running = 0u64;
+        let mut offsets = Vec::with_capacity(self.adj.len() + 1);
+        offsets.push(0u64);
+        for nbrs in &self.adj {
+            running += nbrs.len() as u64;
+            offsets.push(running);
+        }
+        w.put_u64_slice(&offsets);
+        for nbrs in &self.adj {
+            for &(v, _) in nbrs {
+                w.put_u32(v);
+            }
+        }
+        w.pad_to(8);
+        for nbrs in &self.adj {
+            for &(_, weight) in nbrs {
+                w.put_f64(weight);
+            }
+        }
+        w.put_u64_slice(&[
+            self.stats.tokens_total as u64,
+            self.stats.tokens_removed_missing as u64,
+            self.stats.token_attrs_removed as u64,
+            self.stats.singleton_tokens_skipped as u64,
+        ]);
+    }
+
+    /// Decodes the v3 aligned CSR layout (see
+    /// [`LevaGraph::encode_aligned_into`]) with the same validation set as
+    /// [`LevaGraph::decode`], plus CSR-offset monotonicity.
+    pub fn decode_aligned(
+        r: &mut ByteReader<'_>,
+        symbols: Arc<TokenInterner>,
+    ) -> Result<LevaGraph, DecodeError> {
+        let n_tables = r.take_count(4)?;
+        let mut table_names = Vec::with_capacity(n_tables);
+        for _ in 0..n_tables {
+            table_names.push(r.take_str()?.to_owned());
+        }
+        let n_row_nodes = r.take_usize()?;
+        let n_nodes = r.take_count(4)?;
+        if n_row_nodes > n_nodes {
+            return Err(DecodeError::Invalid("row-node count exceeds node count"));
+        }
+        let mut node_tokens = Vec::with_capacity(n_nodes);
+        for _ in 0..n_nodes {
+            let raw = r.take_u32()?;
+            if raw as usize >= symbols.len() {
+                return Err(DecodeError::Invalid("node token outside symbol table"));
+            }
+            node_tokens.push(TokenId::from_index(raw as usize));
+        }
+        r.pad_to(8)?;
+        if r.remaining() < n_tables.saturating_mul(8) {
+            return Err(DecodeError::Truncated);
+        }
+        let mut row_offsets = Vec::with_capacity(n_tables);
+        for _ in 0..n_tables {
+            row_offsets.push(r.take_usize()?);
+        }
+        let mut prev = 0usize;
+        for &off in &row_offsets {
+            if off < prev || off > n_row_nodes {
+                return Err(DecodeError::Invalid("row offsets not monotonic"));
+            }
+            prev = off;
+        }
+        if n_row_nodes > 0 && row_offsets.first() != Some(&0) {
+            return Err(DecodeError::Invalid("first row offset must be zero"));
+        }
+        // CSR offsets: n_nodes + 1 monotone u64s bounding the edge count.
+        if r.remaining() < (n_nodes + 1).saturating_mul(8) {
+            return Err(DecodeError::Truncated);
+        }
+        let mut offsets = Vec::with_capacity(n_nodes + 1);
+        for _ in 0..n_nodes + 1 {
+            offsets.push(r.take_usize()?);
+        }
+        if offsets.first() != Some(&0) {
+            return Err(DecodeError::Invalid("first CSR offset must be zero"));
+        }
+        if offsets.windows(2).any(|w| w[0] > w[1]) {
+            return Err(DecodeError::Invalid("CSR offsets not monotonic"));
+        }
+        let n_edges = *offsets.last().expect("offsets non-empty");
+        // Targets (4 bytes) + alignment + weights (8 bytes) must fit.
+        if n_edges
+            .checked_mul(12)
+            .is_none_or(|need| need > r.remaining())
+        {
+            return Err(DecodeError::LengthOverflow);
+        }
+        let mut targets = Vec::with_capacity(n_edges);
+        for _ in 0..n_edges {
+            let v = r.take_u32()?;
+            if v as usize >= n_nodes {
+                return Err(DecodeError::Invalid("adjacency target out of range"));
+            }
+            targets.push(v);
+        }
+        r.pad_to(8)?;
+        let mut adj: Vec<Vec<(u32, f64)>> = Vec::with_capacity(n_nodes);
+        for node in 0..n_nodes {
+            let (lo, hi) = (offsets[node], offsets[node + 1]);
+            let mut nbrs = Vec::with_capacity(hi - lo);
+            for &t in &targets[lo..hi] {
+                nbrs.push((t, 0.0));
+            }
+            adj.push(nbrs);
+        }
+        for nbrs in &mut adj {
+            for entry in nbrs {
+                entry.1 = r.take_f64()?;
+            }
+        }
+        let stats = RefineStats {
+            tokens_total: r.take_usize()?,
+            tokens_removed_missing: r.take_usize()?,
+            token_attrs_removed: r.take_usize()?,
+            singleton_tokens_skipped: r.take_usize()?,
+        };
+        Self::reconstruct(
+            symbols,
+            table_names,
+            row_offsets,
+            n_row_nodes,
+            node_tokens,
+            adj,
+            stats,
+        )
+    }
+
     /// Decodes a graph produced by [`LevaGraph::encode_into`], resolving
     /// node identities through `symbols`. Rejects out-of-range token ids,
     /// dangling adjacency targets, non-monotonic row offsets, and value
@@ -111,9 +268,32 @@ impl LevaGraph {
             singleton_tokens_skipped: r.take_usize()?,
         };
 
-        // Reconstruct the derived structures. Kinds: nodes below
-        // `n_row_nodes` are rows of the table whose offset range contains
-        // them; the rest are value nodes.
+        Self::reconstruct(
+            symbols,
+            table_names,
+            row_offsets,
+            n_row_nodes,
+            node_tokens,
+            adj,
+            stats,
+        )
+    }
+
+    /// Rebuilds the derived structures (`kinds`, the token→value-node map)
+    /// from the primary decoded data and assembles the graph. Kinds: nodes
+    /// below `n_row_nodes` are rows of the table whose offset range contains
+    /// them; the rest are value nodes.
+    #[allow(clippy::too_many_arguments)]
+    fn reconstruct(
+        symbols: Arc<TokenInterner>,
+        table_names: Vec<String>,
+        row_offsets: Vec<usize>,
+        n_row_nodes: usize,
+        node_tokens: Vec<TokenId>,
+        adj: Vec<Vec<(u32, f64)>>,
+        stats: RefineStats,
+    ) -> Result<LevaGraph, DecodeError> {
+        let n_nodes = node_tokens.len();
         let mut kinds = Vec::with_capacity(n_nodes);
         let mut table = 0usize;
         for node in 0..n_row_nodes {
@@ -211,6 +391,54 @@ mod tests {
         assert_eq!(back.value_node("nyc"), g.value_node("nyc"));
         assert_eq!(back.value_node("never-seen"), None);
         assert_eq!(back.row_node(1, 5), g.row_node(1, 5));
+    }
+
+    #[test]
+    fn aligned_codec_round_trip_is_bitwise() {
+        let g = graph();
+        let mut w = ByteWriter::new();
+        g.encode_aligned_into(&mut w);
+        let bytes = w.into_bytes();
+        let mut r = ByteReader::new(&bytes);
+        let back = LevaGraph::decode_aligned(&mut r, Arc::clone(g.symbols())).unwrap();
+        assert!(r.is_exhausted());
+        assert_eq!(back.n_nodes(), g.n_nodes());
+        assert_eq!(back.n_row_nodes(), g.n_row_nodes());
+        assert_eq!(back.table_names(), g.table_names());
+        assert_eq!(back.stats(), g.stats());
+        for node in 0..g.n_nodes() as u32 {
+            assert_eq!(back.kind(node), g.kind(node));
+            assert_eq!(back.token(node), g.token(node));
+            let (a, b) = (g.neighbors(node), back.neighbors(node));
+            assert_eq!(a.len(), b.len());
+            for (&(v1, w1), &(v2, w2)) in a.iter().zip(b) {
+                assert_eq!(v1, v2);
+                assert_eq!(w1.to_bits(), w2.to_bits(), "weight bits differ");
+            }
+        }
+        assert_eq!(back.value_node("u3"), g.value_node("u3"));
+        assert_eq!(back.row_node(1, 5), g.row_node(1, 5));
+    }
+
+    #[test]
+    fn aligned_truncation_and_flips_never_panic() {
+        let g = graph();
+        let mut w = ByteWriter::new();
+        g.encode_aligned_into(&mut w);
+        let mut bytes = w.into_bytes();
+        for cut in 0..bytes.len() {
+            let mut r = ByteReader::new(&bytes[..cut]);
+            assert!(
+                LevaGraph::decode_aligned(&mut r, Arc::clone(g.symbols())).is_err(),
+                "cut at {cut} decoded"
+            );
+        }
+        for i in (0..bytes.len()).step_by(7) {
+            bytes[i] ^= 0x5a;
+            let mut r = ByteReader::new(&bytes);
+            let _ = LevaGraph::decode_aligned(&mut r, Arc::clone(g.symbols()));
+            bytes[i] ^= 0x5a;
+        }
     }
 
     #[test]

@@ -106,23 +106,65 @@ impl ByteWriter {
     pub fn put_str(&mut self, s: &str) {
         self.put_bytes(s.as_bytes());
     }
+
+    /// Aligned-writer mode: pads with zero bytes until the write position is
+    /// a multiple of `align`. Alignment is relative to the start of this
+    /// buffer, so a payload framed at an `align`-aligned file offset keeps
+    /// every `pad_to(align)`-preceded field aligned in the mapped file too.
+    pub fn pad_to(&mut self, align: usize) {
+        debug_assert!(align.is_power_of_two());
+        while !self.buf.len().is_multiple_of(align) {
+            self.buf.push(0);
+        }
+    }
+
+    /// Appends a slice of `u32`s as consecutive little-endian words.
+    pub fn put_u32_slice(&mut self, vs: &[u32]) {
+        self.buf.reserve(vs.len() * 4);
+        for &v in vs {
+            self.buf.extend_from_slice(&v.to_le_bytes());
+        }
+    }
+
+    /// Appends a slice of `u64`s as consecutive little-endian words.
+    pub fn put_u64_slice(&mut self, vs: &[u64]) {
+        self.buf.reserve(vs.len() * 8);
+        for &v in vs {
+            self.buf.extend_from_slice(&v.to_le_bytes());
+        }
+    }
+
+    /// Appends a slice of `f64`s as consecutive little-endian bit patterns.
+    pub fn put_f64_slice(&mut self, vs: &[f64]) {
+        self.buf.reserve(vs.len() * 8);
+        for &v in vs {
+            self.buf.extend_from_slice(&v.to_bits().to_le_bytes());
+        }
+    }
 }
 
 /// Bounded little-endian reader over an untrusted byte slice.
 #[derive(Debug, Clone, Copy)]
 pub struct ByteReader<'a> {
     buf: &'a [u8],
+    consumed: usize,
 }
 
 impl<'a> ByteReader<'a> {
     /// Reader over the whole slice.
     pub fn new(buf: &'a [u8]) -> Self {
-        Self { buf }
+        Self { buf, consumed: 0 }
     }
 
     /// Bytes not yet consumed.
     pub fn remaining(&self) -> usize {
         self.buf.len()
+    }
+
+    /// Bytes consumed since [`ByteReader::new`] — the reader-side position
+    /// that mirrors [`ByteWriter::len`], used to honor `pad_to` alignment.
+    pub fn consumed(&self) -> usize {
+        self.consumed
     }
 
     /// True when the buffer is fully consumed.
@@ -137,7 +179,24 @@ impl<'a> ByteReader<'a> {
         }
         let (head, tail) = self.buf.split_at(n);
         self.buf = tail;
+        self.consumed += n;
         Ok(head)
+    }
+
+    /// Reader dual of [`ByteWriter::pad_to`]: consumes the zero padding that
+    /// realigns the position to a multiple of `align`. Non-zero padding
+    /// bytes are a structural error — nothing may hide in the gaps.
+    pub fn pad_to(&mut self, align: usize) -> Result<(), DecodeError> {
+        debug_assert!(align.is_power_of_two());
+        let rem = self.consumed % align;
+        if rem == 0 {
+            return Ok(());
+        }
+        let pad = self.take_raw(align - rem)?;
+        if pad.iter().any(|&b| b != 0) {
+            return Err(DecodeError::Invalid("non-zero alignment padding"));
+        }
+        Ok(())
     }
 
     /// Takes one byte.
@@ -208,15 +267,50 @@ impl<'a> ByteReader<'a> {
 /// Table-free bitwise implementation: artifact chunks are hashed once per
 /// save/load, so simplicity beats a lookup table here.
 pub fn crc32(bytes: &[u8]) -> u32 {
-    let mut crc: u32 = 0xffff_ffff;
-    for &b in bytes {
-        crc ^= u32::from(b);
-        for _ in 0..8 {
-            let mask = (crc & 1).wrapping_neg();
-            crc = (crc >> 1) ^ (0xedb8_8320 & mask);
-        }
+    let mut h = Crc32::new();
+    h.update(bytes);
+    h.finish()
+}
+
+/// Incremental CRC-32 hasher over the same polynomial as [`crc32`]:
+/// feeding a byte stream in any chunking produces exactly
+/// `crc32(concatenation)`. Used by streaming writers (artifact save,
+/// serve-side checksum stamping) that never hold the full byte vector.
+#[derive(Debug, Clone)]
+pub struct Crc32 {
+    state: u32,
+}
+
+impl Crc32 {
+    /// Starts a fresh hash.
+    pub fn new() -> Self {
+        Self { state: 0xffff_ffff }
     }
-    !crc
+
+    /// Folds `bytes` into the running hash.
+    pub fn update(&mut self, bytes: &[u8]) {
+        let mut crc = self.state;
+        for &b in bytes {
+            crc ^= u32::from(b);
+            for _ in 0..8 {
+                let mask = (crc & 1).wrapping_neg();
+                crc = (crc >> 1) ^ (0xedb8_8320 & mask);
+            }
+        }
+        self.state = crc;
+    }
+
+    /// Returns the digest of everything fed so far. The hasher stays
+    /// usable; further `update` calls continue the same stream.
+    pub fn finish(&self) -> u32 {
+        !self.state
+    }
+}
+
+impl Default for Crc32 {
+    fn default() -> Self {
+        Self::new()
+    }
 }
 
 #[cfg(test)]
@@ -299,6 +393,61 @@ mod tests {
         let bytes = w.into_bytes();
         let mut r = ByteReader::new(&bytes);
         assert!(matches!(r.take_str().unwrap_err(), DecodeError::Invalid(_)));
+    }
+
+    #[test]
+    fn alignment_round_trips() {
+        let mut w = ByteWriter::new();
+        w.put_u8(1);
+        w.pad_to(8);
+        w.put_f64_slice(&[1.5, -2.5]);
+        w.put_u32_slice(&[7, 8, 9]);
+        w.pad_to(8);
+        w.put_u64_slice(&[42]);
+        let bytes = w.into_bytes();
+        assert_eq!(bytes.len(), 8 + 16 + 12 + 4 + 8);
+        let mut r = ByteReader::new(&bytes);
+        assert_eq!(r.take_u8().unwrap(), 1);
+        r.pad_to(8).unwrap();
+        assert_eq!(r.consumed(), 8);
+        assert_eq!(r.take_f64().unwrap(), 1.5);
+        assert_eq!(r.take_f64().unwrap(), -2.5);
+        for expect in [7u32, 8, 9] {
+            assert_eq!(r.take_u32().unwrap(), expect);
+        }
+        r.pad_to(8).unwrap();
+        assert_eq!(r.take_u64().unwrap(), 42);
+        assert!(r.is_exhausted());
+        // Already-aligned positions consume nothing.
+        let mut r = ByteReader::new(&bytes);
+        r.pad_to(1).unwrap();
+        assert_eq!(r.consumed(), 0);
+    }
+
+    #[test]
+    fn nonzero_padding_is_rejected() {
+        let mut w = ByteWriter::new();
+        w.put_u8(1);
+        w.pad_to(8);
+        let mut bytes = w.into_bytes();
+        bytes[3] = 0xaa;
+        let mut r = ByteReader::new(&bytes);
+        r.take_u8().unwrap();
+        assert!(matches!(r.pad_to(8).unwrap_err(), DecodeError::Invalid(_)));
+    }
+
+    #[test]
+    fn incremental_crc_matches_one_shot_under_any_chunking() {
+        let data: Vec<u8> = (0u16..500).map(|i| (i % 251) as u8).collect();
+        let want = crc32(&data);
+        for chunk in [1usize, 3, 7, 64, 500] {
+            let mut h = Crc32::new();
+            for piece in data.chunks(chunk) {
+                h.update(piece);
+            }
+            assert_eq!(h.finish(), want, "chunk size {chunk}");
+        }
+        assert_eq!(Crc32::new().finish(), 0);
     }
 
     #[test]

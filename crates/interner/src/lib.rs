@@ -15,6 +15,9 @@
 //! deterministic and independent of worker-thread count.
 
 pub mod codec;
+pub mod mmapfile;
+
+pub use mmapfile::MmapFile;
 
 use codec::{ByteReader, ByteWriter, DecodeError};
 use std::fmt;

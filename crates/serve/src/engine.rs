@@ -183,13 +183,45 @@ impl Engine {
         Ok(stamp)
     }
 
-    /// Reads an artifact file and hot-swaps it in.
+    /// Memory-maps an artifact file and hot-swaps it in: the store is
+    /// served zero-copy from the mapping (aligned v3 artifacts), so swap
+    /// cost is independent of store size. The identity checksum is the
+    /// CRC-32 of the *file bytes*, computed in one streaming pass — for
+    /// an artifact written by [`LevaModel::save`] this equals the
+    /// re-serialization checksum [`ServingModel::prepare`] would stamp,
+    /// because the encoder is canonical. Legacy v1/v2 files decode
+    /// through the heap path but still swap in with their file-byte
+    /// checksum.
     pub fn swap_from_path(&self, path: &std::path::Path) -> Result<(u64, u32), ServeError> {
-        let bytes = std::fs::read(path).map_err(|e| {
+        let (checksum, artifact_bytes) = match hash_file(path) {
+            Ok(stamp) => stamp,
+            Err(e) => {
+                self.metrics.swaps_rejected.fetch_add(1, Ordering::Relaxed);
+                return Err(ServeError::Io(e));
+            }
+        };
+        let model = match LevaModel::load_mmap(path) {
+            Ok(m) => m,
+            Err(e) => {
+                self.metrics.swaps_rejected.fetch_add(1, Ordering::Relaxed);
+                return Err(ServeError::Artifact(e));
+            }
+        };
+        // The library defers the mapped STOR CRC to first featurize, but
+        // a hot swap must never replace a healthy model with one whose
+        // every request would fail a checksum — settle it now, while the
+        // previous model still serves.
+        if !model.store.verify_mapped() {
             self.metrics.swaps_rejected.fetch_add(1, Ordering::Relaxed);
-            ServeError::Io(e)
-        })?;
-        self.swap_from_bytes(&bytes)
+            return Err(ServeError::Artifact(ArtifactError::ChecksumMismatch {
+                chunk: "STOR".to_owned(),
+            }));
+        }
+        let stamp = self.handle.swap_with(|version| {
+            ServingModel::prepare_mapped(model, version, checksum, artifact_bytes)
+        });
+        self.metrics.swaps.fetch_add(1, Ordering::Relaxed);
+        Ok(stamp)
     }
 
     /// Closes the queue, drains every pending request, and joins the
@@ -246,6 +278,18 @@ impl Engine {
             out,
             ",\"cache_bytes\":{}",
             model.model.featurizer().estimated_bytes()
+        );
+        // Resident vs mapped split of the embedding store: a heap model
+        // reports everything resident; an mmap-served model reports the
+        // f64 matrix as mapped (the kernel pages it, it is not ours).
+        let store = &model.model.store;
+        let _ = write!(
+            out,
+            ",\"memory\":{{\"store_resident_bytes\":{},\"store_mapped_bytes\":{},\
+             \"store_backing\":\"{}\"}}",
+            store.resident_bytes(),
+            store.mapped_bytes(),
+            if store.is_mapped() { "mapped" } else { "heap" }
         );
         let _ = write!(
             out,
@@ -496,9 +540,7 @@ impl Engine {
         self.metrics.record_latency_us(elapsed_us);
         let response = match result {
             Ok(matrix) => {
-                self.metrics
-                    .rows
-                    .fetch_add(matrix.rows() as u64, Ordering::Relaxed);
+                self.metrics.record_rows(matrix.rows() as u64);
                 Ok(FeatResponse {
                     version: serving.version,
                     checksum: serving.checksum,
@@ -513,6 +555,26 @@ impl Engine {
         // A client that gave up (disconnected) is the only way this
         // fails; the batch must keep going.
         let _ = p.tx.send(response);
+    }
+}
+
+/// CRC-32 and length of a file, computed in one buffered streaming pass
+/// (no full read into memory — the mmap swap path must stay O(1) in
+/// artifact size for *allocations*; the hash itself is a sequential
+/// read).
+fn hash_file(path: &std::path::Path) -> std::io::Result<(u32, usize)> {
+    use std::io::Read as _;
+    let mut file = std::fs::File::open(path)?;
+    let mut crc = leva_interner::codec::Crc32::new();
+    let mut len = 0usize;
+    let mut buf = [0u8; 64 * 1024];
+    loop {
+        let n = file.read(&mut buf)?;
+        if n == 0 {
+            return Ok((crc.finish(), len));
+        }
+        crc.update(&buf[..n]);
+        len += n;
     }
 }
 

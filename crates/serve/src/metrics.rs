@@ -2,9 +2,67 @@
 //! histograms for latency and coalesced batch sizes, rendered as the
 //! `/metrics` JSON document.
 
+use std::collections::VecDeque;
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::Mutex;
 use std::time::Instant;
+
+/// Width of the [`RateWindow`] in seconds.
+const RATE_WINDOW_S: u64 = 10;
+
+/// Sliding-window event rate: per-second row counts over the trailing
+/// [`RATE_WINDOW_S`] seconds.
+///
+/// The daemon originally reported `rows / uptime`, a *lifetime* average:
+/// after any idle gap the gauge decayed toward zero even while the
+/// server was actively serving, and a long-lived process could never
+/// show its current throughput. The window keeps at most one bucket per
+/// second, so memory is bounded by the window width and both record and
+/// read are O(window).
+struct RateWindow {
+    /// `(second, rows)` buckets, seconds strictly increasing. Only
+    /// buckets newer than `now - RATE_WINDOW_S` are retained.
+    buckets: Mutex<VecDeque<(u64, u64)>>,
+}
+
+impl RateWindow {
+    fn new() -> Self {
+        Self {
+            buckets: Mutex::new(VecDeque::new()),
+        }
+    }
+
+    /// Adds `rows` to the bucket for second `now_s`, evicting buckets
+    /// that have slid out of the window.
+    fn record_at(&self, now_s: u64, rows: u64) {
+        let mut b = self.buckets.lock().unwrap_or_else(|e| e.into_inner());
+        while b
+            .front()
+            .is_some_and(|&(sec, _)| sec + RATE_WINDOW_S <= now_s)
+        {
+            b.pop_front();
+        }
+        match b.back_mut() {
+            Some((sec, count)) if *sec == now_s => *count += rows,
+            _ => b.push_back((now_s, rows)),
+        }
+    }
+
+    /// Rows per second over the trailing window ending at `now_s`. The
+    /// denominator is the number of whole seconds actually observed
+    /// (capped at the window width), so a server younger than the window
+    /// is not under-reported.
+    fn rate_at(&self, now_s: u64) -> f64 {
+        let b = self.buckets.lock().unwrap_or_else(|e| e.into_inner());
+        let rows: u64 = b
+            .iter()
+            .filter(|&&(sec, _)| sec + RATE_WINDOW_S > now_s && sec <= now_s)
+            .map(|&(_, count)| count)
+            .sum();
+        let span = RATE_WINDOW_S.min(now_s + 1);
+        rows as f64 / span as f64
+    }
+}
 
 /// Histogram over `u64` samples with power-of-two buckets: bucket `0`
 /// holds the value `0`, bucket `k` (k ≥ 1) holds values in
@@ -89,6 +147,7 @@ pub struct Metrics {
     pub swaps_rejected: AtomicU64,
     latency_us: Mutex<LogHistogram>,
     batch_rows: Mutex<LogHistogram>,
+    rate: RateWindow,
 }
 
 impl Metrics {
@@ -105,7 +164,15 @@ impl Metrics {
             swaps_rejected: AtomicU64::new(0),
             latency_us: Mutex::new(LogHistogram::default()),
             batch_rows: Mutex::new(LogHistogram::default()),
+            rate: RateWindow::new(),
         }
+    }
+
+    /// Records `n` served feature rows: bumps the lifetime counter and
+    /// the sliding rate window in one call.
+    pub fn record_rows(&self, n: u64) {
+        self.rows.fetch_add(n, Ordering::Relaxed);
+        self.rate.record_at(self.started.elapsed().as_secs(), n);
     }
 
     /// Records one end-to-end request latency (clamped to ≥ 1 µs so the
@@ -146,14 +213,14 @@ impl Metrics {
         self.started.elapsed().as_secs_f64()
     }
 
-    /// Cumulative rows served per second of uptime.
+    /// Rows served per second over the trailing ten-second window.
+    ///
+    /// This is a *current-throughput* gauge, not a lifetime average: an
+    /// idle stretch lets it fall to zero once the window drains, and it
+    /// immediately reflects new traffic — a multi-day uptime no longer
+    /// drags a burst of fresh work down to a near-zero rate.
     pub fn rows_per_s(&self) -> f64 {
-        let up = self.uptime_s();
-        if up <= 0.0 {
-            0.0
-        } else {
-            self.rows.load(Ordering::Relaxed) as f64 / up
-        }
+        self.rate.rate_at(self.started.elapsed().as_secs())
     }
 }
 
@@ -196,5 +263,75 @@ mod tests {
         let m = Metrics::new();
         m.record_latency_us(0);
         assert_eq!(m.latency_snapshot().quantile(0.5), 2);
+    }
+
+    /// Regression for the lifetime-average bug: a long idle gap before a
+    /// burst must not drag the reported rate toward zero. Under the old
+    /// `rows / uptime` formula, 1000 rows served in the last second of a
+    /// 1000-second uptime reported ~1 row/s; the window reports the
+    /// burst's actual short-term rate.
+    #[test]
+    fn idle_gap_does_not_drag_rate_to_zero() {
+        let w = RateWindow::new();
+        w.record_at(1000, 1000);
+        let rate = w.rate_at(1000);
+        assert!(
+            rate >= 100.0,
+            "burst after idle under-reported: {rate} rows/s"
+        );
+    }
+
+    /// The converse: once traffic stops, the gauge drains to zero after
+    /// the window slides past — it is a current-throughput gauge, not a
+    /// cumulative average that stays inflated forever.
+    #[test]
+    fn rate_drains_after_window_slides_past() {
+        let w = RateWindow::new();
+        w.record_at(50, 500);
+        assert!(w.rate_at(50) > 0.0);
+        assert!(w.rate_at(50 + RATE_WINDOW_S - 1) > 0.0);
+        assert_eq!(w.rate_at(50 + RATE_WINDOW_S), 0.0);
+    }
+
+    /// Steady traffic reports the per-second rate exactly, and same-second
+    /// records coalesce into one bucket.
+    #[test]
+    fn steady_traffic_reports_per_second_rate() {
+        let w = RateWindow::new();
+        for sec in 0..100u64 {
+            w.record_at(sec, 40);
+            w.record_at(sec, 2); // same second → same bucket
+        }
+        assert_eq!(w.rate_at(99), 42.0);
+        {
+            let b = w.buckets.lock().unwrap();
+            assert!(
+                b.len() as u64 <= RATE_WINDOW_S,
+                "eviction bounds memory: {} buckets",
+                b.len()
+            );
+        }
+        // A short stall only dilutes the window, it does not zero it.
+        let stalled = w.rate_at(102);
+        assert!(stalled > 0.0 && stalled < 42.0, "{stalled}");
+    }
+
+    /// A server younger than the window divides by observed seconds, not
+    /// the full window width.
+    #[test]
+    fn young_server_is_not_under_reported() {
+        let w = RateWindow::new();
+        w.record_at(0, 100);
+        w.record_at(1, 100);
+        assert_eq!(w.rate_at(1), 100.0);
+    }
+
+    #[test]
+    fn record_rows_feeds_total_and_window() {
+        let m = Metrics::new();
+        m.record_rows(7);
+        m.record_rows(5);
+        assert_eq!(m.rows.load(Ordering::Relaxed), 12);
+        assert!(m.rows_per_s() > 0.0);
     }
 }

@@ -2,10 +2,42 @@
 //! `RwLock`, so batch workers pin one consistent model for the lifetime
 //! of a batch while swaps publish a replacement atomically.
 
+use std::io;
 use std::sync::{Arc, RwLock};
 
 use leva::LevaModel;
-use leva_interner::codec::crc32;
+use leva_interner::codec::Crc32;
+
+/// `io::Write` sink that hashes and counts the stream without storing
+/// it: lets [`ServingModel::prepare`] fingerprint an artifact via the
+/// model's streaming encoder at O(chunk) memory instead of
+/// materializing the full byte vector (which doubled peak RSS for
+/// large models).
+struct CrcCountingWriter {
+    crc: Crc32,
+    len: usize,
+}
+
+impl CrcCountingWriter {
+    fn new() -> Self {
+        Self {
+            crc: Crc32::new(),
+            len: 0,
+        }
+    }
+}
+
+impl io::Write for CrcCountingWriter {
+    fn write(&mut self, buf: &[u8]) -> io::Result<usize> {
+        self.crc.update(buf);
+        self.len += buf.len();
+        Ok(buf.len())
+    }
+
+    fn flush(&mut self) -> io::Result<()> {
+        Ok(())
+    }
+}
 
 /// A fitted model prepared for serving: the model itself plus the
 /// identity (version epoch + artifact checksum) stamped onto every
@@ -25,16 +57,43 @@ pub struct ServingModel {
 }
 
 impl ServingModel {
-    /// Prepares `model` for serving under the given epoch: serializes it
-    /// once to fingerprint the artifact and warms the featurizer cache so
-    /// the first request does not pay the cache build.
+    /// Prepares `model` for serving under the given epoch: streams the
+    /// artifact encoding through a hashing sink to fingerprint it (no
+    /// full serialized copy is ever held, so preparing a large model no
+    /// longer doubles peak RSS) and warms the featurizer cache so the
+    /// first request does not pay the cache build.
     pub fn prepare(model: LevaModel, version: u64) -> Self {
-        let bytes = model.to_bytes();
-        let checksum = crc32(&bytes);
-        let artifact_bytes = bytes.len();
-        drop(bytes);
+        let mut sink = CrcCountingWriter::new();
+        // The sink never fails, and encoding is infallible once the
+        // model exists, so the expect is unreachable in practice.
+        model
+            .save_to(&mut sink)
+            .expect("hashing sink cannot fail and encoding is infallible");
+        let checksum = sink.crc.finish();
+        let artifact_bytes = sink.len;
         // Warm the serving cache before the model becomes visible to
         // workers; otherwise the first post-swap batch pays the build.
+        let _ = model.featurizer();
+        Self {
+            model,
+            version,
+            checksum,
+            artifact_bytes,
+        }
+    }
+
+    /// Prepares a model loaded from a mapped artifact file
+    /// ([`LevaModel::load_mmap`]) whose identity was already hashed from
+    /// the file bytes themselves: re-encoding a mapped model would both
+    /// defeat the O(1)-memory load and stamp a *re-serialized* checksum
+    /// that need not match the file on disk. Still warms the featurizer
+    /// cache like [`ServingModel::prepare`].
+    pub fn prepare_mapped(
+        model: LevaModel,
+        version: u64,
+        checksum: u32,
+        artifact_bytes: usize,
+    ) -> Self {
         let _ = model.featurizer();
         Self {
             model,
@@ -74,8 +133,16 @@ impl ModelHandle {
     /// Atomically replaces the served model, assigning it the next epoch.
     /// Returns the `(version, checksum)` stamped onto the new model.
     pub fn swap(&self, model: LevaModel) -> (u64, u32) {
+        self.swap_with(|version| ServingModel::prepare(model, version))
+    }
+
+    /// Like [`ModelHandle::swap`] but lets the caller choose how the
+    /// replacement is prepared for the next epoch — the mmap swap path
+    /// uses this with [`ServingModel::prepare_mapped`] so a mapped model
+    /// is never re-serialized just to stamp its identity.
+    pub fn swap_with(&self, prepare: impl FnOnce(u64) -> ServingModel) -> (u64, u32) {
         let mut slot = self.current.write().unwrap_or_else(|e| e.into_inner());
-        let next = ServingModel::prepare(model, slot.version + 1);
+        let next = prepare(slot.version + 1);
         let stamp = (next.version, next.checksum);
         *slot = Arc::new(next);
         stamp

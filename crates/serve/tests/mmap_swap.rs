@@ -1,0 +1,183 @@
+//! Hot-swap from a memory-mapped artifact file: the swapped-in model
+//! serves bitwise-identical features from the mapping, `/metrics`
+//! reports the resident/mapped split, and corrupt files are rejected
+//! while the previous model keeps serving.
+
+use leva::{Featurization, FeaturizeRequest, Leva, LevaConfig, LevaModel};
+use leva_interner::codec::crc32;
+use leva_relational::{Database, Table, Value};
+use leva_serve::{Engine, ServeConfig, ServeError};
+
+fn db(rows: usize, scale: f64) -> Database {
+    let mut db = Database::new();
+    let mut base = Table::new("base", vec!["id", "grp", "amount", "target"]);
+    let mut aux = Table::new("aux", vec!["id", "tag"]);
+    for i in 0..rows {
+        base.push_row(vec![
+            format!("e{i}").into(),
+            ["a", "b", "c"][i % 3].into(),
+            Value::Float(i as f64 * scale),
+            Value::Int((i % 2) as i64),
+        ])
+        .unwrap();
+        aux.push_row(vec![format!("e{i}").into(), format!("t{}", i % 5).into()])
+            .unwrap();
+    }
+    db.add_table(base).unwrap();
+    db.add_table(aux).unwrap();
+    db
+}
+
+fn fit(database: &Database) -> LevaModel {
+    Leva::with_config(LevaConfig::fast())
+        .base_table("base")
+        .target("target")
+        .fit(database)
+        .unwrap()
+}
+
+fn temp_path(name: &str) -> std::path::PathBuf {
+    let mut p = std::env::temp_dir();
+    p.push(format!(
+        "leva_serve_mmap_{}_{name}.leva",
+        std::process::id()
+    ));
+    p
+}
+
+/// Byte range of the `STOR` chunk payload inside a v3 artifact
+/// (header: magic 4 + version 4 + chunk count 4; chunk frame:
+/// tag 4 + len u64 + crc u32 + pad u32 + pad bytes + payload).
+fn stor_payload_range(bytes: &[u8]) -> std::ops::Range<usize> {
+    let mut pos = 12;
+    loop {
+        assert!(pos + 20 <= bytes.len(), "ran off the artifact");
+        let tag = &bytes[pos..pos + 4];
+        let len = u64::from_le_bytes(bytes[pos + 4..pos + 12].try_into().unwrap()) as usize;
+        let pad = u32::from_le_bytes(bytes[pos + 16..pos + 20].try_into().unwrap()) as usize;
+        let start = pos + 20 + pad;
+        if tag == b"STOR" {
+            return start..start + len;
+        }
+        pos = start + len;
+    }
+}
+
+#[test]
+fn mmap_swap_serves_bitwise_identical_features() {
+    let model_a = fit(&db(24, 1.0));
+    let model_b = fit(&db(24, 3.5));
+    let probe = FeaturizeRequest::base_rows(vec![0, 5, 11], Featurization::RowPlusValue);
+    let expect_b = model_b.featurize(&probe).unwrap();
+
+    let path = temp_path("swap_ok");
+    model_b.save(&path).unwrap();
+    let file_bytes = std::fs::read(&path).unwrap();
+    // The file checksum is also the re-serialization checksum: the
+    // encoder is canonical, so both swap paths stamp the same identity.
+    assert_eq!(crc32(&file_bytes), crc32(&model_b.to_bytes()));
+
+    let engine = Engine::new(model_a, ServeConfig::default()).unwrap();
+    let (version, checksum) = engine.swap_from_path(&path).unwrap();
+    assert_eq!(version, 2);
+    assert_eq!(checksum, crc32(&file_bytes));
+
+    let current = engine.current_model();
+    assert_eq!(current.artifact_bytes, file_bytes.len());
+    if cfg!(target_endian = "little") {
+        assert!(
+            current.model.store.is_mapped(),
+            "v3 artifact must serve zero-copy on little-endian hosts"
+        );
+        assert!(current.model.store.mapped_bytes() > 0);
+    }
+
+    let response = engine.submit(probe).unwrap();
+    assert_eq!(response.version, 2);
+    assert_eq!(response.checksum, checksum);
+    assert_eq!(response.matrix.rows(), expect_b.rows());
+    for r in 0..expect_b.rows() {
+        for (x, y) in response.matrix.row(r).iter().zip(expect_b.row(r)) {
+            assert_eq!(
+                x.to_bits(),
+                y.to_bits(),
+                "mapped featurization differs from heap at row {r}"
+            );
+        }
+    }
+
+    let metrics = engine.metrics_json();
+    assert!(metrics.contains("\"store_resident_bytes\""), "{metrics}");
+    assert!(metrics.contains("\"store_mapped_bytes\""), "{metrics}");
+    if cfg!(target_endian = "little") {
+        assert!(
+            metrics.contains("\"store_backing\":\"mapped\""),
+            "{metrics}"
+        );
+    }
+
+    engine.shutdown();
+    let _ = std::fs::remove_file(&path);
+}
+
+#[test]
+fn corrupt_mapped_store_is_rejected_at_swap_time() {
+    let model = fit(&db(24, 1.0));
+    let path = temp_path("swap_corrupt");
+    model.save(&path).unwrap();
+    let mut bytes = std::fs::read(&path).unwrap();
+    let stor = stor_payload_range(&bytes);
+    // Flip one bit deep inside the f64 matrix: framing stays valid, the
+    // deferred STOR CRC is the only thing that can catch it.
+    let target = stor.end - 9;
+    bytes[target] ^= 0x01;
+    std::fs::write(&path, &bytes).unwrap();
+
+    let engine = Engine::new(fit(&db(24, 1.0)), ServeConfig::default()).unwrap();
+    let before = engine.current_model();
+    let err = engine.swap_from_path(&path).unwrap_err();
+    assert!(
+        matches!(err, ServeError::Artifact(_)),
+        "expected a typed artifact rejection, got: {err}"
+    );
+    // The previous model keeps serving under its original identity.
+    let response = engine
+        .submit(FeaturizeRequest::base_all(Featurization::RowOnly))
+        .unwrap();
+    assert_eq!(response.version, before.version);
+    assert_eq!(response.checksum, before.checksum);
+    assert!(engine.metrics_json().contains("\"swaps_rejected\":1"));
+
+    engine.shutdown();
+    let _ = std::fs::remove_file(&path);
+}
+
+#[test]
+fn truncated_mapped_artifact_is_rejected() {
+    let model = fit(&db(24, 1.0));
+    let path = temp_path("swap_truncated");
+    model.save(&path).unwrap();
+    let bytes = std::fs::read(&path).unwrap();
+    std::fs::write(&path, &bytes[..bytes.len() / 2]).unwrap();
+
+    let engine = Engine::new(fit(&db(24, 1.0)), ServeConfig::default()).unwrap();
+    let err = engine.swap_from_path(&path).unwrap_err();
+    assert!(matches!(err, ServeError::Artifact(_)), "{err}");
+    assert!(engine
+        .submit(FeaturizeRequest::base_all(Featurization::RowOnly))
+        .is_ok());
+
+    engine.shutdown();
+    let _ = std::fs::remove_file(&path);
+}
+
+#[test]
+fn missing_swap_file_is_an_io_rejection() {
+    let engine = Engine::new(fit(&db(24, 1.0)), ServeConfig::default()).unwrap();
+    let err = engine
+        .swap_from_path(std::path::Path::new("/nonexistent/leva_model.leva"))
+        .unwrap_err();
+    assert!(matches!(err, ServeError::Io(_)), "{err}");
+    assert!(engine.metrics_json().contains("\"swaps_rejected\":1"));
+    engine.shutdown();
+}

@@ -18,6 +18,12 @@ cargo test -q --test artifact_roundtrip
 echo "==> cargo test -q --test determinism (threading + featurizer equivalence gate)"
 cargo test -q --test determinism
 
+echo "==> cargo test -q --test mmap_artifacts (zero-copy artifact gate)"
+cargo test -q --test mmap_artifacts
+
+echo "==> cargo test -q --test quantization (precision-ladder tolerance gate)"
+cargo test -q --test quantization
+
 echo "==> cargo test -q -p leva-serve (server smoke + hot-swap stress gate)"
 cargo test -q -p leva-serve
 
@@ -28,6 +34,10 @@ cargo build --release -q -p leva-bench --bin exp_serve
 echo "==> exp_discovery (schema-free discovery benchmark -> results/BENCH_7.json)"
 cargo build --release -q -p leva-bench --bin exp_discovery
 ./target/release/exp_discovery --scale 0.2 >/dev/null
+
+echo "==> exp_mmap (out-of-core artifact benchmark -> results/BENCH_8.json)"
+cargo build --release -q -p leva-bench --bin exp_mmap
+./target/release/exp_mmap --scale 0.2 >/dev/null
 
 echo "==> cargo fmt --check"
 cargo fmt --check

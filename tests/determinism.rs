@@ -315,6 +315,91 @@ fn cached_featurizer_matches_naive_walk_on_random_dbs() {
     }
 }
 
+/// The weighted-edge regression pinned as a test: on a discovery-enabled
+/// graph, injected edges carry confidences below 1.0, so the cached
+/// featurizer must propagate the *stored* edge weights instead of
+/// assuming the organic `1/deg` weighting — the historical bug silently
+/// served different features from the cache than from the reference walk
+/// whenever discovery had touched the graph. Equivalence is required on
+/// both the in-graph and external paths.
+#[test]
+fn cached_featurizer_matches_walk_on_confidence_weighted_graphs() {
+    let mut db = Database::new();
+    let mut base = Table::new("base", vec!["id", "machine_id", "target"]);
+    let mut machines = Table::new("machines", vec!["mid", "site"]);
+    for i in 0..36 {
+        base.push_row(vec![
+            format!("e{i}").into(),
+            Value::Int(100 + (i % 12) as i64),
+            Value::Int((i % 2) as i64),
+        ])
+        .unwrap();
+    }
+    for m in 0..14 {
+        // Two extra keys unmatched on the base side keep containment —
+        // and therefore the injected edge confidence — strictly below 1.
+        machines
+            .push_row(vec![
+                Value::Int(100 + m as i64),
+                ["north", "south"][m % 2].into(),
+            ])
+            .unwrap();
+    }
+    db.add_table(base).unwrap();
+    db.add_table(machines).unwrap();
+
+    let mut cfg = LevaConfig::fast();
+    cfg.discovery.enabled = true;
+    let model = Leva::with_config(cfg)
+        .base_table("base")
+        .target("target")
+        .threads(1)
+        .fit(&db)
+        .unwrap();
+    assert!(
+        model.discovery_injection.edges_added > 0,
+        "nothing injected"
+    );
+    assert!(
+        model
+            .discovered
+            .iter()
+            .any(|d| d.containment > 0.0 && d.containment < 1.0),
+        "fixture must inject sub-1.0 confidence edges, got: {:?}",
+        model
+            .discovered
+            .iter()
+            .map(|d| d.containment)
+            .collect::<Vec<_>>()
+    );
+
+    let n = db.table("base").unwrap().row_count();
+    let rows: Vec<usize> = (0..n).collect();
+    for feat in [Featurization::RowOnly, Featurization::RowPlusValue] {
+        let cached = model.featurize_base_rows(&rows, feat);
+        let walk = model.featurize_base_rows_walk(&rows, feat);
+        for r in 0..n {
+            for (c, (a, b)) in cached.row(r).iter().zip(walk.row(r)).enumerate() {
+                assert!(
+                    (a - b).abs() <= 1e-12,
+                    "{feat:?} row {r} col {c}: cached {a} vs walk {b}"
+                );
+            }
+        }
+    }
+    let ext = db.table("base").unwrap().drop_columns(&["target"]).unwrap();
+    let cached = model.featurize_external(&ext, Featurization::RowPlusValue);
+    let walk = model.featurize_external_walk(&ext, Featurization::RowPlusValue);
+    for r in 0..n {
+        for (a, b) in cached.row(r).iter().zip(walk.row(r)) {
+            assert!(
+                (a - b).abs() <= 1e-12,
+                "external row {r}: cached {a} vs walk {b}"
+            );
+        }
+    }
+}
+
 /// Batch featurization shards rows over thread bands; the output must be
 /// bitwise identical at 1, 2, and 8 threads, on every serving path
 /// (in-graph batch, external one-shot, external streamed).

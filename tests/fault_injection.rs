@@ -393,17 +393,24 @@ fn hostile_artifact_buffers_never_panic() {
     );
 }
 
-/// Locates a chunk's payload `(start, len)` inside an artifact buffer by
-/// walking the chunk table (magic + version + count header is 12 bytes;
-/// each chunk is tag(4) + len(8) + crc(4) + payload).
-fn find_chunk(bytes: &[u8], tag: &[u8; 4]) -> Option<(usize, usize)> {
+/// Locates a chunk inside an artifact buffer as `(crc_off, payload_start,
+/// payload_len)` by walking the chunk table (magic + version + count
+/// header is 12 bytes; each chunk is tag(4) + len(8) + crc(4), then — in
+/// the aligned v3 framing — pad_len(4) + pad bytes, then the payload).
+fn find_chunk(bytes: &[u8], tag: &[u8; 4]) -> Option<(usize, usize, usize)> {
+    let version = u32::from_le_bytes(bytes[4..8].try_into().unwrap());
     let mut off = 12usize;
     while off + 16 <= bytes.len() {
         let t = &bytes[off..off + 4];
         let len = u64::from_le_bytes(bytes[off + 4..off + 12].try_into().unwrap()) as usize;
-        let start = off + 16;
+        let start = if version >= 3 {
+            let pad = u32::from_le_bytes(bytes[off + 16..off + 20].try_into().unwrap()) as usize;
+            off + 20 + pad
+        } else {
+            off + 16
+        };
         if t == tag {
-            return Some((start, len));
+            return Some((off + 12, start, len));
         }
         off = start + len;
     }
@@ -452,8 +459,8 @@ fn hostile_disc_chunk_never_panics() {
         .unwrap();
     assert!(!model.discovered.is_empty(), "fixture must discover joins");
     let genuine = model.to_bytes();
-    let (disc_start, disc_len) =
-        find_chunk(&genuine, b"DISC").expect("v2 artifact carries a DISC chunk");
+    let (disc_crc_off, disc_start, disc_len) =
+        find_chunk(&genuine, b"DISC").expect("discovery artifact carries a DISC chunk");
     assert!(disc_len > 0);
 
     let mut failures = Vec::new();
@@ -466,7 +473,7 @@ fn hostile_disc_chunk_never_panics() {
         }
         // Re-patch the DISC CRC so the mutation reaches the decoder.
         let crc = crc32(&bytes[disc_start..disc_start + disc_len]);
-        bytes[disc_start - 4..disc_start].copy_from_slice(&crc.to_le_bytes());
+        bytes[disc_crc_off..disc_crc_off + 4].copy_from_slice(&crc.to_le_bytes());
         match catch_unwind(AssertUnwindSafe(|| LevaModel::from_bytes(&bytes))) {
             Err(_) => failures.push(format!("DISC case {case}: panicked decoding")),
             Ok(Ok(loaded)) => {
