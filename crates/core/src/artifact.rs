@@ -271,9 +271,10 @@ impl LevaModel {
     }
 
     /// Assembles a model from a validated chunk table. When `mapped` is
-    /// given (the [`LevaModel::load_mmap`] path, v3 only) the `STOR` chunk
-    /// is served zero-copy out of the mapping with its CRC deferred to
-    /// first featurization; otherwise it is heap-decoded.
+    /// given (the [`LevaModel::load_mmap`] path, v3 only) the `STOR` and
+    /// `GRPH` chunks are served zero-copy out of the mapping with their
+    /// CRCs deferred to first featurization; otherwise they are
+    /// heap-decoded.
     fn decode_from_chunks(
         chunks: &Chunks<'_>,
         mapped: Option<&Arc<MmapFile>>,
@@ -294,14 +295,27 @@ impl LevaModel {
             TokenizedDatabase::decode(&mut r, Arc::clone(&symbols)).map_err(in_chunk("TOKD"))?;
         finish_chunk(&r, "TOKD")?;
 
-        let mut r = ByteReader::new(chunks.grph.payload);
-        let graph = if aligned {
-            LevaGraph::decode_aligned(&mut r, Arc::clone(&symbols))
-        } else {
-            LevaGraph::decode(&mut r, Arc::clone(&symbols))
-        }
-        .map_err(in_chunk("GRPH"))?;
-        finish_chunk(&r, "GRPH")?;
+        let graph = match mapped {
+            Some(map) => LevaGraph::from_mapped(
+                Arc::clone(&symbols),
+                Arc::clone(map),
+                chunks.grph.offset,
+                chunks.grph.payload.len(),
+                chunks.grph.crc,
+            )
+            .map_err(in_chunk("GRPH"))?,
+            None => {
+                let mut r = ByteReader::new(chunks.grph.payload);
+                let graph = if aligned {
+                    LevaGraph::decode_aligned(&mut r, Arc::clone(&symbols))
+                } else {
+                    LevaGraph::decode(&mut r, Arc::clone(&symbols))
+                }
+                .map_err(in_chunk("GRPH"))?;
+                finish_chunk(&r, "GRPH")?;
+                graph
+            }
+        };
 
         let store = match mapped {
             Some(map) => EmbeddingStore::from_mapped(
@@ -384,17 +398,20 @@ impl LevaModel {
         Self::from_bytes(&std::fs::read(path)?)
     }
 
-    /// Loads a model artifact with the embedding store served zero-copy
-    /// from a private file mapping — O(1) load time in the `STOR` size.
+    /// Loads a model artifact with the embedding store *and* the graph
+    /// adjacency served zero-copy from a private file mapping — O(1) load
+    /// time in the `STOR` and `GRPH` sizes.
     ///
-    /// v3 artifacts map the file once; the small chunks (and the graph,
-    /// which is reconstructed into pointer-rich heap structures regardless)
-    /// are decoded and CRC-verified eagerly, while the dense `STOR` matrix
-    /// gets O(rows) geometry validation here and its CRC verified lazily on
-    /// the first featurization (`LevaModel::featurize` surfaces a flipped
-    /// bit as [`ArtifactError::ChecksumMismatch`]; until then reads are
-    /// memory-safe but unverified). v1/v2 artifacts fall back to the heap
-    /// decoding of [`LevaModel::from_bytes`] byte-for-byte.
+    /// v3 artifacts map the file once; the small chunks are decoded and
+    /// CRC-verified eagerly, while the dense `STOR` matrix gets O(rows)
+    /// geometry validation and the `GRPH` CSR arrays get O(n + m) structural
+    /// validation (bounds, alignment, monotone offsets, in-range targets)
+    /// here, with their CRCs — and the adjacency symmetry invariant —
+    /// verified lazily on the first featurization (`LevaModel::featurize`
+    /// surfaces a flipped bit as [`ArtifactError::ChecksumMismatch`]; until
+    /// then reads are memory-safe but unverified). v1/v2 artifacts fall
+    /// back to the heap decoding of [`LevaModel::from_bytes`]
+    /// byte-for-byte.
     pub fn load_mmap(path: impl AsRef<Path>) -> Result<LevaModel, ArtifactError> {
         let map = Arc::new(MmapFile::open(path.as_ref())?);
         let bytes: &[u8] = &map;
@@ -434,10 +451,10 @@ struct Chunks<'a> {
 
 /// Walks the container: validates magic/version, frames every chunk
 /// (including the v3 alignment padding, which must be canonical and
-/// zero-filled), and CRC-checks payloads. With `eager_stor_crc = false`
-/// the (large) `STOR` payload's CRC is *not* hashed here — the caller
-/// defers it to first use ([`LevaModel::load_mmap`]).
-fn walk_chunks(bytes: &[u8], eager_stor_crc: bool) -> Result<Chunks<'_>, ArtifactError> {
+/// zero-filled), and CRC-checks payloads. With `eager_crc = false` the
+/// (large) `STOR` and `GRPH` payloads' CRCs are *not* hashed here — the
+/// caller defers them to first use ([`LevaModel::load_mmap`]).
+fn walk_chunks(bytes: &[u8], eager_crc: bool) -> Result<Chunks<'_>, ArtifactError> {
     let mut r = ByteReader::new(bytes);
     let magic = r.take_raw(4).map_err(|_| ArtifactError::BadMagic)?;
     if magic != MAGIC {
@@ -484,7 +501,7 @@ fn walk_chunks(bytes: &[u8], eager_stor_crc: bool) -> Result<Chunks<'_>, Artifac
         // Declared length validated against the remaining buffer before
         // the payload is sliced (take_raw never reads past the end).
         let payload = r.take_raw(len).map_err(|_| ArtifactError::Truncated)?;
-        if (eager_stor_crc || tag != TAG_STOR) && crc32(payload) != crc {
+        if (eager_crc || (tag != TAG_STOR && tag != TAG_GRPH)) && crc32(payload) != crc {
             return Err(ArtifactError::ChecksumMismatch { chunk: tag_name() });
         }
         let slot = match tag {

@@ -75,9 +75,9 @@ impl LevaModel {
     /// *sum*-pooled (weighted), not mean-pooled: aggregate targets (a total
     /// over N joined rows, a count of related events) need the multiplicity
     /// of the join to survive featurization.
-    fn accumulate_walk(
+    fn accumulate_walk<I: IntoIterator<Item = (u32, f64)>>(
         &self,
-        value_nodes: &[(u32, f64)],
+        value_nodes: I,
         skip_row: Option<u32>,
         out_row: &mut [f64],
         feat: Featurization,
@@ -87,7 +87,7 @@ impl LevaModel {
         let mut v_weight = 0.0f64;
         let mut x_acc = vec![0.0; dim];
         let mut x_weight = 0.0f64;
-        for &(v, w1) in value_nodes {
+        for (v, w1) in value_nodes {
             if let Some(emb) = self.store.get_id(self.graph.token(v)) {
                 for (a, &e) in v_acc.iter_mut().zip(emb) {
                     *a += w1 * e;
@@ -99,13 +99,13 @@ impl LevaModel {
                 // value nodes of the rows this value connects to — i.e. the
                 // attributes the recovered join would have brought in.
                 let dv = self.graph.degree(v).max(1) as f64;
-                for &(r, wvr) in self.graph.neighbors(v) {
+                for (r, wvr) in self.graph.neighbors(v) {
                     if Some(r) == skip_row {
                         continue;
                     }
                     // conf(v,r) = wᵥᵣ·deg(v); step weight conf/deg(r).
                     let wr = w1 * (wvr * dv) / self.graph.degree(r).max(1) as f64;
-                    for &(v2, w2s) in self.graph.neighbors(r) {
+                    for (v2, w2s) in self.graph.neighbors(r) {
                         if v2 == v {
                             continue;
                         }
@@ -170,13 +170,7 @@ impl LevaModel {
                 let Ok(neighbors) = self.graph.try_neighbors(node) else {
                     continue;
                 };
-                fz.accumulate(
-                    &self.graph,
-                    neighbors.iter().copied(),
-                    Some(node),
-                    out_row,
-                    feat,
-                );
+                fz.accumulate(&self.graph, neighbors, Some(node), out_row, feat);
             }
         });
         out
@@ -251,7 +245,7 @@ impl LevaModel {
         let mut out = Matrix::zeros(table.row_count(), self.feature_dim(feat));
         for r in 0..table.row_count() {
             let pairs = self.external_row_value_pairs(table, &encoders, r);
-            self.accumulate_walk(&pairs, None, out.row_mut(r), feat);
+            self.accumulate_walk(pairs.iter().copied(), None, out.row_mut(r), feat);
         }
         out
     }

@@ -161,7 +161,7 @@ impl Featurizer {
         for_each_row_band(&mut rowsum, dim.max(1), threads, |rows, band| {
             for (offset, r) in rows.enumerate() {
                 let out = &mut band[offset * dim..(offset + 1) * dim];
-                for &(v, w) in graph.neighbors(r as u32) {
+                for (v, w) in graph.neighbors(r as u32) {
                     let Some(vi) = value_slot(v) else { continue };
                     for (o, &c) in out.iter_mut().zip(&val_contrib[vi * dim..(vi + 1) * dim]) {
                         *o += w * c;
@@ -171,7 +171,7 @@ impl Featurizer {
         });
         let mut row_weight = vec![0.0; n_rows];
         for (r, mass) in row_weight.iter_mut().enumerate() {
-            for &(v, w) in graph.neighbors(r as u32) {
+            for (v, w) in graph.neighbors(r as u32) {
                 if let Some(vi) = value_slot(v) {
                     *mass += w * val_weight[vi];
                 }
@@ -189,7 +189,7 @@ impl Featurizer {
                 let dv = degree[vi];
                 let out = &mut band[offset * dim..(offset + 1) * dim];
                 let mut echo_mass = 0.0; // Σ wᵥᵣ²/deg(r)
-                for &(r, wvr) in graph.neighbors(node) {
+                for (r, wvr) in graph.neighbors(node) {
                     if r >= first_value_node {
                         continue; // defensive: a non-bipartite edge
                     }
@@ -213,7 +213,7 @@ impl Featurizer {
             let dv = degree[vi];
             let mut acc = 0.0;
             let mut echo_mass = 0.0;
-            for &(r, wvr) in graph.neighbors(node) {
+            for (r, wvr) in graph.neighbors(node) {
                 if r >= first_value_node {
                     continue;
                 }
@@ -283,7 +283,7 @@ impl Featurizer {
         let related = feat == Featurization::RowPlusValue;
         // Inverse degree of the skipped row (its echo normalizer).
         let skip_w = skip_row.map(|r| {
-            let deg = graph.try_neighbors(r).map_or(0, <[_]>::len);
+            let deg = graph.try_neighbors(r).map_or(0, |n| n.len());
             1.0 / deg.max(1) as f64
         });
         let mut v_weight = 0.0;

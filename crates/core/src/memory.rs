@@ -100,6 +100,38 @@ mod tests {
     }
 
     #[test]
+    fn adjacency_estimate_tracks_actual_backing() {
+        // The estimate is computed from the CSR backing the graph actually
+        // holds — (n+1) u64 offsets + nnz u32 targets + nnz f64 weights —
+        // not a hard-coded nested-Vec layout.
+        let g = graph(200);
+        let nnz = 2 * g.n_edges();
+        assert_eq!(
+            g.estimated_adjacency_bytes(),
+            (g.n_nodes() + 1) * 8 + nnz * (4 + 8)
+        );
+    }
+
+    #[test]
+    fn method_selection_pinned_on_seed_shaped_graphs() {
+        // Auto's MF-vs-RW choice depends only on the MF-side estimate, so
+        // changing the adjacency representation must not move it. Pin the
+        // MF estimate to its closed form and the resulting selection under
+        // the default 2 GiB budget (MF) and a starved budget (RW) for the
+        // seed dataset shapes.
+        let default_budget = 2 * 1024 * 1024 * 1024; // LevaConfig::default()
+        for n in [50usize, 200, 500] {
+            let g = graph(n);
+            let e = estimate(&g, 32, 8, &WalkConfig::default());
+            let l = 32 + 8;
+            let expected_mf = g.n_nodes() * 8 + 2 * g.n_edges() * (4 + 8) + 4 * g.n_nodes() * l * 8;
+            assert_eq!(e.mf_bytes, expected_mf, "MF estimate drifted at n={n}");
+            assert!(mf_fits(&e, default_budget), "selection flipped at n={n}");
+            assert!(!mf_fits(&e, 1024), "starved budget must fall back to RW");
+        }
+    }
+
+    #[test]
     fn budget_policy() {
         let e = MemoryEstimate {
             mf_bytes: 1000,

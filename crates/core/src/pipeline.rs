@@ -688,7 +688,7 @@ mod tests {
         // so its edges carry full 1.0 confidence: weight == 1/deg exactly.
         let vn = model.graph.value_node("mid=100").expect("injected node");
         let deg = model.graph.degree(vn) as f64;
-        for &(_, w) in model.graph.neighbors(vn) {
+        for (_, w) in model.graph.neighbors(vn) {
             assert_eq!(w.to_bits(), (1.0 / deg).to_bits());
         }
     }

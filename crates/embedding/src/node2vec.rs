@@ -68,7 +68,7 @@ fn biased_walk(graph: &LevaGraph, start: u32, cfg: &Node2VecConfig, rng: &mut St
         return seq;
     }
     let mut prev = start;
-    let mut current = first_nbrs[rng.gen_range(0..first_nbrs.len())].0;
+    let mut current = first_nbrs.targets()[rng.gen_range(0..first_nbrs.len())];
     seq.push(current);
     while seq.len() < cfg.walk_length {
         let nbrs = graph.neighbors(current);
@@ -79,10 +79,10 @@ fn biased_walk(graph: &LevaGraph, start: u32, cfg: &Node2VecConfig, rng: &mut St
         // per-edge alias tables; cf. the node2vec reference implementation).
         let max_bias = (1.0f64).max(1.0 / cfg.p).max(1.0 / cfg.q);
         let next = loop {
-            let cand = nbrs[rng.gen_range(0..nbrs.len())].0;
+            let cand = nbrs.targets()[rng.gen_range(0..nbrs.len())];
             let bias = if cand == prev {
                 1.0 / cfg.p
-            } else if graph.neighbors(prev).iter().any(|&(v, _)| v == cand) {
+            } else if graph.neighbors(prev).targets().contains(&cand) {
                 1.0
             } else {
                 1.0 / cfg.q
@@ -132,7 +132,7 @@ mod tests {
         );
         for seq in &c.sequences {
             for w in seq.windows(2) {
-                assert!(g.neighbors(w[0]).iter().any(|&(v, _)| v == w[1]));
+                assert!(g.neighbors(w[0]).targets().contains(&w[1]));
             }
         }
     }

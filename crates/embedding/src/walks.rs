@@ -221,8 +221,7 @@ pub fn build_alias_tables(graph: &LevaGraph) -> Vec<Option<AliasTable>> {
 /// result is identical at any thread count.
 pub fn build_alias_tables_threads(graph: &LevaGraph, threads: usize) -> Vec<Option<AliasTable>> {
     par_map_range(graph.n_nodes(), threads, |u| {
-        let weights: Vec<f64> = graph.neighbors(u as u32).iter().map(|&(_, w)| w).collect();
-        AliasTable::new(&weights)
+        AliasTable::new(graph.neighbors(u as u32).weights())
     })
 }
 
@@ -258,7 +257,7 @@ fn trajectory(
             },
             None => rng.gen_range(0..nbrs.len()),
         };
-        current = nbrs[next_idx].0;
+        current = nbrs.targets()[next_idx];
     }
     seq
 }
@@ -346,7 +345,7 @@ mod tests {
         for seq in &c.sequences {
             for w in seq.windows(2) {
                 assert!(
-                    g.neighbors(w[0]).iter().any(|&(v, _)| v == w[1]),
+                    g.neighbors(w[0]).targets().contains(&w[1]),
                     "walk steps over a non-edge"
                 );
             }

@@ -8,9 +8,11 @@
 
 use crate::relationships::{ExtraEdgeGroup, RelationshipInjection};
 use crate::voting::TokenVotes;
-use leva_interner::{TokenId, TokenInterner};
+use leva_interner::codec::crc32;
+use leva_interner::{MmapFile, TokenId, TokenInterner};
 use leva_linalg::CsrMatrix;
 use leva_textify::TokenizedDatabase;
+use std::sync::atomic::{AtomicU8, Ordering};
 use std::sync::Arc;
 
 /// Sentinel in the dense token→value-node index: "no value node".
@@ -119,6 +121,217 @@ pub struct RefineStats {
     pub singleton_tokens_skipped: usize,
 }
 
+/// One node's neighbour list: parallel views into the CSR target and
+/// weight arrays. `Copy` and cheap — two fat pointers — so it passes
+/// around like the `&[(u32, f64)]` slice it replaced, and it iterates as
+/// `(target, weight)` pairs so `for (v, w) in g.neighbors(u)` works
+/// directly.
+#[derive(Debug, Clone, Copy)]
+pub struct Neighbors<'g> {
+    targets: &'g [u32],
+    weights: &'g [f64],
+}
+
+impl<'g> Neighbors<'g> {
+    /// Number of incident edges.
+    pub fn len(&self) -> usize {
+        self.targets.len()
+    }
+
+    /// True for an isolated node.
+    pub fn is_empty(&self) -> bool {
+        self.targets.is_empty()
+    }
+
+    /// Neighbour node ids.
+    pub fn targets(&self) -> &'g [u32] {
+        self.targets
+    }
+
+    /// Edge weights, parallel to [`Neighbors::targets`].
+    pub fn weights(&self) -> &'g [f64] {
+        self.weights
+    }
+
+    /// The `i`-th `(target, weight)` pair. Panics when out of range, like
+    /// slice indexing.
+    pub fn get(&self, i: usize) -> (u32, f64) {
+        (self.targets[i], self.weights[i])
+    }
+
+    /// Iterates `(target, weight)` pairs.
+    pub fn iter(&self) -> NeighborsIter<'g> {
+        self.into_iter()
+    }
+}
+
+/// Iterator over a node's `(target, weight)` pairs.
+pub type NeighborsIter<'g> = std::iter::Zip<
+    std::iter::Copied<std::slice::Iter<'g, u32>>,
+    std::iter::Copied<std::slice::Iter<'g, f64>>,
+>;
+
+impl<'g> IntoIterator for Neighbors<'g> {
+    type Item = (u32, f64);
+    type IntoIter = NeighborsIter<'g>;
+    fn into_iter(self) -> Self::IntoIter {
+        self.targets
+            .iter()
+            .copied()
+            .zip(self.weights.iter().copied())
+    }
+}
+
+/// Deferred-validation states of a mapped adjacency (CRC plus symmetry),
+/// mirroring the embedding store's lazy-CRC settle.
+pub(crate) const ADJ_UNCHECKED: u8 = 0;
+const ADJ_OK: u8 = 1;
+const ADJ_BAD: u8 = 2;
+
+/// A CSR adjacency served zero-copy from a mapped v3 `GRPH` payload: the
+/// offset/target/weight arrays are viewed in place through numeric offsets
+/// into the shared mapping. Geometry (bounds, alignment, monotonic
+/// offsets, in-range targets) is validated eagerly at construction —
+/// memory safety never depends on the deferred checks — while the payload
+/// CRC and adjacency symmetry settle on first [`MappedAdjacency::verify`].
+#[derive(Debug, Clone)]
+pub(crate) struct MappedAdjacency {
+    pub(crate) map: Arc<MmapFile>,
+    /// Absolute byte offset of the `n_nodes + 1` CSR offsets (8-aligned).
+    pub(crate) offsets_off: usize,
+    /// Absolute byte offset of the `n_directed` `u32` targets (4-aligned).
+    pub(crate) targets_off: usize,
+    /// Absolute byte offset of the `n_directed` `f64` weights (8-aligned).
+    pub(crate) weights_off: usize,
+    pub(crate) n_nodes: usize,
+    pub(crate) n_directed: usize,
+    /// Whole-payload extent and expected CRC for the deferred settle.
+    pub(crate) payload_offset: usize,
+    pub(crate) payload_len: usize,
+    pub(crate) crc: u32,
+    pub(crate) verified: Arc<AtomicU8>,
+}
+
+impl MappedAdjacency {
+    fn offsets(&self) -> &[u64] {
+        // SAFETY: the constructor validated that `offsets_off` is 8-aligned
+        // and `(n_nodes + 1) * 8` bytes from it lie inside the mapping,
+        // which lives as long as `self` through the Arc. Little-endian
+        // targets only (the constructor falls back to heap decode
+        // elsewhere).
+        unsafe {
+            std::slice::from_raw_parts(
+                self.map.as_ptr().add(self.offsets_off) as *const u64,
+                self.n_nodes + 1,
+            )
+        }
+    }
+
+    fn targets(&self) -> &[u32] {
+        // SAFETY: as above; `targets_off` is 4-aligned with `n_directed`
+        // u32 words in bounds.
+        unsafe {
+            std::slice::from_raw_parts(
+                self.map.as_ptr().add(self.targets_off) as *const u32,
+                self.n_directed,
+            )
+        }
+    }
+
+    fn weights(&self) -> &[f64] {
+        // SAFETY: as above; `weights_off` is 8-aligned with `n_directed`
+        // f64 words in bounds.
+        unsafe {
+            std::slice::from_raw_parts(
+                self.map.as_ptr().add(self.weights_off) as *const f64,
+                self.n_directed,
+            )
+        }
+    }
+
+    /// Settles the deferred validation: CRC-32 over the whole `GRPH`
+    /// payload plus the adjacency symmetry check the eager decode paths
+    /// run, exactly once, with the verdict cached for every later call.
+    fn verify(&self) -> bool {
+        match self.verified.load(Ordering::Acquire) {
+            ADJ_OK => true,
+            ADJ_BAD => false,
+            _ => {
+                let payload =
+                    &self.map[self.payload_offset..self.payload_offset + self.payload_len];
+                let ok = crc32(payload) == self.crc
+                    && crate::serialize::validate_symmetry(
+                        self.offsets(),
+                        self.targets(),
+                        self.weights(),
+                    )
+                    .is_ok();
+                self.verified
+                    .store(if ok { ADJ_OK } else { ADJ_BAD }, Ordering::Release);
+                ok
+            }
+        }
+    }
+}
+
+/// Where the CSR adjacency arrays live: owned flat vectors (built, fitted,
+/// or heap-decoded graphs) or zero-copy views into a mapped artifact.
+#[derive(Debug, Clone)]
+pub(crate) enum GraphAdjacency {
+    Heap {
+        /// `n_nodes + 1` cumulative edge offsets.
+        offsets: Vec<u64>,
+        targets: Vec<u32>,
+        weights: Vec<f64>,
+    },
+    Mapped(MappedAdjacency),
+}
+
+impl GraphAdjacency {
+    /// Flattens builder-order nested rows into CSR, preserving per-node
+    /// entry order exactly — fit output is fingerprint-frozen on it.
+    pub(crate) fn from_nested(nested: Vec<Vec<(u32, f64)>>) -> Self {
+        let n_directed: usize = nested.iter().map(Vec::len).sum();
+        let mut offsets = Vec::with_capacity(nested.len() + 1);
+        let mut targets = Vec::with_capacity(n_directed);
+        let mut weights = Vec::with_capacity(n_directed);
+        offsets.push(0u64);
+        for nbrs in nested {
+            for (v, w) in nbrs {
+                targets.push(v);
+                weights.push(w);
+            }
+            offsets.push(targets.len() as u64);
+        }
+        Self::Heap {
+            offsets,
+            targets,
+            weights,
+        }
+    }
+
+    pub(crate) fn offsets(&self) -> &[u64] {
+        match self {
+            Self::Heap { offsets, .. } => offsets,
+            Self::Mapped(m) => m.offsets(),
+        }
+    }
+
+    pub(crate) fn targets(&self) -> &[u32] {
+        match self {
+            Self::Heap { targets, .. } => targets,
+            Self::Mapped(m) => m.targets(),
+        }
+    }
+
+    pub(crate) fn weights(&self) -> &[f64] {
+        match self {
+            Self::Heap { weights, .. } => weights,
+            Self::Mapped(m) => m.weights(),
+        }
+    }
+}
+
 /// The bipartite row/value graph Leva embeds.
 #[derive(Debug, Clone)]
 pub struct LevaGraph {
@@ -127,7 +340,7 @@ pub struct LevaGraph {
     /// token for values) — resolved through `symbols` on demand.
     pub(crate) node_tokens: Vec<TokenId>,
     pub(crate) symbols: Arc<TokenInterner>,
-    pub(crate) adj: Vec<Vec<(u32, f64)>>,
+    pub(crate) adj: GraphAdjacency,
     pub(crate) n_row_nodes: usize,
     pub(crate) row_offsets: Vec<usize>,
     pub(crate) table_names: Vec<String>,
@@ -155,7 +368,7 @@ impl LevaGraph {
 
     /// Number of undirected edges.
     pub fn n_edges(&self) -> usize {
-        self.adj.iter().map(Vec::len).sum::<usize>() / 2
+        self.adj.targets().len() / 2
     }
 
     /// Node kind.
@@ -181,14 +394,17 @@ impl LevaGraph {
         &self.symbols
     }
 
-    /// Neighbour list with edge weights.
-    pub fn neighbors(&self, node: u32) -> &[(u32, f64)] {
-        &self.adj[node as usize]
+    /// Neighbour list with edge weights: an O(1) slice view into the CSR
+    /// backing (heap or mapped alike).
+    pub fn neighbors(&self, node: u32) -> Neighbors<'_> {
+        self.try_neighbors(node).unwrap_or_else(|e| panic!("{e}"))
     }
 
     /// Degree (number of incident edges).
     pub fn degree(&self, node: u32) -> usize {
-        self.adj[node as usize].len()
+        let offsets = self.adj.offsets();
+        let i = node as usize;
+        (offsets[i + 1] - offsets[i]) as usize
     }
 
     /// Table names in database order.
@@ -222,14 +438,20 @@ impl LevaGraph {
 
     /// Checked variant of [`LevaGraph::neighbors`] for node ids influenced
     /// by external data.
-    pub fn try_neighbors(&self, node: u32) -> Result<&[(u32, f64)], GraphIndexError> {
-        self.adj
-            .get(node as usize)
-            .map(Vec::as_slice)
-            .ok_or(GraphIndexError::NodeOutOfRange {
+    pub fn try_neighbors(&self, node: u32) -> Result<Neighbors<'_>, GraphIndexError> {
+        let offsets = self.adj.offsets();
+        let i = node as usize;
+        if i + 1 >= offsets.len() {
+            return Err(GraphIndexError::NodeOutOfRange {
                 node,
                 nodes: self.kinds.len(),
-            })
+            });
+        }
+        let (lo, hi) = (offsets[i] as usize, offsets[i + 1] as usize);
+        Ok(Neighbors {
+            targets: &self.adj.targets()[lo..hi],
+            weights: &self.adj.weights()[lo..hi],
+        })
     }
 
     /// Number of row nodes belonging to table index `table`, or `None` when
@@ -274,24 +496,61 @@ impl LevaGraph {
     pub fn to_csr(&self) -> CsrMatrix {
         let n = self.n_nodes();
         let mut triplets = Vec::with_capacity(2 * self.n_edges());
-        for (u, nbrs) in self.adj.iter().enumerate() {
-            for &(v, w) in nbrs {
-                triplets.push((u as u32, v, w));
+        for u in 0..n as u32 {
+            for (v, w) in self.neighbors(u) {
+                triplets.push((u, v, w));
             }
         }
         CsrMatrix::from_triplets(n, n, triplets)
     }
 
     /// Estimated heap bytes of the adjacency structure (drives the MF/RW
-    /// memory-based method selection).
+    /// memory-based method selection). Computed from the actual backing: a
+    /// mapped adjacency costs no process heap — the kernel pages it.
     pub fn estimated_adjacency_bytes(&self) -> usize {
-        self.adj
-            .iter()
-            .map(|nbrs| {
-                nbrs.len() * std::mem::size_of::<(u32, f64)>()
-                    + std::mem::size_of::<Vec<(u32, f64)>>()
-            })
-            .sum()
+        match &self.adj {
+            GraphAdjacency::Heap {
+                offsets,
+                targets,
+                weights,
+            } => offsets.len() * 8 + targets.len() * 4 + weights.len() * 8,
+            GraphAdjacency::Mapped(_) => 0,
+        }
+    }
+
+    /// True when the adjacency is served zero-copy from an artifact
+    /// mapping.
+    pub fn is_mapped(&self) -> bool {
+        matches!(self.adj, GraphAdjacency::Mapped(_))
+    }
+
+    /// Process-resident bytes of the graph: the adjacency backing (zero
+    /// when mapped) plus the always-resident node metadata.
+    pub fn resident_bytes(&self) -> usize {
+        self.kinds.len() * std::mem::size_of::<NodeKind>()
+            + self.node_tokens.len() * std::mem::size_of::<TokenId>()
+            + self.value_nodes.len() * 4
+            + self.row_offsets.len() * std::mem::size_of::<usize>()
+            + self.estimated_adjacency_bytes()
+    }
+
+    /// Bytes served directly from the artifact mapping (0 for heap
+    /// graphs).
+    pub fn mapped_bytes(&self) -> usize {
+        match &self.adj {
+            GraphAdjacency::Heap { .. } => 0,
+            GraphAdjacency::Mapped(m) => m.payload_len,
+        }
+    }
+
+    /// Settles the deferred `GRPH` validation of a mapped graph: payload
+    /// CRC plus adjacency symmetry, checked once and cached. Heap-backed
+    /// graphs were validated eagerly at decode and always return `true`.
+    pub fn verify_mapped(&self) -> bool {
+        match &self.adj {
+            GraphAdjacency::Heap { .. } => true,
+            GraphAdjacency::Mapped(m) => m.verify(),
+        }
     }
 }
 
@@ -500,12 +759,16 @@ pub fn build_graph_with_relationships(
         }
     }
 
+    // 5. Flatten the construction-order nested rows into the flat CSR
+    //    backing. Iteration order is exactly the nested order, so the
+    //    serialized image — and with it the frozen fit fingerprint — is
+    //    unchanged.
     (
         LevaGraph {
             kinds,
             node_tokens,
             symbols,
-            adj,
+            adj: GraphAdjacency::from_nested(adj),
             n_row_nodes,
             row_offsets,
             table_names,
@@ -556,7 +819,7 @@ mod tests {
         // One neighbour in each table.
         let tables: Vec<u32> = nbrs
             .iter()
-            .map(|&(n, _)| match g.kind(n) {
+            .map(|(n, _)| match g.kind(n) {
                 NodeKind::Row { table, .. } => table,
                 NodeKind::Value => panic!("value-value edge"),
             })
@@ -569,7 +832,7 @@ mod tests {
         let db = two_table_db();
         let g = graph_from(&db, &GraphConfig::default());
         for u in 0..g.n_nodes() as u32 {
-            for &(v, _) in g.neighbors(u) {
+            for (v, _) in g.neighbors(u) {
                 let uk = matches!(g.kind(u), NodeKind::Row { .. });
                 let vk = matches!(g.kind(v), NodeKind::Row { .. });
                 assert_ne!(uk, vk, "edge {u}-{v} joins same-kind nodes");
@@ -582,11 +845,11 @@ mod tests {
         let db = two_table_db();
         let g = graph_from(&db, &GraphConfig::default());
         for u in 0..g.n_nodes() as u32 {
-            for &(v, w) in g.neighbors(u) {
+            for (v, w) in g.neighbors(u) {
                 let back = g
                     .neighbors(v)
                     .iter()
-                    .find(|&&(x, _)| x == u)
+                    .find(|&(x, _)| x == u)
                     .expect("symmetric edge");
                 assert!((back.1 - w).abs() < 1e-12);
             }
@@ -679,12 +942,12 @@ mod tests {
         let db = two_table_db();
         let g = graph_from(&db, &GraphConfig::default());
         let user = g.value_node("user3").unwrap(); // degree 2
-        assert!((g.neighbors(user)[0].1 - 0.5).abs() < 1e-12);
+        assert!((g.neighbors(user).weights()[0] - 0.5).abs() < 1e-12);
         let city = g.value_node("nyc").unwrap(); // degree 5 (rows 0,2,4,6,8)
-        assert!((g.neighbors(city)[0].1 - 0.2).abs() < 1e-12);
+        assert!((g.neighbors(city).weights()[0] - 0.2).abs() < 1e-12);
         // Row-side weights mirror the value-side weights.
         let row0 = g.row_node(0, 0);
-        for &(v, w) in g.neighbors(row0) {
+        for (v, w) in g.neighbors(row0) {
             assert!((w - 1.0 / g.degree(v) as f64).abs() < 1e-12);
         }
     }
@@ -700,7 +963,7 @@ mod tests {
             },
         );
         for u in 0..g.n_nodes() as u32 {
-            for &(_, w) in g.neighbors(u) {
+            for (_, w) in g.neighbors(u) {
                 assert_eq!(w, 1.0);
             }
         }

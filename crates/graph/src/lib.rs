@@ -19,8 +19,8 @@ mod voting;
 
 pub use alias::AliasTable;
 pub use builder::{
-    build_graph, build_graph_with_relationships, GraphConfig, GraphIndexError, LevaGraph, NodeKind,
-    RefineStats,
+    build_graph, build_graph_with_relationships, GraphConfig, GraphIndexError, LevaGraph,
+    Neighbors, NeighborsIter, NodeKind, RefineStats,
 };
 pub use relationships::{
     resolve_relationship_edges, value_node_tables, ExtraEdgeGroup, RelationshipHint,

@@ -185,7 +185,7 @@ pub fn value_node_tables(graph: &LevaGraph, node: u32) -> Vec<u32> {
     let mut tables: Vec<u32> = graph
         .neighbors(node)
         .iter()
-        .filter_map(|&(n, _)| match graph.kind(n) {
+        .filter_map(|(n, _)| match graph.kind(n) {
             crate::builder::NodeKind::Row { table, .. } => Some(table),
             crate::builder::NodeKind::Value => None,
         })
@@ -262,7 +262,7 @@ mod tests {
         // Injected edges carry confidence-scaled inverse-degree weights.
         let deg = g.degree(vn) as f64;
         assert_eq!(deg as usize, 4); // 1 machine row + 3 reading rows
-        for &(n, w) in g.neighbors(vn) {
+        for (n, w) in g.neighbors(vn) {
             assert!(matches!(g.kind(n), NodeKind::Row { .. }));
             assert!((w - 0.8 / deg).abs() < 1e-12);
         }
@@ -280,7 +280,7 @@ mod tests {
         for u in 0..g.n_nodes() as u32 {
             let (a, b) = (g.neighbors(u), base.neighbors(u));
             assert_eq!(a.len(), b.len());
-            for (&(v1, w1), &(v2, w2)) in a.iter().zip(b) {
+            for ((v1, w1), (v2, w2)) in a.iter().zip(b) {
                 assert_eq!(v1, v2);
                 assert_eq!(w1.to_bits(), w2.to_bits(), "node {u} weight differs");
             }

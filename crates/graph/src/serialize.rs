@@ -12,10 +12,67 @@
 //! the remaining buffer before any allocation, node/token references are
 //! range-checked, and all failures are typed [`DecodeError`]s.
 
-use crate::builder::{LevaGraph, NodeKind, RefineStats, NO_VALUE_NODE};
+use crate::builder::{
+    GraphAdjacency, LevaGraph, MappedAdjacency, NodeKind, RefineStats, ADJ_UNCHECKED, NO_VALUE_NODE,
+};
 use leva_interner::codec::{ByteReader, ByteWriter, DecodeError};
-use leva_interner::{TokenId, TokenInterner};
+use leva_interner::{MmapFile, TokenId, TokenInterner};
+use std::sync::atomic::AtomicU8;
 use std::sync::Arc;
+
+/// Validates that the CSR adjacency encodes an *undirected* graph: every
+/// directed edge `(u, v, w)` has a reverse `(v, u, w)` with identical
+/// weight bits, and no node links to itself. Decoded graphs rely on this
+/// for `n_edges()` (`directed / 2`), walk transition symmetry, and the
+/// featurizer's two-hop mass; a hostile artifact that re-stamps the chunk
+/// CRC after skewing edges is caught here, not by the checksum.
+pub(crate) fn validate_symmetry(
+    offsets: &[u64],
+    targets: &[u32],
+    weights: &[f64],
+) -> Result<(), DecodeError> {
+    let n_nodes = offsets.len().saturating_sub(1);
+    // Cheap reject: per-node in-degree must equal out-degree, which also
+    // means the forward offsets bound the transpose below.
+    let mut indeg = vec![0u64; n_nodes];
+    for &v in targets {
+        indeg[v as usize] += 1; // targets were range-checked by the decoder
+    }
+    for u in 0..n_nodes {
+        if indeg[u] != offsets[u + 1] - offsets[u] {
+            return Err(DecodeError::Invalid("adjacency is not symmetric"));
+        }
+    }
+    // Counting-sort transpose: rev[offsets[v]..offsets[v+1]] collects the
+    // (source, weight-bits) of every edge into v.
+    let mut cursor: Vec<u64> = offsets[..n_nodes].to_vec();
+    let mut rev: Vec<(u32, u64)> = vec![(0, 0); targets.len()];
+    for u in 0..n_nodes {
+        let (lo, hi) = (offsets[u] as usize, offsets[u + 1] as usize);
+        for i in lo..hi {
+            let v = targets[i] as usize;
+            if v == u {
+                return Err(DecodeError::Invalid("self-loop in adjacency"));
+            }
+            rev[cursor[v] as usize] = (u as u32, weights[i].to_bits());
+            cursor[v] += 1;
+        }
+    }
+    // Per-node multiset compare, weights bitwise.
+    let mut fwd: Vec<(u32, u64)> = Vec::new();
+    for u in 0..n_nodes {
+        let (lo, hi) = (offsets[u] as usize, offsets[u + 1] as usize);
+        fwd.clear();
+        fwd.extend((lo..hi).map(|i| (targets[i], weights[i].to_bits())));
+        fwd.sort_unstable();
+        let back = &mut rev[lo..hi];
+        back.sort_unstable();
+        if fwd != back {
+            return Err(DecodeError::Invalid("adjacency is not symmetric"));
+        }
+    }
+    Ok(())
+}
 
 impl LevaGraph {
     /// Serializes the graph (without its symbol table, which the artifact
@@ -33,9 +90,10 @@ impl LevaGraph {
         for &t in &self.node_tokens {
             w.put_u32(t.raw());
         }
-        for nbrs in &self.adj {
+        for node in 0..self.node_tokens.len() as u32 {
+            let nbrs = self.neighbors(node);
             w.put_u32(u32::try_from(nbrs.len()).expect("degree fits u32"));
-            for &(v, weight) in nbrs {
+            for (v, weight) in nbrs {
                 w.put_u32(v);
                 w.put_f64(weight);
             }
@@ -71,25 +129,10 @@ impl LevaGraph {
                 .map(|&o| o as u64)
                 .collect::<Vec<_>>(),
         );
-        let mut running = 0u64;
-        let mut offsets = Vec::with_capacity(self.adj.len() + 1);
-        offsets.push(0u64);
-        for nbrs in &self.adj {
-            running += nbrs.len() as u64;
-            offsets.push(running);
-        }
-        w.put_u64_slice(&offsets);
-        for nbrs in &self.adj {
-            for &(v, _) in nbrs {
-                w.put_u32(v);
-            }
-        }
+        w.put_u64_slice(self.adj.offsets());
+        w.put_u32_slice(self.adj.targets());
         w.pad_to(8);
-        for nbrs in &self.adj {
-            for &(_, weight) in nbrs {
-                w.put_f64(weight);
-            }
-        }
+        w.put_f64_slice(self.adj.weights());
         w.put_u64_slice(&[
             self.stats.tokens_total as u64,
             self.stats.tokens_removed_missing as u64,
@@ -147,7 +190,7 @@ impl LevaGraph {
         }
         let mut offsets = Vec::with_capacity(n_nodes + 1);
         for _ in 0..n_nodes + 1 {
-            offsets.push(r.take_usize()?);
+            offsets.push(r.take_usize()? as u64);
         }
         if offsets.first() != Some(&0) {
             return Err(DecodeError::Invalid("first CSR offset must be zero"));
@@ -155,7 +198,7 @@ impl LevaGraph {
         if offsets.windows(2).any(|w| w[0] > w[1]) {
             return Err(DecodeError::Invalid("CSR offsets not monotonic"));
         }
-        let n_edges = *offsets.last().expect("offsets non-empty");
+        let n_edges = *offsets.last().expect("offsets non-empty") as usize;
         // Targets (4 bytes) + alignment + weights (8 bytes) must fit.
         if n_edges
             .checked_mul(12)
@@ -172,20 +215,15 @@ impl LevaGraph {
             targets.push(v);
         }
         r.pad_to(8)?;
-        let mut adj: Vec<Vec<(u32, f64)>> = Vec::with_capacity(n_nodes);
-        for node in 0..n_nodes {
-            let (lo, hi) = (offsets[node], offsets[node + 1]);
-            let mut nbrs = Vec::with_capacity(hi - lo);
-            for &t in &targets[lo..hi] {
-                nbrs.push((t, 0.0));
-            }
-            adj.push(nbrs);
+        let mut weights = Vec::with_capacity(n_edges);
+        for _ in 0..n_edges {
+            weights.push(r.take_f64()?);
         }
-        for nbrs in &mut adj {
-            for entry in nbrs {
-                entry.1 = r.take_f64()?;
-            }
-        }
+        let adj = GraphAdjacency::Heap {
+            offsets,
+            targets,
+            weights,
+        };
         let stats = RefineStats {
             tokens_total: r.take_usize()?,
             tokens_removed_missing: r.take_usize()?,
@@ -248,19 +286,29 @@ impl LevaGraph {
             }
             node_tokens.push(TokenId::from_index(raw as usize));
         }
-        let mut adj = Vec::with_capacity(n_nodes);
+        let mut offsets = Vec::with_capacity(n_nodes + 1);
+        offsets.push(0u64);
+        let mut targets: Vec<u32> = Vec::new();
+        let mut weights: Vec<f64> = Vec::new();
         for _ in 0..n_nodes {
             let deg = r.take_count(12)?;
-            let mut nbrs = Vec::with_capacity(deg);
+            targets.reserve(deg);
+            weights.reserve(deg);
             for _ in 0..deg {
                 let v = r.take_u32()?;
                 if v as usize >= n_nodes {
                     return Err(DecodeError::Invalid("adjacency target out of range"));
                 }
-                nbrs.push((v, r.take_f64()?));
+                targets.push(v);
+                weights.push(r.take_f64()?);
             }
-            adj.push(nbrs);
+            offsets.push(targets.len() as u64);
         }
+        let adj = GraphAdjacency::Heap {
+            offsets,
+            targets,
+            weights,
+        };
         let stats = RefineStats {
             tokens_total: r.take_usize()?,
             tokens_removed_missing: r.take_usize()?,
@@ -279,10 +327,159 @@ impl LevaGraph {
         )
     }
 
+    /// Constructs a graph whose CSR adjacency is served zero-copy from the
+    /// mapped `GRPH` payload at `[payload_offset, payload_offset +
+    /// payload_len)` of `map` (the v3 aligned layout of
+    /// [`LevaGraph::encode_aligned_into`]).
+    ///
+    /// The variable-length header (table names, node tokens, row offsets)
+    /// is small and copied; the three flat adjacency arrays are viewed in
+    /// place. All *geometry* — bounds, 8-alignment, monotone offsets,
+    /// in-range targets — is validated eagerly so no later access can read
+    /// outside the mapping; the payload CRC and the adjacency symmetry
+    /// check settle lazily on [`LevaGraph::verify_mapped`], keeping load
+    /// O(header). Big-endian targets and heap-backed "mappings" cannot
+    /// view little-endian words in place and fall back to the eager
+    /// [`LevaGraph::decode_aligned`].
+    pub fn from_mapped(
+        symbols: Arc<TokenInterner>,
+        map: Arc<MmapFile>,
+        payload_offset: usize,
+        payload_len: usize,
+        crc: u32,
+    ) -> Result<LevaGraph, DecodeError> {
+        let end = payload_offset
+            .checked_add(payload_len)
+            .filter(|&e| e <= map.len())
+            .ok_or(DecodeError::LengthOverflow)?;
+        if !payload_offset.is_multiple_of(8) {
+            return Err(DecodeError::Invalid("GRPH payload not 8-aligned"));
+        }
+        let payload = &map[payload_offset..end];
+        if !cfg!(target_endian = "little") || !map.is_mapped() {
+            let mut r = ByteReader::new(payload);
+            let g = Self::decode_aligned(&mut r, symbols)?;
+            if !r.is_exhausted() {
+                return Err(DecodeError::Invalid("trailing bytes after graph"));
+            }
+            return Ok(g);
+        }
+        // Header parse, identical validation to `decode_aligned`.
+        let mut r = ByteReader::new(payload);
+        let n_tables = r.take_count(4)?;
+        let mut table_names = Vec::with_capacity(n_tables);
+        for _ in 0..n_tables {
+            table_names.push(r.take_str()?.to_owned());
+        }
+        let n_row_nodes = r.take_usize()?;
+        let n_nodes = r.take_count(4)?;
+        if n_row_nodes > n_nodes {
+            return Err(DecodeError::Invalid("row-node count exceeds node count"));
+        }
+        let mut node_tokens = Vec::with_capacity(n_nodes);
+        for _ in 0..n_nodes {
+            let raw = r.take_u32()?;
+            if raw as usize >= symbols.len() {
+                return Err(DecodeError::Invalid("node token outside symbol table"));
+            }
+            node_tokens.push(TokenId::from_index(raw as usize));
+        }
+        r.pad_to(8)?;
+        if r.remaining() < n_tables.saturating_mul(8) {
+            return Err(DecodeError::Truncated);
+        }
+        let mut row_offsets = Vec::with_capacity(n_tables);
+        for _ in 0..n_tables {
+            row_offsets.push(r.take_usize()?);
+        }
+        let mut prev = 0usize;
+        for &off in &row_offsets {
+            if off < prev || off > n_row_nodes {
+                return Err(DecodeError::Invalid("row offsets not monotonic"));
+            }
+            prev = off;
+        }
+        if n_row_nodes > 0 && row_offsets.first() != Some(&0) {
+            return Err(DecodeError::Invalid("first row offset must be zero"));
+        }
+        // CSR offsets: validated monotone by walking the raw words; the
+        // serving view then reads them in place. `consumed()` here is
+        // 8-aligned (pad_to above) and the payload starts 8-aligned, so
+        // the absolute offset is too.
+        let offsets_off = payload_offset + r.consumed();
+        if r.remaining() < (n_nodes + 1).saturating_mul(8) {
+            return Err(DecodeError::Truncated);
+        }
+        let raw_offsets = r.take_raw((n_nodes + 1) * 8)?;
+        let mut prev = 0u64;
+        for (i, word) in raw_offsets.chunks_exact(8).enumerate() {
+            let off = u64::from_le_bytes(word.try_into().expect("8-byte chunk"));
+            if i == 0 && off != 0 {
+                return Err(DecodeError::Invalid("first CSR offset must be zero"));
+            }
+            if off < prev {
+                return Err(DecodeError::Invalid("CSR offsets not monotonic"));
+            }
+            prev = off;
+        }
+        let n_edges = usize::try_from(prev).map_err(|_| DecodeError::LengthOverflow)?;
+        if n_edges
+            .checked_mul(12)
+            .is_none_or(|need| need > r.remaining())
+        {
+            return Err(DecodeError::LengthOverflow);
+        }
+        // Targets: eager in-range scan — a dangling node id must never be
+        // usable as an index, even before the lazy settle runs.
+        let targets_off = payload_offset + r.consumed();
+        let raw_targets = r.take_raw(n_edges * 4)?;
+        for word in raw_targets.chunks_exact(4) {
+            let v = u32::from_le_bytes(word.try_into().expect("4-byte chunk"));
+            if v as usize >= n_nodes {
+                return Err(DecodeError::Invalid("adjacency target out of range"));
+            }
+        }
+        r.pad_to(8)?;
+        let weights_off = payload_offset + r.consumed();
+        r.take_raw(n_edges * 8)?;
+        let stats = RefineStats {
+            tokens_total: r.take_usize()?,
+            tokens_removed_missing: r.take_usize()?,
+            token_attrs_removed: r.take_usize()?,
+            singleton_tokens_skipped: r.take_usize()?,
+        };
+        if !r.is_exhausted() {
+            return Err(DecodeError::Invalid("trailing bytes after graph"));
+        }
+        let adj = GraphAdjacency::Mapped(MappedAdjacency {
+            map,
+            offsets_off,
+            targets_off,
+            weights_off,
+            n_nodes,
+            n_directed: n_edges,
+            payload_offset,
+            payload_len,
+            crc,
+            verified: Arc::new(AtomicU8::new(ADJ_UNCHECKED)),
+        });
+        Self::reconstruct(
+            symbols,
+            table_names,
+            row_offsets,
+            n_row_nodes,
+            node_tokens,
+            adj,
+            stats,
+        )
+    }
+
     /// Rebuilds the derived structures (`kinds`, the token→value-node map)
     /// from the primary decoded data and assembles the graph. Kinds: nodes
     /// below `n_row_nodes` are rows of the table whose offset range contains
-    /// them; the rest are value nodes.
+    /// them; the rest are value nodes. Heap adjacencies (the eager decode
+    /// paths) are symmetry-checked here; mapped ones defer that to the
+    /// lazy CRC settle.
     #[allow(clippy::too_many_arguments)]
     fn reconstruct(
         symbols: Arc<TokenInterner>,
@@ -290,9 +487,17 @@ impl LevaGraph {
         row_offsets: Vec<usize>,
         n_row_nodes: usize,
         node_tokens: Vec<TokenId>,
-        adj: Vec<Vec<(u32, f64)>>,
+        adj: GraphAdjacency,
         stats: RefineStats,
     ) -> Result<LevaGraph, DecodeError> {
+        if let GraphAdjacency::Heap {
+            offsets,
+            targets,
+            weights,
+        } = &adj
+        {
+            validate_symmetry(offsets, targets, weights)?;
+        }
         let n_nodes = node_tokens.len();
         let mut kinds = Vec::with_capacity(n_nodes);
         let mut table = 0usize;
@@ -381,7 +586,7 @@ mod tests {
             assert_eq!(back.token(node), g.token(node));
             let (a, b) = (g.neighbors(node), back.neighbors(node));
             assert_eq!(a.len(), b.len());
-            for (&(v1, w1), &(v2, w2)) in a.iter().zip(b) {
+            for ((v1, w1), (v2, w2)) in a.iter().zip(b) {
                 assert_eq!(v1, v2);
                 assert_eq!(w1.to_bits(), w2.to_bits(), "weight bits differ");
             }
@@ -411,7 +616,7 @@ mod tests {
             assert_eq!(back.token(node), g.token(node));
             let (a, b) = (g.neighbors(node), back.neighbors(node));
             assert_eq!(a.len(), b.len());
-            for (&(v1, w1), &(v2, w2)) in a.iter().zip(b) {
+            for ((v1, w1), (v2, w2)) in a.iter().zip(b) {
                 assert_eq!(v1, v2);
                 assert_eq!(w1.to_bits(), w2.to_bits(), "weight bits differ");
             }
@@ -454,6 +659,24 @@ mod tests {
                 "cut at {cut} decoded"
             );
         }
+    }
+
+    #[test]
+    fn asymmetric_adjacency_rejected() {
+        // Hand-build a 2-node "graph" with a one-directional edge; both
+        // codec layouts must reject it even though offsets are monotone
+        // and targets in range.
+        assert!(validate_symmetry(&[0, 1, 1], &[1], &[0.5]).is_err());
+        // Degree-symmetric but weight-skewed: 0->1 at 0.5, 1->0 at 0.25.
+        assert!(validate_symmetry(&[0, 1, 2], &[1, 0], &[0.5, 0.25]).is_err());
+        // Self-loops never occur in the bipartite builder output.
+        assert!(validate_symmetry(&[0, 1, 1], &[0], &[1.0]).is_err());
+        // The mirrored form passes.
+        assert!(validate_symmetry(&[0, 1, 2], &[1, 0], &[0.5, 0.5]).is_ok());
+        // And so does a built graph end to end.
+        let g = graph();
+        let adj = &g.adj;
+        assert!(validate_symmetry(adj.offsets(), adj.targets(), adj.weights()).is_ok());
     }
 
     #[test]

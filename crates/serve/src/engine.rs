@@ -207,14 +207,20 @@ impl Engine {
                 return Err(ServeError::Artifact(e));
             }
         };
-        // The library defers the mapped STOR CRC to first featurize, but
-        // a hot swap must never replace a healthy model with one whose
-        // every request would fail a checksum — settle it now, while the
+        // The library defers the mapped STOR/GRPH CRCs to first featurize,
+        // but a hot swap must never replace a healthy model with one whose
+        // every request would fail a checksum — settle both now, while the
         // previous model still serves.
         if !model.store.verify_mapped() {
             self.metrics.swaps_rejected.fetch_add(1, Ordering::Relaxed);
             return Err(ServeError::Artifact(ArtifactError::ChecksumMismatch {
                 chunk: "STOR".to_owned(),
+            }));
+        }
+        if !model.graph.verify_mapped() {
+            self.metrics.swaps_rejected.fetch_add(1, Ordering::Relaxed);
+            return Err(ServeError::Artifact(ArtifactError::ChecksumMismatch {
+                chunk: "GRPH".to_owned(),
             }));
         }
         let stamp = self.handle.swap_with(|version| {
@@ -279,17 +285,23 @@ impl Engine {
             ",\"cache_bytes\":{}",
             model.model.featurizer().estimated_bytes()
         );
-        // Resident vs mapped split of the embedding store: a heap model
-        // reports everything resident; an mmap-served model reports the
-        // f64 matrix as mapped (the kernel pages it, it is not ours).
+        // Resident vs mapped split of the embedding store and the graph
+        // adjacency: a heap model reports everything resident; an
+        // mmap-served model reports the f64 matrix and the CSR arrays as
+        // mapped (the kernel pages them, they are not ours).
         let store = &model.model.store;
+        let graph = &model.model.graph;
         let _ = write!(
             out,
             ",\"memory\":{{\"store_resident_bytes\":{},\"store_mapped_bytes\":{},\
-             \"store_backing\":\"{}\"}}",
+             \"store_backing\":\"{}\",\"graph_resident_bytes\":{},\
+             \"graph_mapped_bytes\":{},\"graph_backing\":\"{}\"}}",
             store.resident_bytes(),
             store.mapped_bytes(),
-            if store.is_mapped() { "mapped" } else { "heap" }
+            if store.is_mapped() { "mapped" } else { "heap" },
+            graph.resident_bytes(),
+            graph.mapped_bytes(),
+            if graph.is_mapped() { "mapped" } else { "heap" }
         );
         let _ = write!(
             out,

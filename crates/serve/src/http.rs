@@ -345,7 +345,20 @@ fn read_http_request(
             break;
         }
         if let Some((name, value)) = header.split_once(':') {
-            headers.insert(name.trim().to_ascii_lowercase(), value.trim().to_owned());
+            let name = name.trim().to_ascii_lowercase();
+            let value = value.trim().to_owned();
+            // Conflicting duplicate content-length headers are a request
+            // smuggling vector (RFC 9112 §6.3) — last-wins silently picks
+            // whichever copy an intermediary didn't see. Reject the
+            // request; identical repeats are tolerated.
+            if let Some(prev) = headers.get(&name) {
+                if name == "content-length" && *prev != value {
+                    return Err(ServeError::Protocol(
+                        "conflicting content-length headers".into(),
+                    ));
+                }
+            }
+            headers.insert(name, value);
         }
     }
     if let Some(conn) = headers.get("connection") {

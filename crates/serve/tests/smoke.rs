@@ -296,6 +296,53 @@ fn http_swap(addr: SocketAddr, artifact: &[u8]) -> (u16, json::Value) {
     (status, doc)
 }
 
+/// Sends a raw, pre-formatted request head + body and returns the status.
+fn raw_status(addr: SocketAddr, head: &str, body: &[u8]) -> u16 {
+    let mut s = TcpStream::connect(addr).unwrap();
+    s.write_all(head.as_bytes()).unwrap();
+    s.write_all(body).unwrap();
+    let mut raw = Vec::new();
+    s.read_to_end(&mut raw).unwrap();
+    let text = std::str::from_utf8(&raw[..raw.len().min(64)]).unwrap();
+    text.split_whitespace().nth(1).unwrap().parse().unwrap()
+}
+
+#[test]
+fn conflicting_content_length_headers_are_rejected() {
+    let model = fit(&db(12, 1.0));
+    let config = ServeConfig::default().with_addr("127.0.0.1:0");
+    let engine = Engine::new(model, config).unwrap();
+    let mut server = Server::start(Arc::clone(&engine)).unwrap();
+    let addr = server.local_addr();
+
+    let body = br#"{"feat":"row","source":{"base_rows":[0]}}"#;
+
+    // Two content-length headers that disagree: a smuggling-shaped
+    // request. Last-wins would read 0 body bytes and leave the body to
+    // be parsed as a second request — it must be a 400 instead.
+    let head = format!(
+        "POST /featurize HTTP/1.1\r\nhost: leva\r\ncontent-length: {}\r\n\
+         content-length: 0\r\nconnection: close\r\n\r\n",
+        body.len()
+    );
+    assert_eq!(raw_status(addr, &head, body), 400);
+
+    // Identical repeats are tolerated (RFC 9112 permits folding them).
+    let head = format!(
+        "POST /featurize HTTP/1.1\r\nhost: leva\r\ncontent-length: {n}\r\n\
+         content-length: {n}\r\nconnection: close\r\n\r\n",
+        n = body.len()
+    );
+    assert_eq!(raw_status(addr, &head, body), 200);
+
+    // The server survives the rejected request and keeps serving.
+    let (status, _) = get_json(addr, "/healthz");
+    assert_eq!(status, 200);
+
+    engine.shutdown();
+    server.shutdown();
+}
+
 #[test]
 fn external_tables_round_trip_through_json() {
     let database = db(24, 1.0);

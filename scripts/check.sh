@@ -35,7 +35,7 @@ echo "==> exp_discovery (schema-free discovery benchmark -> results/BENCH_7.json
 cargo build --release -q -p leva-bench --bin exp_discovery
 ./target/release/exp_discovery --scale 0.2 >/dev/null
 
-echo "==> exp_mmap (out-of-core artifact benchmark -> results/BENCH_8.json)"
+echo "==> exp_mmap (out-of-core artifact benchmark -> results/BENCH_8.json + BENCH_9.json)"
 cargo build --release -q -p leva-bench --bin exp_mmap
 ./target/release/exp_mmap --scale 0.2 >/dev/null
 

@@ -497,6 +497,66 @@ fn hostile_disc_chunk_never_panics() {
     );
 }
 
+/// Hostile `GRPH` chunk: a genuine artifact whose CSR weight array is
+/// mutated in *one direction only*, with the chunk CRC re-patched so the
+/// corruption reaches the decoder. The result is structurally valid
+/// (offsets monotone, targets in range) but breaks the undirected-graph
+/// symmetry invariant — the heap decoder must reject it with a typed
+/// error, and the mmap path must reject it at the deferred first-featurize
+/// settle, never serving from an asymmetric adjacency.
+#[test]
+fn hostile_asymmetric_grph_is_rejected() {
+    use leva::{FeaturizeRequest, LevaModel};
+    use leva_interner::codec::crc32;
+
+    let model = Leva::with_config(LevaConfig::fast())
+        .base_table("t")
+        .fit_csv(&[("t", "id,grp,v\na,x,1\nb,y,2\nc,x,3\nd,y,4\ne,x,5\n")])
+        .unwrap();
+    let genuine = model.to_bytes();
+    let (crc_off, start, len) = find_chunk(&genuine, b"GRPH").expect("artifact has a GRPH chunk");
+
+    // The aligned GRPH payload ends with 4 stats u64s preceded by the
+    // weights array (one f64 per directed edge). Flip a mantissa byte of
+    // exactly one directed copy of an edge weight: u→v and v→u now carry
+    // different weights, which only the symmetry check can catch.
+    let n_directed = 2 * model.graph.n_edges();
+    let weights_start = start + len - 32 - n_directed * 8;
+    let mut bytes = genuine.clone();
+    bytes[weights_start + 2] ^= 0x40;
+    let crc = crc32(&bytes[start..start + len]);
+    bytes[crc_off..crc_off + 4].copy_from_slice(&crc.to_le_bytes());
+
+    // Heap decode rejects eagerly with a typed error — no panic.
+    match catch_unwind(AssertUnwindSafe(|| LevaModel::from_bytes(&bytes))) {
+        Ok(Err(e)) => {
+            let msg = format!("{e:?}");
+            assert!(msg.contains("GRPH"), "unexpected error: {msg}");
+        }
+        Ok(Ok(_)) => panic!("asymmetric adjacency decoded successfully"),
+        Err(_) => panic!("asymmetric adjacency panicked the decoder"),
+    }
+
+    // The mmap path defers: load succeeds (the structure is valid), but
+    // the first featurization settles CRC + symmetry and fails typed —
+    // and keeps failing on retry, it never "heals".
+    let path = std::env::temp_dir().join(format!("leva_asym_grph_{}.leva", std::process::id()));
+    std::fs::write(&path, &bytes).unwrap();
+    let loaded = LevaModel::load_mmap(&path).expect("structurally valid artifact maps");
+    for _ in 0..2 {
+        match loaded.featurize(&FeaturizeRequest::base_all(Featurization::RowOnly)) {
+            Err(LevaError::Artifact(e)) => {
+                let msg = format!("{e:?}");
+                assert!(msg.contains("GRPH"), "unexpected error: {msg}");
+            }
+            Ok(_) => panic!("asymmetric mapped adjacency served"),
+            Err(other) => panic!("expected a GRPH artifact error, got {other:?}"),
+        }
+    }
+    drop(loaded);
+    std::fs::remove_file(&path).unwrap();
+}
+
 /// Hostile *corpus* buffers for the walk-corpus codec: inflated headers and
 /// random bytes must produce `CorpusDecodeError`, never a panic or an
 /// allocation proportional to a declared (rather than actual) length.

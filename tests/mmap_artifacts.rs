@@ -1,8 +1,8 @@
-//! Memory-mapped artifact suite (DESIGN.md §6.14): zero-copy serving
+//! Memory-mapped artifact suite (DESIGN.md §6.14–6.15): zero-copy serving
 //! must be observationally identical to the heap path at f64, and every
 //! hostile mapped artifact — truncations, misaligned framing, payload
-//! bit flips behind the deferred `STOR` CRC — must surface as a typed
-//! [`ArtifactError`], never UB or a panic.
+//! bit flips behind the deferred `STOR`/`GRPH` CRCs — must surface as a
+//! typed [`ArtifactError`], never UB or a panic.
 
 use leva::{
     ArtifactError, Featurization, FeaturizeRequest, Leva, LevaConfig, LevaError, LevaModel,
@@ -184,9 +184,22 @@ fn truncated_mapped_artifacts_are_typed_errors() {
     model.save(&path).unwrap();
     let bytes = std::fs::read(&path).unwrap();
     let cut_path = temp_path("truncate_cut");
-    // Sampled cuts plus every boundary of the first two chunk frames.
+    // Sampled cuts plus every boundary of the first two chunk frames,
+    // plus the GRPH frame edges (a truncated CSR must die in structural
+    // validation, not in a mapped slice view).
     let mut cuts: Vec<usize> = (0..bytes.len()).step_by(97).collect();
     cuts.extend([0, 1, 4, 8, 11, 12, 13, 20, bytes.len() - 1]);
+    let grph = frames(&bytes)
+        .into_iter()
+        .find(|f| &f.tag == b"GRPH")
+        .expect("GRPH present");
+    cuts.extend([
+        grph.pad_len_off,
+        grph.payload_start,
+        grph.payload_start + 1,
+        grph.payload_start + grph.payload_len / 2,
+        grph.payload_start + grph.payload_len - 1,
+    ]);
     for cut in cuts {
         std::fs::write(&cut_path, &bytes[..cut]).unwrap();
         let result = std::panic::catch_unwind(|| LevaModel::load_mmap(&cut_path));
@@ -248,6 +261,151 @@ fn tampered_padding_is_a_misaligned_error() {
         ArtifactError::Misaligned { .. }
     ));
 
+    let _ = std::fs::remove_file(&path);
+}
+
+/// Discovery-weighted fixture: differently-named int join keys so the
+/// refined graph carries discovery-injected weighted edges (the adjacency
+/// the mapped CSR must reproduce exactly).
+fn fit_discovery() -> LevaModel {
+    let mut db = Database::new();
+    let mut base = Table::new("base", vec!["id", "machine_id", "target"]);
+    let mut machines = Table::new("machines", vec!["mid", "site"]);
+    for i in 0..36 {
+        base.push_row(vec![
+            format!("e{i}").into(),
+            Value::Int(100 + (i % 12) as i64),
+            Value::Int((i % 2) as i64),
+        ])
+        .unwrap();
+    }
+    for m in 0..12 {
+        machines
+            .push_row(vec![
+                Value::Int(100 + m as i64),
+                ["north", "south"][m % 2].into(),
+            ])
+            .unwrap();
+    }
+    db.add_table(base).unwrap();
+    db.add_table(machines).unwrap();
+    let mut cfg = LevaConfig::fast();
+    cfg.discovery.enabled = true;
+    Leva::with_config(cfg)
+        .base_table("base")
+        .target("target")
+        .fit(&db)
+        .unwrap()
+}
+
+/// Mapped-vs-heap *graph* parity on a discovery-weighted graph: the
+/// cached engine must agree bitwise, and the reference two-hop walk —
+/// which reads the adjacency slices directly, with no featurizer cache
+/// in between — must agree bitwise across backings and within 1e-12 of
+/// the cached engine (reassociation noise only).
+#[test]
+fn mapped_graph_parity_on_discovery_weighted_graphs() {
+    let model = fit_discovery();
+    assert!(!model.discovered.is_empty(), "fixture must discover joins");
+    let path = temp_path("graph_parity");
+    model.save(&path).unwrap();
+    let heap = LevaModel::load(&path).unwrap();
+    let mapped = LevaModel::load_mmap(&path).unwrap();
+    if cfg!(target_endian = "little") {
+        assert!(mapped.graph.is_mapped(), "v3 artifact must map the graph");
+        assert!(mapped.graph.mapped_bytes() > 0);
+    }
+    assert!(!heap.graph.is_mapped());
+    assert_eq!(heap.graph.mapped_bytes(), 0);
+
+    for feat in [Featurization::RowOnly, Featurization::RowPlusValue] {
+        let a = heap.featurize(&FeaturizeRequest::base_all(feat)).unwrap();
+        let b = mapped.featurize(&FeaturizeRequest::base_all(feat)).unwrap();
+        assert_bitwise(&a, &b, "discovery base_all");
+    }
+
+    let rows: Vec<usize> = (0..36).collect();
+    let walk_heap = heap.featurize_base_rows_walk(&rows, Featurization::RowPlusValue);
+    let walk_mapped = mapped.featurize_base_rows_walk(&rows, Featurization::RowPlusValue);
+    assert_bitwise(&walk_heap, &walk_mapped, "walk reference across backings");
+    let cached = mapped
+        .featurize(&FeaturizeRequest::base_rows(
+            rows.clone(),
+            Featurization::RowPlusValue,
+        ))
+        .unwrap();
+    for r in 0..rows.len() {
+        for (a, b) in cached.row(r).iter().zip(walk_mapped.row(r)) {
+            assert!((a - b).abs() <= 1e-12, "row {r}: cached {a} vs walk {b}");
+        }
+    }
+
+    let _ = std::fs::remove_file(&path);
+}
+
+/// A bit flip inside the `GRPH` weights array passes `load_mmap` (the
+/// structural validation sees monotone offsets and in-range targets; the
+/// CRC is deferred) but the first featurize settles it and fails every
+/// request with a typed checksum error.
+#[test]
+fn grph_flip_loads_but_fails_first_featurize_with_typed_error() {
+    if !cfg!(target_endian = "little") {
+        return; // big-endian falls back to eager heap decode
+    }
+    let model = fit();
+    let path = temp_path("grph_flip");
+    model.save(&path).unwrap();
+    let mut bytes = std::fs::read(&path).unwrap();
+    let grph = frames(&bytes)
+        .into_iter()
+        .find(|f| &f.tag == b"GRPH")
+        .expect("GRPH present");
+    // Deep inside the weights array (the stats tail is the payload's last
+    // 32 bytes): geometry validation cannot see it.
+    bytes[grph.payload_start + grph.payload_len - 40] ^= 0x10;
+    std::fs::write(&path, &bytes).unwrap();
+
+    let mapped = LevaModel::load_mmap(&path).expect("lazy CRC: load must succeed");
+    assert!(mapped.graph.is_mapped());
+    for _ in 0..2 {
+        // Every request fails, not just the one that settled the CRC.
+        let err = mapped
+            .featurize(&FeaturizeRequest::base_all(Featurization::RowPlusValue))
+            .unwrap_err();
+        match err {
+            LevaError::Artifact(ArtifactError::ChecksumMismatch { chunk }) => {
+                assert_eq!(chunk, "GRPH");
+            }
+            other => panic!("expected a GRPH checksum error, got: {other}"),
+        }
+    }
+    // The same corruption is caught eagerly by the heap path.
+    assert!(matches!(
+        LevaModel::load(&path).unwrap_err(),
+        ArtifactError::ChecksumMismatch { .. }
+    ));
+    let _ = std::fs::remove_file(&path);
+}
+
+/// Row bands shard over threads; a mapped adjacency must featurize to
+/// the exact same bits at 1, 2, and 8 worker threads.
+#[test]
+fn mapped_graph_featurization_is_thread_count_invariant() {
+    let model = fit();
+    let path = temp_path("threads");
+    model.save(&path).unwrap();
+    let mut reference: Option<leva_linalg::Matrix> = None;
+    for threads in [1usize, 2, 8] {
+        let mut mapped = LevaModel::load_mmap(&path).unwrap();
+        mapped.config.threads = threads;
+        let out = mapped
+            .featurize(&FeaturizeRequest::base_all(Featurization::RowPlusValue))
+            .unwrap();
+        match &reference {
+            None => reference = Some(out),
+            Some(r) => assert_bitwise(r, &out, &format!("{threads} threads")),
+        }
+    }
     let _ = std::fs::remove_file(&path);
 }
 

@@ -79,12 +79,12 @@ fn graph_invariants() {
             if !u_is_row {
                 assert!(g.degree(u) >= 2, "case {case}: value node with degree < 2");
             }
-            for &(v, w) in g.neighbors(u) {
+            for (v, w) in g.neighbors(u) {
                 assert!(w > 0.0 && w.is_finite(), "case {case}");
                 let v_is_row = matches!(g.kind(v), NodeKind::Row { .. });
                 assert_ne!(u_is_row, v_is_row, "case {case}: graph must be bipartite");
                 assert!(
-                    g.neighbors(v).iter().any(|&(x, _)| x == u),
+                    g.neighbors(v).iter().any(|(x, _)| x == u),
                     "case {case}: adjacency must be symmetric"
                 );
             }
