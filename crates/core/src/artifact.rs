@@ -27,13 +27,21 @@
 //! | `STOR` | dense embedding store (f64; aligned dense matrix at v3)    |
 //! | `DISC` | discovered relationships + injection counters (v2+)        |
 //! | `META` | base table, method, memory estimate, timings, ingest audit |
+//! | `DELT` | one appended-rows delta record (v3+, repeatable, ordered)  |
 //!
 //! Version history: v1 had no `DISC` chunk and no discovery fields in
 //! `CONF`; v1 artifacts still load, with an empty discovery set and the
 //! default (disabled) discovery configuration. v2 artifacts require `DISC`.
 //! v3 adds the aligned chunk framing, the aligned `STOR`/`GRPH` payload
 //! layouts, and the `CONF` precision field; v1/v2 artifacts keep decoding
-//! through the original heap codecs.
+//! through the original heap codecs. v3 also admits zero or more trailing
+//! `DELT` chunks (DESIGN.md §6.16): each is one [`DeltaRecord`] of rows
+//! appended after the base model was fitted. Saving a model with pending
+//! deltas re-emits the captured *base* snapshot unchanged and appends one
+//! `DELT` frame per record, so versioned artifacts form a chain; loading
+//! decodes the base, then replays every delta in writing order through the
+//! same append path (`LevaModel::append_rows`). A v3 artifact with no
+//! deltas is byte-identical to one written before this chunk existed.
 //!
 //! Decoding is strictly bounded: every declared length is validated against
 //! the remaining buffer *before* any allocation, all length arithmetic is
@@ -46,6 +54,7 @@
 //! §6.14).
 
 use crate::config::{EmbeddingMethod, Featurization, LevaConfig};
+use crate::delta::DeltaRecord;
 use crate::memory::MemoryEstimate;
 use crate::pipeline::{LevaModel, MethodUsed};
 use crate::timing::StageTimings;
@@ -76,6 +85,7 @@ const TAG_GRPH: [u8; 4] = *b"GRPH";
 const TAG_STOR: [u8; 4] = *b"STOR";
 const TAG_DISC: [u8; 4] = *b"DISC";
 const TAG_META: [u8; 4] = *b"META";
+const TAG_DELT: [u8; 4] = *b"DELT";
 
 /// Errors produced while reading or writing a model artifact.
 #[derive(Debug)]
@@ -217,6 +227,18 @@ impl LevaModel {
     }
 
     fn write_artifact(&self, version: u32, mut out: impl Write) -> std::io::Result<()> {
+        // A model with pending deltas saves as a *chain*: the base snapshot
+        // captured at the first append, byte-for-byte, with the header chunk
+        // count patched up and one CRC'd `DELT` frame appended per record.
+        // Legacy versions have no DELT framing, and a model whose base
+        // snapshot was invalidated (replacement store) serializes its current
+        // state directly — both fall through to the flat path below, which
+        // stays byte-identical to the pre-delta format.
+        if version >= ALIGNED_VERSION && !self.deltas.is_empty() {
+            if let Some(base) = &self.base_artifact {
+                return write_delta_chain(base, &self.deltas, out);
+            }
+        }
         let mut tags: Vec<[u8; 4]> = vec![TAG_SYMB, TAG_CONF, TAG_TOKD, TAG_GRPH, TAG_STOR];
         if version >= 2 {
             tags.push(TAG_DISC);
@@ -366,7 +388,7 @@ impl LevaModel {
 
         check_consistency(&config, &tokenized, &graph, &store, &meta, &discovered)?;
 
-        Ok(LevaModel {
+        let mut model = LevaModel {
             config,
             store,
             graph,
@@ -380,8 +402,14 @@ impl LevaModel {
             ingest: meta.ingest,
             discovered,
             discovery_injection,
+            deltas: Vec::new(),
+            base_artifact: None,
             featurizer: std::sync::OnceLock::new(),
-        })
+        };
+        if !chunks.delt.is_empty() {
+            replay_deltas(&mut model, &chunks.delt)?;
+        }
+        Ok(model)
     }
 
     /// Writes the model artifact to a file, streaming chunk by chunk (no
@@ -428,6 +456,85 @@ impl LevaModel {
     }
 }
 
+/// Emits a delta chain: the captured base artifact with its header chunk
+/// count raised by the number of deltas, then one `DELT` frame per record
+/// in append order, each using the v3 aligned framing continued from the
+/// base's final byte offset. Reloading the chain and saving it again
+/// reproduces these bytes exactly (the base snapshot is canonical).
+fn write_delta_chain(
+    base: &[u8],
+    deltas: &[DeltaRecord],
+    mut out: impl Write,
+) -> std::io::Result<()> {
+    debug_assert!(base.len() >= 12, "base snapshot must carry a header");
+    let base_count = u32::from_le_bytes(base[8..12].try_into().expect("4-byte slice"));
+    let chunk_count = base_count + deltas.len() as u32;
+    out.write_all(&base[..8])?;
+    out.write_all(&chunk_count.to_le_bytes())?;
+    out.write_all(&base[12..])?;
+    let mut offset = base.len() as u64;
+    for record in deltas {
+        let mut w = ByteWriter::new();
+        record.encode_into(&mut w);
+        let payload = w.into_bytes();
+        out.write_all(&TAG_DELT)?;
+        out.write_all(&(payload.len() as u64).to_le_bytes())?;
+        out.write_all(&crc32(&payload).to_le_bytes())?;
+        offset += 16;
+        let pad = (8 - ((offset + 4) % 8)) % 8;
+        out.write_all(&(pad as u32).to_le_bytes())?;
+        out.write_all(&[0u8; 8][..pad as usize])?;
+        offset += 4 + pad;
+        out.write_all(&payload)?;
+        offset += payload.len() as u64;
+    }
+    Ok(())
+}
+
+/// Replays a chain's `DELT` chunks onto the freshly decoded base model, in
+/// artifact order. All records are decoded (bounded, typed) before the
+/// first one mutates the model. A mapped base is settled heap-side first —
+/// replay rewrites the graph and store, so the zero-copy view cannot
+/// survive an append anyway — which verifies the deferred `STOR`/`GRPH`
+/// CRCs up front. The canonical re-encoding of the decoded base is
+/// captured as the chain's base snapshot *before* replay, so saving the
+/// loaded model reproduces the chain byte-for-byte (save→load→save is a
+/// fixed point).
+fn replay_deltas(model: &mut LevaModel, delt: &[RawChunk<'_>]) -> Result<(), ArtifactError> {
+    let mut records = Vec::with_capacity(delt.len());
+    for raw in delt {
+        records.push(DeltaRecord::decode(raw.payload).map_err(in_chunk("DELT"))?);
+    }
+    if !model.graph.ensure_heap() {
+        return Err(ArtifactError::ChecksumMismatch {
+            chunk: "GRPH".to_owned(),
+        });
+    }
+    if !model.store.materialize() {
+        return Err(ArtifactError::ChecksumMismatch {
+            chunk: "STOR".to_owned(),
+        });
+    }
+    model.base_artifact = Some(model.to_bytes());
+    for record in &records {
+        model.apply_delta(record).map_err(|e| match e {
+            crate::LevaError::Artifact(a) => a,
+            crate::LevaError::Relational(_) | crate::LevaError::Ingest { .. } => {
+                ArtifactError::Decode {
+                    chunk: "DELT",
+                    source: DecodeError::Invalid(
+                        "delta references a table or arity the base model does not have",
+                    ),
+                }
+            }
+            _ => ArtifactError::Inconsistent {
+                reason: "delta replay failed against the decoded base model",
+            },
+        })?;
+    }
+    Ok(())
+}
+
 /// One located chunk: its payload slice, absolute offset of that payload
 /// within the artifact, and declared CRC-32.
 struct RawChunk<'a> {
@@ -447,6 +554,8 @@ struct Chunks<'a> {
     stor: RawChunk<'a>,
     disc: Option<RawChunk<'a>>,
     meta: RawChunk<'a>,
+    /// Appended-delta chunks in artifact order (v3+, possibly empty).
+    delt: Vec<RawChunk<'a>>,
 }
 
 /// Walks the container: validates magic/version, frames every chunk
@@ -473,6 +582,7 @@ fn walk_chunks(bytes: &[u8], eager_crc: bool) -> Result<Chunks<'_>, ArtifactErro
     let mut stor: Option<RawChunk<'_>> = None;
     let mut disc: Option<RawChunk<'_>> = None;
     let mut meta: Option<RawChunk<'_>> = None;
+    let mut delt: Vec<RawChunk<'_>> = Vec::new();
     for _ in 0..chunk_count {
         let tag: [u8; 4] = r
             .take_raw(4)
@@ -503,6 +613,21 @@ fn walk_chunks(bytes: &[u8], eager_crc: bool) -> Result<Chunks<'_>, ArtifactErro
         let payload = r.take_raw(len).map_err(|_| ArtifactError::Truncated)?;
         if (eager_crc || (tag != TAG_STOR && tag != TAG_GRPH)) && crc32(payload) != crc {
             return Err(ArtifactError::ChecksumMismatch { chunk: tag_name() });
+        }
+        // DELT is the one repeatable tag (a chain carries one per append),
+        // and only v3+ writers produce it; in a legacy artifact it is as
+        // malformed as an unknown tag. Its CRC was verified above
+        // unconditionally (it is never deferred: replay mutates the model).
+        if tag == TAG_DELT {
+            if version < ALIGNED_VERSION {
+                return Err(ArtifactError::BadChunk { chunk: tag_name() });
+            }
+            delt.push(RawChunk {
+                payload,
+                offset,
+                crc,
+            });
+            continue;
         }
         let slot = match tag {
             TAG_SYMB => &mut symb,
@@ -542,6 +667,7 @@ fn walk_chunks(bytes: &[u8], eager_crc: bool) -> Result<Chunks<'_>, ArtifactErro
         stor: stor.ok_or(ArtifactError::MissingChunk("STOR"))?,
         disc,
         meta: meta.ok_or(ArtifactError::MissingChunk("META"))?,
+        delt,
     })
 }
 
@@ -1325,6 +1451,37 @@ mod tests {
         assert!(!mapped.store.is_mapped(), "pre-v3 loads land on the heap");
         assert_bitwise_equal_features(&model, &mapped);
         std::fs::remove_file(&path).ok();
+    }
+
+    #[test]
+    fn delt_chunk_in_legacy_artifact_is_bad_chunk() {
+        // Legacy writers never produced DELT frames; a chain frame spliced
+        // into a v1/v2 container (legacy framing: tag|len|crc|payload, no
+        // pad) must be rejected as BadChunk even with a valid CRC.
+        let model = fit();
+        for version in [1u32, 2] {
+            let legacy = model.to_bytes_with_version(version);
+            let payload = {
+                let mut w = ByteWriter::new();
+                DeltaRecord {
+                    table: "t".into(),
+                    rows: Vec::new(),
+                }
+                .encode_into(&mut w);
+                w.into_bytes()
+            };
+            let mut bytes = legacy.clone();
+            let count = u32::from_le_bytes(bytes[8..12].try_into().unwrap());
+            bytes[8..12].copy_from_slice(&(count + 1).to_le_bytes());
+            bytes.extend_from_slice(&TAG_DELT);
+            bytes.extend_from_slice(&(payload.len() as u64).to_le_bytes());
+            bytes.extend_from_slice(&crc32(&payload).to_le_bytes());
+            bytes.extend_from_slice(&payload);
+            match LevaModel::from_bytes(&bytes) {
+                Err(ArtifactError::BadChunk { chunk }) => assert_eq!(chunk, "DELT"),
+                other => panic!("v{version}: expected BadChunk, got {other:?}"),
+            }
+        }
     }
 
     #[test]

@@ -46,7 +46,10 @@ impl LevaModel {
     /// The precomputed serving featurizer, built lazily on first use (an
     /// `O(E·d)` pass, roughly the cost of naively featurizing two rows) and
     /// cached for the model's lifetime. The caches snapshot the current
-    /// graph + store; mutating those fields afterwards is unsupported.
+    /// graph + store; every supported mutation path keeps them coherent —
+    /// [`LevaModel::append_rows`] patches exactly the touched slots, and
+    /// mutations the patch cannot model drop the cache for a lazy rebuild.
+    /// Mutating the public fields directly is unsupported.
     pub fn featurizer(&self) -> &Featurizer {
         self.featurizer.get_or_init(|| {
             Featurizer::build_with_precision(
@@ -56,6 +59,25 @@ impl LevaModel {
                 self.config.precision,
             )
         })
+    }
+
+    /// Carries `source`'s warm featurizer cache into this model's empty
+    /// lazy slot, skipping the `O(E·d)` rebuild. Sound only when both
+    /// models hold bitwise-identical graph + store state — the intended
+    /// caller clones a model (which deliberately drops the cache) and
+    /// warms the clone from its origin before mutating it, so a
+    /// subsequent [`LevaModel::append_rows`] patches slots instead of
+    /// rebuilding. No-ops when `source` has no built cache, when this
+    /// model already has one, or when the precisions disagree.
+    pub fn warm_featurizer_from(&mut self, source: &LevaModel) {
+        if self.config.precision != source.config.precision {
+            return;
+        }
+        if let Some(cache) = source.featurizer.get() {
+            if self.featurizer.get().is_none() {
+                let _ = self.featurizer.set(cache.clone());
+            }
+        }
     }
 
     /// Reference implementation of the per-row accumulation: the two-hop

@@ -73,7 +73,7 @@ use std::time::{Duration, Instant};
 /// Built once per model (see `LevaModel::featurizer`) against a specific
 /// graph + store pair; the caches mirror that pair and are not invalidated
 /// by later mutation of the model's public fields.
-#[derive(Debug)]
+#[derive(Debug, Clone)]
 pub struct Featurizer {
     dim: usize,
     /// Value nodes occupy graph ids `n_row_nodes..`; cache slot = id − this.
@@ -234,6 +234,104 @@ impl Featurizer {
             two_hop_weight,
             build_time: start.elapsed(),
         }
+    }
+
+    /// Patches the caches in place after a delta append instead of a full
+    /// rebuild: only the `changed_values` slots are recomputed (plus new
+    /// slots appended for value nodes the patch created), everything else
+    /// is carried over untouched.
+    ///
+    /// `graph` and `store` are the *post-append* pair; `changed_values` are
+    /// post-append value-node ids and must cover every node whose cache
+    /// entry could differ: values with changed adjacency or embedding, and
+    /// values adjacent to any row whose edges or neighbor embeddings
+    /// changed (the two-hop caches read those rows' sums). The recompute
+    /// follows the exact accumulation order of [`Featurizer::build`], so a
+    /// patched cache matches a freshly built one on every slot (pinned at
+    /// ≤1e-12 by the regression tests; only f64 coordinates are supported —
+    /// reduced-precision featurizers are rebuilt instead, see
+    /// `LevaModel::append_rows`).
+    pub fn patch(&mut self, graph: &LevaGraph, store: &EmbeddingStore, changed_values: &[u32]) {
+        let start = Instant::now();
+        let dim = self.dim;
+        let n_values = graph.n_value_nodes();
+        self.first_value_node = graph.n_row_nodes() as u32;
+        let first = self.first_value_node;
+        self.degree.resize(n_values, 0.0);
+        self.val_weight.resize(n_values, 0.0);
+        self.val_contrib.resize(n_values * dim, 0.0);
+        self.two_hop.resize(n_values * dim, 0.0);
+        self.two_hop_weight.resize(n_values, 0.0);
+
+        let mut slots: Vec<usize> = changed_values
+            .iter()
+            .filter_map(|&v| v.checked_sub(first).map(|i| i as usize))
+            .filter(|&i| i < n_values)
+            .collect();
+        slots.sort_unstable();
+        slots.dedup();
+
+        // Pass 1 (changed slots only): degree, embedding, presence.
+        let view = store.dense_view();
+        for &vi in &slots {
+            let node = first + vi as u32;
+            let out = &mut self.val_contrib[vi * dim..(vi + 1) * dim];
+            out.fill(0.0);
+            if let Some(emb) = view.get(graph.token(node)) {
+                out.copy_from_slice(emb);
+                self.val_weight[vi] = 1.0;
+            } else {
+                self.val_weight[vi] = 0.0;
+            }
+            self.degree[vi] = graph.degree(node).max(1) as f64;
+        }
+
+        // Pass 3 (changed slots only), with each neighbor row's transient
+        // sums recomputed on the fly in the same CSR order pass 2 uses —
+        // the add sequence per slot is identical to a full build's.
+        let value_slot = |v: u32| -> Option<usize> {
+            let vi = v.checked_sub(first)? as usize;
+            (vi < n_values).then_some(vi)
+        };
+        let mut rowsum = vec![0.0f64; dim];
+        let mut acc = vec![0.0f64; dim];
+        for &vi in &slots {
+            let node = first + vi as u32;
+            let dv = self.degree[vi];
+            acc.fill(0.0);
+            let mut echo_mass = 0.0;
+            let mut mass_acc = 0.0;
+            for (r, wvr) in graph.neighbors(node) {
+                if r >= first {
+                    continue; // defensive: a non-bipartite edge
+                }
+                rowsum.fill(0.0);
+                let mut row_w = 0.0;
+                for (v2, w2) in graph.neighbors(r) {
+                    let Some(v2i) = value_slot(v2) else { continue };
+                    let contrib = &self.val_contrib[v2i * dim..(v2i + 1) * dim];
+                    for (o, &c) in rowsum.iter_mut().zip(contrib) {
+                        *o += w2 * c;
+                    }
+                    row_w += w2 * self.val_weight[v2i];
+                }
+                let inv_r = 1.0 / graph.degree(r).max(1) as f64;
+                echo_mass += wvr * wvr * inv_r;
+                let wr = wvr * inv_r;
+                for (o, &s) in acc.iter_mut().zip(&rowsum) {
+                    *o += wr * s;
+                }
+                mass_acc += wvr * inv_r * row_w;
+            }
+            let own = &self.val_contrib[vi * dim..(vi + 1) * dim];
+            let out_iter = acc.iter().zip(own);
+            let two_hop = &mut self.two_hop[vi * dim..(vi + 1) * dim];
+            for (o, (&a, &c)) in two_hop.iter_mut().zip(out_iter) {
+                *o = dv * a - dv * echo_mass * c;
+            }
+            self.two_hop_weight[vi] = dv * mass_acc - dv * echo_mass * self.val_weight[vi];
+        }
+        self.build_time += start.elapsed();
     }
 
     /// Embedding dimensionality of the underlying store.

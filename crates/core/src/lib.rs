@@ -56,6 +56,7 @@
 
 mod artifact;
 mod config;
+mod delta;
 mod deploy;
 mod er;
 mod featurizer;
@@ -67,6 +68,7 @@ mod timing;
 
 pub use artifact::ArtifactError;
 pub use config::{EmbeddingMethod, Featurization, LevaConfig};
+pub use delta::{AppendReport, DeltaRecord};
 pub use deploy::FeaturizeBatch;
 pub use er::{match_embeddings, resolve_entities, score_matches, ErOptions, ErResult};
 pub use featurizer::Featurizer;

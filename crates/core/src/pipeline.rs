@@ -147,10 +147,47 @@ pub struct LevaModel {
     /// What relationship injection (declared FKs + discovered joins) did to
     /// the graph. All-zero when the discovery stage is disabled.
     pub discovery_injection: RelationshipInjection,
+    /// Delta batches applied on top of the originally fitted state, in
+    /// application order (see [`LevaModel::append_rows`]). Persisted as
+    /// `DELT` artifact chunks and replayed on load.
+    pub deltas: Vec<crate::delta::DeltaRecord>,
+    /// Byte snapshot of the artifact *before* the first delta was applied —
+    /// the `base` of the persisted `base + deltas` chain. `None` until the
+    /// first append (and for replacement-store clones, which serialize
+    /// their current state directly).
+    pub(crate) base_artifact: Option<Vec<u8>>,
     /// Lazily built serving featurizer (see [`LevaModel::featurizer`]).
     /// Not serialized: artifacts stay byte-identical and the cache is
     /// rebuilt on first featurization after a load.
     pub(crate) featurizer: OnceLock<Featurizer>,
+}
+
+impl Clone for LevaModel {
+    /// Clones every persisted field. The lazily-built serving featurizer is
+    /// deliberately *not* carried over: it aggregates store vectors, so a
+    /// clone that is about to be mutated (delta ingestion, hot swap) must
+    /// rebuild or patch its own — a stale shared cache here was exactly the
+    /// bug class the append path's staleness audit hunts.
+    fn clone(&self) -> Self {
+        LevaModel {
+            config: self.config.clone(),
+            store: self.store.clone(),
+            graph: self.graph.clone(),
+            tokenized: self.tokenized.clone(),
+            timings: self.timings.clone(),
+            method_used: self.method_used,
+            memory: self.memory,
+            base_table: self.base_table.clone(),
+            base_table_index: self.base_table_index,
+            target_column: self.target_column.clone(),
+            ingest: self.ingest.clone(),
+            discovered: self.discovered.clone(),
+            discovery_injection: self.discovery_injection,
+            deltas: self.deltas.clone(),
+            base_artifact: self.base_artifact.clone(),
+            featurizer: OnceLock::new(),
+        }
+    }
 }
 
 impl LevaModel {
@@ -174,6 +211,12 @@ impl LevaModel {
             ingest: self.ingest.clone(),
             discovered: self.discovered.clone(),
             discovery_injection: self.discovery_injection,
+            // A replacement store invalidates the base+deltas replay chain
+            // (replaying deltas against the base could never reproduce the
+            // substituted vectors), so the clone serializes its *current*
+            // state directly instead of carrying the chain.
+            deltas: Vec::new(),
+            base_artifact: None,
             featurizer: OnceLock::new(),
         }
     }
@@ -428,6 +471,8 @@ fn run_pipeline(
         ingest: Vec::new(),
         discovered,
         discovery_injection,
+        deltas: Vec::new(),
+        base_artifact: None,
         featurizer: OnceLock::new(),
     })
 }

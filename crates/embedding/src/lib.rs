@@ -22,6 +22,7 @@ pub mod json;
 mod mf;
 mod node2vec;
 mod quant;
+mod retrofit;
 mod serialize;
 mod sgns;
 mod store;
@@ -31,6 +32,7 @@ pub use corpus::Corpus;
 pub use mf::{build_mf_embedding, proximity_matrix, MfConfig};
 pub use node2vec::{node2vec_walks, Node2VecConfig};
 pub use quant::{Precision, QuantizedStore};
+pub use retrofit::{retrofit_embeddings, RetrofitConfig, RetrofitReport};
 pub use serialize::{decode_corpus, encode_corpus, CorpusDecodeError};
 pub use sgns::{train_sgns, SgnsConfig, SgnsModel};
 pub use store::{

@@ -227,6 +227,38 @@ impl EmbeddingStore {
         }
     }
 
+    /// Materializes a mapped store onto the heap so it can be mutated
+    /// (delta ingestion). Settles the deferred chunk CRC first and returns
+    /// `false` — leaving the store untouched — when the mapped payload
+    /// fails it. Heap stores return `true` immediately.
+    pub fn materialize(&mut self) -> bool {
+        if !self.verify_mapped() {
+            return false;
+        }
+        self.ensure_heap();
+        true
+    }
+
+    /// Swaps in an *extension* of the current symbol table (same interner,
+    /// grown append-only by delta ingestion — existing `TokenId`s keep
+    /// their meaning). Materializes a mapped store first so slot sizing
+    /// follows the new table. Panics if `symbols` is shorter than the
+    /// current table, which can never be an extension.
+    pub fn upgrade_symbols(&mut self, symbols: Arc<TokenInterner>) {
+        assert!(
+            symbols.len() >= self.symbols.len(),
+            "replacement symbol table must extend the current one"
+        );
+        self.ensure_heap();
+        self.symbols = symbols;
+        let symbol_count = self.symbols.len();
+        if let EmbeddingBacking::Heap { vectors, .. } = &mut self.backing {
+            if vectors.len() < symbol_count {
+                vectors.resize_with(symbol_count, || None);
+            }
+        }
+    }
+
     /// The symbol table this store resolves tokens through.
     pub fn symbols(&self) -> &Arc<TokenInterner> {
         &self.symbols

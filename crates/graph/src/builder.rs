@@ -213,7 +213,7 @@ pub(crate) struct MappedAdjacency {
 }
 
 impl MappedAdjacency {
-    fn offsets(&self) -> &[u64] {
+    pub(crate) fn offsets(&self) -> &[u64] {
         // SAFETY: the constructor validated that `offsets_off` is 8-aligned
         // and `(n_nodes + 1) * 8` bytes from it lie inside the mapping,
         // which lives as long as `self` through the Arc. Little-endian
@@ -227,7 +227,7 @@ impl MappedAdjacency {
         }
     }
 
-    fn targets(&self) -> &[u32] {
+    pub(crate) fn targets(&self) -> &[u32] {
         // SAFETY: as above; `targets_off` is 4-aligned with `n_directed`
         // u32 words in bounds.
         unsafe {
@@ -238,7 +238,7 @@ impl MappedAdjacency {
         }
     }
 
-    fn weights(&self) -> &[f64] {
+    pub(crate) fn weights(&self) -> &[f64] {
         // SAFETY: as above; `weights_off` is 8-aligned with `n_directed`
         // f64 words in bounds.
         unsafe {
@@ -252,7 +252,7 @@ impl MappedAdjacency {
     /// Settles the deferred validation: CRC-32 over the whole `GRPH`
     /// payload plus the adjacency symmetry check the eager decode paths
     /// run, exactly once, with the verdict cached for every later call.
-    fn verify(&self) -> bool {
+    pub(crate) fn verify(&self) -> bool {
         match self.verified.load(Ordering::Acquire) {
             ADJ_OK => true,
             ADJ_BAD => false,

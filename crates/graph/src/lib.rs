@@ -13,6 +13,7 @@
 
 mod alias;
 mod builder;
+mod delta;
 mod relationships;
 mod serialize;
 mod voting;
@@ -22,6 +23,7 @@ pub use builder::{
     build_graph, build_graph_with_relationships, GraphConfig, GraphIndexError, LevaGraph,
     Neighbors, NeighborsIter, NodeKind, RefineStats,
 };
+pub use delta::GraphPatch;
 pub use relationships::{
     resolve_relationship_edges, value_node_tables, ExtraEdgeGroup, RelationshipHint,
     RelationshipInjection,

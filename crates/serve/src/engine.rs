@@ -8,9 +8,12 @@ use std::sync::{mpsc, Arc, Condvar, Mutex};
 use std::thread::JoinHandle;
 use std::time::Instant;
 
-use leva::{ArtifactError, Featurization, FeaturizeRequest, LevaError, LevaModel, RowSource};
+use leva::{
+    AppendReport, ArtifactError, Featurization, FeaturizeRequest, IngestOptions, LevaError,
+    LevaModel, RowSource,
+};
 use leva_linalg::Matrix;
-use leva_relational::Table;
+use leva_relational::{Table, Value};
 
 use crate::config::ServeConfig;
 use crate::metrics::Metrics;
@@ -66,6 +69,18 @@ impl From<std::io::Error> for ServeError {
     }
 }
 
+/// Outcome of an admin append: the identity of the patched model now
+/// serving, plus what the incremental maintenance pass did.
+#[derive(Debug)]
+pub struct AppendOutcome {
+    /// Swap epoch of the patched model.
+    pub version: u64,
+    /// Artifact checksum of the patched model (its base + deltas chain).
+    pub checksum: u32,
+    /// The model-level append report.
+    pub report: AppendReport,
+}
+
 /// A completed featurization, stamped with the identity of the exact
 /// model that produced it.
 #[derive(Debug)]
@@ -98,6 +113,10 @@ pub struct Engine {
     not_empty: Condvar,
     config: ServeConfig,
     workers: Mutex<Vec<JoinHandle<()>>>,
+    /// Serializes admin appends: each one is a clone-patch-swap against
+    /// the current model, so two running concurrently would publish two
+    /// divergent successors and silently drop one batch.
+    append_lock: Mutex<()>,
 }
 
 impl Engine {
@@ -115,6 +134,7 @@ impl Engine {
             not_empty: Condvar::new(),
             config,
             workers: Mutex::new(Vec::new()),
+            append_lock: Mutex::new(()),
         });
         let mut workers = Vec::new();
         for _ in 0..engine.config.batch_workers {
@@ -230,6 +250,47 @@ impl Engine {
         Ok(stamp)
     }
 
+    /// Appends `rows` to `table` of the served model without a refit:
+    /// clones the pinned model (carrying its warm featurizer cache over),
+    /// runs the library's incremental append — graph patch, embedding
+    /// retrofit, targeted featurizer-slot patch — and hot-swaps the
+    /// patched model in as the next epoch. In-flight batches keep their
+    /// pinned pre-append model; the previous model serves throughout. On
+    /// failure nothing is published and the rejection is counted.
+    pub fn append_rows(
+        &self,
+        table: &str,
+        rows: &[Vec<Value>],
+        options: &IngestOptions,
+    ) -> Result<AppendOutcome, ServeError> {
+        let _guard = self.append_lock.lock().unwrap_or_else(|e| e.into_inner());
+        let current = self.handle.current();
+        let mut model = current.model.clone();
+        // The clone deliberately drops the featurizer cache; re-seed it
+        // from the identical origin state so the append patches touched
+        // slots instead of paying a full rebuild at swap time.
+        model.warm_featurizer_from(&current.model);
+        let report = match model.append_rows_with(table, rows, options) {
+            Ok(report) => report,
+            Err(e) => {
+                self.metrics
+                    .appends_rejected
+                    .fetch_add(1, Ordering::Relaxed);
+                return Err(ServeError::Model(e));
+            }
+        };
+        let (version, checksum) = self.handle.swap(model);
+        self.metrics.appends.fetch_add(1, Ordering::Relaxed);
+        self.metrics
+            .rows_appended
+            .fetch_add(report.rows_appended as u64, Ordering::Relaxed);
+        Ok(AppendOutcome {
+            version,
+            checksum,
+            report,
+        })
+    }
+
     /// Closes the queue, drains every pending request, and joins the
     /// batch workers. Idempotent.
     pub fn shutdown(&self) {
@@ -326,6 +387,14 @@ impl Engine {
             out,
             ",\"swaps_rejected\":{}",
             m.swaps_rejected.load(Ordering::Relaxed)
+        );
+        let _ = write!(
+            out,
+            ",\"appends\":{{\"applied\":{},\"rejected\":{},\"rows\":{},\"pending_deltas\":{}}}",
+            m.appends.load(Ordering::Relaxed),
+            m.appends_rejected.load(Ordering::Relaxed),
+            m.rows_appended.load(Ordering::Relaxed),
+            model.model.deltas.len()
         );
         out.push('}');
         out

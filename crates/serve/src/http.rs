@@ -2,10 +2,10 @@
 //! the binary protocol (sniffed via a 4-byte `peek` for
 //! [`BINARY_MAGIC`](crate::wire::BINARY_MAGIC)), a thread per connection
 //! under a hard cap, and the admin surface (`/metrics`, `/healthz`,
-//! `/admin/swap`, `/admin/shutdown`).
+//! `/admin/swap`, `/admin/append`, `/admin/shutdown`).
 //!
 //! Hand-rolled on `std::net` — the workspace builds offline with no HTTP
-//! or async dependencies, and the server needs exactly five routes.
+//! or async dependencies, and the server needs exactly six routes.
 
 use std::collections::HashMap;
 use std::io::{BufRead, BufReader, Read, Write};
@@ -258,6 +258,24 @@ fn route(engine: &Arc<Engine>, stop: &Arc<AtomicBool>, request: &HttpRequest) ->
                 &b"{\"status\":\"ok\"}"[..]
             };
             Route::Done(200, "application/json", body.to_vec())
+        }
+        ("POST", "/admin/append") => {
+            let result = std::str::from_utf8(&request.body)
+                .map_err(|_| ServeError::Protocol("request body is not UTF-8".into()))
+                .and_then(wire::parse_append_request)
+                .and_then(|req| engine.append_rows(&req.table, &req.rows, &req.options));
+            match result {
+                Ok(outcome) => Route::Done(
+                    200,
+                    "application/json",
+                    wire::write_append_response(&outcome).into_bytes(),
+                ),
+                Err(e) => Route::Done(
+                    error_status(&e),
+                    "application/json",
+                    wire::write_json_error(&e).into_bytes(),
+                ),
+            }
         }
         ("POST", "/admin/swap") => match swap_body(engine, &request.body) {
             Ok((version, checksum)) => Route::Done(

@@ -19,9 +19,15 @@
 //!   finish on the model they pinned, every response is stamped with the
 //!   artifact version + checksum that produced it, and a corrupt
 //!   artifact is rejected while the old model keeps serving.
+//! * **Incremental append.** `/admin/append` absorbs new rows into the
+//!   served model without a refit (DESIGN.md §6.16): the engine clones
+//!   the pinned model, runs the library's delta-ingestion path — graph
+//!   patch, RETRO-style embedding retrofit, targeted featurizer-slot
+//!   patch — and publishes the patched model as the next epoch while the
+//!   previous one keeps serving.
 //! * **Metrics.** `/metrics` reports latency percentiles, rows/s, the
 //!   coalesced batch-size distribution, queue depth, serving-cache
-//!   bytes, and swap counters ([`Metrics`]).
+//!   bytes, and swap/append counters ([`Metrics`]).
 //!
 //! Hand-rolled on `std::net` with zero new dependencies — the workspace
 //! builds offline.
@@ -36,7 +42,7 @@ mod model;
 pub mod wire;
 
 pub use config::ServeConfig;
-pub use engine::{Engine, FeatResponse, ServeError};
+pub use engine::{AppendOutcome, Engine, FeatResponse, ServeError};
 pub use http::Server;
 pub use metrics::{LogHistogram, Metrics};
 pub use model::{ModelHandle, ServingModel};

@@ -85,6 +85,12 @@ impl Default for LogHistogram {
 }
 
 impl LogHistogram {
+    /// Bucket index of `value`: `0` for the value 0, else
+    /// `64 − leading_zeros(value)`, which maps `[2^(k−1), 2^k)` to bucket
+    /// `k`. The raw index reaches 64 for values ≥ 2^63; [`Self::record`]
+    /// saturates those into bucket 63, so the top bucket semantically
+    /// covers `[2^62, ∞)` — an acceptable distortion for µs latencies,
+    /// which a sane clock never pushes past 2^62.
     fn bucket(value: u64) -> usize {
         (64 - value.leading_zeros()) as usize
     }
@@ -145,6 +151,12 @@ pub struct Metrics {
     pub swaps: AtomicU64,
     /// Swap attempts rejected (corrupt or unreadable artifact).
     pub swaps_rejected: AtomicU64,
+    /// Admin appends applied (each publishes a patched model epoch).
+    pub appends: AtomicU64,
+    /// Admin appends rejected (unknown table, arity mismatch …).
+    pub appends_rejected: AtomicU64,
+    /// Total rows absorbed through admin appends.
+    pub rows_appended: AtomicU64,
     latency_us: Mutex<LogHistogram>,
     batch_rows: Mutex<LogHistogram>,
     rate: RateWindow,
@@ -162,6 +174,9 @@ impl Metrics {
             queue_depth: AtomicU64::new(0),
             swaps: AtomicU64::new(0),
             swaps_rejected: AtomicU64::new(0),
+            appends: AtomicU64::new(0),
+            appends_rejected: AtomicU64::new(0),
+            rows_appended: AtomicU64::new(0),
             latency_us: Mutex::new(LogHistogram::default()),
             batch_rows: Mutex::new(LogHistogram::default()),
             rate: RateWindow::new(),
@@ -248,6 +263,36 @@ mod tests {
         assert_eq!(h.quantile(0.99), 128);
         let buckets = h.buckets();
         assert_eq!(buckets, vec![(1, 9), (64, 1)]);
+    }
+
+    /// The bucket map at its boundary values: 0 is its own bucket, 1
+    /// opens bucket 1, every exact power of two opens the next bucket,
+    /// and `2^k − 1` stays in the bucket below it.
+    #[test]
+    fn bucket_boundaries_are_exact() {
+        assert_eq!(LogHistogram::bucket(0), 0);
+        assert_eq!(LogHistogram::bucket(1), 1);
+        for k in 1..63u32 {
+            let pow = 1u64 << k;
+            // 2^k is the *first* value of bucket k+1 …
+            assert_eq!(LogHistogram::bucket(pow), k as usize + 1, "2^{k}");
+            // … and 2^k − 1 the *last* value of bucket k.
+            assert_eq!(LogHistogram::bucket(pow - 1), k as usize, "2^{k}-1");
+        }
+        assert_eq!(LogHistogram::bucket(u64::MAX), 64); // saturated on record
+    }
+
+    /// Values at or beyond 2^63 saturate into the top bucket instead of
+    /// indexing out of bounds.
+    #[test]
+    fn huge_samples_saturate_into_the_top_bucket() {
+        let mut h = LogHistogram::default();
+        h.record(1u64 << 63);
+        h.record(u64::MAX);
+        h.record((1u64 << 62) + 1); // genuinely belongs to bucket 63
+        assert_eq!(h.count(), 3);
+        assert_eq!(h.buckets(), vec![(1u64 << 62, 3)]);
+        assert_eq!(h.quantile(1.0), 1u64 << 63);
     }
 
     #[test]

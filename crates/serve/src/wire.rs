@@ -10,13 +10,13 @@
 //! Both protocols encode exactly the library's [`FeaturizeRequest`] type:
 //! the server has no featurization entry point of its own.
 
-use leva::{Featurization, FeaturizeRequest, RowSource};
+use leva::{Featurization, FeaturizeRequest, IngestOptions, RowSource};
 use leva_embedding::json;
 use leva_interner::codec::{ByteReader, ByteWriter};
 use leva_linalg::Matrix;
 use leva_relational::{Table, Value};
 
-use crate::engine::{FeatResponse, ServeError};
+use crate::engine::{AppendOutcome, FeatResponse, ServeError};
 
 /// Magic bytes a client sends first to select the binary protocol on the
 /// shared listen port (anything else is treated as HTTP).
@@ -147,6 +147,87 @@ pub fn write_json_response(resp: &FeatResponse) -> String {
     }
     out.push_str("]}");
     out
+}
+
+/// A parsed `/admin/append` body: the target table, the rows to absorb,
+/// and the ingest contract to absorb them under.
+pub struct AppendRequest {
+    /// Table the rows are appended to.
+    pub table: String,
+    /// The rows, one `Value` per tokenized column.
+    pub rows: Vec<Vec<Value>>,
+    /// Strict (default) or lenient ingest normalization.
+    pub options: IngestOptions,
+}
+
+/// Parses a JSON append request:
+///
+/// ```json
+/// {"table": "orders",
+///  "rows": [[17, "nyc", 129.5], [null, "sfo", 3]],
+///  "mode": "strict" | "lenient"}
+/// ```
+///
+/// Cells map like external featurize rows: `null`→Null, booleans→Bool,
+/// strings→Text, numbers→Int when integral, Float otherwise. `mode` is
+/// optional and defaults to strict (any ragged row rejects the batch).
+pub fn parse_append_request(body: &str) -> Result<AppendRequest, ServeError> {
+    let doc = match json::parse(body) {
+        Ok(v) => v,
+        Err(e) => return proto(format!("invalid JSON request: {e}")),
+    };
+    let table = doc
+        .get("table")
+        .and_then(json::Value::as_str)
+        .ok_or_else(|| ServeError::Protocol("missing string field \"table\"".into()))?
+        .to_owned();
+    let rows = doc
+        .get("rows")
+        .and_then(json::Value::as_array)
+        .ok_or_else(|| ServeError::Protocol("missing array field \"rows\"".into()))?;
+    let mut parsed = Vec::with_capacity(rows.len());
+    for row in rows {
+        let cells = row
+            .as_array()
+            .ok_or_else(|| ServeError::Protocol("each row must be an array".into()))?;
+        parsed.push(cells.iter().map(json_cell_to_value).collect());
+    }
+    let options = match doc.get("mode").and_then(json::Value::as_str) {
+        None | Some("strict") => IngestOptions::strict(),
+        Some("lenient") => IngestOptions::lenient(),
+        Some(other) => return proto(format!("unknown mode {other:?}")),
+    };
+    Ok(AppendRequest {
+        table,
+        rows: parsed,
+        options,
+    })
+}
+
+/// Renders an append outcome as JSON: the new model identity plus the
+/// incremental-maintenance audit.
+pub fn write_append_response(outcome: &AppendOutcome) -> String {
+    let r = &outcome.report;
+    format!(
+        "{{\"version\":{},\"checksum\":{},\"rows_appended\":{},\
+         \"new_value_nodes\":{},\"touched_value_nodes\":{},\
+         \"clamped_numerics\":{},\"featurizer_slots_patched\":{},\
+         \"retrofit\":{{\"updated\":{},\"seeded\":{},\"isolated\":{}}},\
+         \"ingest\":{{\"rows_ragged\":{},\"cells_non_finite\":{},\"issues_total\":{}}}}}",
+        outcome.version,
+        outcome.checksum,
+        r.rows_appended,
+        r.new_value_nodes,
+        r.touched_value_nodes,
+        r.clamped_numerics,
+        r.featurizer_slots_patched,
+        r.retrofit.updated,
+        r.retrofit.seeded,
+        r.retrofit.isolated,
+        r.ingest.rows_ragged,
+        r.ingest.cells_non_finite,
+        r.ingest.issues_total,
+    )
 }
 
 /// Renders an error as the JSON error envelope `{"error":"..."}`.
@@ -413,6 +494,39 @@ mod tests {
         ] {
             assert!(
                 matches!(parse_json_request(bad), Err(ServeError::Protocol(_))),
+                "accepted: {bad}"
+            );
+        }
+    }
+
+    #[test]
+    fn append_request_parses_rows_and_mode() {
+        let body = r#"{"table":"orders","rows":[[17,"nyc",129.5],[null,"sfo",true]]}"#;
+        let req = parse_append_request(body).unwrap();
+        assert_eq!(req.table, "orders");
+        assert_eq!(req.rows.len(), 2);
+        assert_eq!(req.rows[0][0], Value::Int(17));
+        assert_eq!(req.rows[0][2], Value::Float(129.5));
+        assert_eq!(req.rows[1][0], Value::Null);
+        assert_eq!(req.rows[1][2], Value::Bool(true));
+        assert_eq!(req.options.mode, leva::IngestMode::Strict);
+
+        let body = r#"{"table":"t","rows":[],"mode":"lenient"}"#;
+        let req = parse_append_request(body).unwrap();
+        assert_eq!(req.options.mode, leva::IngestMode::Lenient);
+    }
+
+    #[test]
+    fn append_request_rejects_malformed_bodies() {
+        for bad in [
+            "not json",
+            r#"{"rows":[[1]]}"#,
+            r#"{"table":"t"}"#,
+            r#"{"table":"t","rows":[1]}"#,
+            r#"{"table":"t","rows":[],"mode":"yolo"}"#,
+        ] {
+            assert!(
+                matches!(parse_append_request(bad), Err(ServeError::Protocol(_))),
                 "accepted: {bad}"
             );
         }

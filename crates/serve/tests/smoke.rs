@@ -410,3 +410,79 @@ fn external_tables_round_trip_through_json() {
     }
     server.shutdown();
 }
+
+#[test]
+fn admin_append_patches_the_served_model() {
+    let model = fit(&db(24, 1.0));
+    let expected = {
+        let mut fresh = model.clone();
+        fresh
+            .append_rows("base", &[vec!["e24".into(), "a".into(), Value::Float(3.0)]])
+            .unwrap();
+        fresh
+            .featurize(&FeaturizeRequest::base_rows(
+                vec![24],
+                Featurization::RowOnly,
+            ))
+            .unwrap()
+    };
+
+    let config = ServeConfig::default()
+        .with_addr("127.0.0.1:0")
+        .with_max_wait_us(2_000);
+    let engine = Engine::new(model, config).unwrap();
+    let mut server = Server::start(Arc::clone(&engine)).unwrap();
+    let addr = server.local_addr();
+
+    // A row past the fitted range is a 400 before the append lands.
+    let (status, _) = json_body(
+        addr,
+        "/featurize",
+        r#"{"feat":"row","source":{"base_rows":[24]}}"#,
+    );
+    assert_eq!(status, 400);
+
+    // Append one row through the admin endpoint.
+    let (status, doc) = json_body(
+        addr,
+        "/admin/append",
+        r#"{"table":"base","rows":[["e24","a",3.0]]}"#,
+    );
+    assert_eq!(status, 200);
+    assert_eq!(doc.get("version").unwrap().as_f64(), Some(2.0));
+    assert_eq!(doc.get("rows_appended").unwrap().as_f64(), Some(1.0));
+    let retrofit = doc.get("retrofit").unwrap();
+    assert!(retrofit.get("updated").unwrap().as_f64().unwrap() >= 1.0);
+
+    // The appended row now featurizes, bitwise equal to the library path.
+    let (status, doc) = json_body(
+        addr,
+        "/featurize",
+        r#"{"feat":"row","source":{"base_rows":[24]}}"#,
+    );
+    assert_eq!(status, 200, "appended row should serve");
+    assert_eq!(doc.get("version").unwrap().as_f64(), Some(2.0));
+    assert_json_matches(&doc, &expected);
+
+    // Unknown tables are rejected without disturbing the served model.
+    let (status, doc) = json_body(addr, "/admin/append", r#"{"table":"ghost","rows":[["x"]]}"#);
+    assert_eq!(status, 400);
+    assert!(doc.get("error").is_some());
+    let (status, _) = json_body(
+        addr,
+        "/featurize",
+        r#"{"feat":"row","source":{"base_rows":[24]}}"#,
+    );
+    assert_eq!(status, 200);
+
+    // Metrics report the append counters and the pending delta chain.
+    let (status, doc) = get_json(addr, "/metrics");
+    assert_eq!(status, 200);
+    let appends = doc.get("appends").unwrap();
+    assert_eq!(appends.get("applied").unwrap().as_f64(), Some(1.0));
+    assert_eq!(appends.get("rejected").unwrap().as_f64(), Some(1.0));
+    assert_eq!(appends.get("rows").unwrap().as_f64(), Some(1.0));
+    assert_eq!(appends.get("pending_deltas").unwrap().as_f64(), Some(1.0));
+
+    server.shutdown();
+}

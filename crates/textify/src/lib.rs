@@ -23,8 +23,8 @@ mod types;
 pub use binning::{Histogram, HistogramChoice, HistogramKind};
 pub use strings::{looks_like_list_column, try_split_list};
 pub use tokenizer::{
-    normalize_token, row_name, textify, ColumnEncoder, TextifyConfig, TokenOccurrence,
-    TokenizedDatabase, TokenizedRow, TokenizedTable,
+    normalize_token, row_name, textify, AppendedRows, ColumnEncoder, TextifyConfig,
+    TokenOccurrence, TokenizedDatabase, TokenizedRow, TokenizedTable,
 };
 pub use types::{classify_column, ClassifyConfig, ColumnClass};
 

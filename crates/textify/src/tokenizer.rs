@@ -22,7 +22,9 @@ use crate::strings::try_split_list;
 use crate::types::{classify_column, ClassifyConfig, ColumnClass};
 use leva_interner::{TokenId, TokenInterner};
 use leva_linalg::resolve_threads;
-use leva_relational::{column_stats, excess_kurtosis, mean, std_dev, Database, Table, Value};
+use leva_relational::{
+    column_stats, excess_kurtosis, mean, std_dev, Database, RelationalError, Table, Value,
+};
 use std::collections::HashMap;
 use std::sync::Arc;
 
@@ -197,6 +199,118 @@ impl TokenizedDatabase {
     /// Resolves an interned token id back to its text.
     pub fn token_str(&self, id: TokenId) -> &str {
         self.symbols.resolve(id)
+    }
+
+    /// Column encoders of table index `table`, in column (attribute) order.
+    /// The length is the table's column arity as tokenized (the target
+    /// column, if any, was stripped before textification).
+    pub fn table_encoders(&self, table: usize) -> Vec<&ColumnEncoder> {
+        let name = &self.tables[table].name;
+        let mut encs: Vec<&ColumnEncoder> = self
+            .encoders
+            .iter()
+            .filter(|((t, _), _)| t == name)
+            .map(|(_, e)| e)
+            .collect();
+        encs.sort_by_key(|e| e.attr);
+        encs
+    }
+
+    /// Tokenizes `rows` with the *fitted* encoders of table index `table`
+    /// and appends them to that table's token stream, extending the shared
+    /// symbol table.
+    ///
+    /// Mirrors the original emission exactly: each row interns its
+    /// `row::{table}::{index}` identity first, then its value tokens in
+    /// column order (sequential, so the result is deterministic at any
+    /// thread count). Numeric cells outside the fitted histogram range
+    /// clamp to the edge bin (`Histogram::bin`) — never a panic, never a
+    /// dropped token.
+    ///
+    /// The symbol table is re-shared under a *new* `Arc` (old ids stay
+    /// valid; the interner is append-only); callers holding the previous
+    /// `Arc` (graph, embedding store) must adopt `self.symbols` afterwards.
+    pub fn append_rows(
+        &mut self,
+        table: usize,
+        rows: &[Vec<Value>],
+    ) -> Result<AppendedRows, RelationalError> {
+        if table >= self.tables.len() {
+            return Err(RelationalError::UnknownTable {
+                table: format!("#{table}"),
+            });
+        }
+        let encoders = self.table_encoders(table);
+        let name = self.tables[table].name.clone();
+        for row in rows {
+            if row.len() != encoders.len() {
+                return Err(RelationalError::ArityMismatch {
+                    table: name.clone(),
+                    expected: encoders.len(),
+                    actual: row.len(),
+                });
+            }
+        }
+
+        let first = self.tables[table].rows.len();
+        let mut clamped = 0usize;
+        // Clone-and-extend the append-only interner, then re-share it: old
+        // TokenIds remain valid in the extended copy.
+        let mut symbols = (*self.symbols).clone();
+        let mut new_rows = Vec::with_capacity(rows.len());
+        for (k, row) in rows.iter().enumerate() {
+            let row_token = symbols.intern(&row_name(&name, first + k));
+            let mut tokens = Vec::new();
+            for (enc, value) in encoders.iter().zip(row) {
+                if clamps_to_edge(enc, value) {
+                    clamped += 1;
+                }
+                for text in enc.encode(value) {
+                    if text.is_empty() {
+                        continue;
+                    }
+                    tokens.push(TokenOccurrence {
+                        token: symbols.intern(&text),
+                        attr: enc.attr,
+                    });
+                }
+            }
+            new_rows.push(TokenizedRow { tokens, row_token });
+        }
+        self.symbols = Arc::new(symbols);
+        self.tables[table].rows.extend(new_rows);
+        Ok(AppendedRows {
+            rows: first..self.tables[table].rows.len(),
+            clamped_numerics: clamped,
+        })
+    }
+}
+
+/// Result of [`TokenizedDatabase::append_rows`].
+#[derive(Debug, Clone)]
+pub struct AppendedRows {
+    /// Indices of the appended rows within the table's token stream.
+    pub rows: std::ops::Range<usize>,
+    /// Numeric/datetime cells that fell at or beyond the outermost fitted
+    /// histogram boundaries and were clamped into an edge bin. (The
+    /// histogram keeps only interior boundaries, so this is a cheap
+    /// superset of strictly out-of-range values.)
+    pub clamped_numerics: usize,
+}
+
+/// True when a numeric/datetime cell lies at or beyond the outermost fitted
+/// bin boundaries — `Histogram::bin` clamps such values into the first/last
+/// bin (§2.4, inference-time quantization of unseen data).
+fn clamps_to_edge(enc: &ColumnEncoder, value: &Value) -> bool {
+    if !matches!(enc.class, ColumnClass::Numeric | ColumnClass::Datetime) {
+        return false;
+    }
+    let (Some(v), Some(h)) = (value.as_f64(), enc.histogram.as_ref()) else {
+        return false;
+    };
+    match (h.boundaries().first(), h.boundaries().last()) {
+        (Some(&lo), Some(&hi)) => v < lo || v >= hi,
+        _ => false,
     }
 }
 

@@ -24,6 +24,9 @@ cargo test -q --test mmap_artifacts
 echo "==> cargo test -q --test quantization (precision-ladder tolerance gate)"
 cargo test -q --test quantization
 
+echo "==> cargo test -q --test incremental (delta-ingestion + retrofit gate)"
+cargo test -q --test incremental
+
 echo "==> cargo test -q -p leva-serve (server smoke + hot-swap stress gate)"
 cargo test -q -p leva-serve
 
@@ -38,6 +41,10 @@ cargo build --release -q -p leva-bench --bin exp_discovery
 echo "==> exp_mmap (out-of-core artifact benchmark -> results/BENCH_8.json + BENCH_9.json)"
 cargo build --release -q -p leva-bench --bin exp_mmap
 ./target/release/exp_mmap --scale 0.2 >/dev/null
+
+echo "==> exp_incremental (delta-ingestion benchmark -> results/BENCH_10.json)"
+cargo build --release -q -p leva-bench --bin exp_incremental
+./target/release/exp_incremental --scale 0.2 >/dev/null
 
 echo "==> cargo fmt --check"
 cargo fmt --check
